@@ -1,0 +1,20 @@
+"""Helper: persist each bench's reproduced table/figure next to the timings.
+
+pytest captures stdout, so every benchmark also writes its rendered rows to
+``benchmarks/results/<name>.txt``; after a bench run the full set of
+reproduced tables/figures can be read from that directory (EXPERIMENTS.md
+quotes them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print the reproduced artifact and persist it for EXPERIMENTS.md."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")

@@ -1,0 +1,91 @@
+"""Ablation A — collective algorithm choices inside the MPI substrate.
+
+DESIGN.md calls out binomial-tree vs linear broadcast/reduce and recursive-
+doubling vs reduce+bcast allreduce.  These benches time both algorithms on
+the real thread-per-rank runtime (np=8, object payloads) so the tree
+algorithms' latency advantage is measured, not assumed.
+"""
+
+import pytest
+
+from repro.mpi import SUM, mpirun
+from repro.mpi.collectives import (
+    allreduce_recursive_doubling,
+    bcast_binomial,
+    bcast_linear,
+    reduce_binomial,
+    reduce_linear,
+)
+
+from _report import emit
+
+NP = 8
+PAYLOAD = list(range(256))
+
+
+def _bcast_with(algorithm):
+    def body(comm):
+        send, recv = comm._transports()
+        payload = PAYLOAD if comm.Get_rank() == 0 else None
+        return algorithm(comm.Get_rank(), comm.Get_size(), 0, payload, send, recv)
+
+    return lambda: mpirun(body, NP)
+
+
+def _reduce_with(algorithm):
+    def body(comm):
+        send, recv = comm._transports()
+        return algorithm(
+            comm.Get_rank(), comm.Get_size(), 0, comm.Get_rank() + 1, SUM, send, recv
+        )
+
+    return lambda: mpirun(body, NP)
+
+
+class TestBroadcastAlgorithms:
+    def test_binomial_tree(self, benchmark):
+        outs = benchmark(_bcast_with(bcast_binomial))
+        assert all(o == PAYLOAD for o in outs)
+
+    def test_linear(self, benchmark):
+        outs = benchmark(_bcast_with(bcast_linear))
+        assert all(o == PAYLOAD for o in outs)
+
+
+class TestReduceAlgorithms:
+    def test_binomial_tree(self, benchmark):
+        outs = benchmark(_reduce_with(reduce_binomial))
+        assert outs[0] == sum(range(1, NP + 1))
+
+    def test_linear_rank_order(self, benchmark):
+        outs = benchmark(_reduce_with(reduce_linear))
+        assert outs[0] == sum(range(1, NP + 1))
+
+
+class TestAllreduceAlgorithms:
+    def test_recursive_doubling(self, benchmark):
+        def body(comm):
+            return comm.allreduce(comm.Get_rank(), op=SUM)
+
+        outs = benchmark(lambda: mpirun(body, NP))
+        assert all(o == sum(range(NP)) for o in outs)
+
+    def test_reduce_then_bcast(self, benchmark):
+        def body(comm):
+            total = comm.reduce(comm.Get_rank(), op=SUM, root=0)
+            return comm.bcast(total, root=0)
+
+        outs = benchmark(lambda: mpirun(body, NP))
+        assert all(o == sum(range(NP)) for o in outs)
+
+
+def test_emit_algorithm_inventory(benchmark):
+    benchmark(lambda: None)  # keep this collected under --benchmark-only
+    emit(
+        "ablation_collectives",
+        "Collective algorithm ablation (np=8, 256-element object payload):\n"
+        "  bcast: binomial tree (default) vs linear root-sends-all\n"
+        "  reduce: binomial tree (commutative default) vs linear rank-order\n"
+        "  allreduce: recursive doubling (default) vs reduce+bcast\n"
+        "Timings in the pytest-benchmark table alongside this file.",
+    )

@@ -1,0 +1,111 @@
+"""Ablation B — loop schedules on imbalanced work (the drug-design lesson).
+
+A triangular workload (cost of iteration i grows with i) is the classic
+case where static equal-chunk scheduling idles early threads.  These benches
+time static / static,1 / dynamic / guided on the real thread runtime, and
+the emitted table reports the imbalance each schedule leaves behind
+(measured as the spread of per-thread work units).
+"""
+
+import pytest
+
+from repro.openmp import parallel_for
+
+from _report import emit
+
+N = 400
+THREADS = 4
+
+
+def _triangular_cost(i: int) -> int:
+    """Busy work proportional to the iteration index."""
+    acc = 0
+    for k in range(20 * (i + 1) // 10):
+        acc += k
+    return acc
+
+
+def _run(schedule, chunk=None):
+    return parallel_for(
+        N,
+        _triangular_cost,
+        num_threads=THREADS,
+        schedule=schedule,
+        chunk=chunk,
+        reduction="+",
+    )
+
+
+EXPECTED = sum(_triangular_cost(i) for i in range(N))
+
+
+class TestScheduleTimings:
+    def test_static_blocks(self, benchmark):
+        assert benchmark(_run, "static") == EXPECTED
+
+    def test_static_chunks_of_one(self, benchmark):
+        assert benchmark(_run, "static", 1) == EXPECTED
+
+    def test_dynamic(self, benchmark):
+        assert benchmark(_run, "dynamic", 4) == EXPECTED
+
+    def test_guided(self, benchmark):
+        assert benchmark(_run, "guided") == EXPECTED
+
+
+def _work_spread(schedule: str, chunk):
+    """Busiest thread's triangular-work share under a schedule.
+
+    Static schedules have a fixed assignment, computed directly.  Dynamic
+    and guided self-scheduling are evaluated with a deterministic
+    event-driven simulation — the idlest thread (smallest accumulated cost)
+    claims the next chunk — which is exactly how they behave on genuinely
+    parallel hardware, without the GIL's single-runner noise.
+    """
+    from repro.openmp import (
+        DynamicScheduler,
+        GuidedScheduler,
+        static_block_ranges,
+        static_chunks,
+    )
+
+    def cost(indices) -> int:
+        return sum(i + 1 for i in indices)  # triangular cost units
+
+    if schedule == "static" and chunk is None:
+        shares = [cost(r) for r in static_block_ranges(N, THREADS)]
+    elif schedule == "static":
+        shares = [cost(static_chunks(N, THREADS, chunk, t)) for t in range(THREADS)]
+    else:
+        scheduler = (
+            DynamicScheduler(N, chunk or 1)
+            if schedule == "dynamic"
+            else GuidedScheduler(N, THREADS, chunk or 1)
+        )
+        shares = [0] * THREADS
+        while True:
+            claimed = scheduler.next_chunk()
+            if not claimed:
+                break
+            idlest = shares.index(min(shares))
+            shares[idlest] += cost(claimed)
+    return max(shares) / (sum(shares) / THREADS)
+
+
+def test_emit_imbalance_table(benchmark):
+    rows = [
+        ("static (equal chunks)", _work_spread("static", None)),
+        ("static, chunk 1", _work_spread("static", 1)),
+        ("dynamic, chunk 4", benchmark(_work_spread, "dynamic", 4)),
+        ("guided", _work_spread("guided", None)),
+    ]
+    lines = [
+        f"Triangular loop (n={N}, {THREADS} threads): busiest thread's share "
+        "of work relative to the mean (1.00 = perfectly balanced)",
+    ]
+    for name, ratio in rows:
+        lines.append(f"  {name:<24} {ratio:5.2f}x")
+    # the headline lesson: equal chunks leave ~1.7x hot spots; chunk-1 fixes it
+    assert rows[0][1] > 1.4
+    assert rows[1][1] < 1.1
+    emit("ablation_scheduling", "\n".join(lines))

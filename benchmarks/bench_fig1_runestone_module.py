@@ -1,0 +1,36 @@
+"""Figure 1 — the Runestone virtual handout's race-condition page.
+
+Builds the full Raspberry Pi module, renders §2.3 (the screenshotted page),
+grades the Fig. 1 multiple-choice question, and times the module build +
+render path an instructor's server would execute per page view.
+"""
+
+from repro.runestone import (
+    RACE_CONDITION_QUESTION,
+    build_raspberry_pi_module,
+    render_section_text,
+)
+
+from _report import emit
+
+
+def test_fig1_module_build_and_render(benchmark):
+    def build_and_render():
+        module = build_raspberry_pi_module()
+        return module, render_section_text(module.find_section("2.3"))
+
+    module, view = benchmark(build_and_render)
+    assert "Q-2: What is a race condition?" in view
+    assert module.session_minutes == 120
+    emit("fig1_runestone_race_page", view)
+
+
+def test_fig1_question_grading(benchmark):
+    result = benchmark(RACE_CONDITION_QUESTION.grade, "C")
+    assert result.correct
+    graded = "\n".join(
+        f"answer {label}: correct={RACE_CONDITION_QUESTION.grade(label).correct}  "
+        f"feedback: {RACE_CONDITION_QUESTION.grade(label).feedback}"
+        for label in "ABC"
+    )
+    emit("fig1_question_grading", graded)

@@ -1,0 +1,31 @@
+"""Figure 2 — the Colab SPMD patternlet cell.
+
+Executes the exact notebook cells from the figure (``%%writefile 00spmd.py``
+then ``!mpirun --allow-run-as-root -np 4 python 00spmd.py``) on the
+in-process MPI runtime and times the full write-then-mpirun cycle.
+"""
+
+from repro.runestone import Notebook
+from repro.runestone.modules.mpi_colab import SPMD_CELL_SOURCE, SPMD_RUN_COMMAND
+
+from _report import emit
+
+
+def _run_fig2_cells() -> str:
+    notebook = Notebook("mpi4py_patternlets.ipynb")
+    notebook.code(SPMD_CELL_SOURCE)
+    notebook.code(SPMD_RUN_COMMAND)
+    results = notebook.run_all()
+    assert all(r.ok for r in results), [r.error for r in results if not r.ok]
+    return results[1].stdout
+
+
+def test_fig2_colab_spmd_cell(benchmark):
+    stdout = benchmark(_run_fig2_cells)
+    lines = stdout.splitlines()
+    assert len(lines) == 4
+    assert {int(l.split()[3]) for l in lines} == {0, 1, 2, 3}
+    emit(
+        "fig2_colab_spmd",
+        f"$ {SPMD_RUN_COMMAND.lstrip('! ')}\n{stdout}",
+    )

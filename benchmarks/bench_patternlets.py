@@ -1,0 +1,54 @@
+"""Ablation C — patternlet runtime overhead.
+
+Every teaching patternlet must run in classroom time (interactive, seconds
+at most).  These benches time one representative patternlet per family and
+the full-catalog sweep each handout performs.
+"""
+
+import pytest
+
+from repro.patternlets import all_patternlets, get_patternlet
+
+from _report import emit
+
+
+@pytest.mark.parametrize(
+    "paradigm,name,kwargs",
+    [
+        ("openmp", "spmd", {"num_threads": 4}),
+        ("openmp", "reduction", {"num_threads": 4, "n": 10_000}),
+        ("openmp", "forDynamic", {"num_threads": 4, "n": 24}),
+        ("mpi", "spmd", {"np": 4}),
+        ("mpi", "messagePassingRing", {"np": 4}),
+        ("mpi", "masterWorker", {"np": 4, "num_tasks": 12}),
+        ("mpi", "allreduceArrays", {"np_procs": 4, "n": 64}),
+    ],
+)
+def test_single_patternlet(benchmark, paradigm, name, kwargs):
+    patternlet = get_patternlet(paradigm, name)
+    result = benchmark(patternlet.run, **kwargs)
+    assert result.trace or result.values
+
+
+def test_full_catalog_sweep(benchmark):
+    """Run every patternlet once (race capped for interactivity)."""
+
+    def sweep():
+        count = 0
+        for p in all_patternlets():
+            kwargs = {}
+            if p.name == "race":
+                kwargs = {"iterations": 1000}
+            elif p.name in ("critical", "atomic"):
+                kwargs = {"iterations": 1000}
+            p.run(**kwargs)
+            count += 1
+        return count
+
+    count = benchmark.pedantic(sweep, rounds=2, iterations=1)
+    assert count == 29
+    emit(
+        "ablation_patternlet_overhead",
+        f"full catalog ({count} patternlets, both paradigms) runs per sweep; "
+        "timings in the pytest-benchmark table.",
+    )

@@ -1,0 +1,66 @@
+"""Extension benches: the parallel-sorting exemplar and shared-VM sizing.
+
+* Sorting: real timings of sequential / task-parallel mergesort and the
+  MPI odd-even transposition sort, plus the cost-model scaling table for
+  the Algorithms-course injection.
+* Contention: how many simultaneous learners the St. Olaf VM carries — the
+  sizing question behind the paper's "(~$5,000 for a 64-core server)"
+  remark.
+"""
+
+import random
+
+import pytest
+
+from repro.exemplars import (
+    forestfire_workload,
+    merge_sort_seq,
+    merge_sort_tasks,
+    odd_even_sort_mpi,
+    sorting_workload,
+)
+from repro.platforms import ST_OLAF_VM, CostModel, ScalingStudy, SharedMachineModel
+
+from _report import emit
+
+DATA = random.Random(2020).sample(range(100_000), 2_000)
+
+
+class TestSortingTimings:
+    def test_sequential_mergesort(self, benchmark):
+        out = benchmark(merge_sort_seq, DATA)
+        assert out == sorted(DATA)
+
+    def test_task_parallel_mergesort(self, benchmark):
+        out = benchmark(merge_sort_tasks, DATA, 4, 128)
+        assert out == sorted(DATA)
+
+    def test_odd_even_mpi(self, benchmark):
+        out = benchmark(odd_even_sort_mpi, DATA[:500], 4)
+        assert out == sorted(DATA[:500])
+
+
+def test_sorting_scaling_table(benchmark):
+    model = CostModel(ST_OLAF_VM)
+    workload = sorting_workload(1_000_000)
+
+    def study():
+        counts = [1, 2, 4, 8, 16, 32]
+        times = [model.time(workload, p).total_s for p in counts]
+        return ScalingStudy(model.name, workload.name, counts, times)
+
+    result = benchmark(study)
+    emit("sorting_scaling", result.format_table())
+
+
+def test_shared_vm_capacity(benchmark):
+    model = SharedMachineModel(ST_OLAF_VM)
+    workload = forestfire_workload(size=60, trials=40)
+    capacity = benchmark(model.capacity, workload, 2, 1.5)
+    assert capacity >= 22  # the workshop cohort fits
+    emit(
+        "contention_stolaf_vm",
+        model.format_table(workload, procs=2, learner_counts=[1, 8, 16, 22, 32, 64])
+        + f"\n-> within 1.5x slowdown, capacity at 2 procs/learner: "
+        f"{capacity} simultaneous learners (workshop cohort: 22)",
+    )

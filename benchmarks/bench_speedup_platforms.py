@@ -1,0 +1,40 @@
+"""Implied evaluation — exemplar speedup/scalability per platform.
+
+The paper's qualitative performance claims: Colab's unicore VM cannot show
+speedup; the St. Olaf 64-core VM and the Chameleon cluster show "good
+parallel speedup and scalability".  For every exemplar x platform pair this
+bench regenerates the scaling series (simulated time, speedup, efficiency)
+and asserts the claims' shape; the benchmark fixture times the cost-model
+sweep.
+"""
+
+import pytest
+
+from repro.core import plan_scaling_run, run_exemplar_study
+
+from _report import emit
+
+EXEMPLARS = ("integration", "forestfire", "drugdesign")
+PLATFORMS = ("colab", "stolaf-vm", "chameleon-cluster", "raspberry-pi-4")
+
+
+@pytest.mark.parametrize("platform", PLATFORMS)
+@pytest.mark.parametrize("exemplar", EXEMPLARS)
+def test_platform_scaling(benchmark, exemplar, platform):
+    run = benchmark(run_exemplar_study, exemplar, platform)
+    study = run.study
+    if platform == "colab":
+        assert not study.shows_speedup()  # "just one core"
+    elif platform == "raspberry-pi-4":
+        assert 2.0 <= study.max_speedup <= 4.0  # bounded by 4 cores
+    else:
+        assert study.max_speedup >= 8.0  # "good parallel speedup"
+    emit(
+        f"speedup_{exemplar}_{platform}",
+        study.format_table() + f"\n-> {run.learner_takeaway()}",
+    )
+
+
+def test_scaling_plan_overhead(benchmark):
+    counts = benchmark(plan_scaling_run, "stolaf-vm")
+    assert counts[-1] == 64

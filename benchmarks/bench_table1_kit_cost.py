@@ -1,0 +1,36 @@
+"""Table I — approximate cost breakdown of the mailed Raspberry Pi kit.
+
+Regenerates the table (part-by-part costs and the $100.66 total) and times
+the kit-costing and 22-kit procurement-planning paths.
+"""
+
+from repro.kits import KitInventory, render_table1, standard_pi_kit
+
+from _report import emit
+
+
+def test_table1_kit_cost(benchmark):
+    kit = standard_pi_kit()
+
+    def build_and_cost():
+        k = standard_pi_kit()
+        return k.cost(), k.rows()
+
+    total, _rows = benchmark(build_and_cost)
+    assert total == 100.66
+    emit("table1_kit_cost", render_table1(kit))
+
+
+def test_table1_bulk_procurement_plan(benchmark):
+    inventory = KitInventory()
+    plan = benchmark(inventory.plan, 22)
+    assert plan.per_kit_bulk == 100.66
+    emit(
+        "table1_procurement_22_kits",
+        (
+            f"22 kits (the workshop cohort):\n"
+            f"  bulk  per-kit ${plan.per_kit_bulk:.2f}  total ${plan.total_bulk:.2f}\n"
+            f"  list  per-kit ${plan.per_kit_list:.2f}  total ${plan.total_list:.2f}\n"
+            f"  bulk purchasing saves ${plan.bulk_savings:.2f}"
+        ),
+    )

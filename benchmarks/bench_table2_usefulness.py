@@ -1,0 +1,18 @@
+"""Table II — per-session usefulness ratings (Likert means).
+
+Regenerates both rows exactly (4.55/4.45 and 4.38/4.29) from the calibrated
+ratings and times the survey-aggregation path.
+"""
+
+from repro.assessment import table2
+
+from _report import emit
+
+
+def test_table2_session_usefulness(benchmark):
+    result = benchmark(table2)
+    assert result.rows == (
+        ("OpenMP on Raspberry Pi", 4.55, 4.45),
+        ("MPI & Distr. Cluster Computing", 4.38, 4.29),
+    )
+    emit("table2_usefulness", result.render())

@@ -1,0 +1,33 @@
+"""Section IV — the whole workshop pilot as one reproducible run.
+
+Times the end-to-end simulation (22 participants x full handout + VNC
+incident + assessment assembly) and emits the headline findings.
+"""
+
+from repro.core import simulate_workshop
+
+from _report import emit
+
+
+def test_workshop_pilot(benchmark):
+    report = benchmark.pedantic(simulate_workshop, rounds=2, iterations=1)
+    assert report.participants == 22
+    assert report.shared_memory_session.learners_with_issues == 0
+    findings = report.headline_findings()
+    assert len(findings) >= 4
+    emit(
+        "workshop_pilot",
+        "\n".join(
+            [
+                f"participants: {report.participants}",
+                f"shared-memory session completion: "
+                f"{report.shared_memory_session.completion_rate:.0%}",
+                f"setup issues resolved by videos: "
+                f"{report.shared_memory_session.resolved_by_videos}",
+                f"VNC lockouts: {len(report.vnc_incident.locked_out_participants)} "
+                f"(all finished via ssh: {report.vnc_incident.all_finished_via_ssh})",
+                "",
+                *(f"- {f}" for f in findings),
+            ]
+        ),
+    )

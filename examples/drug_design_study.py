@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""The drug-design exemplar: why irregular work wants dynamic scheduling.
+
+Scores a pool of random ligands against the protein three ways, checks
+agreement, then contrasts static vs dynamic decomposition on the cost
+model — the load-balancing lesson both of the paper's modules teach.
+
+    python examples/drug_design_study.py [num_ligands] [max_len]
+"""
+
+import sys
+import time
+
+from repro.exemplars import generate_ligands, run_mpi_master_worker, run_omp, run_seq
+from repro.exemplars.drugdesign import drugdesign_workload
+from repro.platforms import ST_OLAF_VM, CostModel
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 60
+    max_len = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    ligands = generate_ligands(count, max_len=max_len, seed=2020)
+    print(f"Scoring {count} ligands (length 2..{max_len}) against the protein\n")
+
+    t0 = time.perf_counter()
+    seq = run_seq(ligands)
+    print(f"{seq.summary()}  [{time.perf_counter() - t0:.2f}s]")
+
+    omp = run_omp(ligands, num_threads=4, schedule="dynamic")
+    mpi = run_mpi_master_worker(ligands, np_procs=4)
+    assert seq.scores == omp.scores == mpi.scores
+    print("threaded (dynamic schedule) and MPI master-worker agree exactly\n")
+
+    print("Load balancing on the cost model (St. Olaf 64-core VM, 16 ranks):")
+    model = CostModel(ST_OLAF_VM)
+    static = drugdesign_workload(60_000)  # 20% hot spot under static blocks
+    dynamic = drugdesign_workload(60_000, imbalance=0.02)  # master-worker
+    t_static = model.time(static, 16).total_s
+    t_dynamic = model.time(dynamic, 16).total_s
+    print(f"  static blocks:  {t_static:.4f}s simulated")
+    print(f"  master-worker:  {t_dynamic:.4f}s simulated "
+          f"({t_static / t_dynamic:.2f}x faster)")
+    print("\nThe dynamic task farm wins because ligand lengths — and hence "
+          "per-task LCS costs — vary.")
+
+
+if __name__ == "__main__":
+    main()

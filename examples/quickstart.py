@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: the reproduction's public API in five minutes.
+
+Runs a taste of every layer: an MPI patternlet (the paper's Fig. 2 demo),
+an OpenMP race-condition arc, an exemplar, the kit cost table, and the
+workshop assessment numbers.
+
+    python examples/quickstart.py
+"""
+
+from repro import mpirun, parallel_for
+from repro.assessment import figure3, table2
+from repro.exemplars import integrate_omp
+from repro.kits import render_table1
+from repro.patternlets import get_patternlet
+
+
+def main() -> None:
+    print("=" * 64)
+    print("1. MPI: the SPMD patternlet (paper Fig. 2), 4 processes")
+    print("=" * 64)
+    spmd = get_patternlet("mpi", "spmd").run(np=4)
+    print(spmd.text)
+
+    print()
+    print("=" * 64)
+    print("2. Or roll your own SPMD function with mpirun()")
+    print("=" * 64)
+    totals = mpirun(lambda comm: comm.allreduce(comm.Get_rank() + 1), 4)
+    print(f"allreduce of ranks+1 on every rank: {totals}")
+
+    print()
+    print("=" * 64)
+    print("3. OpenMP: see a race condition, then fix it with a reduction")
+    print("=" * 64)
+    race = get_patternlet("openmp", "race").run(num_threads=4, iterations=20_000)
+    print(f"unprotected counter: {race.text}")
+    total = parallel_for(100_000, lambda i: i + 1, num_threads=4, reduction="+")
+    print(f"reduction fix: sum(1..100000) = {total}")
+
+    print()
+    print("=" * 64)
+    print("4. An exemplar: estimate pi by parallel trapezoid integration")
+    print("=" * 64)
+    print(f"pi ~= {integrate_omp(200_000, num_threads=4):.6f}")
+
+    print()
+    print("=" * 64)
+    print("5. The paper's evaluation artifacts")
+    print("=" * 64)
+    print(render_table1())
+    print()
+    print(table2().render())
+    print()
+    print(figure3().test.summary())
+
+
+if __name__ == "__main__":
+    main()

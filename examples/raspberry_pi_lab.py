@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Work through the shared-memory module as a learner would.
+
+Renders the Raspberry Pi virtual handout chapter by chapter, runs every
+hands-on patternlet activity, answers the interactive questions, and closes
+with the handout's benchmarking study on the Pi-4 model — the complete
+2-hour lab, in one script.
+
+    python examples/raspberry_pi_lab.py
+"""
+
+from repro.exemplars import integration_workload
+from repro.patternlets import get_patternlet
+from repro.platforms import RASPBERRY_PI_4, CostModel, ScalingStudy
+from repro.runestone import (
+    LearnerProgress,
+    build_raspberry_pi_module,
+    render_section_text,
+)
+
+
+def main() -> None:
+    module = build_raspberry_pi_module()
+    learner = LearnerProgress("you", module)
+    print(module.title)
+    print(
+        f"(pre-work: {module.prework_minutes} min setup; "
+        f"session: {module.session_minutes} min)\n"
+    )
+
+    for chapter in module.chapters:
+        print(f"### Chapter {chapter.number}: {chapter.title} "
+              f"({chapter.minutes} min{', pre-work' if chapter.pre_work else ''})")
+        for section in chapter.sections:
+            print(render_section_text(section))
+            # Run the section's hands-on activities for real.
+            for activity in section.activities:
+                patternlet = get_patternlet(activity.paradigm, activity.patternlet)
+                kwargs = {"iterations": 20_000} if activity.patternlet == "race" else {}
+                result = patternlet.run(**kwargs)
+                print(f">>> ran {activity.paradigm}:{activity.patternlet}")
+                for line in result.trace[:6]:
+                    print(f"    {line}")
+                print()
+            learner.complete_section(section.number)
+
+    # Answer the handout's questions (the race-condition one deliberately
+    # wrong first, to show the targeted feedback).
+    wrong = learner.submit("sp_mc_2", "B")
+    print(f"sp_mc_2 answer B -> {wrong.feedback}")
+    right = learner.submit("sp_mc_2", "C")
+    print(f"sp_mc_2 answer C -> {right.feedback}")
+    for activity_id, answer in [
+        ("sp_mc_1", "C"), ("sp_mc_3", "B"), ("sp_mc_4", "B"),
+        ("sp_fib_1", 4), ("sp_fib_2", 3.14),
+        ("sp_dnd_1", {
+            "process": "an executing program with its own address space",
+            "thread": "an execution stream sharing its process's memory",
+            "core": "a hardware unit that executes one stream at a time",
+        }),
+    ]:
+        learner.submit(activity_id, answer)
+
+    print("\n### The closing benchmarking study (Raspberry Pi 4 model)")
+    model = CostModel(RASPBERRY_PI_4)
+    workload = integration_workload(50_000_000)
+    counts = [1, 2, 4]
+    times = [model.time(workload, p).total_s for p in counts]
+    print(ScalingStudy(model.name, workload.name, counts, times).format_table())
+
+    print(
+        f"\nmodule complete: {learner.completion_fraction:.0%} of sections, "
+        f"question score {learner.question_score:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Execute the full mpi4py patternlets Colab notebook headlessly.
+
+This is the distributed module's first hour as a script: every cell of the
+notebook from the paper's Fig. 2 is run against the in-process MPI runtime,
+printing each `%%writefile` and `!mpirun` cell's output as a learner would
+see it in Colab.
+
+    python examples/run_colab_notebook.py [num_processes]
+"""
+
+import sys
+
+from repro.runestone import build_mpi_colab_notebook
+
+
+def main() -> None:
+    np = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    notebook = build_mpi_colab_notebook(np=np)
+    print(f"# {notebook.title} — executing {len(notebook.cells)} cells with np={np}\n")
+    for index, result in enumerate(notebook.run_all()):
+        cell = notebook.cells[index]
+        if result.kind == "markdown":
+            first = cell.source.splitlines()[0]
+            print(f"\n--- {first} ---")
+            continue
+        if result.kind == "writefile":
+            print(f"[cell {index}] {result.stdout}")
+            continue
+        header = cell.first_line
+        print(f"[cell {index}] $ {header.lstrip('! ')}")
+        if result.ok:
+            for line in result.stdout.splitlines():
+                print(f"    {line}")
+        else:
+            print(f"    ERROR: {result.error}")
+    print("\nAll cells executed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Reproduce the paper's entire evaluation section in one run.
+
+Simulates the July 2020 virtual workshop (22 participants, both modules,
+the VNC-firewall incident) and prints every evaluation artifact: Table I,
+Table II, Figures 3 and 4, and the headline findings of Section IV.
+
+    python examples/workshop_report.py
+"""
+
+from repro.core import simulate_workshop
+from repro.kits import KitInventory, render_table1
+
+
+def main() -> None:
+    print("Preparing 22 mailed kits...")
+    inventory = KitInventory()
+    plan = inventory.plan(22)
+    inventory.assemble(22)
+    print(render_table1())
+    print(
+        f"\n22 kits at bulk pricing: ${plan.total_bulk:.2f} "
+        f"(saves ${plan.bulk_savings:.2f} vs list)\n"
+    )
+
+    print("Simulating the 2.5-day virtual workshop...\n")
+    report = simulate_workshop(seed=2020, eager_beavers=3)
+
+    print(report.table2.render())
+    print()
+    print(report.figure3.render())
+    print()
+    print(report.figure4.render())
+    print()
+
+    smo = report.shared_memory_session
+    print("Shared-memory session (OpenMP on the Raspberry Pi):")
+    print(f"  completion rate: {smo.completion_rate:.0%}")
+    print(f"  participants with unresolved technical issues: "
+          f"{smo.learners_with_issues}")
+    print(f"  setup issues pre-empted by the walkthrough videos: "
+          f"{smo.resolved_by_videos}")
+    print(f"  mean time on module: {smo.mean_minutes:.0f} min")
+
+    dist = report.distributed_session
+    print("\nDistributed session (Colab + cluster):")
+    print(f"  completion rate: {dist.completion_rate:.0%}")
+    print(f"  mean time on module: {dist.mean_minutes:.0f} min")
+
+    incident = report.vnc_incident
+    print("\nDistributed session incident log:")
+    print(f"  'eager beaver' VNC lockouts: "
+          f"{len(incident.locked_out_participants)}")
+    print(f"  all locked-out participants finished via ssh: "
+          f"{incident.all_finished_via_ssh}")
+
+    print("\nHeadline findings:")
+    for finding in report.headline_findings():
+        print(f"  - {finding}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of "Teaching PDC in the Time of COVID: Hands-on
+Materials for Remote Learning" (Adams, Brown, Matthews, Shoop; EduPar 2021).
+
+The package rebuilds the paper's teaching-materials system from scratch:
+
+* :mod:`repro.mpi` — an in-process MPI with the mpi4py API (thread-per-rank
+  runtime, real collective algorithms, ``mpirun`` emulation);
+* :mod:`repro.openmp` — an OpenMP-style shared-memory runtime on threads;
+* :mod:`repro.patternlets` — the patternlet catalog for both paradigms;
+* :mod:`repro.exemplars` — numerical integration, drug design, forest fire;
+* :mod:`repro.platforms` — Raspberry Pi / Colab / Chameleon / St. Olaf VM
+  models with deterministic performance simulation;
+* :mod:`repro.runestone` — the interactive-handout engine, the Colab
+  notebook emulator, and the actual module content;
+* :mod:`repro.kits` — the $100 mailed kit (Table I) and system image;
+* :mod:`repro.assessment` — survey instruments, a from-scratch paired
+  t-test, and the calibrated cohort behind Table II and Figures 3-4;
+* :mod:`repro.core` — curriculum, session simulation, the workshop pilot.
+
+Quick start
+-----------
+>>> from repro import mpirun
+>>> mpirun(lambda comm: comm.Get_rank(), 4)
+[0, 1, 2, 3]
+"""
+
+from .mpi import MPI, mpirun, run_script
+from .openmp import parallel_for, parallel_region
+from .patternlets import all_patternlets, get_patternlet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MPI",
+    "mpirun",
+    "run_script",
+    "parallel_for",
+    "parallel_region",
+    "all_patternlets",
+    "get_patternlet",
+    "__version__",
+]

@@ -1,0 +1,80 @@
+"""``repro.assessment`` — survey instruments, statistics, and the calibrated
+cohort reproducing the paper's evaluation (Table II, Figs. 3-4)."""
+
+from .cohort import (
+    CONFIDENCE_PAIRS,
+    FALL_2020_PLANS,
+    MPI_SESSION_RATINGS_A,
+    MPI_SESSION_RATINGS_B,
+    OPENMP_SESSION_RATINGS_A,
+    OPENMP_SESSION_RATINGS_B,
+    PREPAREDNESS_PAIRS,
+    Participant,
+    workshop_cohort,
+)
+from .effects import (
+    WilcoxonResult,
+    cohens_d_label,
+    cohens_d_paired,
+    wilcoxon_signed_rank,
+)
+from .likert import CONFIDENCE, PREPAREDNESS, USEFULNESS, LikertScale
+from .qualitative import (
+    PAPER_QUOTES,
+    THEMES,
+    Theme,
+    evidence_for_strategy,
+    quotes_for,
+    theme_counts,
+)
+from .report import PrePostFigure, Table2, figure3, figure4, table2
+from .stats import (
+    PairedTTestResult,
+    mean,
+    paired_t_test,
+    regularized_incomplete_beta,
+    sample_std,
+    student_t_sf,
+)
+from .survey import OpenEndedResponse, PrePostItem, SessionRatings, SurveyItem
+
+__all__ = [
+    "LikertScale",
+    "USEFULNESS",
+    "CONFIDENCE",
+    "PREPAREDNESS",
+    "SurveyItem",
+    "SessionRatings",
+    "PrePostItem",
+    "OpenEndedResponse",
+    "mean",
+    "sample_std",
+    "paired_t_test",
+    "PairedTTestResult",
+    "student_t_sf",
+    "regularized_incomplete_beta",
+    "Participant",
+    "workshop_cohort",
+    "CONFIDENCE_PAIRS",
+    "PREPAREDNESS_PAIRS",
+    "OPENMP_SESSION_RATINGS_A",
+    "OPENMP_SESSION_RATINGS_B",
+    "MPI_SESSION_RATINGS_A",
+    "MPI_SESSION_RATINGS_B",
+    "FALL_2020_PLANS",
+    "table2",
+    "figure3",
+    "figure4",
+    "cohens_d_paired",
+    "cohens_d_label",
+    "wilcoxon_signed_rank",
+    "WilcoxonResult",
+    "Theme",
+    "THEMES",
+    "PAPER_QUOTES",
+    "theme_counts",
+    "quotes_for",
+    "evidence_for_strategy",
+    "Table2",
+    "PrePostFigure",
+]

@@ -1,0 +1,94 @@
+"""Likert scales used by the workshop surveys.
+
+Three instruments appear in the paper:
+
+* per-session **usefulness** (Table II): 1 = "not at all useful" ...
+  5 = "extremely useful";
+* **confidence** in implementing PDC topics (Fig. 3): "not at all" /
+  "slightly" / "moderately" / "very" / "extremely";
+* **preparedness** (Fig. 4): "not at all" / "a little bit" / "somewhat" /
+  "quite a bit" / "very much".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "LikertScale",
+    "USEFULNESS",
+    "CONFIDENCE",
+    "PREPAREDNESS",
+]
+
+
+@dataclass(frozen=True)
+class LikertScale:
+    """An ordered response scale with labeled anchor points."""
+
+    name: str
+    labels: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) < 2:
+            raise ValueError("a Likert scale needs at least two anchors")
+
+    @property
+    def min(self) -> int:
+        return 1
+
+    @property
+    def max(self) -> int:
+        return len(self.labels)
+
+    def validate(self, value: int) -> int:
+        """Check a response value; returns it for chaining."""
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"Likert responses are integers, got {value!r}")
+        if not self.min <= value <= self.max:
+            raise ValueError(
+                f"{self.name}: response {value} outside [{self.min}, {self.max}]"
+            )
+        return value
+
+    def label(self, value: int) -> str:
+        """Anchor text for a response value."""
+        self.validate(value)
+        return self.labels[value - 1]
+
+    def histogram(self, responses: Iterable[int]) -> dict[str, int]:
+        """Counts per anchor, in scale order (the figures' bar heights)."""
+        counts = {label: 0 for label in self.labels}
+        for r in responses:
+            counts[self.label(r)] += 1
+        return counts
+
+    def mean(self, responses: Sequence[int]) -> float:
+        if not responses:
+            raise ValueError("cannot average zero responses")
+        for r in responses:
+            self.validate(r)
+        return sum(responses) / len(responses)
+
+
+USEFULNESS = LikertScale(
+    "usefulness",
+    (
+        "not at all useful",
+        "slightly useful",
+        "moderately useful",
+        "very useful",
+        "extremely useful",
+    ),
+)
+
+CONFIDENCE = LikertScale(
+    "confidence",
+    ("not at all", "slightly", "moderately", "very", "extremely"),
+)
+
+PREPAREDNESS = LikertScale(
+    "preparedness",
+    ("not at all", "a little bit", "somewhat", "quite a bit", "very much"),
+)

@@ -1,0 +1,139 @@
+"""Qualitative feedback: the paper's open-ended responses, coded by theme.
+
+Section IV quotes participant comments as evidence for specific themes
+(manipulatives work, mpi4py makes Python viable, platform switching was
+confusing, ...).  This module records those quotes with their theme codes
+and provides the simple thematic-coding operations an evaluator (DHA)
+performs: counting evidence per theme and checking which themes support
+vs. challenge each strategy.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from .survey import OpenEndedResponse
+
+__all__ = [
+    "Theme",
+    "THEMES",
+    "PAPER_QUOTES",
+    "theme_counts",
+    "quotes_for",
+    "evidence_for_strategy",
+]
+
+
+@dataclass(frozen=True)
+class Theme:
+    """A thematic code with its valence toward the materials."""
+
+    code: str
+    description: str
+    supports_strategy: int | None  # which of the paper's strategies, if any
+    positive: bool
+
+
+THEMES: dict[str, Theme] = {
+    theme.code: theme
+    for theme in (
+        Theme("manipulative", "the Pi as a tangible learning object", 1, True),
+        Theme("classroom-ready", "materials usable in their own courses", 3, True),
+        Theme("consistent-platform", "uniform hardware beats diverse laptops", 1, True),
+        Theme("low-bandwidth", "local device avoids remote-connection pain", 1, True),
+        Theme("python-viable", "mpi4py makes Python a parallel teaching tool", 2, True),
+        Theme("accessible-basics", "parallel basics are approachable when "
+                                   "introduced correctly", 2, True),
+        Theme("platform-confusion", "switching platforms was confusing", 2, False),
+        Theme("online-participation", "the online format inhibits shy "
+                                      "participants", 3, False),
+        Theme("prepared-to-teach", "feels prepared to offer a PDC course", 3, True),
+        Theme("right-level", "material pitched at the right level", 3, True),
+    )
+}
+
+#: The open-ended responses quoted in Section IV, with their theme codes.
+PAPER_QUOTES: tuple[OpenEndedResponse, ...] = (
+    OpenEndedResponse(
+        "We can see — using the Pi — several key concepts demonstrated. The "
+        "level of difficulty was well in the range of our students. After "
+        "this day — I immediately saw where we can show and use the "
+        "exercises in our class!!",
+        theme="classroom-ready",
+    ),
+    OpenEndedResponse(
+        "It brings concepts home in a way that nothing else seems to do.",
+        theme="manipulative",
+    ),
+    OpenEndedResponse(
+        "Having a consistent system makes life so much easier and allows "
+        "for a consistent experience.",
+        theme="consistent-platform",
+    ),
+    OpenEndedResponse(
+        "Having students connect to Zoom and separately connect to a remote "
+        "server can be hard on some wireless connections.",
+        theme="low-bandwidth",
+    ),
+    OpenEndedResponse(
+        "It did show me that MPI can be used in Python; this makes Python "
+        "somewhat viable as a parallel teaching tool.",
+        theme="python-viable",
+    ),
+    OpenEndedResponse(
+        "Although they seem difficult, the parallel programming basics are "
+        "not [difficult] when introduced correctly.",
+        theme="accessible-basics",
+    ),
+    OpenEndedResponse(
+        "The platform switches seem to be a little confusing.",
+        theme="platform-confusion",
+    ),
+    OpenEndedResponse(
+        "I'm pretty quiet/shy in general and have telephone anxiety... I "
+        "think I would have contributed more if we weren't trapped in the "
+        "online format.",
+        theme="online-participation",
+    ),
+    OpenEndedResponse(
+        "The level where the material was presented was perfect.",
+        theme="right-level",
+    ),
+    OpenEndedResponse(
+        "I got a lot of material and I feel quite prepared to offer a "
+        "course on parallel computing this coming Fall.",
+        theme="prepared-to-teach",
+    ),
+)
+
+
+def theme_counts(
+    responses: tuple[OpenEndedResponse, ...] = PAPER_QUOTES,
+) -> Counter:
+    """Evidence count per theme code."""
+    unknown = {r.theme for r in responses} - set(THEMES)
+    if unknown:
+        raise KeyError(f"uncoded themes: {sorted(unknown)}")
+    return Counter(r.theme for r in responses)
+
+
+def quotes_for(theme_code: str) -> list[OpenEndedResponse]:
+    """All recorded quotes evidencing one theme."""
+    if theme_code not in THEMES:
+        raise KeyError(
+            f"unknown theme {theme_code!r}; known: {sorted(THEMES)}"
+        )
+    return [r for r in PAPER_QUOTES if r.theme == theme_code]
+
+
+def evidence_for_strategy(strategy_number: int) -> dict[str, list[str]]:
+    """Supporting vs. challenging quotes for one of the paper's strategies."""
+    supporting: list[str] = []
+    challenging: list[str] = []
+    for response in PAPER_QUOTES:
+        theme = THEMES[response.theme]
+        if theme.supports_strategy != strategy_number:
+            continue
+        (supporting if theme.positive else challenging).append(response.text)
+    return {"supporting": supporting, "challenging": challenging}

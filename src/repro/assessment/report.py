@@ -1,0 +1,115 @@
+"""Assessment report generators: Table II, Figure 3, Figure 4.
+
+Each generator assembles the calibrated cohort data through the survey
+instruments and returns both the structured numbers and a rendered text
+block matching what the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cohort import (
+    CONFIDENCE_PAIRS,
+    MPI_SESSION_RATINGS_A,
+    MPI_SESSION_RATINGS_B,
+    OPENMP_SESSION_RATINGS_A,
+    OPENMP_SESSION_RATINGS_B,
+    PREPAREDNESS_PAIRS,
+)
+from .likert import CONFIDENCE, PREPAREDNESS, USEFULNESS
+from .stats import PairedTTestResult
+from .survey import PrePostItem, SessionRatings, SurveyItem
+
+__all__ = [
+    "table2",
+    "figure3",
+    "figure4",
+    "Table2",
+    "PrePostFigure",
+]
+
+
+@dataclass(frozen=True)
+class Table2:
+    """The per-session usefulness table."""
+
+    rows: tuple[tuple[str, float, float], ...]
+
+    def render(self) -> str:
+        lines = [
+            "TABLE II — How useful was each session for (A) implementing PDC",
+            "in your courses; (B) your professional development?",
+            f"{'Session':<34} {'(A)':>5} {'(B)':>5}",
+        ]
+        for session, a, b in self.rows:
+            lines.append(f"{session:<34} {a:>5.2f} {b:>5.2f}")
+        return "\n".join(lines)
+
+
+def table2() -> Table2:
+    """Regenerate Table II from the calibrated session ratings."""
+    prompt_a = "How useful was this session for implementing PDC in your courses?"
+    prompt_b = "How useful was this session for your professional development?"
+
+    openmp = SessionRatings(
+        "OpenMP on Raspberry Pi",
+        SurveyItem(prompt_a, USEFULNESS),
+        SurveyItem(prompt_b, USEFULNESS),
+    )
+    for a, b in zip(OPENMP_SESSION_RATINGS_A, OPENMP_SESSION_RATINGS_B):
+        openmp.add(a, b)
+
+    mpi = SessionRatings(
+        "MPI & Distr. Cluster Computing",
+        SurveyItem(prompt_a, USEFULNESS),
+        SurveyItem(prompt_b, USEFULNESS),
+    )
+    for a, b in zip(MPI_SESSION_RATINGS_A, MPI_SESSION_RATINGS_B):
+        mpi.add(a, b)
+
+    return Table2(rows=(openmp.row(), mpi.row()))
+
+
+@dataclass(frozen=True)
+class PrePostFigure:
+    """One pre/post histogram figure plus its paired analysis."""
+
+    title: str
+    pre_histogram: dict[str, int]
+    post_histogram: dict[str, int]
+    test: PairedTTestResult
+
+    def render(self) -> str:
+        lines = [self.title, f"{'response':<14} {'pre':>4} {'post':>5}"]
+        for label in self.pre_histogram:
+            lines.append(
+                f"{label:<14} {self.pre_histogram[label]:>4} "
+                f"{self.post_histogram[label]:>5}"
+            )
+        lines.append(self.test.summary())
+        return "\n".join(lines)
+
+
+def figure3() -> PrePostFigure:
+    """Fig. 3: confidence in implementing PDC topics, pre vs post."""
+    item = PrePostItem(
+        "Indicate your current level of confidence in implementing PDC "
+        "topics in your courses.",
+        CONFIDENCE,
+    )
+    item.add_pairs(CONFIDENCE_PAIRS)
+    pre_h, post_h = item.histograms()
+    return PrePostFigure("Figure 3 — confidence", pre_h, post_h, item.analyze())
+
+
+def figure4() -> PrePostFigure:
+    """Fig. 4: preparedness to implement PDC topics, pre vs post."""
+    item = PrePostItem(
+        "How prepared do you feel to successfully implement PDC topics in "
+        "your courses?",
+        PREPAREDNESS,
+    )
+    item.add_pairs(PREPAREDNESS_PAIRS)
+    pre_h, post_h = item.histograms()
+    return PrePostFigure("Figure 4 — preparedness", pre_h, post_h, item.analyze())

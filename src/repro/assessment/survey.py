@@ -1,0 +1,96 @@
+"""Survey instruments: items, responses, and pre/post paired designs.
+
+Models the instruments the independent evaluator (DHA) administered:
+per-session usefulness questions and common pre/post questions for the
+paired analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .likert import LikertScale
+from .stats import PairedTTestResult, paired_t_test
+
+__all__ = ["SurveyItem", "SessionRatings", "PrePostItem", "OpenEndedResponse"]
+
+
+@dataclass(frozen=True)
+class SurveyItem:
+    """One Likert question."""
+
+    prompt: str
+    scale: LikertScale
+
+    def collect(self, responses: Iterable[int]) -> list[int]:
+        """Validate a batch of responses against the item's scale."""
+        return [self.scale.validate(r) for r in responses]
+
+
+@dataclass
+class SessionRatings:
+    """Usefulness ratings for one workshop session (one Table II row).
+
+    Column (A): usefulness for implementing PDC in the respondent's courses.
+    Column (B): usefulness for their professional development.
+    """
+
+    session: str
+    item_a: SurveyItem
+    item_b: SurveyItem
+    ratings_a: list[int] = field(default_factory=list)
+    ratings_b: list[int] = field(default_factory=list)
+
+    def add(self, rating_a: int | None, rating_b: int | None) -> None:
+        """Record one participant's ratings (None = declined that column)."""
+        if rating_a is not None:
+            self.ratings_a.append(self.item_a.scale.validate(rating_a))
+        if rating_b is not None:
+            self.ratings_b.append(self.item_b.scale.validate(rating_b))
+
+    @property
+    def mean_a(self) -> float:
+        return self.item_a.scale.mean(self.ratings_a)
+
+    @property
+    def mean_b(self) -> float:
+        return self.item_b.scale.mean(self.ratings_b)
+
+    def row(self) -> tuple[str, float, float]:
+        """(session, A, B) with the paper's two-decimal rounding."""
+        return (self.session, round(self.mean_a, 2), round(self.mean_b, 2))
+
+
+@dataclass
+class PrePostItem:
+    """A common pre/post question supporting the paired analysis."""
+
+    prompt: str
+    scale: LikertScale
+    pre: list[int] = field(default_factory=list)
+    post: list[int] = field(default_factory=list)
+
+    def add_pair(self, pre_value: int, post_value: int) -> None:
+        self.pre.append(self.scale.validate(pre_value))
+        self.post.append(self.scale.validate(post_value))
+
+    def add_pairs(self, pairs: Sequence[tuple[int, int]]) -> None:
+        for a, b in pairs:
+            self.add_pair(a, b)
+
+    def analyze(self) -> PairedTTestResult:
+        """The paired Student's t-test the paper reports."""
+        return paired_t_test(self.pre, self.post)
+
+    def histograms(self) -> tuple[dict[str, int], dict[str, int]]:
+        """(pre, post) bar heights — the data behind Figs. 3 and 4."""
+        return self.scale.histogram(self.pre), self.scale.histogram(self.post)
+
+
+@dataclass(frozen=True)
+class OpenEndedResponse:
+    """A qualitative comment, tagged with the theme it evidences."""
+
+    text: str
+    theme: str

@@ -1,0 +1,245 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives instructors and students the whole toolkit without writing Python:
+
+* ``list`` — enumerate the patternlet catalog;
+* ``run <paradigm> <name>`` — run one patternlet and show its trace;
+* ``notebook [colab|chameleon]`` — execute a notebook, optionally exporting
+  the executed ``.ipynb``;
+* ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
+* ``study <exemplar> <platform>`` — print a platform scaling study;
+* ``report`` — regenerate the paper's evaluation artifacts (Tables I-II,
+  Figures 3-4, workshop findings);
+* ``mpirun -np N <script.py>`` — run a Python script SPMD on the
+  in-process runtime.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hands-on PDC teaching materials (EduPar 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list the patternlet catalog")
+    p_list.add_argument("paradigm", nargs="?", choices=("openmp", "mpi"))
+
+    p_run = sub.add_parser("run", help="run one patternlet")
+    p_run.add_argument("paradigm", choices=("openmp", "mpi"))
+    p_run.add_argument("name")
+    p_run.add_argument("--np", type=int, default=4, dest="nprocs",
+                       help="processes (mpi) / threads (openmp)")
+    p_run.add_argument("--source", action="store_true",
+                       help="print the patternlet's code listing instead")
+
+    p_nb = sub.add_parser("notebook", help="execute a teaching notebook")
+    p_nb.add_argument("which", nargs="?", default="colab",
+                      choices=("colab", "chameleon"))
+    p_nb.add_argument("--np", type=int, default=4, dest="nprocs")
+    p_nb.add_argument("--export", metavar="PATH",
+                      help="write the executed notebook as .ipynb")
+
+    p_handout = sub.add_parser("handout", help="render the Pi virtual handout")
+    p_handout.add_argument("--html", metavar="PATH",
+                           help="write HTML to PATH instead of printing text")
+    p_handout.add_argument("--section", metavar="N.M",
+                           help="render just one section (e.g. 2.3)")
+
+    p_study = sub.add_parser("study", help="platform scaling study")
+    p_study.add_argument(
+        "exemplar",
+        choices=("integration", "forestfire", "drugdesign", "heat", "sorting"),
+    )
+    p_study.add_argument("platform")
+
+    sub.add_parser("report", help="regenerate the paper's evaluation artifacts")
+
+    p_validate = sub.add_parser(
+        "validate", help="lint a teaching module's content"
+    )
+    p_validate.add_argument(
+        "module", nargs="?", default="all",
+        choices=("raspberry-pi", "distributed", "all"),
+    )
+
+    p_mpirun = sub.add_parser("mpirun", help="run a script SPMD in-process")
+    p_mpirun.add_argument("-np", "--np", type=int, default=4, dest="nprocs")
+    p_mpirun.add_argument("script")
+    p_mpirun.add_argument("args", nargs="*")
+    return parser
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .patternlets import all_patternlets
+
+    for p in all_patternlets(args.paradigm):
+        print(f"{p.paradigm:6s} {p.order:02d}  {p.name:22s} {p.pattern}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .patternlets import get_patternlet
+
+    patternlet = get_patternlet(args.paradigm, args.name)
+    if args.source:
+        print(patternlet.source)
+        return 0
+    kwargs = {"np": args.nprocs} if args.paradigm == "mpi" else {
+        "num_threads": args.nprocs
+    }
+    if args.name == "allreduceArrays":
+        kwargs = {"np_procs": args.nprocs}
+    try:
+        result = patternlet.run(**kwargs)
+    except TypeError:
+        result = patternlet.run()
+    print(result.text or "(no trace)")
+    print()
+    for key, value in result.values.items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_notebook(args: argparse.Namespace) -> int:
+    from .runestone import build_chameleon_notebook, build_mpi_colab_notebook
+
+    builder = (
+        build_mpi_colab_notebook if args.which == "colab" else build_chameleon_notebook
+    )
+    notebook = builder(np=args.nprocs)
+    results = notebook.run_all()
+    failures = 0
+    for result in results:
+        cell = notebook.cells[result.cell_index]
+        if result.kind == "markdown":
+            print(f"\n--- {cell.source.splitlines()[0]} ---")
+        elif result.ok:
+            if result.stdout:
+                print(result.stdout)
+        else:
+            failures += 1
+            print(f"[cell {result.cell_index}] ERROR: {result.error}",
+                  file=sys.stderr)
+    if args.export:
+        path = notebook.save_ipynb(args.export, results)
+        print(f"\nexecuted notebook written to {path}")
+    return 1 if failures else 0
+
+
+def _cmd_handout(args: argparse.Namespace) -> int:
+    from .runestone import (
+        build_raspberry_pi_module,
+        render_html,
+        render_section_text,
+        render_text,
+    )
+
+    module = build_raspberry_pi_module()
+    if args.html:
+        Path(args.html).write_text(render_html(module))
+        print(f"handout written to {args.html}")
+        return 0
+    if args.section:
+        print(render_section_text(module.find_section(args.section)))
+        return 0
+    print(render_text(module))
+    return 0
+
+
+def _cmd_study(args: argparse.Namespace) -> int:
+    from .core import run_exemplar_study
+
+    run = run_exemplar_study(args.exemplar, args.platform)
+    print(run.study.format_table())
+    print(f"\n{run.learner_takeaway()}")
+    return 0
+
+
+def _cmd_report(_args: argparse.Namespace) -> int:
+    from .assessment import figure3, figure4, table2
+    from .core import simulate_workshop
+    from .kits import render_table1
+
+    print(render_table1())
+    print()
+    print(table2().render())
+    print()
+    print(figure3().render())
+    print()
+    print(figure4().render())
+    print()
+    report = simulate_workshop()
+    for finding in report.headline_findings():
+        print(f"- {finding}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .runestone import (
+        build_distributed_module,
+        build_raspberry_pi_module,
+        validate_module,
+    )
+
+    builders = {
+        "raspberry-pi": [build_raspberry_pi_module],
+        "distributed": [build_distributed_module],
+        "all": [build_raspberry_pi_module, build_distributed_module],
+    }[args.module]
+    worst = 0
+    for builder in builders:
+        module = builder()
+        findings = validate_module(module, run_activities=True)
+        if findings:
+            print(f"{module.slug}: {len(findings)} finding(s)")
+            for finding in findings:
+                print(f"  {finding}")
+            if any(f.level == "error" for f in findings):
+                worst = 1
+        else:
+            print(f"{module.slug}: clean")
+    return worst
+
+
+def _cmd_mpirun(args: argparse.Namespace) -> int:
+    from .mpi import run_script
+
+    source = Path(args.script).read_text()
+    result = run_script(
+        source, args.nprocs, script_name=args.script, argv=args.args
+    )
+    print(result.stdout)
+    return 0
+
+
+_HANDLERS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "notebook": _cmd_notebook,
+    "handout": _cmd_handout,
+    "study": _cmd_study,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+    "mpirun": _cmd_mpirun,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except BrokenPipeError:  # output piped into head/less that closed early
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

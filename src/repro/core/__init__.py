@@ -1,0 +1,69 @@
+"""``repro.core`` — the paper's contribution: curriculum, sessions, workshop.
+
+* :mod:`~repro.core.curriculum` — goals, strategies, the two teaching
+  modules and the course-injection model;
+* :mod:`~repro.core.session` — deterministic simulation of a cohort
+  working a module in a 2-hour remote lab;
+* :mod:`~repro.core.workshop` — the July 2020 pilot end to end, producing
+  Table II and Figures 3-4;
+* :mod:`~repro.core.delivery` — platform selection and exemplar scaling
+  studies for the distributed module's second hour.
+"""
+
+from .agenda import (
+    AgendaItem,
+    DiscussionOutcome,
+    Facilitation,
+    SessionKind,
+    WorkshopAgenda,
+    build_2020_agenda,
+    simulate_discussion,
+)
+from .curriculum import (
+    GOALS,
+    INJECTION_POINTS,
+    STRATEGIES,
+    CourseInjection,
+    Goal,
+    Strategy,
+    TeachingModule,
+    distributed_memory_module,
+    shared_memory_module,
+)
+from .delivery import (
+    ExemplarRun,
+    available_platforms,
+    plan_scaling_run,
+    run_exemplar_study,
+)
+from .session import SessionConfig, SessionOutcome, run_lab_session
+from .workshop import VncIncident, WorkshopReport, simulate_workshop
+
+__all__ = [
+    "Goal",
+    "Strategy",
+    "GOALS",
+    "STRATEGIES",
+    "TeachingModule",
+    "shared_memory_module",
+    "distributed_memory_module",
+    "CourseInjection",
+    "INJECTION_POINTS",
+    "SessionConfig",
+    "SessionOutcome",
+    "run_lab_session",
+    "WorkshopReport",
+    "VncIncident",
+    "simulate_workshop",
+    "WorkshopAgenda",
+    "AgendaItem",
+    "SessionKind",
+    "build_2020_agenda",
+    "Facilitation",
+    "DiscussionOutcome",
+    "simulate_discussion",
+    "ExemplarRun",
+    "available_platforms",
+    "plan_scaling_run",
+    "run_exemplar_study",
+]

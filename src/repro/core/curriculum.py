@@ -1,0 +1,166 @@
+"""The curriculum model: goals, strategies, and the two teaching modules.
+
+This is the paper's primary contribution expressed as data + behaviour:
+three goals (Section I), three strategies (Section V), and two 2-hour
+modules, each binding a delivery vehicle (Runestone handout / Colab
+notebook), a paradigm's patternlets, exemplars, and the platforms that can
+host the hands-on work.  The injection model captures the "inject PDC into
+existing core courses" approach the introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..patternlets import all_patternlets
+from ..platforms.machine import PLATFORMS
+
+__all__ = [
+    "Goal",
+    "Strategy",
+    "GOALS",
+    "STRATEGIES",
+    "TeachingModule",
+    "shared_memory_module",
+    "distributed_memory_module",
+    "CourseInjection",
+    "INJECTION_POINTS",
+]
+
+
+@dataclass(frozen=True)
+class Goal:
+    """One of the paper's three high-level goals."""
+
+    number: int
+    text: str
+
+
+GOALS: tuple[Goal, ...] = (
+    Goal(1, "Provide effective conceptual and hands-on learning about "
+            "multicore parallel computing."),
+    Goal(2, "Provide effective conceptual and hands-on learning about "
+            "distributed parallel computing."),
+    Goal(3, "Identify what types of educational PDC experiences are "
+            "especially useful to learners."),
+)
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """One of the paper's three concluding strategies, tied to its goal."""
+
+    number: int
+    text: str
+    achieves_goal: int
+
+
+STRATEGIES: tuple[Strategy, ...] = (
+    Strategy(1, "Learners can learn multicore computing concepts effectively "
+                "in a remote environment by using a Raspberry Pi and our "
+                "standalone virtual module.", achieves_goal=1),
+    Strategy(2, "Remote learners can learn distributed computing concepts by "
+                "using Google Colab and the mpi4py version of the MPI "
+                "patternlets, then a remote cluster for speedup.",
+             achieves_goal=2),
+    Strategy(3, "Remote learners will enjoy highly interactive materials that "
+                "they can work through at their own pace.", achieves_goal=3),
+)
+
+
+@dataclass(frozen=True)
+class TeachingModule:
+    """One of the two 2-hour modules, with everything it depends on."""
+
+    slug: str
+    title: str
+    paradigm: str  # "openmp" | "mpi"
+    delivery: str  # "runestone" | "colab+jupyter"
+    platform_keys: tuple[str, ...]
+    exemplars: tuple[str, ...]
+    goal: int
+    requires_kit: bool = False
+    requires_google_account: bool = False
+    requires_cluster_access: bool = False
+
+    def patternlets(self):
+        """The module's patternlet sequence, in handout order."""
+        return all_patternlets(self.paradigm)
+
+    def platforms(self):
+        return [PLATFORMS[k] for k in self.platform_keys]
+
+    def requirements(self) -> list[str]:
+        """What an instructor must arrange before teaching this module."""
+        needs = []
+        if self.requires_kit:
+            needs.append("mail (or have learners buy) a Raspberry Pi kit")
+        if self.requires_google_account:
+            needs.append("each learner needs a free Google account")
+        if self.requires_cluster_access:
+            needs.append("arrange Chameleon allocation or a departmental server")
+        return needs
+
+
+def shared_memory_module() -> TeachingModule:
+    """Module 1: OpenMP on the Raspberry Pi via the Runestone handout."""
+    return TeachingModule(
+        slug="shared-memory",
+        title="Multicore computing with OpenMP on the Raspberry Pi",
+        paradigm="openmp",
+        delivery="runestone",
+        platform_keys=("raspberry-pi-4", "raspberry-pi-3b"),
+        exemplars=("integration", "drugdesign"),
+        goal=1,
+        requires_kit=True,
+    )
+
+
+def distributed_memory_module() -> TeachingModule:
+    """Module 2: MPI patternlets in Colab, exemplars on a cluster/large VM."""
+    return TeachingModule(
+        slug="distributed-memory",
+        title="Distributed computing with mpi4py: Colab + remote cluster",
+        paradigm="mpi",
+        delivery="colab+jupyter",
+        platform_keys=("colab", "chameleon-cluster", "stolaf-vm"),
+        exemplars=("forestfire", "drugdesign"),
+        goal=2,
+        requires_google_account=True,
+        requires_cluster_access=True,
+    )
+
+
+@dataclass(frozen=True)
+class CourseInjection:
+    """Where a PDC topic slots into an existing core course."""
+
+    course: str
+    topic: str
+    module_slug: str
+    patternlets: tuple[str, ...]
+
+
+#: The introduction's injection examples, mapped onto our modules.
+INJECTION_POINTS: tuple[CourseInjection, ...] = (
+    CourseInjection(
+        "CS1/CS2", "parallel loops and speedup",
+        "shared-memory", ("spmd", "forEqualChunks", "reduction"),
+    ),
+    CourseInjection(
+        "Computer Organization", "multicore architecture and threads",
+        "shared-memory", ("spmd", "race", "critical", "atomic"),
+    ),
+    CourseInjection(
+        "Algorithms", "parallel decomposition and reductions",
+        "shared-memory", ("forEqualChunks", "forChunksOf1", "reduction"),
+    ),
+    CourseInjection(
+        "Programming Languages", "message-passing primitives",
+        "distributed-memory", ("sendReceive", "messagePassingRing", "messageTags"),
+    ),
+    CourseInjection(
+        "Systems/Networks", "distributed coordination",
+        "distributed-memory", ("masterWorker", "broadcast", "reduce"),
+    ),
+)

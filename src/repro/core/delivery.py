@@ -1,0 +1,99 @@
+"""Remote-delivery orchestration: pick a platform, run an exemplar, measure.
+
+The distributed module's second hour gives each learner a *choice* of
+platform (Chameleon-backed Jupyter or the St. Olaf VM).  This module
+implements that flow for the reproduction: resolve a platform key, cost
+the chosen exemplar's workload across process counts with the platform's
+model, and return the scaling study the learner would plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exemplars.drugdesign import drugdesign_workload
+from ..exemplars.forestfire import forestfire_workload
+from ..exemplars.heat import heat_workload
+from ..exemplars.integration import integration_workload
+from ..exemplars.sorting import sorting_workload
+from ..platforms.machine import PLATFORMS, Cluster, Machine
+from ..platforms.simclock import CostModel, Workload
+from ..platforms.speedup import ScalingStudy
+
+__all__ = ["ExemplarRun", "available_platforms", "plan_scaling_run", "run_exemplar_study"]
+
+#: Named workload factories the delivery layer understands.
+_WORKLOADS = {
+    "integration": lambda scale: integration_workload(n=int(5e7 * scale)),
+    "drugdesign": lambda scale: drugdesign_workload(num_ligands=int(60_000 * scale)),
+    "forestfire": lambda scale: forestfire_workload(size=100, trials=int(128 * scale)),
+    "heat": lambda scale: heat_workload(n=int(4e5 * scale), steps=int(500 * scale)),
+    "sorting": lambda scale: sorting_workload(n=int(1e6 * scale)),
+}
+
+#: Default process counts for a scaling study on each platform family.
+_DEFAULT_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class ExemplarRun:
+    """A completed platform study."""
+
+    exemplar: str
+    platform_key: str
+    study: ScalingStudy
+
+    def learner_takeaway(self) -> str:
+        """The observation the module wants the learner to make."""
+        if not self.study.shows_speedup():
+            return (
+                f"{self.study.platform} shows no speedup — with a single core, "
+                "more processes only add overhead (but the message-passing "
+                "concepts still work)."
+            )
+        return (
+            f"{self.study.platform} reaches {self.study.max_speedup:.1f}x "
+            f"speedup on {self.exemplar} — real parallel scalability."
+        )
+
+
+def available_platforms() -> dict[str, Machine | Cluster]:
+    """Platform choices the module can offer."""
+    return dict(PLATFORMS)
+
+
+def plan_scaling_run(
+    platform_key: str, max_procs: int | None = None
+) -> list[int]:
+    """Sensible process counts for a platform (never past 2x its cores)."""
+    platform = PLATFORMS[platform_key]
+    ceiling = max_procs if max_procs is not None else 2 * platform.cores
+    counts = [p for p in _DEFAULT_COUNTS if p <= ceiling]
+    return counts or [1]
+
+
+def run_exemplar_study(
+    exemplar: str,
+    platform_key: str,
+    scale: float = 1.0,
+    proc_counts: list[int] | None = None,
+) -> ExemplarRun:
+    """Cost one exemplar on one platform across process counts."""
+    try:
+        workload_factory = _WORKLOADS[exemplar]
+    except KeyError:
+        raise KeyError(
+            f"unknown exemplar {exemplar!r}; choose from {sorted(_WORKLOADS)}"
+        ) from None
+    try:
+        platform = PLATFORMS[platform_key]
+    except KeyError:
+        raise KeyError(
+            f"unknown platform {platform_key!r}; choose from {sorted(PLATFORMS)}"
+        ) from None
+    workload: Workload = workload_factory(scale)
+    counts = proc_counts or plan_scaling_run(platform_key)
+    model = CostModel(platform)
+    times = [model.time(workload, p).total_s for p in counts]
+    study = ScalingStudy(model.name, workload.name, counts, times)
+    return ExemplarRun(exemplar=exemplar, platform_key=platform_key, study=study)

@@ -1,0 +1,172 @@
+"""Lab-session simulation: a cohort working through a module, self-paced.
+
+Models the remote 2-hour session: each learner progresses through the
+handout's sections, attempts the interactive questions, and may hit
+technical difficulties during setup.  The setup-video coverage model
+implements the paper's finding that the walkthrough videos (plus the
+flexible image and the kit) eliminated technical issues: an issue only
+*persists* if no setup video covers it.
+
+Deterministic for a given seed, so the workshop simulation and the tests
+can assert exact outcomes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..runestone.content import Video
+from ..runestone.module import Module
+from ..runestone.progress import Gradebook
+from ..runestone.questions import (
+    DragAndDrop,
+    FillInTheBlank,
+    MultipleChoice,
+    OrderingProblem,
+)
+
+__all__ = ["SessionConfig", "SessionOutcome", "run_lab_session"]
+
+#: Baseline probability a remote learner hits each class of setup issue.
+SETUP_ISSUE_KINDS = (
+    "bad-flash",
+    "no-boot",
+    "hdmi-config",
+    "vnc-setup",
+    "network-config",
+    "firewall",
+    "missing-parts",
+    "case-assembly",
+)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Tunable parameters of the simulated session.
+
+    ``issue_kinds`` names the classes of setup problem this module's
+    learners can hit; the Raspberry Pi hardware kinds are the default.
+    Modules whose failure modes are modeled elsewhere (e.g. the distributed
+    session's VNC-firewall incident) pass an empty tuple.
+    """
+
+    seed: int = 2020
+    setup_issue_rate: float = 0.18  # chance per issue kind per learner
+    first_try_correct_rate: float = 0.72
+    give_up_after_attempts: int = 3
+    pace_jitter: float = 0.2  # +-20% per-section time variation
+    issue_kinds: tuple[str, ...] = SETUP_ISSUE_KINDS
+
+
+@dataclass
+class SessionOutcome:
+    """What the instructor sees after the session."""
+
+    module_slug: str
+    gradebook: Gradebook
+    persistent_issues: dict[str, list[str]]  # learner -> unresolved issue kinds
+    resolved_by_videos: int
+    mean_minutes: float
+
+    @property
+    def learners_with_issues(self) -> int:
+        return sum(1 for issues in self.persistent_issues.values() if issues)
+
+    @property
+    def completion_rate(self) -> float:
+        return self.gradebook.completion_rate()
+
+
+def _video_coverage(module: Module) -> set[str]:
+    """The set of issue kinds some setup video walks learners through."""
+    covered: set[str] = set()
+    for section in module.all_sections():
+        for block in section.blocks:
+            if isinstance(block, Video):
+                covered.update(block.covers_issues)
+    return covered
+
+
+def _plausible_wrong_answer(question, rng: random.Random):
+    if isinstance(question, MultipleChoice):
+        wrong = [c.label for c in question.choices if c.label != question.correct_label]
+        return rng.choice(wrong)
+    if isinstance(question, FillInTheBlank):
+        if question.numeric_answer is not None:
+            return question.numeric_answer + question.tolerance + 1.0
+        return "???"
+    if isinstance(question, DragAndDrop):
+        terms = [t for t, _d in question.pairs]
+        defs = [d for _t, d in question.pairs]
+        shuffled = defs[1:] + defs[:1]  # guaranteed off-by-one rotation
+        return dict(zip(terms, shuffled))
+    if isinstance(question, OrderingProblem):
+        return tuple(reversed(question.steps))
+    return None
+
+
+def _correct_answer(question):
+    if isinstance(question, MultipleChoice):
+        return question.correct_label
+    if isinstance(question, FillInTheBlank):
+        if question.numeric_answer is not None:
+            return question.numeric_answer
+        raise ValueError(
+            f"{question.activity_id}: pattern-matched blanks need a sample answer"
+        )
+    if isinstance(question, DragAndDrop):
+        return dict(question.pairs)
+    if isinstance(question, OrderingProblem):
+        return list(question.steps)
+    raise TypeError(f"unsupported question type {type(question).__name__}")
+
+
+def run_lab_session(
+    module: Module,
+    learners: list[str],
+    config: SessionConfig = SessionConfig(),
+) -> SessionOutcome:
+    """Simulate the cohort working through the module."""
+    rng = random.Random(config.seed)
+    gradebook = Gradebook(module)
+    covered = _video_coverage(module)
+    persistent: dict[str, list[str]] = {}
+    resolved = 0
+
+    for learner in learners:
+        progress = gradebook.enroll(learner)
+        # --- setup phase -------------------------------------------------------
+        unresolved = []
+        for kind in config.issue_kinds:
+            if rng.random() < config.setup_issue_rate:
+                if kind in covered:
+                    resolved += 1  # the video walks them through the fix
+                else:
+                    unresolved.append(kind)
+        persistent[learner] = unresolved
+        # --- working through the handout --------------------------------------
+        for section in module.all_sections():
+            jitter = 1.0 + rng.uniform(-config.pace_jitter, config.pace_jitter)
+            progress.complete_section(section.number, minutes=section.minutes * jitter)
+            for question in section.questions:
+                for attempt in range(config.give_up_after_attempts):
+                    if rng.random() < config.first_try_correct_rate or (
+                        attempt == config.give_up_after_attempts - 1
+                    ):
+                        progress.submit(
+                            question.activity_id, _correct_answer(question)
+                        )
+                        break
+                    progress.submit(
+                        question.activity_id,
+                        _plausible_wrong_answer(question, rng),
+                    )
+
+    return SessionOutcome(
+        module_slug=module.slug,
+        gradebook=gradebook,
+        persistent_issues=persistent,
+        resolved_by_videos=resolved,
+        mean_minutes=gradebook.mean_minutes(),
+    )

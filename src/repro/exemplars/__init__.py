@@ -1,0 +1,87 @@
+"""``repro.exemplars`` — the three exemplar applications of the modules.
+
+* :mod:`~repro.exemplars.integration` — numerical integration (shared-
+  memory module, first exemplar; also used in MPI form),
+* :mod:`~repro.exemplars.drugdesign` — drug design by ligand-protein LCS
+  scoring (both modules; motivates dynamic scheduling / master-worker),
+* :mod:`~repro.exemplars.forestfire` — probabilistic forest-fire Monte
+  Carlo sweep (distributed module's headline exemplar).
+
+Each exemplar ships a sequential baseline, an OpenMP-style threaded
+version, an MPI version, and a cost-model workload descriptor for the
+platform scaling benches.
+"""
+
+from .drugdesign import (
+    DEFAULT_PROTEIN,
+    DrugDesignResult,
+    drugdesign_workload,
+    generate_ligands,
+    lcs_length,
+    run_mpi_master_worker,
+    run_omp,
+    run_seq,
+    score_ligand,
+)
+from .forestfire import (
+    DEFAULT_PROBS,
+    FireCurve,
+    FirePoint,
+    burn_once,
+    fire_curve_mpi,
+    fire_curve_omp,
+    fire_curve_seq,
+    forestfire_workload,
+)
+from .heat import heat_mpi, heat_omp, heat_seq, heat_workload, initial_rod
+from .sorting import (
+    merge,
+    merge_sort_seq,
+    merge_sort_tasks,
+    odd_even_sort_mpi,
+    sorting_workload,
+)
+from .integration import (
+    integrate_mpi,
+    integrate_numpy,
+    integrate_omp,
+    integrate_seq,
+    integration_workload,
+    quarter_circle,
+)
+
+__all__ = [
+    "quarter_circle",
+    "integrate_seq",
+    "integrate_numpy",
+    "integrate_omp",
+    "integrate_mpi",
+    "integration_workload",
+    "DEFAULT_PROTEIN",
+    "generate_ligands",
+    "lcs_length",
+    "score_ligand",
+    "DrugDesignResult",
+    "run_seq",
+    "run_omp",
+    "run_mpi_master_worker",
+    "drugdesign_workload",
+    "DEFAULT_PROBS",
+    "FirePoint",
+    "FireCurve",
+    "burn_once",
+    "fire_curve_seq",
+    "fire_curve_omp",
+    "fire_curve_mpi",
+    "forestfire_workload",
+    "merge",
+    "merge_sort_seq",
+    "merge_sort_tasks",
+    "odd_even_sort_mpi",
+    "sorting_workload",
+    "initial_rod",
+    "heat_seq",
+    "heat_omp",
+    "heat_mpi",
+    "heat_workload",
+]

@@ -1,0 +1,129 @@
+"""Numerical-integration exemplar (trapezoidal rule).
+
+This is the first of the two OpenMP exemplars closing the shared-memory
+module: estimate pi by integrating ``f(x) = sqrt(4 - x^2)`` over ``[0, 2]``
+(a quarter circle of radius 2, area pi) with the composite trapezoidal
+rule, then parallelize the sum three ways — OpenMP-style threads, MPI
+block decomposition, and vectorized NumPy — and run the benchmarking
+study the handout's last half hour asks for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..mpi import mpirun
+from ..openmp import parallel_for
+from ..platforms.simclock import Workload
+
+__all__ = [
+    "quarter_circle",
+    "integrate_seq",
+    "integrate_numpy",
+    "integrate_omp",
+    "integrate_mpi",
+    "integration_workload",
+]
+
+
+def quarter_circle(x: float) -> float:
+    """The handout's integrand: ``sqrt(4 - x^2)``; its integral on [0,2] is pi."""
+    return math.sqrt(max(0.0, 4.0 - x * x))
+
+
+def integrate_seq(
+    f: Callable[[float], float], a: float, b: float, n: int
+) -> float:
+    """Composite trapezoidal rule with ``n`` trapezoids (the C exemplar's loop)."""
+    if n < 1:
+        raise ValueError(f"need at least one trapezoid, got {n}")
+    if b < a:
+        raise ValueError(f"invalid interval [{a}, {b}]")
+    h = (b - a) / n
+    total = 0.5 * (f(a) + f(b))
+    for i in range(1, n):
+        total += f(a + i * h)
+    return total * h
+
+
+def integrate_numpy(
+    f: Callable[[np.ndarray], np.ndarray] | None, a: float, b: float, n: int
+) -> float:
+    """Vectorized trapezoid — the "fast serial baseline" the guides push for.
+
+    ``f`` must accept an ndarray; ``None`` selects the quarter-circle.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one trapezoid, got {n}")
+    x = np.linspace(a, b, n + 1)
+    y = np.sqrt(np.maximum(0.0, 4.0 - x * x)) if f is None else f(x)
+    return float(np.trapezoid(y, x))
+
+
+def integrate_omp(
+    n: int,
+    num_threads: int = 4,
+    a: float = 0.0,
+    b: float = 2.0,
+    schedule: str = "static",
+    f: Callable[[float], float] = quarter_circle,
+) -> float:
+    """Thread-parallel trapezoid: ``parallel for reduction(+: sum)``."""
+    if n < 1:
+        raise ValueError(f"need at least one trapezoid, got {n}")
+    h = (b - a) / n
+
+    def term(i: int) -> float:
+        # Interior points count once, endpoints half; fold the halves in by
+        # summing midpoint-weighted interior terms and adding ends after.
+        return f(a + (i + 1) * h)
+
+    interior = parallel_for(
+        n - 1, term, num_threads=num_threads, schedule=schedule, reduction="+"
+    )
+    return (interior + 0.5 * (f(a) + f(b))) * h
+
+
+def integrate_mpi(
+    n: int,
+    np_procs: int = 4,
+    a: float = 0.0,
+    b: float = 2.0,
+    f: Callable[[float], float] = quarter_circle,
+) -> float:
+    """MPI block decomposition + reduce — the distributed-module exemplar."""
+    if n < 1:
+        raise ValueError(f"need at least one trapezoid, got {n}")
+
+    def body(comm) -> float | None:
+        rank, size = comm.Get_rank(), comm.Get_size()
+        h = (b - a) / n
+        base, extra = divmod(n - 1, size)
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        local = sum(f(a + (i + 1) * h) for i in range(lo, hi))
+        total = comm.reduce(local, root=0)
+        if rank == 0:
+            return (total + 0.5 * (f(a) + f(b))) * h
+        return None
+
+    return mpirun(body, np_procs)[0]
+
+
+def integration_workload(n: int) -> Workload:
+    """Cost-model description of the trapezoid job for the platform benches.
+
+    One trapezoid is ~40 abstract ops (sqrt + mul/add chain); the job is
+    almost perfectly parallel (tiny serial setup) with a reduce at the end.
+    """
+    return Workload(
+        name=f"integration(n={n})",
+        total_ops=40.0 * n,
+        serial_fraction=0.001,
+        messages=lambda p: 2.0 * (p - 1),
+        message_bytes=lambda p: 8.0 * 2 * (p - 1),
+        imbalance=0.0,
+    )

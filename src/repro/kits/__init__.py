@@ -1,0 +1,40 @@
+"""``repro.kits`` — the mailed Raspberry Pi kit: parts, cost, image, logistics.
+
+Regenerates Table I (:func:`render_table1`) and models the system image and
+the assembly/mailing workflow of Sections III-A and IV-A.
+"""
+
+from .image import (
+    CSIP_IMAGE,
+    SUPPORTED_MODELS,
+    UNSUPPORTED_MODELS,
+    FlashedCard,
+    MicroSDCard,
+    PiModel,
+    SystemImage,
+    flash,
+)
+from .inventory import AssembledKit, KitBuildPlan, KitInventory, KitStatus
+from .kit import KitSpec, render_table1, standard_pi_kit
+from .parts import CATALOG, TABLE1_PART_SKUS, Part
+
+__all__ = [
+    "Part",
+    "CATALOG",
+    "TABLE1_PART_SKUS",
+    "KitSpec",
+    "standard_pi_kit",
+    "render_table1",
+    "PiModel",
+    "SystemImage",
+    "MicroSDCard",
+    "FlashedCard",
+    "flash",
+    "CSIP_IMAGE",
+    "SUPPORTED_MODELS",
+    "UNSUPPORTED_MODELS",
+    "KitInventory",
+    "KitBuildPlan",
+    "AssembledKit",
+    "KitStatus",
+]

@@ -1,0 +1,118 @@
+"""The custom Raspberry Pi system image and microSD flashing model.
+
+The paper's image ([45], ``csip-image-3.0.2``) ships the OpenMP code
+examples and "was tested and confirmed to work on all Raspberry Pi models
+from the 3B onward"; it is kept current with Ansible.  This module models
+that artifact: versioned contents, a hardware-compatibility check, and
+the flash-to-card step the setup videos walk learners through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PiModel",
+    "SystemImage",
+    "MicroSDCard",
+    "FlashedCard",
+    "CSIP_IMAGE",
+    "SUPPORTED_MODELS",
+    "UNSUPPORTED_MODELS",
+]
+
+
+@dataclass(frozen=True)
+class PiModel:
+    """A Raspberry Pi hardware revision."""
+
+    name: str
+    generation: float  # 3.0 for 3B, 3.1 for 3B+, 4.0 for 4
+    cores: int
+    ram_mb: int
+
+
+#: Models from the 3B onward — the image's supported set.
+SUPPORTED_MODELS: tuple[PiModel, ...] = (
+    PiModel("Raspberry Pi 3B", 3.0, 4, 1024),
+    PiModel("Raspberry Pi 3B+", 3.1, 4, 1024),
+    PiModel("Raspberry Pi 4 (2GB)", 4.0, 4, 2048),
+    PiModel("Raspberry Pi 4 (4GB)", 4.0, 4, 4096),
+    PiModel("Raspberry Pi 4 (8GB)", 4.0, 4, 8192),
+)
+
+#: Pre-3B hardware the image does not target.
+UNSUPPORTED_MODELS: tuple[PiModel, ...] = (
+    PiModel("Raspberry Pi 1B", 1.0, 1, 512),
+    PiModel("Raspberry Pi 2B", 2.0, 4, 1024),
+    PiModel("Raspberry Pi Zero", 1.5, 1, 512),
+)
+
+
+@dataclass(frozen=True)
+class SystemImage:
+    """A versioned, flashable system image."""
+
+    name: str
+    version: str
+    size_mb: int
+    min_generation: float
+    url: str
+    contents: tuple[str, ...] = ()
+    maintained_with: str = "ansible"
+
+    def supports(self, model: PiModel) -> bool:
+        """Hardware-compatibility check ("all models from the 3B onward")."""
+        return model.generation >= self.min_generation
+
+    def includes(self, item: str) -> bool:
+        return item in self.contents
+
+
+@dataclass
+class MicroSDCard:
+    """A blank (or re-flashable) microSD card."""
+
+    capacity_mb: int
+
+    def __post_init__(self) -> None:
+        if self.capacity_mb <= 0:
+            raise ValueError("card capacity must be positive")
+
+
+@dataclass(frozen=True)
+class FlashedCard:
+    """A card carrying a specific image version."""
+
+    capacity_mb: int
+    image: SystemImage
+
+    def boots_on(self, model: PiModel) -> bool:
+        return self.image.supports(model)
+
+
+def flash(card: MicroSDCard, image: SystemImage) -> FlashedCard:
+    """Burn the image onto the card ("learners just burn the image...")."""
+    if image.size_mb > card.capacity_mb:
+        raise ValueError(
+            f"image {image.name} ({image.size_mb} MB) does not fit on a "
+            f"{card.capacity_mb} MB card"
+        )
+    return FlashedCard(capacity_mb=card.capacity_mb, image=image)
+
+
+#: The image the kits ship: CSinParallel image 3.0.2 on a 16 GB card.
+CSIP_IMAGE = SystemImage(
+    name="csip-image",
+    version="3.0.2",
+    size_mb=7200,
+    min_generation=3.0,
+    url="http://csinparallel.cs.stolaf.edu/2020-06-18-csip-image-3.0.2.zip",
+    contents=(
+        "openmp-patternlets",
+        "numerical-integration-exemplar",
+        "drug-design-exemplar",
+        "gcc-with-openmp",
+        "setup-scripts",
+    ),
+)

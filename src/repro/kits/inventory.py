@@ -1,0 +1,120 @@
+"""Kit assembly and mailing logistics.
+
+Models the workflow in Sections III-A and IV-A: purchase parts (in bulk
+where quantity breaks apply), flash cards with the current image, assemble
+kits, and mail them to remote participants ahead of the workshop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .image import CSIP_IMAGE, FlashedCard, MicroSDCard, SystemImage, flash
+from .kit import KitSpec, standard_pi_kit
+
+__all__ = ["KitStatus", "AssembledKit", "KitBuildPlan", "KitInventory"]
+
+
+class KitStatus(str, Enum):
+    ASSEMBLED = "assembled"
+    MAILED = "mailed"
+    DELIVERED = "delivered"
+    RETURNED = "returned"
+
+
+@dataclass
+class AssembledKit:
+    """One physical kit, tracked from bench to mailbox."""
+
+    serial: int
+    spec_name: str
+    card: FlashedCard
+    status: KitStatus = KitStatus.ASSEMBLED
+    recipient: str | None = None
+
+    def mail_to(self, recipient: str) -> None:
+        if self.status is not KitStatus.ASSEMBLED:
+            raise ValueError(f"kit {self.serial} already {self.status.value}")
+        self.recipient = recipient
+        self.status = KitStatus.MAILED
+
+    def mark_delivered(self) -> None:
+        if self.status is not KitStatus.MAILED:
+            raise ValueError(f"kit {self.serial} is {self.status.value}, not mailed")
+        self.status = KitStatus.DELIVERED
+
+
+@dataclass(frozen=True)
+class KitBuildPlan:
+    """Procurement summary for building ``quantity`` kits."""
+
+    quantity: int
+    per_kit_bulk: float
+    per_kit_list: float
+    total_bulk: float
+    total_list: float
+
+    @property
+    def bulk_savings(self) -> float:
+        return round(self.total_list - self.total_bulk, 2)
+
+
+class KitInventory:
+    """Builds, tracks, and mails kits for one workshop offering."""
+
+    def __init__(
+        self, spec: KitSpec | None = None, image: SystemImage = CSIP_IMAGE
+    ) -> None:
+        self.spec = spec or standard_pi_kit()
+        self.image = image
+        self.kits: list[AssembledKit] = []
+
+    def plan(self, quantity: int) -> KitBuildPlan:
+        """Cost the build with and without quantity breaks.
+
+        Bulk pricing engages per part when the order quantity crosses its
+        break — this is how the authors hit ~$100/kit.
+        """
+        if quantity < 1:
+            raise ValueError("must plan at least one kit")
+        per_bulk = 0.0
+        per_list = 0.0
+        for part, qty in self.spec.items:
+            per_bulk += part.price_at(quantity) * qty
+            per_list += part.price_at(1) * qty
+        return KitBuildPlan(
+            quantity=quantity,
+            per_kit_bulk=round(per_bulk, 2),
+            per_kit_list=round(per_list, 2),
+            total_bulk=round(per_bulk * quantity, 2),
+            total_list=round(per_list * quantity, 2),
+        )
+
+    def assemble(self, quantity: int, card_capacity_mb: int = 16_000) -> list[AssembledKit]:
+        """Flash cards and assemble kits; returns the new kits."""
+        new: list[AssembledKit] = []
+        for _ in range(quantity):
+            card = flash(MicroSDCard(card_capacity_mb), self.image)
+            kit = AssembledKit(
+                serial=len(self.kits) + 1, spec_name=self.spec.name, card=card
+            )
+            self.kits.append(kit)
+            new.append(kit)
+        return new
+
+    def mail_all(self, recipients: list[str]) -> None:
+        """Mail one assembled kit to each recipient."""
+        ready = [k for k in self.kits if k.status is KitStatus.ASSEMBLED]
+        if len(ready) < len(recipients):
+            raise ValueError(
+                f"only {len(ready)} kits assembled for {len(recipients)} recipients"
+            )
+        for kit, who in zip(ready, recipients):
+            kit.mail_to(who)
+
+    def status_counts(self) -> dict[KitStatus, int]:
+        counts = {status: 0 for status in KitStatus}
+        for kit in self.kits:
+            counts[kit.status] += 1
+        return counts

@@ -1,0 +1,68 @@
+"""Kit composition and cost (regenerates Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .parts import CATALOG, TABLE1_PART_SKUS, Part
+
+__all__ = ["KitSpec", "standard_pi_kit", "render_table1"]
+
+
+@dataclass
+class KitSpec:
+    """A bill of materials for one mailable kit."""
+
+    name: str
+    items: list[tuple[Part, int]] = field(default_factory=list)
+
+    def add(self, part: Part, quantity: int = 1) -> "KitSpec":
+        if quantity < 1:
+            raise ValueError("quantity must be at least 1")
+        self.items.append((part, quantity))
+        return self
+
+    def cost(self, bulk: bool = True) -> float:
+        """Total kit cost; ``bulk=False`` prices every part at list.
+
+        The bulk price is the paper's quoted per-part cost (Table I).
+        """
+        total = 0.0
+        for part, qty in self.items:
+            price = part.unit_price if bulk else part.price_at(1)
+            total += price * qty
+        return round(total, 2)
+
+    def rows(self, bulk: bool = True) -> list[tuple[str, float]]:
+        """(part name, extended cost) rows in bill-of-materials order."""
+        return [
+            (
+                part.name,
+                round((part.unit_price if bulk else part.price_at(1)) * qty, 2),
+            )
+            for part, qty in self.items
+        ]
+
+    def part_count(self) -> int:
+        return sum(qty for _p, qty in self.items)
+
+
+def standard_pi_kit() -> KitSpec:
+    """The exact Table I kit: CanaKit, dongles, cable, microSD, and case."""
+    kit = KitSpec("Mailed Raspberry Pi kit")
+    for sku in TABLE1_PART_SKUS:
+        kit.add(CATALOG[sku], 1)
+    return kit
+
+
+def render_table1(kit: KitSpec | None = None) -> str:
+    """Render the kit's bill of materials the way Table I prints it."""
+    kit = kit or standard_pi_kit()
+    lines = [
+        "TABLE I — APPROXIMATE COST BREAKDOWN OF MAILED RASPBERRY PI KIT",
+        f"{'Part':<34} {'Cost':>8}",
+    ]
+    for name, cost in kit.rows():
+        lines.append(f"{name:<34} ${cost:>7.2f}")
+    lines.append(f"{'Total Kit Cost':<34} ${kit.cost():>7.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Parts catalog for the mailed Raspberry Pi kits (Table I).
+
+Prices are the paper's quoted unit costs, achievable "because several of
+these materials can be bought in bulk" — the catalog therefore carries
+optional quantity-break pricing used by the inventory planner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Part", "CATALOG", "TABLE1_PART_SKUS"]
+
+
+@dataclass(frozen=True)
+class Part:
+    """One purchasable component.
+
+    ``bulk_breaks`` maps minimum quantity -> per-unit price at or above
+    that quantity.  The Table I prices are already the bulk-achieved ones;
+    ``list_price`` records the single-unit street price for the cost-
+    sensitivity exercise.
+    """
+
+    sku: str
+    name: str
+    unit_price: float
+    list_price: float | None = None
+    bulk_breaks: dict[int, float] = field(default_factory=dict)
+    category: str = "component"
+
+    def __post_init__(self) -> None:
+        if self.unit_price < 0:
+            raise ValueError(f"{self.sku}: price cannot be negative")
+        for qty, price in self.bulk_breaks.items():
+            if qty < 1 or price < 0:
+                raise ValueError(f"{self.sku}: invalid bulk break {qty} -> {price}")
+
+    def price_at(self, quantity: int) -> float:
+        """Per-unit price when buying ``quantity`` at once."""
+        if quantity < 1:
+            raise ValueError("quantity must be at least 1")
+        best = self.list_price if self.list_price is not None else self.unit_price
+        for qty, price in sorted(self.bulk_breaks.items()):
+            if quantity >= qty:
+                best = price
+        return best
+
+
+#: Table I parts, with the paper's exact prices as the bulk-achieved cost.
+CATALOG: dict[str, Part] = {
+    part.sku: part
+    for part in (
+        Part(
+            "canakit-pi4-2g",
+            "CanaKit with 2G Raspberry Pi",
+            unit_price=62.99,
+            list_price=62.99,  # CanaKit held its price; no bulk break
+            category="computer",
+        ),
+        Part(
+            "eth-usb-a",
+            "Ethernet-USB A dongle",
+            unit_price=15.95,
+            list_price=18.99,
+            bulk_breaks={10: 15.95},
+            category="networking",
+        ),
+        Part(
+            "usb-a-c",
+            "USB A-C dongle",
+            unit_price=3.99,
+            list_price=6.99,
+            bulk_breaks={10: 3.99},
+            category="networking",
+        ),
+        Part(
+            "eth-cable",
+            "Ethernet cable",
+            unit_price=1.55,
+            list_price=4.49,
+            bulk_breaks={10: 1.55},
+            category="networking",
+        ),
+        Part(
+            "microsd-16g",
+            "16G MicroSD",
+            unit_price=5.41,
+            list_price=7.99,
+            bulk_breaks={10: 5.41},
+            category="storage",
+        ),
+        Part(
+            "kit-case",
+            "Kit case",
+            unit_price=10.77,
+            list_price=12.99,
+            bulk_breaks={10: 10.77},
+            category="packaging",
+        ),
+    )
+}
+
+#: The SKUs that make up one Table I kit, in the table's row order.
+TABLE1_PART_SKUS: tuple[str, ...] = (
+    "canakit-pi4-2g",
+    "eth-usb-a",
+    "usb-a-c",
+    "eth-cable",
+    "microsd-16g",
+    "kit-case",
+)

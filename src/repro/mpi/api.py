@@ -1,0 +1,198 @@
+"""The ``MPI`` namespace: a drop-in for ``from mpi4py import MPI``.
+
+Teaching scripts written for mpi4py access a module-level ``COMM_WORLD``.
+Under our thread-per-rank runtime each rank must see *its own* view of the
+world communicator, so ``COMM_WORLD`` is a proxy that resolves the calling
+thread's rank on every use.  Everything else (datatypes, ops, wildcards,
+``Wtime``) is re-exported here so patternlet code reads exactly like the
+paper's Colab cells.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from . import datatypes as _dt
+from .cartesian import compute_dims
+from .constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX_PROCESSOR_NAME,
+    PROC_NULL,
+    ROOT,
+    TAG_UB,
+    THREAD_MULTIPLE,
+    UNDEFINED,
+)
+from .errors import MPIError, NotInWorldError
+from .ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    Op,
+)
+from .io import (
+    MODE_APPEND,
+    MODE_CREATE,
+    MODE_DELETE_ON_CLOSE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+    File,
+)
+from .request import Request
+from .runtime import current_comm
+from .status import Status
+from .window import Win
+
+# Datatype re-exports (MPI.INT, MPI.DOUBLE, ... exactly as mpi4py spells them).
+BYTE = _dt.BYTE
+CHAR = _dt.CHAR
+BOOL = _dt.BOOL
+SHORT = _dt.SHORT
+INT = _dt.INT
+LONG = _dt.LONG
+LONG_LONG = _dt.LONG_LONG
+UNSIGNED_SHORT = _dt.UNSIGNED_SHORT
+UNSIGNED = _dt.UNSIGNED
+UNSIGNED_LONG = _dt.UNSIGNED_LONG
+FLOAT = _dt.FLOAT
+DOUBLE = _dt.DOUBLE
+COMPLEX = _dt.COMPLEX
+DOUBLE_COMPLEX = _dt.DOUBLE_COMPLEX
+INT32_T = _dt.INT32_T
+INT64_T = _dt.INT64_T
+UINT32_T = _dt.UINT32_T
+UINT64_T = _dt.UINT64_T
+Datatype = _dt.Datatype
+
+Exception = MPIError  # noqa: A001 - mpi4py exposes MPI.Exception
+
+
+class _CommWorldProxy:
+    """Thread-aware proxy: delegates to the calling rank's world view."""
+
+    __slots__ = ()
+
+    def _resolve(self):
+        return current_comm()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._resolve(), name)
+
+    def __repr__(self) -> str:
+        try:
+            return repr(self._resolve())
+        except NotInWorldError:
+            return "<COMM_WORLD (no active mpirun context)>"
+
+
+COMM_WORLD = _CommWorldProxy()
+
+
+def Get_processor_name() -> str:
+    """Simulated hostname of the active world ('machine name running the code')."""
+    try:
+        return current_comm().Get_processor_name()
+    except NotInWorldError:
+        return "localhost"
+
+
+def Wtime() -> float:
+    """Wall-clock time in seconds (``MPI_Wtime``)."""
+    return time.perf_counter()
+
+
+def Wtick() -> float:
+    """Resolution of :func:`Wtime`."""
+    return 1e-9
+
+
+def Compute_dims(nnodes: int, dims: int | list[int]) -> list[int]:
+    """``MPI_Dims_create``: balanced grid factorization."""
+    ndims = dims if isinstance(dims, int) else len(dims)
+    return compute_dims(nnodes, ndims)
+
+
+def Query_thread() -> int:
+    """The runtime always provides full multithreaded support."""
+    return THREAD_MULTIPLE
+
+
+def Is_initialized() -> bool:
+    return True
+
+
+def Is_finalized() -> bool:
+    return False
+
+
+__all__ = [
+    "COMM_WORLD",
+    "File",
+    "Win",
+    "MODE_RDONLY",
+    "MODE_WRONLY",
+    "MODE_RDWR",
+    "MODE_CREATE",
+    "MODE_EXCL",
+    "MODE_APPEND",
+    "MODE_DELETE_ON_CLOSE",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "UNDEFINED",
+    "ROOT",
+    "TAG_UB",
+    "MAX_PROCESSOR_NAME",
+    "THREAD_MULTIPLE",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "Op",
+    "Status",
+    "Request",
+    "Datatype",
+    "Exception",
+    "Get_processor_name",
+    "Wtime",
+    "Wtick",
+    "Compute_dims",
+    "Query_thread",
+    "Is_initialized",
+    "Is_finalized",
+    "BYTE",
+    "CHAR",
+    "BOOL",
+    "SHORT",
+    "INT",
+    "LONG",
+    "LONG_LONG",
+    "UNSIGNED_SHORT",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "COMPLEX",
+    "DOUBLE_COMPLEX",
+]

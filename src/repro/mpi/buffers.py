@@ -1,0 +1,166 @@
+"""Parsing of mpi4py-style buffer specifications.
+
+The uppercase communication verbs accept, exactly as the mpi4py tutorial
+documents:
+
+* a bare buffer-provider (NumPy array) — datatype inferred automatically,
+* ``[data, MPI.TYPE]`` — count inferred from the byte size of ``data``,
+* ``[data, count]`` — datatype inferred,
+* ``[data, count, MPI.TYPE]``,
+* ``[data, counts, displs, MPI.TYPE]`` — the *vector* form used by
+  ``Scatterv``/``Gatherv``, where ``counts`` and ``displs`` are sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from .datatypes import Datatype, from_numpy_dtype
+from .errors import InvalidCountError
+
+__all__ = ["BufferSpec", "parse_buffer", "parse_vector_buffer"]
+
+
+@dataclass
+class BufferSpec:
+    """A validated, flattened view of a communication buffer."""
+
+    array: np.ndarray  # 1-D view onto the caller's memory
+    count: int
+    datatype: Datatype
+    counts: tuple[int, ...] | None = None
+    displs: tuple[int, ...] | None = None
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.datatype.extent
+
+    def data(self) -> np.ndarray:
+        """A copy of the first ``count`` elements (send-side snapshot)."""
+        return self.array[: self.count].copy()
+
+    def fill(self, values: np.ndarray) -> None:
+        """Copy received values into the caller's buffer (receive side)."""
+        n = len(values)
+        if n > len(self.array):
+            raise InvalidCountError(
+                f"receive buffer holds {len(self.array)} elements, message has {n}"
+            )
+        self.array[:n] = values
+
+
+def _as_flat_view(obj: Any) -> np.ndarray:
+    arr = np.asarray(obj)
+    if arr.dtype == object:
+        raise TypeError(
+            "buffer communication requires a typed NumPy array, got dtype=object; "
+            "use the lowercase verbs for arbitrary Python objects"
+        )
+    if not arr.flags.c_contiguous and not arr.flags.f_contiguous:
+        raise ValueError("buffer communication requires a contiguous array")
+    view = arr.reshape(-1, order="A" if arr.flags.f_contiguous else "C")
+    return view
+
+
+def parse_buffer(spec: Any) -> BufferSpec:
+    """Parse the scalar-count forms of a buffer specification."""
+    if isinstance(spec, BufferSpec):
+        return spec
+    if isinstance(spec, (list, tuple)):
+        if not spec or len(spec) > 3:
+            raise ValueError(
+                f"buffer specification must have 1-3 items, got {len(spec)}"
+            )
+        array = _as_flat_view(spec[0])
+        count: int | None = None
+        datatype: Datatype | None = None
+        for item in spec[1:]:
+            if isinstance(item, Datatype):
+                if datatype is not None:
+                    raise ValueError("duplicate datatype in buffer specification")
+                datatype = item
+            elif isinstance(item, (int, np.integer)):
+                if count is not None:
+                    raise ValueError("duplicate count in buffer specification")
+                count = int(item)
+            else:
+                raise TypeError(
+                    f"unexpected item {item!r} in buffer specification; expected "
+                    "an int count or an MPI datatype"
+                )
+        if datatype is None:
+            datatype = from_numpy_dtype(array.dtype)
+        if count is None:
+            # mpi4py: byte size of data / extent of the MPI datatype.
+            count = array.nbytes // datatype.extent
+        if count < 0 or count > array.nbytes // datatype.extent:
+            raise InvalidCountError(
+                f"count {count} exceeds buffer capacity "
+                f"({array.nbytes // datatype.extent} {datatype.name} elements)"
+            )
+        if array.dtype != datatype.np_dtype:
+            array = array.view(datatype.np_dtype)
+        return BufferSpec(array, count, datatype)
+    array = _as_flat_view(spec)
+    datatype = from_numpy_dtype(array.dtype)
+    return BufferSpec(array, len(array), datatype)
+
+
+def parse_vector_buffer(spec: Any, size: int) -> BufferSpec:
+    """Parse the ``[data, counts, displs, type]`` form for v-collectives.
+
+    ``counts`` must have exactly ``size`` entries.  ``displs`` may be omitted
+    (``None``), in which case the canonical packed layout
+    ``displs[i] = sum(counts[:i])`` is used.
+    """
+    if not isinstance(spec, (list, tuple)) or not 2 <= len(spec) <= 4:
+        raise ValueError(
+            "vector buffer specification must be [data, counts(, displs)(, type)]"
+        )
+    array = _as_flat_view(spec[0])
+    counts_raw = spec[1]
+    displs_raw: Sequence[int] | None = None
+    datatype: Datatype | None = None
+    for item in spec[2:]:
+        if isinstance(item, Datatype):
+            datatype = item
+        elif item is None:
+            continue
+        else:
+            if displs_raw is not None:
+                raise ValueError("duplicate displacements in buffer specification")
+            displs_raw = item
+    if datatype is None:
+        datatype = from_numpy_dtype(array.dtype)
+    if array.dtype != datatype.np_dtype:
+        array = array.view(datatype.np_dtype)
+
+    counts = tuple(int(c) for c in counts_raw)
+    if len(counts) != size:
+        raise InvalidCountError(
+            f"counts has {len(counts)} entries for a communicator of size {size}"
+        )
+    if any(c < 0 for c in counts):
+        raise InvalidCountError("counts must be non-negative")
+    if displs_raw is None:
+        displs = []
+        offset = 0
+        for c in counts:
+            displs.append(offset)
+            offset += c
+        displs = tuple(displs)
+    else:
+        displs = tuple(int(d) for d in displs_raw)
+        if len(displs) != size:
+            raise InvalidCountError(
+                f"displs has {len(displs)} entries for a communicator of size {size}"
+            )
+    for c, d in zip(counts, displs):
+        if d < 0 or d + c > len(array):
+            raise InvalidCountError(
+                f"segment (count={c}, displ={d}) exceeds buffer of {len(array)} elements"
+            )
+    return BufferSpec(array, sum(counts), datatype, counts=counts, displs=displs)

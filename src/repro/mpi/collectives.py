@@ -1,0 +1,288 @@
+"""Collective-communication algorithms.
+
+Every collective in :class:`repro.mpi.comm.Intracomm` is implemented here on
+top of internal point-to-point transfers in a dedicated *collective context*
+(a second mailbox set per communicator), exactly as real MPI libraries
+separate contexts so user ``ANY_TAG`` receives can never steal collective
+traffic.
+
+Algorithms implemented (selectable; the communicator picks the defaults):
+
+===============  =================================================
+collective       algorithms
+===============  =================================================
+barrier          dissemination (lg P rounds)
+bcast            binomial tree, linear (for the ablation bench)
+reduce           binomial tree (commutative ops), linear rank-order
+                 fold (always valid; required for non-commutative)
+scatter/gather   linear to/from root
+allgather        ring (P-1 steps), gather+bcast
+alltoall         pairwise exchange
+scan/exscan      linear chain
+allreduce        reduce + bcast, recursive doubling (commutative)
+===============  =================================================
+
+The transport callbacks ``send(dest, phase, payload)`` and
+``recv(source, phase) -> payload`` are supplied by the communicator; payloads
+are opaque (pickled bytes for object collectives, NumPy arrays for buffer
+collectives), so each algorithm is written once and reused by both the
+lowercase and uppercase verbs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .ops import Op
+
+Send = Callable[[int, int, Any], None]
+Recv = Callable[[int, int], Any]
+
+__all__ = [
+    "barrier_dissemination",
+    "bcast_binomial",
+    "bcast_linear",
+    "reduce_linear",
+    "reduce_binomial",
+    "scatter_linear",
+    "gather_linear",
+    "allgather_ring",
+    "alltoall_pairwise",
+    "scan_linear",
+    "exscan_linear",
+    "allreduce_recursive_doubling",
+]
+
+
+def barrier_dissemination(rank: int, size: int, send: Send, recv: Recv) -> None:
+    """Dissemination barrier: ceil(lg P) rounds of shifted token exchange."""
+    if size == 1:
+        return
+    k = 1
+    phase = 0
+    while k < size:
+        send((rank + k) % size, phase, b"")
+        recv((rank - k) % size, phase)
+        k <<= 1
+        phase += 1
+
+
+def bcast_binomial(rank: int, size: int, root: int, payload: Any, send: Send, recv: Recv) -> Any:
+    """Binomial-tree broadcast; returns the payload at every rank.
+
+    Ranks are renumbered relative to the root so the tree is rooted at 0;
+    at step ``k`` every rank that already has the data forwards it to the
+    peer ``2^k`` positions away.
+    """
+    if size == 1:
+        return payload
+    vrank = (rank - root) % size
+    # Walk up to the lowest set bit of vrank: that bit names our parent.
+    # vrank 0 has no set bit; its mask grows past size, covering all children.
+    mask = 1
+    while mask < size and not (vrank & mask):
+        mask <<= 1
+    if vrank != 0:
+        parent = ((vrank - mask) + root) % size
+        payload = recv(parent, 0)
+    # Children sit at vrank + m for every power of two m below our parent bit.
+    child = mask >> 1
+    while child > 0:
+        if vrank + child < size:
+            send((vrank + child + root) % size, 0, payload)
+        child >>= 1
+    return payload
+
+
+def bcast_linear(rank: int, size: int, root: int, payload: Any, send: Send, recv: Recv) -> Any:
+    """Root sends to everyone directly (O(P) at the root)."""
+    if rank == root:
+        for dest in range(size):
+            if dest != root:
+                send(dest, 0, payload)
+        return payload
+    return recv(root, 0)
+
+
+def reduce_linear(
+    rank: int,
+    size: int,
+    root: int,
+    value: Any,
+    op: Op,
+    send: Send,
+    recv: Recv,
+) -> Any:
+    """Gather to root and fold strictly in rank order (any op, any size)."""
+    if rank != root:
+        send(root, 0, value)
+        return None
+    parts = []
+    for src in range(size):
+        parts.append(value if src == root else recv(src, 0))
+    return op.reduce_sequence(parts)
+
+
+def reduce_binomial(
+    rank: int,
+    size: int,
+    root: int,
+    value: Any,
+    op: Op,
+    send: Send,
+    recv: Recv,
+) -> Any:
+    """Binomial-tree reduction (requires a commutative-safe op ordering).
+
+    At step ``k`` ranks whose ``k``-th bit is set send their partial to the
+    peer ``2^k`` below and retire; the survivor combines.  With the virtual
+    renumbering, partials always combine lower-vrank ⊕ higher-vrank, which
+    preserves rank order within each subtree.
+    """
+    vrank = (rank - root) % size
+    acc = value
+    mask = 1
+    while mask < size:
+        if vrank & mask:
+            dest = ((vrank & ~mask) + root) % size
+            send(dest, 0, acc)
+            return None
+        partner = vrank | mask
+        if partner < size:
+            incoming = recv((partner + root) % size, 0)
+            acc = op(acc, incoming)
+        mask <<= 1
+    return acc if rank == root else None
+
+
+def scatter_linear(
+    rank: int,
+    size: int,
+    root: int,
+    chunks: Sequence[Any] | None,
+    send: Send,
+    recv: Recv,
+) -> Any:
+    """Root sends chunk ``i`` to rank ``i``; returns the local chunk."""
+    if rank == root:
+        assert chunks is not None
+        for dest in range(size):
+            if dest != root:
+                send(dest, 0, chunks[dest])
+        return chunks[root]
+    return recv(root, 0)
+
+
+def gather_linear(
+    rank: int,
+    size: int,
+    root: int,
+    value: Any,
+    send: Send,
+    recv: Recv,
+) -> list[Any] | None:
+    """Every rank sends its value to root; root returns the ordered list."""
+    if rank != root:
+        send(root, 0, value)
+        return None
+    return [value if src == root else recv(src, 0) for src in range(size)]
+
+
+def allgather_ring(rank: int, size: int, value: Any, send: Send, recv: Recv) -> list[Any]:
+    """Ring allgather: P-1 steps, each forwarding the newest-received block."""
+    blocks: list[Any] = [None] * size
+    blocks[rank] = value
+    if size == 1:
+        return blocks
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    carry_idx = rank
+    for step in range(size - 1):
+        send(right, step, (carry_idx, blocks[carry_idx]))
+        carry_idx, block = recv(left, step)
+        blocks[carry_idx] = block
+    return blocks
+
+
+def alltoall_pairwise(
+    rank: int,
+    size: int,
+    outgoing: Sequence[Any],
+    send: Send,
+    recv: Recv,
+) -> list[Any]:
+    """Pairwise-exchange all-to-all: step k swaps with rank XOR-shifted by k."""
+    incoming: list[Any] = [None] * size
+    incoming[rank] = outgoing[rank]
+    for step in range(1, size):
+        dest = (rank + step) % size
+        src = (rank - step) % size
+        send(dest, step, outgoing[dest])
+        incoming[src] = recv(src, step)
+    return incoming
+
+
+def scan_linear(rank: int, size: int, value: Any, op: Op, send: Send, recv: Recv) -> Any:
+    """Inclusive prefix reduction along the rank chain."""
+    acc = value
+    if rank > 0:
+        acc = op(recv(rank - 1, 0), value)
+    if rank + 1 < size:
+        send(rank + 1, 0, acc)
+    return acc
+
+
+def exscan_linear(
+    rank: int, size: int, value: Any, op: Op, send: Send, recv: Recv
+) -> Any:
+    """Exclusive prefix reduction; rank 0 receives None (MPI: undefined)."""
+    prefix = None
+    if rank > 0:
+        prefix = recv(rank - 1, 0)
+    if rank + 1 < size:
+        outgoing = value if prefix is None else op(prefix, value)
+        send(rank + 1, 0, outgoing)
+    return prefix
+
+
+def allreduce_recursive_doubling(
+    rank: int, size: int, value: Any, op: Op, send: Send, recv: Recv
+) -> Any:
+    """Recursive-doubling allreduce for commutative ops.
+
+    For non-power-of-two sizes the excess ranks fold into a partner first
+    and receive the final result at the end (the standard pre/post phase).
+    """
+    pof2 = 1
+    while pof2 * 2 <= size:
+        pof2 *= 2
+    rem = size - pof2
+
+    acc = value
+    # Pre-phase: the first 2*rem ranks pair up; odd ones retire.
+    if rank < 2 * rem:
+        if rank % 2:  # odd: send partial down, wait for final result later
+            send(rank - 1, 100, acc)
+            return recv(rank - 1, 101)
+        incoming = recv(rank + 1, 100)
+        acc = op(acc, incoming)
+        newrank = rank // 2
+    elif rank < size:
+        newrank = rank - rem
+    # Core recursive doubling among pof2 survivors.
+    def old(nr: int) -> int:
+        return nr * 2 if nr < rem else nr + rem
+
+    mask = 1
+    phase = 0
+    while mask < pof2:
+        partner = old(newrank ^ mask)
+        send(partner, phase, acc)
+        incoming = recv(partner, phase)
+        acc = op(acc, incoming) if (newrank & mask) == 0 else op(incoming, acc)
+        mask <<= 1
+        phase += 1
+    # Post-phase: deliver results to the retired odd ranks.
+    if rank < 2 * rem:
+        send(rank + 1, 101, acc)
+    return acc

@@ -1,0 +1,41 @@
+"""Rank/tag wildcard and miscellaneous MPI constants.
+
+Values follow mpi4py conventions where observable (``ANY_SOURCE`` and
+``ANY_TAG`` are negative sentinels, ``PROC_NULL`` is a valid no-op peer).
+"""
+
+from __future__ import annotations
+
+#: Wildcard source rank: match a message from any sender.
+ANY_SOURCE: int = -1
+
+#: Wildcard tag: match a message with any tag.
+ANY_TAG: int = -1
+
+#: The null process: sends to it vanish, receives from it complete
+#: immediately with no data (used at the boundary of shift patterns).
+PROC_NULL: int = -2
+
+#: Returned by ``Group.Get_rank`` / ``Comm.Split`` bookkeeping for "not a member".
+UNDEFINED: int = -3
+
+#: Root sentinel for intercommunicator collectives (kept for API parity).
+ROOT: int = -4
+
+#: Upper bound the standard guarantees for tags; we enforce it for realism.
+TAG_UB: int = 32767
+
+#: Maximum length of a processor name.
+MAX_PROCESSOR_NAME: int = 256
+
+#: Keyword used by ``Comm.Split`` to drop a rank from all result communicators.
+SPLIT_UNDEFINED = UNDEFINED
+
+#: Thread support levels (the runtime always provides MULTIPLE).
+THREAD_SINGLE: int = 0
+THREAD_FUNNELED: int = 1
+THREAD_SERIALIZED: int = 2
+THREAD_MULTIPLE: int = 3
+
+#: Default watchdog, in seconds, before the runtime declares deadlock.
+DEFAULT_DEADLOCK_TIMEOUT: float = 30.0

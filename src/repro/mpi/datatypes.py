@@ -1,0 +1,138 @@
+"""MPI datatype constants and NumPy interoperability.
+
+The uppercase (buffer-based) communication verbs take buffer specifications
+like ``[array, MPI.DOUBLE]`` exactly as in the mpi4py tutorial.  Each
+:class:`Datatype` wraps a NumPy dtype so the runtime can validate and copy
+typed buffers without guessing.
+
+Automatic datatype discovery (passing a bare NumPy array) is supported for
+the same set of basic C types mpi4py documents: native signed/unsigned
+integers and single/double precision real/complex floats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Datatype",
+    "from_numpy_dtype",
+    "BYTE",
+    "CHAR",
+    "BOOL",
+    "SHORT",
+    "INT",
+    "LONG",
+    "LONG_LONG",
+    "UNSIGNED_SHORT",
+    "UNSIGNED",
+    "UNSIGNED_LONG",
+    "FLOAT",
+    "DOUBLE",
+    "COMPLEX",
+    "DOUBLE_COMPLEX",
+    "INT32_T",
+    "INT64_T",
+    "UINT32_T",
+    "UINT64_T",
+]
+
+
+@dataclass(frozen=True)
+class Datatype:
+    """An MPI basic datatype backed by a NumPy dtype.
+
+    Attributes
+    ----------
+    name:
+        The MPI-style name, e.g. ``"MPI_DOUBLE"``.
+    np_dtype:
+        The equivalent NumPy dtype used for buffer copies.
+    """
+
+    name: str
+    np_dtype: np.dtype
+
+    @property
+    def extent(self) -> int:
+        """Size in bytes of one element of this type (``MPI_Type_extent``)."""
+        return int(self.np_dtype.itemsize)
+
+    def Get_extent(self) -> tuple[int, int]:
+        """Return ``(lower_bound, extent)`` as mpi4py does."""
+        return (0, self.extent)
+
+    def Get_size(self) -> int:
+        """Return the number of bytes occupied by entries of this datatype."""
+        return self.extent
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Datatype {self.name}>"
+
+
+def _dt(name: str, np_name: str) -> Datatype:
+    return Datatype(name, np.dtype(np_name))
+
+
+BYTE = _dt("MPI_BYTE", "uint8")
+CHAR = _dt("MPI_CHAR", "S1")
+BOOL = _dt("MPI_C_BOOL", "bool")
+SHORT = _dt("MPI_SHORT", "int16")
+INT = _dt("MPI_INT", "int32")
+LONG = _dt("MPI_LONG", "int64")
+LONG_LONG = _dt("MPI_LONG_LONG", "int64")
+UNSIGNED_SHORT = _dt("MPI_UNSIGNED_SHORT", "uint16")
+UNSIGNED = _dt("MPI_UNSIGNED", "uint32")
+UNSIGNED_LONG = _dt("MPI_UNSIGNED_LONG", "uint64")
+FLOAT = _dt("MPI_FLOAT", "float32")
+DOUBLE = _dt("MPI_DOUBLE", "float64")
+COMPLEX = _dt("MPI_C_FLOAT_COMPLEX", "complex64")
+DOUBLE_COMPLEX = _dt("MPI_C_DOUBLE_COMPLEX", "complex128")
+INT32_T = _dt("MPI_INT32_T", "int32")
+INT64_T = _dt("MPI_INT64_T", "int64")
+UINT32_T = _dt("MPI_UINT32_T", "uint32")
+UINT64_T = _dt("MPI_UINT64_T", "uint64")
+
+_ALL_TYPES: tuple[Datatype, ...] = (
+    BYTE,
+    CHAR,
+    BOOL,
+    SHORT,
+    INT,
+    LONG,
+    UNSIGNED_SHORT,
+    UNSIGNED,
+    UNSIGNED_LONG,
+    FLOAT,
+    DOUBLE,
+    COMPLEX,
+    DOUBLE_COMPLEX,
+)
+
+# Discovery table for bare-array buffer arguments.  Keyed by dtype so exotic
+# dtypes (structured, object, datetime...) fail loudly instead of being
+# silently byte-copied.
+_NUMPY_TO_MPI: dict[np.dtype, Datatype] = {}
+for _t in _ALL_TYPES:
+    _NUMPY_TO_MPI.setdefault(_t.np_dtype, _t)
+
+
+def from_numpy_dtype(dtype: np.dtype) -> Datatype:
+    """Map a NumPy dtype to the matching MPI basic datatype.
+
+    Raises
+    ------
+    TypeError
+        If the dtype is not one of the basic C types supported for
+        automatic discovery (mirrors mpi4py's documented limitation).
+    """
+    dtype = np.dtype(dtype)
+    try:
+        return _NUMPY_TO_MPI[dtype]
+    except KeyError:
+        raise TypeError(
+            f"automatic MPI datatype discovery does not support dtype {dtype!r}; "
+            "pass an explicit [buffer, MPI.<TYPE>] specification"
+        ) from None

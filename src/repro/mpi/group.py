@@ -1,0 +1,103 @@
+"""``MPI_Group``: ordered sets of world ranks backing communicators."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .constants import UNDEFINED
+
+__all__ = ["Group"]
+
+
+class Group:
+    """An ordered set of world ranks.
+
+    ``group_rank`` (position in the group) is what a communicator built from
+    the group uses as its rank; ``world_rank`` is the identity in the
+    enclosing world.
+    """
+
+    __slots__ = ("_ranks",)
+
+    def __init__(self, world_ranks: Iterable[int]) -> None:
+        ranks = tuple(int(r) for r in world_ranks)
+        if len(set(ranks)) != len(ranks):
+            raise ValueError(f"group contains duplicate ranks: {ranks}")
+        self._ranks = ranks
+
+    @property
+    def ranks(self) -> tuple[int, ...]:
+        return self._ranks
+
+    def Get_size(self) -> int:
+        return len(self._ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self._ranks)
+
+    def Get_rank(self, world_rank: int | None = None) -> int:
+        """Group rank of ``world_rank`` (``UNDEFINED`` if not a member)."""
+        if world_rank is None:
+            raise TypeError(
+                "this runtime cannot infer the calling rank from a bare Group; "
+                "pass the world rank explicitly"
+            )
+        try:
+            return self._ranks.index(world_rank)
+        except ValueError:
+            return UNDEFINED
+
+    def Incl(self, ranks: Sequence[int]) -> "Group":
+        """Subset group containing the listed group-ranks, in that order."""
+        return Group(self._ranks[r] for r in ranks)
+
+    def Excl(self, ranks: Sequence[int]) -> "Group":
+        """Group with the listed group-ranks removed, order preserved."""
+        drop = set(ranks)
+        bad = [r for r in drop if not 0 <= r < len(self._ranks)]
+        if bad:
+            raise IndexError(f"group ranks out of range: {bad}")
+        return Group(r for i, r in enumerate(self._ranks) if i not in drop)
+
+    @staticmethod
+    def Translate_ranks(
+        group_a: "Group", ranks_a: Sequence[int], group_b: "Group"
+    ) -> list[int]:
+        """Map ranks of ``group_a`` to their positions in ``group_b``."""
+        out = []
+        for ra in ranks_a:
+            world = group_a._ranks[ra]
+            try:
+                out.append(group_b._ranks.index(world))
+            except ValueError:
+                out.append(UNDEFINED)
+        return out
+
+    @staticmethod
+    def Union(group_a: "Group", group_b: "Group") -> "Group":
+        merged = list(group_a._ranks)
+        merged.extend(r for r in group_b._ranks if r not in group_a._ranks)
+        return Group(merged)
+
+    @staticmethod
+    def Intersection(group_a: "Group", group_b: "Group") -> "Group":
+        keep = set(group_b._ranks)
+        return Group(r for r in group_a._ranks if r in keep)
+
+    @staticmethod
+    def Difference(group_a: "Group", group_b: "Group") -> "Group":
+        drop = set(group_b._ranks)
+        return Group(r for r in group_a._ranks if r not in drop)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Group) and self._ranks == other._ranks
+
+    def __hash__(self) -> int:
+        return hash(self._ranks)
+
+    def __len__(self) -> int:
+        return len(self._ranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Group {self._ranks}>"

@@ -1,0 +1,173 @@
+"""Message envelopes and per-rank mailboxes.
+
+A :class:`Mailbox` is the receive queue of one rank within one communicator
+context.  Matching follows the MPI standard:
+
+* a receive posted with ``(source, tag)`` matches the *earliest arrived*
+  pending message whose envelope satisfies both fields, where
+  ``ANY_SOURCE`` / ``ANY_TAG`` act as wildcards;
+* messages between one (sender, receiver, tag) triple are non-overtaking —
+  guaranteed here because each mailbox is a FIFO list scanned in arrival
+  order.
+
+Blocking receives park on a condition variable.  Every blocking wait
+registers with the world's progress tracker so that a global
+all-ranks-blocked state is detected and surfaced as
+:class:`~repro.mpi.errors.DeadlockError` instead of hanging the process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from .constants import ANY_SOURCE, ANY_TAG
+from .errors import DeadlockError, WorldAbortedError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import World
+
+_seq_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """An in-flight message envelope.
+
+    ``payload`` is the already-serialized (or already-copied) content, so the
+    receiver can never observe sender-side mutation after the send call.
+    ``nbytes`` is the approximate wire size used for ``Status.Get_count``.
+    """
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    synchronous: threading.Event | None = None
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Whether this envelope satisfies a receive posted for (source, tag)."""
+        return (source == ANY_SOURCE or source == self.source) and (
+            tag == ANY_TAG or tag == self.tag
+        )
+
+
+class Mailbox:
+    """FIFO receive queue for one (communicator-context, rank) endpoint."""
+
+    def __init__(self, world: "World") -> None:
+        self._world = world
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._pending: list[Message] = []
+
+    def put(self, message: Message) -> None:
+        """Deliver a message (called from the sender's thread)."""
+        with self._cond:
+            self._pending.append(message)
+            self._cond.notify_all()
+
+    def _find(self, source: int, tag: int) -> Message | None:
+        for i, msg in enumerate(self._pending):
+            if msg.matches(source, tag):
+                return self._pending.pop(i)
+        return None
+
+    def _peek(self, source: int, tag: int) -> Message | None:
+        for msg in self._pending:
+            if msg.matches(source, tag):
+                return msg
+        return None
+
+    def try_get(self, source: int, tag: int) -> Message | None:
+        """Non-blocking matched dequeue; None when nothing matches."""
+        self._world.check_abort()
+        with self._cond:
+            msg = self._find(source, tag)
+        if msg is not None and msg.synchronous is not None:
+            msg.synchronous.set()
+        return msg
+
+    def get(self, source: int, tag: int) -> Message:
+        """Blocking matched dequeue with abort and deadlock detection."""
+        msg = self._blocking_wait(lambda: self._find(source, tag))
+        if msg.synchronous is not None:
+            msg.synchronous.set()
+        return msg
+
+    def probe(self, source: int, tag: int, block: bool = True) -> Message | None:
+        """Matched peek without dequeueing (``Probe``/``Iprobe``)."""
+        self._world.check_abort()
+        if not block:
+            with self._cond:
+                return self._peek(source, tag)
+        return self._blocking_wait(lambda: self._peek(source, tag))
+
+    def _blocking_wait(self, attempt: Callable[[], Message | None]) -> Message:
+        """Wait until ``attempt`` yields a message, polling world liveness.
+
+        The poll interval is short so an abort or a detected deadlock
+        propagates to every parked rank quickly.
+        """
+        world = self._world
+        world.check_abort()
+        with self._cond:
+            msg = attempt()
+            if msg is not None:
+                return msg
+            world.enter_blocked()
+            try:
+                while True:
+                    self._cond.wait(timeout=world.poll_interval)
+                    msg = attempt()
+                    if msg is not None:
+                        return msg
+                    world.check_abort()
+                    if world.deadlock_suspected():
+                        world.abort_with(DeadlockError(
+                            "all ranks are blocked with no matching message in "
+                            "flight (classic deadlock); check your send/recv "
+                            "ordering"
+                        ))
+                        world.check_abort()  # raises for us
+            finally:
+                world.exit_blocked()
+
+    def drain(self) -> list[Message]:
+        """Remove and return all pending messages (used at teardown)."""
+        with self._cond:
+            pending, self._pending = self._pending, []
+            return pending
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+
+def wait_event(event: threading.Event, world: "World") -> None:
+    """Block on an event with the same abort/deadlock vigilance as a receive.
+
+    Used by synchronous sends, which park until the matching receive
+    consumes their envelope.
+    """
+    world.check_abort()
+    if event.is_set():
+        return
+    world.enter_blocked()
+    try:
+        while not event.wait(timeout=world.poll_interval):
+            world.check_abort()
+            if world.deadlock_suspected():
+                world.abort_with(DeadlockError(
+                    "all ranks are blocked: a synchronous send has no matching "
+                    "receive"
+                ))
+                world.check_abort()
+    finally:
+        world.exit_blocked()
+
+
+__all__ = ["Message", "Mailbox", "wait_event", "WorldAbortedError"]

@@ -1,0 +1,169 @@
+"""Reduction operations for ``reduce``/``allreduce``/``scan``.
+
+Each :class:`Op` knows how to combine two partial values.  Values may be
+scalars, sequences (combined elementwise, as MPI does for count > 1), or
+NumPy arrays (combined vectorized).  ``MAXLOC``/``MINLOC`` operate on
+``(value, location)`` pairs exactly as in the MPI standard.
+
+User-defined operations are supported through :meth:`Op.Create`, matching
+mpi4py's ``MPI.Op.Create(function, commute=...)``.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+]
+
+
+def _is_vector(value: Any) -> bool:
+    """True for values MPI would treat as count > 1 (combined elementwise)."""
+    return isinstance(value, (list, tuple)) or (
+        isinstance(value, np.ndarray) and value.ndim > 0
+    )
+
+
+class Op:
+    """A reduction operation.
+
+    Parameters
+    ----------
+    fn:
+        Binary scalar combiner, applied elementwise to vector operands.
+    name:
+        Display name (``"MPI_SUM"`` etc.).
+    commute:
+        Whether the operation is commutative.  Non-commutative user ops are
+        applied strictly in rank order, as the standard requires.
+    elementwise:
+        If False the combiner receives the whole operands (used by the LOC
+        ops and user-defined ops, which see full values).
+    """
+
+    __slots__ = ("_fn", "name", "commute", "elementwise")
+
+    def __init__(
+        self,
+        fn: Callable[[Any, Any], Any],
+        name: str = "user_op",
+        commute: bool = True,
+        elementwise: bool = True,
+    ) -> None:
+        self._fn = fn
+        self.name = name
+        self.commute = commute
+        self.elementwise = elementwise
+
+    @classmethod
+    def Create(cls, function: Callable[[Any, Any], Any], commute: bool = False) -> "Op":
+        """Create a user-defined operation (mpi4py signature).
+
+        The function receives the two full operand values; it is responsible
+        for any elementwise behaviour itself.
+        """
+        return cls(function, name="MPI_OP_USER", commute=commute, elementwise=False)
+
+    def Free(self) -> None:
+        """No-op provided for mpi4py API parity."""
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        """Combine two partial reduction values: ``a ⊕ b`` (a from lower rank)."""
+        if not self.elementwise:
+            return self._fn(a, b)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return self._vector_numpy(np.asarray(a), np.asarray(b))
+        if _is_vector(a) or _is_vector(b):
+            if not (_is_vector(a) and _is_vector(b)) or len(a) != len(b):
+                raise ValueError(
+                    f"{self.name}: cannot combine operands of mismatched shape "
+                    f"({a!r} vs {b!r})"
+                )
+            combined = [self._fn(x, y) for x, y in zip(a, b)]
+            return type(a)(combined) if isinstance(a, tuple) else combined
+        return self._fn(a, b)
+
+    def _vector_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        if a.shape != b.shape:
+            raise ValueError(
+                f"{self.name}: cannot combine arrays of shape {a.shape} and {b.shape}"
+            )
+        ufunc = _NUMPY_UFUNCS.get(self.name)
+        if ufunc is not None:
+            return ufunc(a, b)
+        # Fall back to elementwise Python application for exotic combiners.
+        flat = [self._fn(x, y) for x, y in zip(a.ravel().tolist(), b.ravel().tolist())]
+        return np.asarray(flat, dtype=a.dtype).reshape(a.shape)
+
+    def reduce_sequence(self, values: Sequence[Any]) -> Any:
+        """Fold an ordered sequence of per-rank values into one result."""
+        if not values:
+            raise ValueError(f"{self.name}: nothing to reduce")
+        acc = values[0]
+        for value in values[1:]:
+            acc = self(acc, value)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Op {self.name}>"
+
+
+def _maxloc(a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+    (av, ai), (bv, bi) = a, b
+    if av > bv:
+        return (av, ai)
+    if bv > av:
+        return (bv, bi)
+    return (av, min(ai, bi))
+
+
+def _minloc(a: tuple[Any, int], b: tuple[Any, int]) -> tuple[Any, int]:
+    (av, ai), (bv, bi) = a, b
+    if av < bv:
+        return (av, ai)
+    if bv < av:
+        return (bv, bi)
+    return (av, min(ai, bi))
+
+
+SUM = Op(operator.add, "MPI_SUM")
+PROD = Op(operator.mul, "MPI_PROD")
+MAX = Op(max, "MPI_MAX")
+MIN = Op(min, "MPI_MIN")
+LAND = Op(lambda a, b: bool(a) and bool(b), "MPI_LAND")
+LOR = Op(lambda a, b: bool(a) or bool(b), "MPI_LOR")
+LXOR = Op(lambda a, b: bool(a) != bool(b), "MPI_LXOR")
+BAND = Op(operator.and_, "MPI_BAND")
+BOR = Op(operator.or_, "MPI_BOR")
+BXOR = Op(operator.xor, "MPI_BXOR")
+MAXLOC = Op(_maxloc, "MPI_MAXLOC", elementwise=False)
+MINLOC = Op(_minloc, "MPI_MINLOC", elementwise=False)
+
+_NUMPY_UFUNCS: dict[str, Any] = {
+    "MPI_SUM": np.add,
+    "MPI_PROD": np.multiply,
+    "MPI_MAX": np.maximum,
+    "MPI_MIN": np.minimum,
+    "MPI_LAND": np.logical_and,
+    "MPI_LOR": np.logical_or,
+    "MPI_LXOR": np.logical_xor,
+    "MPI_BAND": np.bitwise_and,
+    "MPI_BOR": np.bitwise_or,
+    "MPI_BXOR": np.bitwise_xor,
+}

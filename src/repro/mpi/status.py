@@ -1,0 +1,70 @@
+"""``MPI_Status`` equivalent: metadata about a received message."""
+
+from __future__ import annotations
+
+from .datatypes import Datatype
+
+
+class Status:
+    """Receive-side message metadata (source, tag, size).
+
+    Mirrors the mpi4py accessors (``Get_source``, ``Get_tag``,
+    ``Get_count``, ``Get_elements``) plus the convenience ``source``/``tag``
+    properties.  A fresh instance holds sentinel values until it is filled
+    in by a completed receive or probe.
+    """
+
+    __slots__ = ("_source", "_tag", "_nbytes", "_cancelled")
+
+    def __init__(self) -> None:
+        self._source = -1
+        self._tag = -1
+        self._nbytes = 0
+        self._cancelled = False
+
+    def _set(self, source: int, tag: int, nbytes: int) -> None:
+        self._source = source
+        self._tag = tag
+        self._nbytes = nbytes
+
+    # -- mpi4py-style accessors -------------------------------------------------
+    def Get_source(self) -> int:
+        """Rank of the sender of the matched message."""
+        return self._source
+
+    def Get_tag(self) -> int:
+        """Tag of the matched message."""
+        return self._tag
+
+    def Get_count(self, datatype: Datatype | None = None) -> int:
+        """Number of elements received (bytes if no datatype given)."""
+        if datatype is None:
+            return self._nbytes
+        if self._nbytes % datatype.extent:
+            raise ValueError(
+                f"received {self._nbytes} bytes, not a whole number of "
+                f"{datatype.name} elements ({datatype.extent} bytes each)"
+            )
+        return self._nbytes // datatype.extent
+
+    Get_elements = Get_count
+
+    def Is_cancelled(self) -> bool:
+        """Whether the matched operation was cancelled (always False here)."""
+        return self._cancelled
+
+    # -- pythonic properties ------------------------------------------------------
+    @property
+    def source(self) -> int:
+        return self._source
+
+    @property
+    def tag(self) -> int:
+        return self._tag
+
+    @property
+    def count(self) -> int:
+        return self._nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Status source={self._source} tag={self._tag} bytes={self._nbytes}>"

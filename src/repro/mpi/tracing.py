@@ -1,0 +1,132 @@
+"""Communication tracing: who sent how much to whom.
+
+Teaching aid and benchmarking instrument: wrap a world in a
+:class:`CommTracer` to record every user-context message (source, dest,
+tag, bytes), then summarize as per-rank totals or a traffic matrix.  The
+runtime stays untouched — tracing hooks the mailbox ``put`` path of the
+communicator cores reachable from COMM_WORLD at attach time.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageRecord", "TraceReport", "CommTracer", "trace_run"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One observed user-context message."""
+
+    source: int
+    dest: int
+    tag: int
+    nbytes: int
+
+
+@dataclass
+class TraceReport:
+    """Aggregated view of a traced run."""
+
+    size: int
+    records: list[MessageRecord]
+
+    @property
+    def total_messages(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.nbytes for r in self.records)
+
+    def traffic_matrix(self) -> list[list[int]]:
+        """``matrix[src][dst]`` = messages sent src -> dst."""
+        matrix = [[0] * self.size for _ in range(self.size)]
+        for r in self.records:
+            matrix[r.source][r.dest] += 1
+        return matrix
+
+    def sent_by(self, rank: int) -> int:
+        return sum(1 for r in self.records if r.source == rank)
+
+    def received_by(self, rank: int) -> int:
+        return sum(1 for r in self.records if r.dest == rank)
+
+    def format_matrix(self) -> str:
+        matrix = self.traffic_matrix()
+        header = "src\\dst " + " ".join(f"{d:>5}" for d in range(self.size))
+        rows = [
+            f"{src:>7} " + " ".join(f"{n:>5}" for n in row)
+            for src, row in enumerate(matrix)
+        ]
+        return "\n".join(
+            [header, *rows, f"total: {self.total_messages} messages, "
+                            f"{self.total_bytes} bytes"]
+        )
+
+
+class CommTracer:
+    """Attach to a communicator core and record user-context messages."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: list[MessageRecord] = []
+        self._unpatch: list[Any] = []
+        self._size = 0
+
+    def attach(self, comm: Any) -> None:
+        """Instrument every rank's user mailbox of ``comm``'s core."""
+        core = comm._core
+        self._size = core.size
+        for dest, mailbox in enumerate(core.user_boxes):
+            original_put = mailbox.put
+
+            def tracing_put(message, _orig=original_put, _dest=dest):
+                with self._lock:
+                    self._records.append(
+                        MessageRecord(
+                            source=message.source,
+                            dest=_dest,
+                            tag=message.tag,
+                            nbytes=message.nbytes,
+                        )
+                    )
+                _orig(message)
+
+            mailbox.put = tracing_put  # type: ignore[method-assign]
+            self._unpatch.append((mailbox, original_put))
+
+    def detach(self) -> None:
+        for mailbox, original_put in self._unpatch:
+            mailbox.put = original_put  # type: ignore[method-assign]
+        self._unpatch.clear()
+
+    def report(self) -> TraceReport:
+        with self._lock:
+            return TraceReport(self._size, list(self._records))
+
+
+def trace_run(fn: Any, np: int, *args: Any, **kwargs: Any) -> tuple[list[Any], TraceReport]:
+    """Run an SPMD function with tracing; return (results, trace report).
+
+    Only COMM_WORLD's user-context point-to-point traffic is recorded —
+    collective-context traffic is internal machinery, and per the patternlet
+    pedagogy it is the explicit sends/recvs learners should count.
+    """
+    from .runtime import World, _pop_world, _push_world
+
+    world = World(np, **{k: v for k, v in kwargs.items() if k in (
+        "hostname", "deadlock_timeout")})
+    fn_kwargs = {k: v for k, v in kwargs.items() if k not in (
+        "hostname", "deadlock_timeout")}
+    tracer = CommTracer()
+    tracer.attach(world.comm_world)
+    _push_world(world)
+    try:
+        results = world.run(fn, args=args, kwargs=fn_kwargs)
+    finally:
+        _pop_world(world)
+        tracer.detach()
+    return results, tracer.report()

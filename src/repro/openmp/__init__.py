@@ -1,0 +1,98 @@
+"""``repro.openmp`` — an OpenMP-style shared-memory runtime on Python threads.
+
+The paper's shared-memory module teaches OpenMP C/C++ patternlets on a
+Raspberry Pi.  This package provides the same constructs for Python, with
+genuinely concurrent threads so the race-condition demonstrations exhibit
+real lost updates:
+
+* fork-join parallel regions (:func:`parallel_region`) with
+  ``omp_get_thread_num``-style introspection,
+* worksharing loops (:func:`parallel_for`) with static / dynamic / guided
+  scheduling and reduction clauses,
+* synchronization: :func:`critical`, :class:`AtomicCounter`,
+  :func:`barrier`, :func:`master`, :func:`single`, :class:`Lock`,
+* ``parallel sections``.
+
+Quick start
+-----------
+>>> from repro.openmp import parallel_for
+>>> parallel_for(100, lambda i: i * i, num_threads=4, reduction="+")
+328350
+"""
+
+from .env import (
+    OpenMPConfig,
+    get_config,
+    get_max_threads,
+    num_procs,
+    scoped_num_threads,
+    set_num_threads,
+)
+from .loops import for_loop, parallel_for
+from .reduction import REDUCTIONS, Reduction, get_reduction
+from .scheduling import (
+    SCHEDULES,
+    DynamicScheduler,
+    GuidedScheduler,
+    static_block_ranges,
+    static_chunks,
+)
+from .sections import parallel_sections, sections
+from .sync import (
+    AtomicAccumulator,
+    AtomicCounter,
+    Lock,
+    barrier,
+    critical,
+    master,
+    single,
+)
+from .ordered import OrderedGate
+from .tasks import TaskHandle, task, taskgroup, taskwait
+from .team import (
+    Team,
+    current_team,
+    get_num_threads,
+    get_thread_num,
+    in_parallel,
+    parallel_region,
+)
+
+__all__ = [
+    "parallel_region",
+    "parallel_for",
+    "for_loop",
+    "parallel_sections",
+    "sections",
+    "get_thread_num",
+    "get_num_threads",
+    "in_parallel",
+    "current_team",
+    "Team",
+    "critical",
+    "barrier",
+    "master",
+    "single",
+    "Lock",
+    "task",
+    "taskwait",
+    "taskgroup",
+    "TaskHandle",
+    "OrderedGate",
+    "AtomicCounter",
+    "AtomicAccumulator",
+    "Reduction",
+    "REDUCTIONS",
+    "get_reduction",
+    "static_block_ranges",
+    "static_chunks",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "SCHEDULES",
+    "OpenMPConfig",
+    "get_config",
+    "set_num_threads",
+    "get_max_threads",
+    "num_procs",
+    "scoped_num_threads",
+]

@@ -1,0 +1,109 @@
+"""Runtime configuration: the ``OMP_*`` environment analogue.
+
+OpenMP programs control their team size with ``omp_set_num_threads`` /
+``OMP_NUM_THREADS`` and their loop scheduling with ``OMP_SCHEDULE``.  This
+module provides the same knobs for the Python runtime, including the
+environment-variable override so shell-driven lab exercises behave like
+their C counterparts.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from dataclasses import dataclass
+
+__all__ = [
+    "OpenMPConfig",
+    "get_config",
+    "set_num_threads",
+    "get_max_threads",
+    "num_procs",
+    "scoped_num_threads",
+]
+
+#: Hard ceiling to protect the host from accidental thread bombs.
+MAX_TEAM_SIZE = 512
+
+
+@dataclass
+class OpenMPConfig:
+    """Mutable global runtime settings (one per process, as in OpenMP)."""
+
+    num_threads: int
+    schedule: str = "static"
+    chunk: int | None = None
+    dynamic_adjust: bool = False
+
+
+_lock = threading.Lock()
+_config: OpenMPConfig | None = None
+
+
+def _default_num_threads() -> int:
+    env = os.environ.get("OMP_NUM_THREADS")
+    if env:
+        try:
+            return max(1, int(env.split(",")[0]))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def get_config() -> OpenMPConfig:
+    """The process-wide configuration, creating it on first use."""
+    global _config
+    with _lock:
+        if _config is None:
+            schedule = "static"
+            chunk = None
+            env = os.environ.get("OMP_SCHEDULE")
+            if env:
+                parts = env.split(",")
+                schedule = parts[0].strip().lower() or "static"
+                if len(parts) > 1 and parts[1].strip():
+                    try:
+                        chunk = max(1, int(parts[1]))
+                    except ValueError:
+                        chunk = None
+            _config = OpenMPConfig(
+                num_threads=_default_num_threads(), schedule=schedule, chunk=chunk
+            )
+        return _config
+
+
+def set_num_threads(n: int) -> None:
+    """``omp_set_num_threads``: team size for subsequent parallel regions."""
+    if not 1 <= n <= MAX_TEAM_SIZE:
+        raise ValueError(f"num_threads must be in [1, {MAX_TEAM_SIZE}], got {n}")
+    get_config().num_threads = int(n)
+
+
+def get_max_threads() -> int:
+    """``omp_get_max_threads``: team size the next region would use."""
+    return get_config().num_threads
+
+
+def num_procs() -> int:
+    """``omp_get_num_procs``: hardware parallelism of the host."""
+    return os.cpu_count() or 1
+
+
+def _reset_for_testing() -> None:
+    """Drop the cached config so env-var parsing can be re-exercised."""
+    global _config
+    with _lock:
+        _config = None
+
+
+@contextlib.contextmanager
+def scoped_num_threads(n: int):
+    """Temporarily override the default team size (handy in tests/benches)."""
+    cfg = get_config()
+    old = cfg.num_threads
+    set_num_threads(n)
+    try:
+        yield
+    finally:
+        cfg.num_threads = old

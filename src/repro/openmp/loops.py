@@ -1,0 +1,162 @@
+"""``parallel for``: the worksharing loop with scheduling and reductions."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .env import get_config
+from .reduction import Reduction, get_reduction
+from .scheduling import (
+    DynamicScheduler,
+    GuidedScheduler,
+    static_block_ranges,
+    static_chunks,
+)
+from .team import get_num_threads, get_thread_num, parallel_region
+
+__all__ = ["parallel_for", "for_loop"]
+
+
+def _thread_indices(
+    n: int,
+    schedule: str,
+    chunk: int | None,
+    shared_scheduler: Any,
+):
+    """The calling thread's iteration stream under the requested schedule."""
+    thread = get_thread_num()
+    num_threads = get_num_threads()
+    if schedule == "static":
+        if chunk is None:
+            return static_block_ranges(n, num_threads)[thread]
+        return static_chunks(n, num_threads, chunk, thread)
+    return iter(shared_scheduler)
+
+
+def for_loop(
+    body: Callable[[int], Any],
+    n: int,
+    schedule: str | None = None,
+    chunk: int | None = None,
+    reduction: "str | Reduction | None" = None,
+) -> Any:
+    """Worksharing loop *inside* an existing parallel region.
+
+    Must be reached by every team member (like ``#pragma omp for``).  The
+    shared scheduler for dynamic/guided schedules is materialized in team
+    shared state by the first arriving thread.
+
+    Returns the reduction result (same value on every thread) if a
+    reduction was requested, else ``None``.
+    """
+    from .sync import barrier
+    from .team import current_team
+
+    cfg = get_config()
+    schedule = (schedule or cfg.schedule).lower()
+    if schedule == "runtime":
+        schedule, chunk = cfg.schedule, cfg.chunk
+    team = current_team()
+    shared_scheduler = None
+    if schedule in ("dynamic", "guided"):
+        num_threads = get_num_threads()
+        if team is None:
+            shared_scheduler = (
+                DynamicScheduler(n, chunk or 1)
+                if schedule == "dynamic"
+                else GuidedScheduler(n, num_threads, chunk or 1)
+            )
+        else:
+            key = f"for#{id(body)}#{n}#{schedule}"
+            with team._single_guard:
+                if key not in team.shared:
+                    team.shared[key] = (
+                        DynamicScheduler(n, chunk or 1)
+                        if schedule == "dynamic"
+                        else GuidedScheduler(n, num_threads, chunk or 1)
+                    )
+                shared_scheduler = team.shared[key]
+    elif schedule != "static":
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    red = get_reduction(reduction) if reduction is not None else None
+    partial = red.identity if red is not None else None
+    for i in _thread_indices(n, schedule, chunk, shared_scheduler):
+        value = body(i)
+        if red is not None:
+            partial = red.combine(partial, value)
+
+    if red is None:
+        barrier()
+        return None
+    # Combine partials through team shared state, then broadcast the result.
+    if team is None:
+        return partial
+    with team._single_guard:
+        team.shared.setdefault("__partials__", []).append(partial)
+    barrier()
+    thread = get_thread_num()
+    if thread == 0:
+        team.shared["__result__"] = red.fold(team.shared.pop("__partials__"))
+    barrier()
+    return team.shared["__result__"]
+
+
+def parallel_for(
+    n: int,
+    body: Callable[[int], Any],
+    num_threads: int | None = None,
+    schedule: str = "static",
+    chunk: int | None = None,
+    reduction: "str | Reduction | None" = None,
+) -> Any:
+    """``#pragma omp parallel for``: fork, share the loop, join.
+
+    Parameters
+    ----------
+    n:
+        Iteration count; the loop body is called once per ``i in range(n)``.
+    body:
+        ``body(i)``; its return value feeds the reduction if one is given.
+    schedule, chunk:
+        OpenMP schedule kind (``static``/``dynamic``/``guided``) and chunk.
+    reduction:
+        Operator name (``"+"``, ``"*"``, ``"max"``, ...) or a custom
+        :class:`~repro.openmp.reduction.Reduction`.
+
+    Returns the reduction result, or ``None`` when no reduction was asked.
+
+    Example
+    -------
+    >>> parallel_for(1000, lambda i: i, num_threads=4, reduction="+")
+    499500
+    """
+    if n < 0:
+        raise ValueError(f"iteration count must be non-negative, got {n}")
+    red = get_reduction(reduction) if reduction is not None else None
+
+    shared_scheduler: Any = None
+    schedule = schedule.lower()
+    cfg = get_config()
+    if schedule == "runtime":
+        schedule, chunk = cfg.schedule, cfg.chunk
+    nthreads = num_threads if num_threads is not None else cfg.num_threads
+    if schedule == "dynamic":
+        shared_scheduler = DynamicScheduler(n, chunk or 1)
+    elif schedule == "guided":
+        shared_scheduler = GuidedScheduler(n, nthreads, chunk or 1)
+    elif schedule != "static":
+        raise ValueError(f"unknown schedule {schedule!r}")
+
+    def member() -> Any:
+        partial = red.identity if red is not None else None
+        for i in _thread_indices(n, schedule, chunk, shared_scheduler):
+            value = body(i)
+            if red is not None:
+                partial = red.combine(partial, value)
+        return partial
+
+    partials = parallel_region(member, num_threads=nthreads)
+    if red is not None:
+        return red.fold(partials)
+    return None

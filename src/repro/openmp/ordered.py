@@ -1,0 +1,67 @@
+"""The ``ordered`` construct: sequential sections inside parallel loops.
+
+``#pragma omp ordered`` lets a parallel loop do most of its work
+concurrently while forcing one marked section to execute in iteration
+order — the classic pattern for ordered output or cumulative state.
+
+Usage::
+
+    gate = OrderedGate(n)
+    def body(i):
+        partial = expensive(i)          # runs concurrently
+        with gate.turn(i):              # runs in iteration order 0,1,2,...
+            emit(partial)
+    parallel_for(n, body, num_threads=4, schedule="dynamic")
+
+The gate admits iteration ``i`` only after iterations ``0..i-1`` have
+completed their ordered sections, whatever schedule assigned them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Generator
+
+__all__ = ["OrderedGate"]
+
+
+class OrderedGate:
+    """Admission control for ordered sections over iterations ``0..n-1``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("iteration count must be non-negative")
+        self.n = n
+        self._next = 0
+        self._cond = threading.Condition()
+
+    @contextlib.contextmanager
+    def turn(self, i: int) -> Generator[None, None, None]:
+        """Block until it is iteration ``i``'s turn; release the next on exit.
+
+        Each iteration index may take its turn exactly once; a repeat (or an
+        out-of-range index) is a loop bug and raises immediately.
+        """
+        if not 0 <= i < self.n:
+            raise ValueError(f"iteration {i} outside ordered range 0..{self.n - 1}")
+        with self._cond:
+            if i < self._next:
+                raise RuntimeError(f"ordered section for iteration {i} already ran")
+            while self._next != i:
+                self._cond.wait()
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._next += 1
+                self._cond.notify_all()
+
+    @property
+    def completed(self) -> int:
+        """How many ordered sections have finished."""
+        with self._cond:
+            return self._next
+
+    def finished(self) -> bool:
+        return self.completed == self.n

@@ -1,0 +1,53 @@
+"""Reduction clauses: named combiners with identities.
+
+``parallel_for(..., reduction="+")`` gives each thread a private partial
+initialized to the identity, then combines the partials after the join —
+exactly the semantics of ``reduction(+:var)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["Reduction", "get_reduction", "REDUCTIONS"]
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A named reduction: identity element plus binary combiner."""
+
+    name: str
+    identity: Any
+    combine: Callable[[Any, Any], Any]
+
+    def fold(self, partials: Sequence[Any]) -> Any:
+        acc = self.identity
+        for p in partials:
+            acc = self.combine(acc, p)
+        return acc
+
+
+REDUCTIONS: dict[str, Reduction] = {
+    "+": Reduction("+", 0, lambda a, b: a + b),
+    "*": Reduction("*", 1, lambda a, b: a * b),
+    "max": Reduction("max", float("-inf"), max),
+    "min": Reduction("min", float("inf"), min),
+    "&&": Reduction("&&", True, lambda a, b: bool(a) and bool(b)),
+    "||": Reduction("||", False, lambda a, b: bool(a) or bool(b)),
+    "&": Reduction("&", ~0, lambda a, b: a & b),
+    "|": Reduction("|", 0, lambda a, b: a | b),
+    "^": Reduction("^", 0, lambda a, b: a ^ b),
+}
+
+
+def get_reduction(spec: "str | Reduction") -> Reduction:
+    """Resolve a reduction by operator name, or pass a custom one through."""
+    if isinstance(spec, Reduction):
+        return spec
+    try:
+        return REDUCTIONS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown reduction {spec!r}; expected one of {sorted(REDUCTIONS)}"
+        ) from None

@@ -1,0 +1,142 @@
+"""Loop-iteration scheduling: static, dynamic, guided, runtime.
+
+The ``parallel for`` patternlets contrast *equal chunks* (static) with
+*chunks of one* (static,1 — round-robin) and dynamic self-scheduling; the
+drug-design exemplar shows why dynamic wins on imbalanced work.  These
+partitioners implement the OpenMP semantics exactly:
+
+* ``static`` without a chunk: split into ``num_threads`` nearly equal
+  contiguous blocks (remainder spread over the leading threads);
+* ``static`` with chunk ``c``: round-robin assignment of size-``c`` chunks;
+* ``dynamic``: threads grab the next ``c`` iterations from a shared counter;
+* ``guided``: grabbed chunk size decays as ``remaining / num_threads``,
+  bounded below by ``c``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Sequence
+
+__all__ = [
+    "static_block_ranges",
+    "static_chunks",
+    "DynamicScheduler",
+    "GuidedScheduler",
+    "iterations_for_thread",
+    "SCHEDULES",
+]
+
+SCHEDULES = ("static", "dynamic", "guided", "runtime")
+
+
+def static_block_ranges(n: int, num_threads: int) -> list[range]:
+    """Nearly equal contiguous blocks; the classic "equal chunks" split.
+
+    The first ``n % num_threads`` threads get one extra iteration, so every
+    index in ``range(n)`` is covered exactly once.
+    """
+    if n < 0:
+        raise ValueError(f"iteration count must be non-negative, got {n}")
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be positive, got {num_threads}")
+    base, extra = divmod(n, num_threads)
+    ranges = []
+    start = 0
+    for t in range(num_threads):
+        count = base + (1 if t < extra else 0)
+        ranges.append(range(start, start + count))
+        start += count
+    return ranges
+
+
+def static_chunks(n: int, num_threads: int, chunk: int, thread: int) -> Iterator[int]:
+    """Round-robin chunks of fixed size (``schedule(static, chunk)``)."""
+    if chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    stride = num_threads * chunk
+    for chunk_start in range(thread * chunk, n, stride):
+        yield from range(chunk_start, min(chunk_start + chunk, n))
+
+
+class DynamicScheduler:
+    """Shared work counter for ``schedule(dynamic, chunk)``.
+
+    Each call to :meth:`next_chunk` atomically claims the next ``chunk``
+    iterations; an empty range signals completion.
+    """
+
+    def __init__(self, n: int, chunk: int = 1) -> None:
+        if chunk < 1:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self._n = n
+        self._chunk = chunk
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_chunk(self) -> range:
+        with self._lock:
+            start = self._next
+            if start >= self._n:
+                return range(0, 0)
+            end = min(start + self._chunk, self._n)
+            self._next = end
+        return range(start, end)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate this thread's dynamically claimed indices."""
+        while True:
+            chunk = self.next_chunk()
+            if not chunk:
+                return
+            yield from chunk
+
+
+class GuidedScheduler:
+    """Decaying chunk sizes for ``schedule(guided, min_chunk)``."""
+
+    def __init__(self, n: int, num_threads: int, min_chunk: int = 1) -> None:
+        if min_chunk < 1:
+            raise ValueError(f"min_chunk must be positive, got {min_chunk}")
+        self._n = n
+        self._threads = max(1, num_threads)
+        self._min = min_chunk
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def next_chunk(self) -> range:
+        with self._lock:
+            start = self._next
+            remaining = self._n - start
+            if remaining <= 0:
+                return range(0, 0)
+            size = max(self._min, remaining // self._threads)
+            size = min(size, remaining)
+            self._next = start + size
+        return range(start, start + size)
+
+    def __iter__(self) -> Iterator[int]:
+        while True:
+            chunk = self.next_chunk()
+            if not chunk:
+                return
+            yield from chunk
+
+
+def iterations_for_thread(
+    n: int,
+    num_threads: int,
+    thread: int,
+    schedule: str = "static",
+    chunk: int | None = None,
+) -> Sequence[int] | Iterator[int]:
+    """Static-schedule index sequence for one thread (dynamic/guided need a
+    shared scheduler object and are handled by ``loops.parallel_for``)."""
+    if schedule != "static":
+        raise ValueError(
+            "iterations_for_thread only handles static schedules; "
+            f"got {schedule!r}"
+        )
+    if chunk is None:
+        return static_block_ranges(n, num_threads)[thread]
+    return static_chunks(n, num_threads, chunk, thread)

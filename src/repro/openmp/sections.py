@@ -1,0 +1,60 @@
+"""``parallel sections``: one-off task distribution across a team."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from .sync import barrier
+from .team import current_team, get_num_threads, parallel_region
+
+__all__ = ["parallel_sections", "sections"]
+
+
+def sections(tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+    """``#pragma omp sections`` inside an existing region.
+
+    Tasks are claimed dynamically (first-come), matching how OpenMP
+    distributes sections when there are more sections than threads.
+    Returns the results list (in task order) on every thread.
+    """
+    team = current_team()
+    if team is None:
+        return [task() for task in tasks]
+    key = f"sections#{id(tasks)}"
+    with team._single_guard:
+        if key not in team.shared:
+            team.shared[key] = {
+                "next": 0,
+                "results": [None] * len(tasks),
+            }
+        state = team.shared[key]
+
+    while True:
+        with team._single_guard:
+            idx = state["next"]
+            if idx >= len(tasks):
+                break
+            state["next"] = idx + 1
+        state["results"][idx] = tasks[idx]()
+    barrier()
+    return state["results"]
+
+
+def parallel_sections(
+    tasks: Sequence[Callable[[], Any]], num_threads: int | None = None
+) -> list[Any]:
+    """``#pragma omp parallel sections``: fork a team, run the task list.
+
+    Each task runs exactly once; results are returned in task order.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    if num_threads is None:
+        num_threads = min(len(tasks), get_num_threads() or len(tasks)) or len(tasks)
+
+    def member() -> Any:
+        return sections(tasks)
+
+    results = parallel_region(member, num_threads=num_threads)
+    return results[0]

@@ -1,0 +1,179 @@
+"""Synchronization constructs: critical, atomic, barrier, single, master, locks.
+
+These are the constructs the Runestone shared-memory module teaches as the
+*fixes* for race conditions (the ``critical`` and ``atomic`` patternlets)
+and as coordination primitives (``barrier``, ``master``, ``single``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Any, Callable, Generator, Iterator
+
+from .team import _claim_single, current_team, get_thread_num
+
+__all__ = [
+    "critical",
+    "barrier",
+    "master",
+    "single",
+    "Lock",
+    "AtomicCounter",
+    "AtomicAccumulator",
+]
+
+
+@contextlib.contextmanager
+def critical(name: str = "") -> Generator[None, None, None]:
+    """``#pragma omp critical [(name)]``: team-wide named mutual exclusion.
+
+    Unnamed critical sections share one lock, exactly as in OpenMP.  Outside
+    a parallel region the construct is a no-op (single thread).
+    """
+    team = current_team()
+    if team is None:
+        yield
+        return
+    lock = team.critical_lock(name or "<unnamed>")
+    with lock:
+        yield
+
+
+def barrier() -> None:
+    """``#pragma omp barrier``: wait for every team member."""
+    team = current_team()
+    if team is not None:
+        team.barrier.wait()
+
+
+def master(fn: Callable[[], Any] | None = None) -> Any:
+    """``#pragma omp master``: run only on thread 0 (no implied barrier).
+
+    Usable two ways: ``if master():`` as a predicate, or ``master(fn)`` to
+    call ``fn`` on the master thread only (returns ``fn()`` there, ``None``
+    elsewhere).
+    """
+    is_master = get_thread_num() == 0
+    if fn is None:
+        return is_master
+    return fn() if is_master else None
+
+
+def single(fn: Callable[[], Any] | None = None, nowait: bool = False) -> Any:
+    """``#pragma omp single``: exactly one (arbitrary) thread executes.
+
+    As a predicate, ``if single():`` elects a winner per call-site
+    occurrence; every thread must reach the same occurrence (the standard's
+    usual well-formedness requirement).  With ``fn``, the winner calls it.
+    An implicit barrier follows unless ``nowait`` — matching OpenMP.
+    """
+    winner = _claim_single()
+    result = None
+    if fn is not None and winner:
+        result = fn()
+    if not nowait and fn is not None:
+        barrier()
+    if fn is None:
+        return winner
+    return result
+
+
+class Lock:
+    """``omp_lock_t`` equivalent (init/set/unset/test in OpenMP speak)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def set(self) -> None:
+        """``omp_set_lock``: blocking acquire."""
+        self._lock.acquire()
+
+    def unset(self) -> None:
+        """``omp_unset_lock``: release."""
+        self._lock.release()
+
+    def test(self) -> bool:
+        """``omp_test_lock``: nonblocking acquire; True on success."""
+        return self._lock.acquire(blocking=False)
+
+    def __enter__(self) -> "Lock":
+        self.set()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.unset()
+
+
+def _plus(a: int, b: int) -> int:
+    """Trivial helper whose call frame gives the scheduler a chance to switch."""
+    return a + b
+
+
+class AtomicCounter:
+    """``#pragma omp atomic`` on an integer: indivisible read-modify-write."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial
+        self._lock = threading.Lock()
+
+    def add(self, delta: int = 1) -> int:
+        """Atomically add; returns the new value."""
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    def increment(self) -> int:
+        return self.add(1)
+
+    def decrement(self) -> int:
+        return self.add(-1)
+
+    def fetch_and_add(self, delta: int) -> int:
+        """Atomically add; returns the *old* value (the dynamic-scheduling
+        workhorse)."""
+        with self._lock:
+            old = self._value
+            self._value += delta
+            return old
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def unsafe_read_modify_write(self, delta: int = 1) -> None:
+        """The *broken* version: a deliberately non-atomic ``x = x + delta``.
+
+        Exists so the race-condition patternlet can demonstrate lost updates
+        against the very same counter object that ``add`` protects.  The
+        modify step goes through a function call because CPython (3.10+)
+        only checks its thread-switch eval-breaker at call and backward-jump
+        boundaries; without a call between the read and the write the window
+        would never be preempted and the race would be invisible.
+        """
+        value = self._value  # read
+        value = _plus(value, delta)  # modify (call boundary: preemption point)
+        self._value = value  # write
+
+
+class AtomicAccumulator:
+    """Atomic accumulation for floats (``sum += term`` under a lock)."""
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: float = 0.0) -> None:
+        self._value = float(initial)
+        self._lock = threading.Lock()
+
+    def add(self, delta: float) -> float:
+        with self._lock:
+            self._value += delta
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value

@@ -1,0 +1,34 @@
+"""``repro.patternlets`` — the patternlet catalog for both paradigms.
+
+Importing this package registers every patternlet; enumerate them with
+:func:`all_patternlets` or fetch one by name with :func:`get_patternlet`.
+
+>>> from repro.patternlets import get_patternlet
+>>> get_patternlet("mpi", "spmd").run(np=4).values["np"]
+4
+"""
+
+from . import mpi as _mpi  # noqa: F401 - registration side effects
+from . import openmp as _openmp  # noqa: F401
+from .base import (
+    PARADIGMS,
+    Patternlet,
+    PatternletResult,
+    all_patternlets,
+    get_patternlet,
+    patternlet_names,
+)
+from .clistings import C_LISTINGS, c_listing
+from .mpi import SPMD_SCRIPT
+
+__all__ = [
+    "c_listing",
+    "C_LISTINGS",
+    "Patternlet",
+    "PatternletResult",
+    "all_patternlets",
+    "get_patternlet",
+    "patternlet_names",
+    "PARADIGMS",
+    "SPMD_SCRIPT",
+]

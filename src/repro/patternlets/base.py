@@ -1,0 +1,130 @@
+"""Patternlet infrastructure: metadata, results, and the registry.
+
+A *patternlet* (Adams, IPDPSW 2015) is a minimal, runnable program that
+illustrates exactly one parallel-programming pattern.  Here each patternlet
+is a Python callable plus metadata; running it returns a
+:class:`PatternletResult` carrying a human-readable event trace (what the
+learner would see on the terminal) and machine-checkable values (what the
+tests and interactive questions assert on).
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Patternlet",
+    "PatternletResult",
+    "register",
+    "get_patternlet",
+    "all_patternlets",
+    "patternlet_names",
+    "PARADIGMS",
+]
+
+PARADIGMS = ("openmp", "mpi")
+
+
+@dataclass
+class PatternletResult:
+    """Outcome of one patternlet run."""
+
+    name: str
+    trace: list[str] = field(default_factory=list)
+    values: dict[str, Any] = field(default_factory=dict)
+
+    def emit(self, line: str) -> None:
+        self.trace.append(line)
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.trace)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.values[key]
+
+
+@dataclass(frozen=True)
+class Patternlet:
+    """A registered patternlet: one pattern, one runnable demonstration."""
+
+    name: str
+    paradigm: str
+    pattern: str
+    summary: str
+    runner: Callable[..., PatternletResult]
+    order: int = 0
+    concepts: tuple[str, ...] = ()
+
+    def run(self, **kwargs: Any) -> PatternletResult:
+        """Execute the patternlet; keyword arguments tune its parameters."""
+        return self.runner(**kwargs)
+
+    @property
+    def source(self) -> str:
+        """The patternlet's own code, shown to learners as the listing."""
+        return textwrap.dedent(inspect.getsource(self.runner))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.paradigm}:{self.order:02d}] {self.name} — {self.pattern}"
+
+
+_REGISTRY: dict[tuple[str, str], Patternlet] = {}
+
+
+def register(
+    name: str,
+    paradigm: str,
+    pattern: str,
+    summary: str,
+    order: int = 0,
+    concepts: Iterable[str] = (),
+) -> Callable[[Callable[..., PatternletResult]], Callable[..., PatternletResult]]:
+    """Decorator registering a patternlet runner under (paradigm, name)."""
+    if paradigm not in PARADIGMS:
+        raise ValueError(f"paradigm must be one of {PARADIGMS}, got {paradigm!r}")
+
+    def deco(fn: Callable[..., PatternletResult]) -> Callable[..., PatternletResult]:
+        key = (paradigm, name)
+        if key in _REGISTRY:
+            raise ValueError(f"patternlet {paradigm}:{name} already registered")
+        _REGISTRY[key] = Patternlet(
+            name=name,
+            paradigm=paradigm,
+            pattern=pattern,
+            summary=summary,
+            runner=fn,
+            order=order,
+            concepts=tuple(concepts),
+        )
+        return fn
+
+    return deco
+
+
+def get_patternlet(paradigm: str, name: str) -> Patternlet:
+    """Look up one patternlet; raises ``KeyError`` with suggestions."""
+    try:
+        return _REGISTRY[(paradigm, name)]
+    except KeyError:
+        available = sorted(n for p, n in _REGISTRY if p == paradigm)
+        raise KeyError(
+            f"no patternlet {paradigm}:{name}; available: {available}"
+        ) from None
+
+
+def all_patternlets(paradigm: str | None = None) -> list[Patternlet]:
+    """All registered patternlets, ordered as the handouts present them."""
+    items = [
+        p
+        for (para, _n), p in _REGISTRY.items()
+        if paradigm is None or para == paradigm
+    ]
+    return sorted(items, key=lambda p: (p.paradigm, p.order, p.name))
+
+
+def patternlet_names(paradigm: str) -> list[str]:
+    return [p.name for p in all_patternlets(paradigm)]

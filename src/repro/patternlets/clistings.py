@@ -1,0 +1,199 @@
+"""C/OpenMP source listings for the shared-memory patternlets.
+
+On the Raspberry Pi, learners compile and run *C* patternlets (OpenMP is a
+C/C++ pragma API); the Python implementations in this package demonstrate
+the same semantics runnable anywhere.  This module carries the C text of
+each patternlet in the CSinParallel style, so the handout can show the
+code the learner will type while the activity checks run in Python.
+"""
+
+from __future__ import annotations
+
+__all__ = ["c_listing", "C_LISTINGS"]
+
+_PREAMBLE = "#include <stdio.h>\n#include <omp.h>\n\n"
+
+C_LISTINGS: dict[str, str] = {
+    "spmd": _PREAMBLE
+    + """int main() {
+    #pragma omp parallel
+    {
+        int id = omp_get_thread_num();
+        int numThreads = omp_get_num_threads();
+        printf("Hello from thread %d of %d\\n", id, numThreads);
+    }
+    return 0;
+}
+""",
+    "forkjoin": _PREAMBLE
+    + """int main() {
+    printf("Before...\\n");
+    #pragma omp parallel
+    {
+        printf("During: thread %d\\n", omp_get_thread_num());
+    }
+    printf("After\\n");
+    return 0;
+}
+""",
+    "private": _PREAMBLE
+    + """int main() {
+    int id = -1;                     /* shared unless declared private */
+    #pragma omp parallel private(id)
+    {
+        id = omp_get_thread_num();   /* each thread has its own id */
+        printf("thread %d squared: %d\\n", id, id * id);
+    }
+    return 0;
+}
+""",
+    "race": _PREAMBLE
+    + """int main() {
+    const int REPS = 1000000;
+    int balance = 0;
+    #pragma omp parallel for
+    for (int i = 0; i < REPS; i++) {
+        balance = balance + 1;       /* unprotected read-modify-write! */
+    }
+    printf("expected %d, got %d\\n", REPS, balance);
+    return 0;
+}
+""",
+    "critical": _PREAMBLE
+    + """int main() {
+    const int REPS = 1000000;
+    int balance = 0;
+    #pragma omp parallel for
+    for (int i = 0; i < REPS; i++) {
+        #pragma omp critical
+        { balance = balance + 1; }   /* one thread at a time */
+    }
+    printf("expected %d, got %d\\n", REPS, balance);
+    return 0;
+}
+""",
+    "atomic": _PREAMBLE
+    + """int main() {
+    const int REPS = 1000000;
+    int balance = 0;
+    #pragma omp parallel for
+    for (int i = 0; i < REPS; i++) {
+        #pragma omp atomic
+        balance++;                   /* indivisible update */
+    }
+    printf("expected %d, got %d\\n", REPS, balance);
+    return 0;
+}
+""",
+    "reduction": _PREAMBLE
+    + """int main() {
+    const int N = 1000000;
+    long sum = 0;
+    #pragma omp parallel for reduction(+:sum)
+    for (int i = 1; i <= N; i++) {
+        sum += i;                    /* private partials, combined at join */
+    }
+    printf("sum(1..%d) = %ld\\n", N, sum);
+    return 0;
+}
+""",
+    "forEqualChunks": _PREAMBLE
+    + """int main() {
+    const int REPS = 16;
+    #pragma omp parallel for schedule(static)
+    for (int i = 0; i < REPS; i++) {
+        printf("thread %d got iteration %d\\n", omp_get_thread_num(), i);
+    }
+    return 0;
+}
+""",
+    "forChunksOf1": _PREAMBLE
+    + """int main() {
+    const int REPS = 16;
+    #pragma omp parallel for schedule(static,1)
+    for (int i = 0; i < REPS; i++) {
+        printf("thread %d got iteration %d\\n", omp_get_thread_num(), i);
+    }
+    return 0;
+}
+""",
+    "forDynamic": _PREAMBLE
+    + """int main() {
+    const int REPS = 24;
+    #pragma omp parallel for schedule(dynamic,2)
+    for (int i = 0; i < REPS; i++) {
+        printf("thread %d grabbed iteration %d\\n", omp_get_thread_num(), i);
+    }
+    return 0;
+}
+""",
+    "barrier": _PREAMBLE
+    + """int main() {
+    #pragma omp parallel
+    {
+        int id = omp_get_thread_num();
+        printf("phase 1: thread %d\\n", id);
+        #pragma omp barrier
+        printf("phase 2: thread %d\\n", id);
+    }
+    return 0;
+}
+""",
+    "masterSingle": _PREAMBLE
+    + """int main() {
+    #pragma omp parallel
+    {
+        #pragma omp master
+        { printf("master is thread %d\\n", omp_get_thread_num()); }
+        #pragma omp single
+        { printf("single ran on thread %d\\n", omp_get_thread_num()); }
+    }
+    return 0;
+}
+""",
+    "sections": _PREAMBLE
+    + """int main() {
+    #pragma omp parallel sections
+    {
+        #pragma omp section
+        { printf("section A on thread %d\\n", omp_get_thread_num()); }
+        #pragma omp section
+        { printf("section B on thread %d\\n", omp_get_thread_num()); }
+    }
+    return 0;
+}
+""",
+    "tasks": _PREAMBLE
+    + """long fib(int n) {
+    if (n < 2) return n;
+    long x, y;
+    #pragma omp task shared(x)
+    x = fib(n - 1);
+    y = fib(n - 2);
+    #pragma omp taskwait
+    return x + y;
+}
+
+int main() {
+    long result;
+    #pragma omp parallel
+    {
+        #pragma omp single
+        result = fib(20);
+    }
+    printf("fib(20) = %ld\\n", result);
+    return 0;
+}
+""",
+}
+
+
+def c_listing(name: str) -> str:
+    """The C/OpenMP source of one shared-memory patternlet."""
+    try:
+        return C_LISTINGS[name]
+    except KeyError:
+        raise KeyError(
+            f"no C listing for patternlet {name!r}; available: "
+            f"{sorted(C_LISTINGS)}"
+        ) from None

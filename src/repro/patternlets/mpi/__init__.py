@@ -1,0 +1,4 @@
+"""MPI patternlets: importing this package registers all of them."""
+
+from . import collective, masterworker, pointtopoint, spmd, topology  # noqa: F401
+from .spmd import SPMD_SCRIPT  # noqa: F401 - the Fig. 2 script text

@@ -1,0 +1,143 @@
+"""MPI patternlets 7-11: collective communication.
+
+Broadcast, scatter, gather, reduce and allreduce — the data-movement
+vocabulary the exemplars build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...mpi import MPI, SUM, mpirun
+from ..base import PatternletResult, register
+
+
+@register(
+    "broadcast",
+    "mpi",
+    pattern="Broadcast",
+    summary="Root's data reaches every process in one collective call.",
+    order=7,
+    concepts=("collective", "broadcast", "root"),
+)
+def broadcast(np: int = 4) -> PatternletResult:
+    """Broadcast a dictionary (the mpi4py tutorial example) to all ranks."""
+    result = PatternletResult("broadcast")
+
+    def body(comm):
+        rank = comm.Get_rank()
+        data = {"key1": [7, 2.72, 2 + 3j], "key2": ("abc", "xyz")} if rank == 0 else None
+        data = comm.bcast(data, root=0)
+        result.emit(f"rank {rank} has keys {sorted(data)}")
+        return data
+
+    outs = mpirun(body, np)
+    result.values["all_equal"] = all(o == outs[0] for o in outs)
+    result.values["copies_are_private"] = all(
+        outs[i] is not outs[j] for i in range(np) for j in range(i + 1, min(np, i + 2))
+    ) if np > 1 else True
+    return result
+
+
+@register(
+    "scatter",
+    "mpi",
+    pattern="Scatter",
+    summary="Root deals one chunk of its data to each process.",
+    order=8,
+    concepts=("collective", "scatter", "data decomposition"),
+)
+def scatter(np: int = 4) -> PatternletResult:
+    """Scatter (i+1)^2 values; rank r receives (r+1)^2."""
+    result = PatternletResult("scatter")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        data = [(i + 1) ** 2 for i in range(size)] if rank == 0 else None
+        data = comm.scatter(data, root=0)
+        result.emit(f"rank {rank} received {data}")
+        return data
+
+    outs = mpirun(body, np)
+    result.values["each_got_its_chunk"] = outs == [(r + 1) ** 2 for r in range(np)]
+    return result
+
+
+@register(
+    "gather",
+    "mpi",
+    pattern="Gather",
+    summary="Every process contributes one value; root assembles the list.",
+    order=9,
+    concepts=("collective", "gather", "result assembly"),
+)
+def gather(np: int = 4) -> PatternletResult:
+    """Gather (rank+1)^2 values at root, None everywhere else."""
+    result = PatternletResult("gather")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        gathered = comm.gather((rank + 1) ** 2, root=0)
+        if rank == 0:
+            result.emit(f"root gathered {gathered}")
+        return gathered
+
+    outs = mpirun(body, np)
+    result.values["root_list_correct"] = outs[0] == [(r + 1) ** 2 for r in range(np)]
+    result.values["non_roots_none"] = all(o is None for o in outs[1:])
+    return result
+
+
+@register(
+    "reduce",
+    "mpi",
+    pattern="Reduce",
+    summary="Combine one value per process with an operation, result at root.",
+    order=10,
+    concepts=("collective", "reduction", "MPI_SUM"),
+)
+def reduce(np: int = 4) -> PatternletResult:
+    """Sum ranks and sum of squares in two reduces."""
+    result = PatternletResult("reduce")
+
+    def body(comm):
+        rank = comm.Get_rank()
+        total = comm.reduce(rank, op=SUM, root=0)
+        squares = comm.reduce(rank * rank, op=SUM, root=0)
+        if rank == 0:
+            result.emit(f"sum of ranks = {total}, sum of squares = {squares}")
+        return (total, squares)
+
+    outs = mpirun(body, np)
+    expect = (sum(range(np)), sum(r * r for r in range(np)))
+    result.values["root_correct"] = outs[0] == expect
+    result.values["non_roots_none"] = all(o == (None, None) for o in outs[1:])
+    return result
+
+
+@register(
+    "allreduceArrays",
+    "mpi",
+    pattern="Allreduce on typed buffers",
+    summary="NumPy arrays combine elementwise; every rank gets the result.",
+    order=11,
+    concepts=("buffer collectives", "Allreduce", "NumPy interop"),
+)
+def allreduce_arrays(np_procs: int = 4, n: int = 64) -> PatternletResult:
+    """Each rank contributes rank*ones(n); all receive sum(ranks)*ones(n)."""
+    result = PatternletResult("allreduceArrays")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        sendbuf = np.full(n, rank, dtype="d")
+        recvbuf = np.empty(n, dtype="d")
+        comm.Allreduce([sendbuf, MPI.DOUBLE], [recvbuf, MPI.DOUBLE], op=SUM)
+        return float(recvbuf[0]), bool((recvbuf == recvbuf[0]).all())
+
+    outs = mpirun(body, np_procs)
+    expected = float(sum(range(np_procs)))
+    result.emit(f"every rank computed elementwise sum = {expected}")
+    result.values["all_correct"] = all(
+        v == expected and uniform for v, uniform in outs
+    )
+    return result

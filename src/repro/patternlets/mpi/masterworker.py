@@ -1,0 +1,111 @@
+"""MPI patternlets 12-13: master-worker task distribution and the
+parallel-loop decomposition.
+
+The master-worker patternlet is the skeleton the drug-design exemplar
+fleshes out; parallelLoopChunks is the skeleton for numerical integration.
+"""
+
+from __future__ import annotations
+
+from ...mpi import ANY_SOURCE, ANY_TAG, Status, mpirun
+from ..base import PatternletResult, register
+
+_TAG_WORK = 1
+_TAG_DONE = 2
+
+
+@register(
+    "masterWorker",
+    "mpi",
+    pattern="Master-Worker (dynamic task queue)",
+    summary="The master hands tasks to whichever worker asks next.",
+    order=12,
+    concepts=("master-worker", "dynamic load balancing", "poison pill"),
+)
+def master_worker(np: int = 4, num_tasks: int = 12) -> PatternletResult:
+    """Master farms ``num_tasks`` squarings out to np-1 workers."""
+    if np < 2:
+        raise ValueError("masterWorker needs at least 2 processes")
+    result = PatternletResult("masterWorker")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        if rank == 0:
+            results: dict[int, int] = {}
+            status = Status()
+            outstanding = 0
+            next_task = 0
+            # Prime every worker with one task.
+            for worker in range(1, size):
+                if next_task < num_tasks:
+                    comm.send(next_task, dest=worker, tag=_TAG_WORK)
+                    next_task += 1
+                    outstanding += 1
+                else:
+                    comm.send(None, dest=worker, tag=_TAG_DONE)
+            # Re-feed the worker that answers until tasks run out.
+            while outstanding:
+                task, value = comm.recv(source=ANY_SOURCE, tag=_TAG_WORK, status=status)
+                results[task] = value
+                outstanding -= 1
+                worker = status.Get_source()
+                if next_task < num_tasks:
+                    comm.send(next_task, dest=worker, tag=_TAG_WORK)
+                    next_task += 1
+                    outstanding += 1
+                else:
+                    comm.send(None, dest=worker, tag=_TAG_DONE)
+            return results
+        # Worker loop: compute until the poison pill arrives.
+        handled = 0
+        status = Status()
+        while True:
+            task = comm.recv(source=0, tag=ANY_TAG, status=status)
+            if status.Get_tag() == _TAG_DONE:
+                return handled
+            comm.send((task, task * task), dest=0, tag=_TAG_WORK)
+            handled += 1
+
+    outs = mpirun(body, np)
+    results = outs[0]
+    result.emit(f"master collected {len(results)} results from {np - 1} workers")
+    result.values["all_tasks_done"] = results == {t: t * t for t in range(num_tasks)}
+    result.values["per_worker_counts"] = outs[1:]
+    result.values["work_was_distributed"] = sum(outs[1:]) == num_tasks
+    return result
+
+
+@register(
+    "parallelLoopChunks",
+    "mpi",
+    pattern="Parallel loop via rank-strided decomposition",
+    summary="Each rank computes its slice of the loop; a reduce assembles the answer.",
+    order=13,
+    concepts=("data decomposition", "owner computes", "reduce"),
+)
+def parallel_loop_chunks(np: int = 4, n: int = 1000) -> PatternletResult:
+    """Sum of squares of 0..n-1 with block decomposition plus reduce."""
+    result = PatternletResult("parallelLoopChunks")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        # Equal-chunk bounds: the same decomposition as the OpenMP patternlet.
+        base, extra = divmod(n, size)
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        local = sum(i * i for i in range(lo, hi))
+        total = comm.reduce(local, root=0)
+        return (lo, hi, total)
+
+    outs = mpirun(body, np)
+    expected = sum(i * i for i in range(n))
+    bounds = [(lo, hi) for lo, hi, _ in outs]
+    result.emit(f"rank slices: {bounds}")
+    result.emit(f"total = {outs[0][2]} (expected {expected})")
+    result.values["total_correct"] = outs[0][2] == expected
+    result.values["slices_cover"] = (
+        bounds[0][0] == 0
+        and bounds[-1][1] == n
+        and all(bounds[i][1] == bounds[i + 1][0] for i in range(np - 1))
+    )
+    return result

@@ -1,0 +1,161 @@
+"""MPI patternlets 3-6: point-to-point messaging.
+
+Send/receive pairs, the ring pipeline, tag-based selection, and the
+deadlock demonstration (with its fix) — the message-passing core of the
+Colab hour.
+"""
+
+from __future__ import annotations
+
+from ...mpi import ANY_SOURCE, ANY_TAG, DeadlockError, Status, mpirun
+from ..base import PatternletResult, register
+
+
+@register(
+    "sendReceive",
+    "mpi",
+    pattern="Send-Receive (message passing)",
+    summary="Rank 0 sends a Python object; rank 1 receives it.",
+    order=3,
+    concepts=("blocking send", "blocking receive", "pickled objects"),
+)
+def send_receive(np: int = 2) -> PatternletResult:
+    """The minimal two-process exchange from the mpi4py tutorial."""
+    if np < 2:
+        raise ValueError("sendReceive needs at least 2 processes")
+    result = PatternletResult("sendReceive")
+
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            data = {"a": 7, "b": 3.14}
+            comm.send(data, dest=1, tag=11)
+            result.emit("rank 0 sent {'a': 7, 'b': 3.14}")
+            return data
+        if rank == 1:
+            data = comm.recv(source=0, tag=11)
+            result.emit(f"rank 1 received {data}")
+            return data
+        return None
+
+    outs = mpirun(body, np)
+    result.values["received_equals_sent"] = outs[0] == outs[1]
+    return result
+
+
+@register(
+    "messagePassingRing",
+    "mpi",
+    pattern="Ring pipeline",
+    summary="Each rank appends to a message and passes it around the ring.",
+    order=4,
+    concepts=("pipeline", "neighbor communication", "modulo ring"),
+)
+def ring(np: int = 4) -> PatternletResult:
+    """A token circulates 0 -> 1 -> ... -> N-1 -> 0, growing at each hop."""
+    result = PatternletResult("messagePassingRing")
+
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        if rank == 0:
+            comm.send([0], dest=right, tag=4)
+            token = comm.recv(source=left, tag=4)
+            result.emit(f"token returned to rank 0: {token}")
+            return token
+        token = comm.recv(source=left, tag=4)
+        token.append(rank)
+        comm.send(token, dest=right, tag=4)
+        return None
+
+    outs = mpirun(body, np)
+    result.values["token"] = outs[0]
+    result.values["visited_all"] = outs[0] == list(range(np))
+    return result
+
+
+@register(
+    "messageTags",
+    "mpi",
+    pattern="Tag-selective receives",
+    summary="Tags let a receiver demultiplex kinds of messages.",
+    order=5,
+    concepts=("tags", "selective receive", "MPI_ANY_TAG", "Status"),
+)
+def tags(np: int = 2) -> PatternletResult:
+    """Rank 0 sends two differently tagged messages; rank 1 receives the
+    *second-sent tag first*, proving matching is by tag, not arrival."""
+    if np < 2:
+        raise ValueError("messageTags needs at least 2 processes")
+    result = PatternletResult("messageTags")
+    TAG_WORK, TAG_STOP = 1, 2
+
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            comm.send("work item", dest=1, tag=TAG_WORK)
+            comm.send("stop now", dest=1, tag=TAG_STOP)
+            return None
+        if rank == 1:
+            status = Status()
+            stop = comm.recv(source=0, tag=TAG_STOP, status=status)
+            result.emit(f"got tag {status.Get_tag()}: {stop!r}")
+            work = comm.recv(source=0, tag=TAG_WORK, status=status)
+            result.emit(f"got tag {status.Get_tag()}: {work!r}")
+            return (stop, work)
+        return None
+
+    outs = mpirun(body, np)
+    result.values["out_of_order_ok"] = outs[1] == ("stop now", "work item")
+    return result
+
+
+@register(
+    "deadlock",
+    "mpi",
+    pattern="Deadlock (and how to break it)",
+    summary="Two ranks that both receive first wait forever; reordering fixes it.",
+    order=6,
+    concepts=("deadlock", "blocking semantics", "communication ordering"),
+)
+def deadlock(np: int = 2, fixed: bool = False, timeout: float = 5.0) -> PatternletResult:
+    """Run the broken exchange (detected and reported) or the fixed one."""
+    if np < 2 or np % 2:
+        raise ValueError("deadlock patternlet needs an even process count >= 2")
+    result = PatternletResult("deadlock")
+
+    def broken(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = rank ^ 1
+        # Everyone receives first: nobody ever reaches their send.
+        incoming = comm.recv(source=partner, tag=7)
+        comm.send(f"hello from {rank}", dest=partner, tag=7)
+        return incoming
+
+    def repaired(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = rank ^ 1
+        if rank % 2 == 0:  # evens send first, odds receive first
+            comm.send(f"hello from {rank}", dest=partner, tag=7)
+            incoming = comm.recv(source=partner, tag=7)
+        else:
+            incoming = comm.recv(source=partner, tag=7)
+            comm.send(f"hello from {rank}", dest=partner, tag=7)
+        return incoming
+
+    if fixed:
+        outs = mpirun(repaired, np)
+        result.emit("fixed ordering completed the exchange")
+        result.values["deadlocked"] = False
+        result.values["exchanged"] = all(
+            outs[r] == f"hello from {r ^ 1}" for r in range(np)
+        )
+    else:
+        try:
+            mpirun(broken, np, deadlock_timeout=timeout)
+            result.values["deadlocked"] = False  # pragma: no cover - never happens
+        except DeadlockError as exc:
+            result.emit(f"deadlock detected: {exc}")
+            result.values["deadlocked"] = True
+    return result

@@ -1,0 +1,105 @@
+"""MPI patternlets 0-2: SPMD, conditional master-worker split, sequential-order output.
+
+``spmd`` is the paper's Fig. 2 patternlet (``00spmd.py`` in the Colab): one
+program, N processes, interleaved greetings.
+"""
+
+from __future__ import annotations
+
+from ...mpi import mpirun
+from ..base import PatternletResult, register
+
+#: The exact script shown in the paper's Fig. 2 Colab cell.
+SPMD_SCRIPT = '''\
+from mpi4py import MPI
+
+def main():
+    comm = MPI.COMM_WORLD
+    id = comm.Get_rank()             #number of the process running the code
+    numProcesses = comm.Get_size()   #total number of processes running
+    myHostName = MPI.Get_processor_name()  #machine name running the code
+
+    print("Greetings from process {} of {} on {}"\\
+        .format(id, numProcesses, myHostName))
+
+########## Run the main function
+main()
+'''
+
+
+@register(
+    "spmd",
+    "mpi",
+    pattern="SPMD (Single Program, Multiple Data)",
+    summary="The fundamental structure of every MPI program: N processes, one text.",
+    order=0,
+    concepts=("SPMD", "rank", "communicator size", "hostname"),
+)
+def spmd(np: int = 4, hostname: str = "d6ff4f902ed6") -> PatternletResult:
+    """Every process greets with its rank — the Fig. 2 demonstration."""
+    result = PatternletResult("spmd")
+
+    def body(comm) -> str:
+        line = (
+            f"Greetings from process {comm.Get_rank()} of "
+            f"{comm.Get_size()} on {comm.Get_processor_name()}"
+        )
+        result.emit(line)
+        return line
+
+    mpirun(body, np, hostname=hostname)
+    result.values["np"] = np
+    result.values["unique_ranks"] = len(set(result.trace)) == np
+    return result
+
+
+@register(
+    "masterWorkerSplit",
+    "mpi",
+    pattern="Conditional SPMD (master vs. worker code paths)",
+    summary="if rank == 0: master work; else: worker work — one text, two roles.",
+    order=1,
+    concepts=("conditional on rank", "master-worker roles"),
+)
+def master_worker_split(np: int = 4) -> PatternletResult:
+    """Branching on rank turns one SPMD text into different roles."""
+    result = PatternletResult("masterWorkerSplit")
+
+    def body(comm) -> str:
+        rank = comm.Get_rank()
+        role = "Master" if rank == 0 else "Worker"
+        line = f"{role} (rank {rank}) reporting"
+        result.emit(line)
+        return role
+
+    roles = mpirun(body, np)
+    result.values["roles"] = roles
+    result.values["one_master"] = roles.count("Master") == 1
+    result.values["workers"] = roles.count("Worker")
+    return result
+
+
+@register(
+    "sequenceNumbers",
+    "mpi",
+    pattern="Rank-ordered output via gather",
+    summary="Process output order is nondeterministic; gather to rank 0 to order it.",
+    order=2,
+    concepts=("nondeterministic interleaving", "gather for ordering"),
+)
+def sequence_numbers(np: int = 4) -> PatternletResult:
+    """Contrast raw interleaving with deterministic gather-then-print."""
+    result = PatternletResult("sequenceNumbers")
+
+    def body(comm):
+        rank = comm.Get_rank()
+        lines = comm.gather(f"message from rank {rank}", root=0)
+        if rank == 0:
+            for line in lines:
+                result.emit(line)
+        return rank
+
+    mpirun(body, np)
+    expected = [f"message from rank {r}" for r in range(np)]
+    result.values["ordered"] = result.trace == expected
+    return result

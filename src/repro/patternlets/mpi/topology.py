@@ -1,0 +1,66 @@
+"""MPI patternlet 14: Cartesian topology and halo exchange."""
+
+from __future__ import annotations
+
+from ...mpi import PROC_NULL, mpirun
+from ..base import PatternletResult, register
+
+
+@register(
+    "haloExchange",
+    "mpi",
+    pattern="Cartesian topology + halo exchange",
+    summary="Neighbors on a process grid swap boundary cells each step.",
+    order=14,
+    concepts=("Cartesian topology", "Shift", "halo exchange", "PROC_NULL"),
+)
+def halo_exchange(np: int = 4, cells_per_rank: int = 3) -> PatternletResult:
+    """Each rank owns a strip of cells and swaps edge values with neighbors.
+
+    The non-periodic rod means the end ranks' missing neighbors are
+    ``PROC_NULL`` — their exchanges complete immediately with no data,
+    which is the standard trick that keeps stencil codes edge-case-free.
+    """
+    result = PatternletResult("haloExchange")
+
+    def body(comm):
+        cart = comm.Create_cart((comm.Get_size(),), periods=(False,))
+        rank, size = cart.Get_rank(), cart.Get_size()
+        left, right = cart.Shift(0, 1)
+        base = rank * cells_per_rank
+        cells = list(range(base, base + cells_per_rank))
+        # my left halo = left neighbor's last cell; right halo = right
+        # neighbor's first cell
+        left_halo = cart.sendrecv(cells[-1], dest=right, sendtag=1,
+                                  source=left, recvtag=1)
+        right_halo = cart.sendrecv(cells[0], dest=left, sendtag=2,
+                                   source=right, recvtag=2)
+        return {
+            "rank": rank,
+            "left_neighbor": left,
+            "right_neighbor": right,
+            "cells": cells,
+            "left_halo": left_halo,
+            "right_halo": right_halo,
+        }
+
+    outs = mpirun(body, np)
+    for o in outs:
+        result.emit(
+            f"rank {o['rank']}: cells {o['cells']}, halos "
+            f"({o['left_halo']}, {o['right_halo']})"
+        )
+    correct = True
+    for o in outs:
+        rank = o["rank"]
+        expect_left = None if rank == 0 else rank * cells_per_rank - 1
+        expect_right = (
+            None if rank == np - 1 else (rank + 1) * cells_per_rank
+        )
+        correct &= o["left_halo"] == expect_left
+        correct &= o["right_halo"] == expect_right
+        correct &= (o["left_neighbor"] == PROC_NULL) == (rank == 0)
+        correct &= (o["right_neighbor"] == PROC_NULL) == (rank == np - 1)
+    result.values["halos_correct"] = correct
+    result.values["np"] = np
+    return result

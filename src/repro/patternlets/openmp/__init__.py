@@ -1,0 +1,3 @@
+"""OpenMP patternlets: importing this package registers all of them."""
+
+from . import coordination, race, spmd, tasking, worksharing  # noqa: F401

@@ -1,0 +1,107 @@
+"""OpenMP patternlets 10-12: barrier, master/single, sections."""
+
+from __future__ import annotations
+
+import threading
+
+from ...openmp import (
+    barrier,
+    get_thread_num,
+    master,
+    parallel_region,
+    parallel_sections,
+    single,
+)
+from ..base import PatternletResult, register
+
+
+@register(
+    "barrier",
+    "openmp",
+    pattern="Barrier",
+    summary="No thread enters phase 2 until every thread finished phase 1.",
+    order=10,
+    concepts=("barrier", "phase synchronization"),
+)
+def barrier_demo(num_threads: int = 4) -> PatternletResult:
+    """Phase-1 lines always precede phase-2 lines, whatever the interleaving."""
+    result = PatternletResult("barrier")
+    lock = threading.Lock()
+
+    def body() -> None:
+        tid = get_thread_num()
+        with lock:
+            result.emit(f"phase 1: thread {tid}")
+        barrier()
+        with lock:
+            result.emit(f"phase 2: thread {tid}")
+
+    parallel_region(body, num_threads=num_threads)
+    phase_of = [1 if ln.startswith("phase 1") else 2 for ln in result.trace]
+    result.values["phases_ordered"] = phase_of == sorted(phase_of)
+    result.values["lines"] = len(result.trace)
+    return result
+
+
+@register(
+    "masterSingle",
+    "openmp",
+    pattern="Master / Single",
+    summary="Some work belongs to one thread: master is thread 0, single is whoever arrives first.",
+    order=11,
+    concepts=("master construct", "single construct"),
+)
+def master_single(num_threads: int = 4) -> PatternletResult:
+    """Count executions: master runs on thread 0, single on exactly one thread."""
+    result = PatternletResult("masterSingle")
+    record: dict[str, list[int]] = {"master": [], "single": []}
+    lock = threading.Lock()
+
+    def body() -> None:
+        tid = get_thread_num()
+        if master():
+            with lock:
+                record["master"].append(tid)
+        if single():
+            with lock:
+                record["single"].append(tid)
+        barrier()
+
+    parallel_region(body, num_threads=num_threads)
+    result.emit(f"master executed by threads {record['master']}")
+    result.emit(f"single executed by threads {record['single']}")
+    result.values["master_threads"] = record["master"]
+    result.values["single_threads"] = record["single"]
+    result.values["master_is_zero"] = record["master"] == [0]
+    result.values["single_ran_once"] = len(record["single"]) == 1
+    return result
+
+
+@register(
+    "sections",
+    "openmp",
+    pattern="Parallel sections (task parallelism)",
+    summary="Different threads run different code blocks concurrently.",
+    order=12,
+    concepts=("sections", "task parallelism"),
+)
+def sections_demo(num_threads: int = 2) -> PatternletResult:
+    """Two unlike tasks execute once each, possibly on different threads."""
+    result = PatternletResult("sections")
+    ran: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def make_task(label: str):
+        def task() -> str:
+            with lock:
+                ran[label] = ran.get(label, 0) + 1
+                result.emit(f"section {label} on thread {get_thread_num()}")
+            return label
+
+        return task
+
+    labels = ["A", "B", "C", "D"]
+    outputs = parallel_sections([make_task(s) for s in labels], num_threads=num_threads)
+    result.values["outputs"] = outputs
+    result.values["each_ran_once"] = all(ran.get(s) == 1 for s in labels)
+    return result

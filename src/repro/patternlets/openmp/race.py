@@ -1,0 +1,172 @@
+"""OpenMP patternlets 3-6: the race-condition arc.
+
+This is the sequence behind the paper's Fig. 1 (Runestone §2.3 "Race
+Conditions"): first *see* the bug (lost updates on an unprotected shared
+counter), then fix it three ways — critical section, atomic update,
+reduction clause — and observe the correctness/overhead trade-off.
+
+Two demonstration modes:
+
+* **wild** (default): genuine thread interleaving.  CPython's preemption
+  makes lost updates probabilistic, so the patternlet reports whether any
+  occurred; on a loaded machine a run may get lucky — that's pedagogically
+  honest and the handout says so.
+* **forced**: a deterministic two-thread interleaving driven by events that
+  *always* loses an update — the referee's reproducer and the test suite's
+  anchor.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from ...openmp import (
+    AtomicCounter,
+    critical,
+    parallel_for,
+    parallel_region,
+)
+from ..base import PatternletResult, register
+
+
+def _forced_lost_update() -> tuple[int, int]:
+    """Deterministically interleave two increments so one is lost.
+
+    Thread A reads, then waits; thread B does its full read-modify-write;
+    A resumes and writes its stale value.  Expected 2, actual 1 — always.
+    """
+    value = {"x": 0}
+    a_read = threading.Event()
+    b_done = threading.Event()
+
+    def thread_a() -> None:
+        stale = value["x"]  # read
+        a_read.set()
+        b_done.wait()  # B completes its whole update in our window
+        value["x"] = stale + 1  # write the stale result: B's update is lost
+
+    def thread_b() -> None:
+        a_read.wait()
+        value["x"] = value["x"] + 1
+        b_done.set()
+
+    ta = threading.Thread(target=thread_a)
+    tb = threading.Thread(target=thread_b)
+    ta.start()
+    tb.start()
+    ta.join()
+    tb.join()
+    return 2, value["x"]
+
+
+@register(
+    "race",
+    "openmp",
+    pattern="Race condition (unprotected shared update)",
+    summary="Concurrent x = x + 1 on a shared variable loses updates.",
+    order=3,
+    concepts=("race condition", "read-modify-write", "nondeterminism"),
+)
+def race(
+    num_threads: int = 4, iterations: int = 50_000, forced: bool = False
+) -> PatternletResult:
+    """Increment a shared counter without protection and count the damage."""
+    result = PatternletResult("race")
+    if forced:
+        expected, actual = _forced_lost_update()
+        result.emit(f"forced interleaving: expected {expected}, got {actual}")
+        result.values.update(
+            expected=expected, actual=actual, lost=expected - actual, forced=True
+        )
+        return result
+
+    counter = AtomicCounter(0)
+    old_interval = sys.getswitchinterval()
+    sys.setswitchinterval(5e-6)  # preempt aggressively to surface the race
+    try:
+
+        def body() -> None:
+            for _ in range(iterations):
+                counter.unsafe_read_modify_write(1)
+
+        parallel_region(body, num_threads=num_threads)
+    finally:
+        sys.setswitchinterval(old_interval)
+
+    expected = num_threads * iterations
+    actual = counter.value
+    result.emit(f"expected {expected}, got {actual} (lost {expected - actual})")
+    result.values.update(
+        expected=expected, actual=actual, lost=expected - actual, forced=False
+    )
+    return result
+
+
+@register(
+    "critical",
+    "openmp",
+    pattern="Mutual exclusion (critical section)",
+    summary="Wrapping the update in a critical section restores correctness.",
+    order=4,
+    concepts=("critical section", "mutual exclusion", "serialization cost"),
+)
+def critical_fix(num_threads: int = 4, iterations: int = 20_000) -> PatternletResult:
+    """Same loop as ``race``, now with a critical section around the update."""
+    result = PatternletResult("critical")
+    counter = AtomicCounter(0)
+
+    def body() -> None:
+        for _ in range(iterations):
+            with critical("count"):
+                counter.unsafe_read_modify_write(1)  # safe *because* guarded
+
+    parallel_region(body, num_threads=num_threads)
+    expected = num_threads * iterations
+    result.emit(f"expected {expected}, got {counter.value}")
+    result.values.update(expected=expected, actual=counter.value)
+    return result
+
+
+@register(
+    "atomic",
+    "openmp",
+    pattern="Atomic update",
+    summary="A hardware-style atomic add is a lighter fix than critical.",
+    order=5,
+    concepts=("atomic operation", "lock granularity"),
+)
+def atomic_fix(num_threads: int = 4, iterations: int = 20_000) -> PatternletResult:
+    """Fix the race with an indivisible add instead of a full critical section."""
+    result = PatternletResult("atomic")
+    counter = AtomicCounter(0)
+
+    def body() -> None:
+        for _ in range(iterations):
+            counter.add(1)
+
+    parallel_region(body, num_threads=num_threads)
+    expected = num_threads * iterations
+    result.emit(f"expected {expected}, got {counter.value}")
+    result.values.update(expected=expected, actual=counter.value)
+    return result
+
+
+@register(
+    "reduction",
+    "openmp",
+    pattern="Reduction",
+    summary="Private partials combined at the join: no sharing, no race.",
+    order=6,
+    concepts=("reduction clause", "private partial results"),
+)
+def reduction(num_threads: int = 4, n: int = 100_000) -> PatternletResult:
+    """Sum 1..n with a reduction clause — the idiomatic, scalable fix."""
+    result = PatternletResult("reduction")
+    total = parallel_for(
+        n, lambda i: i + 1, num_threads=num_threads, reduction="+"
+    )
+    expected = n * (n + 1) // 2
+    result.emit(f"sum(1..{n}) = {total} (expected {expected})")
+    result.values.update(expected=expected, actual=total)
+    return result

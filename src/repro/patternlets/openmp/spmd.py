@@ -1,0 +1,99 @@
+"""OpenMP patternlets 0-2: SPMD fork-join and private variables.
+
+These open the Runestone handout's hands-on hour: the learner first sees
+that one program text runs on every thread (SPMD), then that the fork-join
+boundary separates sequential from parallel execution, then why loop
+variables must be private.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ...openmp import get_num_threads, get_thread_num, parallel_region
+from ..base import PatternletResult, register
+
+
+@register(
+    "spmd",
+    "openmp",
+    pattern="SPMD (Single Program, Multiple Data)",
+    summary="Every thread runs the same code with its own id.",
+    order=0,
+    concepts=("fork-join", "thread id", "team size"),
+)
+def spmd(num_threads: int = 4) -> PatternletResult:
+    """Each team member announces itself — outputs interleave nondeterministically."""
+    result = PatternletResult("spmd")
+    lock = threading.Lock()
+
+    def body() -> int:
+        tid = get_thread_num()
+        with lock:
+            result.emit(f"Hello from thread {tid} of {get_num_threads()}")
+        return tid
+
+    tids = parallel_region(body, num_threads=num_threads)
+    result.values["thread_ids"] = sorted(tids)
+    result.values["num_threads"] = num_threads
+    return result
+
+
+@register(
+    "forkjoin",
+    "openmp",
+    pattern="Fork-Join",
+    summary="Sequential before, parallel inside, sequential after.",
+    order=1,
+    concepts=("fork-join", "implicit barrier"),
+)
+def forkjoin(num_threads: int = 4) -> PatternletResult:
+    """The master alone runs the sequential phases; the join is a barrier."""
+    result = PatternletResult("forkjoin")
+    lock = threading.Lock()
+    result.emit("Before: only the initial thread")
+
+    def body() -> None:
+        with lock:
+            result.emit(f"During: thread {get_thread_num()} working")
+
+    parallel_region(body, num_threads=num_threads)
+    result.emit("After: only the initial thread (all workers joined)")
+    during = [ln for ln in result.trace if ln.startswith("During")]
+    result.values["phase_counts"] = {
+        "before": 1,
+        "during": len(during),
+        "after": 1,
+    }
+    result.values["joined_before_after"] = result.trace[-1].startswith("After")
+    return result
+
+
+@register(
+    "private",
+    "openmp",
+    pattern="Private vs. shared data",
+    summary="Per-thread locals are private; captured objects are shared.",
+    order=2,
+    concepts=("data environment", "private clause", "shared state"),
+)
+def private(num_threads: int = 4) -> PatternletResult:
+    """Locals inside the region body are private; the shared list is not."""
+    result = PatternletResult("private")
+    shared_log: list[int] = []
+    lock = threading.Lock()
+
+    def body() -> tuple[int, int]:
+        tid = get_thread_num()
+        private_square = tid * tid  # a local: each thread has its own
+        with lock:
+            shared_log.append(tid)  # the captured list: one object, shared
+        return tid, private_square
+
+    pairs = parallel_region(body, num_threads=num_threads)
+    for tid, sq in sorted(pairs):
+        result.emit(f"thread {tid}: private value {sq}")
+    result.values["private_values"] = {t: s for t, s in pairs}
+    result.values["shared_appends"] = len(shared_log)
+    result.values["privates_correct"] = all(s == t * t for t, s in pairs)
+    return result

@@ -1,0 +1,55 @@
+"""OpenMP patternlet 13: explicit tasks (divide-and-conquer parallelism)."""
+
+from __future__ import annotations
+
+from ...openmp import parallel_region, single, task, taskwait
+from ..base import PatternletResult, register
+
+
+@register(
+    "tasks",
+    "openmp",
+    pattern="Task parallelism (explicit tasks)",
+    summary="Recursive work spawns tasks; idle threads steal them.",
+    order=13,
+    concepts=("task construct", "taskwait", "divide and conquer", "cutoff"),
+)
+def tasks(num_threads: int = 4, n: int = 14) -> PatternletResult:
+    """Compute Fibonacci(n) with the classic task-recursive decomposition.
+
+    One thread seeds the recursion inside ``single``; every split spawns a
+    task for one branch.  The exponential task tree is exactly the shape
+    worksharing loops cannot express — the motivating example for tasking.
+    """
+    result = PatternletResult("tasks")
+    spawned = [0]
+
+    def fib(k: int) -> int:
+        if k < 2:
+            return k
+        spawned[0] += 1  # benign count (single-seeded recursion dominates)
+        left = task(fib, k - 1)
+        right = fib(k - 2)
+        return left.result() + right
+
+    value = [0]
+
+    def body() -> None:
+        if single():
+            value[0] = fib(n)
+        taskwait()
+
+    parallel_region(body, num_threads=num_threads)
+
+    def fib_seq(k: int) -> int:
+        a, b = 0, 1
+        for _ in range(k):
+            a, b = b, a + b
+        return a
+
+    expected = fib_seq(n)
+    result.emit(f"fib({n}) = {value[0]} via {spawned[0]} spawned tasks")
+    result.values.update(
+        expected=expected, actual=value[0], tasks_spawned=spawned[0]
+    )
+    return result

@@ -1,0 +1,106 @@
+"""OpenMP patternlets 7-9: worksharing loop schedules.
+
+The handout has learners contrast *equal chunks* (static blocks), *chunks
+of one* (static,1 round-robin) and *dynamic* self-scheduling, then reason
+about which fits balanced vs. imbalanced loop bodies.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ...openmp import (
+    DynamicScheduler,
+    get_thread_num,
+    parallel_region,
+    static_block_ranges,
+    static_chunks,
+)
+from ..base import PatternletResult, register
+
+
+def _assignment_map(n: int, num_threads: int, per_thread) -> dict[int, list[int]]:
+    """Run ``per_thread(tid) -> iterable of indices`` on a team, collect who
+    got what."""
+    claimed: dict[int, list[int]] = {t: [] for t in range(num_threads)}
+    lock = threading.Lock()
+
+    def body() -> None:
+        tid = get_thread_num()
+        mine = list(per_thread(tid))
+        with lock:
+            claimed[tid].extend(mine)
+
+    parallel_region(body, num_threads=num_threads)
+    return claimed
+
+
+@register(
+    "forEqualChunks",
+    "openmp",
+    pattern="Parallel loop, equal chunks",
+    summary="Contiguous blocks: thread t gets iterations [t*n/T, (t+1)*n/T).",
+    order=7,
+    concepts=("worksharing", "static schedule", "data decomposition"),
+)
+def for_equal_chunks(num_threads: int = 4, n: int = 16) -> PatternletResult:
+    """Static block decomposition: good locality for uniform work."""
+    result = PatternletResult("forEqualChunks")
+    blocks = static_block_ranges(n, num_threads)
+    claimed = _assignment_map(n, num_threads, lambda t: blocks[t])
+    for t in range(num_threads):
+        result.emit(f"thread {t} -> iterations {claimed[t]}")
+    covered = sorted(i for idxs in claimed.values() for i in idxs)
+    result.values["assignment"] = claimed
+    result.values["covered_exactly_once"] = covered == list(range(n))
+    result.values["contiguous"] = all(
+        idxs == list(range(idxs[0], idxs[-1] + 1)) for idxs in claimed.values() if idxs
+    )
+    return result
+
+
+@register(
+    "forChunksOf1",
+    "openmp",
+    pattern="Parallel loop, chunks of one",
+    summary="Round-robin: thread t gets iterations t, t+T, t+2T, ...",
+    order=8,
+    concepts=("worksharing", "cyclic schedule", "striding"),
+)
+def for_chunks_of_one(num_threads: int = 4, n: int = 16) -> PatternletResult:
+    """Static cyclic decomposition: balances triangular workloads."""
+    result = PatternletResult("forChunksOf1")
+    claimed = _assignment_map(
+        n, num_threads, lambda t: static_chunks(n, num_threads, 1, t)
+    )
+    for t in range(num_threads):
+        result.emit(f"thread {t} -> iterations {claimed[t]}")
+    covered = sorted(i for idxs in claimed.values() for i in idxs)
+    result.values["assignment"] = claimed
+    result.values["covered_exactly_once"] = covered == list(range(n))
+    result.values["strided"] = all(
+        all(i % num_threads == t for i in idxs) for t, idxs in claimed.items()
+    )
+    return result
+
+
+@register(
+    "forDynamic",
+    "openmp",
+    pattern="Parallel loop, dynamic schedule",
+    summary="Threads grab the next chunk when free: self-balancing.",
+    order=9,
+    concepts=("dynamic schedule", "load balancing", "work queue"),
+)
+def for_dynamic(num_threads: int = 4, n: int = 24, chunk: int = 2) -> PatternletResult:
+    """Dynamic self-scheduling; assignment varies run to run, coverage never."""
+    result = PatternletResult("forDynamic")
+    scheduler = DynamicScheduler(n, chunk)
+    claimed = _assignment_map(n, num_threads, lambda t: iter(scheduler))
+    for t in range(num_threads):
+        result.emit(f"thread {t} -> iterations {claimed[t]}")
+    covered = sorted(i for idxs in claimed.values() for i in idxs)
+    result.values["assignment"] = claimed
+    result.values["covered_exactly_once"] = covered == list(range(n))
+    result.values["chunk"] = chunk
+    return result

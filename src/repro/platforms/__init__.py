@@ -1,0 +1,57 @@
+"""``repro.platforms`` — machine models, simulated timing, and access control.
+
+This package substitutes for the hardware the paper used: Raspberry Pis,
+Google Colab's unicore VM, the Chameleon Cloud cluster, and the St. Olaf
+64-core VM.  A deterministic cost model reproduces each platform's
+qualitative performance behaviour (see DESIGN.md's substitution map).
+"""
+
+from .access import AccessGateway, LoginAttempt, LoginOutcome, Protocol
+from .machine import (
+    CHAMELEON_NODE,
+    COLAB_VM,
+    PLATFORMS,
+    RASPBERRY_PI_3B,
+    RASPBERRY_PI_4,
+    ST_OLAF_VM,
+    STUDENT_LAPTOP,
+    Cluster,
+    Machine,
+    chameleon_cluster,
+    pi_beowulf_cluster,
+)
+from .contention import ContentionPoint, SharedMachineModel
+from .simclock import CostModel, TimeBreakdown, Workload
+from .speedup import (
+    ScalingStudy,
+    amdahl_speedup,
+    gustafson_speedup,
+    karp_flatt_fraction,
+)
+
+__all__ = [
+    "Machine",
+    "Cluster",
+    "CostModel",
+    "Workload",
+    "TimeBreakdown",
+    "ScalingStudy",
+    "SharedMachineModel",
+    "ContentionPoint",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt_fraction",
+    "AccessGateway",
+    "Protocol",
+    "LoginOutcome",
+    "LoginAttempt",
+    "RASPBERRY_PI_3B",
+    "RASPBERRY_PI_4",
+    "COLAB_VM",
+    "ST_OLAF_VM",
+    "CHAMELEON_NODE",
+    "STUDENT_LAPTOP",
+    "chameleon_cluster",
+    "pi_beowulf_cluster",
+    "PLATFORMS",
+]

@@ -1,0 +1,108 @@
+"""Remote-access gateway with fail2ban-style lockout.
+
+Models the operational incident in Section IV-B: "eager beaver"
+participants who raced ahead of the instructions and attempted incorrect
+VNC logins triggered a firewall rule that suspended their VNC access —
+while ssh continued to work, so they could still finish the exercise.
+The failure-injection tests and the workshop simulation use this model to
+reproduce (and teach) that lesson.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["Protocol", "AccessGateway", "LoginAttempt", "LoginOutcome"]
+
+
+class Protocol(str, Enum):
+    SSH = "ssh"
+    VNC = "vnc"
+
+
+class LoginOutcome(str, Enum):
+    SUCCESS = "success"
+    BAD_CREDENTIALS = "bad-credentials"
+    BLOCKED = "blocked"
+
+
+@dataclass(frozen=True)
+class LoginAttempt:
+    """One attempt in the gateway's audit log."""
+
+    user: str
+    protocol: Protocol
+    time_s: float
+    outcome: LoginOutcome
+
+
+@dataclass
+class _UserState:
+    failures: int = 0
+    blocked_until: float = 0.0
+
+
+class AccessGateway:
+    """Per-protocol login tracking with threshold-based temporary bans.
+
+    Matching the St. Olaf VM's configuration, the ban applies per protocol:
+    a VNC lockout does not touch ssh, which is exactly what let the locked-
+    out participants complete the exercise over ssh.
+    """
+
+    def __init__(
+        self,
+        max_failures: int = 3,
+        ban_duration_s: float = 600.0,
+        banned_protocols: tuple[Protocol, ...] = (Protocol.VNC,),
+    ) -> None:
+        if max_failures < 1:
+            raise ValueError("max_failures must be >= 1")
+        if ban_duration_s <= 0:
+            raise ValueError("ban_duration_s must be positive")
+        self.max_failures = max_failures
+        self.ban_duration_s = ban_duration_s
+        self.banned_protocols = banned_protocols
+        self._state: dict[tuple[str, Protocol], _UserState] = {}
+        self.audit_log: list[LoginAttempt] = []
+
+    def _user(self, user: str, protocol: Protocol) -> _UserState:
+        return self._state.setdefault((user, protocol), _UserState())
+
+    def is_blocked(self, user: str, protocol: Protocol, now_s: float) -> bool:
+        """Whether this user/protocol pair is currently banned."""
+        return self._user(user, protocol).blocked_until > now_s
+
+    def attempt(
+        self, user: str, protocol: Protocol, credentials_ok: bool, now_s: float
+    ) -> LoginOutcome:
+        """Process one login attempt and return its outcome."""
+        protocol = Protocol(protocol)
+        state = self._user(user, protocol)
+        if state.blocked_until > now_s:
+            outcome = LoginOutcome.BLOCKED
+        elif credentials_ok:
+            state.failures = 0
+            outcome = LoginOutcome.SUCCESS
+        else:
+            state.failures += 1
+            outcome = LoginOutcome.BAD_CREDENTIALS
+            if (
+                state.failures >= self.max_failures
+                and protocol in self.banned_protocols
+            ):
+                state.blocked_until = now_s + self.ban_duration_s
+        self.audit_log.append(LoginAttempt(user, protocol, now_s, outcome))
+        return outcome
+
+    def blocked_users(self, now_s: float) -> list[tuple[str, Protocol]]:
+        return [
+            (user, proto)
+            for (user, proto), st in self._state.items()
+            if st.blocked_until > now_s
+        ]
+
+    def fallback_available(self, user: str, now_s: float) -> bool:
+        """The paper's saving grace: ssh still works when VNC is banned."""
+        return not self.is_blocked(user, Protocol.SSH, now_s)

@@ -1,0 +1,102 @@
+"""Shared-machine contention: many learners, one server.
+
+The paper's distributed module points a whole workshop (22 participants)
+at shared back-ends — the St. Olaf 64-core VM or a Chameleon allocation.
+Asynchronous self-pacing softens the load, but the sizing question is
+real: *how many simultaneous learners can a platform carry before their
+exemplar runs degrade noticeably?*  This model answers it with the same
+deterministic cost accounting as :mod:`repro.platforms.simclock`:
+
+* each active learner runs the same job (``workload`` at ``procs``
+  processes);
+* when total demanded processes exceed the machine's cores, every job's
+  compute phase stretches by the oversubscription factor;
+* communication and spawn overheads are per-job and do not contend (they
+  are latency-bound, not core-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .machine import Cluster, Machine
+from .simclock import CostModel, Workload
+
+__all__ = ["ContentionPoint", "SharedMachineModel"]
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Job time with N simultaneous learners on the shared platform."""
+
+    concurrent_learners: int
+    demanded_procs: int
+    slowdown: float
+    job_time_s: float
+
+
+class SharedMachineModel:
+    """Cost model for one platform shared by a class of identical jobs."""
+
+    def __init__(self, platform: Machine | Cluster) -> None:
+        self.platform = platform
+        self._model = CostModel(platform)
+
+    def job_time(
+        self, workload: Workload, procs: int, concurrent_learners: int
+    ) -> ContentionPoint:
+        """Per-learner job time when ``concurrent_learners`` run at once."""
+        if concurrent_learners < 1:
+            raise ValueError("need at least one learner")
+        solo = self._model.time(workload, procs)
+        demanded = procs * concurrent_learners
+        slowdown = max(1.0, demanded / self.platform.cores)
+        return ContentionPoint(
+            concurrent_learners=concurrent_learners,
+            demanded_procs=demanded,
+            slowdown=slowdown,
+            job_time_s=solo.parallel_s * slowdown
+            + solo.serial_s
+            + solo.comm_s
+            + solo.spawn_s,
+        )
+
+    def capacity(
+        self,
+        workload: Workload,
+        procs: int,
+        max_slowdown: float = 2.0,
+        ceiling: int = 1024,
+    ) -> int:
+        """Most simultaneous learners whose jobs stay within ``max_slowdown``
+        of the solo job time."""
+        if max_slowdown < 1.0:
+            raise ValueError("max_slowdown must be >= 1.0")
+        solo = self.job_time(workload, procs, 1).job_time_s
+        best = 0
+        for learners in range(1, ceiling + 1):
+            point = self.job_time(workload, procs, learners)
+            if point.job_time_s <= solo * max_slowdown:
+                best = learners
+            else:
+                break
+        return best
+
+    def sweep(
+        self, workload: Workload, procs: int, learner_counts: list[int]
+    ) -> list[ContentionPoint]:
+        return [self.job_time(workload, procs, n) for n in learner_counts]
+
+    def format_table(
+        self, workload: Workload, procs: int, learner_counts: list[int]
+    ) -> str:
+        lines = [
+            f"{workload.name} at {procs} procs/learner on {self.platform.name}",
+            f"{'learners':>9} {'demand':>7} {'slowdown':>9} {'job time (s)':>13}",
+        ]
+        for point in self.sweep(workload, procs, learner_counts):
+            lines.append(
+                f"{point.concurrent_learners:>9} {point.demanded_procs:>7} "
+                f"{point.slowdown:>9.2f} {point.job_time_s:>13.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Machine models for the platforms the paper's materials run on.
+
+Each :class:`Machine` captures the parameters that matter for the
+*qualitative* performance claims of the paper: core count (Colab's unicore
+VM cannot show speedup; the St. Olaf VM's 64 cores can), clock rate, and
+interconnect characteristics for clustered platforms.
+
+These are calibration inputs to the deterministic execution-time model in
+:mod:`repro.platforms.simclock`, not attempts at cycle accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "Machine",
+    "Cluster",
+    "RASPBERRY_PI_3B",
+    "RASPBERRY_PI_4",
+    "COLAB_VM",
+    "ST_OLAF_VM",
+    "CHAMELEON_NODE",
+    "STUDENT_LAPTOP",
+    "chameleon_cluster",
+    "pi_beowulf_cluster",
+    "PLATFORMS",
+]
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A single (possibly multicore) host.
+
+    Attributes
+    ----------
+    name:
+        Display name.
+    cores:
+        Hardware parallelism available to one job.
+    clock_ghz:
+        Per-core clock; with ``ops_per_cycle`` this sets the serial rate.
+    ops_per_cycle:
+        Abstract work units retired per cycle (absorbs ILP/vectorization).
+    intra_latency_s / intra_bandwidth_gbps:
+        Cost of moving a message between two processes on this host
+        (shared-memory transport).
+    kind:
+        ``"sbc"`` (single-board computer), ``"vm"``, ``"server"``,
+        ``"laptop"`` — used by the teaching materials to describe the
+        platform to learners.
+    """
+
+    name: str
+    cores: int
+    clock_ghz: float
+    ops_per_cycle: float = 1.0
+    intra_latency_s: float = 2e-6
+    intra_bandwidth_gbps: float = 40.0
+    kind: str = "server"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: cores must be >= 1")
+        if self.clock_ghz <= 0:
+            raise ValueError(f"{self.name}: clock must be positive")
+
+    @property
+    def serial_rate(self) -> float:
+        """Work units per second on one core."""
+        return self.clock_ghz * 1e9 * self.ops_per_cycle
+
+    def with_cores(self, cores: int) -> "Machine":
+        """A copy with a different core count (for what-if studies)."""
+        return replace(self, cores=cores)
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """Multiple identical nodes joined by a network.
+
+    ``slots`` is the total process capacity; processes are packed onto
+    nodes first (cheap intra-node messaging), spilling across the network
+    (expensive inter-node messaging) as the job grows.
+    """
+
+    name: str
+    node: Machine
+    num_nodes: int
+    net_latency_s: float = 1e-4
+    net_bandwidth_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"{self.name}: need at least one node")
+
+    @property
+    def cores(self) -> int:
+        return self.node.cores * self.num_nodes
+
+    @property
+    def serial_rate(self) -> float:
+        return self.node.serial_rate
+
+    def nodes_for(self, procs: int) -> int:
+        """How many nodes a ``procs``-process job spans (packed placement)."""
+        return min(self.num_nodes, -(-procs // self.node.cores))
+
+
+# --- The platforms named in the paper -------------------------------------------
+
+#: Raspberry Pi 3B: the oldest model the custom image supports.
+RASPBERRY_PI_3B = Machine(
+    "Raspberry Pi 3B", cores=4, clock_ghz=1.2, ops_per_cycle=0.5,
+    intra_latency_s=5e-6, intra_bandwidth_gbps=4.0, kind="sbc",
+)
+
+#: Raspberry Pi 4 (the CanaKit in Table I ships the 2 GB model).
+RASPBERRY_PI_4 = Machine(
+    "Raspberry Pi 4 (2GB)", cores=4, clock_ghz=1.5, ops_per_cycle=0.8,
+    intra_latency_s=4e-6, intra_bandwidth_gbps=8.0, kind="sbc",
+)
+
+#: Google Colab free-tier VM: a single core — the paper stresses that this
+#: demonstrates message passing but cannot show speedup.
+COLAB_VM = Machine(
+    "Google Colab VM", cores=1, clock_ghz=2.2, ops_per_cycle=1.0,
+    intra_latency_s=3e-6, intra_bandwidth_gbps=16.0, kind="vm",
+)
+
+#: The 64-core VM on the big St. Olaf server ("good parallel speedup").
+ST_OLAF_VM = Machine(
+    "St. Olaf 64-core VM", cores=64, clock_ghz=2.4, ops_per_cycle=1.0,
+    intra_latency_s=2e-6, intra_bandwidth_gbps=50.0, kind="vm",
+)
+
+#: One Chameleon Cloud bare-metal node.
+CHAMELEON_NODE = Machine(
+    "Chameleon node", cores=48, clock_ghz=2.6, ops_per_cycle=1.0,
+    intra_latency_s=2e-6, intra_bandwidth_gbps=50.0, kind="server",
+)
+
+#: A typical student laptop, for comparison exercises.
+STUDENT_LAPTOP = Machine(
+    "Student laptop", cores=8, clock_ghz=2.8, ops_per_cycle=1.0,
+    intra_latency_s=2e-6, intra_bandwidth_gbps=30.0, kind="laptop",
+)
+
+
+def chameleon_cluster(num_nodes: int = 4) -> Cluster:
+    """The Jupyter-fronted Chameleon Cloud cluster of the distributed module."""
+    return Cluster(
+        f"Chameleon cluster ({num_nodes} nodes)",
+        node=CHAMELEON_NODE,
+        num_nodes=num_nodes,
+        net_latency_s=8e-5,
+        net_bandwidth_gbps=10.0,
+    )
+
+
+def pi_beowulf_cluster(num_nodes: int = 4) -> Cluster:
+    """A classroom Beowulf of Raspberry Pis over 100 Mb Ethernet ([35],[36])."""
+    return Cluster(
+        f"Raspberry Pi Beowulf ({num_nodes} nodes)",
+        node=RASPBERRY_PI_4,
+        num_nodes=num_nodes,
+        net_latency_s=3e-4,
+        net_bandwidth_gbps=0.1,
+    )
+
+
+#: Registry used by the benches and the delivery orchestration.
+PLATFORMS: dict[str, Machine | Cluster] = {
+    "raspberry-pi-3b": RASPBERRY_PI_3B,
+    "raspberry-pi-4": RASPBERRY_PI_4,
+    "colab": COLAB_VM,
+    "stolaf-vm": ST_OLAF_VM,
+    "chameleon-node": CHAMELEON_NODE,
+    "laptop": STUDENT_LAPTOP,
+    "chameleon-cluster": chameleon_cluster(),
+    "pi-beowulf": pi_beowulf_cluster(),
+}

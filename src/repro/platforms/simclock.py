@@ -1,0 +1,141 @@
+"""Deterministic execution-time model.
+
+Wall-clock speedup of Python threads is GIL-bound, so the reproduction's
+platform benches charge *simulated* time instead: a workload description
+(total work, serial fraction, communication volume as functions of the
+process count) is costed against a machine or cluster model.  The model is
+the textbook one the teaching materials themselves use when discussing
+speedup:
+
+``T(p) = T_serial + T_parallel(p) + T_comm(p) + T_spawn(p)``
+
+* ``T_serial``   = ``serial_fraction * work / rate``
+* ``T_parallel`` = ``(1-serial_fraction) * work / (rate * effective(p))``
+  where ``effective(p) = min(p, cores)`` — oversubscribed processes time-
+  share cores, which is exactly why Colab's unicore VM shows no speedup;
+* ``T_comm``     = ``messages(p) * latency + bytes(p) / bandwidth``, with
+  cluster placements paying network costs for inter-node pairs;
+* ``T_spawn``    = per-process start-up overhead.
+
+Load imbalance is modeled with an ``imbalance`` factor: the busiest
+process carries ``(1 + imbalance)``× the mean parallel share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .machine import Cluster, Machine
+
+__all__ = ["Workload", "CostModel", "TimeBreakdown"]
+
+MessagesFn = Callable[[int], float]
+BytesFn = Callable[[int], float]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An abstract parallel job.
+
+    ``total_ops`` is the sequential work in abstract operations;
+    ``messages`` / ``message_bytes`` give the communication volume of the
+    whole job as a function of process count (e.g. ``lambda p: 2 * (p - 1)``
+    for a scatter+reduce).  ``imbalance`` of 0.25 means the busiest rank
+    does 25% more than the mean parallel share — dynamic scheduling drives
+    this toward 0, static-on-irregular-work pushes it up.
+    """
+
+    name: str
+    total_ops: float
+    serial_fraction: float = 0.0
+    messages: MessagesFn = field(default=lambda p: 0.0)
+    message_bytes: BytesFn = field(default=lambda p: 0.0)
+    imbalance: float = 0.0
+    spawn_overhead_s: float = 5e-4
+
+    def __post_init__(self) -> None:
+        if self.total_ops <= 0:
+            raise ValueError("total_ops must be positive")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+        if self.imbalance < 0:
+            raise ValueError("imbalance must be non-negative")
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Cost-model output for one (workload, platform, procs) point."""
+
+    procs: int
+    serial_s: float
+    parallel_s: float
+    comm_s: float
+    spawn_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.serial_s + self.parallel_s + self.comm_s + self.spawn_s
+
+
+class CostModel:
+    """Costs workloads against a :class:`Machine` or :class:`Cluster`."""
+
+    def __init__(self, platform: Machine | Cluster) -> None:
+        self.platform = platform
+
+    @property
+    def name(self) -> str:
+        return self.platform.name
+
+    @property
+    def cores(self) -> int:
+        return self.platform.cores
+
+    def _comm_params(self, procs: int) -> tuple[float, float]:
+        """(latency_s, bandwidth_Bps) for the dominant message path."""
+        p = self.platform
+        if isinstance(p, Cluster):
+            if p.nodes_for(procs) > 1:
+                return p.net_latency_s, p.net_bandwidth_gbps * 1e9 / 8
+            return p.node.intra_latency_s, p.node.intra_bandwidth_gbps * 1e9 / 8
+        return p.intra_latency_s, p.intra_bandwidth_gbps * 1e9 / 8
+
+    def time(self, workload: Workload, procs: int) -> TimeBreakdown:
+        """Simulated execution time of ``workload`` on ``procs`` processes."""
+        if procs < 1:
+            raise ValueError(f"procs must be >= 1, got {procs}")
+        rate = self.platform.serial_rate
+        serial_ops = workload.serial_fraction * workload.total_ops
+        parallel_ops = workload.total_ops - serial_ops
+
+        effective = min(procs, self.cores)
+        # The busiest rank sets the pace; with one process there is no
+        # decomposition and hence no imbalance penalty.
+        imbalance = workload.imbalance if procs > 1 else 0.0
+        busiest_share = parallel_ops / procs * (1.0 + imbalance)
+        # Oversubscription: procs > cores time-share, so the per-rank rate
+        # drops by procs/cores while the busiest share stays the same.
+        slowdown = procs / effective
+        parallel_s = busiest_share * slowdown / rate
+
+        comm_s = 0.0
+        spawn_s = 0.0
+        if procs > 1:
+            latency, bandwidth = self._comm_params(procs)
+            comm_s = (
+                workload.messages(procs) * latency
+                + workload.message_bytes(procs) / bandwidth
+            )
+            spawn_s = workload.spawn_overhead_s * procs
+        return TimeBreakdown(
+            procs=procs,
+            serial_s=serial_ops / rate,
+            parallel_s=parallel_s,
+            comm_s=comm_s,
+            spawn_s=spawn_s,
+        )
+
+    def sweep(self, workload: Workload, proc_counts: list[int]) -> list[TimeBreakdown]:
+        """Cost the workload at every process count (a scaling study)."""
+        return [self.time(workload, p) for p in proc_counts]

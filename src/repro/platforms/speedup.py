@@ -1,0 +1,114 @@
+"""Speedup, efficiency, and scalability analysis.
+
+The closing half hour of the shared-memory module is "a small benchmarking
+study": run an exemplar at 1..N threads, tabulate speedup and efficiency,
+and compare against Amdahl's bound.  These helpers implement that study's
+arithmetic, plus Gustafson scaling and the Karp-Flatt experimentally
+determined serial fraction for the extension exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "ScalingStudy",
+    "amdahl_speedup",
+    "gustafson_speedup",
+    "karp_flatt_fraction",
+]
+
+
+def amdahl_speedup(serial_fraction: float, procs: int) -> float:
+    """Amdahl's law: ``1 / (f + (1-f)/p)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / procs)
+
+
+def gustafson_speedup(serial_fraction: float, procs: int) -> float:
+    """Gustafson's law (scaled speedup): ``p - f * (p - 1)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError("serial fraction must be in [0, 1]")
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+    return procs - serial_fraction * (procs - 1)
+
+
+def karp_flatt_fraction(speedup: float, procs: int) -> float:
+    """Experimentally determined serial fraction ``e = (1/S - 1/p)/(1 - 1/p)``."""
+    if procs < 2:
+        raise ValueError("Karp-Flatt needs procs >= 2")
+    if speedup <= 0:
+        raise ValueError("speedup must be positive")
+    return (1.0 / speedup - 1.0 / procs) / (1.0 - 1.0 / procs)
+
+
+@dataclass
+class ScalingStudy:
+    """A (procs, time) series with derived speedup/efficiency columns."""
+
+    platform: str
+    workload: str
+    proc_counts: list[int]
+    times_s: list[float]
+
+    def __post_init__(self) -> None:
+        if len(self.proc_counts) != len(self.times_s):
+            raise ValueError("proc_counts and times_s must align")
+        if not self.proc_counts:
+            raise ValueError("a scaling study needs at least one point")
+        if self.proc_counts[0] != 1:
+            raise ValueError("scaling studies must include the 1-process baseline")
+        if any(t <= 0 for t in self.times_s):
+            raise ValueError("times must be positive")
+
+    @property
+    def baseline_s(self) -> float:
+        return self.times_s[0]
+
+    @property
+    def speedups(self) -> list[float]:
+        return [self.baseline_s / t for t in self.times_s]
+
+    @property
+    def efficiencies(self) -> list[float]:
+        return [s / p for s, p in zip(self.speedups, self.proc_counts)]
+
+    @property
+    def max_speedup(self) -> float:
+        return max(self.speedups)
+
+    def shows_speedup(self, threshold: float = 1.5) -> bool:
+        """The paper's qualitative claim: does this platform speed up at all?"""
+        return self.max_speedup >= threshold
+
+    def crossover_procs(self) -> int | None:
+        """First process count where adding processes *hurt* (None if never)."""
+        times = self.times_s
+        for i in range(1, len(times)):
+            if times[i] > times[i - 1]:
+                return self.proc_counts[i]
+        return None
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """(procs, time_s, speedup, efficiency) rows for a report table."""
+        return [
+            (p, t, s, e)
+            for p, t, s, e in zip(
+                self.proc_counts, self.times_s, self.speedups, self.efficiencies
+            )
+        ]
+
+    def format_table(self) -> str:
+        """Render the study the way the handout's benchmarking study does."""
+        lines = [
+            f"{self.workload} on {self.platform}",
+            f"{'procs':>6} {'time (s)':>12} {'speedup':>9} {'efficiency':>11}",
+        ]
+        for p, t, s, e in self.rows():
+            lines.append(f"{p:>6} {t:>12.6f} {s:>9.2f} {e:>11.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""``repro.runestone`` — the interactive-module engine and notebook emulator.
+
+Rebuilds the delivery layer of the paper's materials: Runestone-style
+virtual handouts (content blocks, autograded questions, progress tracking,
+text/HTML rendering) and Colab-style notebooks whose ``%%writefile`` /
+``!mpirun`` cells execute against :mod:`repro.mpi`.
+
+The actual content lives in :mod:`repro.runestone.modules`:
+:func:`build_raspberry_pi_module` (the Fig. 1 handout) and
+:func:`build_mpi_colab_notebook` (the Fig. 2 notebook).
+"""
+
+from .content import Callout, CodeListing, FigureRef, Text, Video
+from .module import Chapter, HandsOnActivity, Module, Section
+from .modules import (
+    RACE_CONDITION_QUESTION,
+    SPMD_CELL_SOURCE,
+    SPMD_RUN_COMMAND,
+    build_chameleon_notebook,
+    build_distributed_module,
+    build_mpi_colab_notebook,
+    build_raspberry_pi_module,
+)
+from .notebook import CellResult, CodeCell, MarkdownCell, Notebook
+from .progress import Attempt, Gradebook, LearnerProgress
+from .quiz import Quiz, QuizAttempt, build_quiz
+from .questions import (
+    Choice,
+    DragAndDrop,
+    FillInTheBlank,
+    GradeResult,
+    MultipleChoice,
+    OrderingProblem,
+    Question,
+)
+from .render import render_html, render_section_text, render_text
+from .validate import Finding, validate_module
+
+__all__ = [
+    "Text",
+    "Video",
+    "CodeListing",
+    "Callout",
+    "FigureRef",
+    "Module",
+    "Chapter",
+    "Section",
+    "HandsOnActivity",
+    "Question",
+    "MultipleChoice",
+    "Choice",
+    "FillInTheBlank",
+    "DragAndDrop",
+    "OrderingProblem",
+    "GradeResult",
+    "LearnerProgress",
+    "Gradebook",
+    "Attempt",
+    "Quiz",
+    "QuizAttempt",
+    "build_quiz",
+    "validate_module",
+    "Finding",
+    "Notebook",
+    "MarkdownCell",
+    "CodeCell",
+    "CellResult",
+    "render_text",
+    "render_section_text",
+    "render_html",
+    "build_raspberry_pi_module",
+    "build_distributed_module",
+    "build_mpi_colab_notebook",
+    "build_chameleon_notebook",
+    "RACE_CONDITION_QUESTION",
+    "SPMD_CELL_SOURCE",
+    "SPMD_RUN_COMMAND",
+]

@@ -1,0 +1,81 @@
+"""Content blocks for interactive modules: text, video, code, figures.
+
+A Runestone-style module is a tree of chapters and sections whose leaves
+are *blocks*.  Expository blocks live here; interactive question blocks
+live in :mod:`repro.runestone.questions`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Block", "Text", "Video", "CodeListing", "FigureRef", "Callout"]
+
+
+@dataclass(frozen=True)
+class Block:
+    """Base class for module content blocks."""
+
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Text(Block):
+    """Expository prose (markdown-ish plain text)."""
+
+    body: str
+
+
+@dataclass(frozen=True)
+class Video(Block):
+    """An instructional video (the setup walkthroughs of Section IV-A).
+
+    The reproduction stores metadata only; ``covers_issues`` lists the
+    common setup problems the video pre-empts, which the delivery
+    simulation uses to model reduced technical-difficulty rates.
+    """
+
+    title: str
+    duration_s: int
+    url: str = ""
+    covers_issues: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError("video duration must be positive")
+
+    @property
+    def duration_label(self) -> str:
+        m, s = divmod(self.duration_s, 60)
+        return f"{m}:{s:02d}"
+
+
+@dataclass(frozen=True)
+class CodeListing(Block):
+    """A code listing the learner reads (and runs on their own device)."""
+
+    language: str
+    code: str
+    caption: str = ""
+    runnable_on: str = "raspberry-pi"
+
+    @property
+    def line_count(self) -> int:
+        return len(self.code.strip().splitlines())
+
+
+@dataclass(frozen=True)
+class FigureRef(Block):
+    """A figure/diagram placeholder with alt text."""
+
+    caption: str
+    alt_text: str = ""
+
+
+@dataclass(frozen=True)
+class Callout(Block):
+    """A highlighted note (tips, warnings, troubleshooting boxes)."""
+
+    style: str  # "tip" | "warning" | "troubleshooting"
+    body: str

@@ -1,0 +1,16 @@
+"""The actual teaching-material content: both of the paper's modules."""
+
+from .chameleon_jupyter import build_chameleon_notebook
+from .mpi_colab import SPMD_CELL_SOURCE, SPMD_RUN_COMMAND, build_mpi_colab_notebook
+from .mpi_module import build_distributed_module
+from .raspberry_pi import RACE_CONDITION_QUESTION, build_raspberry_pi_module
+
+__all__ = [
+    "build_raspberry_pi_module",
+    "build_distributed_module",
+    "RACE_CONDITION_QUESTION",
+    "build_mpi_colab_notebook",
+    "build_chameleon_notebook",
+    "SPMD_CELL_SOURCE",
+    "SPMD_RUN_COMMAND",
+]

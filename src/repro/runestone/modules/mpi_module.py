@@ -1,0 +1,280 @@
+"""The distributed-memory module as a structured handout (paper §III-B).
+
+The paper delivered this module through a Colab notebook plus a choice of
+cluster back-ends rather than through Runestone, but its *pedagogical
+structure* is the same two-hour design: an hour of message-passing
+patternlets, then an hour on one exemplar on a real parallel platform.
+Modeling it as a :class:`~repro.runestone.module.Module` lets the session
+simulator, gradebook, and pacing checks cover the second workshop morning
+exactly like the first.
+"""
+
+from __future__ import annotations
+
+from ..content import Callout, CodeListing, Text
+from ..module import Chapter, HandsOnActivity, Module, Section
+from ..questions import Choice, DragAndDrop, FillInTheBlank, MultipleChoice
+
+__all__ = ["build_distributed_module"]
+
+
+def build_distributed_module() -> Module:
+    """Construct the distributed-computing module (Colab + cluster hours)."""
+    module = Module(
+        slug="mpi-distributed-handout",
+        title="Distributed Computing with mpi4py: Colab and a Real Cluster",
+        audience="students and instructors new to message passing",
+        target_minutes=120,
+    )
+
+    # ----- Chapter 1: pre-work — accounts and access -------------------------
+    setup = Chapter(1, "Before the Session", pre_work=True)
+    setup.add(
+        Section("1.1", "Get a Google account and open the Colab", minutes=10).add(
+            Text(
+                "The patternlets hour runs in Google Colab: no installation, "
+                "just a free Google account to save the notebook into your "
+                "Drive. Open the shared notebook and choose 'Save a copy'."
+            ),
+            Callout(
+                "tip",
+                "Colab's VM has a single core. That is fine for the "
+                "patternlets — message passing works at any process count — "
+                "but speedup measurements wait for the second hour.",
+            ),
+        )
+    )
+    setup.add(
+        Section("1.2", "Choose your second-hour platform", minutes=10).add(
+            Text(
+                "For the exemplar hour you will use either (a) a Jupyter "
+                "notebook backed by a Chameleon Cloud cluster, or (b) a VNC "
+                "connection to a 64-core VM. Both show real speedup; pick "
+                "whichever access path suits your connection."
+            ),
+            Callout(
+                "warning",
+                "Follow the login instructions exactly. Repeated failed VNC "
+                "logins trip the firewall and suspend VNC access; ssh keeps "
+                "working if that happens.",
+            ),
+        )
+    )
+    module.add(setup)
+
+    # ----- Chapter 2: message-passing concepts (first half hour) -------------
+    concepts = Chapter(2, "Message-Passing Concepts")
+    concepts.add(
+        Section("2.1", "Processes, not threads", minutes=10).add(
+            Text(
+                "MPI programs run as independent processes that share "
+                "*nothing*: all cooperation is by sending and receiving "
+                "messages. One program text runs on every process (SPMD); "
+                "each process learns its role from its rank."
+            ),
+            DragAndDrop(
+                activity_id="dm_dnd_1",
+                prompt="Match each MPI term to its meaning.",
+                pairs=(
+                    ("rank", "a process's id within the communicator"),
+                    ("communicator", "the group of processes that can exchange messages"),
+                    ("message", "data sent from one process and received by another"),
+                ),
+            ),
+        )
+    )
+    concepts.add(
+        Section("2.2", "The SPMD structure", minutes=10).add(
+            CodeListing(
+                language="python",
+                caption="00spmd.py — the basis of every example that follows",
+                code=(
+                    "from mpi4py import MPI\n\n"
+                    "comm = MPI.COMM_WORLD\n"
+                    "id = comm.Get_rank()\n"
+                    "numProcesses = comm.Get_size()\n"
+                    "print('Greetings from process {} of {}'"
+                    ".format(id, numProcesses))\n"
+                ),
+                runnable_on="colab",
+            ),
+            MultipleChoice(
+                activity_id="dm_mc_1",
+                prompt="Q-1: Running the SPMD program with mpirun -np 4, how "
+                "many times does the greeting print?",
+                choices=(
+                    Choice("A", "once"),
+                    Choice("B", "four times, in rank order",
+                           feedback="The output order is *not* guaranteed — "
+                           "processes race to the shared terminal."),
+                    Choice("C", "four times, in nondeterministic order",
+                           feedback="Correct! Every process runs the same "
+                           "code; arrival order varies."),
+                ),
+                correct_label="C",
+            ),
+        )
+    )
+    concepts.add(
+        Section("2.3", "Blocking semantics and deadlock", minutes=10).add(
+            Text(
+                "recv blocks until a matching message arrives. Two processes "
+                "that both receive before sending wait forever — deadlock. "
+                "Ordering the operations (or using sendrecv) breaks the cycle."
+            ),
+            MultipleChoice(
+                activity_id="dm_mc_2",
+                prompt="Q-2: Both ranks call recv first, then send. What happens?",
+                choices=(
+                    Choice("A", "the messages cross and both receives complete"),
+                    Choice("B", "both processes wait forever (deadlock)",
+                           feedback="Correct — neither send is ever reached."),
+                    Choice("C", "MPI reorders the calls automatically"),
+                ),
+                correct_label="B",
+            ),
+        )
+    )
+    module.add(concepts)
+
+    # ----- Chapter 3: hands-on patternlets in Colab (rest of hour 1) ---------
+    handson = Chapter(3, "MPI Patternlets in Colab")
+    handson.add(
+        Section("3.1", "SPMD and conditional roles", minutes=10).add(
+            HandsOnActivity(
+                title="Run 00spmd.py with -np 4",
+                paradigm="mpi",
+                patternlet="spmd",
+                instructions="Run the cell several times. Does the greeting "
+                "order change?",
+                expected=("np", "unique_ranks"),
+            ),
+            HandsOnActivity(
+                title="Master vs. worker roles",
+                paradigm="mpi",
+                patternlet="masterWorkerSplit",
+                instructions="One text, two roles: branch on the rank.",
+                expected=("one_master", "workers"),
+            ),
+        )
+    )
+    handson.add(
+        Section("3.2", "Point-to-point messaging", minutes=10).add(
+            HandsOnActivity(
+                title="Send and receive",
+                paradigm="mpi",
+                patternlet="sendReceive",
+                instructions="Rank 0 sends a dictionary; rank 1 receives it.",
+                expected=("received_equals_sent",),
+            ),
+            HandsOnActivity(
+                title="Pass a message around the ring",
+                paradigm="mpi",
+                patternlet="messagePassingRing",
+                instructions="Each rank appends its id; watch the token grow.",
+                expected=("visited_all",),
+            ),
+            HandsOnActivity(
+                title="Deadlock — and the fix",
+                paradigm="mpi",
+                patternlet="deadlock",
+                instructions="Run the broken exchange (the runtime reports "
+                "the deadlock), then the fixed ordering.",
+                expected=("deadlocked",),
+            ),
+        )
+    )
+    handson.add(
+        Section("3.3", "Collective communication", minutes=10).add(
+            HandsOnActivity(
+                title="Broadcast",
+                paradigm="mpi",
+                patternlet="broadcast",
+                instructions="Root's dictionary reaches every process.",
+                expected=("all_equal",),
+            ),
+            HandsOnActivity(
+                title="Scatter and gather",
+                paradigm="mpi",
+                patternlet="scatter",
+                instructions="Deal chunks out; collect results back.",
+                expected=("each_got_its_chunk",),
+            ),
+            HandsOnActivity(
+                title="Reduce",
+                paradigm="mpi",
+                patternlet="reduce",
+                instructions="Combine one value per process at the root.",
+                expected=("root_correct",),
+            ),
+            FillInTheBlank(
+                activity_id="dm_fib_1",
+                prompt="With 4 processes each contributing its rank, what does "
+                "reduce with MPI.SUM deliver at the root?",
+                numeric_answer=6,
+                tolerance=0,
+            ),
+        )
+    )
+    module.add(handson)
+
+    # ----- Chapter 4: exemplars on a real platform (hour 2) -------------------
+    exemplars = Chapter(4, "Exemplars on a Parallel Platform")
+    exemplars.add(
+        Section("4.1", "Pick your exemplar and platform", minutes=10).add(
+            Text(
+                "Work through whichever exemplar interests you most — the "
+                "Forest Fire Simulation or Drug Design — on the Chameleon "
+                "notebook or the 64-core VM. Both use the patterns from the "
+                "first hour: scatter/gather plus reduce, or master-worker."
+            ),
+            MultipleChoice(
+                activity_id="dm_mc_3",
+                prompt="Q-3: Why run the exemplars on a cluster rather than "
+                "in Colab?",
+                choices=(
+                    Choice("A", "Colab cannot run mpi4py"),
+                    Choice("B", "the exemplars need a GPU"),
+                    Choice("C", "Colab's single-core VM cannot show speedup",
+                           feedback="Correct — concepts work anywhere, but "
+                           "speedup needs real parallel hardware."),
+                ),
+                correct_label="C",
+            ),
+        )
+    )
+    exemplars.add(
+        Section("4.2", "Forest fire: Monte-Carlo trials across ranks", minutes=25).add(
+            HandsOnActivity(
+                title="Run the burn-probability sweep",
+                paradigm="mpi",
+                patternlet="parallelLoopChunks",
+                instructions="Trials are independent: split them across "
+                "ranks, gather the per-trial results, and plot burned "
+                "fraction vs. spread probability. Time the run at 1, 2, 4, "
+                "8... processes.",
+                expected=("total_correct",),
+            ),
+            FillInTheBlank(
+                activity_id="dm_fib_2",
+                prompt="At roughly what spread probability does the average "
+                "burned fraction cross 50%? (one decimal)",
+                numeric_answer=0.5,
+                tolerance=0.15,
+            ),
+        )
+    )
+    exemplars.add(
+        Section("4.3", "Drug design: master-worker at scale", minutes=25).add(
+            HandsOnActivity(
+                title="Farm ligand scoring to workers",
+                paradigm="mpi",
+                patternlet="masterWorker",
+                instructions="The master deals one ligand at a time; watch "
+                "the per-worker counts balance despite uneven ligand lengths.",
+                expected=("all_tasks_done", "work_was_distributed"),
+            ),
+        )
+    )
+    module.add(exemplars)
+    return module

@@ -1,0 +1,375 @@
+"""The Raspberry Pi virtual handout (the paper's shared-memory module [13]).
+
+Structure and pacing follow Section III-A: a first chapter of setup videos;
+half an hour of concepts (processes, threads, multicore — including the
+§2.3 race-conditions page screenshotted in Fig. 1); an hour of hands-on
+patternlet exploration; and a closing half hour with the two OpenMP
+exemplars and the benchmarking study.
+"""
+
+from __future__ import annotations
+
+from ..content import Callout, CodeListing, Text, Video
+from ..module import Chapter, HandsOnActivity, Module, Section
+from ..questions import Choice, DragAndDrop, FillInTheBlank, MultipleChoice
+
+__all__ = ["build_raspberry_pi_module", "RACE_CONDITION_QUESTION"]
+
+
+#: Fig. 1's question, verbatim: activity "sp_mc_2", correct answer C.
+RACE_CONDITION_QUESTION = MultipleChoice(
+    activity_id="sp_mc_2",
+    prompt="Q-2: What is a race condition?",
+    choices=(
+        Choice(
+            "A",
+            "It is the smallest set of instructions that must execute "
+            "sequentially to ensure correctness.",
+            feedback="That describes a critical section — the *fix*, not the bug.",
+        ),
+        Choice(
+            "B",
+            "It is a mechanism that helps protect a resource.",
+            feedback="That describes a lock (mutex). A race condition is the "
+            "problem a lock prevents.",
+        ),
+        Choice(
+            "C",
+            "It is something that arises when two or more threads attempt to "
+            "modify a shared variable at the same time.",
+            feedback="Correct! Unsynchronized concurrent updates can interleave "
+            "and lose writes.",
+        ),
+    ),
+    correct_label="C",
+)
+
+
+def build_raspberry_pi_module() -> Module:
+    """Construct the complete virtual handout."""
+    module = Module(
+        slug="raspberry-pi-handout",
+        title="Hands-on Multicore Computing with OpenMP on the Raspberry Pi",
+        audience="students and instructors new to shared-memory parallelism",
+        target_minutes=120,
+    )
+
+    # ----- Chapter 1: Setting up your Raspberry Pi (the setup videos) -------
+    setup = Chapter(1, "Setting Up Your Raspberry Pi", pre_work=True)
+    setup.add(
+        Section("1.1", "What's in your kit", minutes=5).add(
+            Text(
+                "Your mailed kit contains a CanaKit Raspberry Pi 4 (2GB), an "
+                "Ethernet-USB A dongle, a USB A-C dongle, an Ethernet cable, a "
+                "16GB microSD card pre-flashed with our custom system image, "
+                "and a case. Total cost of these parts is about $100."
+            ),
+            Video(
+                "Unboxing and assembling your kit",
+                duration_s=302,
+                covers_issues=("missing-parts", "case-assembly"),
+            ),
+        )
+    )
+    setup.add(
+        Section("1.2", "Flashing and booting the system image", minutes=10).add(
+            Text(
+                "The microSD card in your kit already carries csip-image "
+                "3.0.2, which works on every Raspberry Pi from the 3B onward. "
+                "If you are using your own Pi, burn the image onto a microSD "
+                "card first."
+            ),
+            Video(
+                "Flashing the image and first boot",
+                duration_s=415,
+                covers_issues=("bad-flash", "no-boot", "hdmi-config"),
+            ),
+            Callout(
+                "troubleshooting",
+                "If the green LED does not blink on power-up, re-seat the "
+                "microSD card and check the power supply.",
+            ),
+        )
+    )
+    setup.add(
+        Section("1.3", "Using your laptop as the Pi's display", minutes=10).add(
+            Text(
+                "Connect the Pi to your laptop with the Ethernet cable (use "
+                "the Ethernet-USB dongle if your laptop lacks a port), then "
+                "open a VNC session to the Pi. This works the same on Linux, "
+                "macOS, and Windows."
+            ),
+            Video(
+                "Laptop-as-display walkthrough",
+                duration_s=388,
+                covers_issues=("vnc-setup", "network-config", "firewall"),
+            ),
+        )
+    )
+    module.add(setup)
+
+    # ----- Chapter 2: Concepts (the first half hour) --------------------------
+    concepts = Chapter(2, "Processes, Threads, and Multicore Systems")
+    concepts.add(
+        Section("2.1", "From one core to many", minutes=8).add(
+            Text(
+                "Before 2006 most CPUs executed one instruction stream. "
+                "Today's multicore CPUs — including the four Cortex-A72 cores "
+                "in your Raspberry Pi 4 — execute several at once. Software "
+                "must be written to use them."
+            ),
+            MultipleChoice(
+                activity_id="sp_mc_1",
+                prompt="Q-1: How many cores does the Raspberry Pi 4 in your kit have?",
+                choices=(
+                    Choice("A", "1"),
+                    Choice("B", "2"),
+                    Choice("C", "4", feedback="Correct — four Cortex-A72 cores."),
+                    Choice("D", "8"),
+                ),
+                correct_label="C",
+            ),
+        )
+    )
+    concepts.add(
+        Section("2.2", "Processes and threads", minutes=8).add(
+            Text(
+                "A process owns its memory; threads within a process share "
+                "that memory. Shared memory is what makes multithreading fast "
+                "— and what makes it dangerous."
+            ),
+            DragAndDrop(
+                activity_id="sp_dnd_1",
+                prompt="Match each term to its definition.",
+                pairs=(
+                    ("process", "an executing program with its own address space"),
+                    ("thread", "an execution stream sharing its process's memory"),
+                    ("core", "a hardware unit that executes one stream at a time"),
+                ),
+            ),
+        )
+    )
+    concepts.add(
+        Section("2.3", "Race Conditions", minutes=8).add(
+            Text("The following video will help you understand what is going on:"),
+            Video(
+                "Race conditions explained",
+                duration_s=122,  # the 2:02 video visible in Fig. 1
+                covers_issues=(),
+            ),
+            Text("Try and answer the following question:"),
+            RACE_CONDITION_QUESTION,
+        )
+    )
+    concepts.add(
+        Section("2.4", "The OpenMP patternlets", minutes=6).add(
+            Text(
+                "Patternlets are minimal programs, each demonstrating one "
+                "parallel-programming pattern. You will run each one on your "
+                "Pi, predict its behaviour, and check your prediction."
+            ),
+            CodeListing(
+                language="c",
+                caption="Your first patternlet: an OpenMP parallel region",
+                code=(
+                    "#include <stdio.h>\n"
+                    "#include <omp.h>\n\n"
+                    "int main() {\n"
+                    "    #pragma omp parallel\n"
+                    "    {\n"
+                    "        int id = omp_get_thread_num();\n"
+                    "        int numThreads = omp_get_num_threads();\n"
+                    '        printf("Hello from thread %d of %d\\n", id, numThreads);\n'
+                    "    }\n"
+                    "    return 0;\n"
+                    "}\n"
+                ),
+            ),
+        )
+    )
+    module.add(concepts)
+
+    # ----- Chapter 3: Hands-on patternlets (the middle hour) ------------------
+    handson = Chapter(3, "Exploring the Patternlets")
+    handson.add(
+        Section("3.1", "SPMD and fork-join", minutes=12).add(
+            HandsOnActivity(
+                title="Run the SPMD patternlet",
+                paradigm="openmp",
+                patternlet="spmd",
+                instructions="Run it several times. Does the output order "
+                "change? Why?",
+                expected=("thread_ids",),
+            ),
+            HandsOnActivity(
+                title="Fork-join phases",
+                paradigm="openmp",
+                patternlet="forkjoin",
+                instructions="Identify the sequential and parallel phases in "
+                "the output.",
+                expected=("joined_before_after",),
+            ),
+            FillInTheBlank(
+                activity_id="sp_fib_1",
+                prompt="With 4 threads, how many 'During' lines does the "
+                "fork-join patternlet print?",
+                numeric_answer=4,
+                tolerance=0,
+            ),
+        )
+    )
+    handson.add(
+        Section("3.2", "Seeing — and fixing — the race", minutes=18).add(
+            HandsOnActivity(
+                title="Race condition",
+                paradigm="openmp",
+                patternlet="race",
+                instructions="Run the unprotected counter. Compare 'expected' "
+                "and 'got'. Run it again — is the damage the same?",
+                expected=("expected", "actual", "lost"),
+            ),
+            HandsOnActivity(
+                title="Fix 1: critical section",
+                paradigm="openmp",
+                patternlet="critical",
+                instructions="Verify the count is now exact. What did it cost?",
+                expected=("expected", "actual"),
+            ),
+            HandsOnActivity(
+                title="Fix 2: atomic update",
+                paradigm="openmp",
+                patternlet="atomic",
+                instructions="Also exact — and lighter-weight than critical.",
+                expected=("expected", "actual"),
+            ),
+            HandsOnActivity(
+                title="Fix 3: reduction",
+                paradigm="openmp",
+                patternlet="reduction",
+                instructions="The idiomatic fix: private partials, combined at "
+                "the join.",
+                expected=("expected", "actual"),
+            ),
+        )
+    )
+    handson.add(
+        Section("3.3", "Worksharing schedules", minutes=15).add(
+            HandsOnActivity(
+                title="Equal chunks",
+                paradigm="openmp",
+                patternlet="forEqualChunks",
+                instructions="Which iterations did each thread run?",
+                expected=("assignment", "contiguous"),
+            ),
+            HandsOnActivity(
+                title="Chunks of one",
+                paradigm="openmp",
+                patternlet="forChunksOf1",
+                instructions="Now the iterations are dealt round-robin.",
+                expected=("assignment", "strided"),
+            ),
+            HandsOnActivity(
+                title="Dynamic scheduling",
+                paradigm="openmp",
+                patternlet="forDynamic",
+                instructions="Run twice; the assignment changes but coverage "
+                "never does.",
+                expected=("covered_exactly_once",),
+            ),
+            MultipleChoice(
+                activity_id="sp_mc_3",
+                prompt="Q-3: Which schedule best fits a loop whose iterations "
+                "vary wildly in cost?",
+                choices=(
+                    Choice("A", "static with equal chunks",
+                           feedback="Uneven iteration costs leave threads idle."),
+                    Choice("B", "dynamic",
+                           feedback="Correct — idle threads grab the next chunk."),
+                    Choice("C", "no schedule: run it sequentially"),
+                ),
+                correct_label="B",
+            ),
+        )
+    )
+    handson.add(
+        Section("3.4", "Coordination constructs", minutes=15).add(
+            HandsOnActivity(
+                title="Barrier",
+                paradigm="openmp",
+                patternlet="barrier",
+                instructions="Confirm that no phase-2 line ever precedes a "
+                "phase-1 line.",
+                expected=("phases_ordered",),
+            ),
+            HandsOnActivity(
+                title="Master and single",
+                paradigm="openmp",
+                patternlet="masterSingle",
+                instructions="Which thread ran the single block? Run again.",
+                expected=("master_is_zero", "single_ran_once"),
+            ),
+            HandsOnActivity(
+                title="Sections",
+                paradigm="openmp",
+                patternlet="sections",
+                instructions="Task parallelism: unlike blocks run concurrently.",
+                expected=("each_ran_once",),
+            ),
+        )
+    )
+    module.add(handson)
+
+    # ----- Chapter 4: Exemplars + benchmarking (the last half hour) ----------
+    exemplars = Chapter(4, "Exemplars and a Benchmarking Study")
+    exemplars.add(
+        Section("4.1", "Numerical integration", minutes=12).add(
+            Text(
+                "Estimate pi by integrating sqrt(4 - x^2) from 0 to 2 with the "
+                "trapezoidal rule, parallelized with a reduction."
+            ),
+            HandsOnActivity(
+                title="Integrate in parallel",
+                paradigm="openmp",
+                patternlet="reduction",
+                instructions="Time the integration at 1, 2, and 4 threads on "
+                "your Pi. Compute the speedup at each count.",
+                expected=("expected", "actual"),
+            ),
+            FillInTheBlank(
+                activity_id="sp_fib_2",
+                prompt="To two decimal places, what value should the "
+                "integration converge to?",
+                numeric_answer=3.14,
+                tolerance=0.005,
+            ),
+        )
+    )
+    exemplars.add(
+        Section("4.2", "Drug design and your benchmarking study", minutes=18).add(
+            Text(
+                "The drug-design exemplar scores random candidate ligands "
+                "against a protein. Ligand lengths vary, so iteration costs "
+                "vary — compare static and dynamic schedules and record the "
+                "running times in your lab notebook."
+            ),
+            MultipleChoice(
+                activity_id="sp_mc_4",
+                prompt="Q-4: The drug-design loop speeds up more with "
+                "schedule(dynamic) than schedule(static). Why?",
+                choices=(
+                    Choice("A", "dynamic uses more threads"),
+                    Choice(
+                        "B",
+                        "ligand scoring times vary, and dynamic lets idle "
+                        "threads take over the remaining work",
+                        feedback="Correct — dynamic self-scheduling balances "
+                        "irregular work.",
+                    ),
+                    Choice("C", "static schedules disable compiler optimization"),
+                ),
+                correct_label="B",
+            ),
+        )
+    )
+    module.add(exemplars)
+    return module

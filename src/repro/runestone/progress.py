@@ -1,0 +1,122 @@
+"""Learner progress tracking: attempts, completion, and the gradebook.
+
+Runestone's course-management side: record question attempts and section
+completion per learner, compute module completion, and roll a cohort's
+records up into an instructor gradebook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .module import Module
+from .questions import GradeResult
+
+__all__ = ["Attempt", "LearnerProgress", "Gradebook"]
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One graded submission."""
+
+    activity_id: str
+    answer: Any
+    result: GradeResult
+    at_minute: float
+
+
+@dataclass
+class LearnerProgress:
+    """One learner's journey through one module."""
+
+    learner: str
+    module: Module
+    attempts: list[Attempt] = field(default_factory=list)
+    completed_sections: set[str] = field(default_factory=set)
+    minutes_spent: float = 0.0
+
+    def submit(self, activity_id: str, answer: Any) -> GradeResult:
+        """Grade an answer against the module's question and record it."""
+        question = self.module.find_question(activity_id)
+        result = question.grade(answer)
+        self.attempts.append(
+            Attempt(activity_id, answer, result, at_minute=self.minutes_spent)
+        )
+        return result
+
+    def complete_section(self, number: str, minutes: float | None = None) -> None:
+        section = self.module.find_section(number)  # validates the number
+        self.completed_sections.add(section.number)
+        self.minutes_spent += minutes if minutes is not None else section.minutes
+
+    # ------------------------------------------------------------------ metrics
+    def attempts_for(self, activity_id: str) -> list[Attempt]:
+        return [a for a in self.attempts if a.activity_id == activity_id]
+
+    def eventually_correct(self, activity_id: str) -> bool:
+        return any(a.result.correct for a in self.attempts_for(activity_id))
+
+    @property
+    def questions_answered_correctly(self) -> int:
+        ids = {q.activity_id for q in self.module.all_questions()}
+        return sum(1 for aid in ids if self.eventually_correct(aid))
+
+    @property
+    def completion_fraction(self) -> float:
+        total = sum(1 for _ in self.module.all_sections())
+        return len(self.completed_sections) / total if total else 1.0
+
+    @property
+    def question_score(self) -> float:
+        """Mean best score across the module's questions (0 if unattempted)."""
+        questions = self.module.all_questions()
+        if not questions:
+            return 1.0
+        best = []
+        for q in questions:
+            scores = [a.result.score for a in self.attempts_for(q.activity_id)]
+            best.append(max(scores) if scores else 0.0)
+        return sum(best) / len(best)
+
+    def finished(self) -> bool:
+        return self.completion_fraction == 1.0
+
+
+@dataclass
+class Gradebook:
+    """Instructor view across a cohort of learners."""
+
+    module: Module
+    records: dict[str, LearnerProgress] = field(default_factory=dict)
+
+    def enroll(self, learner: str) -> LearnerProgress:
+        if learner in self.records:
+            raise ValueError(f"{learner!r} is already enrolled")
+        progress = LearnerProgress(learner, self.module)
+        self.records[learner] = progress
+        return progress
+
+    def completion_rate(self) -> float:
+        """Fraction of the cohort that finished every section."""
+        if not self.records:
+            return 0.0
+        return sum(p.finished() for p in self.records.values()) / len(self.records)
+
+    def hardest_questions(self) -> list[tuple[str, float]]:
+        """(activity_id, first-attempt success rate), hardest first."""
+        rows = []
+        for q in self.module.all_questions():
+            firsts = [
+                p.attempts_for(q.activity_id)[0].result.correct
+                for p in self.records.values()
+                if p.attempts_for(q.activity_id)
+            ]
+            if firsts:
+                rows.append((q.activity_id, sum(firsts) / len(firsts)))
+        return sorted(rows, key=lambda r: r[1])
+
+    def mean_minutes(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(p.minutes_spent for p in self.records.values()) / len(self.records)

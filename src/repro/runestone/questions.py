@@ -1,0 +1,175 @@
+"""Interactive question types with grading and feedback.
+
+Implements the Runestone activity types the paper's virtual handout uses:
+multiple choice, fill-in-the-blank, drag-and-drop matching, plus a
+Parsons-style ordering problem.  Every question grades an answer into a
+:class:`GradeResult` with per-answer feedback, which the progress tracker
+records.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from .content import Block
+
+__all__ = [
+    "GradeResult",
+    "Question",
+    "MultipleChoice",
+    "Choice",
+    "FillInTheBlank",
+    "DragAndDrop",
+    "OrderingProblem",
+]
+
+
+@dataclass(frozen=True)
+class GradeResult:
+    """Outcome of grading one submission."""
+
+    activity_id: str
+    correct: bool
+    feedback: str
+    score: float  # in [0, 1]; partial credit for multi-part questions
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ValueError(f"score must be in [0, 1], got {self.score}")
+
+
+@dataclass(frozen=True)
+class Question(Block):
+    """Base class: every question has a stable activity id and a prompt."""
+
+    activity_id: str
+    prompt: str
+
+    def grade(self, answer: Any) -> GradeResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One multiple-choice option with its targeted feedback."""
+
+    label: str  # "A", "B", ...
+    text: str
+    feedback: str = ""
+
+
+@dataclass(frozen=True)
+class MultipleChoice(Question):
+    """Single-answer multiple choice (Fig. 1's question type)."""
+
+    choices: tuple[Choice, ...] = ()
+    correct_label: str = ""
+
+    def __post_init__(self) -> None:
+        labels = [c.label for c in self.choices]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"{self.activity_id}: duplicate choice labels")
+        if self.correct_label not in labels:
+            raise ValueError(
+                f"{self.activity_id}: correct label {self.correct_label!r} is not "
+                f"among {labels}"
+            )
+
+    def grade(self, answer: str) -> GradeResult:
+        answer = str(answer).strip().upper()
+        chosen = next((c for c in self.choices if c.label == answer), None)
+        if chosen is None:
+            return GradeResult(
+                self.activity_id,
+                correct=False,
+                feedback=f"'{answer}' is not one of the options",
+                score=0.0,
+            )
+        correct = chosen.label == self.correct_label
+        feedback = chosen.feedback or ("Correct!" if correct else "Try again.")
+        return GradeResult(
+            self.activity_id, correct=correct, feedback=feedback,
+            score=1.0 if correct else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class FillInTheBlank(Question):
+    """Text/numeric blank with regex or tolerance matching."""
+
+    answer_pattern: str = ""
+    numeric_answer: float | None = None
+    tolerance: float = 0.0
+    correct_feedback: str = "Correct!"
+    incorrect_feedback: str = "Not quite — review the section above."
+
+    def grade(self, answer: Any) -> GradeResult:
+        if self.numeric_answer is not None:
+            try:
+                value = float(answer)
+            except (TypeError, ValueError):
+                return GradeResult(
+                    self.activity_id, False, "Please enter a number.", 0.0
+                )
+            ok = abs(value - self.numeric_answer) <= self.tolerance
+        else:
+            ok = re.fullmatch(self.answer_pattern, str(answer).strip(), re.I) is not None
+        return GradeResult(
+            self.activity_id,
+            correct=ok,
+            feedback=self.correct_feedback if ok else self.incorrect_feedback,
+            score=1.0 if ok else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class DragAndDrop(Question):
+    """Match terms to definitions; graded with partial credit."""
+
+    pairs: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        terms = [t for t, _d in self.pairs]
+        if len(set(terms)) != len(terms):
+            raise ValueError(f"{self.activity_id}: duplicate terms")
+        if not self.pairs:
+            raise ValueError(f"{self.activity_id}: needs at least one pair")
+
+    def grade(self, answer: dict[str, str]) -> GradeResult:
+        key = dict(self.pairs)
+        right = sum(1 for term, defn in answer.items() if key.get(term) == defn)
+        score = right / len(self.pairs)
+        return GradeResult(
+            self.activity_id,
+            correct=score == 1.0,
+            feedback=f"{right}/{len(self.pairs)} matches correct",
+            score=score,
+        )
+
+
+@dataclass(frozen=True)
+class OrderingProblem(Question):
+    """Parsons-style: put the steps (or code lines) in the right order."""
+
+    steps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.steps) < 2:
+            raise ValueError(f"{self.activity_id}: needs at least two steps")
+
+    def grade(self, answer: Sequence[str]) -> GradeResult:
+        answer = list(answer)
+        if sorted(answer) != sorted(self.steps):
+            return GradeResult(
+                self.activity_id, False, "Use each given step exactly once.", 0.0
+            )
+        right = sum(1 for a, b in zip(answer, self.steps) if a == b)
+        score = right / len(self.steps)
+        return GradeResult(
+            self.activity_id,
+            correct=score == 1.0,
+            feedback=f"{right}/{len(self.steps)} steps in place",
+            score=score,
+        )

@@ -1,0 +1,112 @@
+"""Practice quizzes assembled from a module's question bank.
+
+Runestone's course-support side includes assessment reuse: instructors pull
+a module's interactive questions into a graded quiz.  :func:`build_quiz`
+samples ``k`` questions reproducibly (seeded), and :class:`QuizAttempt`
+grades a full submission with per-question feedback and a total score —
+the machinery behind the "check your understanding" checkpoints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from .module import Module
+from .questions import GradeResult, Question
+
+__all__ = ["Quiz", "QuizAttempt", "build_quiz"]
+
+
+@dataclass(frozen=True)
+class Quiz:
+    """An ordered selection of questions drawn from a module."""
+
+    module_slug: str
+    questions: tuple[Question, ...]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+    def question_ids(self) -> list[str]:
+        return [q.activity_id for q in self.questions]
+
+    def start(self, learner: str) -> "QuizAttempt":
+        return QuizAttempt(quiz=self, learner=learner)
+
+
+@dataclass
+class QuizAttempt:
+    """One learner's pass through a quiz."""
+
+    quiz: Quiz
+    learner: str
+    results: dict[str, GradeResult] = field(default_factory=dict)
+
+    def answer(self, activity_id: str, answer: Any) -> GradeResult:
+        """Grade one answer; re-answering replaces the previous grade."""
+        question = next(
+            (q for q in self.quiz.questions if q.activity_id == activity_id), None
+        )
+        if question is None:
+            raise KeyError(
+                f"question {activity_id!r} is not on this quiz "
+                f"({self.quiz.question_ids()})"
+            )
+        result = question.grade(answer)
+        self.results[activity_id] = result
+        return result
+
+    def submit_all(self, answers: dict[str, Any]) -> "QuizAttempt":
+        for activity_id, answer in answers.items():
+            self.answer(activity_id, answer)
+        return self
+
+    @property
+    def answered(self) -> int:
+        return len(self.results)
+
+    @property
+    def complete(self) -> bool:
+        return self.answered == len(self.quiz)
+
+    @property
+    def score(self) -> float:
+        """Mean score over the quiz's questions (unanswered count as 0)."""
+        if not self.quiz.questions:
+            return 1.0
+        total = sum(
+            self.results[q.activity_id].score
+            for q in self.quiz.questions
+            if q.activity_id in self.results
+        )
+        return total / len(self.quiz)
+
+    def feedback(self) -> list[tuple[str, str]]:
+        """(activity id, feedback) for every answered question, quiz order."""
+        return [
+            (q.activity_id, self.results[q.activity_id].feedback)
+            for q in self.quiz.questions
+            if q.activity_id in self.results
+        ]
+
+
+def build_quiz(module: Module, k: int, seed: int = 0) -> Quiz:
+    """Sample ``k`` distinct questions from the module, reproducibly.
+
+    Raises if the module's bank is smaller than ``k`` — an instructor error
+    worth failing loudly on.
+    """
+    bank = module.all_questions()
+    if k < 1:
+        raise ValueError("a quiz needs at least one question")
+    if k > len(bank):
+        raise ValueError(
+            f"module {module.slug!r} has {len(bank)} questions; cannot build "
+            f"a {k}-question quiz"
+        )
+    rng = random.Random(seed)
+    chosen = rng.sample(bank, k)
+    return Quiz(module_slug=module.slug, questions=tuple(chosen), seed=seed)

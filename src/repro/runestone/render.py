@@ -1,0 +1,146 @@
+"""Renderers: module trees to terminal text or simple HTML.
+
+The text renderer produces the view the benches print (Fig. 1 shows a
+rendered section of the Raspberry Pi handout); the HTML renderer exists so
+an instructor can actually serve the module from a static page.
+"""
+
+from __future__ import annotations
+
+import html
+
+from .content import Callout, CodeListing, FigureRef, Text, Video
+from .module import HandsOnActivity, Module, Section
+from .questions import (
+    DragAndDrop,
+    FillInTheBlank,
+    MultipleChoice,
+    OrderingProblem,
+    Question,
+)
+
+__all__ = ["render_text", "render_section_text", "render_html"]
+
+
+def _render_block_text(block) -> list[str]:
+    if isinstance(block, Text):
+        return [block.body, ""]
+    if isinstance(block, Video):
+        return [f"[VIDEO] {block.title}  ({block.duration_label})", ""]
+    if isinstance(block, CodeListing):
+        lines = [f"--- {block.caption or block.language} ---"]
+        lines += block.code.strip("\n").splitlines()
+        lines += ["-" * 30, ""]
+        return lines
+    if isinstance(block, Callout):
+        return [f"[{block.style.upper()}] {block.body}", ""]
+    if isinstance(block, FigureRef):
+        return [f"[FIGURE] {block.caption}", ""]
+    if isinstance(block, HandsOnActivity):
+        return [
+            f"[HANDS-ON] {block.title} (patternlet {block.paradigm}:{block.patternlet})",
+            block.instructions,
+            "",
+        ]
+    if isinstance(block, MultipleChoice):
+        lines = [f"Q: {block.prompt}"]
+        for choice in block.choices:
+            lines.append(f"  ( ) {choice.label}. {choice.text}")
+        lines += [f"  [Check me]    Activity: {block.activity_id}", ""]
+        return lines
+    if isinstance(block, FillInTheBlank):
+        return [f"Q: {block.prompt}", f"  answer: ________   Activity: {block.activity_id}", ""]
+    if isinstance(block, DragAndDrop):
+        lines = [f"Q: {block.prompt}"]
+        for term, _definition in block.pairs:
+            lines.append(f"  [drag] {term}")
+        lines += [f"  Activity: {block.activity_id}", ""]
+        return lines
+    if isinstance(block, OrderingProblem):
+        lines = [f"Q: {block.prompt}"]
+        lines += [f"  [step] {s}" for s in sorted(block.steps)]
+        lines += [f"  Activity: {block.activity_id}", ""]
+        return lines
+    return [repr(block), ""]
+
+
+def render_section_text(section: Section) -> str:
+    """Render one section (what Fig. 1 screenshots)."""
+    lines = [f"{section.number} {section.title}", "=" * 40, ""]
+    for block in section.blocks:
+        lines += _render_block_text(block)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_text(module: Module) -> str:
+    """Render the whole handout as terminal text."""
+    lines = [
+        module.title,
+        "#" * len(module.title),
+        f"audience: {module.audience}; designed length: ~{module.target_minutes} min",
+        "",
+    ]
+    for chapter in module.chapters:
+        lines += [f"Chapter {chapter.number}: {chapter.title}", "-" * 40, ""]
+        for section in chapter.sections:
+            lines.append(render_section_text(section))
+    return "\n".join(lines)
+
+
+def _render_block_html(block) -> str:
+    if isinstance(block, Text):
+        return f"<p>{html.escape(block.body)}</p>"
+    if isinstance(block, Video):
+        return (
+            f'<div class="video"><span>&#9654; {html.escape(block.title)}'
+            f" ({block.duration_label})</span></div>"
+        )
+    if isinstance(block, CodeListing):
+        return (
+            f'<pre class="code {html.escape(block.language)}">'
+            f"{html.escape(block.code)}</pre>"
+        )
+    if isinstance(block, Callout):
+        return f'<div class="callout {block.style}">{html.escape(block.body)}</div>'
+    if isinstance(block, FigureRef):
+        return f'<figure><figcaption>{html.escape(block.caption)}</figcaption></figure>'
+    if isinstance(block, HandsOnActivity):
+        return (
+            f'<div class="activity"><h4>{html.escape(block.title)}</h4>'
+            f"<p>{html.escape(block.instructions)}</p></div>"
+        )
+    if isinstance(block, MultipleChoice):
+        options = "".join(
+            f'<li><label><input type="radio" name="{html.escape(block.activity_id)}" '
+            f'value="{c.label}"> {c.label}. {html.escape(c.text)}</label></li>'
+            for c in block.choices
+        )
+        return (
+            f'<div class="question mc" id="{html.escape(block.activity_id)}">'
+            f"<p>{html.escape(block.prompt)}</p><ul>{options}</ul>"
+            f"<button>Check me</button></div>"
+        )
+    if isinstance(block, Question):
+        return (
+            f'<div class="question" id="{html.escape(block.activity_id)}">'
+            f"<p>{html.escape(block.prompt)}</p></div>"
+        )
+    return f"<div>{html.escape(repr(block))}</div>"
+
+
+def render_html(module: Module) -> str:
+    """A single-page static HTML rendering of the handout."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(module.title)}</title></head><body>",
+        f"<h1>{html.escape(module.title)}</h1>",
+    ]
+    for chapter in module.chapters:
+        parts.append(f"<h2>Chapter {chapter.number}: {html.escape(chapter.title)}</h2>")
+        for section in chapter.sections:
+            parts.append(
+                f"<h3>{html.escape(section.number)} {html.escape(section.title)}</h3>"
+            )
+            parts.extend(_render_block_html(b) for b in section.blocks)
+    parts.append("</body></html>")
+    return "".join(parts)

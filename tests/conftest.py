@@ -1,0 +1,22 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mpi import mpirun as _mpirun
+
+#: Keep worst-case hangs short in tests: a genuinely stuck world should fail
+#: the test in a couple of seconds, not the default 30.
+TEST_DEADLOCK_TIMEOUT = 8.0
+
+
+def spmd(fn, np, *args, **kwargs):
+    """mpirun with a test-friendly watchdog."""
+    kwargs.setdefault("deadlock_timeout", TEST_DEADLOCK_TIMEOUT)
+    return _mpirun(fn, np, *args, **kwargs)
+
+
+@pytest.fixture
+def run_spmd():
+    return spmd

@@ -1,0 +1,215 @@
+"""Assessment: Likert scales, from-scratch t-test vs scipy, reports."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.assessment import (
+    CONFIDENCE,
+    CONFIDENCE_PAIRS,
+    PREPAREDNESS,
+    PREPAREDNESS_PAIRS,
+    USEFULNESS,
+    LikertScale,
+    PrePostItem,
+    SessionRatings,
+    SurveyItem,
+    figure3,
+    figure4,
+    paired_t_test,
+    regularized_incomplete_beta,
+    student_t_sf,
+    table2,
+    workshop_cohort,
+)
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+class TestLikertScale:
+    def test_labels_and_bounds(self):
+        assert USEFULNESS.min == 1 and USEFULNESS.max == 5
+        assert USEFULNESS.label(5) == "extremely useful"
+        assert PREPAREDNESS.label(2) == "a little bit"
+
+    def test_validate_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            USEFULNESS.validate(0)
+        with pytest.raises(ValueError):
+            USEFULNESS.validate(6)
+
+    def test_validate_rejects_non_integers(self):
+        with pytest.raises(TypeError):
+            USEFULNESS.validate(4.5)
+        with pytest.raises(TypeError):
+            USEFULNESS.validate(True)
+
+    def test_histogram_in_scale_order(self):
+        h = CONFIDENCE.histogram([1, 3, 3, 5])
+        assert list(h) == list(CONFIDENCE.labels)
+        assert h["moderately"] == 2 and h["extremely"] == 1
+
+    def test_mean(self):
+        assert CONFIDENCE.mean([1, 2, 3]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            CONFIDENCE.mean([])
+
+    def test_scale_needs_two_anchors(self):
+        with pytest.raises(ValueError):
+            LikertScale("x", ("only",))
+
+
+class TestTTestMachinery:
+    def test_incomplete_beta_boundaries(self):
+        assert regularized_incomplete_beta(2, 3, 0.0) == 0.0
+        assert regularized_incomplete_beta(2, 3, 1.0) == 1.0
+
+    def test_incomplete_beta_symmetric_case(self):
+        # I_0.5(a, a) = 0.5 by symmetry
+        assert regularized_incomplete_beta(4, 4, 0.5) == pytest.approx(0.5)
+
+    @FAST
+    @given(
+        a=st.floats(0.5, 20),
+        b=st.floats(0.5, 20),
+        x=st.floats(0.01, 0.99),
+    )
+    def test_incomplete_beta_matches_scipy(self, a, b, x):
+        ours = regularized_incomplete_beta(a, b, x)
+        assert ours == pytest.approx(scipy_stats.beta.cdf(x, a, b), abs=1e-9)
+
+    @FAST
+    @given(t=st.floats(-8, 8), df=st.integers(1, 60))
+    def test_student_sf_matches_scipy(self, t, df):
+        # abs tolerance 5e-9: for |t| near 0 the x = df/(df+t^2) transform
+        # loses a couple of digits relative to scipy's dedicated stdtr path.
+        assert student_t_sf(t, df) == pytest.approx(
+            scipy_stats.t.sf(t, df), abs=5e-9
+        )
+
+    def test_t_sf_symmetry(self):
+        assert student_t_sf(1.7, 10) + student_t_sf(-1.7, 10) == pytest.approx(1.0)
+
+    @FAST
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            min_size=3,
+            max_size=40,
+        )
+    )
+    def test_paired_t_matches_scipy(self, data):
+        pre = [a for a, _b in data]
+        post = [b for _a, b in data]
+        diffs = [b - a for a, b in data]
+        if len(set(diffs)) == 1:  # zero-variance: both implementations degenerate
+            return
+        ours = paired_t_test(pre, post)
+        theirs = scipy_stats.ttest_rel(post, pre)
+        assert ours.t_statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1, 2], [1])
+        with pytest.raises(ValueError):
+            paired_t_test([1], [2])
+        with pytest.raises(ValueError, match="identical"):
+            paired_t_test([1, 2, 3], [2, 3, 4])  # all diffs equal
+
+
+class TestSurveyInstruments:
+    def test_session_ratings_rows_round_to_two_decimals(self):
+        item = SurveyItem("useful?", USEFULNESS)
+        ratings = SessionRatings("Demo", item, item)
+        for a, b in [(5, 4), (4, 4), (5, 5)]:
+            ratings.add(a, b)
+        session, a, b = ratings.row()
+        assert (session, a, b) == ("Demo", 4.67, 4.33)
+
+    def test_none_means_skipped_column(self):
+        item = SurveyItem("useful?", USEFULNESS)
+        ratings = SessionRatings("Demo", item, item)
+        ratings.add(5, None)
+        ratings.add(4, 3)
+        assert len(ratings.ratings_a) == 2
+        assert len(ratings.ratings_b) == 1
+
+    def test_prepost_item_histograms(self):
+        item = PrePostItem("conf?", CONFIDENCE)
+        item.add_pairs([(2, 4), (3, 3), (1, 5)])
+        pre, post = item.histograms()
+        assert pre["slightly"] == 1 and post["extremely"] == 1
+
+    def test_invalid_response_rejected_on_add(self):
+        item = PrePostItem("conf?", CONFIDENCE)
+        with pytest.raises(ValueError):
+            item.add_pair(0, 3)
+
+
+class TestCalibratedCohort:
+    def test_cohort_demographics_match_paper(self):
+        cohort = workshop_cohort()
+        assert len(cohort) == 22
+        assert sum(p.role == "faculty" for p in cohort) == 19
+        assert sum(p.role == "graduate-student" for p in cohort) == 3
+        assert sum(p.gender == "male" for p in cohort) == 17
+        assert sum(p.gender == "female" for p in cohort) == 4
+        assert sum(p.gender == "other" for p in cohort) == 1
+        assert sum(p.location == "continental-us" for p in cohort) == 19
+        assert sum(p.location == "puerto-rico" for p in cohort) == 1
+        assert sum(p.location == "international" for p in cohort) == 2
+        assert sum(p.track == "tenured-or-tenure-track" for p in cohort) == 10
+        assert sum(p.track == "non-tenure-track" for p in cohort) == 9
+
+    def test_all_pairs_are_valid_likert_values(self):
+        for pre, post in CONFIDENCE_PAIRS + PREPAREDNESS_PAIRS:
+            assert 1 <= pre <= 5 and 1 <= post <= 5
+
+    def test_nobody_regressed(self):
+        assert all(post >= pre for pre, post in CONFIDENCE_PAIRS)
+        assert all(post >= pre for pre, post in PREPAREDNESS_PAIRS)
+
+
+class TestPaperNumbers:
+    def test_table2_reproduces_paper_row_for_row(self):
+        rows = table2().rows
+        assert rows[0] == ("OpenMP on Raspberry Pi", 4.55, 4.45)
+        assert rows[1] == ("MPI & Distr. Cluster Computing", 4.38, 4.29)
+
+    def test_openmp_session_rated_highest(self):
+        rows = table2().rows
+        assert rows[0][1] > rows[1][1] and rows[0][2] > rows[1][2]
+
+    def test_figure3_statistics(self):
+        f3 = figure3()
+        assert round(f3.test.pre_mean, 2) == 2.82
+        assert round(f3.test.post_mean, 2) == 3.59
+        assert f3.test.n == 22 and f3.test.df == 21
+        # paper reports p = 0.0004
+        assert f3.test.p_value == pytest.approx(4.33e-4, rel=0.01)
+        assert f3.test.significant()
+
+    def test_figure4_statistics(self):
+        f4 = figure4()
+        assert round(f4.test.pre_mean, 2) == 2.59
+        assert round(f4.test.post_mean, 2) == 3.77
+        # paper reports p = 4.18e-08
+        assert f4.test.p_value == pytest.approx(4.18e-8, rel=0.01)
+
+    def test_histograms_sum_to_cohort_size(self):
+        for fig in (figure3(), figure4()):
+            assert sum(fig.pre_histogram.values()) == 22
+            assert sum(fig.post_histogram.values()) == 22
+
+    def test_renders_mention_key_stats(self):
+        assert "4.55" in table2().render()
+        assert "pre_m = 2.82" in figure3().render()
+        assert "pre_m = 2.59" in figure4().render()
+
+    def test_preparedness_gain_larger_than_confidence_gain(self):
+        # visible in the figures: preparedness moved more
+        assert figure4().test.mean_diff > figure3().test.mean_diff

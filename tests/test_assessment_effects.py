@@ -1,0 +1,152 @@
+"""Effect sizes, Wilcoxon signed-rank, and the qualitative coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats as scipy_stats
+
+from repro.assessment import (
+    CONFIDENCE_PAIRS,
+    PAPER_QUOTES,
+    PREPAREDNESS_PAIRS,
+    THEMES,
+    WilcoxonResult,
+    cohens_d_label,
+    cohens_d_paired,
+    evidence_for_strategy,
+    quotes_for,
+    theme_counts,
+    wilcoxon_signed_rank,
+)
+
+FAST = settings(max_examples=50, deadline=None)
+
+
+class TestCohensD:
+    def test_paper_effects_are_large(self):
+        """Both pre/post gains the paper reports are large effects."""
+        for pairs in (CONFIDENCE_PAIRS, PREPAREDNESS_PAIRS):
+            pre = [a for a, _b in pairs]
+            post = [b for _a, b in pairs]
+            d = cohens_d_paired(pre, post)
+            assert cohens_d_label(d) == "large"
+
+    def test_preparedness_effect_larger(self):
+        d_conf = cohens_d_paired(
+            [a for a, _ in CONFIDENCE_PAIRS], [b for _, b in CONFIDENCE_PAIRS]
+        )
+        d_prep = cohens_d_paired(
+            [a for a, _ in PREPAREDNESS_PAIRS], [b for _, b in PREPAREDNESS_PAIRS]
+        )
+        assert d_prep > d_conf
+
+    def test_d_equals_t_over_sqrt_n(self):
+        from math import sqrt
+
+        from repro.assessment import paired_t_test
+
+        pre = [a for a, _ in CONFIDENCE_PAIRS]
+        post = [b for _, b in CONFIDENCE_PAIRS]
+        t = paired_t_test(pre, post).t_statistic
+        assert cohens_d_paired(pre, post) == pytest.approx(t / sqrt(len(pre)))
+
+    @pytest.mark.parametrize(
+        "d,label",
+        [(0.1, "negligible"), (0.3, "small"), (0.6, "medium"), (1.2, "large"),
+         (-0.9, "large")],
+    )
+    def test_labels(self, d, label):
+        assert cohens_d_label(d) == label
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cohens_d_paired([1, 2], [1])
+        with pytest.raises(ValueError):
+            cohens_d_paired([1, 2, 3], [2, 3, 4])  # zero-variance diffs
+
+
+class TestWilcoxon:
+    def test_paper_data_significant_nonparametrically(self):
+        """The robustness check: the gains survive the ordinal-scale test."""
+        for pairs in (CONFIDENCE_PAIRS, PREPAREDNESS_PAIRS):
+            pre = [a for a, _b in pairs]
+            post = [b for _a, b in pairs]
+            result = wilcoxon_signed_rank(pre, post)
+            assert result.significant()
+            assert result.w_minus == 0.0  # nobody regressed
+
+    def test_matches_scipy_on_paper_data(self):
+        pre = [a for a, _ in CONFIDENCE_PAIRS]
+        post = [b for _, b in CONFIDENCE_PAIRS]
+        ours = wilcoxon_signed_rank(pre, post)
+        theirs = scipy_stats.wilcoxon(
+            post, pre, zero_method="wilcox", correction=True, mode="approx"
+        )
+        assert ours.w_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    @FAST
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 5), st.integers(1, 5)),
+            min_size=5,
+            max_size=40,
+        )
+    )
+    def test_property_matches_scipy(self, data):
+        pre = [a for a, _b in data]
+        post = [b for _a, b in data]
+        if sum(1 for a, b in data if a != b) < 2:
+            return  # degenerate: both implementations reject or are unstable
+        ours = wilcoxon_signed_rank(pre, post)
+        theirs = scipy_stats.wilcoxon(
+            post, pre, zero_method="wilcox", correction=True, mode="approx"
+        )
+        assert ours.w_statistic == pytest.approx(theirs.statistic)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9, abs=1e-12)
+
+    def test_all_zero_differences_rejected(self):
+        with pytest.raises(ValueError, match="all paired differences are zero"):
+            wilcoxon_signed_rank([1, 2, 3], [1, 2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            wilcoxon_signed_rank([1, 2], [1])
+
+    def test_summary_text(self):
+        result = wilcoxon_signed_rank([1, 2, 3, 4], [3, 4, 5, 4])
+        assert isinstance(result, WilcoxonResult)
+        assert "Wilcoxon signed-rank" in result.summary()
+
+
+class TestQualitativeCoding:
+    def test_every_quote_has_a_known_theme(self):
+        counts = theme_counts()
+        assert sum(counts.values()) == len(PAPER_QUOTES)
+        assert set(counts) <= set(THEMES)
+
+    def test_quotes_for_theme(self):
+        quotes = quotes_for("python-viable")
+        assert len(quotes) == 1
+        assert "MPI can be used in Python" in quotes[0].text
+
+    def test_unknown_theme_raises(self):
+        with pytest.raises(KeyError):
+            quotes_for("blockchain")
+
+    def test_each_strategy_has_supporting_evidence(self):
+        for strategy in (1, 2, 3):
+            evidence = evidence_for_strategy(strategy)
+            assert evidence["supporting"], strategy
+
+    def test_challenges_recorded_where_the_paper_reports_them(self):
+        # strategy 2: "The platform switches seem to be a little confusing."
+        assert evidence_for_strategy(2)["challenging"]
+        # strategy 3: the shy-participant comment
+        assert evidence_for_strategy(3)["challenging"]
+
+    def test_theme_counts_rejects_uncoded(self):
+        from repro.assessment import OpenEndedResponse
+
+        with pytest.raises(KeyError, match="uncoded"):
+            theme_counts((OpenEndedResponse("x", "not-a-theme"),))

@@ -1,0 +1,131 @@
+"""CLI: every subcommand through main() with captured output."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestList:
+    def test_lists_both_paradigms(self, capsys):
+        code, out, _err = run_cli(capsys, "list")
+        assert code == 0
+        assert "openmp" in out and "mpi" in out
+        assert out.count("\n") == 29
+
+    def test_filter_by_paradigm(self, capsys):
+        code, out, _err = run_cli(capsys, "list", "openmp")
+        assert code == 0
+        assert "mpi " not in out
+        assert "race" in out
+
+
+class TestRun:
+    def test_run_mpi_spmd(self, capsys):
+        code, out, _err = run_cli(capsys, "run", "mpi", "spmd", "--np", "3")
+        assert code == 0
+        assert out.count("Greetings from process") == 3
+
+    def test_run_openmp_reduction(self, capsys):
+        code, out, _err = run_cli(capsys, "run", "openmp", "reduction")
+        assert code == 0
+        assert "expected" in out
+
+    def test_source_listing(self, capsys):
+        code, out, _err = run_cli(capsys, "run", "mpi", "spmd", "--source")
+        assert code == 0
+        assert "def spmd" in out
+
+    def test_unknown_patternlet(self, capsys):
+        with pytest.raises(KeyError):
+            main(["run", "mpi", "nope"])
+
+
+class TestNotebook:
+    def test_colab_runs(self, capsys):
+        code, out, _err = run_cli(capsys, "notebook", "colab", "--np", "3")
+        assert code == 0
+        assert "Greetings from process" in out
+
+    def test_export_ipynb(self, capsys, tmp_path):
+        target = tmp_path / "nb.ipynb"
+        code, out, _err = run_cli(
+            capsys, "notebook", "colab", "--export", str(target)
+        )
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["nbformat"] == 4
+
+    def test_chameleon_runs(self, capsys):
+        code, out, _err = run_cli(capsys, "notebook", "chameleon", "--np", "2")
+        assert code == 0
+        assert "% burned" in out
+
+
+class TestHandout:
+    def test_full_text(self, capsys):
+        code, out, _err = run_cli(capsys, "handout")
+        assert code == 0
+        assert "Race Conditions" in out
+
+    def test_single_section(self, capsys):
+        code, out, _err = run_cli(capsys, "handout", "--section", "2.3")
+        assert code == 0
+        assert out.startswith("2.3 Race Conditions")
+
+    def test_html_export(self, capsys, tmp_path):
+        target = tmp_path / "handout.html"
+        code, out, _err = run_cli(capsys, "handout", "--html", str(target))
+        assert code == 0
+        assert target.read_text().startswith("<!DOCTYPE html>")
+
+
+class TestStudyAndReport:
+    def test_study(self, capsys):
+        code, out, _err = run_cli(capsys, "study", "forestfire", "stolaf-vm")
+        assert code == 0
+        assert "speedup" in out and "St. Olaf" in out
+
+    def test_report_contains_all_artifacts(self, capsys):
+        code, out, _err = run_cli(capsys, "report")
+        assert code == 0
+        assert "TABLE I" in out
+        assert "TABLE II" in out
+        assert "Figure 3" in out and "Figure 4" in out
+        assert "highest rated" in out
+
+
+class TestMpirun:
+    def test_runs_script_file(self, capsys, tmp_path):
+        script = tmp_path / "hello.py"
+        script.write_text(
+            "from mpi4py import MPI\n"
+            "print('rank', MPI.COMM_WORLD.Get_rank())\n"
+        )
+        code, out, _err = run_cli(capsys, "mpirun", "-np", "3", str(script))
+        assert code == 0
+        assert sorted(out.strip().splitlines()) == ["rank 0", "rank 1", "rank 2"]
+
+
+class TestValidate:
+    def test_shipped_modules_are_clean(self, capsys):
+        code, out, _err = run_cli(capsys, "validate")
+        assert code == 0
+        assert out.count("clean") == 2

@@ -1,0 +1,60 @@
+"""C/OpenMP listings: coverage and structural fidelity to the pragmas."""
+
+import pytest
+
+from repro.patternlets import C_LISTINGS, all_patternlets, c_listing
+
+
+class TestCoverage:
+    def test_every_openmp_patternlet_has_a_c_listing(self):
+        names = {p.name for p in all_patternlets("openmp")}
+        assert names == set(C_LISTINGS)
+
+    def test_unknown_name_raises_with_choices(self):
+        with pytest.raises(KeyError, match="available"):
+            c_listing("nonexistent")
+
+
+class TestStructure:
+    def test_all_listings_are_complete_c_programs(self):
+        for name, source in C_LISTINGS.items():
+            assert "#include <omp.h>" in source, name
+            assert "int main()" in source, name
+            assert source.count("{") == source.count("}"), name
+
+    @pytest.mark.parametrize(
+        "name,pragma",
+        [
+            ("spmd", "#pragma omp parallel"),
+            ("critical", "#pragma omp critical"),
+            ("atomic", "#pragma omp atomic"),
+            ("reduction", "reduction(+:sum)"),
+            ("forEqualChunks", "schedule(static)"),
+            ("forChunksOf1", "schedule(static,1)"),
+            ("forDynamic", "schedule(dynamic,2)"),
+            ("barrier", "#pragma omp barrier"),
+            ("masterSingle", "#pragma omp master"),
+            ("masterSingle", "#pragma omp single"),
+            ("sections", "#pragma omp section"),
+            ("tasks", "#pragma omp task"),
+            ("tasks", "#pragma omp taskwait"),
+        ],
+    )
+    def test_listing_teaches_its_pragma(self, name, pragma):
+        assert pragma in c_listing(name)
+
+    def test_race_listing_has_no_protection(self):
+        source = c_listing("race")
+        assert "critical" not in source
+        assert "atomic" not in source
+        assert "reduction" not in source
+
+    def test_python_and_c_teach_the_same_concepts(self):
+        """The Python patternlet's concepts should surface in the C text."""
+        probes = {
+            "race": "read-modify-write",
+            "reduction": "partials",
+            "private": "private",
+        }
+        for name, phrase in probes.items():
+            assert phrase in c_listing(name), name

@@ -1,0 +1,157 @@
+"""Core package: curriculum, session simulation, workshop, delivery."""
+
+import pytest
+
+from repro.core import (
+    GOALS,
+    INJECTION_POINTS,
+    STRATEGIES,
+    SessionConfig,
+    available_platforms,
+    distributed_memory_module,
+    plan_scaling_run,
+    run_exemplar_study,
+    run_lab_session,
+    shared_memory_module,
+    simulate_workshop,
+)
+from repro.patternlets import get_patternlet
+from repro.runestone import build_raspberry_pi_module
+
+
+class TestCurriculum:
+    def test_three_goals_three_strategies(self):
+        assert len(GOALS) == 3 and len(STRATEGIES) == 3
+
+    def test_every_strategy_achieves_a_goal(self):
+        goal_numbers = {g.number for g in GOALS}
+        assert {s.achieves_goal for s in STRATEGIES} == goal_numbers
+
+    def test_modules_cover_both_paradigms(self):
+        assert shared_memory_module().paradigm == "openmp"
+        assert distributed_memory_module().paradigm == "mpi"
+
+    def test_module_requirements(self):
+        shared = shared_memory_module().requirements()
+        assert any("kit" in r for r in shared)
+        dist = distributed_memory_module().requirements()
+        assert any("Google account" in r for r in dist)
+        assert any("Chameleon" in r for r in dist)
+
+    def test_module_platforms_resolve(self):
+        for module in (shared_memory_module(), distributed_memory_module()):
+            assert module.platforms()
+
+    def test_distributed_module_includes_unicore_colab(self):
+        """The paper's point: Colab teaches concepts despite one core."""
+        platforms = distributed_memory_module().platforms()
+        assert any(p.cores == 1 for p in platforms)
+        assert any(p.cores >= 48 for p in platforms)
+
+    def test_injection_points_reference_real_patternlets(self):
+        for injection in INJECTION_POINTS:
+            paradigm = (
+                "openmp" if injection.module_slug == "shared-memory" else "mpi"
+            )
+            for name in injection.patternlets:
+                get_patternlet(paradigm, name)  # raises if missing
+
+
+class TestLabSession:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        module = build_raspberry_pi_module()
+        learners = [f"s{i}" for i in range(10)]
+        return run_lab_session(module, learners, SessionConfig(seed=7))
+
+    def test_everyone_finishes(self, outcome):
+        assert outcome.completion_rate == 1.0
+
+    def test_videos_absorb_setup_issues(self, outcome):
+        """All issue kinds are video-covered, so none persist — the paper's
+        'no technical difficulties' result."""
+        assert outcome.learners_with_issues == 0
+        assert outcome.resolved_by_videos > 0
+
+    def test_deterministic_for_seed(self):
+        module = build_raspberry_pi_module()
+        a = run_lab_session(module, ["x", "y"], SessionConfig(seed=3))
+        b = run_lab_session(module, ["x", "y"], SessionConfig(seed=3))
+        assert a.mean_minutes == b.mean_minutes
+        assert a.resolved_by_videos == b.resolved_by_videos
+
+    def test_mean_minutes_near_design_pacing(self, outcome):
+        module = build_raspberry_pi_module()
+        design = module.total_minutes
+        assert design * 0.7 <= outcome.mean_minutes <= design * 1.3
+
+    def test_questions_eventually_answered(self, outcome):
+        for progress in outcome.gradebook.records.values():
+            assert progress.question_score == 1.0
+
+
+class TestWorkshop:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return simulate_workshop(seed=2020, eager_beavers=3)
+
+    def test_cohort_size(self, report):
+        assert report.participants == 22
+
+    def test_vnc_incident_reproduced(self, report):
+        assert len(report.vnc_incident.locked_out_participants) == 3
+        assert report.vnc_incident.all_finished_via_ssh
+
+    def test_assessment_numbers_attached(self, report):
+        assert report.table2.rows[0][1] == 4.55
+        assert report.figure3.test.significant()
+        assert report.figure4.test.p_value < 1e-6
+
+    def test_headline_findings_include_paper_claims(self, report):
+        findings = " ".join(report.headline_findings())
+        assert "technical difficulties" in findings
+        assert "highest rated" in findings
+        assert "ssh" in findings
+        assert "significantly" in findings
+
+    def test_no_eager_beavers_no_incident(self):
+        report = simulate_workshop(eager_beavers=0)
+        assert report.vnc_incident.locked_out_participants == ()
+        assert not report.vnc_incident.all_finished_via_ssh
+
+
+class TestDelivery:
+    def test_platform_catalog(self):
+        platforms = available_platforms()
+        assert "colab" in platforms and "stolaf-vm" in platforms
+
+    def test_plan_scaling_run_respects_cores(self):
+        assert plan_scaling_run("colab") == [1, 2]
+        assert max(plan_scaling_run("stolaf-vm")) == 64
+        assert plan_scaling_run("raspberry-pi-4") == [1, 2, 4, 8]
+
+    def test_plan_with_explicit_ceiling(self):
+        assert plan_scaling_run("stolaf-vm", max_procs=4) == [1, 2, 4]
+
+    @pytest.mark.parametrize("exemplar", ["integration", "forestfire", "drugdesign"])
+    def test_colab_never_speeds_up(self, exemplar):
+        run = run_exemplar_study(exemplar, "colab")
+        assert not run.study.shows_speedup()
+        assert "no speedup" in run.learner_takeaway()
+
+    @pytest.mark.parametrize("exemplar", ["integration", "forestfire", "drugdesign"])
+    @pytest.mark.parametrize("platform", ["stolaf-vm", "chameleon-cluster"])
+    def test_big_platforms_speed_up_well(self, exemplar, platform):
+        run = run_exemplar_study(exemplar, platform)
+        assert run.study.max_speedup >= 8.0
+        assert "speedup" in run.learner_takeaway()
+
+    def test_pi_speedup_bounded_by_four_cores(self):
+        run = run_exemplar_study("integration", "raspberry-pi-4")
+        assert 2.0 <= run.study.max_speedup <= 4.0
+
+    def test_unknown_names_raise_with_choices(self):
+        with pytest.raises(KeyError, match="choose from"):
+            run_exemplar_study("quantum", "colab")
+        with pytest.raises(KeyError, match="choose from"):
+            run_exemplar_study("integration", "cray")

@@ -1,0 +1,114 @@
+"""Workshop agenda and the Section IV-C discussion-facilitation lessons."""
+
+import pytest
+
+from repro.core import (
+    Facilitation,
+    SessionKind,
+    build_2020_agenda,
+    simulate_discussion,
+)
+
+
+class TestAgenda:
+    @pytest.fixture(scope="class")
+    def agenda(self):
+        return build_2020_agenda()
+
+    def test_two_and_a_half_days(self, agenda):
+        assert agenda.days() == [1, 2, 3]
+        # day 3 is the half day
+        assert sum(i.minutes for i in agenda.day(3)) < sum(
+            i.minutes for i in agenda.day(1)
+        )
+
+    def test_module_sessions_are_the_mornings(self, agenda):
+        hands_on = [i for i in agenda.items if i.kind == SessionKind.HANDS_ON]
+        assert len(hands_on) == 2
+        assert all(i.minutes == 120 for i in hands_on)
+        assert {i.day for i in hands_on} == {1, 2}
+
+    def test_afternoons_hold_demos_and_discussions(self, agenda):
+        for day in (1, 2):
+            kinds = {i.kind for i in agenda.day(day)}
+            assert SessionKind.DEMO in kinds
+            assert SessionKind.DISCUSSION in kinds
+
+    def test_kind_accounting(self, agenda):
+        assert agenda.minutes_of(SessionKind.HANDS_ON) == 240
+        assert agenda.minutes_of(SessionKind.BREAK) == 120
+        assert agenda.total_minutes() == sum(i.minutes for i in agenda.items)
+
+    def test_hands_on_emphasis(self, agenda):
+        """The workshop's design principle: substantial hands-on time."""
+        assert agenda.hands_on_fraction() >= 0.3
+
+
+class TestDiscussionModel:
+    PARTICIPANTS = [f"p{i:02d}" for i in range(12)]
+
+    def test_open_floor_lets_extroverts_dominate(self):
+        """The paper: 'more extroverted participants had a tendency to
+        dominate conversations'."""
+        outcome = simulate_discussion(
+            self.PARTICIPANTS, policy=Facilitation.NONE, seed=7
+        )
+        assert outcome.dominance > 2.0 / len(self.PARTICIPANTS)
+
+    def test_open_floor_leaves_shy_members_silent(self):
+        """'it took a special effort to get some learners to actively
+        participate' — with no facilitation, somebody never speaks."""
+        silent_runs = sum(
+            simulate_discussion(
+                self.PARTICIPANTS, policy=Facilitation.NONE, seed=s
+            ).silent_participants
+            > 0
+            for s in range(10)
+        )
+        assert silent_runs >= 5
+
+    def test_round_robin_is_perfectly_balanced(self):
+        outcome = simulate_discussion(
+            self.PARTICIPANTS, minutes=60, policy=Facilitation.ROUND_ROBIN
+        )
+        assert outcome.silent_participants == 0
+        assert outcome.balanced(tolerance=1.5)
+
+    def test_prompting_rescues_the_quiet(self):
+        """Inviting the least-heard in every third turn removes silence and
+        reduces dominance versus the open floor."""
+        open_floor = simulate_discussion(
+            self.PARTICIPANTS, policy=Facilitation.NONE, seed=3
+        )
+        prompted = simulate_discussion(
+            self.PARTICIPANTS, policy=Facilitation.PROMPTED, seed=3
+        )
+        assert prompted.silent_participants == 0
+        assert prompted.dominance <= open_floor.dominance
+
+    def test_deterministic_for_seed(self):
+        a = simulate_discussion(self.PARTICIPANTS, seed=11)
+        b = simulate_discussion(self.PARTICIPANTS, seed=11)
+        assert a.turns == b.turns
+
+    def test_explicit_extroversion_respected(self):
+        extroversion = {p: 0.01 for p in self.PARTICIPANTS}
+        extroversion["p00"] = 100.0
+        outcome = simulate_discussion(
+            self.PARTICIPANTS,
+            extroversion=extroversion,
+            policy=Facilitation.NONE,
+            seed=1,
+        )
+        assert outcome.turns["p00"] == max(outcome.turns.values())
+        assert outcome.dominance > 0.9
+
+    def test_turn_conservation(self):
+        outcome = simulate_discussion(self.PARTICIPANTS, minutes=45, seed=2)
+        assert outcome.total_turns == 45
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_discussion([])
+        with pytest.raises(ValueError):
+            simulate_discussion(["a"], minutes=0)

@@ -1,0 +1,86 @@
+"""The distributed-memory module content and its workshop integration."""
+
+import pytest
+
+from repro.core import SessionConfig, run_lab_session, simulate_workshop
+from repro.patternlets import get_patternlet
+from repro.runestone import build_distributed_module, render_text
+
+
+@pytest.fixture(scope="module")
+def module():
+    return build_distributed_module()
+
+
+class TestStructure:
+    def test_two_hour_session_pacing(self, module):
+        """30 min concepts + 30 min Colab patternlets + 60 min exemplars."""
+        assert module.session_minutes == 120
+        assert module.fits_lab_period()
+        session = [c for c in module.chapters if not c.pre_work]
+        assert [c.minutes for c in session] == [30, 30, 60]
+
+    def test_prework_covers_accounts_and_platform_choice(self, module):
+        prework = [c for c in module.chapters if c.pre_work]
+        assert len(prework) == 1
+        text = render_text(module)
+        assert "Google account" in text
+        assert "Chameleon" in text
+
+    def test_vnc_warning_present(self, module):
+        """The operational lesson is baked into the materials."""
+        text = render_text(module)
+        assert "firewall" in text
+        assert "ssh keeps working" in text
+
+    def test_activities_reference_real_mpi_patternlets(self, module):
+        for activity in module.all_activities():
+            assert activity.paradigm == "mpi"
+            patternlet = get_patternlet("mpi", activity.patternlet)
+            result = patternlet.run()
+            for key in activity.expected:
+                assert key in result.values, (activity.title, key)
+
+    def test_covers_the_pattern_progression(self, module):
+        names = [a.patternlet for a in module.all_activities()]
+        for required in (
+            "spmd",
+            "sendReceive",
+            "messagePassingRing",
+            "deadlock",
+            "broadcast",
+            "scatter",
+            "reduce",
+            "masterWorker",
+        ):
+            assert required in names
+
+    def test_exemplar_hour_offers_a_choice(self, module):
+        chapter4 = module.chapters[-1]
+        titles = [s.title for s in chapter4.sections]
+        assert any("Forest fire" in t or "fire" in t.lower() for t in titles)
+        assert any("Drug design" in t or "drug" in t.lower() for t in titles)
+
+    def test_question_ids_unique_across_both_modules(self, module):
+        from repro.runestone import build_raspberry_pi_module
+
+        ids = [q.activity_id for q in module.all_questions()]
+        ids += [q.activity_id for q in build_raspberry_pi_module().all_questions()]
+        assert len(ids) == len(set(ids))
+
+
+class TestSession:
+    def test_full_cohort_completes(self, module):
+        outcome = run_lab_session(
+            module, [f"p{i}" for i in range(8)],
+            SessionConfig(seed=4, issue_kinds=()),
+        )
+        assert outcome.completion_rate == 1.0
+        assert outcome.learners_with_issues == 0
+
+    def test_workshop_runs_both_mornings(self):
+        report = simulate_workshop()
+        assert report.shared_memory_session.module_slug == "raspberry-pi-handout"
+        assert report.distributed_session.module_slug == "mpi-distributed-handout"
+        assert report.distributed_session.completion_rate == 1.0
+        assert report.distributed_session.learners_with_issues == 0

@@ -1,0 +1,66 @@
+"""Integration: every shipped example runs end to end.
+
+Each example is executed in-process (runpy) with scaled-down arguments so
+the whole file stays fast; stdout is captured and spot-checked for the
+landmark lines a reader would look for.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def run_example(capsys, monkeypatch, name: str, *argv: str) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "quickstart.py")
+    assert "Greetings from process" in out
+    assert "TABLE I" in out
+    assert "pre_m = 2.82" in out
+
+
+def test_run_colab_notebook(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "run_colab_notebook.py", "3")
+    assert out.count("Greetings from process") == 3
+    assert "All cells executed." in out
+
+
+def test_raspberry_pi_lab(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "raspberry_pi_lab.py")
+    assert "2.3 Race Conditions" in out
+    assert "module complete: 100%" in out
+    assert "question score 100%" in out
+
+
+def test_forest_fire_study(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "forest_fire_study.py", "13", "4")
+    assert "bit-for-bit" in out
+    assert "no speedup" in out  # the Colab takeaway
+
+
+def test_drug_design_study(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "drug_design_study.py", "20", "6")
+    assert "master-worker agree exactly" in out
+    assert "faster" in out
+
+
+def test_workshop_report(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "workshop_report.py")
+    assert "$ 100.66" in out
+    assert "TABLE II" in out
+    assert "VNC lockouts: 3" in out
+    assert "Headline findings:" in out
+
+
+def test_parallel_sorting(capsys, monkeypatch):
+    out = run_example(capsys, monkeypatch, "parallel_sorting.py", "400")
+    assert "task-parallel mergesort" in out
+    assert "crossover" in out

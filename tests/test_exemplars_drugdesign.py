@@ -1,0 +1,161 @@
+"""Drug-design exemplar: LCS correctness and variant agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplars import (
+    DEFAULT_PROTEIN,
+    generate_ligands,
+    lcs_length,
+    run_mpi_master_worker,
+    run_omp,
+    run_seq,
+    score_ligand,
+)
+from repro.exemplars.drugdesign import drugdesign_workload
+
+FAST = settings(max_examples=60, deadline=None)
+
+
+def lcs_reference(a: str, b: str) -> int:
+    """Textbook O(mn) dynamic program, the oracle for the vectorized LCS."""
+    m, n = len(a), len(b)
+    dp = [[0] * (n + 1) for _ in range(m + 1)]
+    for i in range(m):
+        for j in range(n):
+            dp[i + 1][j + 1] = (
+                dp[i][j] + 1 if a[i] == b[j] else max(dp[i][j + 1], dp[i + 1][j])
+            )
+    return dp[m][n]
+
+
+class TestLCS:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("abcde", "ace", 3),
+            ("abc", "abc", 3),
+            ("abc", "def", 0),
+            ("", "abc", 0),
+            ("abc", "", 0),
+            ("aaaa", "aa", 2),
+            ("xaxbxcx", "abc", 3),
+            ("the cat", "that", 4),
+        ],
+    )
+    def test_known_cases(self, a, b, expected):
+        assert lcs_length(a, b) == expected
+
+    @FAST
+    @given(st.text("abcdef", max_size=12), st.text("abcdef", max_size=12))
+    def test_property_matches_reference(self, a, b):
+        assert lcs_length(a, b) == lcs_reference(a, b)
+
+    @FAST
+    @given(st.text("abcd", max_size=10), st.text("abcd", max_size=10))
+    def test_property_symmetry(self, a, b):
+        assert lcs_length(a, b) == lcs_length(b, a)
+
+    @FAST
+    @given(st.text("abcd", min_size=1, max_size=10))
+    def test_property_self_lcs_is_length(self, s):
+        assert lcs_length(s, s) == len(s)
+
+    @FAST
+    @given(st.text("abcd", max_size=8), st.text("abcd", max_size=8))
+    def test_property_bounded_by_shorter(self, a, b):
+        assert lcs_length(a, b) <= min(len(a), len(b))
+
+    @FAST
+    @given(st.text("ab", max_size=8), st.text("ab", max_size=8), st.sampled_from("ab"))
+    def test_property_appending_same_char_increments(self, a, b, ch):
+        assert lcs_length(a + ch, b + ch) == lcs_length(a, b) + 1
+
+
+class TestLigandGeneration:
+    def test_reproducible_for_seed(self):
+        assert generate_ligands(20, seed=3) == generate_ligands(20, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert generate_ligands(20, seed=3) != generate_ligands(20, seed=4)
+
+    def test_length_bounds_respected(self):
+        for lig in generate_ligands(200, max_len=5, min_len=2, seed=1):
+            assert 2 <= len(lig) <= 5
+            assert lig.islower() and lig.isalpha()
+
+    def test_count(self):
+        assert len(generate_ligands(7)) == 7
+        assert generate_ligands(0) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            generate_ligands(-1)
+        with pytest.raises(ValueError):
+            generate_ligands(5, max_len=2, min_len=3)
+
+
+class TestCampaigns:
+    @pytest.fixture(scope="class")
+    def ligands(self):
+        return generate_ligands(24, max_len=7, seed=11)
+
+    def test_seq_summary_fields(self, ligands):
+        r = run_seq(ligands)
+        assert len(r.scores) == 24
+        assert r.max_score == max(r.scores)
+        assert all(score_ligand(l) == s for l, s in zip(r.ligands, r.scores))
+
+    def test_best_ligands_sorted_and_maximal(self, ligands):
+        r = run_seq(ligands)
+        assert r.best_ligands == sorted(r.best_ligands)
+        for lig in r.best_ligands:
+            assert score_ligand(lig) == r.max_score
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_omp_matches_seq(self, ligands, threads, schedule):
+        assert run_omp(
+            ligands, num_threads=threads, schedule=schedule
+        ).scores == run_seq(ligands).scores
+
+    @pytest.mark.parametrize("procs", [2, 3, 5])
+    def test_mpi_master_worker_matches_seq(self, ligands, procs):
+        assert run_mpi_master_worker(ligands, np_procs=procs).scores == run_seq(
+            ligands
+        ).scores
+
+    def test_mpi_needs_two_procs(self, ligands):
+        with pytest.raises(ValueError):
+            run_mpi_master_worker(ligands, np_procs=1)
+
+    def test_more_workers_than_ligands(self):
+        ligands = generate_ligands(2, seed=5)
+        assert run_mpi_master_worker(ligands, np_procs=6).scores == run_seq(
+            ligands
+        ).scores
+
+    def test_empty_campaign(self):
+        r = run_seq([])
+        assert r.max_score == 0
+        assert r.best_ligands == []
+
+    def test_custom_protein(self):
+        r = run_seq(["abc"], protein="xxabcxx")
+        assert r.scores == [3]
+
+    def test_summary_text(self, ligands):
+        text = run_seq(ligands).summary()
+        assert "[seq]" in text and "24 ligands" in text
+
+
+class TestWorkloadDescriptor:
+    def test_static_more_imbalanced_than_dynamic_variant(self):
+        static = drugdesign_workload(1000)
+        dynamic = drugdesign_workload(1000, imbalance=0.02)
+        assert static.imbalance > dynamic.imbalance
+
+    def test_batching_caps_messages(self):
+        w = drugdesign_workload(6400, batch=64)
+        assert w.messages(4) < 6400  # far fewer messages than ligands

@@ -1,0 +1,124 @@
+"""Forest-fire exemplar: physics sanity, determinism, decomposition invariance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplars import (
+    DEFAULT_PROBS,
+    burn_once,
+    fire_curve_mpi,
+    fire_curve_omp,
+    fire_curve_seq,
+)
+from repro.exemplars.forestfire import forestfire_workload
+
+FAST = settings(max_examples=25, deadline=None)
+
+
+class TestBurnOnce:
+    def test_probability_zero_burns_only_the_ignition_tree(self):
+        burned, iters = burn_once(size=11, prob=0.0, seed=1)
+        assert burned == pytest.approx(1 / 121)
+        assert iters == 1
+
+    def test_probability_one_burns_everything(self):
+        burned, iters = burn_once(size=11, prob=1.0, seed=1)
+        assert burned == 1.0
+        # fire spreads one Manhattan ring per step from the center
+        assert iters == 11  # 2 * (11 // 2) + 1
+
+    def test_deterministic_for_seed(self):
+        assert burn_once(15, 0.5, seed=42) == burn_once(15, 0.5, seed=42)
+
+    def test_seed_matters(self):
+        results = {burn_once(15, 0.5, seed=s) for s in range(8)}
+        assert len(results) > 1
+
+    def test_size_one_forest(self):
+        burned, iters = burn_once(1, 0.7, seed=0)
+        assert burned == 1.0 and iters == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            burn_once(0, 0.5, seed=1)
+        with pytest.raises(ValueError):
+            burn_once(5, 1.5, seed=1)
+        with pytest.raises(ValueError):
+            burn_once(5, -0.1, seed=1)
+
+    @FAST
+    @given(
+        size=st.integers(3, 20),
+        prob=st.floats(0.0, 1.0),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_property_burned_fraction_in_bounds(self, size, prob, seed):
+        burned, iters = burn_once(size, prob, seed)
+        assert 0.0 < burned <= 1.0  # at least the center tree burns
+        assert iters >= 1
+
+
+class TestFireCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return fire_curve_seq(trials=8, size=21, seed=7)
+
+    def test_default_probability_sweep(self, curve):
+        assert curve.probs == list(DEFAULT_PROBS)
+        assert curve.probs[0] == 0.1 and curve.probs[-1] == 1.0
+
+    def test_s_curve_shape(self, curve):
+        assert curve.is_monotone_nondecreasing()
+        assert curve.burned[0] < 0.2  # sparse fires die out
+        assert curve.burned[-1] == 1.0  # certain spread burns all
+
+    def test_phase_transition_near_half(self, curve):
+        assert 0.4 <= curve.transition_prob() <= 0.7
+
+    def test_format_table(self, curve):
+        table = curve.format_table()
+        assert "21x21" in table and "burned %" in table
+        assert len(table.splitlines()) == 12
+
+    def test_deterministic_across_runs(self):
+        a = fire_curve_seq(trials=4, size=15, seed=3)
+        b = fire_curve_seq(trials=4, size=15, seed=3)
+        assert a.burned == b.burned
+
+
+class TestDecompositionInvariance:
+    """The headline property: the curve is bit-identical however trials are
+    split across threads or ranks (per-trial seeding + ordered folding)."""
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return fire_curve_seq(trials=9, size=13, seed=5)
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4])
+    def test_omp_bit_identical(self, reference, threads):
+        curve = fire_curve_omp(trials=9, size=13, seed=5, num_threads=threads)
+        assert curve.burned == reference.burned
+        assert [p.avg_iterations for p in curve.points] == [
+            p.avg_iterations for p in reference.points
+        ]
+
+    @pytest.mark.parametrize("procs", [1, 2, 3, 5])
+    def test_mpi_bit_identical(self, reference, procs):
+        curve = fire_curve_mpi(trials=9, size=13, seed=5, np_procs=procs)
+        assert curve.burned == reference.burned
+
+    def test_more_workers_than_trials(self, reference):
+        curve = fire_curve_mpi(trials=9, size=13, seed=5, np_procs=8)
+        assert curve.burned == reference.burned
+
+
+class TestWorkloadDescriptor:
+    def test_ops_scale_with_trials(self):
+        a = forestfire_workload(size=50, trials=10)
+        b = forestfire_workload(size=50, trials=20)
+        assert b.total_ops == 2 * a.total_ops
+
+    def test_moderate_imbalance(self):
+        w = forestfire_workload(size=50, trials=10)
+        assert 0.0 < w.imbalance < 0.5

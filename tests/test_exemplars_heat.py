@@ -1,0 +1,112 @@
+"""Heat-diffusion exemplar: physics sanity and halo-exchange fidelity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplars import heat_mpi, heat_omp, heat_seq, heat_workload, initial_rod
+
+FAST = settings(max_examples=20, deadline=None)
+
+
+class TestSequential:
+    def test_initial_rod(self):
+        u = initial_rod(10)
+        assert u[0] == 100.0
+        assert (u[1:] == 0.0).all()
+
+    def test_boundaries_stay_fixed(self):
+        u = heat_seq(30, steps=50)
+        assert u[0] == 100.0
+        assert u[-1] == 0.0
+
+    def test_zero_steps_is_initial_state(self):
+        np.testing.assert_array_equal(heat_seq(20, 0), initial_rod(20))
+
+    def test_heat_flows_right_over_time(self):
+        early = heat_seq(30, steps=5)
+        late = heat_seq(30, steps=100)
+        mid = 15
+        assert late[mid] > early[mid]
+
+    def test_profile_is_monotone_from_hot_end(self):
+        u = heat_seq(40, steps=60)
+        assert (np.diff(u) <= 1e-12).all()
+
+    def test_total_heat_bounded_by_source(self):
+        u = heat_seq(30, steps=200)
+        assert (u <= 100.0 + 1e-9).all()
+        assert (u >= -1e-9).all()
+
+    def test_converges_to_linear_steady_state(self):
+        """With both ends pinned, the steady state is the linear ramp."""
+        n = 12
+        u = heat_seq(n, steps=5000, alpha=0.5)
+        ramp = np.linspace(100.0, 0.0, n)
+        assert np.allclose(u, ramp, atol=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heat_seq(2, 1)
+        with pytest.raises(ValueError):
+            heat_seq(10, -1)
+        with pytest.raises(ValueError):
+            heat_seq(10, 1, alpha=0.7)
+
+
+class TestVariantAgreement:
+    @pytest.fixture(scope="class")
+    def reference(self):
+        return heat_seq(37, steps=30)
+
+    @pytest.mark.parametrize("threads", [1, 2, 3, 4])
+    def test_omp_bit_identical(self, reference, threads):
+        np.testing.assert_array_equal(
+            heat_omp(37, steps=30, num_threads=threads), reference
+        )
+
+    @pytest.mark.parametrize("procs", [1, 2, 3, 4, 6])
+    def test_mpi_bit_identical(self, reference, procs):
+        np.testing.assert_array_equal(
+            heat_mpi(37, steps=30, np_procs=procs), reference
+        )
+
+    def test_mpi_rejects_more_ranks_than_cells(self):
+        with pytest.raises(ValueError, match="striped"):
+            heat_mpi(4, steps=1, np_procs=8)
+
+    @FAST
+    @given(
+        n=st.integers(5, 40),
+        steps=st.integers(0, 20),
+        procs=st.integers(1, 4),
+    )
+    def test_property_mpi_matches_seq(self, n, steps, procs):
+        if n < procs:
+            return
+        np.testing.assert_array_equal(
+            heat_mpi(n, steps=steps, np_procs=procs), heat_seq(n, steps=steps)
+        )
+
+
+class TestWorkloadDescriptor:
+    def test_comm_scales_with_steps(self):
+        a = heat_workload(1000, steps=10)
+        b = heat_workload(1000, steps=20)
+        assert b.messages(4) == 2 * a.messages(4)
+
+    def test_stencil_efficiency_bends_before_monte_carlo(self):
+        """Per-step synchronization should cost the stencil efficiency
+        relative to an equal-ops embarrassingly parallel sweep."""
+        from repro.exemplars import forestfire_workload
+        from repro.platforms import ST_OLAF_VM, CostModel
+
+        model = CostModel(ST_OLAF_VM)
+        stencil = heat_workload(200_000, steps=400)
+        mc = forestfire_workload(size=60, trials=97)  # comparable total ops
+        p = 32
+        eff = lambda w: (
+            model.time(w, 1).total_s / model.time(w, p).total_s / p
+        )
+        assert eff(stencil) < eff(mc)

@@ -1,0 +1,114 @@
+"""Numerical-integration exemplar: correctness and cross-variant agreement."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplars import (
+    integrate_mpi,
+    integrate_numpy,
+    integrate_omp,
+    integrate_seq,
+    integration_workload,
+    quarter_circle,
+)
+
+FAST = settings(max_examples=30, deadline=None)
+
+
+class TestQuarterCircle:
+    def test_endpoints(self):
+        assert quarter_circle(0.0) == 2.0
+        assert quarter_circle(2.0) == 0.0
+
+    def test_never_negative_even_past_domain(self):
+        assert quarter_circle(2.1) == 0.0
+
+    def test_symmetry_value(self):
+        assert quarter_circle(math.sqrt(2)) == pytest.approx(math.sqrt(2))
+
+
+class TestSequential:
+    def test_converges_to_pi(self):
+        assert integrate_seq(quarter_circle, 0, 2, 100_000) == pytest.approx(
+            math.pi, abs=1e-4
+        )
+
+    def test_linear_function_is_exact(self):
+        # trapezoid is exact for linear integrands at any n
+        assert integrate_seq(lambda x: 2 * x + 1, 0, 3, 7) == pytest.approx(12.0)
+
+    def test_single_trapezoid(self):
+        assert integrate_seq(lambda x: x, 0, 1, 1) == pytest.approx(0.5)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            integrate_seq(quarter_circle, 0, 2, 0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            integrate_seq(quarter_circle, 2, 0, 10)
+
+    def test_refinement_improves_accuracy(self):
+        err = [
+            abs(integrate_seq(quarter_circle, 0, 2, n) - math.pi)
+            for n in (100, 1000, 10_000)
+        ]
+        assert err[0] > err[1] > err[2]
+
+
+class TestVariantAgreement:
+    def test_numpy_matches_seq(self):
+        assert integrate_numpy(None, 0, 2, 5000) == pytest.approx(
+            integrate_seq(quarter_circle, 0, 2, 5000), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("schedule", ["static", "dynamic"])
+    def test_omp_matches_seq_exactly(self, threads, schedule):
+        seq = integrate_seq(quarter_circle, 0, 2, 10_000)
+        par = integrate_omp(10_000, num_threads=threads, schedule=schedule)
+        # static partial sums happen to combine in index order here;
+        # tolerate last-ulp noise from regrouping
+        assert par == pytest.approx(seq, rel=1e-12)
+
+    @pytest.mark.parametrize("procs", [1, 2, 3, 5])
+    def test_mpi_matches_seq(self, procs):
+        seq = integrate_seq(quarter_circle, 0, 2, 10_000)
+        assert integrate_mpi(10_000, np_procs=procs) == pytest.approx(seq, rel=1e-12)
+
+    @FAST
+    @given(
+        n=st.integers(2, 2000),
+        threads=st.integers(1, 4),
+    )
+    def test_property_omp_equals_seq(self, n, threads):
+        assert integrate_omp(n, num_threads=threads) == pytest.approx(
+            integrate_seq(quarter_circle, 0, 2, n), rel=1e-9
+        )
+
+    def test_custom_integrand_custom_interval(self):
+        seq = integrate_seq(math.exp, -1, 1, 4000)
+        omp = integrate_omp(4000, num_threads=3, a=-1, b=1, f=math.exp)
+        mpi = integrate_mpi(4000, np_procs=3, a=-1, b=1, f=math.exp)
+        expected = math.e - 1 / math.e
+        for v in (seq, omp, mpi):
+            assert v == pytest.approx(expected, abs=1e-4)
+
+
+class TestWorkloadDescriptor:
+    def test_ops_scale_with_n(self):
+        assert integration_workload(2000).total_ops == 2 * integration_workload(1000).total_ops
+
+    def test_nearly_perfectly_parallel(self):
+        w = integration_workload(10_000)
+        assert w.serial_fraction < 0.01
+        assert w.imbalance == 0.0
+
+    def test_message_count_grows_with_procs(self):
+        w = integration_workload(1000)
+        assert w.messages(8) > w.messages(2)
+        assert w.messages(1) == 0.0

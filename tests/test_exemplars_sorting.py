@@ -1,0 +1,109 @@
+"""Parallel-sorting exemplar: merge, task mergesort, odd-even MPI sort."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exemplars import (
+    merge,
+    merge_sort_seq,
+    merge_sort_tasks,
+    odd_even_sort_mpi,
+    sorting_workload,
+)
+
+FAST = settings(max_examples=30, deadline=None)
+
+
+class TestMerge:
+    def test_basic(self):
+        assert merge([1, 3, 5], [2, 4, 6]) == [1, 2, 3, 4, 5, 6]
+
+    def test_empty_sides(self):
+        assert merge([], [1, 2]) == [1, 2]
+        assert merge([1, 2], []) == [1, 2]
+        assert merge([], []) == []
+
+    def test_stability(self):
+        """Equal keys keep left-then-right order (stable merge)."""
+        left = [(1, "L0"), (2, "L1")]
+        right = [(1, "R0"), (2, "R1")]
+        merged = merge(left, right)
+        assert merged == [(1, "L0"), (1, "R0"), (2, "L1"), (2, "R1")]
+
+    @FAST
+    @given(st.lists(st.integers()), st.lists(st.integers()))
+    def test_property_merge_of_sorted_is_sorted(self, a, b):
+        assert merge(sorted(a), sorted(b)) == sorted(a + b)
+
+
+class TestMergeSortSeq:
+    @FAST
+    @given(st.lists(st.integers(-1000, 1000), max_size=200))
+    def test_property_matches_builtin(self, data):
+        assert merge_sort_seq(data) == sorted(data)
+
+    def test_does_not_mutate_input(self):
+        data = [3, 1, 2]
+        merge_sort_seq(data)
+        assert data == [3, 1, 2]
+
+
+class TestMergeSortTasks:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    @pytest.mark.parametrize("cutoff", [1, 8, 1000])
+    def test_matches_builtin(self, threads, cutoff):
+        rng = random.Random(threads * 100 + cutoff)
+        data = [rng.randint(-500, 500) for _ in range(237)]
+        assert merge_sort_tasks(data, num_threads=threads, cutoff=cutoff) == sorted(data)
+
+    def test_empty_and_singleton(self):
+        assert merge_sort_tasks([]) == []
+        assert merge_sort_tasks([7]) == [7]
+
+    @FAST
+    @given(st.lists(st.floats(allow_nan=False), max_size=120))
+    def test_property_matches_builtin(self, data):
+        assert merge_sort_tasks(data, num_threads=3, cutoff=16) == sorted(data)
+
+
+class TestOddEvenSortMPI:
+    @pytest.mark.parametrize("procs", [1, 2, 3, 4, 6])
+    def test_matches_builtin(self, procs):
+        rng = random.Random(procs)
+        data = [rng.randint(-99, 99) for _ in range(83)]
+        assert odd_even_sort_mpi(data, np_procs=procs) == sorted(data)
+
+    def test_fewer_elements_than_ranks(self):
+        assert odd_even_sort_mpi([3, 1], np_procs=5) == [1, 3]
+
+    def test_empty_input(self):
+        assert odd_even_sort_mpi([], np_procs=3) == []
+
+    def test_already_sorted_and_reversed(self):
+        data = list(range(50))
+        assert odd_even_sort_mpi(data, np_procs=4) == data
+        assert odd_even_sort_mpi(data[::-1], np_procs=4) == data
+
+    def test_duplicates_preserved(self):
+        data = [5, 1, 5, 1, 5]
+        assert odd_even_sort_mpi(data, np_procs=3) == [1, 1, 5, 5, 5]
+
+    @FAST
+    @given(
+        data=st.lists(st.integers(-50, 50), max_size=60),
+        procs=st.integers(1, 5),
+    )
+    def test_property_matches_builtin(self, data, procs):
+        assert odd_even_sort_mpi(data, np_procs=procs) == sorted(data)
+
+
+class TestSortingWorkload:
+    def test_superlinear_in_n(self):
+        assert sorting_workload(20_000).total_ops > 2 * sorting_workload(10_000).total_ops
+
+    def test_communication_grows_quadratically_in_procs(self):
+        w = sorting_workload(1000)
+        assert w.messages(8) == 4 * w.messages(4)

@@ -1,0 +1,162 @@
+"""Kit model: Table I reproduction, bulk pricing, image compatibility, logistics."""
+
+import pytest
+
+from repro.kits import (
+    CATALOG,
+    CSIP_IMAGE,
+    SUPPORTED_MODELS,
+    TABLE1_PART_SKUS,
+    UNSUPPORTED_MODELS,
+    KitInventory,
+    KitSpec,
+    KitStatus,
+    MicroSDCard,
+    Part,
+    PiModel,
+    SystemImage,
+    flash,
+    render_table1,
+    standard_pi_kit,
+)
+
+
+class TestTable1:
+    def test_total_matches_paper_exactly(self):
+        assert standard_pi_kit().cost() == 100.66
+
+    def test_part_prices_match_paper(self):
+        expected = {
+            "canakit-pi4-2g": 62.99,
+            "eth-usb-a": 15.95,
+            "usb-a-c": 3.99,
+            "eth-cable": 1.55,
+            "microsd-16g": 5.41,
+            "kit-case": 10.77,
+        }
+        for sku, price in expected.items():
+            assert CATALOG[sku].unit_price == price
+
+    def test_kit_has_six_parts_in_table_order(self):
+        kit = standard_pi_kit()
+        assert kit.part_count() == 6
+        assert [name for name, _c in kit.rows()] == [
+            CATALOG[sku].name for sku in TABLE1_PART_SKUS
+        ]
+
+    def test_render_matches_table_layout(self):
+        text = render_table1()
+        assert "TABLE I" in text
+        assert "CanaKit with 2G Raspberry Pi" in text
+        assert "$ 100.66" in text
+        assert len(text.splitlines()) == 9  # header x2 + 6 parts + total
+
+
+class TestBulkPricing:
+    def test_bulk_breaks_engage_at_quantity(self):
+        dongle = CATALOG["eth-usb-a"]
+        assert dongle.price_at(1) == 18.99
+        assert dongle.price_at(10) == 15.95
+        assert dongle.price_at(22) == 15.95
+
+    def test_list_cost_exceeds_bulk_cost(self):
+        kit = standard_pi_kit()
+        assert kit.cost(bulk=False) > kit.cost(bulk=True)
+
+    def test_part_validation(self):
+        with pytest.raises(ValueError):
+            Part("x", "X", unit_price=-1.0)
+        with pytest.raises(ValueError):
+            Part("x", "X", unit_price=1.0, bulk_breaks={0: 0.5})
+        with pytest.raises(ValueError):
+            CATALOG["kit-case"].price_at(0)
+
+    def test_custom_kit_composition(self):
+        kit = KitSpec("double").add(CATALOG["microsd-16g"], 2)
+        assert kit.cost() == pytest.approx(10.82)
+        with pytest.raises(ValueError):
+            kit.add(CATALOG["kit-case"], 0)
+
+
+class TestSystemImage:
+    def test_supports_3b_onward(self):
+        for model in SUPPORTED_MODELS:
+            assert CSIP_IMAGE.supports(model), model.name
+
+    def test_rejects_pre_3b(self):
+        for model in UNSUPPORTED_MODELS:
+            assert not CSIP_IMAGE.supports(model), model.name
+
+    def test_image_ships_the_openmp_materials(self):
+        assert CSIP_IMAGE.includes("openmp-patternlets")
+        assert CSIP_IMAGE.includes("drug-design-exemplar")
+        assert CSIP_IMAGE.version == "3.0.2"
+
+    def test_flash_fits_16gb_card(self):
+        card = flash(MicroSDCard(16_000), CSIP_IMAGE)
+        assert card.image is CSIP_IMAGE
+        assert card.boots_on(SUPPORTED_MODELS[0])
+
+    def test_flash_rejects_small_card(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            flash(MicroSDCard(1_000), CSIP_IMAGE)
+
+    def test_invalid_card(self):
+        with pytest.raises(ValueError):
+            MicroSDCard(0)
+
+    def test_custom_image_compat(self):
+        legacy = SystemImage("old", "1.0", 2000, min_generation=1.0, url="")
+        assert legacy.supports(PiModel("Pi 1B", 1.0, 1, 512))
+
+
+class TestInventory:
+    def test_plan_for_workshop_quantity(self):
+        plan = KitInventory().plan(22)
+        assert plan.per_kit_bulk == 100.66
+        assert plan.total_bulk == pytest.approx(22 * 100.66)
+        assert plan.bulk_savings > 0
+
+    def test_single_kit_pays_list_prices(self):
+        plan = KitInventory().plan(1)
+        assert plan.per_kit_bulk == plan.per_kit_list
+        assert plan.per_kit_bulk > 100.66
+
+    def test_assemble_and_mail_lifecycle(self):
+        inv = KitInventory()
+        kits = inv.assemble(3)
+        assert [k.serial for k in kits] == [1, 2, 3]
+        inv.mail_all(["amy", "bo"])
+        counts = inv.status_counts()
+        assert counts[KitStatus.MAILED] == 2
+        assert counts[KitStatus.ASSEMBLED] == 1
+        kits[0].mark_delivered()
+        assert inv.status_counts()[KitStatus.DELIVERED] == 1
+
+    def test_cannot_mail_more_than_assembled(self):
+        inv = KitInventory()
+        inv.assemble(1)
+        with pytest.raises(ValueError, match="only 1 kits"):
+            inv.mail_all(["a", "b"])
+
+    def test_cannot_remail_a_mailed_kit(self):
+        inv = KitInventory()
+        (kit,) = inv.assemble(1)
+        kit.mail_to("someone")
+        with pytest.raises(ValueError):
+            kit.mail_to("someone else")
+
+    def test_delivery_requires_mailing_first(self):
+        inv = KitInventory()
+        (kit,) = inv.assemble(1)
+        with pytest.raises(ValueError):
+            kit.mark_delivered()
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            KitInventory().plan(0)
+
+    def test_assembled_kits_carry_current_image(self):
+        inv = KitInventory()
+        (kit,) = inv.assemble(1)
+        assert kit.card.image.version == "3.0.2"

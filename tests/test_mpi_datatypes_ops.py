@@ -1,0 +1,163 @@
+"""Unit tests: MPI datatypes, reduction operations, and Status."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPI
+from repro.mpi.datatypes import from_numpy_dtype
+from repro.mpi.ops import (
+    BAND,
+    BOR,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    PROD,
+    SUM,
+    Op,
+)
+from repro.mpi.status import Status
+
+
+class TestDatatypes:
+    def test_extent_matches_numpy_itemsize(self):
+        assert MPI.INT.extent == 4
+        assert MPI.DOUBLE.extent == 8
+        assert MPI.BYTE.extent == 1
+        assert MPI.DOUBLE_COMPLEX.extent == 16
+
+    def test_get_extent_returns_lb_and_extent(self):
+        assert MPI.DOUBLE.Get_extent() == (0, 8)
+
+    def test_get_size(self):
+        assert MPI.FLOAT.Get_size() == 4
+
+    @pytest.mark.parametrize(
+        "np_dtype,expected",
+        [
+            ("int32", MPI.INT),
+            ("int64", MPI.LONG),
+            ("float32", MPI.FLOAT),
+            ("float64", MPI.DOUBLE),
+            ("uint8", MPI.BYTE),
+            ("bool", MPI.BOOL),
+            ("complex128", MPI.DOUBLE_COMPLEX),
+        ],
+    )
+    def test_automatic_discovery(self, np_dtype, expected):
+        assert from_numpy_dtype(np.dtype(np_dtype)) == expected
+
+    def test_discovery_rejects_object_dtype(self):
+        with pytest.raises(TypeError, match="automatic MPI datatype discovery"):
+            from_numpy_dtype(np.dtype(object))
+
+    def test_discovery_rejects_structured_dtype(self):
+        with pytest.raises(TypeError):
+            from_numpy_dtype(np.dtype([("a", "i4"), ("b", "f8")]))
+
+
+class TestScalarOps:
+    def test_sum_prod_max_min(self):
+        assert SUM(3, 4) == 7
+        assert PROD(3, 4) == 12
+        assert MAX(3, 4) == 4
+        assert MIN(3, 4) == 3
+
+    def test_logical_ops(self):
+        assert LAND(1, 1) is True and LAND(1, 0) is False
+        assert LOR(0, 1) is True and LOR(0, 0) is False
+        assert LXOR(1, 0) is True and LXOR(1, 1) is False
+
+    def test_bitwise_ops(self):
+        assert BAND(0b1100, 0b1010) == 0b1000
+        assert BOR(0b1100, 0b1010) == 0b1110
+        assert BXOR(0b1100, 0b1010) == 0b0110
+
+    def test_reduce_sequence_folds_in_order(self):
+        assert SUM.reduce_sequence([1, 2, 3, 4]) == 10
+        assert PROD.reduce_sequence([1, 2, 3, 4]) == 24
+
+    def test_reduce_sequence_empty_raises(self):
+        with pytest.raises(ValueError, match="nothing to reduce"):
+            SUM.reduce_sequence([])
+
+
+class TestVectorOps:
+    def test_elementwise_on_lists(self):
+        assert SUM([1, 2], [3, 4]) == [4, 6]
+        assert MAX([1, 9], [5, 2]) == [5, 9]
+
+    def test_elementwise_preserves_tuple_type(self):
+        assert SUM((1, 2), (3, 4)) == (4, 6)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            SUM([1, 2], [1, 2, 3])
+
+    def test_scalar_vs_vector_raises(self):
+        with pytest.raises(ValueError):
+            SUM(1, [1, 2])
+
+    def test_numpy_vectorized(self):
+        a = np.arange(5.0)
+        b = np.ones(5)
+        np.testing.assert_array_equal(SUM(a, b), a + 1)
+        np.testing.assert_array_equal(MAX(a, b), np.maximum(a, b))
+
+    def test_numpy_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            SUM(np.ones(3), np.ones(4))
+
+
+class TestLocOps:
+    def test_maxloc_picks_larger_value(self):
+        assert MAXLOC((5, 0), (9, 3)) == (9, 3)
+
+    def test_maxloc_ties_break_to_lower_rank(self):
+        assert MAXLOC((7, 4), (7, 1)) == (7, 1)
+
+    def test_minloc(self):
+        assert MINLOC((5, 0), (2, 3)) == (2, 3)
+        assert MINLOC((2, 5), (2, 1)) == (2, 1)
+
+
+class TestUserOps:
+    def test_create_user_op(self):
+        concat = Op.Create(lambda a, b: a + b, commute=False)
+        assert concat("ab", "cd") == "abcd"
+        assert concat.commute is False
+
+    def test_user_op_sees_full_values(self):
+        pairwise_max_first = Op.Create(lambda a, b: a if a[0] >= b[0] else b)
+        assert pairwise_max_first((3, "x"), (5, "y")) == (5, "y")
+
+
+class TestStatus:
+    def test_fresh_status_has_sentinels(self):
+        s = Status()
+        assert s.Get_source() == -1
+        assert s.Get_tag() == -1
+        assert s.Get_count() == 0
+
+    def test_count_in_elements(self):
+        s = Status()
+        s._set(2, 7, 40)
+        assert s.Get_count(MPI.DOUBLE) == 5
+        assert s.Get_count(MPI.INT) == 10
+        assert s.count == 40
+
+    def test_non_whole_element_count_raises(self):
+        s = Status()
+        s._set(0, 0, 10)
+        with pytest.raises(ValueError, match="whole number"):
+            s.Get_count(MPI.DOUBLE)
+
+    def test_properties_mirror_accessors(self):
+        s = Status()
+        s._set(3, 11, 8)
+        assert (s.source, s.tag) == (3, 11)
+        assert not s.Is_cancelled()

@@ -1,0 +1,216 @@
+"""MPI-IO (collective file access) and communication tracing."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPI, RankFailedError, mpirun, trace_run
+from repro.mpi.errors import MPIError
+from tests.conftest import spmd
+
+
+class TestFileIO:
+    def test_tutorial_collective_write_then_read(self, tmp_path):
+        """The mpi4py tutorial's collective I/O example, end to end."""
+        path = str(tmp_path / "datafile.contig")
+
+        def writer(comm):
+            amode = MPI.MODE_WRONLY | MPI.MODE_CREATE
+            fh = MPI.File.Open(comm, path, amode)
+            buffer = np.full(10, comm.Get_rank(), dtype="i")
+            offset = comm.Get_rank() * buffer.nbytes
+            fh.Write_at_all(offset, buffer)
+            fh.Close()
+
+        spmd(writer, 4)
+
+        def reader(comm):
+            fh = MPI.File.Open(comm, path, MPI.MODE_RDONLY)
+            buf = np.empty(10, dtype="i")
+            fh.Read_at_all(comm.Get_rank() * buf.nbytes, buf)
+            fh.Close()
+            return buf.tolist()
+
+        outs = spmd(reader, 4)
+        assert outs == [[rank] * 10 for rank in range(4)]
+
+    def test_rank_regions_do_not_overlap(self, tmp_path):
+        path = str(tmp_path / "regions.bin")
+
+        def writer(comm):
+            fh = MPI.File.Open(comm, path, MPI.MODE_WRONLY | MPI.MODE_CREATE)
+            data = np.arange(5, dtype="d") + 100 * comm.Get_rank()
+            fh.Write_at_all(comm.Get_rank() * data.nbytes, data)
+            size = fh.Get_size()
+            fh.Close()
+            return size
+
+        sizes = spmd(writer, 3)
+        raw = np.fromfile(path, dtype="d")
+        expected = np.concatenate([np.arange(5) + 100 * r for r in range(3)])
+        np.testing.assert_array_equal(raw, expected)
+        assert max(sizes) == 3 * 5 * 8
+
+    def test_independent_write_at(self, tmp_path):
+        path = str(tmp_path / "solo.bin")
+
+        def body(comm):
+            fh = MPI.File.Open(comm, path, MPI.MODE_RDWR | MPI.MODE_CREATE)
+            if comm.Get_rank() == 0:
+                fh.Write_at(0, np.array([7, 8, 9], dtype="i"))
+            comm.barrier()
+            buf = np.empty(3, dtype="i")
+            fh.Read_at(0, buf)
+            fh.Close()
+            return buf.tolist()
+
+        assert spmd(body, 2) == [[7, 8, 9]] * 2
+
+    def test_open_missing_without_create_raises(self, tmp_path):
+        path = str(tmp_path / "missing.bin")
+
+        def body(comm):
+            MPI.File.Open(comm, path, MPI.MODE_WRONLY)
+
+        with pytest.raises(RankFailedError):
+            spmd(body, 2)
+
+    def test_excl_on_existing_raises(self, tmp_path):
+        path = tmp_path / "exists.bin"
+        path.write_bytes(b"x")
+
+        def body(comm):
+            MPI.File.Open(
+                comm, str(path), MPI.MODE_WRONLY | MPI.MODE_CREATE | MPI.MODE_EXCL
+            )
+
+        with pytest.raises(RankFailedError):
+            spmd(body, 1)
+
+    def test_short_read_raises(self, tmp_path):
+        path = str(tmp_path / "short.bin")
+
+        def body(comm):
+            fh = MPI.File.Open(comm, path, MPI.MODE_RDWR | MPI.MODE_CREATE)
+            if comm.Get_rank() == 0:
+                fh.Write_at(0, np.zeros(2, dtype="i"))
+            comm.barrier()
+            buf = np.empty(100, dtype="i")
+            try:
+                fh.Read_at(0, buf)
+                return "no-error"
+            except MPIError:
+                return "short-read"
+            finally:
+                fh.Close()
+
+        assert spmd(body, 2) == ["short-read"] * 2
+
+    def test_delete_on_close(self, tmp_path):
+        import os
+
+        path = str(tmp_path / "temp.bin")
+
+        def body(comm):
+            fh = MPI.File.Open(
+                comm, path,
+                MPI.MODE_WRONLY | MPI.MODE_CREATE | MPI.MODE_DELETE_ON_CLOSE,
+            )
+            fh.Write_at_all(0, np.zeros(comm.Get_rank() + 1, dtype="i"))
+            fh.Close()
+
+        spmd(body, 2)
+        assert not os.path.exists(path)
+
+    def test_two_opens_get_distinct_handles(self, tmp_path):
+        a, b = str(tmp_path / "a.bin"), str(tmp_path / "b.bin")
+
+        def body(comm):
+            fa = MPI.File.Open(comm, a, MPI.MODE_WRONLY | MPI.MODE_CREATE)
+            fb = MPI.File.Open(comm, b, MPI.MODE_WRONLY | MPI.MODE_CREATE)
+            fa.Write_at_all(0, np.full(2, 1, dtype="i"))
+            fb.Write_at_all(0, np.full(2, 2, dtype="i"))
+            fa.Close()
+            fb.Close()
+
+        spmd(body, 2)
+        assert np.fromfile(a, dtype="i").tolist() == [1, 1]
+        assert np.fromfile(b, dtype="i").tolist() == [2, 2]
+
+
+class TestTracing:
+    def test_ring_traffic_matrix(self):
+        def ring(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            comm.send(rank, dest=(rank + 1) % size, tag=1)
+            return comm.recv(source=(rank - 1) % size, tag=1)
+
+        results, report = trace_run(ring, 4)
+        assert results == [3, 0, 1, 2]
+        assert report.total_messages == 4
+        matrix = report.traffic_matrix()
+        for src in range(4):
+            assert matrix[src][(src + 1) % 4] == 1
+            assert sum(matrix[src]) == 1
+
+    def test_master_worker_traffic_is_star_shaped(self):
+        def star(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            if rank == 0:
+                for worker in range(1, size):
+                    comm.send("task", dest=worker, tag=1)
+                return [comm.recv(tag=2) for _ in range(size - 1)]
+            comm.recv(source=0, tag=1)
+            comm.send("done", dest=0, tag=2)
+            return None
+
+        _results, report = trace_run(star, 4)
+        assert report.sent_by(0) == 3
+        assert report.received_by(0) == 3
+        for worker in (1, 2, 3):
+            assert report.sent_by(worker) == 1
+            assert report.received_by(worker) == 1
+
+    def test_collectives_do_not_pollute_user_trace(self):
+        """bcast/reduce traffic lives in the collective context; the trace
+        shows only explicit user sends (what learners should count)."""
+
+        def body(comm):
+            comm.bcast("data" if comm.Get_rank() == 0 else None, root=0)
+            comm.allreduce(1)
+            return None
+
+        _results, report = trace_run(body, 4)
+        assert report.total_messages == 0
+
+    def test_bytes_accounted(self):
+        def body(comm):
+            if comm.Get_rank() == 0:
+                comm.send("x" * 100, dest=1)
+            elif comm.Get_rank() == 1:
+                comm.recv(source=0)
+
+        _results, report = trace_run(body, 2)
+        assert report.total_messages == 1
+        assert report.total_bytes > 100  # pickled payload
+
+    def test_format_matrix(self):
+        def body(comm):
+            if comm.Get_rank() == 0:
+                comm.send(1, dest=1)
+            elif comm.Get_rank() == 1:
+                comm.recv(source=0)
+
+        _results, report = trace_run(body, 2)
+        text = report.format_matrix()
+        assert "src\\dst" in text and "total: 1 messages" in text
+
+    def test_tracer_detaches_cleanly(self):
+        """After trace_run, a fresh run on a new world records nothing odd."""
+        def body(comm):
+            if comm.Get_rank() == 0:
+                comm.send(1, dest=1)
+            elif comm.Get_rank() == 1:
+                comm.recv(source=0)
+
+        trace_run(body, 2)
+        assert mpirun(body, 2) == [None, None]  # plain run still works

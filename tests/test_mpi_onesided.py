@@ -1,0 +1,167 @@
+"""One-sided communication: Win Put/Get/Accumulate/Fence/Lock."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MPI, PROD, RankFailedError, SUM, Win, mpirun
+from tests.conftest import spmd
+
+
+class TestPutGet:
+    def test_put_visible_after_fence(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.zeros(4, dtype="i")
+            win = Win.Create(local, comm)
+            win.Fence()
+            if rank == 0:
+                win.Put(np.array([1, 2, 3, 4], dtype="i"), target_rank=1)
+            win.Fence()
+            win.Free()
+            return local.tolist()
+
+        outs = spmd(body, 2)
+        assert outs[0] == [0, 0, 0, 0]
+        assert outs[1] == [1, 2, 3, 4]
+
+    def test_get_reads_remote_window(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.full(3, rank * 10, dtype="i")
+            win = Win.Create(local, comm)
+            win.Fence()
+            got = np.empty(3, dtype="i")
+            win.Get(got, target_rank=(rank + 1) % comm.Get_size())
+            win.Fence()
+            win.Free()
+            return got.tolist()
+
+        outs = spmd(body, 3)
+        assert outs == [[10] * 3, [20] * 3, [0] * 3]
+
+    def test_put_at_offset(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.zeros(6, dtype="d")
+            win = Win.Create(local, comm)
+            win.Fence()
+            if rank != 0:
+                win.Put(np.full(2, rank, dtype="d"), 0, target_offset=2 * rank)
+            win.Fence()
+            win.Free()
+            return local.tolist()
+
+        outs = spmd(body, 3)
+        assert outs[0] == [0, 0, 1, 1, 2, 2]
+
+    def test_put_out_of_bounds_raises(self):
+        def body(comm):
+            win = Win.Create(np.zeros(2, dtype="i"), comm)
+            win.Fence()
+            if comm.Get_rank() == 0:
+                win.Put(np.zeros(5, dtype="i"), target_rank=1)
+            win.Fence()
+
+        with pytest.raises(RankFailedError):
+            spmd(body, 2)
+
+    def test_target_without_memory_raises(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            memory = np.zeros(2, dtype="i") if rank == 0 else None
+            win = Win.Create(memory, comm)
+            win.Fence()
+            if rank == 0:
+                win.Put(np.zeros(1, dtype="i"), target_rank=1)
+            win.Fence()
+
+        with pytest.raises(RankFailedError):
+            spmd(body, 2)
+
+
+class TestAccumulate:
+    def test_concurrent_accumulate_never_loses_updates(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.zeros(1, dtype="i8")
+            win = Win.Create(local, comm)
+            win.Fence()
+            for _ in range(200):
+                win.Accumulate(np.array([1], dtype="i8"), target_rank=0)
+            win.Fence()
+            win.Free()
+            return int(local[0])
+
+        outs = spmd(body, 4)
+        assert outs[0] == 4 * 200
+
+    def test_accumulate_with_prod(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.ones(1, dtype="i8")
+            win = Win.Create(local, comm)
+            win.Fence()
+            win.Accumulate(np.array([rank + 2], dtype="i8"), target_rank=0, op=PROD)
+            win.Fence()
+            win.Free()
+            return int(local[0])
+
+        outs = spmd(body, 3)
+        assert outs[0] == 2 * 3 * 4
+
+
+class TestLockUnlock:
+    def test_passive_target_epoch(self):
+        def body(comm):
+            rank = comm.Get_rank()
+            local = np.zeros(1, dtype="i8")
+            win = Win.Create(local, comm)
+            win.Fence()
+            for _ in range(100):
+                # read-modify-write made safe by the passive-target lock
+                win.Lock(0)
+                try:
+                    current = np.empty(1, dtype="i8")
+                    win.Get(current, target_rank=0)
+                    win.Put(current + 1, target_rank=0)
+                finally:
+                    win.Unlock(0)
+            win.Fence()
+            win.Free()
+            return int(local[0])
+
+        outs = spmd(body, 4)
+        assert outs[0] == 400
+
+    def test_freed_window_rejects_access(self):
+        def body(comm):
+            win = Win.Create(np.zeros(1, dtype="i"), comm)
+            win.Free()
+            try:
+                win.Put(np.zeros(1, dtype="i"), target_rank=0)
+                return "no-error"
+            except Exception:
+                return "rejected"
+
+        assert spmd(body, 2) == ["rejected"] * 2
+
+    def test_two_windows_are_independent(self):
+        def body(comm):
+            a = np.zeros(1, dtype="i")
+            b = np.zeros(1, dtype="i")
+            win_a = Win.Create(a, comm)
+            win_b = Win.Create(b, comm)
+            win_a.Fence()
+            win_b.Fence()
+            if comm.Get_rank() == 0:
+                win_a.Put(np.array([7], dtype="i"), target_rank=1)
+                win_b.Put(np.array([9], dtype="i"), target_rank=1)
+            win_a.Fence()
+            win_b.Fence()
+            return (int(a[0]), int(b[0]))
+
+        outs = spmd(body, 2)
+        assert outs[1] == (7, 9)
+
+    def test_available_via_api_namespace(self):
+        assert MPI.Win is Win

@@ -1,0 +1,191 @@
+"""Property-based tests: collective semantics against reference models.
+
+Each property drives the full thread-per-rank runtime with
+hypothesis-generated data and checks the result against the collective's
+mathematical definition.  World sizes are kept small so each example runs
+in milliseconds.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MAX, MIN, SUM, MPI
+from tests.conftest import spmd
+
+# Worlds spin up real threads: cap example counts and sizes for speed.
+FAST = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+sizes = st.integers(min_value=1, max_value=6)
+payloads = st.recursive(
+    st.none() | st.booleans() | st.integers() | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=4), children, max_size=3),
+    max_leaves=8,
+)
+
+
+@FAST
+@given(size=sizes, payload=payloads, root_offset=st.integers(0, 5))
+def test_bcast_delivers_equal_value_everywhere(size, payload, root_offset):
+    root = root_offset % size
+
+    def body(comm):
+        data = payload if comm.Get_rank() == root else None
+        return comm.bcast(data, root=root)
+
+    outs = spmd(body, size)
+    assert all(o == payload for o in outs)
+
+
+@FAST
+@given(size=sizes, items=st.data())
+def test_scatter_gather_is_identity(size, items):
+    values = items.draw(st.lists(payloads, min_size=size, max_size=size))
+
+    def body(comm):
+        mine = comm.scatter(values if comm.Get_rank() == 0 else None, root=0)
+        return comm.gather(mine, root=0)
+
+    outs = spmd(body, size)
+    assert outs[0] == values
+
+
+@FAST
+@given(size=sizes, data=st.data())
+def test_allgather_matches_gather_plus_bcast(size, data):
+    values = data.draw(st.lists(st.integers(), min_size=size, max_size=size))
+
+    def body(comm):
+        return comm.allgather(values[comm.Get_rank()])
+
+    outs = spmd(body, size)
+    assert all(o == values for o in outs)
+
+
+@FAST
+@given(size=sizes, data=st.data())
+def test_reduce_sum_matches_python_sum(size, data):
+    values = data.draw(
+        st.lists(
+            st.integers(min_value=-(10**6), max_value=10**6),
+            min_size=size,
+            max_size=size,
+        )
+    )
+
+    def body(comm):
+        return comm.reduce(values[comm.Get_rank()], op=SUM, root=0)
+
+    assert spmd(body, size)[0] == sum(values)
+
+
+@FAST
+@given(size=sizes, data=st.data())
+def test_allreduce_max_min(size, data):
+    values = data.draw(
+        st.lists(st.integers(-1000, 1000), min_size=size, max_size=size)
+    )
+
+    def body(comm):
+        v = values[comm.Get_rank()]
+        return (comm.allreduce(v, op=MAX), comm.allreduce(v, op=MIN))
+
+    outs = spmd(body, size)
+    assert all(o == (max(values), min(values)) for o in outs)
+
+
+@FAST
+@given(size=sizes, data=st.data())
+def test_scan_prefix_property(size, data):
+    values = data.draw(
+        st.lists(st.integers(-1000, 1000), min_size=size, max_size=size)
+    )
+
+    def body(comm):
+        return comm.scan(values[comm.Get_rank()], op=SUM)
+
+    outs = spmd(body, size)
+    assert outs == [sum(values[: r + 1]) for r in range(size)]
+
+
+@FAST
+@given(size=st.integers(2, 5), data=st.data())
+def test_alltoall_is_transpose(size, data):
+    matrix = data.draw(
+        st.lists(
+            st.lists(st.integers(-100, 100), min_size=size, max_size=size),
+            min_size=size,
+            max_size=size,
+        )
+    )
+
+    def body(comm):
+        return comm.alltoall(matrix[comm.Get_rank()])
+
+    outs = spmd(body, size)
+    for j in range(size):
+        assert outs[j] == [matrix[i][j] for i in range(size)]
+
+
+@FAST
+@given(
+    size=st.integers(1, 5),
+    n=st.integers(1, 64),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_buffer_bcast_preserves_every_element(size, n, seed):
+    rng = np.random.default_rng(seed)
+    reference = rng.integers(-1000, 1000, size=n).astype("i")
+
+    def body(comm):
+        if comm.Get_rank() == 0:
+            data = reference.copy()
+        else:
+            data = np.empty(n, dtype="i")
+        comm.Bcast(data, root=0)
+        return data.tolist()
+
+    outs = spmd(body, size)
+    assert all(o == reference.tolist() for o in outs)
+
+
+@FAST
+@given(size=st.integers(1, 5), n=st.integers(1, 32), seed=st.integers(0, 2**31 - 1))
+def test_buffer_allreduce_matches_numpy(size, n, seed):
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(-100, 100, size=(size, n)).astype("i8")
+
+    def body(comm):
+        recv = np.empty(n, dtype="i8")
+        comm.Allreduce(rows[comm.Get_rank()].copy(), recv, op=SUM)
+        return recv.tolist()
+
+    outs = spmd(body, size)
+    expected = rows.sum(axis=0).tolist()
+    assert all(o == expected for o in outs)
+
+
+@FAST
+@given(
+    size=st.integers(2, 5),
+    tags=st.lists(st.integers(0, 50), min_size=1, max_size=6, unique=True),
+)
+def test_tag_matching_retrieves_by_tag_regardless_of_order(size, tags):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            for t in tags:
+                comm.send(f"tag-{t}", dest=1, tag=t)
+            return None
+        if rank == 1:
+            # receive in reverse tag order; matching must be by tag
+            return [comm.recv(source=0, tag=t) for t in reversed(tags)]
+        return None
+
+    outs = spmd(body, size)
+    assert outs[1] == [f"tag-{t}" for t in reversed(tags)]

@@ -1,0 +1,182 @@
+"""Randomized stress properties for the MPI runtime.
+
+Two generators probe the runtime where hand-written tests can't:
+
+* random *message soups* — arbitrary (sender, receiver, tag, payload)
+  multisets posted with nonblocking sends and drained with wildcard
+  receives: every message must arrive exactly once, FIFO per channel;
+* random *collective programs* — arbitrary sequences of collectives with
+  random roots executed back-to-back, checking that internal sequence
+  numbering keeps concurrent collectives from cross-matching.
+"""
+
+import threading
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, MAX, SUM, Status
+from tests.conftest import spmd
+
+FAST = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@FAST
+@given(data=st.data())
+def test_random_message_soup_delivers_exactly_once(data):
+    size = data.draw(st.integers(2, 5))
+    messages = data.draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, size - 1),  # sender
+                st.integers(0, size - 1),  # receiver
+                st.integers(0, 7),  # tag
+                st.integers(-1000, 1000),  # payload
+            ),
+            max_size=30,
+        )
+    )
+    incoming_count = [0] * size
+    for _s, receiver, _t, _p in messages:
+        incoming_count[receiver] += 1
+
+    def body(comm):
+        rank = comm.Get_rank()
+        for sender, receiver, tag, payload in messages:
+            if sender == rank:
+                comm.isend((sender, tag, payload), dest=receiver, tag=tag)
+        received = []
+        status = Status()
+        for _ in range(incoming_count[rank]):
+            value = comm.recv(source=ANY_SOURCE, tag=ANY_TAG, status=status)
+            # envelope metadata must agree with the payload's self-description
+            assert value[0] == status.Get_source()
+            assert value[1] == status.Get_tag()
+            received.append(value)
+        return received
+
+    outs = spmd(body, size)
+    delivered = sorted(v for out in outs for v in out)
+    expected = sorted((s, t, p) for s, _r, t, p in messages)
+    assert delivered == expected
+
+
+@FAST
+@given(data=st.data())
+def test_random_message_soup_is_fifo_per_channel(data):
+    size = data.draw(st.integers(2, 4))
+    # many messages on one (sender, receiver, tag) channel, interleaved with
+    # noise on other tags
+    channel_count = data.draw(st.integers(1, 15))
+    noise_tags = data.draw(st.lists(st.integers(1, 5), max_size=10))
+
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            for i in range(channel_count):
+                comm.isend(i, dest=1, tag=0)
+            for tag in noise_tags:
+                comm.isend(-tag, dest=1, tag=tag)
+            return None
+        if rank == 1:
+            ordered = [comm.recv(source=0, tag=0) for _ in range(channel_count)]
+            for tag in noise_tags:
+                comm.recv(source=0, tag=tag)
+            return ordered
+        return None
+
+    outs = spmd(body, size)
+    assert outs[1] == list(range(channel_count))
+
+
+_COLLECTIVES = ("bcast", "allreduce_sum", "allreduce_max", "barrier", "allgather", "scatter_gather")
+
+
+@FAST
+@given(data=st.data())
+def test_random_collective_programs(data):
+    size = data.draw(st.integers(1, 5))
+    program = data.draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(_COLLECTIVES),
+                st.integers(0, size - 1),  # root where applicable
+                st.integers(-100, 100),  # value seed
+            ),
+            max_size=12,
+        )
+    )
+
+    def body(comm):
+        rank = comm.Get_rank()
+        log = []
+        for kind, root, seed in program:
+            if kind == "bcast":
+                value = (seed, "payload") if rank == root else None
+                log.append(comm.bcast(value, root=root))
+            elif kind == "allreduce_sum":
+                log.append(comm.allreduce(rank + seed, op=SUM))
+            elif kind == "allreduce_max":
+                log.append(comm.allreduce(rank * seed, op=MAX))
+            elif kind == "barrier":
+                comm.barrier()
+                log.append("b")
+            elif kind == "allgather":
+                log.append(tuple(comm.allgather((rank, seed))))
+            elif kind == "scatter_gather":
+                chunks = [seed + i for i in range(comm.Get_size())] if rank == root else None
+                mine = comm.scatter(chunks, root=root)
+                gathered = comm.gather(mine, root=root)
+                log.append(tuple(gathered) if rank == root else None)
+        return log
+
+    outs = spmd(body, size)
+    # Verify against the sequential model of each collective.
+    for step, (kind, root, seed) in enumerate(program):
+        if kind == "bcast":
+            for out in outs:
+                assert out[step] == (seed, "payload")
+        elif kind == "allreduce_sum":
+            expected = sum(range(size)) + size * seed
+            assert all(out[step] == expected for out in outs)
+        elif kind == "allreduce_max":
+            expected = max(r * seed for r in range(size))
+            assert all(out[step] == expected for out in outs)
+        elif kind == "allgather":
+            expected = tuple((r, seed) for r in range(size))
+            assert all(out[step] == expected for out in outs)
+        elif kind == "scatter_gather":
+            expected = tuple(seed + i for i in range(size))
+            assert outs[root][step] == expected
+
+
+@FAST
+@given(
+    size=st.integers(2, 5),
+    rounds=st.integers(1, 6),
+)
+def test_mixed_p2p_and_collectives_do_not_interfere(size, rounds):
+    """User p2p traffic around collectives must never be stolen by them."""
+
+    def body(comm):
+        rank = comm.Get_rank()
+        right = (rank + 1) % size
+        left = (rank - 1) % size
+        tokens = []
+        for round_no in range(rounds):
+            comm.isend(("token", rank, round_no), dest=right, tag=round_no)
+            total = comm.allreduce(1, op=SUM)
+            assert total == size
+            token = comm.recv(source=left, tag=round_no)
+            tokens.append(token)
+            comm.barrier()
+        return tokens
+
+    outs = spmd(body, size)
+    for rank, tokens in enumerate(outs):
+        left = (rank - 1) % size
+        assert tokens == [("token", left, r) for r in range(rounds)]

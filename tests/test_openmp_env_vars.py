@@ -1,0 +1,77 @@
+"""OMP_* environment-variable parsing (the shell-driven lab workflow)."""
+
+import pytest
+
+from repro.openmp import get_config
+from repro.openmp.env import _reset_for_testing
+
+
+@pytest.fixture(autouse=True)
+def fresh_config(monkeypatch):
+    """Each test re-parses the environment into a fresh config."""
+    _reset_for_testing()
+    yield
+    _reset_for_testing()
+
+
+class TestOmpNumThreads:
+    def test_env_sets_default_team_size(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "6")
+        assert get_config().num_threads == 6
+
+    def test_nested_list_takes_first_level(self, monkeypatch):
+        # OMP_NUM_THREADS accepts a nesting list: "4,2" -> outer team of 4
+        monkeypatch.setenv("OMP_NUM_THREADS", "4,2")
+        assert get_config().num_threads == 4
+
+    def test_garbage_falls_back_to_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("OMP_NUM_THREADS", "lots")
+        assert get_config().num_threads == (os.cpu_count() or 1)
+
+    def test_zero_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "0")
+        assert get_config().num_threads == 1
+
+    def test_unset_uses_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("OMP_NUM_THREADS", raising=False)
+        assert get_config().num_threads == (os.cpu_count() or 1)
+
+
+class TestOmpSchedule:
+    def test_schedule_kind(self, monkeypatch):
+        monkeypatch.setenv("OMP_SCHEDULE", "dynamic")
+        cfg = get_config()
+        assert cfg.schedule == "dynamic"
+        assert cfg.chunk is None
+
+    def test_schedule_with_chunk(self, monkeypatch):
+        monkeypatch.setenv("OMP_SCHEDULE", "guided,4")
+        cfg = get_config()
+        assert cfg.schedule == "guided"
+        assert cfg.chunk == 4
+
+    def test_case_and_whitespace_tolerant(self, monkeypatch):
+        monkeypatch.setenv("OMP_SCHEDULE", " DYNAMIC , 8 ")
+        cfg = get_config()
+        assert cfg.schedule == "dynamic"
+        assert cfg.chunk == 8
+
+    def test_bad_chunk_ignored(self, monkeypatch):
+        monkeypatch.setenv("OMP_SCHEDULE", "static,many")
+        cfg = get_config()
+        assert cfg.schedule == "static"
+        assert cfg.chunk is None
+
+    def test_runtime_schedule_resolves_from_env(self, monkeypatch):
+        """schedule='runtime' in a loop defers to OMP_SCHEDULE."""
+        monkeypatch.setenv("OMP_SCHEDULE", "dynamic,2")
+        from repro.openmp import parallel_for
+
+        total = parallel_for(
+            100, lambda i: i, num_threads=3, schedule="runtime", reduction="+"
+        )
+        assert total == sum(range(100))

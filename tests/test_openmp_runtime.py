@@ -1,0 +1,104 @@
+"""OpenMP runtime: regions, introspection, env config, error propagation."""
+
+import pytest
+
+from repro.openmp import (
+    get_config,
+    get_max_threads,
+    get_num_threads,
+    get_thread_num,
+    in_parallel,
+    parallel_region,
+    scoped_num_threads,
+    set_num_threads,
+)
+
+
+class TestParallelRegion:
+    def test_every_thread_runs_once(self):
+        results = parallel_region(get_thread_num, num_threads=6)
+        assert results == list(range(6))
+
+    def test_master_runs_in_caller_thread(self):
+        import threading
+
+        caller = threading.get_ident()
+
+        def body():
+            if get_thread_num() == 0:
+                return threading.get_ident() == caller
+            return None
+
+        assert parallel_region(body, num_threads=3)[0] is True
+
+    def test_team_size_from_config_by_default(self):
+        with scoped_num_threads(3):
+            assert parallel_region(get_num_threads) == [3, 3, 3]
+
+    def test_single_thread_region(self):
+        assert parallel_region(lambda: get_num_threads(), num_threads=1) == [1]
+
+    def test_introspection_outside_region(self):
+        assert get_thread_num() == 0
+        assert get_num_threads() == 1
+        assert not in_parallel()
+
+    def test_in_parallel_inside_region(self):
+        assert parallel_region(in_parallel, num_threads=2) == [True, True]
+
+    def test_nested_region_serializes(self):
+        """OpenMP default: nested parallelism off -> inner team of one."""
+
+        def inner():
+            return get_num_threads()
+
+        def outer():
+            return parallel_region(inner, num_threads=4)
+
+        results = parallel_region(outer, num_threads=3)
+        assert results == [[1]] * 3
+
+    def test_exception_propagates_with_lowest_thread_first(self):
+        def body():
+            if get_thread_num() in (1, 2):
+                raise RuntimeError(f"thread {get_thread_num()} failed")
+
+        with pytest.raises(RuntimeError, match="thread 1 failed") as exc_info:
+            parallel_region(body, num_threads=4)
+        assert set(exc_info.value.__exceptions__) == {1, 2}
+
+    def test_invalid_team_size(self):
+        with pytest.raises(ValueError):
+            parallel_region(lambda: None, num_threads=0)
+
+    def test_args_forwarded(self):
+        results = parallel_region(
+            lambda offset: offset + get_thread_num(), num_threads=3, args=(100,)
+        )
+        assert results == [100, 101, 102]
+
+
+class TestEnvConfig:
+    def test_set_and_get_num_threads(self):
+        old = get_max_threads()
+        try:
+            set_num_threads(7)
+            assert get_max_threads() == 7
+        finally:
+            set_num_threads(old)
+
+    def test_scoped_override_restores(self):
+        before = get_max_threads()
+        with scoped_num_threads(2):
+            assert get_max_threads() == 2
+        assert get_max_threads() == before
+
+    def test_invalid_num_threads(self):
+        with pytest.raises(ValueError):
+            set_num_threads(0)
+        with pytest.raises(ValueError):
+            set_num_threads(100_000)
+
+    def test_config_has_schedule_defaults(self):
+        cfg = get_config()
+        assert cfg.schedule in ("static", "dynamic", "guided")

@@ -1,0 +1,239 @@
+"""Loop scheduling and worksharing: partitions, reductions, hypothesis props."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.openmp import (
+    DynamicScheduler,
+    GuidedScheduler,
+    REDUCTIONS,
+    Reduction,
+    for_loop,
+    get_reduction,
+    parallel_for,
+    parallel_region,
+    static_block_ranges,
+    static_chunks,
+)
+
+FAST = settings(max_examples=50, deadline=None)
+
+
+class TestStaticBlockRanges:
+    def test_even_split(self):
+        assert static_block_ranges(8, 4) == [
+            range(0, 2), range(2, 4), range(4, 6), range(6, 8)
+        ]
+
+    def test_remainder_spread_over_leading_threads(self):
+        ranges = static_block_ranges(10, 3)
+        assert [len(r) for r in ranges] == [4, 3, 3]
+
+    def test_more_threads_than_iterations(self):
+        ranges = static_block_ranges(2, 5)
+        assert [len(r) for r in ranges] == [1, 1, 0, 0, 0]
+
+    def test_zero_iterations(self):
+        assert all(len(r) == 0 for r in static_block_ranges(0, 4))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            static_block_ranges(-1, 2)
+        with pytest.raises(ValueError):
+            static_block_ranges(5, 0)
+
+    @FAST
+    @given(n=st.integers(0, 500), t=st.integers(1, 16))
+    def test_property_exact_cover(self, n, t):
+        ranges = static_block_ranges(n, t)
+        flat = [i for r in ranges for i in r]
+        assert flat == list(range(n))
+        sizes = [len(r) for r in ranges]
+        assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+class TestStaticChunks:
+    def test_round_robin_chunk1(self):
+        assert list(static_chunks(10, 3, 1, 0)) == [0, 3, 6, 9]
+        assert list(static_chunks(10, 3, 1, 1)) == [1, 4, 7]
+
+    def test_chunked_round_robin(self):
+        assert list(static_chunks(12, 2, 3, 0)) == [0, 1, 2, 6, 7, 8]
+        assert list(static_chunks(12, 2, 3, 1)) == [3, 4, 5, 9, 10, 11]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            list(static_chunks(10, 2, 0, 0))
+
+    @FAST
+    @given(n=st.integers(0, 300), t=st.integers(1, 8), c=st.integers(1, 9))
+    def test_property_exact_cover(self, n, t, c):
+        flat = sorted(i for thread in range(t) for i in static_chunks(n, t, c, thread))
+        assert flat == list(range(n))
+
+
+class TestDynamicGuidedSchedulers:
+    def test_dynamic_claims_disjoint_chunks(self):
+        sched = DynamicScheduler(10, chunk=3)
+        chunks = []
+        while True:
+            c = sched.next_chunk()
+            if not c:
+                break
+            chunks.append(list(c))
+        assert chunks == [[0, 1, 2], [3, 4, 5], [6, 7, 8], [9]]
+
+    def test_dynamic_concurrent_exact_cover(self):
+        sched = DynamicScheduler(500, chunk=7)
+        claimed: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            for i in sched:
+                with lock:
+                    claimed.append(i)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(claimed) == list(range(500))
+
+    def test_guided_chunks_decay(self):
+        sched = GuidedScheduler(100, num_threads=4, min_chunk=2)
+        sizes = []
+        while True:
+            c = sched.next_chunk()
+            if not c:
+                break
+            sizes.append(len(c))
+        assert sum(sizes) == 100
+        assert sizes[0] == 25  # 100 // 4
+        assert sizes[0] >= sizes[-1]
+        assert sizes[-1] >= 1
+
+    @FAST
+    @given(n=st.integers(0, 400), c=st.integers(1, 10))
+    def test_dynamic_property_exact_cover(self, n, c):
+        sched = DynamicScheduler(n, chunk=c)
+        assert sorted(iter(sched)) == list(range(n))
+
+    @FAST
+    @given(n=st.integers(0, 400), t=st.integers(1, 8), c=st.integers(1, 6))
+    def test_guided_property_exact_cover(self, n, t, c):
+        sched = GuidedScheduler(n, num_threads=t, min_chunk=c)
+        assert sorted(iter(sched)) == list(range(n))
+
+
+class TestParallelFor:
+    @pytest.mark.parametrize("schedule,chunk", [
+        ("static", None), ("static", 1), ("static", 4),
+        ("dynamic", 1), ("dynamic", 5), ("guided", None),
+    ])
+    @pytest.mark.parametrize("threads", [1, 3, 4])
+    def test_sum_reduction_all_schedules(self, schedule, chunk, threads):
+        total = parallel_for(
+            200, lambda i: i, num_threads=threads, schedule=schedule,
+            chunk=chunk, reduction="+",
+        )
+        assert total == sum(range(200))
+
+    def test_product_reduction(self):
+        assert parallel_for(6, lambda i: i + 1, num_threads=3, reduction="*") == 720
+
+    def test_max_min_reductions(self):
+        data = [3, 1, 4, 1, 5, 9, 2, 6]
+        assert parallel_for(8, lambda i: data[i], num_threads=3, reduction="max") == 9
+        assert parallel_for(8, lambda i: data[i], num_threads=3, reduction="min") == 1
+
+    def test_logical_reductions(self):
+        assert parallel_for(10, lambda i: i < 10, num_threads=2, reduction="&&") is True
+        assert parallel_for(10, lambda i: i == 99, num_threads=2, reduction="||") is False
+
+    def test_custom_reduction(self):
+        longest = Reduction("longest", "", lambda a, b: a if len(a) >= len(b) else b)
+        words = ["hi", "hello", "hey", "howdy!"]
+        out = parallel_for(4, lambda i: words[i], num_threads=2, reduction=longest)
+        assert out == "howdy!"
+
+    def test_no_reduction_returns_none_and_covers(self):
+        seen = []
+        lock = threading.Lock()
+
+        def body(i):
+            with lock:
+                seen.append(i)
+
+        assert parallel_for(57, body, num_threads=4, schedule="dynamic") is None
+        assert sorted(seen) == list(range(57))
+
+    def test_zero_iterations(self):
+        assert parallel_for(0, lambda i: i, num_threads=4, reduction="+") == 0
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_for(-1, lambda i: i)
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(ValueError, match="unknown schedule"):
+            parallel_for(10, lambda i: i, schedule="chaotic")
+
+    def test_unknown_reduction_rejected(self):
+        with pytest.raises(ValueError, match="unknown reduction"):
+            parallel_for(10, lambda i: i, reduction="??")
+
+    @FAST
+    @given(
+        n=st.integers(0, 200),
+        threads=st.integers(1, 6),
+        schedule=st.sampled_from(["static", "dynamic", "guided"]),
+    )
+    def test_property_reduction_equals_serial(self, n, threads, schedule):
+        assert parallel_for(
+            n, lambda i: i * i, num_threads=threads, schedule=schedule, reduction="+"
+        ) == sum(i * i for i in range(n))
+
+
+class TestForLoopInsideRegion:
+    def test_reduction_result_on_every_thread(self):
+        def body():
+            return for_loop(lambda i: i, 100, reduction="+")
+
+        assert parallel_region(body, num_threads=4) == [4950] * 4
+
+    def test_dynamic_for_loop_inside_region(self):
+        claimed = []
+        lock = threading.Lock()
+
+        def record(i):
+            with lock:
+                claimed.append(i)
+
+        def body():
+            for_loop(record, 83, schedule="dynamic", chunk=4)
+
+        parallel_region(body, num_threads=3)
+        assert sorted(claimed) == list(range(83))
+
+    def test_sequential_fallback_outside_region(self):
+        assert for_loop(lambda i: i, 10, reduction="+") == 45
+
+
+class TestReductionRegistry:
+    def test_all_registered_reductions_have_identities(self):
+        for name, red in REDUCTIONS.items():
+            # identity ⊕ x == x for a representative value of the right kind
+            x = True if name in ("&&", "||") else 5
+            assert red.combine(red.identity, x) == x, name
+
+    def test_get_reduction_passthrough(self):
+        custom = Reduction("c", 0, lambda a, b: a + b)
+        assert get_reduction(custom) is custom
+
+    def test_fold(self):
+        assert REDUCTIONS["+"].fold([1, 2, 3]) == 6
+        assert REDUCTIONS["max"].fold([]) == float("-inf")

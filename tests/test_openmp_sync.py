@@ -1,0 +1,219 @@
+"""Synchronization constructs: critical, atomic, barrier, single, master, locks."""
+
+import threading
+
+import pytest
+
+from repro.openmp import (
+    AtomicAccumulator,
+    AtomicCounter,
+    Lock,
+    barrier,
+    critical,
+    get_thread_num,
+    master,
+    parallel_region,
+    parallel_sections,
+    sections,
+    single,
+)
+
+
+class TestCritical:
+    def test_critical_protects_unsafe_update(self):
+        counter = AtomicCounter()
+
+        def body():
+            for _ in range(2000):
+                with critical("c"):
+                    counter.unsafe_read_modify_write(1)
+
+        parallel_region(body, num_threads=4)
+        assert counter.value == 8000
+
+    def test_named_sections_are_independent_locks(self):
+        """Two differently named criticals can be held simultaneously."""
+        order = []
+        gate = threading.Event()
+
+        def body():
+            tid = get_thread_num()
+            if tid == 0:
+                with critical("a"):
+                    gate.wait(timeout=5)
+                    order.append("a-done")
+            else:
+                with critical("b"):  # must not block on critical("a")
+                    order.append("b-done")
+                gate.set()
+
+        parallel_region(body, num_threads=2)
+        assert order == ["b-done", "a-done"]
+
+    def test_unnamed_criticals_share_one_lock(self):
+        counter = AtomicCounter()
+
+        def body():
+            for _ in range(1000):
+                with critical():
+                    counter.unsafe_read_modify_write(1)
+
+        parallel_region(body, num_threads=4)
+        assert counter.value == 4000
+
+    def test_noop_outside_region(self):
+        with critical("anything"):
+            pass  # must not raise or deadlock
+
+
+class TestAtomic:
+    def test_atomic_add_is_exact(self):
+        counter = AtomicCounter()
+        parallel_region(
+            lambda: [counter.add(1) for _ in range(5000)] and None, num_threads=4
+        )
+        assert counter.value == 20_000
+
+    def test_fetch_and_add_returns_old(self):
+        counter = AtomicCounter(10)
+        assert counter.fetch_and_add(5) == 10
+        assert counter.value == 15
+
+    def test_increment_decrement(self):
+        counter = AtomicCounter()
+        assert counter.increment() == 1
+        assert counter.decrement() == 0
+
+    def test_float_accumulator(self):
+        acc = AtomicAccumulator()
+        parallel_region(
+            lambda: [acc.add(0.5) for _ in range(1000)] and None, num_threads=4
+        )
+        assert acc.value == pytest.approx(2000.0)
+
+
+class TestBarrier:
+    def test_barrier_separates_phases(self):
+        log = []
+        lock = threading.Lock()
+
+        def body():
+            with lock:
+                log.append("one")
+            barrier()
+            with lock:
+                log.append("two")
+
+        parallel_region(body, num_threads=5)
+        assert log[:5] == ["one"] * 5
+        assert log[5:] == ["two"] * 5
+
+    def test_multiple_barriers(self):
+        positions = []
+        lock = threading.Lock()
+
+        def body():
+            for phase in range(4):
+                barrier()
+                with lock:
+                    positions.append(phase)
+
+        parallel_region(body, num_threads=3)
+        assert positions == sorted(positions)
+
+    def test_noop_outside_region(self):
+        barrier()  # must not hang
+
+
+class TestMasterSingle:
+    def test_master_predicate(self):
+        outs = parallel_region(lambda: master(), num_threads=4)
+        assert outs == [True, False, False, False]
+
+    def test_master_callable_form(self):
+        outs = parallel_region(lambda: master(lambda: "ran"), num_threads=3)
+        assert outs == ["ran", None, None]
+
+    def test_single_elects_exactly_one_winner(self):
+        winners = parallel_region(lambda: single(), num_threads=6)
+        assert sum(winners) == 1
+
+    def test_consecutive_singles_each_elect_once(self):
+        def body():
+            return (single(), single(), single())
+
+        outs = parallel_region(body, num_threads=4)
+        for occurrence in range(3):
+            assert sum(o[occurrence] for o in outs) == 1
+
+    def test_single_callable_with_implied_barrier(self):
+        ran = []
+
+        def body():
+            single(lambda: ran.append(get_thread_num()))
+            # after the implied barrier the side effect must be visible
+            return len(ran)
+
+        outs = parallel_region(body, num_threads=4)
+        assert len(ran) == 1
+        assert outs == [1, 1, 1, 1]
+
+    def test_single_outside_region_is_true(self):
+        assert single() is True
+
+
+class TestLock:
+    def test_set_unset(self):
+        lock = Lock()
+        lock.set()
+        assert lock.test() is False  # already held
+        lock.unset()
+        assert lock.test() is True
+        lock.unset()
+
+    def test_context_manager(self):
+        lock = Lock()
+        with lock:
+            assert lock.test() is False
+        assert lock.test() is True
+        lock.unset()
+
+    def test_mutual_exclusion_under_contention(self):
+        lock = Lock()
+        counter = AtomicCounter()
+
+        def body():
+            for _ in range(1000):
+                with lock:
+                    counter.unsafe_read_modify_write(1)
+
+        parallel_region(body, num_threads=4)
+        assert counter.value == 4000
+
+
+class TestSections:
+    def test_each_section_runs_exactly_once(self):
+        calls = {label: 0 for label in "abcde"}
+        lock = threading.Lock()
+
+        def make(label):
+            def task():
+                with lock:
+                    calls[label] += 1
+                return label
+
+            return task
+
+        results = parallel_sections([make(l) for l in "abcde"], num_threads=3)
+        assert results == list("abcde")
+        assert all(v == 1 for v in calls.values())
+
+    def test_more_threads_than_sections(self):
+        results = parallel_sections([lambda: 1, lambda: 2], num_threads=4)
+        assert results == [1, 2]
+
+    def test_empty_sections(self):
+        assert parallel_sections([]) == []
+
+    def test_sections_outside_region_run_serially(self):
+        assert sections([lambda: "x", lambda: "y"]) == ["x", "y"]

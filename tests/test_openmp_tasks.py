@@ -1,0 +1,170 @@
+"""OpenMP tasking: task/taskwait/taskgroup semantics."""
+
+import pytest
+
+from repro.openmp import (
+    parallel_region,
+    single,
+    task,
+    taskgroup,
+    taskwait,
+)
+
+
+def in_region(body, num_threads=4):
+    """Run body on the single-winning thread; others help via taskwait."""
+    out = [None]
+
+    def member():
+        if single():
+            out[0] = body()
+        taskwait()
+
+    parallel_region(member, num_threads=num_threads)
+    return out[0]
+
+
+class TestTask:
+    def test_task_result(self):
+        assert in_region(lambda: task(lambda: 21 * 2).result()) == 42
+
+    def test_each_task_runs_exactly_once(self):
+        import threading
+
+        counter = {"n": 0}
+        lock = threading.Lock()
+
+        def work():
+            with lock:
+                counter["n"] += 1
+
+        def body():
+            handles = [task(work) for _ in range(50)]
+            for h in handles:
+                h.result()
+
+        in_region(body)
+        assert counter["n"] == 50
+
+    def test_recursive_fib(self):
+        def fib(n):
+            if n < 2:
+                return n
+            left = task(fib, n - 1)
+            return left.result() + fib(n - 2)
+
+        assert in_region(lambda: fib(15)) == 610
+
+    def test_tasks_with_kwargs(self):
+        assert in_region(
+            lambda: task(lambda a, b=0: a + b, 10, b=5).result()
+        ) == 15
+
+    def test_orphaned_task_runs_inline(self):
+        handle = task(lambda: "inline")
+        assert handle.done
+        assert handle.result() == "inline"
+
+    def test_orphaned_task_error_raises_immediately(self):
+        with pytest.raises(ZeroDivisionError):
+            task(lambda: 1 // 0)
+
+    def test_task_error_raised_at_result(self):
+        def body():
+            handle = task(lambda: 1 // 0)
+            with pytest.raises(ZeroDivisionError):
+                handle.result()
+            return "survived"
+
+        assert in_region(body) == "survived"
+
+    def test_done_flag(self):
+        def body():
+            handle = task(lambda: 1)
+            handle.result()
+            return handle.done
+
+        assert in_region(body) is True
+
+
+class TestTaskwait:
+    def test_taskwait_drains_pool(self):
+        import threading
+
+        ran = []
+        lock = threading.Lock()
+
+        def work(i):
+            with lock:
+                ran.append(i)
+
+        def member():
+            if single():
+                for i in range(20):
+                    task(work, i)
+            taskwait()
+            return len(ran)
+
+        outs = parallel_region(member, num_threads=4)
+        # after taskwait on every thread, all tasks are complete
+        assert sorted(ran) == list(range(20))
+        assert all(isinstance(o, int) for o in outs)
+
+    def test_taskwait_outside_region_is_noop(self):
+        taskwait()  # must not raise or hang
+
+
+class TestTaskgroup:
+    def test_taskgroup_waits_for_scope(self):
+        def body():
+            with taskgroup() as tg:
+                handles = [tg.task(lambda i=i: i * 3) for i in range(8)]
+            return [h.result() for h in handles]
+
+        assert in_region(body) == [i * 3 for i in range(8)]
+
+    def test_taskgroup_propagates_task_error(self):
+        def body():
+            try:
+                with taskgroup() as tg:
+                    tg.task(lambda: 1 // 0)
+                return "no-raise"
+            except ZeroDivisionError:
+                return "raised"
+
+        assert in_region(body) == "raised"
+
+    def test_taskgroup_outside_region(self):
+        with taskgroup() as tg:
+            h = tg.task(lambda: "serial")
+        assert h.result() == "serial"
+
+    def test_nested_taskgroups(self):
+        def body():
+            with taskgroup() as outer:
+                a = outer.task(lambda: 1)
+                with taskgroup() as inner:
+                    b = inner.task(lambda: 2)
+                assert b.done
+            return a.result() + b.result()
+
+        assert in_region(body) == 3
+
+
+class TestTaskParallelMergeSort:
+    """The tasking construct's flagship application (sorting exemplar)."""
+
+    def test_sorts_correctly(self):
+        import random
+
+        from repro.exemplars import merge_sort_tasks
+
+        rng = random.Random(5)
+        data = [rng.random() for _ in range(300)]
+        assert merge_sort_tasks(data, num_threads=4, cutoff=32) == sorted(data)
+
+    def test_cutoff_validation(self):
+        from repro.exemplars import merge_sort_tasks
+
+        with pytest.raises(ValueError):
+            merge_sort_tasks([3, 1, 2], cutoff=0)

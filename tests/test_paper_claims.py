@@ -1,0 +1,132 @@
+"""End-to-end reproduction checks: one test per table/figure/claim of the paper.
+
+This is the executable version of EXPERIMENTS.md — each test pins a number
+or qualitative shape the paper reports to what the reproduction computes.
+"""
+
+import pytest
+
+from repro.assessment import figure3, figure4, table2
+from repro.core import run_exemplar_study, simulate_workshop
+from repro.exemplars import fire_curve_seq
+from repro.kits import standard_pi_kit
+from repro.patternlets import get_patternlet
+from repro.runestone import (
+    RACE_CONDITION_QUESTION,
+    build_mpi_colab_notebook,
+    build_raspberry_pi_module,
+)
+
+
+class TestTableI:
+    def test_kit_costs_100_66(self):
+        assert standard_pi_kit().cost() == 100.66
+
+    def test_approximately_100_dollar_kit(self):
+        assert abs(standard_pi_kit().cost() - 100) < 1.0
+
+
+class TestTableII:
+    def test_exact_means(self):
+        assert table2().rows == (
+            ("OpenMP on Raspberry Pi", 4.55, 4.45),
+            ("MPI & Distr. Cluster Computing", 4.38, 4.29),
+        )
+
+    def test_every_session_rated_four_or_higher(self):
+        for _session, a, b in table2().rows:
+            assert a >= 4.0 and b >= 4.0
+
+
+class TestFigure1:
+    def test_race_condition_page_renders_with_question(self):
+        from repro.runestone import render_section_text
+
+        module = build_raspberry_pi_module()
+        view = render_section_text(module.find_section("2.3"))
+        assert "Q-2: What is a race condition?" in view
+        assert "sp_mc_2" in view
+
+    def test_answer_c_is_graded_correct(self):
+        assert RACE_CONDITION_QUESTION.grade("C").correct
+
+
+class TestFigure2:
+    def test_colab_spmd_produces_four_greetings(self):
+        notebook = build_mpi_colab_notebook(np=4)
+        results = notebook.run_all()
+        spmd = next(r for r in results if r.kind == "mpirun")
+        lines = spmd.stdout.splitlines()
+        assert len(lines) == 4
+        for rank in range(4):
+            assert any(
+                line == f"Greetings from process {rank} of 4 on d6ff4f902ed6"
+                for line in lines
+            )
+
+
+class TestFigure3:
+    def test_pre_post_means_and_significance(self):
+        test = figure3().test
+        assert round(test.pre_mean, 2) == 2.82  # paper: pre_m = 2.82
+        assert round(test.post_mean, 2) == 3.59  # paper: post_m = 3.59
+        assert test.p_value == pytest.approx(0.0004, abs=5e-5)  # paper: 0.0004
+
+
+class TestFigure4:
+    def test_pre_post_means_and_significance(self):
+        test = figure4().test
+        assert round(test.pre_mean, 2) == 2.59  # paper: pre_m = 2.59
+        assert round(test.post_mean, 2) == 3.77  # paper: post_m = 3.77
+        assert test.p_value == pytest.approx(4.18e-8, rel=0.01)  # paper: 4.18e-08
+
+
+class TestSectionIVClaims:
+    def test_no_technical_difficulties_in_shared_memory_session(self):
+        report = simulate_workshop()
+        assert report.shared_memory_session.learners_with_issues == 0
+
+    def test_colab_unicore_cannot_show_speedup(self):
+        # "the Colab's single-core VMs prevent learners from experiencing
+        # parallel speedup"
+        for exemplar in ("integration", "forestfire", "drugdesign"):
+            assert not run_exemplar_study(exemplar, "colab").study.shows_speedup()
+
+    def test_chameleon_and_stolaf_show_good_speedup(self):
+        # "this server provided good parallel speedup and scalability"
+        for platform in ("stolaf-vm", "chameleon-cluster"):
+            study = run_exemplar_study("forestfire", platform).study
+            assert study.max_speedup > 8.0
+            assert study.efficiencies[1] > 0.8  # near-linear at small counts
+
+    def test_vnc_lockout_with_ssh_fallback(self):
+        report = simulate_workshop(eager_beavers=2)
+        assert len(report.vnc_incident.locked_out_participants) == 2
+        assert report.vnc_incident.all_finished_via_ssh
+
+
+class TestMaterialDesignClaims:
+    def test_modules_fit_a_two_hour_lab_period(self):
+        module = build_raspberry_pi_module()
+        assert module.session_minutes == 120
+
+    def test_pacing_is_30_60_30(self):
+        module = build_raspberry_pi_module()
+        session_chapters = [c for c in module.chapters if not c.pre_work]
+        assert [c.minutes for c in session_chapters] == [30, 60, 30]
+
+    def test_image_supports_3b_onward(self):
+        from repro.kits import CSIP_IMAGE, SUPPORTED_MODELS, UNSUPPORTED_MODELS
+
+        assert all(CSIP_IMAGE.supports(m) for m in SUPPORTED_MODELS)
+        assert not any(CSIP_IMAGE.supports(m) for m in UNSUPPORTED_MODELS)
+
+    def test_forest_fire_exemplar_shows_its_phase_transition(self):
+        curve = fire_curve_seq(trials=6, size=21, seed=1)
+        assert curve.is_monotone_nondecreasing()
+        assert 0.3 <= curve.transition_prob() <= 0.8
+
+    def test_deadlock_patternlet_is_safe_to_teach(self):
+        # the broken version terminates with a detected deadlock, not a hang
+        result = get_patternlet("mpi", "deadlock").run(np=2, timeout=5.0)
+        assert result.values["deadlocked"]

@@ -1,0 +1,195 @@
+"""Patternlet catalog: registry integrity and per-patternlet behaviour."""
+
+import pytest
+
+from repro.patternlets import (
+    PARADIGMS,
+    all_patternlets,
+    get_patternlet,
+    patternlet_names,
+)
+from repro.patternlets.base import PatternletResult, register
+
+
+class TestRegistry:
+    def test_both_paradigms_populated(self):
+        assert len(all_patternlets("openmp")) == 14
+        assert len(all_patternlets("mpi")) == 15
+
+    def test_handout_order_is_stable(self):
+        orders = [p.order for p in all_patternlets("openmp")]
+        assert orders == sorted(orders)
+
+    def test_every_patternlet_has_metadata(self):
+        for p in all_patternlets():
+            assert p.pattern and p.summary
+            assert p.paradigm in PARADIGMS
+            assert p.concepts, p.name
+
+    def test_source_listing_available(self):
+        src = get_patternlet("mpi", "spmd").source
+        assert "def spmd" in src
+        assert "Get_rank" in src
+
+    def test_unknown_patternlet_suggests_alternatives(self):
+        with pytest.raises(KeyError, match="available"):
+            get_patternlet("openmp", "nonexistent")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register("spmd", "openmp", "X", "dup")(lambda: PatternletResult("x"))
+
+    def test_invalid_paradigm_rejected(self):
+        with pytest.raises(ValueError):
+            register("x", "cuda", "X", "y")(lambda: PatternletResult("x"))
+
+    def test_patternlet_names(self):
+        assert patternlet_names("mpi")[0] == "spmd"
+
+
+class TestOpenMPPatternlets:
+    def test_spmd_every_thread_speaks(self):
+        r = get_patternlet("openmp", "spmd").run(num_threads=5)
+        assert r.values["thread_ids"] == list(range(5))
+        assert len(r.trace) == 5
+
+    def test_forkjoin_phase_structure(self):
+        r = get_patternlet("openmp", "forkjoin").run(num_threads=3)
+        assert r.values["phase_counts"] == {"before": 1, "during": 3, "after": 1}
+        assert r.values["joined_before_after"]
+
+    def test_private_values_are_per_thread(self):
+        r = get_patternlet("openmp", "private").run(num_threads=4)
+        assert r.values["privates_correct"]
+        assert r.values["shared_appends"] == 4
+
+    def test_forced_race_always_loses_one_update(self):
+        for _ in range(5):  # deterministic: must hold on every run
+            r = get_patternlet("openmp", "race").run(forced=True)
+            assert r.values == {
+                "expected": 2, "actual": 1, "lost": 1, "forced": True
+            }
+
+    def test_wild_race_reports_expected_vs_actual(self):
+        r = get_patternlet("openmp", "race").run(num_threads=4, iterations=3000)
+        assert r.values["expected"] == 12000
+        assert 0 < r.values["actual"] <= 12000
+        assert r.values["lost"] == r.values["expected"] - r.values["actual"]
+
+    @pytest.mark.parametrize("name", ["critical", "atomic"])
+    def test_fixes_are_exact(self, name):
+        r = get_patternlet("openmp", name).run(num_threads=4, iterations=3000)
+        assert r.values["actual"] == r.values["expected"] == 12000
+
+    def test_reduction_fix(self):
+        r = get_patternlet("openmp", "reduction").run(num_threads=4, n=5000)
+        assert r.values["actual"] == r.values["expected"] == 5000 * 5001 // 2
+
+    def test_equal_chunks_are_contiguous_cover(self):
+        r = get_patternlet("openmp", "forEqualChunks").run(num_threads=4, n=18)
+        assert r.values["covered_exactly_once"]
+        assert r.values["contiguous"]
+
+    def test_chunks_of_one_are_strided(self):
+        r = get_patternlet("openmp", "forChunksOf1").run(num_threads=4, n=18)
+        assert r.values["covered_exactly_once"]
+        assert r.values["strided"]
+
+    def test_dynamic_covers_exactly_once(self):
+        r = get_patternlet("openmp", "forDynamic").run(num_threads=4, n=30, chunk=3)
+        assert r.values["covered_exactly_once"]
+
+    def test_barrier_orders_phases(self):
+        r = get_patternlet("openmp", "barrier").run(num_threads=6)
+        assert r.values["phases_ordered"]
+        assert r.values["lines"] == 12
+
+    def test_master_single(self):
+        r = get_patternlet("openmp", "masterSingle").run(num_threads=4)
+        assert r.values["master_is_zero"]
+        assert r.values["single_ran_once"]
+
+    def test_sections(self):
+        r = get_patternlet("openmp", "sections").run(num_threads=2)
+        assert r.values["each_ran_once"]
+        assert r.values["outputs"] == ["A", "B", "C", "D"]
+
+
+class TestMPIPatternlets:
+    def test_spmd_figure2_shape(self):
+        r = get_patternlet("mpi", "spmd").run(np=4)
+        assert r.values["unique_ranks"]
+        assert all("Greetings from process" in line for line in r.trace)
+        assert all("of 4 on d6ff4f902ed6" in line for line in r.trace)
+
+    def test_spmd_custom_hostname(self):
+        r = get_patternlet("mpi", "spmd").run(np=2, hostname="colab-vm")
+        assert all(line.endswith("on colab-vm") for line in r.trace)
+
+    def test_master_worker_split(self):
+        r = get_patternlet("mpi", "masterWorkerSplit").run(np=5)
+        assert r.values["one_master"]
+        assert r.values["workers"] == 4
+
+    def test_sequence_numbers_ordered_via_gather(self):
+        r = get_patternlet("mpi", "sequenceNumbers").run(np=6)
+        assert r.values["ordered"]
+
+    def test_send_receive(self):
+        r = get_patternlet("mpi", "sendReceive").run(np=2)
+        assert r.values["received_equals_sent"]
+
+    def test_send_receive_requires_two(self):
+        with pytest.raises(ValueError):
+            get_patternlet("mpi", "sendReceive").run(np=1)
+
+    def test_ring_visits_every_rank(self):
+        r = get_patternlet("mpi", "messagePassingRing").run(np=6)
+        assert r.values["visited_all"]
+        assert r.values["token"] == list(range(6))
+
+    def test_tags_demultiplex(self):
+        r = get_patternlet("mpi", "messageTags").run(np=2)
+        assert r.values["out_of_order_ok"]
+
+    def test_deadlock_detected_and_fixed(self):
+        broken = get_patternlet("mpi", "deadlock").run(np=2, timeout=5.0)
+        assert broken.values["deadlocked"]
+        repaired = get_patternlet("mpi", "deadlock").run(np=4, fixed=True)
+        assert not repaired.values["deadlocked"]
+        assert repaired.values["exchanged"]
+
+    def test_deadlock_requires_even_np(self):
+        with pytest.raises(ValueError):
+            get_patternlet("mpi", "deadlock").run(np=3)
+
+    def test_broadcast_private_copies(self):
+        r = get_patternlet("mpi", "broadcast").run(np=4)
+        assert r.values["all_equal"]
+        assert r.values["copies_are_private"]
+
+    def test_scatter_gather_reduce(self):
+        assert get_patternlet("mpi", "scatter").run(np=4)["each_got_its_chunk"]
+        g = get_patternlet("mpi", "gather").run(np=4)
+        assert g["root_list_correct"] and g["non_roots_none"]
+        red = get_patternlet("mpi", "reduce").run(np=5)
+        assert red["root_correct"] and red["non_roots_none"]
+
+    def test_allreduce_arrays(self):
+        r = get_patternlet("mpi", "allreduceArrays").run(np_procs=4, n=32)
+        assert r.values["all_correct"]
+
+    def test_master_worker_farm(self):
+        r = get_patternlet("mpi", "masterWorker").run(np=4, num_tasks=20)
+        assert r.values["all_tasks_done"]
+        assert r.values["work_was_distributed"]
+        assert len(r.values["per_worker_counts"]) == 3
+
+    def test_master_worker_more_workers_than_tasks(self):
+        r = get_patternlet("mpi", "masterWorker").run(np=6, num_tasks=2)
+        assert r.values["all_tasks_done"]
+
+    def test_parallel_loop_chunks(self):
+        r = get_patternlet("mpi", "parallelLoopChunks").run(np=4, n=777)
+        assert r.values["total_correct"]
+        assert r.values["slices_cover"]

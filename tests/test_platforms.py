@@ -1,0 +1,256 @@
+"""Platform models, cost model, speedup analysis, access gateway."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms import (
+    CHAMELEON_NODE,
+    COLAB_VM,
+    PLATFORMS,
+    RASPBERRY_PI_4,
+    ST_OLAF_VM,
+    AccessGateway,
+    Cluster,
+    CostModel,
+    LoginOutcome,
+    Machine,
+    Protocol,
+    ScalingStudy,
+    Workload,
+    amdahl_speedup,
+    chameleon_cluster,
+    gustafson_speedup,
+    karp_flatt_fraction,
+    pi_beowulf_cluster,
+)
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+class TestMachines:
+    def test_paper_platform_core_counts(self):
+        assert COLAB_VM.cores == 1  # "Colab VMs have just one core"
+        assert ST_OLAF_VM.cores == 64  # "a 64-core VM"
+        assert RASPBERRY_PI_4.cores == 4
+
+    def test_serial_rate_positive(self):
+        for platform in PLATFORMS.values():
+            assert platform.serial_rate > 0
+
+    def test_with_cores(self):
+        assert ST_OLAF_VM.with_cores(32).cores == 32
+        assert ST_OLAF_VM.cores == 64  # original untouched
+
+    def test_invalid_machine(self):
+        with pytest.raises(ValueError):
+            Machine("bad", cores=0, clock_ghz=1.0)
+        with pytest.raises(ValueError):
+            Machine("bad", cores=4, clock_ghz=0.0)
+
+    def test_cluster_capacity_and_placement(self):
+        cluster = chameleon_cluster(4)
+        assert cluster.cores == 4 * CHAMELEON_NODE.cores
+        assert cluster.nodes_for(1) == 1
+        assert cluster.nodes_for(CHAMELEON_NODE.cores + 1) == 2
+        assert cluster.nodes_for(10_000) == 4
+
+    def test_registry_contains_paper_platforms(self):
+        for key in ("colab", "stolaf-vm", "chameleon-cluster", "raspberry-pi-4"):
+            assert key in PLATFORMS
+
+
+class TestWorkloadValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Workload("w", total_ops=0)
+        with pytest.raises(ValueError):
+            Workload("w", total_ops=1, serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            Workload("w", total_ops=1, imbalance=-0.1)
+
+
+class TestCostModel:
+    @pytest.fixture
+    def workload(self):
+        return Workload(
+            "bench",
+            total_ops=1e9,
+            serial_fraction=0.02,
+            messages=lambda p: 2.0 * (p - 1),
+            message_bytes=lambda p: 1e4 * (p - 1),
+        )
+
+    def test_one_process_time_is_serial_time(self, workload):
+        t = CostModel(ST_OLAF_VM).time(workload, 1)
+        assert t.comm_s == 0.0 and t.spawn_s == 0.0
+        assert t.total_s == pytest.approx(1e9 / ST_OLAF_VM.serial_rate)
+
+    def test_unicore_vm_never_speeds_up(self, workload):
+        model = CostModel(COLAB_VM)
+        t1 = model.time(workload, 1).total_s
+        for p in (2, 4, 8):
+            assert model.time(workload, p).total_s >= t1
+
+    def test_multicore_speeds_up_until_cores(self, workload):
+        model = CostModel(ST_OLAF_VM)
+        times = [model.time(workload, p).total_s for p in (1, 2, 4, 8, 16)]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_oversubscription_no_longer_helps_compute(self, workload):
+        model = CostModel(RASPBERRY_PI_4)  # 4 cores
+        t4 = model.time(workload, 4).total_s
+        t16 = model.time(workload, 16).total_s
+        assert t16 > t4  # only overhead grows past the core count
+
+    def test_imbalance_slows_the_busiest_rank(self):
+        base = Workload("w", total_ops=1e9, imbalance=0.0)
+        skew = Workload("w", total_ops=1e9, imbalance=0.5)
+        model = CostModel(ST_OLAF_VM)
+        assert model.time(skew, 8).total_s > model.time(base, 8).total_s
+        # no decomposition, no imbalance penalty at p=1
+        assert model.time(skew, 1).total_s == model.time(base, 1).total_s
+
+    def test_cluster_pays_network_once_it_spills(self, workload):
+        cluster = pi_beowulf_cluster(4)
+        model = CostModel(cluster)
+        within = model.time(workload, cluster.node.cores)
+        across = model.time(workload, cluster.node.cores + 1)
+        assert across.comm_s > within.comm_s
+
+    def test_sweep_matches_pointwise(self, workload):
+        model = CostModel(ST_OLAF_VM)
+        sweep = model.sweep(workload, [1, 2, 4])
+        assert [t.total_s for t in sweep] == [
+            model.time(workload, p).total_s for p in (1, 2, 4)
+        ]
+
+    def test_invalid_procs(self, workload):
+        with pytest.raises(ValueError):
+            CostModel(ST_OLAF_VM).time(workload, 0)
+
+    @FAST
+    @given(
+        procs=st.integers(1, 256),
+        serial=st.floats(0.0, 1.0),
+        ops=st.floats(1e3, 1e12),
+    )
+    def test_property_breakdown_components_nonnegative(self, procs, serial, ops):
+        w = Workload("w", total_ops=ops, serial_fraction=serial)
+        t = CostModel(ST_OLAF_VM).time(w, procs)
+        assert t.serial_s >= 0 and t.parallel_s >= 0
+        assert t.comm_s >= 0 and t.spawn_s >= 0
+        assert t.total_s > 0
+
+
+class TestSpeedupAnalysis:
+    def test_amdahl_limits(self):
+        assert amdahl_speedup(0.0, 8) == pytest.approx(8.0)
+        assert amdahl_speedup(1.0, 1000) == pytest.approx(1.0)
+        assert amdahl_speedup(0.05, 10**9) == pytest.approx(20.0, rel=1e-3)
+
+    def test_gustafson_exceeds_amdahl_for_scaled_problems(self):
+        assert gustafson_speedup(0.1, 64) > amdahl_speedup(0.1, 64)
+
+    def test_karp_flatt_recovers_serial_fraction(self):
+        f = 0.08
+        s = amdahl_speedup(f, 16)
+        assert karp_flatt_fraction(s, 16) == pytest.approx(f, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(-0.1, 4)
+        with pytest.raises(ValueError):
+            gustafson_speedup(0.5, 0)
+        with pytest.raises(ValueError):
+            karp_flatt_fraction(2.0, 1)
+
+    def test_scaling_study_columns(self):
+        study = ScalingStudy("m", "w", [1, 2, 4], [8.0, 4.0, 2.0])
+        assert study.speedups == [1.0, 2.0, 4.0]
+        assert study.efficiencies == [1.0, 1.0, 1.0]
+        assert study.max_speedup == 4.0
+        assert study.shows_speedup()
+        assert study.crossover_procs() is None
+
+    def test_crossover_detection(self):
+        study = ScalingStudy("m", "w", [1, 2, 4, 8], [8.0, 4.0, 3.0, 5.0])
+        assert study.crossover_procs() == 8
+
+    def test_study_requires_baseline(self):
+        with pytest.raises(ValueError, match="baseline"):
+            ScalingStudy("m", "w", [2, 4], [4.0, 2.0])
+
+    def test_study_validation(self):
+        with pytest.raises(ValueError):
+            ScalingStudy("m", "w", [1, 2], [1.0])
+        with pytest.raises(ValueError):
+            ScalingStudy("m", "w", [1], [0.0])
+
+    def test_format_table(self):
+        text = ScalingStudy("St. Olaf", "fire", [1, 2], [4.0, 2.1]).format_table()
+        assert "speedup" in text and "St. Olaf" in text
+
+
+class TestAccessGateway:
+    def test_three_strikes_bans_vnc_only(self):
+        g = AccessGateway(max_failures=3, ban_duration_s=600)
+        for t in range(3):
+            assert (
+                g.attempt("eager", Protocol.VNC, False, float(t))
+                is LoginOutcome.BAD_CREDENTIALS
+            )
+        assert g.is_blocked("eager", Protocol.VNC, 10.0)
+        assert not g.is_blocked("eager", Protocol.SSH, 10.0)
+        assert g.fallback_available("eager", 10.0)
+
+    def test_correct_login_during_ban_is_refused(self):
+        """The paper's incident: the now-correct VNC login still bounces."""
+        g = AccessGateway()
+        for t in range(3):
+            g.attempt("eager", Protocol.VNC, False, float(t))
+        assert g.attempt("eager", Protocol.VNC, True, 5.0) is LoginOutcome.BLOCKED
+
+    def test_ban_expires(self):
+        g = AccessGateway(ban_duration_s=100)
+        for t in range(3):
+            g.attempt("u", Protocol.VNC, False, float(t))
+        assert g.attempt("u", Protocol.VNC, True, 200.0) is LoginOutcome.SUCCESS
+
+    def test_success_resets_failure_count(self):
+        g = AccessGateway(max_failures=3)
+        g.attempt("u", Protocol.VNC, False, 0.0)
+        g.attempt("u", Protocol.VNC, False, 1.0)
+        g.attempt("u", Protocol.VNC, True, 2.0)
+        g.attempt("u", Protocol.VNC, False, 3.0)
+        g.attempt("u", Protocol.VNC, False, 4.0)
+        assert not g.is_blocked("u", Protocol.VNC, 5.0)
+
+    def test_ssh_failures_never_ban_by_default(self):
+        g = AccessGateway()
+        for t in range(10):
+            g.attempt("u", Protocol.SSH, False, float(t))
+        assert not g.is_blocked("u", Protocol.SSH, 20.0)
+
+    def test_audit_log_records_everything(self):
+        g = AccessGateway()
+        g.attempt("a", Protocol.SSH, True, 0.0)
+        g.attempt("b", Protocol.VNC, False, 1.0)
+        assert len(g.audit_log) == 2
+        assert g.audit_log[0].outcome is LoginOutcome.SUCCESS
+
+    def test_blocked_users_listing(self):
+        g = AccessGateway(max_failures=1)
+        g.attempt("x", Protocol.VNC, False, 0.0)
+        assert g.blocked_users(1.0) == [("x", Protocol.VNC)]
+
+    def test_users_are_independent(self):
+        g = AccessGateway(max_failures=1)
+        g.attempt("x", Protocol.VNC, False, 0.0)
+        assert g.attempt("y", Protocol.VNC, True, 1.0) is LoginOutcome.SUCCESS
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AccessGateway(max_failures=0)
+        with pytest.raises(ValueError):
+            AccessGateway(ban_duration_s=0)

@@ -1,0 +1,149 @@
+"""Shared-machine contention model and the OpenMP ordered construct."""
+
+import threading
+
+import pytest
+
+from repro.exemplars import forestfire_workload
+from repro.openmp import OrderedGate, parallel_for
+from repro.platforms import (
+    COLAB_VM,
+    ST_OLAF_VM,
+    SharedMachineModel,
+    Workload,
+    chameleon_cluster,
+)
+
+
+class TestSharedMachineModel:
+    @pytest.fixture
+    def workload(self):
+        return forestfire_workload(size=60, trials=40)
+
+    def test_one_learner_matches_solo_time(self, workload):
+        model = SharedMachineModel(ST_OLAF_VM)
+        point = model.job_time(workload, procs=8, concurrent_learners=1)
+        assert point.slowdown == 1.0
+
+    def test_slowdown_kicks_in_past_core_count(self, workload):
+        model = SharedMachineModel(ST_OLAF_VM)  # 64 cores
+        fine = model.job_time(workload, procs=8, concurrent_learners=8)
+        over = model.job_time(workload, procs=8, concurrent_learners=16)
+        assert fine.slowdown == 1.0  # 64 demanded on 64 cores
+        assert over.slowdown == 2.0  # 128 demanded on 64 cores
+        assert over.job_time_s > fine.job_time_s
+
+    def test_whole_workshop_fits_the_stolaf_vm_at_small_jobs(self, workload):
+        """The paper's sizing: 22 self-paced participants on 64 cores.
+
+        At 2 processes per learner even fully synchronous use stays within
+        1.5x of solo time — the configuration the workshop ran."""
+        model = SharedMachineModel(ST_OLAF_VM)
+        assert model.capacity(workload, procs=2, max_slowdown=1.5) >= 22
+
+    def test_colab_is_single_user_by_design(self, workload):
+        """Each Colab learner gets their own VM; on any *shared* unicore
+        machine a second concurrent job already halves throughput."""
+        model = SharedMachineModel(COLAB_VM)
+        point = model.job_time(workload, procs=1, concurrent_learners=2)
+        assert point.slowdown == 2.0
+
+    def test_cluster_capacity_scales_with_nodes(self, workload):
+        small = SharedMachineModel(chameleon_cluster(2))
+        large = SharedMachineModel(chameleon_cluster(8))
+        assert large.capacity(workload, procs=8) > small.capacity(workload, procs=8)
+
+    def test_capacity_validation(self, workload):
+        model = SharedMachineModel(ST_OLAF_VM)
+        with pytest.raises(ValueError):
+            model.capacity(workload, procs=4, max_slowdown=0.5)
+        with pytest.raises(ValueError):
+            model.job_time(workload, procs=4, concurrent_learners=0)
+
+    def test_format_table(self, workload):
+        model = SharedMachineModel(ST_OLAF_VM)
+        text = model.format_table(workload, procs=8, learner_counts=[1, 8, 22])
+        assert "learners" in text and "slowdown" in text
+        assert len(text.splitlines()) == 5
+
+
+class TestOrderedGate:
+    def test_sections_run_in_iteration_order(self):
+        n = 40
+        gate = OrderedGate(n)
+        log = []
+
+        def body(i):
+            # concurrent part: nothing to do
+            with gate.turn(i):
+                log.append(i)
+
+        parallel_for(n, body, num_threads=4, schedule="dynamic", chunk=3)
+        assert log == list(range(n))
+        assert gate.finished()
+
+    def test_order_holds_under_reverse_friendly_schedules(self):
+        n = 25
+        gate = OrderedGate(n)
+        log = []
+
+        def body(i):
+            with gate.turn(i):
+                log.append(i)
+
+        parallel_for(n, body, num_threads=3, schedule="static", chunk=1)
+        assert log == list(range(n))
+
+    def test_out_of_range_rejected(self):
+        gate = OrderedGate(3)
+        with pytest.raises(ValueError):
+            with gate.turn(3):
+                pass
+
+    def test_repeat_turn_rejected(self):
+        gate = OrderedGate(2)
+        with gate.turn(0):
+            pass
+        with pytest.raises(RuntimeError, match="already ran"):
+            with gate.turn(0):
+                pass
+
+    def test_exception_inside_section_still_releases(self):
+        gate = OrderedGate(2)
+        with pytest.raises(KeyError):
+            with gate.turn(0):
+                raise KeyError("boom")
+        # iteration 1 must still be admitted
+        with gate.turn(1):
+            pass
+        assert gate.finished()
+
+    def test_completed_counter(self):
+        gate = OrderedGate(5)
+        assert gate.completed == 0
+        with gate.turn(0):
+            pass
+        assert gate.completed == 1
+
+    def test_concurrent_workers_blocked_until_turn(self):
+        gate = OrderedGate(2)
+        order = []
+        started = threading.Event()
+
+        def late_zero():
+            started.wait()
+            with gate.turn(0):
+                order.append(0)
+
+        def eager_one():
+            started.set()
+            with gate.turn(1):  # must wait for 0 even though it arrives first
+                order.append(1)
+
+        t1 = threading.Thread(target=eager_one)
+        t0 = threading.Thread(target=late_zero)
+        t1.start()
+        t0.start()
+        t0.join()
+        t1.join()
+        assert order == [0, 1]

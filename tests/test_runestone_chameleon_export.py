@@ -1,0 +1,94 @@
+"""Chameleon Jupyter notebook and .ipynb export."""
+
+import json
+
+import pytest
+
+from repro.runestone import build_chameleon_notebook, build_mpi_colab_notebook
+
+
+class TestChameleonNotebook:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        nb = build_chameleon_notebook(np=3, trials=6, size=13)
+        return nb, nb.run_all()
+
+    def test_all_cells_succeed(self, executed):
+        _nb, results = executed
+        failures = [(r.cell_index, r.error) for r in results if not r.ok]
+        assert not failures
+
+    def test_fire_sweep_covers_all_probabilities(self, executed):
+        _nb, results = executed
+        fire = [r for r in results if r.kind == "mpirun"][0]
+        assert fire.stdout.count("% burned") == 10
+        assert "prob 1.0: 100.0% burned" in fire.stdout
+
+    def test_fire_matches_direct_sequential_run(self, executed):
+        from repro.exemplars import fire_curve_seq
+
+        _nb, results = executed
+        fire = [r for r in results if r.kind == "mpirun"][0]
+        reference = fire_curve_seq(trials=6, size=13, seed=2020)
+        first_line = fire.stdout.splitlines()[0]
+        assert f"{100 * reference.points[0].avg_burned:5.1f}% burned" in first_line
+
+    def test_speedup_cell_prints_cluster_study(self, executed):
+        _nb, results = executed
+        python_cells = [r for r in results if r.kind == "python"]
+        study_out = python_cells[0].stdout
+        assert "Chameleon cluster" in study_out
+        assert "speedup" in study_out
+
+    def test_drug_design_cell(self, executed):
+        _nb, results = executed
+        drug = [r for r in results if r.kind == "mpirun"][1]
+        assert "max score" in drug.stdout
+
+
+class TestIpynbExport:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        nb = build_mpi_colab_notebook(np=4)
+        results = nb.run_all()
+        return nb.to_ipynb(results)
+
+    def test_nbformat_envelope(self, doc):
+        assert doc["nbformat"] == 4
+        assert doc["metadata"]["kernelspec"]["language"] == "python"
+
+    def test_cell_types_preserved(self, doc):
+        kinds = {c["cell_type"] for c in doc["cells"]}
+        assert kinds == {"markdown", "code"}
+
+    def test_outputs_attached_to_executed_cells(self, doc):
+        greet = [
+            c
+            for c in doc["cells"]
+            if c["cell_type"] == "code"
+            and any(
+                "Greetings" in "".join(o.get("text", []))
+                for o in c.get("outputs", [])
+            )
+        ]
+        assert len(greet) == 1
+        text = "".join(greet[0]["outputs"][0]["text"])
+        assert text.count("Greetings from process") == 4
+
+    def test_export_without_results_has_no_outputs(self):
+        nb = build_mpi_colab_notebook(np=2)
+        doc = nb.to_ipynb()
+        assert all(not c.get("outputs") for c in doc["cells"] if c["cell_type"] == "code")
+
+    def test_round_trips_through_json(self, doc, tmp_path):
+        nb = build_mpi_colab_notebook(np=4)
+        path = nb.save_ipynb(tmp_path / "out.ipynb", nb.run_all())
+        loaded = json.loads(path.read_text())
+        assert loaded["nbformat"] == 4
+        assert len(loaded["cells"]) == len(nb.cells)
+
+    def test_source_lines_keep_newlines(self, doc):
+        for cell in doc["cells"]:
+            source = cell["source"]
+            if len(source) > 1:
+                assert all(line.endswith("\n") for line in source[:-1])

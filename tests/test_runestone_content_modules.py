@@ -1,0 +1,104 @@
+"""The actual handout content: structure, pacing, and the Fig. 1 question."""
+
+import pytest
+
+from repro.patternlets import get_patternlet
+from repro.runestone import (
+    RACE_CONDITION_QUESTION,
+    build_raspberry_pi_module,
+    render_section_text,
+    render_text,
+)
+from repro.runestone.content import Video
+from repro.runestone.module import HandsOnActivity
+
+
+@pytest.fixture(scope="module")
+def module():
+    return build_raspberry_pi_module()
+
+
+class TestFig1RaceConditionPage:
+    def test_question_id_matches_figure(self):
+        assert RACE_CONDITION_QUESTION.activity_id == "sp_mc_2"
+
+    def test_correct_answer_is_c(self):
+        assert RACE_CONDITION_QUESTION.correct_label == "C"
+        assert RACE_CONDITION_QUESTION.grade("C").correct
+
+    def test_distractors_have_targeted_feedback(self):
+        a = RACE_CONDITION_QUESTION.grade("A")
+        b = RACE_CONDITION_QUESTION.grade("B")
+        assert "critical section" in a.feedback
+        assert "lock" in b.feedback
+
+    def test_section_23_structure_matches_figure(self, module):
+        section = module.find_section("2.3")
+        assert section.title == "Race Conditions"
+        videos = [b for b in section.blocks if isinstance(b, Video)]
+        assert len(videos) == 1
+        assert videos[0].duration_label == "2:02"  # visible in the screenshot
+        assert RACE_CONDITION_QUESTION in section.blocks
+
+    def test_rendered_view_contains_figure_text(self, module):
+        out = render_section_text(module.find_section("2.3"))
+        assert "The following video will help you understand" in out
+        assert "Q-2: What is a race condition?" in out
+        assert "Activity: sp_mc_2" in out
+
+
+class TestHandoutStructure:
+    def test_four_chapters(self, module):
+        titles = [c.title for c in module.chapters]
+        assert len(titles) == 4
+        assert titles[0].startswith("Setting Up")
+
+    def test_pacing_matches_paper_design(self, module):
+        """30 min concepts + 60 min hands-on + 30 min exemplars = 2 hours."""
+        chapters = {c.title: c.minutes for c in module.chapters}
+        assert chapters["Processes, Threads, and Multicore Systems"] == 30
+        assert chapters["Exploring the Patternlets"] == 60
+        assert chapters["Exemplars and a Benchmarking Study"] == 30
+        assert module.session_minutes == 120
+        assert module.fits_lab_period()
+
+    def test_setup_is_prework_with_videos(self, module):
+        setup = module.chapters[0]
+        assert setup.pre_work
+        videos = [
+            b
+            for s in setup.sections
+            for b in s.blocks
+            if isinstance(b, Video)
+        ]
+        assert len(videos) == 3  # the three walkthrough videos
+        covered = {issue for v in videos for issue in v.covers_issues}
+        assert "vnc-setup" in covered and "no-boot" in covered
+
+    def test_every_activity_references_a_real_patternlet(self, module):
+        for activity in module.all_activities():
+            patternlet = get_patternlet(activity.paradigm, activity.patternlet)
+            result = patternlet.run(
+                **({"iterations": 500} if activity.patternlet == "race" else {})
+            )
+            for key in activity.expected:
+                assert key in result.values, (activity.title, key)
+
+    def test_hands_on_hour_walks_the_race_arc(self, module):
+        names = [
+            a.patternlet
+            for s in module.chapters[2].sections
+            for a in s.activities
+        ]
+        for required in ("race", "critical", "atomic", "reduction"):
+            assert required in names
+
+    def test_questions_all_gradeable_and_unique(self, module):
+        ids = [q.activity_id for q in module.all_questions()]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 7
+
+    def test_full_render_is_complete(self, module):
+        out = render_text(module)
+        for section in module.all_sections():
+            assert f"{section.number} {section.title}" in out

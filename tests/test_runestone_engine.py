@@ -1,0 +1,215 @@
+"""Runestone engine: questions, modules, progress, rendering."""
+
+import pytest
+
+from repro.runestone import (
+    Callout,
+    Chapter,
+    Choice,
+    CodeListing,
+    DragAndDrop,
+    FillInTheBlank,
+    Gradebook,
+    HandsOnActivity,
+    LearnerProgress,
+    Module,
+    MultipleChoice,
+    OrderingProblem,
+    Section,
+    Text,
+    Video,
+    render_html,
+    render_section_text,
+    render_text,
+)
+
+
+def tiny_module() -> Module:
+    mc = MultipleChoice(
+        activity_id="q1",
+        prompt="Pick B.",
+        choices=(Choice("A", "no"), Choice("B", "yes", feedback="well done")),
+        correct_label="B",
+    )
+    fib = FillInTheBlank(
+        activity_id="q2", prompt="2+2?", numeric_answer=4, tolerance=0
+    )
+    section1 = Section("1.1", "Intro", minutes=5).add(Text("welcome"), mc)
+    section2 = Section("1.2", "More", minutes=7).add(fib)
+    return Module("tiny", "Tiny Module", "testers").add(
+        Chapter(1, "Only Chapter").add(section1).add(section2)
+    )
+
+
+class TestQuestionGrading:
+    def test_multiple_choice_correct_and_feedback(self):
+        q = tiny_module().find_question("q1")
+        result = q.grade("B")
+        assert result.correct and result.score == 1.0
+        assert result.feedback == "well done"
+
+    def test_multiple_choice_wrong_and_unknown(self):
+        q = tiny_module().find_question("q1")
+        assert not q.grade("A").correct
+        bogus = q.grade("Z")
+        assert not bogus.correct and "not one of the options" in bogus.feedback
+
+    def test_multiple_choice_case_insensitive(self):
+        assert tiny_module().find_question("q1").grade(" b ").correct
+
+    def test_mc_validation(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MultipleChoice("x", "p", (Choice("A", "1"), Choice("A", "2")), "A")
+        with pytest.raises(ValueError, match="correct label"):
+            MultipleChoice("x", "p", (Choice("A", "1"),), "Q")
+
+    def test_fill_in_blank_numeric_tolerance(self):
+        q = FillInTheBlank("f", "pi?", numeric_answer=3.14159, tolerance=0.01)
+        assert q.grade(3.14).correct
+        assert q.grade("3.141").correct  # numeric strings accepted
+        assert not q.grade(3.2).correct
+        assert not q.grade("not a number").correct
+
+    def test_fill_in_blank_regex(self):
+        q = FillInTheBlank("f", "keyword?", answer_pattern=r"critical( section)?")
+        assert q.grade("Critical Section").correct
+        assert q.grade("critical").correct
+        assert not q.grade("atomic").correct
+
+    def test_drag_and_drop_partial_credit(self):
+        q = DragAndDrop(
+            "d", "match", pairs=(("a", "1"), ("b", "2"), ("c", "3"), ("d", "4"))
+        )
+        half = q.grade({"a": "1", "b": "2", "c": "4", "d": "3"})
+        assert not half.correct and half.score == 0.5
+        assert q.grade(dict(q.pairs)).correct
+
+    def test_drag_and_drop_validation(self):
+        with pytest.raises(ValueError):
+            DragAndDrop("d", "p", pairs=())
+        with pytest.raises(ValueError):
+            DragAndDrop("d", "p", pairs=(("a", "1"), ("a", "2")))
+
+    def test_ordering_problem(self):
+        q = OrderingProblem("o", "order", steps=("fork", "work", "join"))
+        assert q.grade(["fork", "work", "join"]).correct
+        partial = q.grade(["fork", "join", "work"])
+        assert not partial.correct and partial.score == pytest.approx(1 / 3)
+        wrong_set = q.grade(["fork", "fork", "join"])
+        assert wrong_set.score == 0.0
+
+    def test_grade_result_validation(self):
+        from repro.runestone.questions import GradeResult
+
+        with pytest.raises(ValueError):
+            GradeResult("x", True, "f", score=1.5)
+
+
+class TestModuleStructure:
+    def test_lookup_and_counts(self):
+        m = tiny_module()
+        assert len(m.all_questions()) == 2
+        assert m.find_section("1.2").title == "More"
+        with pytest.raises(KeyError):
+            m.find_question("missing")
+        with pytest.raises(KeyError):
+            m.find_section("9.9")
+
+    def test_pacing_arithmetic(self):
+        m = tiny_module()
+        assert m.total_minutes == 12
+        assert m.fits_lab_period()
+
+    def test_prework_excluded_from_session(self):
+        m = Module("m", "M", "a", target_minutes=10)
+        m.add(Chapter(1, "setup", pre_work=True).add(Section("1.1", "s", minutes=60)))
+        m.add(Chapter(2, "lab").add(Section("2.1", "t", minutes=9)))
+        assert m.session_minutes == 9
+        assert m.prework_minutes == 60
+        assert m.fits_lab_period(slack_minutes=0)
+
+    def test_activities_collected(self):
+        s = Section("1.1", "x").add(
+            HandsOnActivity("run it", "openmp", "spmd", "go")
+        )
+        m = Module("m", "M", "a").add(Chapter(1, "c").add(s))
+        assert len(m.all_activities()) == 1
+
+
+class TestProgressAndGradebook:
+    def test_submit_records_attempts(self):
+        lp = LearnerProgress("zed", tiny_module())
+        assert not lp.submit("q1", "A").correct
+        assert lp.submit("q1", "B").correct
+        assert len(lp.attempts_for("q1")) == 2
+        assert lp.eventually_correct("q1")
+        assert not lp.eventually_correct("q2")
+
+    def test_completion_fraction(self):
+        lp = LearnerProgress("zed", tiny_module())
+        assert lp.completion_fraction == 0.0
+        lp.complete_section("1.1")
+        assert lp.completion_fraction == 0.5
+        lp.complete_section("1.2", minutes=3.5)
+        assert lp.finished()
+        assert lp.minutes_spent == pytest.approx(8.5)
+
+    def test_question_score_uses_best_attempt(self):
+        lp = LearnerProgress("zed", tiny_module())
+        lp.submit("q1", "A")
+        lp.submit("q1", "B")
+        assert lp.question_score == pytest.approx(0.5)  # q2 unattempted
+
+    def test_unknown_section_rejected(self):
+        lp = LearnerProgress("zed", tiny_module())
+        with pytest.raises(KeyError):
+            lp.complete_section("3.1")
+
+    def test_gradebook_rates_and_hardest(self):
+        gb = Gradebook(tiny_module())
+        a = gb.enroll("a")
+        b = gb.enroll("b")
+        with pytest.raises(ValueError):
+            gb.enroll("a")
+        for lp, first in ((a, "B"), (b, "A")):
+            lp.submit("q1", first)
+            lp.submit("q2", 4)
+            for s in ("1.1", "1.2"):
+                lp.complete_section(s)
+        assert gb.completion_rate() == 1.0
+        hardest = gb.hardest_questions()
+        assert hardest[0][0] == "q1" and hardest[0][1] == 0.5
+        assert gb.mean_minutes() == pytest.approx(12.0)
+
+
+class TestRendering:
+    def test_text_render_includes_all_blocks(self):
+        s = Section("2.3", "Race Conditions").add(
+            Text("watch this"),
+            Video("races", duration_s=122),
+            CodeListing("c", "int x;"),
+            Callout("tip", "be careful"),
+        )
+        out = render_section_text(s)
+        assert "2.3 Race Conditions" in out
+        assert "(2:02)" in out  # the Fig. 1 video duration format
+        assert "[TIP]" in out and "int x;" in out
+
+    def test_module_text_render(self):
+        out = render_text(tiny_module())
+        assert "Tiny Module" in out and "Check me" in out
+
+    def test_html_render_is_wellformed_enough(self):
+        html_out = render_html(tiny_module())
+        assert html_out.startswith("<!DOCTYPE html>")
+        assert html_out.count("<h3") == 2
+        assert 'input type="radio"' in html_out
+        assert "&lt;" not in render_text(tiny_module())  # text stays unescaped
+
+    def test_html_escapes_content(self):
+        m = Module("m", "<script>", "a").add(
+            Chapter(1, "c").add(Section("1.1", "s").add(Text("<b>bold</b>")))
+        )
+        out = render_html(m)
+        assert "<script>" not in out
+        assert "&lt;b&gt;" in out

@@ -1,0 +1,130 @@
+"""Notebook emulation: writefile/mpirun cells and the Colab patternlets."""
+
+import pytest
+
+from repro.runestone import Notebook, build_mpi_colab_notebook
+from repro.runestone.modules.mpi_colab import SPMD_CELL_SOURCE, SPMD_RUN_COMMAND
+
+
+class TestNotebookMechanics:
+    def test_writefile_stores_virtual_file(self):
+        nb = Notebook("t")
+        nb.code("%%writefile hello.py\nprint('hi')\n")
+        result = nb.run_cell(0)
+        assert result.ok and result.kind == "writefile"
+        assert "print('hi')" in nb.files["hello.py"]
+
+    def test_mpirun_cell_executes_saved_file(self):
+        nb = Notebook("t")
+        nb.code(
+            "%%writefile r.py\nfrom mpi4py import MPI\n"
+            "print('rank', MPI.COMM_WORLD.Get_rank())\n"
+        )
+        nb.code("! mpirun -np 3 python r.py")
+        results = nb.run_all()
+        assert all(r.ok for r in results)
+        lines = sorted(results[1].stdout.splitlines())
+        assert lines == ["rank 0", "rank 1", "rank 2"]
+
+    def test_mpirun_before_writefile_errors(self):
+        nb = Notebook("t")
+        nb.code("! mpirun -np 2 python missing.py")
+        result = nb.run_cell(0)
+        assert not result.ok
+        assert "write it first" in result.error
+
+    def test_plain_python_cells_share_namespace(self):
+        nb = Notebook("t")
+        nb.code("x = 21")
+        nb.code("print(x * 2)")
+        results = nb.run_all()
+        assert results[1].stdout == "42"
+
+    def test_python_error_captured_not_raised(self):
+        nb = Notebook("t")
+        nb.code("1 / 0")
+        result = nb.run_cell(0)
+        assert not result.ok and "ZeroDivisionError" in result.error
+
+    def test_markdown_cells_are_inert(self):
+        nb = Notebook("t").md("# title")
+        assert nb.run_cell(0).kind == "markdown"
+
+    def test_unsupported_shell_command_rejected(self):
+        nb = Notebook("t")
+        nb.code("! rm -rf /")
+        result = nb.run_cell(0)
+        assert not result.ok and "only supports mpirun" in result.error
+
+    def test_malformed_writefile_rejected(self):
+        nb = Notebook("t")
+        nb.code("%%writefile\nprint(1)\n")
+        assert not nb.run_cell(0).ok
+
+    def test_rewriting_file_overwrites(self):
+        nb = Notebook("t")
+        nb.code("%%writefile a.py\nprint(1)\n")
+        nb.code("%%writefile a.py\nprint(2)\n")
+        nb.code("! mpirun -np 1 python a.py")
+        results = nb.run_all()
+        assert results[2].stdout == "2"
+
+
+class TestColabPatternletsNotebook:
+    @pytest.fixture(scope="class")
+    def executed(self):
+        nb = build_mpi_colab_notebook(np=4)
+        return nb, nb.run_all()
+
+    def test_every_cell_succeeds(self, executed):
+        _nb, results = executed
+        failures = [(r.cell_index, r.error) for r in results if not r.ok]
+        assert not failures
+
+    def test_figure2_spmd_output(self, executed):
+        _nb, results = executed
+        spmd = next(r for r in results if r.kind == "mpirun")
+        lines = spmd.stdout.splitlines()
+        assert len(lines) == 4
+        assert all(l.startswith("Greetings from process") for l in lines)
+        assert {int(l.split()[3]) for l in lines} == {0, 1, 2, 3}
+
+    def test_figure2_cell_text_matches_paper(self):
+        assert "%%writefile 00spmd.py" in SPMD_CELL_SOURCE
+        assert "Greetings from process {} of {} on {}" in SPMD_CELL_SOURCE
+        assert "--allow-run-as-root" in SPMD_RUN_COMMAND
+
+    def test_notebook_covers_core_patterns(self, executed):
+        nb, _results = executed
+        saved = set(nb.files)
+        assert {
+            "00spmd.py",
+            "01sendReceive.py",
+            "02ring.py",
+            "03broadcast.py",
+            "04scatterGather.py",
+            "05reduce.py",
+            "06parallelLoop.py",
+        } <= saved
+
+    def test_ring_made_it_round(self, executed):
+        _nb, results = executed
+        ring = [r for r in results if r.kind == "mpirun"][2]
+        assert "Token made it around the ring: [0, 1, 2, 3]" in ring.stdout
+
+    def test_reduce_total(self, executed):
+        _nb, results = executed
+        reduce_cell = [r for r in results if r.kind == "mpirun"][5]
+        assert "Sum of all ranks: 6" in reduce_cell.stdout
+
+    def test_parallel_loop_total(self, executed):
+        _nb, results = executed
+        loop_cell = [r for r in results if r.kind == "mpirun"][6]
+        assert f"is {sum(i * i for i in range(1000))}" in loop_cell.stdout
+
+    def test_runs_at_other_process_counts(self):
+        nb = build_mpi_colab_notebook(np=3)
+        results = nb.run_all()
+        assert all(r.ok for r in results)
+        spmd = next(r for r in results if r.kind == "mpirun")
+        assert len(spmd.stdout.splitlines()) == 3

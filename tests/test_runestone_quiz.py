@@ -1,0 +1,105 @@
+"""Quiz building and grading from a module's question bank."""
+
+import pytest
+
+from repro.runestone import (
+    build_distributed_module,
+    build_quiz,
+    build_raspberry_pi_module,
+)
+
+
+@pytest.fixture(scope="module")
+def pi_module():
+    return build_raspberry_pi_module()
+
+
+class TestBuildQuiz:
+    def test_samples_k_distinct_questions(self, pi_module):
+        quiz = build_quiz(pi_module, k=4, seed=1)
+        ids = quiz.question_ids()
+        assert len(ids) == 4
+        assert len(set(ids)) == 4
+
+    def test_reproducible_for_seed(self, pi_module):
+        a = build_quiz(pi_module, k=5, seed=9)
+        b = build_quiz(pi_module, k=5, seed=9)
+        assert a.question_ids() == b.question_ids()
+
+    def test_different_seeds_differ(self, pi_module):
+        samples = {
+            tuple(build_quiz(pi_module, k=4, seed=s).question_ids())
+            for s in range(10)
+        }
+        assert len(samples) > 1
+
+    def test_k_larger_than_bank_rejected(self, pi_module):
+        with pytest.raises(ValueError, match="cannot build"):
+            build_quiz(pi_module, k=999)
+
+    def test_k_zero_rejected(self, pi_module):
+        with pytest.raises(ValueError):
+            build_quiz(pi_module, k=0)
+
+    def test_works_on_both_modules(self):
+        quiz = build_quiz(build_distributed_module(), k=3, seed=2)
+        assert len(quiz) == 3
+
+
+class TestQuizAttempt:
+    def test_full_correct_submission(self, pi_module):
+        quiz = build_quiz(pi_module, k=len(pi_module.all_questions()), seed=0)
+        attempt = quiz.start("sam")
+        answers = {
+            "sp_mc_1": "C",
+            "sp_mc_2": "C",
+            "sp_mc_3": "B",
+            "sp_mc_4": "B",
+            "sp_fib_1": 4,
+            "sp_fib_2": 3.14,
+            "sp_dnd_1": {
+                "process": "an executing program with its own address space",
+                "thread": "an execution stream sharing its process's memory",
+                "core": "a hardware unit that executes one stream at a time",
+            },
+        }
+        attempt.submit_all(answers)
+        assert attempt.complete
+        assert attempt.score == 1.0
+
+    def test_partial_score(self, pi_module):
+        quiz = build_quiz(pi_module, k=2, seed=3)
+        attempt = quiz.start("sam")
+        first = quiz.questions[0]
+        # answer only the first question, deliberately wrong where possible
+        from repro.runestone.questions import FillInTheBlank, MultipleChoice
+
+        if isinstance(first, MultipleChoice):
+            attempt.answer(first.activity_id, first.correct_label)
+        elif isinstance(first, FillInTheBlank):
+            attempt.answer(first.activity_id, first.numeric_answer)
+        else:
+            attempt.answer(first.activity_id, dict(first.pairs))
+        assert not attempt.complete
+        assert attempt.score == pytest.approx(0.5)
+
+    def test_reanswer_replaces_grade(self, pi_module):
+        quiz = build_quiz(pi_module, k=len(pi_module.all_questions()), seed=0)
+        attempt = quiz.start("sam")
+        attempt.answer("sp_mc_2", "A")
+        assert attempt.results["sp_mc_2"].correct is False
+        attempt.answer("sp_mc_2", "C")
+        assert attempt.results["sp_mc_2"].correct is True
+
+    def test_off_quiz_question_rejected(self, pi_module):
+        quiz = build_quiz(pi_module, k=1, seed=0)
+        attempt = quiz.start("sam")
+        with pytest.raises(KeyError):
+            attempt.answer("definitely-not-on-quiz", "A")
+
+    def test_feedback_in_quiz_order(self, pi_module):
+        quiz = build_quiz(pi_module, k=len(pi_module.all_questions()), seed=0)
+        attempt = quiz.start("sam")
+        attempt.answer("sp_mc_2", "B")
+        fb = attempt.feedback()
+        assert fb and fb[0][0] in quiz.question_ids()

@@ -1,0 +1,147 @@
+"""Module linter: the shipped modules are clean; broken modules are caught."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runestone import (
+    Chapter,
+    Choice,
+    FillInTheBlank,
+    HandsOnActivity,
+    Module,
+    MultipleChoice,
+    Section,
+    Video,
+    build_distributed_module,
+    build_raspberry_pi_module,
+    validate_module,
+)
+from repro.runestone.questions import DragAndDrop, OrderingProblem
+
+FAST = settings(max_examples=40, deadline=None)
+
+
+def errors(findings):
+    return [f for f in findings if f.level == "error"]
+
+
+class TestShippedModulesAreClean:
+    @pytest.mark.parametrize(
+        "builder", [build_raspberry_pi_module, build_distributed_module]
+    )
+    def test_no_errors(self, builder):
+        findings = validate_module(builder(), run_activities=True)
+        assert not errors(findings), [str(f) for f in errors(findings)]
+
+    @pytest.mark.parametrize(
+        "builder", [build_raspberry_pi_module, build_distributed_module]
+    )
+    def test_no_warnings_either(self, builder):
+        findings = validate_module(builder())
+        assert not findings, [str(f) for f in findings]
+
+
+class TestLinterCatchesMistakes:
+    def _module_with(self, *blocks, minutes=10):
+        return Module("broken", "Broken", "test").add(
+            Chapter(1, "c").add(Section("1.1", "s", minutes=minutes).add(*blocks))
+        )
+
+    def test_empty_module(self):
+        findings = validate_module(Module("empty", "Empty", "t"))
+        assert any("no chapters" in f.message for f in errors(findings))
+
+    def test_duplicate_section_numbers(self):
+        module = Module("dup", "Dup", "t").add(
+            Chapter(1, "c")
+            .add(Section("1.1", "a", minutes=5))
+            .add(Section("1.1", "b", minutes=5))
+        )
+        findings = validate_module(module)
+        assert any("duplicate section" in f.message for f in errors(findings))
+
+    def test_duplicate_activity_ids(self):
+        q = MultipleChoice(
+            "same", "p", (Choice("A", "x", feedback="f"), Choice("B", "y")), "A"
+        )
+        module = self._module_with(q, q)
+        findings = validate_module(module)
+        assert any("duplicate question" in f.message for f in errors(findings))
+
+    def test_nonpositive_minutes(self):
+        module = self._module_with(minutes=0)
+        findings = validate_module(module)
+        assert any("non-positive pacing" in f.message for f in errors(findings))
+
+    def test_overlong_session_warns(self):
+        module = self._module_with(minutes=500)
+        findings = validate_module(module)
+        assert any("beyond" in f.message for f in findings)
+        assert not errors(findings)
+
+    def test_blank_without_answer_spec(self):
+        bad = FillInTheBlank("b1", "prompt?")
+        findings = validate_module(self._module_with(bad))
+        assert any("neither a numeric answer" in f.message for f in errors(findings))
+
+    def test_correct_choice_without_feedback_warns(self):
+        q = MultipleChoice("m1", "p", (Choice("A", "x"), Choice("B", "y")), "A")
+        findings = validate_module(self._module_with(q))
+        assert any("no feedback" in f.message for f in findings)
+
+    def test_unknown_patternlet(self):
+        activity = HandsOnActivity("bad", "mpi", "teleportation", "go", ("x",))
+        findings = validate_module(self._module_with(activity))
+        assert any("unknown patternlet" in f.message for f in errors(findings))
+
+    def test_wrong_expected_key_caught_only_when_running(self):
+        activity = HandsOnActivity("bad", "mpi", "spmd", "go", ("no_such_key",))
+        module = self._module_with(activity)
+        assert not errors(validate_module(module, run_activities=False))
+        findings = validate_module(module, run_activities=True)
+        assert any("no_such_key" in f.message for f in errors(findings))
+
+    def test_long_video_warns(self):
+        video = Video("epic lecture", duration_s=40 * 60)
+        findings = validate_module(self._module_with(video))
+        assert any("favor short videos" in f.message for f in findings)
+
+
+class TestQuestionGradingProperties:
+    @FAST
+    @given(data=st.data())
+    def test_drag_and_drop_score_counts_exact_matches(self, data):
+        n = data.draw(st.integers(1, 6))
+        pairs = tuple((f"t{i}", f"d{i}") for i in range(n))
+        question = DragAndDrop("dd", "match", pairs=pairs)
+        # permute the answers arbitrarily
+        perm = data.draw(st.permutations(list(range(n))))
+        answer = {f"t{i}": f"d{perm[i]}" for i in range(n)}
+        result = question.grade(answer)
+        exact = sum(1 for i in range(n) if perm[i] == i)
+        assert result.score == pytest.approx(exact / n)
+        assert result.correct == (exact == n)
+
+    @FAST
+    @given(data=st.data())
+    def test_ordering_score_counts_fixed_points(self, data):
+        n = data.draw(st.integers(2, 7))
+        steps = tuple(f"s{i}" for i in range(n))
+        question = OrderingProblem("op", "order", steps=steps)
+        perm = data.draw(st.permutations(list(steps)))
+        result = question.grade(list(perm))
+        fixed = sum(1 for a, b in zip(perm, steps) if a == b)
+        assert result.score == pytest.approx(fixed / n)
+
+    @FAST
+    @given(
+        answer=st.floats(-1e6, 1e6),
+        target=st.floats(-100, 100),
+        tolerance=st.floats(0, 10),
+    )
+    def test_numeric_blank_tolerance_is_symmetric(self, answer, target, tolerance):
+        question = FillInTheBlank(
+            "fb", "?", numeric_answer=target, tolerance=tolerance
+        )
+        assert question.grade(answer).correct == (abs(answer - target) <= tolerance)
