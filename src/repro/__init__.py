@@ -6,6 +6,8 @@ The package rebuilds the paper's teaching-materials system from scratch:
 * :mod:`repro.mpi` — an in-process MPI with the mpi4py API (thread-per-rank
   runtime, real collective algorithms, ``mpirun`` emulation);
 * :mod:`repro.openmp` — an OpenMP-style shared-memory runtime on threads;
+* :mod:`repro.analysis` — a happens-before race detector and an MPI
+  correctness checker over the two runtimes (``repro analyze``);
 * :mod:`repro.patternlets` — the patternlet catalog for both paradigms;
 * :mod:`repro.exemplars` — numerical integration, drug design, forest fire;
 * :mod:`repro.platforms` — Raspberry Pi / Colab / Chameleon / St. Olaf VM

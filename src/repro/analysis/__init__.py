@@ -1,0 +1,39 @@
+"""Dynamic analysis for the teaching runtimes.
+
+Two engines, one reporting layer:
+
+* :mod:`repro.analysis.race` — a happens-before data-race detector for the
+  ``repro.openmp`` runtime (vector clocks with FastTrack-style per-location
+  epochs, plus an Eraser-style lockset fallback);
+* :mod:`repro.analysis.mpicheck` — an MPI correctness checker for
+  ``repro.mpi`` (wait-for-graph deadlock cycles, message type/count
+  mismatches, collective-ordering violations, finalize-time leak checks);
+* :mod:`repro.analysis.diagnostics` — the shared :class:`Diagnostic` /
+  :class:`AnalysisReport` structures both engines emit, renderable as text
+  or JSON.
+
+The CLI front door is ``python -m repro analyze <patternlet>``
+(:mod:`repro.analysis.runner`).
+"""
+
+from .diagnostics import ERROR, INFO, WARNING, AnalysisReport, Diagnostic
+from .mpicheck import MPIChecker, check_run, mpi_checker
+from .race import RaceDetector, TrackedVar, instrument, race_detector
+from .runner import ANALYZE_PARAMS, analyze
+
+__all__ = [
+    "AnalysisReport",
+    "Diagnostic",
+    "ERROR",
+    "WARNING",
+    "INFO",
+    "RaceDetector",
+    "TrackedVar",
+    "instrument",
+    "race_detector",
+    "MPIChecker",
+    "mpi_checker",
+    "check_run",
+    "analyze",
+    "ANALYZE_PARAMS",
+]

@@ -1,0 +1,132 @@
+"""Structured diagnostics shared by both analysis engines.
+
+Every finding — a data race, a deadlock cycle, a mismatched collective —
+is a :class:`Diagnostic` record.  An engine run produces an
+:class:`AnalysisReport` that renders either as a readable text report (what
+``repro analyze`` prints) or as JSON (``--json``), so graders and tests can
+consume the same artifact the student reads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Diagnostic", "AnalysisReport", "ERROR", "WARNING", "INFO"]
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+
+_SEVERITY_RANK = {ERROR: 0, WARNING: 1, INFO: 2}
+
+
+@dataclass
+class Diagnostic:
+    """One correctness finding.
+
+    ``kind`` is a stable machine-readable category (``data-race``,
+    ``deadlock``, ``collective-mismatch``, ``type-mismatch``,
+    ``count-mismatch``, ``unconsumed-message``, ``leaked-request``,
+    ``unfreed-window``, ``lockset-empty``); ``details`` carries the
+    engine-specific evidence (conflicting accesses, wait-for edges, ...).
+    """
+
+    kind: str
+    severity: str
+    message: str
+    location: str | None = None
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "kind": self.kind,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.location:
+            out["location"] = self.location
+        if self.details:
+            out["details"] = self.details
+        return out
+
+    def render(self) -> str:
+        lines = [f"{self.severity.upper():7s} [{self.kind}] {self.message}"]
+        if self.location:
+            lines.append(f"        at {self.location}")
+        for key, value in self.details.items():
+            if isinstance(value, (list, tuple)):
+                lines.append(f"        {key}:")
+                lines.extend(f"          - {item}" for item in value)
+            else:
+                lines.append(f"        {key}: {value}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AnalysisReport:
+    """The outcome of one analysis run over one target."""
+
+    target: str
+    engine: str  # "race-detector" | "mpi-checker"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.diagnostics.append(diagnostic)
+        return diagnostic
+
+    def extend(self, other: "AnalysisReport") -> None:
+        self.diagnostics.extend(other.diagnostics)
+        self.notes.extend(other.notes)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def clean(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors
+
+    @property
+    def verdict(self) -> str:
+        if self.errors:
+            return f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+        if self.warnings:
+            return f"clean with {len(self.warnings)} warning(s)"
+        return "clean"
+
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (_SEVERITY_RANK.get(d.severity, 9), d.kind, d.message),
+        )
+
+    def render(self) -> str:
+        header = f"== repro analyze: {self.target} [{self.engine}] =="
+        lines = [header]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        for diag in self.sorted_diagnostics():
+            lines.append(diag.render())
+        lines.append(f"verdict: {self.verdict}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "engine": self.engine,
+            "verdict": self.verdict,
+            "clean": self.clean,
+            "notes": list(self.notes),
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

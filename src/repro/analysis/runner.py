@@ -1,0 +1,85 @@
+"""``repro analyze``: run a patternlet under the matching analysis engine.
+
+The runner picks the engine from the patternlet's paradigm — the
+happens-before race detector for ``openmp``, the MPI correctness checker
+for ``mpi`` — runs the patternlet with a *small, deterministic* workload
+(analysis wants coverage of the access pattern, not throughput), and
+returns the engine's :class:`~repro.analysis.diagnostics.AnalysisReport`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..patternlets import all_patternlets, get_patternlet
+from .diagnostics import AnalysisReport
+from .mpicheck import mpi_checker
+from .race import race_detector
+
+__all__ = ["analyze", "ANALYZE_PARAMS"]
+
+#: Per-patternlet workload overrides for analysis runs.  A handful of
+#: iterations exercises every access/synchronization edge the detector
+#: needs; the default teaching workloads exist to make timing visible,
+#: which analysis does not care about.
+ANALYZE_PARAMS: dict[tuple[str, str], dict[str, Any]] = {
+    ("openmp", "race"): {"num_threads": 2, "iterations": 64},
+    ("openmp", "critical"): {"num_threads": 2, "iterations": 64},
+    ("openmp", "atomic"): {"num_threads": 2, "iterations": 64},
+    ("openmp", "reduction"): {"num_threads": 2, "n": 512},
+    ("mpi", "deadlock"): {"np": 2, "timeout": 2.5},
+}
+
+
+def _resolve(name: str, paradigm: str | None) -> tuple[str, Any]:
+    if paradigm is not None:
+        return paradigm, get_patternlet(paradigm, name)
+    for candidate in ("openmp", "mpi"):
+        try:
+            return candidate, get_patternlet(candidate, name)
+        except KeyError:
+            continue
+    available = sorted(p.name for p in all_patternlets())
+    raise KeyError(f"no patternlet named {name!r}; available: {available}")
+
+
+def _invoke(patternlet: Any, params: dict[str, Any]) -> Any:
+    if patternlet.name == "allreduceArrays" and "np" in params:
+        params = {"np_procs": params.pop("np"), **params}
+    try:
+        return patternlet.run(**params)
+    except TypeError:
+        return patternlet.run()
+
+
+def analyze(
+    name: str,
+    paradigm: str | None = None,
+    nprocs: int | None = None,
+    **extra: Any,
+) -> AnalysisReport:
+    """Run patternlet ``name`` under analysis and return the report.
+
+    ``paradigm`` disambiguates when both runtimes register the name;
+    ``nprocs`` overrides the thread/process count; remaining keyword
+    arguments are forwarded to the patternlet runner.
+    """
+    paradigm, patternlet = _resolve(name, paradigm)
+    params = dict(ANALYZE_PARAMS.get((paradigm, name), {}))
+    if nprocs is not None:
+        params["num_threads" if paradigm == "openmp" else "np"] = nprocs
+    params.update(extra)
+
+    target = f"{paradigm}:{name}"
+    if paradigm == "openmp":
+        with race_detector(target=target) as detector:
+            _invoke(patternlet, params)
+        return detector.report()
+    with mpi_checker(target=target) as checker:
+        from ..mpi.errors import MPIError
+
+        try:
+            _invoke(patternlet, params)
+        except MPIError as exc:
+            checker.notes.append(f"run failed: {type(exc).__name__}: {exc}")
+    return checker.report()

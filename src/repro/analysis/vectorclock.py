@@ -1,0 +1,53 @@
+"""Vector clocks and access epochs for happens-before tracking.
+
+The race detector follows the FastTrack representation: each thread carries
+a full vector clock, but each shared location's shadow state stores *epochs*
+— a single ``(thread, clock)`` pair — for the last write and for each
+reader, which is all a happens-before check needs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+__all__ = ["VectorClock", "Epoch"]
+
+
+class Epoch(NamedTuple):
+    """One access: which logical thread, at what clock value, from where."""
+
+    tid: int
+    clock: int
+    site: str
+
+    def happens_before(self, vc: "VectorClock") -> bool:
+        """True when this access is ordered before the clock's present."""
+        return self.clock <= vc.get(self.tid, 0)
+
+    def describe(self, kind: str) -> str:
+        return f"{kind} by thread {self.tid} at {self.site}"
+
+
+class VectorClock(dict):
+    """A sparse vector clock: missing components are zero."""
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(self)
+
+    def tick(self, tid: int) -> None:
+        """Advance this thread's own component (a release/fork/join event)."""
+        self[tid] = self.get(tid, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Pointwise maximum, in place (``C := C ⊔ other``)."""
+        for tid, clock in other.items():
+            if clock > self.get(tid, 0):
+                self[tid] = clock
+
+    def join_all(self, others: Iterable["VectorClock"]) -> None:
+        for other in others:
+            self.join(other)
+
+    def epoch(self, tid: int, site: str) -> Epoch:
+        """The calling thread's current epoch, for shadow-state storage."""
+        return Epoch(tid, self.get(tid, 0), site)

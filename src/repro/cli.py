@@ -4,6 +4,9 @@ Gives instructors and students the whole toolkit without writing Python:
 
 * ``list`` — enumerate the patternlet catalog;
 * ``run <paradigm> <name>`` — run one patternlet and show its trace;
+* ``analyze <name>`` — run a patternlet under the happens-before race
+  detector (openmp) or the MPI correctness checker (mpi) and report
+  diagnostics (``--json`` for machine-readable output);
 * ``notebook [colab|chameleon]`` — execute a notebook, optionally exporting
   the executed ``.ipynb``;
 * ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
@@ -40,6 +43,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="processes (mpi) / threads (openmp)")
     p_run.add_argument("--source", action="store_true",
                        help="print the patternlet's code listing instead")
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="run a patternlet under the race detector / MPI checker",
+    )
+    p_analyze.add_argument("name", help="patternlet to analyze")
+    p_analyze.add_argument("--paradigm", choices=("openmp", "mpi"),
+                           help="disambiguate when both runtimes have the name")
+    p_analyze.add_argument("--np", type=int, default=None, dest="nprocs",
+                           help="processes (mpi) / threads (openmp)")
+    p_analyze.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit the report as JSON instead of text")
 
     p_nb = sub.add_parser("notebook", help="execute a teaching notebook")
     p_nb.add_argument("which", nargs="?", default="colab",
@@ -107,6 +122,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for key, value in result.values.items():
         print(f"  {key} = {value}")
     return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import analyze
+
+    try:
+        report = analyze(args.name, paradigm=args.paradigm, nprocs=args.nprocs)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(report.to_json() if args.as_json else report.render())
+    return 1 if report.errors else 0
 
 
 def _cmd_notebook(args: argparse.Namespace) -> int:
@@ -224,6 +251,7 @@ def _cmd_mpirun(args: argparse.Namespace) -> int:
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
+    "analyze": _cmd_analyze,
     "notebook": _cmd_notebook,
     "handout": _cmd_handout,
     "study": _cmd_study,

@@ -28,7 +28,31 @@ from .errors import (
     WorldAbortedError,
 )
 
-__all__ = ["World", "Console", "run", "current_comm"]
+__all__ = [
+    "World",
+    "Console",
+    "run",
+    "current_comm",
+    "add_world_hook",
+    "remove_world_hook",
+]
+
+#: Observers invoked with each freshly constructed :class:`World`.  The
+#: correctness checker (:mod:`repro.analysis.mpicheck`) uses this to attach
+#: to worlds created *inside* patternlets and exemplars without forking
+#: their launch paths.
+_creation_hooks: list[Callable[["World"], None]] = []
+
+
+def add_world_hook(hook: Callable[["World"], None]) -> None:
+    """Register an observer called with every newly created world."""
+    if hook not in _creation_hooks:
+        _creation_hooks.append(hook)
+
+
+def remove_world_hook(hook: Callable[["World"], None]) -> None:
+    if hook in _creation_hooks:
+        _creation_hooks.remove(hook)
 
 
 @dataclass
@@ -133,6 +157,8 @@ class World:
         from .comm import Intracomm
 
         self.comm_world: Intracomm = Intracomm._create_world(self)
+        for hook in list(_creation_hooks):
+            hook(self)
 
     # -- communicator-id allocation ------------------------------------------------
     def next_cid(self) -> int:

@@ -1,0 +1,68 @@
+"""Runtime instrumentation hooks for the shared-memory runtime.
+
+The correctness-analysis layer (:mod:`repro.analysis`) needs to observe
+synchronization and memory events inside the OpenMP runtime without the
+runtime importing the analysis package (that would be a circular, and —
+worse — a permanent tax on uninstrumented runs).  This module is the thin
+seam between the two: runtime call sites check the module-level
+:data:`enabled` flag and, only when an observer is attached, emit events.
+
+Event vocabulary (``emit(event, *args)``; the emitting OS thread is
+implicit — observers call ``threading.get_ident()``):
+
+========================  =====================================================
+``fork``, team            a parallel region is forking ``team``
+``thread_begin``, team, n team member ``n`` starts running the region body
+``thread_end``, team, n   team member ``n`` finished the region body
+``join``, team            all members of ``team`` joined
+``barrier_enter``, team   calling thread arrived at a team barrier
+``barrier_exit``, team    calling thread passed the team barrier
+``acquire``, key          calling thread now holds lock ``key``
+``release``, key          calling thread is about to drop lock ``key``
+``read``, key, obj        shared-location read (``obj`` describes the location)
+``write``, key, obj       shared-location write
+``task_submit``, hid      a task was submitted (``hid`` = handle id)
+``task_start``, hid       a thread began executing the task
+``task_end``, hid         the task body finished
+``task_join``, hid        calling thread observed the task's completion
+``task_join_all``         calling thread waited for *all* outstanding tasks
+``reduction``, name       a reduction clause combined private partials
+========================  =====================================================
+
+Ordering discipline for lock events: ``acquire`` is emitted *after* the
+real lock is taken and ``release`` *before* it is dropped, so observer-side
+vector clocks can never see two owners of the same lock out of order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["enabled", "attach", "detach", "emit"]
+
+#: Fast-path flag: call sites test this before paying for an ``emit`` call.
+enabled = False
+
+_observers: list[Callable[..., None]] = []
+
+
+def attach(observer: Callable[..., None]) -> None:
+    """Register an event observer (a callable ``observer(event, *args)``)."""
+    global enabled
+    if observer not in _observers:
+        _observers.append(observer)
+    enabled = True
+
+
+def detach(observer: Callable[..., None]) -> None:
+    """Unregister an observer; clears the fast-path flag with the last one."""
+    global enabled
+    if observer in _observers:
+        _observers.remove(observer)
+    enabled = bool(_observers)
+
+
+def emit(event: str, *args: Any) -> None:
+    """Deliver one runtime event to every attached observer."""
+    for observer in list(_observers):
+        observer(event, *args)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Sequence
 
+from . import hooks as _hooks
 from .env import get_config
 from .reduction import Reduction, get_reduction
 from .scheduling import (
@@ -80,6 +81,8 @@ def for_loop(
         raise ValueError(f"unknown schedule {schedule!r}")
 
     red = get_reduction(reduction) if reduction is not None else None
+    if red is not None and _hooks.enabled:
+        _hooks.emit("reduction", red.name)
     partial = red.identity if red is not None else None
     for i in _thread_indices(n, schedule, chunk, shared_scheduler):
         value = body(i)
@@ -93,7 +96,11 @@ def for_loop(
     if team is None:
         return partial
     with team._single_guard:
+        if _hooks.enabled:
+            _hooks.emit("acquire", ("lock", id(team._single_guard)))
         team.shared.setdefault("__partials__", []).append(partial)
+        if _hooks.enabled:
+            _hooks.emit("release", ("lock", id(team._single_guard)))
     barrier()
     thread = get_thread_num()
     if thread == 0:
@@ -134,6 +141,8 @@ def parallel_for(
     if n < 0:
         raise ValueError(f"iteration count must be non-negative, got {n}")
     red = get_reduction(reduction) if reduction is not None else None
+    if red is not None and _hooks.enabled:
+        _hooks.emit("reduction", red.name)
 
     shared_scheduler: Any = None
     schedule = schedule.lower()

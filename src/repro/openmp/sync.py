@@ -11,6 +11,7 @@ import contextlib
 import threading
 from typing import Any, Callable, Generator, Iterator
 
+from . import hooks as _hooks
 from .team import _claim_single, current_team, get_thread_num
 
 __all__ = [
@@ -37,14 +38,25 @@ def critical(name: str = "") -> Generator[None, None, None]:
         return
     lock = team.critical_lock(name or "<unnamed>")
     with lock:
-        yield
+        if not _hooks.enabled:
+            yield
+            return
+        _hooks.emit("acquire", ("critical", id(lock)))
+        try:
+            yield
+        finally:
+            _hooks.emit("release", ("critical", id(lock)))
 
 
 def barrier() -> None:
     """``#pragma omp barrier``: wait for every team member."""
     team = current_team()
     if team is not None:
+        if _hooks.enabled:
+            _hooks.emit("barrier_enter", team)
         team.barrier.wait()
+        if _hooks.enabled:
+            _hooks.emit("barrier_exit", team)
 
 
 def master(fn: Callable[[], Any] | None = None) -> Any:
@@ -88,14 +100,21 @@ class Lock:
     def set(self) -> None:
         """``omp_set_lock``: blocking acquire."""
         self._lock.acquire()
+        if _hooks.enabled:
+            _hooks.emit("acquire", ("lock", id(self._lock)))
 
     def unset(self) -> None:
         """``omp_unset_lock``: release."""
+        if _hooks.enabled:
+            _hooks.emit("release", ("lock", id(self._lock)))
         self._lock.release()
 
     def test(self) -> bool:
         """``omp_test_lock``: nonblocking acquire; True on success."""
-        return self._lock.acquire(blocking=False)
+        acquired = self._lock.acquire(blocking=False)
+        if acquired and _hooks.enabled:
+            _hooks.emit("acquire", ("lock", id(self._lock)))
+        return acquired
 
     def __enter__(self) -> "Lock":
         self.set()
@@ -113,17 +132,35 @@ def _plus(a: int, b: int) -> int:
 class AtomicCounter:
     """``#pragma omp atomic`` on an integer: indivisible read-modify-write."""
 
-    __slots__ = ("_value", "_lock")
+    __slots__ = ("_value", "_lock", "_site")
 
     def __init__(self, initial: int = 0) -> None:
         self._value = initial
         self._lock = threading.Lock()
+        # Allocation site, recorded only under analysis so race reports can
+        # name the shared variable; free when no detector is attached.
+        self._site = None
+        if _hooks.enabled:
+            from ..analysis.race import _caller_site
+
+            self._site = _caller_site()
+
+    def _emit_update(self, kind_read: bool = True) -> None:
+        _hooks.emit("acquire", ("lock", id(self._lock)))
+        if kind_read:
+            _hooks.emit("read", id(self), self)
+        _hooks.emit("write", id(self), self)
 
     def add(self, delta: int = 1) -> int:
         """Atomically add; returns the new value."""
         with self._lock:
+            if _hooks.enabled:
+                self._emit_update()
             self._value += delta
-            return self._value
+            new = self._value
+            if _hooks.enabled:
+                _hooks.emit("release", ("lock", id(self._lock)))
+            return new
 
     def increment(self) -> int:
         return self.add(1)
@@ -135,13 +172,21 @@ class AtomicCounter:
         """Atomically add; returns the *old* value (the dynamic-scheduling
         workhorse)."""
         with self._lock:
+            if _hooks.enabled:
+                self._emit_update()
             old = self._value
             self._value += delta
+            if _hooks.enabled:
+                _hooks.emit("release", ("lock", id(self._lock)))
             return old
 
     @property
     def value(self) -> int:
         with self._lock:
+            if _hooks.enabled:
+                _hooks.emit("acquire", ("lock", id(self._lock)))
+                _hooks.emit("read", id(self), self)
+                _hooks.emit("release", ("lock", id(self._lock)))
             return self._value
 
     def unsafe_read_modify_write(self, delta: int = 1) -> None:
@@ -154,26 +199,46 @@ class AtomicCounter:
         boundaries; without a call between the read and the write the window
         would never be preempted and the race would be invisible.
         """
+        if _hooks.enabled:
+            _hooks.emit("read", id(self), self)
         value = self._value  # read
         value = _plus(value, delta)  # modify (call boundary: preemption point)
+        if _hooks.enabled:
+            _hooks.emit("write", id(self), self)
         self._value = value  # write
 
 
 class AtomicAccumulator:
     """Atomic accumulation for floats (``sum += term`` under a lock)."""
 
-    __slots__ = ("_value", "_lock")
+    __slots__ = ("_value", "_lock", "_site")
 
     def __init__(self, initial: float = 0.0) -> None:
         self._value = float(initial)
         self._lock = threading.Lock()
+        self._site = None
+        if _hooks.enabled:
+            from ..analysis.race import _caller_site
+
+            self._site = _caller_site()
 
     def add(self, delta: float) -> float:
         with self._lock:
+            if _hooks.enabled:
+                _hooks.emit("acquire", ("lock", id(self._lock)))
+                _hooks.emit("read", id(self), self)
+                _hooks.emit("write", id(self), self)
             self._value += delta
-            return self._value
+            new = self._value
+            if _hooks.enabled:
+                _hooks.emit("release", ("lock", id(self._lock)))
+            return new
 
     @property
     def value(self) -> float:
         with self._lock:
+            if _hooks.enabled:
+                _hooks.emit("acquire", ("lock", id(self._lock)))
+                _hooks.emit("read", id(self), self)
+                _hooks.emit("release", ("lock", id(self._lock)))
             return self._value

@@ -21,6 +21,7 @@ import threading
 from collections import deque
 from typing import Any, Callable
 
+from . import hooks as _hooks
 from .team import current_team
 
 __all__ = ["TaskHandle", "task", "taskwait", "taskgroup"]
@@ -68,11 +69,15 @@ class TaskHandle:
             fn, self._fn = self._fn, None
         if fn is None:
             return
+        if _hooks.enabled:
+            _hooks.emit("task_start", id(self))
         try:
             self._result = fn(*self._args, **self._kwargs)
         except BaseException as exc:  # noqa: BLE001 - re-raised at result()
             self._error = exc
         finally:
+            if _hooks.enabled:
+                _hooks.emit("task_end", id(self))
             self._done.set()
             callback = self._on_inline_done
             if callback is not None:
@@ -108,6 +113,8 @@ class TaskHandle:
                 _helping.depth = depth
             if not helped:
                 self._done.wait(timeout=0.001)
+        if _hooks.enabled:
+            _hooks.emit("task_join", id(self))
         if self._error is not None:
             raise self._error
         return self._result
@@ -188,6 +195,8 @@ def task(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> TaskHandle:
     serial semantics for orphaned tasks).
     """
     handle = TaskHandle(fn, args, kwargs)
+    if _hooks.enabled:
+        _hooks.emit("task_submit", id(handle))
     pool = _pool()
     if pool is None:
         handle._execute()
@@ -208,6 +217,8 @@ def taskwait() -> None:
     pool = _pool()
     if pool is not None:
         pool.drain()
+    if _hooks.enabled:
+        _hooks.emit("task_join_all")
 
 
 class taskgroup:
@@ -237,6 +248,8 @@ class taskgroup:
             while not handle.done:
                 if pool is None or not pool.run_one():
                     handle._done.wait(timeout=0.001)
+            if _hooks.enabled:
+                _hooks.emit("task_join", id(handle))
         # surface the first task error, as OpenMP would abort the group
         for handle in self._handles:
             if handle._error is not None:

@@ -16,6 +16,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable
 
+from . import hooks as _hooks
 from .env import MAX_TEAM_SIZE, get_config
 
 __all__ = [
@@ -139,16 +140,22 @@ def parallel_region(
     team = Team(num_threads)
     results: list[Any] = [None] * num_threads
     errors: dict[int, BaseException] = {}
+    if _hooks.enabled:
+        _hooks.emit("fork", team)
 
     def member(thread_num: int) -> None:
         stack = _ctx_stack()
         stack.append(_ThreadCtx(team, thread_num))
+        if _hooks.enabled:
+            _hooks.emit("thread_begin", team, thread_num)
         try:
             results[thread_num] = body(*args)
         except BaseException as exc:  # noqa: BLE001 - re-raised below
             errors[thread_num] = exc
             team.barrier.abort()
         finally:
+            if _hooks.enabled:
+                _hooks.emit("thread_end", team, thread_num)
             stack.pop()
 
     workers = [
@@ -160,6 +167,8 @@ def parallel_region(
     member(0)
     for w in workers:
         w.join()
+    if _hooks.enabled:
+        _hooks.emit("join", team)
     if errors:
         first = errors[min(errors)]
         first.__exceptions__ = errors  # type: ignore[attr-defined]

@@ -30,34 +30,42 @@ from ...openmp import (
 from ..base import PatternletResult, register
 
 
-def _forced_lost_update() -> tuple[int, int]:
+def _forced_lost_update():
     """Deterministically interleave two increments so one is lost.
 
     Thread A reads, then waits; thread B does its full read-modify-write;
     A resumes and writes its stale value.  Expected 2, actual 1 — always.
+    The interleaving runs under the happens-before race detector, so the
+    patternlet can show learners *why* the update vanished (the conflicting
+    accesses and the shared variable's allocation site), not just that it
+    did.
     """
-    value = {"x": 0}
+    from ...analysis import TrackedVar, race_detector
+
     a_read = threading.Event()
     b_done = threading.Event()
 
-    def thread_a() -> None:
-        stale = value["x"]  # read
-        a_read.set()
-        b_done.wait()  # B completes its whole update in our window
-        value["x"] = stale + 1  # write the stale result: B's update is lost
+    with race_detector(target="openmp:race[forced]") as detector:
+        value = TrackedVar(0, name="x")
 
-    def thread_b() -> None:
-        a_read.wait()
-        value["x"] = value["x"] + 1
-        b_done.set()
+        def thread_a() -> None:
+            stale = value.read()
+            a_read.set()
+            b_done.wait()  # B completes its whole update in our window
+            value.write(stale + 1)  # stale write: B's update is lost
 
-    ta = threading.Thread(target=thread_a)
-    tb = threading.Thread(target=thread_b)
-    ta.start()
-    tb.start()
-    ta.join()
-    tb.join()
-    return 2, value["x"]
+        def thread_b() -> None:
+            a_read.wait()
+            value.write(value.read() + 1)
+            b_done.set()
+
+        ta = threading.Thread(target=thread_a)
+        tb = threading.Thread(target=thread_b)
+        ta.start()
+        tb.start()
+        ta.join()
+        tb.join()
+    return 2, value.peek(), detector.report()
 
 
 @register(
@@ -74,10 +82,14 @@ def race(
     """Increment a shared counter without protection and count the damage."""
     result = PatternletResult("race")
     if forced:
-        expected, actual = _forced_lost_update()
+        expected, actual, report = _forced_lost_update()
         result.emit(f"forced interleaving: expected {expected}, got {actual}")
+        for diag in report.errors:
+            for line in diag.render().splitlines():
+                result.emit(line)
         result.values.update(
-            expected=expected, actual=actual, lost=expected - actual, forced=True
+            expected=expected, actual=actual, lost=expected - actual, forced=True,
+            diagnostics=[d.to_dict() for d in report.errors],
         )
         return result
 

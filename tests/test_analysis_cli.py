@@ -1,0 +1,79 @@
+"""The ``repro analyze`` CLI and the report format (golden files)."""
+
+import json
+import re
+from pathlib import Path
+
+from repro.analysis import analyze
+from repro.cli import main
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def _normalize(text: str) -> str:
+    """Mask volatile file:line sites so goldens survive refactors."""
+    return re.sub(r"\S+\.py:\d+", "<site>", text)
+
+
+class TestAnalyzeCommand:
+    def test_analyze_race_exits_nonzero_and_reports(self, capsys):
+        rc = main(["analyze", "race"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "== repro analyze: openmp:race [race-detector] ==" in out
+        assert "[data-race]" in out
+        assert "verdict: 1 error(s)" in out
+
+    def test_analyze_clean_patternlet_exits_zero(self, capsys):
+        rc = main(["analyze", "atomic"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verdict: clean" in out
+
+    def test_analyze_json_is_machine_readable(self, capsys):
+        rc = main(["analyze", "race", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["engine"] == "race-detector"
+        assert payload["clean"] is False
+        assert payload["diagnostics"][0]["kind"] == "data-race"
+
+    def test_analyze_mpi_deadlock(self, capsys):
+        rc = main(["analyze", "deadlock", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["engine"] == "mpi-checker"
+        assert "rank 0" in payload["diagnostics"][0]["message"]
+
+    def test_paradigm_flag_disambiguates(self, capsys):
+        rc = main(["analyze", "broadcast", "--paradigm", "mpi"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "mpi:broadcast" in out
+
+    def test_unknown_patternlet_exits_two(self, capsys):
+        rc = main(["analyze", "nosuchthing"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "nosuchthing" in err
+
+
+class TestGoldenReportFormat:
+    def test_forced_race_report_matches_golden(self):
+        report = analyze("race", forced=True)
+        got = json.loads(_normalize(report.to_json()))
+        want = json.loads((GOLDENS / "analyze_race.json").read_text())
+        assert got == want
+
+    def test_deadlock_report_matches_golden(self):
+        report = analyze("deadlock")
+        got = json.loads(_normalize(report.to_json()))
+        want = json.loads((GOLDENS / "analyze_deadlock.json").read_text())
+        assert got == want
+
+    def test_text_render_structure(self):
+        report = analyze("race", forced=True)
+        lines = report.render().splitlines()
+        assert lines[0] == "== repro analyze: openmp:race [race-detector] =="
+        assert lines[-1] == "verdict: 1 error(s), 0 warning(s)"
+        assert any(line.startswith("ERROR") for line in lines)

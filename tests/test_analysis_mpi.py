@@ -1,0 +1,254 @@
+"""MPI correctness checker: deadlocks, mismatches, leaks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import analyze, check_run
+from repro.mpi import Win
+
+
+TIMEOUT = 6.0
+
+
+class TestDeadlockDetection:
+    def test_recv_recv_deadlock_names_both_ranks(self):
+        def broken(comm):
+            peer = comm.Get_rank() ^ 1
+            incoming = comm.recv(source=peer, tag=7)
+            comm.send("never sent", dest=peer, tag=7)
+            return incoming
+
+        results, report = check_run(broken, 2, deadlock_timeout=TIMEOUT)
+        assert results is None
+        assert not report.clean
+        diag = report.errors[0]
+        assert diag.kind == "deadlock"
+        assert "rank 0" in diag.message and "rank 1" in diag.message
+        assert "wait-for cycle" in diag.message
+        blocked = diag.details["blocked ranks"]
+        assert any("rank 0: blocked in recv" in line for line in blocked)
+        assert any("rank 1: blocked in recv" in line for line in blocked)
+
+    def test_ssend_ssend_deadlock(self):
+        # Plain send is eager-buffered and cannot deadlock here; the
+        # synchronous mode blocks until matched — head-to-head it hangs.
+        def broken(comm):
+            peer = comm.Get_rank() ^ 1
+            comm.ssend("hello", dest=peer, tag=1)
+            return comm.recv(source=peer, tag=1)
+
+        results, report = check_run(broken, 2, deadlock_timeout=TIMEOUT)
+        assert results is None
+        diag = report.errors[0]
+        assert diag.kind == "deadlock"
+        assert "wait-for cycle" in diag.message
+        assert any(
+            "blocked in ssend" in line for line in diag.details["blocked ranks"]
+        )
+
+    def test_analyze_deadlock_patternlet(self):
+        report = analyze("deadlock")
+        assert not report.clean
+        diag = report.errors[0]
+        assert diag.kind == "deadlock"
+        assert "rank 0" in diag.message and "rank 1" in diag.message
+
+    def test_fixed_ordering_is_clean(self):
+        def repaired(comm):
+            rank = comm.Get_rank()
+            peer = rank ^ 1
+            if rank % 2 == 0:
+                comm.send(f"from {rank}", dest=peer, tag=7)
+                return comm.recv(source=peer, tag=7)
+            incoming = comm.recv(source=peer, tag=7)
+            comm.send(f"from {rank}", dest=peer, tag=7)
+            return incoming
+
+        results, report = check_run(repaired, 2, deadlock_timeout=TIMEOUT)
+        assert results == ["from 1", "from 0"]
+        assert report.clean
+        assert not report.warnings
+
+
+class TestCollectiveOrdering:
+    def test_mismatched_collectives_across_ranks(self):
+        def broken(comm):
+            if comm.Get_rank() == 0:
+                comm.bcast("payload", root=0)
+            else:
+                comm.gather(comm.Get_rank(), root=0)
+
+        _results, report = check_run(broken, 2, deadlock_timeout=TIMEOUT)
+        assert not report.clean
+        diag = next(d for d in report.errors if d.kind == "collective-mismatch")
+        assert "bcast" in diag.message and "gather" in diag.message
+
+    def test_missing_collective_on_one_rank(self):
+        def broken(comm):
+            comm.barrier()
+            if comm.Get_rank() == 0:
+                comm.bcast("only rank 0 broadcasts", root=0)
+
+        _results, report = check_run(broken, 2, deadlock_timeout=TIMEOUT)
+        mism = [d for d in report.diagnostics if d.kind == "collective-mismatch"]
+        assert mism and "never did" in mism[0].message
+
+    def test_mismatched_root_is_flagged(self):
+        def broken(comm):
+            comm.bcast("x", root=comm.Get_rank())
+
+        _results, report = check_run(broken, 2, deadlock_timeout=TIMEOUT)
+        assert any(d.kind == "collective-mismatch" for d in report.errors)
+
+    def test_matching_collectives_are_clean(self):
+        def good(comm):
+            comm.barrier()
+            data = comm.bcast(comm.Get_rank(), root=0)
+            return comm.allreduce(data)
+
+        results, report = check_run(good, 3, deadlock_timeout=TIMEOUT)
+        assert results == [0, 0, 0]
+        assert report.clean
+
+
+class TestMessageMismatches:
+    def test_dtype_mismatch_warns(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(4, dtype=np.float64), dest=1, tag=3)
+            else:
+                buf = np.empty(4, dtype=np.int32)
+                comm.Recv(buf, source=0, tag=3)
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert report.clean  # converted, not corrupted -> warning severity
+        diag = next(d for d in report.warnings if d.kind == "type-mismatch")
+        assert "float64" in diag.message and "int32" in diag.message
+
+    def test_count_mismatch_warns(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(2, dtype=np.int64), dest=1, tag=3)
+            else:
+                buf = np.zeros(8, dtype=np.int64)
+                comm.Recv(buf, source=0, tag=3)
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        diag = next(d for d in report.warnings if d.kind == "count-mismatch")
+        assert "2 element(s)" in diag.message
+
+    def test_truncation_is_an_error(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.Send(np.arange(8, dtype=np.int64), dest=1, tag=3)
+            else:
+                comm.Recv(np.zeros(4, dtype=np.int64), source=0, tag=3)
+
+        results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert results is None
+        assert any(d.kind == "count-mismatch" for d in report.errors)
+
+    def test_object_send_into_typed_recv_is_an_error(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send({"a": 1}, dest=1, tag=4)
+            else:
+                comm.Recv(np.zeros(1, dtype=np.int64), source=0, tag=4)
+
+        results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert results is None
+        assert any(d.kind == "type-mismatch" for d in report.errors)
+
+
+class TestFinalizeLeakChecks:
+    def test_unconsumed_message_suggests_tag_mismatch(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("lost", dest=1, tag=5)  # receiver listens on tag 6
+            # rank 1 never receives
+
+        results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert results is not None
+        diag = next(d for d in report.warnings if d.kind == "unconsumed-message")
+        assert "tag 5" in diag.message
+
+    def test_leaked_issend_request(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.issend("orphan", dest=1, tag=9)  # never waited, never matched
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        kinds = {d.kind for d in report.warnings}
+        assert "leaked-request" in kinds
+        assert "unconsumed-message" in kinds
+
+    def test_leaked_irecv_request(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("data", dest=1, tag=1)
+            else:
+                comm.irecv(source=0, tag=1)  # never waited
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert any(d.kind == "leaked-request" for d in report.warnings)
+
+    def test_completed_requests_are_not_flagged(self):
+        def prog(comm):
+            rank = comm.Get_rank()
+            if rank == 0:
+                req = comm.isend("data", dest=1, tag=1)
+                req.wait()
+            else:
+                req = comm.irecv(source=0, tag=1)
+                return req.wait()
+
+        results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert results[1] == "data"
+        assert report.clean
+        assert not report.warnings
+
+    def test_unfreed_window_is_flagged(self):
+        def prog(comm):
+            mem = np.zeros(4, dtype=np.int64)
+            Win.Create(mem, comm)  # no Free
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert any(d.kind == "unfreed-window" for d in report.warnings)
+
+    def test_freed_window_is_clean(self):
+        def prog(comm):
+            mem = np.zeros(4, dtype=np.int64)
+            win = Win.Create(mem, comm)
+            win.Fence()
+            win.Free()
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert report.clean and not report.warnings
+
+
+class TestCheckerTransparency:
+    def test_results_flow_through_unchanged(self):
+        def ring(comm):
+            rank, size = comm.Get_rank(), comm.Get_size()
+            comm.send(rank, dest=(rank + 1) % size, tag=2)
+            return comm.recv(source=(rank - 1) % size, tag=2)
+
+        results, report = check_run(ring, 4, deadlock_timeout=TIMEOUT)
+        assert results == [3, 0, 1, 2]
+        assert report.clean
+
+    def test_clean_report_summarizes_audit(self):
+        def prog(comm):
+            if comm.Get_rank() == 0:
+                comm.send("x", dest=1, tag=1)
+            elif comm.Get_rank() == 1:
+                comm.recv(source=0, tag=1)
+
+        _results, report = check_run(prog, 2, deadlock_timeout=TIMEOUT)
+        assert report.diagnostics[0].kind == "summary"
+        assert "1 matched message(s)" in report.diagnostics[0].message
+
+    def test_patternlets_run_clean_under_checker(self):
+        for name in ("sendReceive", "broadcast"):
+            report = analyze(name, paradigm="mpi")
+            assert report.clean, f"{name}: {report.render()}"

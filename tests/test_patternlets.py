@@ -66,9 +66,13 @@ class TestOpenMPPatternlets:
     def test_forced_race_always_loses_one_update(self):
         for _ in range(5):  # deterministic: must hold on every run
             r = get_patternlet("openmp", "race").run(forced=True)
+            diagnostics = r.values.pop("diagnostics")
             assert r.values == {
                 "expected": 2, "actual": 1, "lost": 1, "forced": True
             }
+            assert len(diagnostics) == 1
+            assert diagnostics[0]["kind"] == "data-race"
+            assert "'x'" in diagnostics[0]["message"]
 
     def test_wild_race_reports_expected_vs_actual(self):
         r = get_patternlet("openmp", "race").run(num_threads=4, iterations=3000)

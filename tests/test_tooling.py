@@ -1,0 +1,50 @@
+"""Tooling gates that ride the test entry point: CLI smoke run + lint.
+
+The lint step is *gated*: it runs ``ruff check`` with the repo's
+``[tool.ruff]`` configuration when ruff is installed (the ``lint`` extra)
+and skips cleanly when it is not, so the tier-1 suite never depends on an
+optional tool being present.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _run(argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        argv, cwd=REPO, env=env, capture_output=True, text=True,
+        timeout=180, **kwargs,
+    )
+
+
+class TestCliSmoke:
+    def test_python_m_repro_analyze_race_json(self):
+        proc = _run([sys.executable, "-m", "repro", "analyze", "race", "--json"])
+        assert proc.returncode == 1, proc.stderr  # a race *was* found
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is False
+        assert payload["diagnostics"][0]["kind"] == "data-race"
+
+    def test_python_m_repro_analyze_clean_exits_zero(self):
+        proc = _run([sys.executable, "-m", "repro", "analyze", "atomic"])
+        assert proc.returncode == 0, proc.stderr
+        assert "verdict: clean" in proc.stdout
+
+
+class TestLint:
+    def test_ruff_check_src_and_tests(self):
+        ruff = shutil.which("ruff")
+        if ruff is None:
+            pytest.skip("ruff not installed (pip install -e .[lint])")
+        proc = _run([ruff, "check", "src", "tests"])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
