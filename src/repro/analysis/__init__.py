@@ -8,18 +8,29 @@ Two engines, one reporting layer:
 * :mod:`repro.analysis.mpicheck` — an MPI correctness checker for
   ``repro.mpi`` (wait-for-graph deadlock cycles, message type/count
   mismatches, collective-ordering violations, finalize-time leak checks);
+* :mod:`repro.analysis.lint` — **pdclint**, the *static* complement: an
+  AST rule engine over learner Python plus a ``#pragma omp`` parser for
+  the C handout listings, giving edit-time feedback before any run;
 * :mod:`repro.analysis.diagnostics` — the shared :class:`Diagnostic` /
-  :class:`AnalysisReport` structures both engines emit, renderable as text
-  or JSON.
+  :class:`AnalysisReport` structures every engine emits, renderable as
+  text or JSON.
 
-The CLI front door is ``python -m repro analyze <patternlet>``
-(:mod:`repro.analysis.runner`).
+The CLI front doors are ``python -m repro analyze <patternlet>`` (dynamic,
+:mod:`repro.analysis.runner`) and ``python -m repro lint <path|patternlet>``
+(static, :mod:`repro.analysis.lint`).
 """
 
 from .diagnostics import ERROR, INFO, WARNING, AnalysisReport, Diagnostic
+from .lint import (
+    check_clistings,
+    lint_patternlet,
+    lint_path,
+    lint_source,
+    lint_targets,
+)
 from .mpicheck import MPIChecker, check_run, mpi_checker
 from .race import RaceDetector, TrackedVar, instrument, race_detector
-from .runner import ANALYZE_PARAMS, analyze
+from .runner import ANALYZE_PARAMS, analyze, emit_report
 
 __all__ = [
     "AnalysisReport",
@@ -35,5 +46,11 @@ __all__ = [
     "mpi_checker",
     "check_run",
     "analyze",
+    "emit_report",
     "ANALYZE_PARAMS",
+    "lint_source",
+    "lint_path",
+    "lint_patternlet",
+    "lint_targets",
+    "check_clistings",
 ]

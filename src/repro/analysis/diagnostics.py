@@ -66,20 +66,32 @@ class Diagnostic:
 
 @dataclass
 class AnalysisReport:
-    """The outcome of one analysis run over one target."""
+    """The outcome of one analysis run over one target.
+
+    ``suppressed`` holds findings that matched a ``pdclint: disable=<id>``
+    directive in the analyzed source: they are excluded from the verdict and
+    the exit-code gate but still counted in the JSON report, so a grader can
+    see that a known-intentional bug was waved through rather than missed.
+    """
 
     target: str
-    engine: str  # "race-detector" | "mpi-checker"
+    engine: str  # "race-detector" | "mpi-checker" | "pdclint"
     diagnostics: list[Diagnostic] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    suppressed: list[Diagnostic] = field(default_factory=list)
 
     def add(self, diagnostic: Diagnostic) -> Diagnostic:
         self.diagnostics.append(diagnostic)
         return diagnostic
 
+    def add_suppressed(self, diagnostic: Diagnostic) -> Diagnostic:
+        self.suppressed.append(diagnostic)
+        return diagnostic
+
     def extend(self, other: "AnalysisReport") -> None:
         self.diagnostics.extend(other.diagnostics)
         self.notes.extend(other.notes)
+        self.suppressed.extend(other.suppressed)
 
     @property
     def errors(self) -> list[Diagnostic]:
@@ -109,12 +121,16 @@ class AnalysisReport:
         )
 
     def render(self) -> str:
-        header = f"== repro analyze: {self.target} [{self.engine}] =="
+        command = "repro lint" if self.engine == "pdclint" else "repro analyze"
+        header = f"== {command}: {self.target} [{self.engine}] =="
         lines = [header]
         for note in self.notes:
             lines.append(f"note: {note}")
         for diag in self.sorted_diagnostics():
             lines.append(diag.render())
+        if self.suppressed:
+            lines.append(f"suppressed: {len(self.suppressed)} finding(s) via "
+                         "pdclint directives")
         lines.append(f"verdict: {self.verdict}")
         return "\n".join(lines)
 
@@ -125,6 +141,7 @@ class AnalysisReport:
             "verdict": self.verdict,
             "clean": self.clean,
             "notes": list(self.notes),
+            "suppressed": len(self.suppressed),
             "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
         }
 

@@ -1,0 +1,62 @@
+"""pdclint — an AST-based static analyzer for PDC learner code.
+
+Where :mod:`repro.analysis.race` and :mod:`repro.analysis.mpicheck` watch a
+*running* patternlet, pdclint reads the *source*: Python learner code
+written against the ``repro.openmp``/``repro.mpi`` teaching APIs, and the
+C/OpenMP handout listings (via a lightweight ``#pragma omp`` parser).  The
+point is edit-time feedback for the paper's remote-learning setting — the
+mistakes an instructor would catch over a learner's shoulder, caught before
+any run.
+
+CLI front door::
+
+    python -m repro lint examples/                 # lint a directory
+    python -m repro lint race --json               # lint one patternlet
+    python -m repro lint clistings                 # C-listing consistency
+    python -m repro lint src --select PDC101,PDC103
+
+Intentional teaching bugs are annotated in-source with
+``# pdclint: disable=<rule-id>`` and surface in the JSON report as the
+``suppressed`` count.  See ``docs/static_analysis.md`` for the rule
+catalog.
+"""
+
+from .cpragma import (
+    Clause,
+    CPragmaError,
+    Pragma,
+    check_clistings,
+    parse_pragma,
+    parse_source,
+)
+from .engine import (
+    ENGINE,
+    Rule,
+    SourceFile,
+    all_rules,
+    lint_patternlet,
+    lint_path,
+    lint_source,
+    lint_targets,
+    rule_ids,
+    scan_suppressions,
+)
+
+__all__ = [
+    "ENGINE",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "rule_ids",
+    "scan_suppressions",
+    "lint_source",
+    "lint_path",
+    "lint_patternlet",
+    "lint_targets",
+    "Clause",
+    "Pragma",
+    "CPragmaError",
+    "parse_pragma",
+    "parse_source",
+    "check_clistings",
+]

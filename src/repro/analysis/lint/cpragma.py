@@ -1,0 +1,460 @@
+"""A lightweight ``#pragma omp`` parser plus rules for the C handout listings.
+
+The Raspberry Pi handout shows learners *C* OpenMP code
+(:mod:`repro.patternlets.clistings`); this module parses every
+``#pragma omp`` directive into a structured :class:`Pragma` (directive +
+clauses) and applies the data-scoping rules remote learners most often get
+wrong:
+
+* **PDC201** — a per-thread temporary (or an out-of-init loop index)
+  missing from ``private(...)``;
+* **PDC202** — an accumulation variable missing from ``reduction(...)``
+  and not guarded by ``critical``/``atomic``;
+* **PDC203** — ``nowait`` on a loop whose output a following loop reads.
+
+:func:`check_clistings` is the consistency gate: every ``C_LISTINGS``
+entry must parse cleanly and name a registered openmp patternlet.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..diagnostics import ERROR, WARNING, AnalysisReport, Diagnostic
+from .engine import ENGINE, Rule, SourceFile, register_rule
+
+__all__ = [
+    "Clause",
+    "Pragma",
+    "CPragmaError",
+    "parse_pragma",
+    "parse_source",
+    "check_clistings",
+]
+
+PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+omp\b(.*)$")
+_TOKEN_RE = re.compile(r"([A-Za-z_][A-Za-z_0-9]*)\s*(?:\(([^()]*)\))?")
+
+DIRECTIVES = frozenset({
+    "parallel", "for", "sections", "section", "single", "master",
+    "critical", "atomic", "barrier", "task", "taskwait", "taskgroup",
+    "ordered", "simd", "flush", "threadprivate",
+})
+_COMBINABLE = frozenset({"for", "sections"})
+CLAUSES = frozenset({
+    "private", "firstprivate", "lastprivate", "shared", "default",
+    "reduction", "schedule", "num_threads", "nowait", "collapse", "if",
+    "ordered", "untied", "final", "copyin",
+})
+#: directives that take a parenthesized argument themselves (not a clause)
+_ARG_DIRECTIVES = frozenset({"critical", "flush", "threadprivate"})
+#: a statement directly under one of these pragmas is not a data race
+_GUARD_DIRECTIVES = frozenset({"critical", "atomic", "single", "master",
+                               "task"})
+
+_DATA_CLAUSES = ("private", "firstprivate", "lastprivate", "reduction",
+                 "shared")
+
+
+class CPragmaError(ValueError):
+    """One unparseable ``#pragma omp`` line."""
+
+    def __init__(self, message: str, line: int) -> None:
+        super().__init__(message)
+        self.line = line
+
+
+@dataclass(frozen=True)
+class Clause:
+    name: str
+    args: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``#pragma omp`` directive."""
+
+    line: int  # 1-based line number in the listing
+    directive: str  # e.g. "parallel", "parallel for", "critical"
+    clauses: tuple[Clause, ...] = ()
+    raw: str = ""
+
+    def has_clause(self, name: str) -> bool:
+        return any(clause.name == name for clause in self.clauses)
+
+    def clause_args(self, *names: str) -> tuple[str, ...]:
+        out: list[str] = []
+        for clause in self.clauses:
+            if clause.name in names:
+                out.extend(clause.args)
+        return tuple(out)
+
+    def data_vars(self, *names: str) -> frozenset[str]:
+        """Variable names bound by the given data clauses.
+
+        ``reduction(+:sum, prod)`` contributes ``{"sum", "prod"}`` — the
+        operator prefix before ``:`` is stripped.
+        """
+        variables: set[str] = set()
+        for arg in self.clause_args(*(names or _DATA_CLAUSES)):
+            _, _, tail = arg.rpartition(":")
+            for part in tail.split(","):
+                part = part.strip()
+                if part:
+                    variables.add(part)
+        return frozenset(variables)
+
+
+def parse_pragma(text: str, lineno: int = 1) -> Pragma:
+    """Parse one ``#pragma omp`` line; raises :class:`CPragmaError`."""
+    match = PRAGMA_RE.match(text)
+    if match is None:
+        raise CPragmaError(f"not an omp pragma: {text.strip()!r}", lineno)
+    rest = match.group(1).split("//")[0].split("/*")[0].strip()
+    if rest.count("(") != rest.count(")"):
+        raise CPragmaError("unbalanced parentheses in pragma", lineno)
+
+    tokens: list[tuple[str, str | None]] = []
+    pos = 0
+    while pos < len(rest):
+        if rest[pos] in " \t,":
+            pos += 1
+            continue
+        token = _TOKEN_RE.match(rest, pos)
+        if token is None:
+            raise CPragmaError(
+                f"cannot parse pragma near {rest[pos:pos + 20]!r}", lineno)
+        tokens.append((token.group(1), token.group(2)))
+        pos = token.end()
+
+    if not tokens:
+        raise CPragmaError("pragma omp with no directive", lineno)
+    name, arg = tokens[0]
+    if name not in DIRECTIVES:
+        raise CPragmaError(f"unknown omp directive {name!r}", lineno)
+    if arg is not None and name not in _ARG_DIRECTIVES:
+        raise CPragmaError(
+            f"directive {name!r} does not take an argument list", lineno)
+    directive = name
+    index = 1
+    if name == "parallel" and index < len(tokens) \
+            and tokens[index][0] in _COMBINABLE and tokens[index][1] is None:
+        directive = f"parallel {tokens[index][0]}"
+        index += 1
+
+    clauses: list[Clause] = []
+    for clause_name, clause_arg in tokens[index:]:
+        if clause_name not in CLAUSES:
+            raise CPragmaError(f"unknown omp clause {clause_name!r}", lineno)
+        args = tuple(
+            part.strip()
+            for part in (clause_arg.split(",") if clause_arg else [])
+            if part.strip()
+        )
+        clauses.append(Clause(clause_name, args))
+    return Pragma(line=lineno, directive=directive,
+                  clauses=tuple(clauses), raw=text.strip())
+
+
+def parse_source(text: str, label: str) -> tuple[list[Pragma], list[Diagnostic]]:
+    """Parse every pragma in a listing; parse failures become diagnostics."""
+    pragmas: list[Pragma] = []
+    diagnostics: list[Diagnostic] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not PRAGMA_RE.match(line):
+            continue
+        try:
+            pragmas.append(parse_pragma(line, lineno))
+        except CPragmaError as exc:
+            diagnostics.append(Diagnostic(
+                kind="pragma-parse-error",
+                severity=ERROR,
+                message=str(exc),
+                location=f"{label}:{lineno}",
+                details={"rule": "parse-error"},
+            ))
+    return pragmas, diagnostics
+
+
+# --- structural helpers over the raw C text --------------------------------
+
+_DECL_RE = re.compile(
+    r"^\s*(?:const\s+)?(?:static\s+)?(?:unsigned\s+|signed\s+)?"
+    r"(?:int|long|short|float|double|char|size_t)\b(.*)$"
+)
+_DECL_NAME_RE = re.compile(r"\s*\**([A-Za-z_]\w*)")
+_ASSIGN_RE = re.compile(r"^\s*\**([A-Za-z_]\w*)\s*(\+\+|--|[-+*/|&^]?=)(?!=)(.*)$")
+_FOR_DECL_RE = re.compile(r"for\s*\(\s*(?:int|long|size_t|unsigned)\s+([A-Za-z_]\w*)")
+_FOR_ASSIGN_RE = re.compile(r"for\s*\(\s*([A-Za-z_]\w*)\s*=")
+_ARRAY_WRITE_RE = re.compile(r"([A-Za-z_]\w*)\s*\[[^\]]*\]\s*=(?!=)")
+
+
+def _declared_before(lines: list[str], upto: int) -> frozenset[str]:
+    """Scalar names declared on lines ``1..upto`` (1-based inclusive)."""
+    names: set[str] = set()
+    for line in lines[:upto]:
+        match = _DECL_RE.match(line)
+        if match is None:
+            continue
+        for part in match.group(1).split(";")[0].split(","):
+            part = part.split("=")[0].split("(")[0]
+            name = _DECL_NAME_RE.match(part)
+            if name:
+                names.add(name.group(1))
+    return frozenset(names)
+
+
+def _block_range(lines: list[str], pragma_line: int) -> tuple[int, int]:
+    """1-based inclusive line range of the construct following a pragma."""
+    total = len(lines)
+    i = pragma_line  # 0-based index of the line after the pragma
+    while i < total and not lines[i].strip():
+        i += 1
+    if i >= total:
+        return (pragma_line + 1, pragma_line)
+    depth = 0
+    opened = False
+    j = i
+    while j < total:
+        depth += lines[j].count("{") - lines[j].count("}")
+        if "{" in lines[j]:
+            opened = True
+        if opened and depth <= 0:
+            return (i + 1, j + 1)
+        if not opened and lines[j].strip().endswith(";"):
+            return (i + 1, j + 1)
+        j += 1
+    return (i + 1, total)
+
+
+def _guarded(lines: list[str], index: int, pragmas_by_line: dict[int, Pragma]) -> bool:
+    """True when the statement at 0-based ``index`` sits directly under a
+    critical/atomic/single/master/task pragma (allowing an opening brace)."""
+    j = index - 1
+    while j >= 0:
+        stripped = lines[j].strip()
+        if not stripped or stripped == "{":
+            j -= 1
+            continue
+        pragma = pragmas_by_line.get(j + 1)
+        return pragma is not None and pragma.directive in _GUARD_DIRECTIVES
+    return False
+
+
+def _pragmas_by_line(src: SourceFile) -> dict[int, Pragma]:
+    return {p.line: p for p in src.pragmas}
+
+
+def _iter_block_statements(src: SourceFile, pragma: Pragma) -> Iterator[tuple[int, str]]:
+    """(1-based line, text) of every non-pragma line in a pragma's block."""
+    lo, hi = _block_range(src.lines, pragma.line)
+    for lineno in range(lo, hi + 1):
+        line = src.lines[lineno - 1]
+        if PRAGMA_RE.match(line):
+            continue
+        yield lineno, line
+
+
+def _is_accumulation(name: str, operator: str, rhs: str) -> bool:
+    if operator in ("+=", "-=", "*=", "/=", "|=", "&=", "^=", "++", "--"):
+        return True
+    return operator == "=" and re.search(rf"\b{re.escape(name)}\b", rhs) is not None
+
+
+@register_rule
+class MissingPrivate(Rule):
+    id = "PDC201"
+    name = "omp-missing-private"
+    severity = ERROR
+    summary = ("per-thread temporary (or out-of-init loop index) missing "
+               "from private(...)")
+    fix_hint = ("add the variable to private(...) on the pragma, or declare "
+                "it inside the parallel region so each thread gets its own")
+    language = "c"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        pragmas_by_line = _pragmas_by_line(src)
+        for pragma in src.pragmas:
+            if pragma.directive == "parallel":
+                yield from self._check_parallel_block(src, pragma,
+                                                      pragmas_by_line)
+            elif pragma.directive in ("for", "parallel for"):
+                yield from self._check_loop_index(src, pragma)
+
+    def _check_parallel_block(self, src, pragma, pragmas_by_line):
+        declared = _declared_before(src.lines, pragma.line - 1)
+        scoped = pragma.data_vars()
+        for lineno, line in _iter_block_statements(src, pragma):
+            match = _ASSIGN_RE.match(line)
+            if match is None:
+                continue
+            name = match.group(1)
+            if name not in declared or name in scoped:
+                continue
+            if _guarded(src.lines, lineno - 1, pragmas_by_line):
+                continue
+            yield self.diag(
+                src, lineno,
+                f"'{name}' is declared before the parallel region and "
+                "written by every thread; it needs private("
+                f"{name}) (or an in-region declaration)",
+                variable=name,
+            )
+
+    def _check_loop_index(self, src, pragma):
+        lo, hi = _block_range(src.lines, pragma.line)
+        for lineno in range(lo, hi + 1):
+            line = src.lines[lineno - 1]
+            if "for" not in line:
+                continue
+            if _FOR_DECL_RE.search(line):
+                return  # index declared in the init: implicitly private
+            match = _FOR_ASSIGN_RE.search(line)
+            if match is None:
+                continue
+            index = match.group(1)
+            if index not in pragma.data_vars("private", "firstprivate",
+                                             "lastprivate"):
+                yield self.diag(
+                    src, lineno,
+                    f"loop index '{index}' is declared outside the loop; "
+                    "declare it in the for-init or add private("
+                    f"{index}) for clarity and pre-C99 safety",
+                    severity=WARNING,
+                    variable=index,
+                )
+            return
+
+
+@register_rule
+class MissingReduction(Rule):
+    id = "PDC202"
+    name = "omp-missing-reduction"
+    severity = ERROR
+    summary = "accumulation variable missing from reduction(...)"
+    fix_hint = ("add reduction(op:var) to the pragma, or guard the update "
+                "with #pragma omp critical / atomic")
+    language = "c"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        pragmas_by_line = _pragmas_by_line(src)
+        for pragma in src.pragmas:
+            if pragma.directive not in ("for", "parallel for"):
+                continue
+            declared = _declared_before(src.lines, pragma.line - 1)
+            reduced = pragma.data_vars("reduction")
+            privatized = pragma.data_vars("private", "firstprivate",
+                                          "lastprivate")
+            for lineno, line in _iter_block_statements(src, pragma):
+                if "for" in line and "(" in line and ";" in line \
+                        and line.count(";") >= 2:
+                    continue  # the for-header itself
+                match = _ASSIGN_RE.match(line)
+                if match is None:
+                    continue
+                name, operator, rhs = match.groups()
+                if name not in declared or name in reduced \
+                        or name in privatized:
+                    continue
+                if not _is_accumulation(name, operator, rhs):
+                    continue
+                if _guarded(src.lines, lineno - 1, pragmas_by_line):
+                    continue
+                yield self.diag(
+                    src, lineno,
+                    f"'{name}' accumulates across iterations of a parallel "
+                    "loop without reduction("
+                    f"...:{name}) — concurrent read-modify-write loses "
+                    "updates",
+                    variable=name,
+                )
+
+
+@register_rule
+class NowaitDependence(Rule):
+    id = "PDC203"
+    name = "omp-nowait-dependence"
+    severity = WARNING
+    summary = "nowait on a loop whose output a following loop reads"
+    fix_hint = ("drop the nowait (keep the implied barrier) or fuse the two "
+                "loops — the second loop may read elements the first has "
+                "not produced yet")
+    language = "c"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        loop_pragmas = [p for p in src.pragmas
+                        if p.directive in ("for", "parallel for")]
+        for position, pragma in enumerate(loop_pragmas):
+            if not pragma.has_clause("nowait"):
+                continue
+            written = {
+                name
+                for _, line in _iter_block_statements(src, pragma)
+                for name in _ARRAY_WRITE_RE.findall(line)
+            }
+            if not written:
+                continue
+            for later in loop_pragmas[position + 1:]:
+                reads = [
+                    (name, lineno)
+                    for lineno, line in _iter_block_statements(src, later)
+                    for name in written
+                    if re.search(rf"\b{re.escape(name)}\b", line)
+                ]
+                if reads:
+                    name, lineno = reads[0]
+                    yield self.diag(
+                        src, pragma.line,
+                        f"nowait removes the barrier after this loop, but "
+                        f"the loop at line {later.line} uses '{name}' "
+                        f"(line {lineno}) which this loop writes",
+                        variable=name,
+                        dependent_line=later.line,
+                    )
+                    break
+
+
+def check_clistings() -> AnalysisReport:
+    """Consistency gate: every C listing parses and names a patternlet."""
+    from ...patternlets import C_LISTINGS, patternlet_names
+
+    report = AnalysisReport(target="clistings", engine=ENGINE)
+    registered = set(patternlet_names("openmp"))
+    for name in sorted(C_LISTINGS):
+        label = f"clisting:{name}"
+        pragmas, diagnostics = parse_source(C_LISTINGS[name], label)
+        for diagnostic in diagnostics:
+            report.add(diagnostic)
+        if not pragmas:
+            report.add(Diagnostic(
+                kind="listing-empty",
+                severity=WARNING,
+                message=f"C listing '{name}' contains no #pragma omp "
+                        "directive",
+                location=label,
+                details={"rule": "clistings"},
+            ))
+        if name not in registered:
+            report.add(Diagnostic(
+                kind="listing-orphan",
+                severity=ERROR,
+                message=f"C listing '{name}' does not name a registered "
+                        "openmp patternlet",
+                location=label,
+                details={"rule": "clistings"},
+            ))
+    for name in sorted(registered - set(C_LISTINGS)):
+        report.add(Diagnostic(
+            kind="listing-missing",
+            severity=WARNING,
+            message=f"openmp patternlet '{name}' has no C listing",
+            location=f"clisting:{name}",
+            details={"rule": "clistings"},
+        ))
+    report.notes.append(
+        f"{len(C_LISTINGS)} C listings checked against "
+        f"{len(registered)} registered openmp patternlets"
+    )
+    return report

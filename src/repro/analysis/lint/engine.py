@@ -1,0 +1,347 @@
+"""pdclint core: the rule protocol, suppression directives, and entry points.
+
+The analyzer is a classic rule engine: each rule is a class with a stable
+id (``PDC1xx`` for Python AST rules, ``PDC2xx`` for C pragma rules), a
+severity, a one-line summary, and a fix hint.  Rules walk a parsed
+:class:`SourceFile` and yield :class:`~repro.analysis.diagnostics.Diagnostic`
+records; the engine partitions the findings against ``pdclint`` suppression
+directives and packs everything into the same
+:class:`~repro.analysis.diagnostics.AnalysisReport` the dynamic engines
+emit, so ``repro lint`` and ``repro analyze`` share one report format.
+
+Suppression syntax (Python ``#`` comments and C ``/* */`` or ``//``
+comments alike)::
+
+    counter.unsafe_read_modify_write(1)  # pdclint: disable=PDC101
+    # pdclint: disable=PDC103,PDC104   <- standalone: applies file-wide
+    balance = balance + 1;  /* pdclint: disable=PDC202 */
+
+A trailing directive suppresses matching findings reported on its own
+line; a directive on a line of its own suppresses them for the whole
+file.  ``disable=all`` suppresses every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator, Sequence
+
+from ..diagnostics import ERROR, AnalysisReport, Diagnostic
+
+__all__ = [
+    "ENGINE",
+    "Rule",
+    "SourceFile",
+    "Suppressions",
+    "register_rule",
+    "all_rules",
+    "rule_ids",
+    "scan_suppressions",
+    "lint_source",
+    "lint_path",
+    "lint_patternlet",
+    "lint_targets",
+]
+
+ENGINE = "pdclint"
+
+PY_SUFFIXES = frozenset({".py"})
+C_SUFFIXES = frozenset({".c", ".h"})
+
+_DIRECTIVE_RE = re.compile(r"pdclint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+_COMMENT_STARTS = ("#", "//", "/*")
+
+
+@dataclass
+class SourceFile:
+    """One parsed unit of learner code handed to the rules.
+
+    ``tree`` is the Python AST (``language == "python"``); ``pragmas`` is
+    the parsed ``#pragma omp`` directive list (``language == "c"``).
+    ``cache`` lets rules share per-file derived facts (e.g. the set of
+    parallel-body functions) without recomputing them.
+    """
+
+    label: str
+    text: str
+    language: str  # "python" | "c"
+    lines: list[str] = field(default_factory=list)
+    tree: ast.Module | None = None
+    pragmas: list[Any] = field(default_factory=list)
+    cache: dict[str, Any] = field(default_factory=dict)
+
+
+class Rule:
+    """Base class for one pdclint rule."""
+
+    id: str = ""
+    name: str = ""  # machine-readable kind slug, e.g. "shared-write-in-parallel"
+    severity: str = ERROR
+    summary: str = ""
+    fix_hint: str = ""
+    language: str = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def diag(
+        self,
+        src: SourceFile,
+        line: int,
+        message: str,
+        severity: str | None = None,
+        **details: Any,
+    ) -> Diagnostic:
+        return Diagnostic(
+            kind=self.name,
+            severity=severity or self.severity,
+            message=message,
+            location=f"{src.label}:{line}",
+            details={"rule": self.id, "fix": self.fix_hint, **details},
+        )
+
+
+_RULES: list[Rule] = []
+
+
+def register_rule(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    if not (cls.id and cls.name and cls.summary):
+        raise ValueError(f"rule {cls.__name__} is missing id/name/summary")
+    if any(r.id == cls.id for r in _RULES):
+        raise ValueError(f"duplicate pdclint rule id {cls.id}")
+    _RULES.append(cls())
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id (imports register on demand)."""
+    from . import cpragma, pyrules  # noqa: F401  (importing registers the rules)
+
+    return sorted(_RULES, key=lambda r: r.id)
+
+
+def rule_ids() -> list[str]:
+    return [r.id for r in all_rules()]
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """The pdclint directives found in one source file."""
+
+    line_ids: dict[int, frozenset[str]]
+    file_ids: frozenset[str]
+
+    def covers(self, rule_id: str, line: int | None) -> bool:
+        for ids in (self.file_ids, self.line_ids.get(line or -1, frozenset())):
+            if "all" in ids or rule_id in ids:
+                return True
+        return False
+
+
+def scan_suppressions(lines: Sequence[str]) -> Suppressions:
+    line_ids: dict[int, frozenset[str]] = {}
+    file_ids: set[str] = set()
+    for num, line in enumerate(lines, start=1):
+        match = _DIRECTIVE_RE.search(line)
+        if not match:
+            continue
+        ids = frozenset(t.strip() for t in match.group(1).split(",") if t.strip())
+        if line.strip().startswith(_COMMENT_STARTS):
+            file_ids |= ids
+        else:
+            line_ids[num] = line_ids.get(num, frozenset()) | ids
+    return Suppressions(line_ids, frozenset(file_ids))
+
+
+def _normalize_ids(ids: Iterable[str] | str | None) -> frozenset[str] | None:
+    if ids is None:
+        return None
+    if isinstance(ids, str):
+        ids = [part for part in re.split(r"[,\s]+", ids) if part]
+    wanted = frozenset(i.upper() for i in ids)
+    known = frozenset(rule_ids())
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ValueError(
+            f"unknown pdclint rule id(s) {unknown}; known: {sorted(known)}"
+        )
+    return wanted
+
+
+def _active_rules(
+    language: str,
+    select: frozenset[str] | None,
+    ignore: frozenset[str] | None,
+) -> list[Rule]:
+    rules = [r for r in all_rules() if r.language == language]
+    if select is not None:
+        rules = [r for r in rules if r.id in select]
+    if ignore is not None:
+        rules = [r for r in rules if r.id not in ignore]
+    return rules
+
+
+def _location_line(diagnostic: Diagnostic) -> int | None:
+    location = diagnostic.location or ""
+    _, _, tail = location.rpartition(":")
+    return int(tail) if tail.isdigit() else None
+
+
+def lint_source(
+    text: str,
+    label: str,
+    language: str = "python",
+    select: Iterable[str] | str | None = None,
+    ignore: Iterable[str] | str | None = None,
+    report: AnalysisReport | None = None,
+) -> AnalysisReport:
+    """Lint one source text and return (or extend) an :class:`AnalysisReport`."""
+    if report is None:
+        report = AnalysisReport(target=label, engine=ENGINE)
+    src = SourceFile(label=label, text=text, language=language,
+                     lines=text.splitlines())
+    found: list[Diagnostic] = []
+
+    if language == "python":
+        try:
+            src.tree = ast.parse(text, filename=label)
+        except SyntaxError as exc:
+            report.add(Diagnostic(
+                kind="parse-error",
+                severity=ERROR,
+                message=f"could not parse Python source: {exc.msg}",
+                location=f"{label}:{exc.lineno or 0}",
+                details={"rule": "parse-error"},
+            ))
+            return report
+    elif language == "c":
+        from .cpragma import parse_source
+
+        src.pragmas, parse_diags = parse_source(text, label)
+        found.extend(parse_diags)
+    else:
+        raise ValueError(f"unknown lint language {language!r}")
+
+    for rule in _active_rules(language, _normalize_ids(select),
+                              _normalize_ids(ignore)):
+        found.extend(rule.check(src))
+
+    suppressions = scan_suppressions(src.lines)
+    seen: set[tuple[str, str | None, str]] = set()
+    for diagnostic in found:
+        key = (diagnostic.kind, diagnostic.location, diagnostic.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        rule_id = str(diagnostic.details.get("rule", ""))
+        if suppressions.covers(rule_id, _location_line(diagnostic)):
+            report.add_suppressed(diagnostic)
+        else:
+            report.add(diagnostic)
+    return report
+
+
+def _label(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(Path.cwd()))
+    except ValueError:
+        return str(path)
+
+
+def lint_path(
+    path: str | Path,
+    select: Iterable[str] | str | None = None,
+    ignore: Iterable[str] | str | None = None,
+    report: AnalysisReport | None = None,
+    target: str | None = None,
+) -> AnalysisReport:
+    """Lint a file, or every ``.py``/``.c``/``.h`` file under a directory."""
+    path = Path(path)
+    if report is None:
+        report = AnalysisReport(target=target or _label(path), engine=ENGINE)
+    if path.is_dir():
+        files = sorted(
+            p for p in path.rglob("*")
+            if p.is_file() and p.suffix in (PY_SUFFIXES | C_SUFFIXES)
+        )
+    elif path.is_file():
+        files = [path]
+    else:
+        raise FileNotFoundError(f"no such file or directory: {path}")
+    for file in files:
+        language = "python" if file.suffix in PY_SUFFIXES else "c"
+        lint_source(file.read_text(), _label(file), language,
+                    select=select, ignore=ignore, report=report)
+    return report
+
+
+def lint_patternlet(
+    name: str,
+    paradigm: str | None = None,
+    select: Iterable[str] | str | None = None,
+    ignore: Iterable[str] | str | None = None,
+    report: AnalysisReport | None = None,
+) -> AnalysisReport:
+    """Lint a registered patternlet: its Python runner and its C listing.
+
+    The runner's defining file is linted whole (rules need module context),
+    then findings are narrowed to the runner's own line span, so linting
+    ``critical`` does not surface the intentional bug of ``race`` defined
+    in the same module.
+    """
+    from ..runner import _resolve
+
+    paradigm, patternlet = _resolve(name, paradigm)
+    target = f"{paradigm}:{name}"
+    if report is None:
+        report = AnalysisReport(target=target, engine=ENGINE)
+
+    source_file = patternlet.source_file
+    if source_file:
+        path = Path(source_file)
+        sub = lint_source(path.read_text(), _label(path), "python",
+                          select=select, ignore=ignore)
+        lo, hi = patternlet.source_span
+        for diagnostic in sub.diagnostics:
+            line = _location_line(diagnostic)
+            if line is None or lo <= line <= hi:
+                report.add(diagnostic)
+        for diagnostic in sub.suppressed:
+            line = _location_line(diagnostic)
+            if line is None or lo <= line <= hi:
+                report.add_suppressed(diagnostic)
+
+    listing = patternlet.c_listing
+    if listing is not None:
+        lint_source(listing, f"clisting:{name}", "c",
+                    select=select, ignore=ignore, report=report)
+    return report
+
+
+def lint_targets(
+    targets: Sequence[str],
+    select: Iterable[str] | str | None = None,
+    ignore: Iterable[str] | str | None = None,
+) -> AnalysisReport:
+    """Lint a mix of paths and patternlet names into one combined report.
+
+    The special target ``clistings`` runs the C-listing consistency check
+    (every ``C_LISTINGS`` entry parses and names a registered patternlet).
+    """
+    report = AnalysisReport(target=" ".join(str(t) for t in targets),
+                            engine=ENGINE)
+    for target in targets:
+        path = Path(target)
+        if path.exists():
+            lint_path(path, select=select, ignore=ignore, report=report)
+        elif target == "clistings":
+            from .cpragma import check_clistings
+
+            report.extend(check_clistings())
+        else:
+            lint_patternlet(target, select=select, ignore=ignore, report=report)
+    return report

@@ -1,0 +1,476 @@
+"""Python AST rules: the mistakes remote learners actually make.
+
+Each rule targets one failure shape from the patternlet curriculum, phrased
+against the ``repro.openmp`` / ``repro.mpi`` teaching APIs:
+
+* **PDC101** — write to a closure/shared variable inside a
+  ``parallel_region``/``parallel_for`` body without ``critical``/atomic/
+  reduction protection (the ``race`` patternlet's bug);
+* **PDC102** — ``barrier()`` reachable from inside a ``single``/``master``
+  construct: only some threads arrive, the team hangs;
+* **PDC103** — the symmetric-deadlock shape: every rank blocks in the same
+  ``recv``-before-``send`` (or buffering-dependent ``send``-before-``recv``)
+  order (the ``deadlock`` patternlet's bug);
+* **PDC104** — a collective called lexically inside an ``if rank ...``
+  branch without a matching call on the other ranks' path;
+* **PDC105** — loop-carried dependence hints (neighbor indexing) in
+  ``parallel_for`` bodies;
+* **PDC106** — ``lock.acquire()`` with no matching ``release()`` in the
+  same function and no ``with`` usage.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import ERROR, WARNING, Diagnostic
+from .engine import Rule, SourceFile, register_rule
+
+#: callable-position of the body argument in each parallel launcher
+_PARALLEL_LAUNCHERS = {"parallel_region": 0, "parallel_sections": 0,
+                       "parallel_for": 1, "for_loop": 1}
+_LOOP_LAUNCHERS = ("parallel_for", "for_loop")
+
+_SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend"})
+_RECV_METHODS = frozenset({"recv", "Recv"})
+_COLLECTIVE_METHODS = frozenset({
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce", "allreduce", "Allreduce", "allgather", "Allgather",
+    "alltoall", "Alltoall", "barrier", "Barrier", "scan", "Scan", "exscan",
+})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _scoped_walk(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root``'s subtree without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _function_defs(src: SourceFile) -> dict[str, list[ast.FunctionDef]]:
+    if "function_defs" not in src.cache:
+        defs: dict[str, list[ast.FunctionDef]] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, []).append(node)
+        src.cache["function_defs"] = defs
+    return src.cache["function_defs"]
+
+
+def _callable_arg(src: SourceFile, call: ast.Call, position: int) -> list[ast.AST]:
+    """Resolve the callable passed at ``position``: lambdas and local defs."""
+    if len(call.args) <= position:
+        return []
+    arg = call.args[position]
+    if isinstance(arg, ast.Lambda):
+        return [arg]
+    if isinstance(arg, ast.Name):
+        return list(_function_defs(src).get(arg.id, []))
+    return []
+
+
+def _parallel_bodies(src: SourceFile) -> list[tuple[ast.AST, str]]:
+    """Every function/lambda passed as the body of a parallel launcher."""
+    if "parallel_bodies" not in src.cache:
+        bodies: list[tuple[ast.AST, str]] = []
+        seen: set[int] = set()
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            launcher = _call_name(node)
+            position = _PARALLEL_LAUNCHERS.get(launcher)
+            if position is None:
+                continue
+            for body in _callable_arg(src, node, position):
+                if id(body) not in seen:
+                    seen.add(id(body))
+                    bodies.append((body, launcher))
+        src.cache["parallel_bodies"] = bodies
+    return src.cache["parallel_bodies"]
+
+
+def _spmd_bodies(src: SourceFile) -> list[ast.AST]:
+    """Functions that run SPMD: a ``comm`` parameter, or passed to mpirun."""
+    if "spmd_bodies" not in src.cache:
+        bodies: list[ast.AST] = []
+        seen: set[int] = set()
+
+        def _add(node: ast.AST) -> None:
+            if id(node) not in seen:
+                seen.add(id(node))
+                bodies.append(node)
+
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                if any(arg.arg == "comm" for arg in node.args.args):
+                    _add(node)
+            elif isinstance(node, ast.Call) and _call_name(node) in (
+                    "mpirun", "run_script", "trace_run"):
+                for body in _callable_arg(src, node, 0):
+                    _add(body)
+        src.cache["spmd_bodies"] = bodies
+    return src.cache["spmd_bodies"]
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "rank" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Call) and _call_name(sub).lower() == "get_rank":
+            return True
+    return False
+
+
+def _body_stmts(node: ast.AST) -> list[ast.stmt]:
+    if isinstance(node, ast.Lambda):
+        return [ast.Expr(value=node.body)]
+    return list(getattr(node, "body", []))
+
+
+@register_rule
+class SharedWriteInParallel(Rule):
+    id = "PDC101"
+    name = "shared-write-in-parallel"
+    severity = ERROR
+    summary = ("write to a shared/closure variable inside a parallel body "
+               "without critical/atomic/reduction protection")
+    fix_hint = ("guard the update with `with critical(...)`, switch to an "
+                "AtomicCounter/AtomicAccumulator, or restructure the loop "
+                "as a reduction")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for body, launcher in _parallel_bodies(src):
+            shared = {
+                name
+                for node in ast.walk(body)
+                if isinstance(node, (ast.Nonlocal, ast.Global))
+                for name in node.names
+            }
+            findings: list[Diagnostic] = []
+            self._scan(src, launcher, _body_stmts(body), shared, False, findings)
+            yield from findings
+
+    def _scan(self, src, launcher, nodes, shared, protected, findings) -> None:
+        for node in nodes:
+            if isinstance(node, ast.With):
+                guarded = protected or any(
+                    self._is_sync_guard(item.context_expr) for item in node.items
+                )
+                self._scan(src, launcher, node.body, shared, guarded, findings)
+                continue
+            if not protected:
+                if isinstance(node, (ast.Assign, ast.AugAssign)):
+                    targets = (node.targets if isinstance(node, ast.Assign)
+                               else [node.target])
+                    for target in targets:
+                        if isinstance(target, ast.Name) and target.id in shared:
+                            findings.append(self.diag(
+                                src, node.lineno,
+                                f"write to shared variable '{target.id}' "
+                                f"inside a `{launcher}` body without "
+                                "synchronization",
+                                variable=target.id,
+                            ))
+                if (isinstance(node, ast.Call)
+                        and _call_name(node) == "unsafe_read_modify_write"):
+                    findings.append(self.diag(
+                        src, node.lineno,
+                        "unsynchronized read-modify-write on a shared counter "
+                        f"inside a `{launcher}` body",
+                    ))
+            self._scan(src, launcher, list(ast.iter_child_nodes(node)),
+                       shared, protected, findings)
+
+    @staticmethod
+    def _is_sync_guard(expr: ast.AST) -> bool:
+        if isinstance(expr, ast.Call):
+            name = _call_name(expr)
+            return name == "critical" or "lock" in name.lower()
+        if isinstance(expr, ast.Name):
+            return "lock" in expr.id.lower()
+        if isinstance(expr, ast.Attribute):
+            return "lock" in expr.attr.lower()
+        return False
+
+
+@register_rule
+class BarrierInSingle(Rule):
+    id = "PDC102"
+    name = "barrier-in-single"
+    severity = ERROR
+    summary = "barrier() reachable from inside a single/master construct"
+    fix_hint = ("move the barrier() outside the single/master construct: a "
+                "barrier only completes when *every* team thread reaches it")
+    language = "python"
+
+    _ONE_THREAD_CALLS = frozenset({"single", "master", "get_thread_num",
+                                   "Get_thread_num"})
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.If) and self._is_one_thread_test(node.test):
+                construct = self._construct_name(node.test)
+                for branch, stmts in (("body", node.body),
+                                      ("else branch", node.orelse)):
+                    for line in self._barrier_lines(stmts):
+                        yield self.diag(
+                            src, line,
+                            f"barrier() inside the {branch} of an "
+                            f"`if {construct}()` guard deadlocks the team",
+                            construct=construct,
+                        )
+            elif (isinstance(node, ast.Call)
+                  and _call_name(node) in ("single", "master") and node.args):
+                for body in ([node.args[0]] if isinstance(node.args[0], ast.Lambda)
+                             else _callable_arg(src, node, 0)):
+                    for line in self._barrier_lines([body]):
+                        yield self.diag(
+                            src, line,
+                            "barrier() inside a function run under "
+                            f"`{_call_name(node)}(...)` deadlocks the team",
+                            construct=_call_name(node),
+                        )
+
+    def _is_one_thread_test(self, test: ast.AST) -> bool:
+        return any(
+            isinstance(sub, ast.Call)
+            and _call_name(sub) in self._ONE_THREAD_CALLS
+            for sub in ast.walk(test)
+        )
+
+    def _construct_name(self, test: ast.AST) -> str:
+        for sub in ast.walk(test):
+            if (isinstance(sub, ast.Call)
+                    and _call_name(sub) in self._ONE_THREAD_CALLS):
+                return _call_name(sub)
+        return "single"
+
+    @staticmethod
+    def _barrier_lines(nodes: list[ast.AST]) -> list[int]:
+        lines = []
+        for node in nodes:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name) \
+                        and sub.func.id == "barrier":
+                    lines.append(sub.lineno)
+        return lines
+
+
+@register_rule
+class SymmetricDeadlock(Rule):
+    id = "PDC103"
+    name = "symmetric-deadlock"
+    severity = ERROR
+    summary = ("blocking send/recv issued in the same order by every rank "
+               "(the ring/exchange deadlock shape)")
+    fix_hint = ("break the symmetry: alternate the send/recv order by rank "
+                "parity, or use comm.sendrecv() which pairs them safely")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for body in _spmd_bodies(src):
+            ops: list[tuple[str, int]] = []
+            self._collect(_body_stmts(body), ops)
+            if not ops:
+                continue
+            first_kind, first_line = ops[0]
+            rest = {kind for kind, _ in ops[1:]}
+            if first_kind == "recv" and "send" in rest:
+                yield self.diag(
+                    src, first_line,
+                    "every rank blocks in recv() before reaching its send() "
+                    "— the symmetric exchange deadlocks",
+                )
+            elif first_kind == "send" and "recv" in rest:
+                yield self.diag(
+                    src, first_line,
+                    "every rank send()s before it recv()s; blocking sends "
+                    "deadlock as soon as messages stop fitting in buffers",
+                    severity=WARNING,
+                )
+
+    def _collect(self, stmts: list[ast.stmt], ops: list[tuple[str, int]]) -> bool:
+        """Gather p2p calls on the all-ranks path; False stops the scan."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                # A rank-conditional branch that returns splits the ranks
+                # for good: everything after runs on a subset only.
+                if _mentions_rank(stmt.test) and any(
+                    isinstance(sub, (ast.Return, ast.Raise))
+                    for node in stmt.body + stmt.orelse
+                    for sub in ast.walk(node)
+                ):
+                    return False
+                continue  # conditional code: not executed by all ranks
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                return False
+            if isinstance(stmt, (ast.For, ast.While)):
+                if not self._collect(stmt.body, ops):
+                    return False
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    method = _call_name(sub)
+                    if method in _SEND_METHODS:
+                        ops.append(("send", sub.lineno))
+                    elif method in _RECV_METHODS:
+                        ops.append(("recv", sub.lineno))
+        return True
+
+
+@register_rule
+class CollectiveInRankBranch(Rule):
+    id = "PDC104"
+    name = "collective-in-rank-branch"
+    severity = ERROR
+    summary = "collective call lexically inside an `if rank ...` branch"
+    fix_hint = ("collectives must be called by every rank: hoist the call "
+                "out of the conditional and use its root=... argument to "
+                "distinguish the root's role")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
+                continue
+            body_calls = self._collectives(node.body)
+            else_calls = self._collectives(node.orelse)
+            body_methods = {m for m, _ in body_calls}
+            else_methods = {m for m, _ in else_calls}
+            for method, line in body_calls:
+                if method not in else_methods:
+                    yield self._finding(src, method, line)
+            for method, line in else_calls:
+                if method not in body_methods:
+                    yield self._finding(src, method, line)
+
+    def _finding(self, src: SourceFile, method: str, line: int) -> Diagnostic:
+        return self.diag(
+            src, line,
+            f"collective '{method}' is only reached by a subset of ranks "
+            "(it sits inside a rank conditional); the other ranks never "
+            "enter the collective and the program hangs",
+            collective=method,
+        )
+
+    @staticmethod
+    def _collectives(stmts: list[ast.stmt]) -> list[tuple[str, int]]:
+        calls = []
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _COLLECTIVE_METHODS):
+                    calls.append((sub.func.attr, sub.lineno))
+        return calls
+
+
+@register_rule
+class LoopCarriedDependence(Rule):
+    id = "PDC105"
+    name = "loop-carried-dependence"
+    severity = WARNING
+    summary = "parallel_for body indexes neighbor elements of the loop variable"
+    fix_hint = ("parallel_for iterations must be independent; restructure "
+                "(prefix-scan, ghost cells, or double buffering) or run the "
+                "loop sequentially")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for body, launcher in _parallel_bodies(src):
+            if launcher not in _LOOP_LAUNCHERS:
+                continue
+            args = body.args.args
+            if not args:
+                continue
+            index = args[0].arg
+            root = body.body if isinstance(body, ast.Lambda) else body
+            nodes = [root] if isinstance(root, ast.AST) else list(root)
+            for node in nodes:
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Subscript) and \
+                            self._neighbor_index(sub.slice, index):
+                        yield self.diag(
+                            src, sub.lineno,
+                            "subscript "
+                            f"'{ast.unparse(sub)}' reads/writes a neighbor "
+                            f"of loop variable '{index}' — iterations are "
+                            "not independent",
+                            index=index,
+                        )
+
+    @staticmethod
+    def _neighbor_index(slice_node: ast.AST, index: str) -> bool:
+        for sub in ast.walk(slice_node):
+            if isinstance(sub, ast.BinOp) and isinstance(
+                    sub.op, (ast.Add, ast.Sub)):
+                names = {
+                    n.id for n in ast.walk(sub) if isinstance(n, ast.Name)
+                }
+                if index in names:
+                    return True
+        return False
+
+
+@register_rule
+class UnreleasedLock(Rule):
+    id = "PDC106"
+    name = "unreleased-lock"
+    severity = WARNING
+    summary = "lock.acquire() without a matching release() in the same function"
+    fix_hint = ("release in a `finally:` block, or hold the lock with "
+                "`with lock:` so every exit path releases it")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        scopes: list[ast.AST] = [src.tree]
+        scopes.extend(
+            node for node in ast.walk(src.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda))
+        )
+        for scope in scopes:
+            acquires: dict[str, list[int]] = {}
+            releases: dict[str, int] = {}
+            with_names: set[str] = set()
+            for node in _scoped_walk(scope):
+                if isinstance(node, ast.With):
+                    for item in node.items:
+                        if isinstance(item.context_expr, ast.Name):
+                            with_names.add(item.context_expr.id)
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)):
+                    receiver = node.func.value.id
+                    if node.func.attr == "acquire":
+                        acquires.setdefault(receiver, []).append(node.lineno)
+                    elif node.func.attr == "release":
+                        releases[receiver] = releases.get(receiver, 0) + 1
+            for receiver, lines in sorted(acquires.items()):
+                if (len(lines) > releases.get(receiver, 0)
+                        and receiver not in with_names):
+                    yield self.diag(
+                        src, lines[0],
+                        f"'{receiver}.acquire()' has no matching release() "
+                        "in this function — any thread that errors or "
+                        "returns early holds the lock forever",
+                        lock=receiver,
+                    )

@@ -16,7 +16,18 @@ from .diagnostics import AnalysisReport
 from .mpicheck import mpi_checker
 from .race import race_detector
 
-__all__ = ["analyze", "ANALYZE_PARAMS"]
+__all__ = ["analyze", "emit_report", "ANALYZE_PARAMS"]
+
+
+def emit_report(report: AnalysisReport, as_json: bool = False) -> int:
+    """Print an :class:`AnalysisReport` and return the CLI exit code.
+
+    Shared by ``repro analyze`` and ``repro lint`` so both commands render
+    reports and gate exit codes identically: text (or ``--json``) on
+    stdout, exit 1 when any error-severity diagnostic survived, else 0.
+    """
+    print(report.to_json() if as_json else report.render())
+    return 1 if report.errors else 0
 
 #: Per-patternlet workload overrides for analysis runs.  A handful of
 #: iterations exercises every access/synchronization edge the detector

@@ -7,6 +7,9 @@ Gives instructors and students the whole toolkit without writing Python:
 * ``analyze <name>`` — run a patternlet under the happens-before race
   detector (openmp) or the MPI correctness checker (mpi) and report
   diagnostics (``--json`` for machine-readable output);
+* ``lint <path|patternlet> ...`` — pdclint, the static analyzer: AST rules
+  over learner Python plus ``#pragma omp`` checks on the C listings,
+  without running anything (``--select``/``--ignore`` filter rules);
 * ``notebook [colab|chameleon]`` — execute a notebook, optionally exporting
   the executed ``.ipynb``;
 * ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
@@ -55,6 +58,22 @@ def build_parser() -> argparse.ArgumentParser:
                            help="processes (mpi) / threads (openmp)")
     p_analyze.add_argument("--json", action="store_true", dest="as_json",
                            help="emit the report as JSON instead of text")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static-analyze learner code with pdclint (no execution)",
+    )
+    p_lint.add_argument(
+        "targets", nargs="+", metavar="path|patternlet",
+        help="files/directories to lint, a patternlet name, or the special "
+             "target 'clistings' (C-listing consistency check)",
+    )
+    p_lint.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON instead of text")
+    p_lint.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    p_lint.add_argument("--ignore", metavar="IDS",
+                        help="comma-separated rule ids to skip")
 
     p_nb = sub.add_parser("notebook", help="execute a teaching notebook")
     p_nb.add_argument("which", nargs="?", default="colab",
@@ -125,15 +144,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    from .analysis import analyze
+    from .analysis import analyze, emit_report
 
     try:
         report = analyze(args.name, paradigm=args.paradigm, nprocs=args.nprocs)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    print(report.to_json() if args.as_json else report.render())
-    return 1 if report.errors else 0
+    return emit_report(report, args.as_json)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import emit_report, lint_targets
+
+    try:
+        report = lint_targets(args.targets, select=args.select,
+                              ignore=args.ignore)
+    except (KeyError, ValueError) as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    return emit_report(report, args.as_json)
 
 
 def _cmd_notebook(args: argparse.Namespace) -> int:
@@ -252,6 +282,7 @@ _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
     "analyze": _cmd_analyze,
+    "lint": _cmd_lint,
     "notebook": _cmd_notebook,
     "handout": _cmd_handout,
     "study": _cmd_study,

@@ -18,11 +18,12 @@ from .base import (
     get_patternlet,
     patternlet_names,
 )
-from .clistings import C_LISTINGS, c_listing
+from .clistings import C_LISTINGS, c_listing, has_c_listing
 from .mpi import SPMD_SCRIPT
 
 __all__ = [
     "c_listing",
+    "has_c_listing",
     "C_LISTINGS",
     "Patternlet",
     "PatternletResult",

@@ -68,6 +68,33 @@ class Patternlet:
         """The patternlet's own code, shown to learners as the listing."""
         return textwrap.dedent(inspect.getsource(self.runner))
 
+    @property
+    def source_file(self) -> str | None:
+        """Path of the file defining the runner (None for dynamic defs).
+
+        Listing metadata for tools that read the code rather than run it —
+        pdclint lints this file and narrows to :attr:`source_span`.
+        """
+        try:
+            return inspect.getsourcefile(self.runner)
+        except TypeError:
+            return None
+
+    @property
+    def source_span(self) -> tuple[int, int]:
+        """(first, last) 1-based line numbers of the runner in its file."""
+        lines, start = inspect.getsourcelines(self.runner)
+        return start, start + len(lines) - 1
+
+    @property
+    def c_listing(self) -> str | None:
+        """The companion C/OpenMP handout listing, when one is registered."""
+        if self.paradigm != "openmp":
+            return None
+        from .clistings import C_LISTINGS
+
+        return C_LISTINGS.get(self.name)
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"[{self.paradigm}:{self.order:02d}] {self.name} — {self.pattern}"
 

@@ -5,11 +5,15 @@ C/C++ pragma API); the Python implementations in this package demonstrate
 the same semantics runnable anywhere.  This module carries the C text of
 each patternlet in the CSinParallel style, so the handout can show the
 code the learner will type while the activity checks run in Python.
+
+Every listing's ``#pragma omp`` directives are parsed by pdclint's pragma
+parser (:mod:`repro.analysis.lint.cpragma`); ``repro lint clistings`` is
+the consistency gate that keeps this table in step with the registry.
 """
 
 from __future__ import annotations
 
-__all__ = ["c_listing", "C_LISTINGS"]
+__all__ = ["c_listing", "has_c_listing", "C_LISTINGS"]
 
 _PREAMBLE = "#include <stdio.h>\n#include <omp.h>\n\n"
 
@@ -186,6 +190,11 @@ int main() {
 }
 """,
 }
+
+
+def has_c_listing(name: str) -> bool:
+    """Whether a shared-memory patternlet ships a C handout listing."""
+    return name in C_LISTINGS
 
 
 def c_listing(name: str) -> str:

@@ -128,8 +128,10 @@ def deadlock(np: int = 2, fixed: bool = False, timeout: float = 5.0) -> Patternl
     def broken(comm):
         rank, size = comm.Get_rank(), comm.Get_size()
         partner = rank ^ 1
-        # Everyone receives first: nobody ever reaches their send.
-        incoming = comm.recv(source=partner, tag=7)
+        # Everyone receives first: nobody ever reaches their send.  The
+        # deadlock is the lesson, so pdclint's symmetric-deadlock rule is
+        # suppressed here on purpose.
+        incoming = comm.recv(source=partner, tag=7)  # pdclint: disable=PDC103
         comm.send(f"hello from {rank}", dest=partner, tag=7)
         return incoming
 

@@ -100,7 +100,8 @@ def race(
 
         def body() -> None:
             for _ in range(iterations):
-                counter.unsafe_read_modify_write(1)
+                # The bug IS the lesson: tell pdclint we mean it.
+                counter.unsafe_read_modify_write(1)  # pdclint: disable=PDC101
 
         parallel_region(body, num_threads=num_threads)
     finally:

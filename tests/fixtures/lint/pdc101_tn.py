@@ -1,0 +1,15 @@
+"""True negative for PDC101: the shared write is guarded by critical."""
+
+from repro.openmp import critical, parallel_region
+
+
+def safe_sum(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        with critical("sum"):
+            total = total + 1  # safe: one thread at a time
+
+    parallel_region(body, num_threads=num_threads)
+    return total

@@ -1,0 +1,14 @@
+"""True positive for PDC101: unsynchronized shared write in a parallel body."""
+
+from repro.openmp import parallel_region
+
+
+def racy_sum(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        total = total + 1  # racy read-modify-write on the closure variable
+
+    parallel_region(body, num_threads=num_threads)
+    return total

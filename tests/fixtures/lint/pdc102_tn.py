@@ -1,0 +1,12 @@
+"""True negative for PDC102: the barrier sits outside the single construct."""
+
+from repro.openmp import barrier, parallel_region, single
+
+
+def phase_sync(num_threads: int = 4) -> None:
+    def body() -> None:
+        if single():
+            pass  # one thread does setup work here
+        barrier()  # every thread reaches the barrier
+
+    parallel_region(body, num_threads=num_threads)

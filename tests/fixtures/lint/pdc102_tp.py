@@ -1,0 +1,11 @@
+"""True positive for PDC102: barrier() inside a single construct."""
+
+from repro.openmp import barrier, parallel_region, single
+
+
+def phase_sync(num_threads: int = 4) -> None:
+    def body() -> None:
+        if single():
+            barrier()  # only the single winner arrives: the team hangs
+
+    parallel_region(body, num_threads=num_threads)

@@ -1,0 +1,18 @@
+"""True negative for PDC103: rank parity breaks the exchange symmetry."""
+
+from repro.mpi import mpirun
+
+
+def exchange(np: int = 2):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = (rank + 1) % size
+        if rank % 2 == 0:
+            comm.send(rank, dest=partner, tag=1)
+            incoming = comm.recv(source=partner, tag=1)
+        else:
+            incoming = comm.recv(source=partner, tag=1)
+            comm.send(rank, dest=partner, tag=1)
+        return incoming
+
+    return mpirun(body, np)

@@ -1,0 +1,14 @@
+"""True positive for PDC103: every rank recv()s before it send()s."""
+
+from repro.mpi import mpirun
+
+
+def exchange(np: int = 2):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = (rank + 1) % size
+        incoming = comm.recv(source=partner, tag=1)  # all ranks block here
+        comm.send(rank, dest=partner, tag=1)
+        return incoming
+
+    return mpirun(body, np)

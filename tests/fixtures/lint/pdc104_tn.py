@@ -1,0 +1,13 @@
+"""True negative for PDC104: every rank calls the collective."""
+
+from repro.mpi import mpirun
+
+
+def broadcast_right(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        data = [1, 2, 3] if rank == 0 else None
+        data = comm.bcast(data, root=0)  # all ranks enter the collective
+        return data
+
+    return mpirun(body, np)

@@ -1,0 +1,14 @@
+"""True positive for PDC104: a collective inside an `if rank` branch."""
+
+from repro.mpi import mpirun
+
+
+def broadcast_wrong(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        data = None
+        if rank == 0:
+            data = comm.bcast([1, 2, 3], root=0)  # only rank 0 calls it
+        return data
+
+    return mpirun(body, np)

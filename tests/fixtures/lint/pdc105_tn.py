@@ -1,0 +1,10 @@
+"""True negative for PDC105: each iteration touches only its own element."""
+
+from repro.openmp import parallel_for
+
+
+def square_sum(values: list[float]) -> float:
+    def body(i: int) -> float:
+        return values[i] * values[i]  # independent iterations
+
+    return parallel_for(len(values), body, num_threads=4, reduction="+")

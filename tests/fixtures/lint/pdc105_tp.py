@@ -1,0 +1,10 @@
+"""True positive for PDC105: the parallel_for body reads a neighbor element."""
+
+from repro.openmp import parallel_for
+
+
+def smooth(values: list[float]) -> float:
+    def body(i: int) -> float:
+        return values[i] + values[i - 1]  # depends on the previous iteration
+
+    return parallel_for(len(values), body, num_threads=4, reduction="+")

@@ -1,0 +1,21 @@
+"""True negative for PDC106: acquire is paired with release in finally."""
+
+import threading
+
+_lock = threading.Lock()
+_counter = [0]
+
+
+def safe_increment() -> int:
+    _lock.acquire()
+    try:
+        _counter[0] += 1
+        return _counter[0]
+    finally:
+        _lock.release()
+
+
+def safer_increment() -> int:
+    with _lock:
+        _counter[0] += 1
+        return _counter[0]

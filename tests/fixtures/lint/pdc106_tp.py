@@ -1,0 +1,12 @@
+"""True positive for PDC106: a lock acquired but never released."""
+
+import threading
+
+_lock = threading.Lock()
+_counter = [0]
+
+
+def unsafe_increment() -> int:
+    _lock.acquire()
+    _counter[0] += 1
+    return _counter[0]  # every return leaves the lock held

@@ -1,0 +1,13 @@
+/* True negative for PDC201: the temporary is listed in private(). */
+#include <stdio.h>
+#include <omp.h>
+
+int main() {
+    int id = -1;
+    #pragma omp parallel private(id)
+    {
+        id = omp_get_thread_num();
+        printf("thread %d\n", id);
+    }
+    return 0;
+}

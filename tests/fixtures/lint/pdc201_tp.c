@@ -1,0 +1,13 @@
+/* True positive for PDC201: per-thread temporary missing from private(). */
+#include <stdio.h>
+#include <omp.h>
+
+int main() {
+    int id = -1;
+    #pragma omp parallel
+    {
+        id = omp_get_thread_num();
+        printf("thread %d\n", id);
+    }
+    return 0;
+}

@@ -1,0 +1,14 @@
+/* True negative for PDC202: the accumulation rides a reduction clause. */
+#include <stdio.h>
+#include <omp.h>
+
+int main() {
+    const int N = 1000000;
+    long sum = 0;
+    #pragma omp parallel for reduction(+:sum)
+    for (int i = 1; i <= N; i++) {
+        sum += i;
+    }
+    printf("sum = %ld\n", sum);
+    return 0;
+}

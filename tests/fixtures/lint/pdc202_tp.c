@@ -1,0 +1,14 @@
+/* True positive for PDC202: accumulation variable missing from reduction(). */
+#include <stdio.h>
+#include <omp.h>
+
+int main() {
+    const int N = 1000000;
+    long sum = 0;
+    #pragma omp parallel for
+    for (int i = 1; i <= N; i++) {
+        sum += i;
+    }
+    printf("sum = %ld\n", sum);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/* True positive for PDC203: nowait before a loop that reads the output. */
+#include <stdio.h>
+#include <omp.h>
+
+int main() {
+    double a[100], b[100];
+    #pragma omp parallel
+    {
+        #pragma omp for nowait
+        for (int i = 0; i < 100; i++) {
+            a[i] = i * 0.5;
+        }
+        #pragma omp for
+        for (int i = 0; i < 100; i++) {
+            b[i] = a[i] * 2.0;
+        }
+    }
+    printf("%f\n", b[0]);
+    return 0;
+}

@@ -1,0 +1,14 @@
+"""A true positive silenced by a pdclint suppression directive."""
+
+from repro.openmp import parallel_region
+
+
+def intentionally_racy(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        total = total + 1  # pdclint: disable=PDC101
+
+    parallel_region(body, num_threads=num_threads)
+    return total

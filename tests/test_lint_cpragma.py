@@ -1,0 +1,87 @@
+"""The ``#pragma omp`` parser and the C-listing consistency check."""
+
+import pytest
+
+from repro.analysis.lint import (
+    CPragmaError,
+    check_clistings,
+    parse_pragma,
+    parse_source,
+)
+from repro.patternlets import C_LISTINGS, get_patternlet, has_c_listing
+
+
+class TestParsePragma:
+    def test_bare_parallel(self):
+        pragma = parse_pragma("#pragma omp parallel")
+        assert pragma.directive == "parallel"
+        assert pragma.clauses == ()
+
+    def test_combined_parallel_for(self):
+        pragma = parse_pragma("  # pragma omp parallel for schedule(static)")
+        assert pragma.directive == "parallel for"
+        assert pragma.has_clause("schedule")
+
+    def test_data_clauses_and_args(self):
+        pragma = parse_pragma(
+            "#pragma omp parallel private(i, id) shared(total)")
+        assert pragma.clause_args("private") == ("i", "id")
+        assert pragma.data_vars() == {"i", "id", "total"}
+
+    def test_reduction_operator_prefix_is_stripped(self):
+        pragma = parse_pragma("#pragma omp parallel for reduction(+:sum)")
+        assert pragma.data_vars("reduction") == {"sum"}
+
+    def test_critical_takes_a_name_argument(self):
+        pragma = parse_pragma("#pragma omp critical(update)")
+        assert pragma.directive == "critical"
+
+    def test_trailing_comment_is_ignored(self):
+        pragma = parse_pragma("#pragma omp barrier  // wait here")
+        assert pragma.directive == "barrier"
+
+    @pytest.mark.parametrize("text,fragment", [
+        ("#pragma omp paralel", "unknown omp directive"),
+        ("#pragma omp parallel nosuchclause", "unknown omp clause"),
+        ("#pragma omp parallel private(i", "unbalanced parentheses"),
+        ("#pragma omp", "no directive"),
+        ("#pragma omp for(i)", "does not take an argument list"),
+        ("int x = 0;", "not an omp pragma"),
+    ])
+    def test_rejects_malformed_pragmas(self, text, fragment):
+        with pytest.raises(CPragmaError, match=fragment):
+            parse_pragma(text)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(CPragmaError) as excinfo:
+            parse_pragma("#pragma omp paralel", lineno=42)
+        assert excinfo.value.line == 42
+
+
+class TestParseSource:
+    def test_collects_pragmas_with_line_numbers(self):
+        text = "int main() {\n#pragma omp parallel\n{\n#pragma omp barrier\n}\n}\n"
+        pragmas, diagnostics = parse_source(text, "demo.c")
+        assert [(p.line, p.directive) for p in pragmas] == [
+            (2, "parallel"), (4, "barrier")]
+        assert diagnostics == []
+
+    def test_bad_pragma_becomes_diagnostic_not_exception(self):
+        pragmas, diagnostics = parse_source(
+            "#pragma omp paralel\n", "demo.c")
+        assert pragmas == []
+        assert diagnostics[0].details["rule"] == "parse-error"
+        assert diagnostics[0].location == "demo.c:1"
+
+
+class TestClistingConsistency:
+    def test_all_listings_parse_and_match_registered_patternlets(self):
+        report = check_clistings()
+        assert report.clean, report.render()
+        assert report.target == "clistings"
+        assert report.notes  # summary note names the counts
+
+    def test_every_openmp_patternlet_listing_is_reachable(self):
+        for name in C_LISTINGS:
+            assert has_c_listing(name)
+            assert get_patternlet("openmp", name).c_listing == C_LISTINGS[name]

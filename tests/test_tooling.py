@@ -40,11 +40,19 @@ class TestCliSmoke:
         assert proc.returncode == 0, proc.stderr
         assert "verdict: clean" in proc.stdout
 
+    def test_python_m_repro_lint_examples_json(self):
+        proc = _run([sys.executable, "-m", "repro", "lint", "examples",
+                     "--json"])
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["engine"] == "pdclint"
+        assert payload["clean"] is True
+
 
 class TestLint:
-    def test_ruff_check_src_and_tests(self):
+    def test_ruff_check_src_tests_examples(self):
         ruff = shutil.which("ruff")
         if ruff is None:
             pytest.skip("ruff not installed (pip install -e .[lint])")
-        proc = _run([ruff, "check", "src", "tests"])
+        proc = _run([ruff, "check", "src", "tests", "examples"])
         assert proc.returncode == 0, proc.stdout + proc.stderr
