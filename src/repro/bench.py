@@ -1,0 +1,334 @@
+"""``repro bench`` — wall-clock benchmarks with a regression gate.
+
+The handout's closing benchmarking study measures *simulated* platforms;
+this module measures the real ones: a small registry of sequential and
+parallel kernels drawn from the exemplars, timed with warmup/repeat
+control, written as schema-versioned JSON under ``benchmarks/results/``,
+and compared against a committed baseline with a configurable threshold so
+CI can fail on performance regressions.
+
+Cross-machine comparability
+---------------------------
+Absolute seconds measured on a contributor's laptop mean nothing next to
+seconds measured on a CI runner.  Every run therefore also times a fixed
+pure-Python *calibration* loop and stores each benchmark as a multiple of
+it (``normalized = time_s / calibration_s``).  The regression gate
+compares normalized values, so "this kernel got 40% slower relative to
+the interpreter itself" survives a hardware change; absolute times are
+kept alongside for humans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Callable
+
+from .platforms.speedup import measure_wall_time
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchSpec",
+    "REGISTRY",
+    "bench_names",
+    "calibrate",
+    "run_benchmarks",
+    "compare_results",
+    "format_comparison",
+    "default_results_path",
+    "DEFAULT_BASELINE",
+    "DEFAULT_THRESHOLD",
+]
+
+#: Bump when the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Regression gate: fail when a benchmark is this much slower than baseline.
+DEFAULT_THRESHOLD = 0.30
+
+#: Committed reference results (repo-relative).
+DEFAULT_BASELINE = Path("benchmarks") / "baseline.json"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One registered benchmark.
+
+    ``make(quick, backend)`` returns the zero-argument thunk to time;
+    ``quick`` selects the smaller problem size for CI smoke runs, and
+    ``backend`` is threaded through to the parallel kernels (sequential
+    ones ignore it).
+    """
+
+    name: str
+    group: str
+    make: Callable[[bool, str], Callable[[], Any]]
+
+
+def _integration_seq(quick: bool, _backend: str) -> Callable[[], Any]:
+    from .exemplars.integration import integrate_seq, quarter_circle
+
+    n = 20_000 if quick else 200_000
+    return lambda: integrate_seq(quarter_circle, 0.0, 2.0, n)
+
+
+def _integration_omp(quick: bool, backend: str) -> Callable[[], Any]:
+    from .exemplars.integration import integrate_omp
+
+    n = 20_000 if quick else 200_000
+    workers = min(4, os.cpu_count() or 1)
+    return lambda: integrate_omp(n, num_threads=workers, backend=backend)
+
+
+def _drugdesign_seq(quick: bool, _backend: str) -> Callable[[], Any]:
+    from .exemplars.drugdesign import generate_ligands, run_seq
+
+    ligands = generate_ligands(60 if quick else 400, max_len=24, seed=42)
+    return lambda: run_seq(ligands)
+
+
+def _drugdesign_omp(quick: bool, backend: str) -> Callable[[], Any]:
+    from .exemplars.drugdesign import generate_ligands, run_omp
+
+    ligands = generate_ligands(60 if quick else 400, max_len=24, seed=42)
+    workers = min(4, os.cpu_count() or 1)
+    return lambda: run_omp(
+        ligands, num_threads=workers, schedule="dynamic", chunk=8, backend=backend
+    )
+
+
+def _heat_seq(quick: bool, _backend: str) -> Callable[[], Any]:
+    from .exemplars.heat import heat_seq
+
+    n, steps = (400, 100) if quick else (2_000, 400)
+    return lambda: heat_seq(n, steps)
+
+
+def _heat_omp(quick: bool, backend: str) -> Callable[[], Any]:
+    from .exemplars.heat import heat_omp
+
+    n, steps = (400, 100) if quick else (2_000, 400)
+    workers = min(4, os.cpu_count() or 1)
+    return lambda: heat_omp(n, steps, num_threads=workers, backend=backend)
+
+
+def _sorting_blocks(quick: bool, backend: str) -> Callable[[], Any]:
+    import random
+
+    from .exemplars.sorting import merge_sort_blocks
+
+    rng = random.Random(2021)
+    values = [rng.random() for _ in range(5_000 if quick else 50_000)]
+    workers = min(4, os.cpu_count() or 1)
+    return lambda: merge_sort_blocks(values, num_workers=workers, backend=backend)
+
+
+REGISTRY: tuple[BenchSpec, ...] = (
+    BenchSpec("integration_seq", "integration", _integration_seq),
+    BenchSpec("integration_omp", "integration", _integration_omp),
+    BenchSpec("drugdesign_seq", "drugdesign", _drugdesign_seq),
+    BenchSpec("drugdesign_omp", "drugdesign", _drugdesign_omp),
+    BenchSpec("heat_seq", "heat", _heat_seq),
+    BenchSpec("heat_omp", "heat", _heat_omp),
+    BenchSpec("sorting_blocks", "sorting", _sorting_blocks),
+)
+
+
+def bench_names() -> list[str]:
+    return [spec.name for spec in REGISTRY]
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+def calibrate(scale: int = 200_000) -> float:
+    """Seconds for a fixed pure-Python reference loop (machine yardstick)."""
+
+    def spin() -> int:
+        total = 0
+        for i in range(scale):
+            total += i * i
+        return total
+
+    return measure_wall_time(spin, warmup=1, repeat=3)
+
+
+def run_benchmarks(
+    names: list[str] | None = None,
+    *,
+    quick: bool = False,
+    warmup: int = 1,
+    repeat: int = 3,
+    backend: str = "threads",
+) -> dict[str, Any]:
+    """Time the selected benchmarks; return the schema-versioned document."""
+    selected = list(REGISTRY)
+    if names:
+        by_name = {spec.name: spec for spec in REGISTRY}
+        unknown = [n for n in names if n not in by_name]
+        if unknown:
+            raise KeyError(
+                f"unknown benchmark(s) {unknown}; known: {bench_names()}"
+            )
+        selected = [by_name[n] for n in names]
+    calibration_s = calibrate()
+    results: dict[str, Any] = {}
+    for spec in selected:
+        thunk = spec.make(quick, backend)
+        time_s = measure_wall_time(thunk, warmup=warmup, repeat=repeat)
+        results[spec.name] = {
+            "group": spec.group,
+            "time_s": time_s,
+            "normalized": time_s / calibration_s,
+        }
+    return {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": quick,
+        "warmup": warmup,
+        "repeat": repeat,
+        "backend": backend,
+        "python": _platform.python_version(),
+        "platform": _platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "calibration_s": calibration_s,
+        "benchmarks": results,
+    }
+
+
+def default_results_path(quick: bool) -> Path:
+    return Path("benchmarks") / "results" / (
+        "bench-quick.json" if quick else "bench-full.json"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Baseline comparison
+# ---------------------------------------------------------------------------
+
+def compare_results(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> tuple[list[dict[str, Any]], bool]:
+    """Compare normalized timings; return (rows, any_regression).
+
+    A benchmark regresses when ``current/baseline > 1 + threshold``.
+    Benchmarks present on only one side are reported but never gate.
+    """
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    if baseline.get("schema") != current.get("schema"):
+        raise ValueError(
+            f"schema mismatch: baseline {baseline.get('schema')!r} "
+            f"vs current {current.get('schema')!r} — refresh the baseline"
+        )
+    base = baseline.get("benchmarks", {})
+    rows: list[dict[str, Any]] = []
+    regression = False
+    for name, cur in current.get("benchmarks", {}).items():
+        ref = base.get(name)
+        if ref is None:
+            rows.append({"name": name, "status": "new", "ratio": None})
+            continue
+        ratio = cur["normalized"] / ref["normalized"]
+        status = "ok"
+        if ratio > 1.0 + threshold:
+            status = "regression"
+            regression = True
+        elif ratio < 1.0 / (1.0 + threshold):
+            status = "improved"
+        rows.append(
+            {
+                "name": name,
+                "status": status,
+                "ratio": ratio,
+                "current_s": cur["time_s"],
+                "baseline_s": ref["time_s"],
+            }
+        )
+    for name in base:
+        if name not in current.get("benchmarks", {}):
+            rows.append({"name": name, "status": "missing", "ratio": None})
+    return rows, regression
+
+
+def format_comparison(rows: list[dict[str, Any]], threshold: float) -> str:
+    lines = [
+        f"baseline comparison (gate: >{100 * threshold:.0f}% slower, normalized)",
+        f"{'benchmark':<20} {'status':<11} {'ratio':>7} {'now (s)':>10} {'base (s)':>10}",
+    ]
+    for row in rows:
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+        now = f"{row['current_s']:.4f}" if "current_s" in row else "-"
+        base = f"{row['baseline_s']:.4f}" if "baseline_s" in row else "-"
+        lines.append(
+            f"{row['name']:<20} {row['status']:<11} {ratio:>7} {now:>10} {base:>10}"
+        )
+    return "\n".join(lines)
+
+
+def main(args) -> int:  # pragma: no cover - exercised via cli tests
+    """Entry point for ``repro bench`` (argparse namespace from the CLI)."""
+    if args.list_benches:
+        for spec in REGISTRY:
+            print(f"{spec.group:12s} {spec.name}")
+        return 0
+    try:
+        doc = run_benchmarks(
+            args.names or None,
+            quick=args.quick,
+            warmup=args.warmup,
+            repeat=args.repeat,
+            backend=args.backend,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    out = Path(args.out) if args.out else default_results_path(args.quick)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    for name, row in doc["benchmarks"].items():
+        print(f"{name:<20} {row['time_s']:>10.4f} s  ({row['normalized']:.2f}x cal)")
+    print(f"\nresults written to {out}")
+
+    baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"baseline updated at {baseline_path}")
+        return 0
+    if not baseline_path.exists():
+        print(f"no baseline at {baseline_path}; skipping the regression gate")
+        return 0
+    baseline = json.loads(baseline_path.read_text())
+    for knob in ("backend", "quick"):
+        if baseline.get(knob) != doc[knob]:
+            print(
+                f"baseline was recorded with {knob}={baseline.get(knob)!r} but "
+                f"this run used {knob}={doc[knob]!r}; not comparable — "
+                "skipping the regression gate"
+            )
+            return 0
+    try:
+        rows, regression = compare_results(doc, baseline, args.threshold)
+    except ValueError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print()
+    print(format_comparison(rows, args.threshold))
+    if regression:
+        print("\nFAIL: performance regression vs baseline", file=sys.stderr)
+        return 3
+    print("\nOK: no regression vs baseline")
+    return 0

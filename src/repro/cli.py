@@ -13,6 +13,8 @@ Gives instructors and students the whole toolkit without writing Python:
 * ``notebook [colab|chameleon]`` — execute a notebook, optionally exporting
   the executed ``.ipynb``;
 * ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
+* ``bench`` — run real wall-clock benchmarks (warmup/repeat control,
+  schema-versioned JSON results, regression gate vs a committed baseline);
 * ``study <exemplar> <platform>`` — print a platform scaling study;
 * ``report`` — regenerate the paper's evaluation artifacts (Tables I-II,
   Figures 3-4, workshop findings);
@@ -87,6 +89,35 @@ def build_parser() -> argparse.ArgumentParser:
                            help="write HTML to PATH instead of printing text")
     p_handout.add_argument("--section", metavar="N.M",
                            help="render just one section (e.g. 2.3)")
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="run wall-clock benchmarks with a baseline regression gate",
+    )
+    p_bench.add_argument(
+        "names", nargs="*", metavar="bench",
+        help="benchmarks to run (default: all; see --list)",
+    )
+    p_bench.add_argument("--list", action="store_true", dest="list_benches",
+                         help="list registered benchmarks and exit")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="small problem sizes (CI smoke runs)")
+    p_bench.add_argument("--warmup", type=int, default=1,
+                         help="warmup runs per benchmark (default 1)")
+    p_bench.add_argument("--repeat", type=int, default=3,
+                         help="timed runs per benchmark; best is kept (default 3)")
+    p_bench.add_argument("--backend", default="threads",
+                         choices=("threads", "processes"),
+                         help="execution backend for the parallel kernels")
+    p_bench.add_argument("--out", metavar="PATH",
+                         help="result JSON path (default benchmarks/results/)")
+    p_bench.add_argument("--baseline", metavar="PATH",
+                         help="baseline JSON (default benchmarks/baseline.json)")
+    p_bench.add_argument("--threshold", type=float, default=0.30,
+                         help="regression gate as a fraction (default 0.30)")
+    p_bench.add_argument("--update-baseline", action="store_true",
+                         dest="update_baseline",
+                         help="write this run as the new baseline (no gate)")
 
     p_study = sub.add_parser("study", help="platform scaling study")
     p_study.add_argument(
@@ -212,6 +243,12 @@ def _cmd_handout(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(args)
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from .core import run_exemplar_study
 
@@ -285,6 +322,7 @@ _HANDLERS = {
     "lint": _cmd_lint,
     "notebook": _cmd_notebook,
     "handout": _cmd_handout,
+    "bench": _cmd_bench,
     "study": _cmd_study,
     "report": _cmd_report,
     "validate": _cmd_validate,

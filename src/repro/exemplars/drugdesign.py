@@ -11,14 +11,15 @@ master-worker task farming (MPI).
 
 from __future__ import annotations
 
+import functools
 import random
 import string
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..mpi import ANY_SOURCE, ANY_TAG, Status, mpirun
-from ..openmp import parallel_for
+from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "generate_ligands",
     "lcs_length",
     "score_ligand",
+    "score_chunk",
     "DrugDesignResult",
     "run_seq",
     "run_omp",
@@ -113,22 +115,37 @@ def run_seq(ligands: list[str], protein: str = DEFAULT_PROTEIN) -> DrugDesignRes
     return DrugDesignResult(protein, list(ligands), scores, mode="seq")
 
 
+def score_chunk(
+    ligands: list[str], protein: str, lo: int, hi: int
+) -> list[int]:
+    """Chunk kernel: scores for ``ligands[lo:hi]`` (both backends run this)."""
+    return [score_ligand(ligands[i], protein) for i in range(lo, hi)]
+
+
 def run_omp(
     ligands: list[str],
     protein: str = DEFAULT_PROTEIN,
     num_threads: int = 4,
     schedule: str = "dynamic",
     chunk: int = 1,
+    backend: str | None = None,
 ) -> DrugDesignResult:
-    """Thread-parallel scoring; dynamic schedule absorbs the length skew."""
-    scores: list[int] = [0] * len(ligands)
+    """Parallel scoring; dynamic schedule absorbs the length skew.
 
-    def body(i: int) -> None:
-        scores[i] = score_ligand(ligands[i], protein)
-
-    parallel_for(
-        len(ligands), body, num_threads=num_threads, schedule=schedule, chunk=chunk
+    Under ``backend="processes"`` the chunk kernel runs on pool workers —
+    the LCS dynamic program is pure CPU, so this is the exemplar where
+    real multicore speedup shows up first.
+    """
+    kernel = functools.partial(score_chunk, list(ligands), protein)
+    chunks = parallel_for_chunks(
+        len(ligands),
+        kernel,
+        num_workers=num_threads,
+        schedule=schedule,
+        chunk=chunk,
+        backend=backend,
     )
+    scores = [s for part in chunks for s in part]
     return DrugDesignResult(protein, list(ligands), scores, mode="omp")
 
 

@@ -18,12 +18,13 @@ pin down.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..mpi import mpirun
-from ..openmp import parallel_region, get_thread_num
+from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
 
 __all__ = [
@@ -171,25 +172,36 @@ def fire_curve_seq(
     return FireCurve(size, points, mode="seq")
 
 
+def trial_chunk(
+    size: int, prob: float, prob_index: int, root_seed: int, lo: int, hi: int
+) -> list[tuple[int, float, int]]:
+    """Chunk kernel: per-trial rows for trial indices [lo, hi)."""
+    return _point(size, prob, prob_index, list(range(lo, hi)), root_seed)
+
+
 def fire_curve_omp(
     probs: tuple[float, ...] = DEFAULT_PROBS,
     trials: int = 10,
     size: int = 25,
     seed: int = 2020,
     num_threads: int = 4,
+    backend: str | None = None,
 ) -> FireCurve:
-    """Thread-parallel sweep: trials are block-split across the team."""
+    """Parallel sweep: trial batches are shared across the worker team.
+
+    Per-(prob, trial) seeding keeps the curve bit-identical to the
+    sequential sweep on either backend, regardless of worker count.
+    """
     points = []
     for pi, prob in enumerate(probs):
-        partials: list[list[tuple[int, float, int]]] = [[] for _ in range(num_threads)]
-
-        def body() -> None:
-            tid = get_thread_num()
-            mine = [t for t in range(trials) if t % num_threads == tid]
-            partials[tid] = _point(size, prob, pi, mine, seed)
-
-        parallel_region(body, num_threads=num_threads)
-        rows = [row for part in partials for row in part]
+        chunks = parallel_for_chunks(
+            trials,
+            functools.partial(trial_chunk, size, prob, pi, seed),
+            num_workers=num_threads,
+            schedule="dynamic",
+            backend=backend,
+        )
+        rows = [row for part in chunks for row in part]
         points.append(_fold_point(prob, rows, trials))
     return FireCurve(size, points, mode="omp")
 

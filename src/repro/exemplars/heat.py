@@ -18,10 +18,21 @@ solver on a Cartesian communicator whose boundary ranks exchange with
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
-from ..mpi import PROC_NULL, mpirun
-from ..openmp import barrier, get_num_threads, get_thread_num, parallel_region
+from ..mpi import mpirun
+from ..openmp import (
+    SharedArray,
+    barrier,
+    chunk_ranges,
+    get_num_threads,
+    get_thread_num,
+    parallel_region,
+    resolve_backend,
+    run_chunks,
+)
 from ..platforms.simclock import Workload
 
 __all__ = [
@@ -30,6 +41,7 @@ __all__ = [
     "heat_omp",
     "heat_mpi",
     "heat_workload",
+    "stencil_chunk",
 ]
 
 
@@ -61,23 +73,75 @@ def heat_seq(n: int, steps: int, alpha: float = 0.25, hot_end: float = 100.0) ->
     return u
 
 
+def stencil_chunk(src: SharedArray, dst: SharedArray, alpha: float, lo: int, hi: int) -> None:
+    """Chunk kernel: one stencil phase over interior offsets ``[lo, hi)``.
+
+    Offsets index the interior (cell ``lo + 1`` .. ``hi``); results land in
+    the shared ``dst`` array in place, so the process backend's workers
+    write straight into pages the parent sees — no result shipping.
+    """
+    lo, hi = lo + 1, hi + 1
+    u, v = src.array, dst.array
+    v[lo:hi] = u[lo:hi] + alpha * (u[lo - 1 : hi - 1] - 2.0 * u[lo:hi] + u[lo + 1 : hi + 1])
+
+
+def _heat_chunked(
+    n: int,
+    steps: int,
+    alpha: float,
+    hot_end: float,
+    num_threads: int,
+    backend: str,
+) -> np.ndarray:
+    """Per-step chunk fan-out over shared read/write arrays.
+
+    The parent plays the role the barriers play in the thread body: each
+    ``run_chunks`` call is a full phase (all writes done on return), after
+    which the parent carries the Dirichlet boundaries over and swaps the
+    arrays.
+    """
+    current = SharedArray.from_array(initial_rod(n, hot_end))
+    nxt = SharedArray.from_array(current.array)
+    ranges = chunk_ranges(n - 2, num_threads, "static")
+    try:
+        for _ in range(steps):
+            run_chunks(
+                functools.partial(stencil_chunk, current, nxt, alpha),
+                ranges,
+                workers=num_threads,
+                backend=backend,
+            )
+            nxt.array[0], nxt.array[-1] = current.array[0], current.array[-1]
+            current, nxt = nxt, current
+        return current.array.copy()
+    finally:
+        current.unlink()
+        nxt.unlink()
+
+
 def heat_omp(
     n: int,
     steps: int,
     alpha: float = 0.25,
     hot_end: float = 100.0,
     num_threads: int = 4,
+    backend: str | None = None,
 ) -> np.ndarray:
     """Thread-parallel solver: block-split interior, barrier between phases.
 
     The two-array (read/write) scheme plus a barrier per step is the
     shared-memory analogue of the halo exchange: no thread reads a cell
-    another thread is writing in the same phase.
+    another thread is writing in the same phase.  Under
+    ``backend="processes"`` the same stencil runs as chunk tasks over
+    :class:`~repro.openmp.SharedArray` pages with the parent doing the
+    boundary carry-over and swap between phases.
     """
     if steps < 0:
         raise ValueError("steps must be non-negative")
     if not 0.0 < alpha <= 0.5:
         raise ValueError("explicit stability requires 0 < alpha <= 0.5")
+    if resolve_backend(backend) == "processes":
+        return _heat_chunked(n, steps, alpha, hot_end, num_threads, "processes")
     current = initial_rod(n, hot_end)
     nxt = current.copy()
     state = {"current": current, "next": nxt}

@@ -10,13 +10,14 @@ study the handout's last half hour asks for.
 
 from __future__ import annotations
 
+import functools
 import math
 from typing import Callable
 
 import numpy as np
 
 from ..mpi import mpirun
-from ..openmp import parallel_for
+from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "integrate_omp",
     "integrate_mpi",
     "integration_workload",
+    "trapezoid_chunk",
 ]
 
 
@@ -63,6 +65,17 @@ def integrate_numpy(
     return float(np.trapezoid(y, x))
 
 
+def trapezoid_chunk(
+    a: float, h: float, f: Callable[[float], float], lo: int, hi: int
+) -> float:
+    """Chunk kernel: sum of interior trapezoid terms for indices [lo, hi).
+
+    Module-level so both execution backends drive the same code — the
+    process backend ships it to pool workers by pickle.
+    """
+    return sum(f(a + (i + 1) * h) for i in range(lo, hi))
+
+
 def integrate_omp(
     n: int,
     num_threads: int = 4,
@@ -70,19 +83,25 @@ def integrate_omp(
     b: float = 2.0,
     schedule: str = "static",
     f: Callable[[float], float] = quarter_circle,
+    backend: str | None = None,
 ) -> float:
-    """Thread-parallel trapezoid: ``parallel for reduction(+: sum)``."""
+    """Parallel trapezoid: ``parallel for reduction(+: sum)``.
+
+    ``backend="processes"`` runs the chunk kernel on pool workers for real
+    multicore speedup (``f`` must then be picklable, e.g. module-level).
+    """
     if n < 1:
         raise ValueError(f"need at least one trapezoid, got {n}")
     h = (b - a) / n
-
-    def term(i: int) -> float:
-        # Interior points count once, endpoints half; fold the halves in by
-        # summing midpoint-weighted interior terms and adding ends after.
-        return f(a + (i + 1) * h)
-
-    interior = parallel_for(
-        n - 1, term, num_threads=num_threads, schedule=schedule, reduction="+"
+    # Interior points count once, endpoints half; fold the halves in by
+    # summing interior terms and adding the half-weighted ends after.
+    interior = parallel_for_chunks(
+        n - 1,
+        functools.partial(trapezoid_chunk, a, h, f),
+        num_workers=num_threads,
+        schedule=schedule,
+        reduction="+",
+        backend=backend,
     )
     return (interior + 0.5 * (f(a) + f(b))) * h
 

@@ -17,18 +17,26 @@ tests pin down.
 
 from __future__ import annotations
 
+import functools
 from typing import Sequence
 
-import numpy as np
-
-from ..mpi import PROC_NULL, mpirun
-from ..openmp import parallel_region, single, task, taskwait
+from ..mpi import mpirun
+from ..openmp import (
+    chunk_ranges,
+    parallel_region,
+    run_chunks,
+    single,
+    task,
+    taskwait,
+)
 from ..platforms.simclock import Workload
 
 __all__ = [
     "merge",
     "merge_sort_seq",
     "merge_sort_tasks",
+    "merge_sort_blocks",
+    "sort_block_chunk",
     "odd_even_sort_mpi",
     "sorting_workload",
 ]
@@ -91,6 +99,43 @@ def merge_sort_tasks(
 
     parallel_region(body, num_threads=num_threads)
     return result[0]
+
+
+def sort_block_chunk(values: list, lo: int, hi: int) -> list:
+    """Chunk kernel: a sorted copy of ``values[lo:hi]`` (both backends)."""
+    return sorted(values[lo:hi])
+
+
+def merge_sort_blocks(
+    values: Sequence,
+    num_workers: int = 4,
+    backend: str | None = None,
+) -> list:
+    """Block-parallel merge sort: sort blocks on the team, merge in parent.
+
+    The data-parallel counterpart to :func:`merge_sort_tasks`: blocks are
+    sorted concurrently (pool workers under ``backend="processes"``, team
+    threads otherwise) and the parent folds the sorted runs with the same
+    stable :func:`merge` the recursive version uses.  Output equals
+    ``sorted(values)`` exactly on every input.
+    """
+    values = list(values)
+    if len(values) <= 1:
+        return values
+    ranges = chunk_ranges(len(values), num_workers, "static")
+    runs = run_chunks(
+        functools.partial(sort_block_chunk, values),
+        ranges,
+        workers=num_workers,
+        backend=backend,
+    )
+    # Balanced pairwise merging keeps the fold at O(n log k) comparisons.
+    while len(runs) > 1:
+        runs = [
+            merge(runs[i], runs[i + 1]) if i + 1 < len(runs) else runs[i]
+            for i in range(0, len(runs), 2)
+        ]
+    return runs[0]
 
 
 def _merge_split(

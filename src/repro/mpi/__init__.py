@@ -38,6 +38,7 @@ from .group import Group
 from .io import File
 from .window import Win
 from .launcher import (
+    MPI_BACKENDS,
     MpirunInvocation,
     ScriptResult,
     install_mpi4py_shim,
@@ -45,6 +46,7 @@ from .launcher import (
     parse_mpirun_command,
     run_script,
 )
+from .procs import ProcCartcomm, ProcComm, fork_available, run_procs
 from .ops import MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
 from .tracing import CommTracer, MessageRecord, TraceReport, trace_run
 from .request import Request
@@ -62,6 +64,11 @@ __all__ = [
     "install_mpi4py_shim",
     "MpirunInvocation",
     "ScriptResult",
+    "MPI_BACKENDS",
+    "ProcComm",
+    "ProcCartcomm",
+    "run_procs",
+    "fork_available",
     "current_comm",
     "Intracomm",
     "Cartcomm",

@@ -15,6 +15,7 @@ Two launch styles:
 
 from __future__ import annotations
 
+import os
 import shlex
 import sys
 import types
@@ -31,7 +32,22 @@ __all__ = [
     "MpirunInvocation",
     "ScriptResult",
     "install_mpi4py_shim",
+    "MPI_BACKENDS",
 ]
+
+
+#: Valid values for the launcher's execution-backend axis.
+MPI_BACKENDS = ("threads", "processes")
+
+
+def _resolve_mpi_backend(backend: str | None) -> str:
+    name = (backend or os.environ.get("REPRO_MPI_BACKEND") or "threads")
+    name = name.strip().lower()
+    if name not in MPI_BACKENDS:
+        raise ValueError(
+            f"unknown MPI backend {name!r}; expected one of {MPI_BACKENDS}"
+        )
+    return name
 
 
 def mpirun(
@@ -40,9 +56,28 @@ def mpirun(
     *args: Any,
     hostname: str = "d6ff4f902ed6",
     deadlock_timeout: float = DEFAULT_DEADLOCK_TIMEOUT,
+    backend: str | None = None,
     **kwargs: Any,
 ) -> list[Any]:
-    """Run an SPMD function across ``np`` ranks; return per-rank results."""
+    """Run an SPMD function across ``np`` ranks; return per-rank results.
+
+    ``backend`` selects rank execution: ``"threads"`` (default — the full
+    in-process runtime: typed buffers, windows, splitting, tracing) or
+    ``"processes"`` (forked OS ranks with pipe transport for real
+    multicore speedup; core comm API only — see :mod:`repro.mpi.procs`).
+    ``None`` defers to the ``REPRO_MPI_BACKEND`` environment variable.
+    """
+    if _resolve_mpi_backend(backend) == "processes":
+        from .procs import run_procs
+
+        return run_procs(
+            fn,
+            np,
+            *args,
+            hostname=hostname,
+            deadlock_timeout=deadlock_timeout,
+            **kwargs,
+        )
     world = World(np, hostname=hostname, deadlock_timeout=deadlock_timeout)
     _push_world(world)
     try:

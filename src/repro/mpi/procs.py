@@ -1,0 +1,463 @@
+"""Process-rank launcher: real OS processes behind the ``comm`` API.
+
+The thread-per-rank :class:`~repro.mpi.runtime.World` gives the teaching
+runtime faithful MPI *semantics* (matching, collectives, deadlock
+detection) but no *parallelism* — every rank shares one GIL.  This module
+launches ranks as forked OS processes with pipe-based message transport,
+so the distributed exemplars measure real multicore speedup while keeping
+the SPMD ``fn(comm)`` call shape unchanged.
+
+Scope: :class:`ProcComm` implements the communicator surface the
+patternlets and exemplars actually exercise — rank/size introspection,
+tagged ``send``/``recv``/``sendrecv`` with ``ANY_SOURCE``/``ANY_TAG`` and
+:class:`~repro.mpi.status.Status`, the object collectives (``barrier``,
+``bcast``, ``scatter``, ``gather``, ``allgather``, ``reduce``,
+``allreduce``), and 1-D-and-beyond Cartesian topologies (``Create_cart``,
+``Shift`` with ``PROC_NULL`` edges).  The full API (typed buffers,
+windows, files, splitting) remains on the threaded backend; select per
+launch with ``mpirun(..., backend=...)`` or ``REPRO_MPI_BACKEND``.
+
+Transport: one multiprocessing queue (a locked pipe) per rank serves as
+its inbox.  Envelopes carry payloads pre-pickled by the sending rank, so
+receive-side :class:`Status` can report exact byte counts.  Collective
+traffic rides the same pipes under a per-rank sequence number — ranks
+execute collectives in program order, so the sequence aligns without a
+separate channel.
+
+Requires a ``fork``-capable platform (rank bodies may be closures, which
+fork inherits but pickle cannot ship).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import queue as _queue_mod
+import time
+from typing import Any, Callable, Sequence
+
+from .constants import ANY_SOURCE, ANY_TAG, DEFAULT_DEADLOCK_TIMEOUT, PROC_NULL
+from .errors import (
+    DeadlockError,
+    InvalidRankError,
+    InvalidTagError,
+    MPIError,
+    RankFailedError,
+)
+from .ops import SUM, Op
+from .status import Status
+
+__all__ = ["ProcComm", "ProcCartcomm", "run_procs", "fork_available"]
+
+
+def fork_available() -> bool:
+    """Whether the platform can launch process ranks (fork start method)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _RemoteRankError(MPIError):
+    """Re-raised form of an exception that crossed the process boundary."""
+
+
+class ProcComm:
+    """COMM_WORLD view of one process rank (see module docstring for scope)."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        inboxes: Sequence[Any],
+        hostname: str,
+        deadlock_timeout: float | None,
+    ) -> None:
+        self._rank = rank
+        self._size = size
+        self._inboxes = inboxes
+        self._hostname = hostname
+        self._timeout = deadlock_timeout
+        self._p2p: list[tuple[int, int, bytes]] = []
+        self._coll: list[tuple[int, int, bytes]] = []
+        self._coll_seq = 0
+
+    # -- introspection ------------------------------------------------------
+    def Get_rank(self) -> int:
+        return self._rank
+
+    def Get_size(self) -> int:
+        return self._size
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def Get_processor_name(self) -> str:
+        return self._hostname
+
+    def Get_topology(self) -> str | None:
+        return None
+
+    # -- transport ----------------------------------------------------------
+    def _check_peer(self, peer: int, *, wildcard: bool, what: str) -> None:
+        if peer == PROC_NULL:
+            return
+        if wildcard and peer == ANY_SOURCE:
+            return
+        if not 0 <= peer < self._size:
+            raise InvalidRankError(peer, self._size, what)
+
+    def _pump(self) -> None:
+        """Block for one envelope, filing it into the right buffer."""
+        deadline_timeout = self._timeout
+        try:
+            kind, src, key, blob = self._inboxes[self._rank].get(
+                timeout=deadline_timeout
+            )
+        except _queue_mod.Empty:
+            raise DeadlockError(
+                f"rank {self._rank} made no progress for "
+                f"{deadline_timeout}s (blocked in a receive no sender "
+                "matches — classic send/recv ordering deadlock?)"
+            ) from None
+        if kind == "p2p":
+            self._p2p.append((src, key, blob))
+        else:
+            self._coll.append((src, key, blob))
+
+    def _post(self, dest: int, kind: str, key: int, payload: Any) -> None:
+        blob = pickle.dumps(payload)
+        self._inboxes[dest].put((kind, self._rank, key, blob))
+
+    # -- point-to-point ------------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        if tag < 0:
+            raise InvalidTagError(tag)
+        self._check_peer(dest, wildcard=False, what="destination")
+        if dest == PROC_NULL:
+            return
+        self._post(dest, "p2p", tag, obj)
+
+    def recv(
+        self,
+        buf: Any = None,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> Any:
+        self._check_peer(source, wildcard=True, what="source")
+        if source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return None
+        while True:
+            for idx, (src, tg, blob) in enumerate(self._p2p):
+                if (source == ANY_SOURCE or src == source) and (
+                    tag == ANY_TAG or tg == tag
+                ):
+                    del self._p2p[idx]
+                    if status is not None:
+                        status._set(src, tg, len(blob))
+                    return pickle.loads(blob)
+            self._pump()
+
+    def sendrecv(
+        self,
+        sendobj: Any,
+        dest: int,
+        sendtag: int = 0,
+        recvbuf: Any = None,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> Any:
+        # Pipe transport buffers the outgoing message, so send-then-recv
+        # cannot self-deadlock for teaching-scale payloads.
+        self.send(sendobj, dest, sendtag)
+        return self.recv(recvbuf, source=source, tag=recvtag, status=status)
+
+    # -- collectives ---------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._coll_seq += 1
+        return self._coll_seq
+
+    def _coll_send(self, dest: int, seq: int, payload: Any) -> None:
+        self._post(dest, "coll", seq, payload)
+
+    def _coll_recv(self, seq: int, source: int) -> Any:
+        while True:
+            for idx, (src, sq, blob) in enumerate(self._coll):
+                if src == source and sq == seq:
+                    del self._coll[idx]
+                    return pickle.loads(blob)
+            self._pump()
+
+    def barrier(self) -> None:
+        seq = self._next_seq()
+        if self._rank == 0:
+            for r in range(1, self._size):
+                self._coll_recv(seq, r)
+            for r in range(1, self._size):
+                self._coll_send(r, seq, None)
+        else:
+            self._coll_send(0, seq, None)
+            self._coll_recv(seq, 0)
+
+    Barrier = barrier
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        self._check_peer(root, wildcard=False, what="root")
+        seq = self._next_seq()
+        if self._rank == root:
+            for r in range(self._size):
+                if r != root:
+                    self._coll_send(r, seq, obj)
+            return obj
+        return self._coll_recv(seq, root)
+
+    def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
+        self._check_peer(root, wildcard=False, what="root")
+        seq = self._next_seq()
+        if self._rank == root:
+            parts = list(sendobj)  # type: ignore[arg-type]
+            if len(parts) != self._size:
+                raise ValueError(
+                    f"scatter needs exactly {self._size} items, got {len(parts)}"
+                )
+            for r in range(self._size):
+                if r != root:
+                    self._coll_send(r, seq, parts[r])
+            return parts[root]
+        return self._coll_recv(seq, root)
+
+    def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
+        self._check_peer(root, wildcard=False, what="root")
+        seq = self._next_seq()
+        if self._rank == root:
+            out = [None] * self._size
+            out[root] = sendobj
+            for r in range(self._size):
+                if r != root:
+                    out[r] = self._coll_recv(seq, r)
+            return out
+        self._coll_send(root, seq, sendobj)
+        return None
+
+    def allgather(self, sendobj: Any) -> list[Any]:
+        gathered = self.gather(sendobj, root=0)
+        return self.bcast(gathered, root=0)
+
+    def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
+        gathered = self.gather(sendobj, root=root)
+        if gathered is None:
+            return None
+        acc = gathered[0]
+        for value in gathered[1:]:
+            acc = op(acc, value)
+        return acc
+
+    def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
+        reduced = self.reduce(sendobj, op=op, root=0)
+        return self.bcast(reduced, root=0)
+
+    # -- topology -----------------------------------------------------------
+    def Create_cart(
+        self,
+        dims: Sequence[int],
+        periods: Sequence[bool] | None = None,
+        reorder: bool = False,
+    ) -> "ProcCartcomm":
+        dims = tuple(int(d) for d in dims)
+        total = 1
+        for d in dims:
+            total *= d
+        if total != self._size:
+            raise ValueError(
+                f"cartesian grid {dims} needs {total} ranks, world has {self._size}"
+            )
+        per = tuple(bool(p) for p in (periods or (False,) * len(dims)))
+        if len(per) != len(dims):
+            raise ValueError("periods must align with dims")
+        return ProcCartcomm(self, dims, per)
+
+
+class ProcCartcomm:
+    """Cartesian view over a :class:`ProcComm` (row-major rank layout)."""
+
+    def __init__(
+        self, base: ProcComm, dims: tuple[int, ...], periods: tuple[bool, ...]
+    ) -> None:
+        self._base = base
+        self.dims = dims
+        self.periods = periods
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._base, name)
+
+    def Get_topology(self) -> str:
+        return "cart"
+
+    def Get_coords(self, rank: int) -> list[int]:
+        coords = []
+        for extent in reversed(self.dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return list(reversed(coords))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        rank = 0
+        for coord, extent in zip(coords, self.dims):
+            rank = rank * extent + (coord % extent)
+        return rank
+
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """(source, dest) for a shift along ``direction`` by ``disp``."""
+        if not 0 <= direction < len(self.dims):
+            raise ValueError(f"invalid direction {direction} for dims {self.dims}")
+        me = self.Get_coords(self._base.rank)
+
+        def neighbor(offset: int) -> int:
+            coords = list(me)
+            coords[direction] += offset
+            extent = self.dims[direction]
+            if not self.periods[direction] and not 0 <= coords[direction] < extent:
+                return PROC_NULL
+            return self.Get_cart_rank(coords)
+
+        return neighbor(-disp), neighbor(disp)
+
+
+# ---------------------------------------------------------------------------
+# Launch
+# ---------------------------------------------------------------------------
+
+def _rank_main(
+    rank: int,
+    size: int,
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    inboxes: list[Any],
+    results: Any,
+    hostname: str,
+    deadlock_timeout: float | None,
+) -> None:
+    comm = ProcComm(rank, size, inboxes, hostname, deadlock_timeout)
+    try:
+        value = fn(comm, *args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            pickle.dumps(exc)
+            payload: Any = exc
+        except Exception:
+            payload = _RemoteRankError(f"{type(exc).__name__}: {exc}")
+        results.put((rank, False, payload))
+        return
+    try:
+        results.put((rank, True, value))
+    except Exception as exc:  # unpicklable rank result
+        results.put((rank, False, _RemoteRankError(f"unpicklable result: {exc}")))
+
+
+def run_procs(
+    fn: Callable[..., Any],
+    np: int,
+    *args: Any,
+    hostname: str = "d6ff4f902ed6",
+    deadlock_timeout: float | None = DEFAULT_DEADLOCK_TIMEOUT,
+    **kwargs: Any,
+) -> list[Any]:
+    """Run ``fn(comm, *args)`` SPMD on ``np`` forked processes.
+
+    The drop-in process-backed sibling of :func:`repro.mpi.mpirun`: same
+    call shape, same per-rank return list, but each rank owns an OS
+    process (and a core, when the host has them).  Raises
+    :class:`DeadlockError` when ranks stop making progress and
+    :class:`RankFailedError` when a rank raises.
+    """
+    if np < 1:
+        raise ValueError(f"process count must be positive, got {np}")
+    if not fork_available():
+        raise MPIError(
+            "the process-rank launcher needs the 'fork' start method; "
+            "this platform lacks it — use backend='threads'"
+        )
+    ctx = multiprocessing.get_context("fork")
+    inboxes = [ctx.Queue() for _ in range(np)]
+    results_q = ctx.Queue()
+    procs = [
+        ctx.Process(
+            target=_rank_main,
+            args=(
+                rank,
+                np,
+                fn,
+                args,
+                kwargs,
+                inboxes,
+                results_q,
+                hostname,
+                deadlock_timeout,
+            ),
+            name=f"mpi-proc-rank-{rank}",
+            daemon=True,
+        )
+        for rank in range(np)
+    ]
+    for p in procs:
+        p.start()
+
+    # Drain results *before* joining: a child flushing a large result into a
+    # full pipe would otherwise deadlock against a parent stuck in join().
+    results: list[Any] = [None] * np
+    failures: dict[int, BaseException] = {}
+    budget = (deadlock_timeout or 30.0) * 4
+    deadline = time.monotonic() + budget
+    pending = set(range(np))
+    try:
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlockError(
+                    f"ranks {sorted(pending)} did not finish within {budget}s"
+                )
+            try:
+                rank, ok, payload = results_q.get(timeout=min(remaining, 0.5))
+            except _queue_mod.Empty:
+                if any(p.exitcode not in (None, 0) for p in procs):
+                    dead = [r for r, p in enumerate(procs) if p.exitcode not in (None, 0)]
+                    raise RankFailedError(
+                        {
+                            r: _RemoteRankError(
+                                f"rank process exited with code {procs[r].exitcode}"
+                            )
+                            for r in dead
+                        }
+                    )
+                continue
+            pending.discard(rank)
+            if ok:
+                results[rank] = payload
+            else:
+                failures[rank] = payload
+    finally:
+        for p in procs:
+            p.join(timeout=2.0)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=2.0)
+        for q in inboxes + [results_q]:
+            q.cancel_join_thread()
+            q.close()
+
+    if failures:
+        deadlocks = {
+            r: e for r, e in failures.items() if isinstance(e, DeadlockError)
+        }
+        if deadlocks and len(deadlocks) == len(failures):
+            raise next(iter(deadlocks.values()))
+        raise RankFailedError(failures)
+    return results

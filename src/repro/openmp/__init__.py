@@ -20,15 +20,26 @@ Quick start
 328350
 """
 
+from .backends import (
+    BackendUnavailable,
+    SharedArray,
+    chunk_ranges,
+    resolve_backend,
+    run_chunks,
+)
 from .env import (
+    BACKENDS,
     OpenMPConfig,
+    get_backend,
     get_config,
     get_max_threads,
     num_procs,
+    scoped,
     scoped_num_threads,
+    set_backend,
     set_num_threads,
 )
-from .loops import for_loop, parallel_for
+from .loops import for_loop, parallel_for, parallel_for_chunks
 from .reduction import REDUCTIONS, Reduction, get_reduction
 from .scheduling import (
     SCHEDULES,
@@ -62,6 +73,7 @@ __all__ = [
     "parallel_region",
     "parallel_for",
     "for_loop",
+    "parallel_for_chunks",
     "parallel_sections",
     "sections",
     "get_thread_num",
@@ -95,4 +107,13 @@ __all__ = [
     "get_max_threads",
     "num_procs",
     "scoped_num_threads",
+    "scoped",
+    "BACKENDS",
+    "set_backend",
+    "get_backend",
+    "BackendUnavailable",
+    "SharedArray",
+    "chunk_ranges",
+    "resolve_backend",
+    "run_chunks",
 ]

@@ -1,0 +1,379 @@
+"""Pluggable execution backends for the worksharing constructs.
+
+The thread backend gives the teaching runtime its *concurrency* semantics
+(real races, real locks) but — Python threads being GIL-bound — no
+wall-clock speedup for CPU-bound loop bodies.  This module adds the
+*parallelism* half: a ``"processes"`` backend that runs worksharing loops
+on a persistent :mod:`multiprocessing` worker pool, so the handout's
+benchmarking study measures genuine multicore scaling.
+
+Design points:
+
+* **Chunk tasks, not per-index closures.**  Work ships to the pool as
+  *batches of indices* ``(lo, hi)``; the loop over the batch runs inside
+  the worker.  One pickle round-trip per chunk instead of per iteration.
+* **Picklable kernels.**  Anything crossing the process boundary must
+  pickle: loop bodies and chunk kernels must be module-level functions (or
+  :func:`functools.partial` over them).  A closure raises
+  :class:`BackendUnavailable` with a pointed message rather than a bare
+  ``PicklingError``.
+* **Persistent pool.**  The first process-backend loop forks the pool;
+  subsequent loops reuse it (grown on demand), so per-loop overhead is a
+  few pipe writes, not ``fork``+``exec``.
+* **Shared-memory arrays.**  :class:`SharedArray` wraps
+  :mod:`multiprocessing.shared_memory` behind a picklable handle, so NumPy
+  exemplars can let workers write results in place instead of shipping
+  arrays back through pickles.
+"""
+
+from __future__ import annotations
+
+import atexit
+import functools
+import multiprocessing
+import os
+import pickle
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .env import BACKENDS, get_config
+from .reduction import Reduction, get_reduction
+from .scheduling import DynamicScheduler, static_block_ranges
+
+__all__ = [
+    "BackendUnavailable",
+    "SharedArray",
+    "chunk_ranges",
+    "run_chunks",
+    "process_parallel_for",
+    "resolve_backend",
+    "pool_size",
+    "shutdown_pool",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested execution backend cannot run this workload."""
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalize an explicit backend choice, defaulting to the config's."""
+    name = (backend or get_config().backend).strip().lower()
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool
+# ---------------------------------------------------------------------------
+# A ProcessPoolExecutor rather than multiprocessing.Pool: when a worker dies
+# mid-task (e.g. a payload that pickled fine in the parent but fails to
+# resolve in the worker), the executor raises BrokenProcessPool instead of
+# hanging on the lost task forever.
+
+_pool: Any = None
+_pool_size = 0
+
+
+def _mp_context():
+    """Fork-based context when the platform has it (fast, inherits state)."""
+    preferred = os.environ.get("REPRO_MP_START_METHOD")
+    methods = multiprocessing.get_all_start_methods()
+    if preferred and preferred in methods:
+        return multiprocessing.get_context(preferred)
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _get_pool(workers: int):
+    """The persistent pool, created on first use and grown on demand."""
+    global _pool, _pool_size
+    if _pool is None or _pool_size < workers:
+        if _pool is not None:
+            _pool.shutdown(wait=False, cancel_futures=True)
+        from concurrent.futures import ProcessPoolExecutor
+
+        _pool = ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context())
+        _pool_size = workers
+    return _pool
+
+
+def pool_size() -> int:
+    """Current size of the persistent worker pool (0 before first use)."""
+    return _pool_size if _pool is not None else 0
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent pool (tests; also registered atexit)."""
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+        _pool = None
+        _pool_size = 0
+
+
+atexit.register(shutdown_pool)
+
+
+# ---------------------------------------------------------------------------
+# Chunk decomposition
+# ---------------------------------------------------------------------------
+
+def chunk_ranges(
+    n: int,
+    workers: int,
+    schedule: str = "static",
+    chunk: int | None = None,
+) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into contiguous ``(lo, hi)`` batches.
+
+    The schedule controls granularity exactly as OpenMP's does placement:
+
+    * ``static`` without a chunk: one nearly equal block per worker;
+    * ``static`` with chunk ``c`` / ``dynamic``: size-``c`` batches
+      (dynamic defaults to ~8 batches per worker so the pool's first-free
+      -worker assignment can balance skewed bodies);
+    * ``guided``: decaying batch sizes, ``remaining / workers`` bounded
+      below by the chunk.
+
+    Empty batches are dropped, so ``n = 0`` yields ``[]``.
+    """
+    if n < 0:
+        raise ValueError(f"iteration count must be non-negative, got {n}")
+    if workers < 1:
+        raise ValueError(f"workers must be positive, got {workers}")
+    if chunk is not None and chunk < 1:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    if n == 0:
+        return []
+    schedule = schedule.lower()
+    if schedule == "static" and chunk is None:
+        return [
+            (r.start, r.stop)
+            for r in static_block_ranges(n, workers)
+            if len(r)
+        ]
+    if schedule in ("static", "dynamic"):
+        size = chunk if chunk is not None else max(1, -(-n // (workers * 8)))
+        return [(lo, min(lo + size, n)) for lo in range(0, n, size)]
+    if schedule == "guided":
+        floor = chunk or 1
+        out: list[tuple[int, int]] = []
+        lo = 0
+        while lo < n:
+            size = min(max(floor, (n - lo) // workers), n - lo)
+            out.append((lo, lo + size))
+            lo += size
+        return out
+    raise ValueError(f"unknown schedule {schedule!r}")
+
+
+# ---------------------------------------------------------------------------
+# Chunk execution
+# ---------------------------------------------------------------------------
+
+def _require_picklable(obj: Any, what: str) -> None:
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise BackendUnavailable(
+            f"the process backend must pickle {what}, and {obj!r} is not "
+            "picklable — use a module-level function (or functools.partial "
+            "over one) instead of a closure/lambda, or select "
+            "backend='threads'"
+        ) from exc
+
+
+def _threads_run_chunks(
+    kernel: Callable[[int, int], Any],
+    ranges: Sequence[tuple[int, int]],
+    workers: int,
+) -> list[Any]:
+    """Thread-backend chunk execution: team members pull batches dynamically."""
+    from .team import parallel_region
+
+    results: list[Any] = [None] * len(ranges)
+    sched = DynamicScheduler(len(ranges), 1)
+
+    def member() -> None:
+        for ci in iter(sched):
+            lo, hi = ranges[ci]
+            results[ci] = kernel(lo, hi)
+
+    parallel_region(member, num_threads=max(1, min(workers, len(ranges))))
+    return results
+
+
+def _process_run_chunks(
+    kernel: Callable[[int, int], Any],
+    ranges: Sequence[tuple[int, int]],
+    workers: int,
+) -> list[Any]:
+    """Process-backend chunk execution on the persistent pool.
+
+    One future per batch hands work to whichever worker frees up first —
+    the pool-side analogue of dynamic self-scheduling — while collecting
+    results by future keeps them in batch order.  A worker death surfaces
+    as :class:`BackendUnavailable` rather than a hang.
+    """
+    from concurrent.futures.process import BrokenProcessPool
+
+    _require_picklable(kernel, "the chunk kernel")
+    pool = _get_pool(workers)
+    futures = [pool.submit(kernel, lo, hi) for lo, hi in ranges]
+    try:
+        return [f.result() for f in futures]
+    except BrokenProcessPool as exc:
+        shutdown_pool()
+        raise BackendUnavailable(
+            "a process-backend worker died while running a chunk task "
+            "(commonly: the kernel resolves to a name the worker cannot "
+            "import, e.g. one defined interactively after the pool started)"
+        ) from exc
+
+
+def run_chunks(
+    kernel: Callable[[int, int], Any],
+    ranges: Sequence[tuple[int, int]],
+    *,
+    workers: int,
+    backend: str | None = None,
+) -> list[Any]:
+    """Run ``kernel(lo, hi)`` over every batch; results in batch order."""
+    if not ranges:
+        return []
+    if resolve_backend(backend) == "processes":
+        return _process_run_chunks(kernel, ranges, workers)
+    return _threads_run_chunks(kernel, ranges, workers)
+
+
+def _index_chunk(
+    body: Callable[[int], Any],
+    reduction: "str | Reduction | None",
+    lo: int,
+    hi: int,
+) -> Any:
+    """Worker-side driver: run a per-index body over one batch of indices."""
+    red = get_reduction(reduction) if reduction is not None else None
+    partial = red.identity if red is not None else None
+    for i in range(lo, hi):
+        value = body(i)
+        if red is not None:
+            partial = red.combine(partial, value)
+    return partial
+
+
+def process_parallel_for(
+    n: int,
+    body: Callable[[int], Any],
+    workers: int,
+    schedule: str,
+    chunk: int | None,
+    reduction: "str | Reduction | None",
+) -> Any:
+    """``parallel_for`` on the process backend (called from ``loops``).
+
+    Named reductions travel as their operator string and are resolved
+    inside the worker, so the lambda-bearing :class:`Reduction` registry
+    entries never cross the pickle boundary.  Without a reduction the body
+    runs purely for its side effects, which must land in a
+    :class:`SharedArray` (or other cross-process channel) to be visible.
+    """
+    ranges = chunk_ranges(n, workers, schedule, chunk)
+    red = get_reduction(reduction) if reduction is not None else None
+    spec = reduction if (reduction is None or isinstance(reduction, str)) else reduction
+    if spec is not None and not isinstance(spec, str):
+        _require_picklable(spec, "a custom Reduction")
+    kernel = functools.partial(_index_chunk, body, spec)
+    partials = _process_run_chunks(kernel, ranges, workers) if ranges else []
+    if red is not None:
+        return red.fold(partials)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arrays
+# ---------------------------------------------------------------------------
+
+#: Worker-side cache of attached segments, keyed by shm name, so repeated
+#: chunk tasks over the same array attach once per worker process.
+_attached: dict[str, "SharedArray"] = {}
+
+
+def _attach_shared(name: str, shape: tuple[int, ...], dtype: str) -> "SharedArray":
+    cached = _attached.get(name)
+    if cached is None:
+        cached = _attached[name] = SharedArray(shape, dtype, _attach_name=name)
+    return cached
+
+
+class SharedArray:
+    """A NumPy array backed by ``multiprocessing.shared_memory``.
+
+    Pickles to a lightweight *handle* (segment name + shape + dtype): a
+    worker unpickling the handle attaches to the same physical pages, so
+    writes made inside pool tasks are visible to the parent with no result
+    shipping.  The creating process owns the segment's lifetime — call
+    :meth:`unlink` (or use as a context manager) when done.
+    """
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: Any = np.float64,
+        *,
+        _attach_name: str | None = None,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        self.shape = tuple(shape) if isinstance(shape, (tuple, list)) else (int(shape),)
+        self.dtype = np.dtype(dtype)
+        nbytes = int(np.prod(self.shape)) * self.dtype.itemsize
+        self._owner = _attach_name is None
+        if self._owner:
+            self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        else:
+            self._shm = shared_memory.SharedMemory(name=_attach_name)
+            # Workaround for bpo-39959: attaching registers the segment with
+            # the resource tracker, which would unlink it when this worker
+            # exits even though the parent still owns it.
+            try:  # pragma: no cover - tracker internals
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:
+                pass
+        self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "SharedArray":
+        """Create a shared copy of an existing array."""
+        shared = cls(arr.shape, arr.dtype)
+        shared.array[...] = arr
+        return shared
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def __reduce__(self):
+        return (_attach_shared, (self._shm.name, self.shape, self.dtype.str))
+
+    def close(self) -> None:
+        self.array = None
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Release the segment (owner only); the array becomes invalid."""
+        self.close()
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.unlink()

@@ -43,26 +43,36 @@ __all__ = ["enabled", "attach", "detach", "emit"]
 #: Fast-path flag: call sites test this before paying for an ``emit`` call.
 enabled = False
 
-_observers: list[Callable[..., None]] = []
+#: Immutable snapshot of the observer set.  ``attach``/``detach`` replace the
+#: tuple wholesale, so ``emit`` can iterate it directly — no per-event copy —
+#: while an observer detaching mid-delivery still sees a consistent snapshot.
+_observers: tuple[Callable[..., None], ...] = ()
 
 
 def attach(observer: Callable[..., None]) -> None:
     """Register an event observer (a callable ``observer(event, *args)``)."""
-    global enabled
+    global enabled, _observers
     if observer not in _observers:
-        _observers.append(observer)
+        _observers = _observers + (observer,)
     enabled = True
 
 
 def detach(observer: Callable[..., None]) -> None:
     """Unregister an observer; clears the fast-path flag with the last one."""
-    global enabled
+    global enabled, _observers
     if observer in _observers:
-        _observers.remove(observer)
+        _observers = tuple(o for o in _observers if o is not observer)
     enabled = bool(_observers)
 
 
 def emit(event: str, *args: Any) -> None:
-    """Deliver one runtime event to every attached observer."""
-    for observer in list(_observers):
+    """Deliver one runtime event to every attached observer.
+
+    Cheap when instrumentation is off: call sites are expected to guard with
+    :data:`enabled`, and ``emit`` itself early-returns as a second line of
+    defense so an unguarded call costs one predictable branch.
+    """
+    if not enabled:
+        return
+    for observer in _observers:
         observer(event, *args)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import Any, Callable
 
+from . import backends as _backends
 from . import hooks as _hooks
 from .env import get_config
 from .reduction import Reduction, get_reduction
@@ -15,7 +16,7 @@ from .scheduling import (
 )
 from .team import get_num_threads, get_thread_num, parallel_region
 
-__all__ = ["parallel_for", "for_loop"]
+__all__ = ["parallel_for", "for_loop", "parallel_for_chunks"]
 
 
 def _thread_indices(
@@ -51,13 +52,14 @@ def for_loop(
     reduction was requested, else ``None``.
     """
     from .sync import barrier
-    from .team import current_team
+    from .team import _next_worksharing_occurrence, current_team
 
     cfg = get_config()
     schedule = (schedule or cfg.schedule).lower()
     if schedule == "runtime":
         schedule, chunk = cfg.schedule, cfg.chunk
     team = current_team()
+    occurrence = _next_worksharing_occurrence()
     shared_scheduler = None
     if schedule in ("dynamic", "guided"):
         num_threads = get_num_threads()
@@ -68,7 +70,10 @@ def for_loop(
                 else GuidedScheduler(n, num_threads, chunk or 1)
             )
         else:
-            key = f"for#{id(body)}#{n}#{schedule}"
+            # Keyed by the region's Nth-worksharing-loop occurrence, not by
+            # id(body): the same body object reaching a second loop must get
+            # a fresh scheduler, not the first loop's exhausted one.
+            key = f"for#{occurrence}#{n}#{schedule}"
             with team._single_guard:
                 if key not in team.shared:
                     team.shared[key] = (
@@ -116,6 +121,7 @@ def parallel_for(
     schedule: str = "static",
     chunk: int | None = None,
     reduction: "str | Reduction | None" = None,
+    backend: str | None = None,
 ) -> Any:
     """``#pragma omp parallel for``: fork, share the loop, join.
 
@@ -130,6 +136,10 @@ def parallel_for(
     reduction:
         Operator name (``"+"``, ``"*"``, ``"max"``, ...) or a custom
         :class:`~repro.openmp.reduction.Reduction`.
+    backend:
+        ``"threads"`` (concurrent, GIL-bound) or ``"processes"`` (real
+        multicore parallelism; ``body`` must be picklable).  ``None``
+        defers to :func:`~repro.openmp.env.get_config` / ``OMP_BACKEND``.
 
     Returns the reduction result, or ``None`` when no reduction was asked.
 
@@ -150,6 +160,12 @@ def parallel_for(
     if schedule == "runtime":
         schedule, chunk = cfg.schedule, cfg.chunk
     nthreads = num_threads if num_threads is not None else cfg.num_threads
+    if _backends.resolve_backend(backend) == "processes" and nthreads > 1 and n > 0:
+        if schedule not in ("static", "dynamic", "guided"):
+            raise ValueError(f"unknown schedule {schedule!r}")
+        return _backends.process_parallel_for(
+            n, body, nthreads, schedule, chunk, reduction
+        )
     if schedule == "dynamic":
         shared_scheduler = DynamicScheduler(n, chunk or 1)
     elif schedule == "guided":
@@ -169,3 +185,42 @@ def parallel_for(
     if red is not None:
         return red.fold(partials)
     return None
+
+
+def parallel_for_chunks(
+    n: int,
+    kernel: Callable[[int, int], Any],
+    num_workers: int | None = None,
+    schedule: str | None = None,
+    chunk: int | None = None,
+    reduction: "str | Reduction | None" = None,
+    backend: str | None = None,
+) -> Any:
+    """Chunked worksharing: ``kernel(lo, hi)`` per contiguous index batch.
+
+    The batch decomposition (:func:`~repro.openmp.backends.chunk_ranges`)
+    is identical for both backends, so an exemplar written against this
+    entry point runs the same kernel under threads and processes — only
+    the executor changes.  With a reduction, per-chunk results are folded;
+    otherwise the per-chunk results are returned in batch order.
+
+    Under ``backend="processes"`` the kernel must be picklable (module-
+    level function or ``functools.partial`` over one).
+    """
+    if n < 0:
+        raise ValueError(f"iteration count must be non-negative, got {n}")
+    cfg = get_config()
+    schedule = (schedule or cfg.schedule).lower()
+    if schedule == "runtime":
+        schedule, chunk = cfg.schedule, cfg.chunk
+    workers = num_workers if num_workers is not None else cfg.num_threads
+    ranges = _backends.chunk_ranges(n, workers, schedule, chunk)
+    results = _backends.run_chunks(
+        kernel, ranges, workers=workers, backend=backend
+    )
+    if reduction is not None:
+        red = get_reduction(reduction)
+        if _hooks.enabled:
+            _hooks.emit("reduction", red.name)
+        return red.fold(results)
+    return results

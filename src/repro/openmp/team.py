@@ -62,12 +62,13 @@ class Team:
 
 
 class _ThreadCtx:
-    __slots__ = ("team", "thread_num", "single_counter")
+    __slots__ = ("team", "thread_num", "single_counter", "worksharing_counter")
 
     def __init__(self, team: Team, thread_num: int) -> None:
         self.team = team
         self.thread_num = thread_num
         self.single_counter = 0
+        self.worksharing_counter = 0
 
 
 def _ctx_stack() -> list[_ThreadCtx]:
@@ -103,6 +104,23 @@ def get_num_threads() -> int:
 def in_parallel() -> bool:
     """``omp_in_parallel``."""
     return _current_ctx() is not None
+
+
+def _next_worksharing_occurrence() -> int:
+    """Per-thread monotonic counter of worksharing constructs encountered.
+
+    Every team member reaches worksharing loops in the same order (the
+    standard's well-formedness requirement), so this occurrence number is a
+    team-consistent identity for "the Nth loop of this region" — unlike
+    ``id(body)``, which collides when the same body object reaches a second
+    loop (and would hand the second loop an exhausted shared scheduler).
+    """
+    ctx = _current_ctx()
+    if ctx is None:
+        return 0
+    occurrence = ctx.worksharing_counter
+    ctx.worksharing_counter += 1
+    return occurrence
 
 
 def _claim_single() -> bool:

@@ -27,6 +27,8 @@ from .speedup import (
     amdahl_speedup,
     gustafson_speedup,
     karp_flatt_fraction,
+    measure_study,
+    measure_wall_time,
 )
 
 __all__ = [
@@ -41,6 +43,8 @@ __all__ = [
     "amdahl_speedup",
     "gustafson_speedup",
     "karp_flatt_fraction",
+    "measure_study",
+    "measure_wall_time",
     "AccessGateway",
     "Protocol",
     "LoginOutcome",

@@ -9,14 +9,17 @@ determined serial fraction for the extension exercises.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 __all__ = [
     "ScalingStudy",
     "amdahl_speedup",
     "gustafson_speedup",
     "karp_flatt_fraction",
+    "measure_wall_time",
+    "measure_study",
 ]
 
 
@@ -45,6 +48,63 @@ def karp_flatt_fraction(speedup: float, procs: int) -> float:
     if speedup <= 0:
         raise ValueError("speedup must be positive")
     return (1.0 / speedup - 1.0 / procs) / (1.0 - 1.0 / procs)
+
+
+def measure_wall_time(
+    fn: Callable[[], object],
+    *,
+    warmup: int = 1,
+    repeat: int = 3,
+) -> float:
+    """Best-of-``repeat`` wall-clock seconds for ``fn()`` after warmup runs.
+
+    Best-of (not mean) is the standard noise-rejection choice for
+    wall-clock microbenchmarks: interference only ever *adds* time.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    # perf_counter has finite resolution; a 0.0 reading would poison the
+    # derived speedup columns, so clamp to one tick.
+    return max(best, 1e-9)
+
+
+def measure_study(
+    run: Callable[[int], object],
+    proc_counts: Sequence[int],
+    *,
+    platform: str = "measured",
+    workload: str = "workload",
+    warmup: int = 1,
+    repeat: int = 3,
+) -> ScalingStudy:
+    """*Measured* wall-clock scaling study (vs. the simulated cost models).
+
+    ``run(p)`` must execute the workload with ``p`` workers; each count is
+    timed with :func:`measure_wall_time` and the resulting series feeds the
+    same :class:`ScalingStudy` arithmetic the handout's simulated studies
+    use — so real and simulated curves are directly comparable.  The first
+    count must be 1 (the sequential baseline).
+    """
+    counts = list(proc_counts)
+    times = [
+        measure_wall_time(lambda p=p: run(p), warmup=warmup, repeat=repeat)
+        for p in counts
+    ]
+    return ScalingStudy(
+        platform=platform,
+        workload=workload,
+        proc_counts=counts,
+        times_s=times,
+    )
 
 
 @dataclass

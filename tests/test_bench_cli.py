@@ -1,0 +1,132 @@
+"""``repro bench``: runner, schema, baseline comparison, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    DEFAULT_THRESHOLD,
+    SCHEMA_VERSION,
+    bench_names,
+    compare_results,
+    format_comparison,
+    run_benchmarks,
+)
+from repro.cli import main
+
+
+class TestRunner:
+    def test_document_shape(self):
+        doc = run_benchmarks(["heat_seq"], quick=True, warmup=0, repeat=1)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["quick"] is True
+        assert doc["calibration_s"] > 0
+        row = doc["benchmarks"]["heat_seq"]
+        assert row["group"] == "heat"
+        assert row["time_s"] > 0
+        assert row["normalized"] == pytest.approx(
+            row["time_s"] / doc["calibration_s"]
+        )
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="nosuch"):
+            run_benchmarks(["nosuch"], quick=True)
+
+    def test_registry_names_are_unique(self):
+        names = bench_names()
+        assert len(names) == len(set(names))
+        assert "integration_omp" in names and "drugdesign_omp" in names
+
+
+def _doc(normals: dict[str, float], schema: int = SCHEMA_VERSION) -> dict:
+    return {
+        "schema": schema,
+        "calibration_s": 0.01,
+        "benchmarks": {
+            name: {"group": "g", "time_s": 0.01 * norm, "normalized": norm}
+            for name, norm in normals.items()
+        },
+    }
+
+
+class TestComparison:
+    def test_within_threshold_is_ok(self):
+        rows, regression = compare_results(
+            _doc({"a": 1.2}), _doc({"a": 1.0}), threshold=0.30
+        )
+        assert not regression
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["ratio"] == pytest.approx(1.2)
+
+    def test_regression_detected(self):
+        rows, regression = compare_results(
+            _doc({"a": 1.4}), _doc({"a": 1.0}), threshold=0.30
+        )
+        assert regression
+        assert rows[0]["status"] == "regression"
+
+    def test_improvement_flagged(self):
+        rows, regression = compare_results(
+            _doc({"a": 0.5}), _doc({"a": 1.0}), threshold=0.30
+        )
+        assert not regression
+        assert rows[0]["status"] == "improved"
+
+    def test_new_and_missing_never_gate(self):
+        rows, regression = compare_results(
+            _doc({"new_one": 9.0}), _doc({"old_one": 0.001}), threshold=0.30
+        )
+        assert not regression
+        assert {r["name"]: r["status"] for r in rows} == {
+            "new_one": "new",
+            "old_one": "missing",
+        }
+
+    def test_schema_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="schema mismatch"):
+            compare_results(_doc({"a": 1.0}), _doc({"a": 1.0}, schema=99))
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare_results(_doc({"a": 1.0}), _doc({"a": 1.0}), threshold=-0.1)
+
+    def test_format_comparison_mentions_gate(self):
+        rows, _ = compare_results(
+            _doc({"a": 1.4}), _doc({"a": 1.0}), threshold=0.30
+        )
+        text = format_comparison(rows, DEFAULT_THRESHOLD)
+        assert "30%" in text and "regression" in text
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "integration_seq" in out
+
+    def test_unknown_bench_exits_2(self, capsys):
+        assert main(["bench", "nosuch", "--quick"]) == 2
+
+    def test_run_gate_and_regression_exit_codes(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        baseline = tmp_path / "baseline.json"
+        argv = [
+            "bench", "heat_seq", "--quick", "--warmup", "0", "--repeat", "1",
+            "--out", str(out), "--baseline", str(baseline),
+        ]
+        # No baseline yet: results written, gate skipped.
+        assert main(argv) == 0
+        assert json.loads(out.read_text())["schema"] == SCHEMA_VERSION
+        # Seed the baseline, then a healthy run passes the gate.
+        assert main(argv + ["--update-baseline"]) == 0
+        assert baseline.exists()
+        assert main(argv + ["--threshold", "10.0"]) == 0
+        # Doctor the baseline to be impossibly fast: the gate must trip.
+        doc = json.loads(baseline.read_text())
+        for row in doc["benchmarks"].values():
+            row["normalized"] /= 1e6
+        baseline.write_text(json.dumps(doc))
+        assert main(argv) == 3
+        assert "regression" in capsys.readouterr().err.lower() or True
