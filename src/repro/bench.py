@@ -132,6 +132,30 @@ def _sorting_blocks(quick: bool, backend: str) -> Callable[[], Any]:
     return lambda: merge_sort_blocks(values, num_workers=workers, backend=backend)
 
 
+def _hooks_off(quick: bool, _backend: str) -> Callable[[], Any]:
+    """Instrumentation-off overhead guard: the hook fast path in a hot loop.
+
+    Times the exact pattern every instrumented call site uses — an
+    ``enabled`` check guarding an ``emit`` — with no observers attached.
+    The regression gate on this kernel keeps tracing free when off.
+    """
+    from .openmp import hooks
+
+    n = 20_000 if quick else 200_000
+
+    def spin() -> int:
+        enabled_check = hooks
+        emit = hooks.emit
+        count = 0
+        for _ in range(n):
+            if enabled_check.enabled:
+                emit("read", 0, None)
+            count += 1
+        return count
+
+    return spin
+
+
 REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("integration_seq", "integration", _integration_seq),
     BenchSpec("integration_omp", "integration", _integration_omp),
@@ -140,6 +164,7 @@ REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("heat_seq", "heat", _heat_seq),
     BenchSpec("heat_omp", "heat", _heat_omp),
     BenchSpec("sorting_blocks", "sorting", _sorting_blocks),
+    BenchSpec("hooks_off", "obs", _hooks_off),
 )
 
 
@@ -301,6 +326,19 @@ def main(args) -> int:  # pragma: no cover - exercised via cli tests
     for name, row in doc["benchmarks"].items():
         print(f"{name:<20} {row['time_s']:>10.4f} s  ({row['normalized']:.2f}x cal)")
     print(f"\nresults written to {out}")
+
+    if getattr(args, "trace", False):
+        from .obs import build_profile, record, write_chrome_trace
+
+        by_name = {spec.name: spec for spec in REGISTRY}
+        for name in doc["benchmarks"]:
+            thunk = by_name[name].make(args.quick, args.backend)
+            with record() as rec:
+                thunk()
+            profile = build_profile(rec.events(), dropped=rec.dropped)
+            trace_path = out.parent / f"trace-{name}.json"
+            write_chrome_trace(trace_path, profile)
+            print(f"chrome trace written to {trace_path}")
 
     baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
     if args.update_baseline:

@@ -15,6 +15,9 @@ Gives instructors and students the whole toolkit without writing Python:
 * ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
 * ``bench`` — run real wall-clock benchmarks (warmup/repeat control,
   schema-versioned JSON results, regression gate vs a committed baseline);
+* ``trace <name>`` — run a patternlet or exemplar under the ``repro.obs``
+  event bus and report lanes, wait attribution, and message traffic
+  (``--chrome out.json`` exports a Perfetto-loadable timeline);
 * ``study <exemplar> <platform>`` — print a platform scaling study;
 * ``report`` — regenerate the paper's evaluation artifacts (Tables I-II,
   Figures 3-4, workshop findings);
@@ -118,6 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--update-baseline", action="store_true",
                          dest="update_baseline",
                          help="write this run as the new baseline (no gate)")
+    p_bench.add_argument("--trace", action="store_true",
+                         help="also record each benchmark on the repro.obs "
+                              "event bus and write Chrome traces")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="profile a patternlet or exemplar on the repro.obs event bus",
+    )
+    p_trace.add_argument("name", help="patternlet or exemplar to trace")
+    p_trace.add_argument("--paradigm", choices=("openmp", "mpi"),
+                         help="disambiguate when both runtimes have the name")
+    p_trace.add_argument("--np", type=int, default=None, dest="nprocs",
+                         help="processes (mpi) / threads (openmp)")
+    p_trace.add_argument("--backend", choices=("threads", "processes"),
+                         help="execution backend for both runtimes")
+    p_trace.add_argument("--json", action="store_true", dest="as_json",
+                         help="emit the profile report as JSON")
+    p_trace.add_argument("--chrome", metavar="PATH",
+                         help="write a Chrome trace-event JSON (Perfetto)")
+    p_trace.add_argument("--timeline", action="store_true",
+                         help="append the ASCII timeline to the report")
 
     p_study = sub.add_parser("study", help="platform scaling study")
     p_study.add_argument(
@@ -315,6 +339,42 @@ def _cmd_mpirun(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import (
+        profile_report,
+        render_text,
+        render_timeline,
+        trace_target,
+        write_chrome_trace,
+    )
+
+    try:
+        profile, _result = trace_target(
+            args.name,
+            paradigm=args.paradigm,
+            nprocs=args.nprocs,
+            backend=args.backend,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(profile_report(profile), indent=2))
+    else:
+        print(render_text(profile))
+        if args.timeline:
+            print(render_timeline(profile))
+    if args.chrome:
+        out = write_chrome_trace(args.chrome, profile)
+        print(f"chrome trace written to {out}", file=sys.stderr)
+    if not profile.lanes:
+        print("no events were recorded", file=sys.stderr)
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -323,6 +383,7 @@ _HANDLERS = {
     "notebook": _cmd_notebook,
     "handout": _cmd_handout,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "study": _cmd_study,
     "report": _cmd_report,
     "validate": _cmd_validate,

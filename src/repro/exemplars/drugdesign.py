@@ -235,3 +235,13 @@ def drugdesign_workload(
         message_bytes=lambda p: 32.0 * num_ligands,
         imbalance=imbalance,
     )
+
+
+def trace_demo(
+    paradigm: str = "openmp", backend: str | None = None
+) -> DrugDesignResult:
+    """Small fixed-size run for ``repro trace drugdesign``."""
+    ligands = generate_ligands(12, max_len=6, seed=2020)
+    if paradigm == "mpi":
+        return run_mpi_master_worker(ligands, np_procs=4)
+    return run_omp(ligands, num_threads=4, backend=backend)

@@ -246,3 +246,13 @@ def forestfire_workload(size: int, trials: int, num_probs: int = 10) -> Workload
         message_bytes=lambda p: 16.0 * (p - 1) * num_probs,
         imbalance=0.15,
     )
+
+
+def trace_demo(paradigm: str = "openmp", backend: str | None = None) -> FireCurve:
+    """Small fixed-size run for ``repro trace forestfire``."""
+    probs = (0.3, 0.6)
+    if paradigm == "mpi":
+        return fire_curve_mpi(probs, trials=4, size=15, np_procs=4)
+    return fire_curve_omp(
+        probs, trials=4, size=15, num_threads=4, backend=backend
+    )

@@ -251,3 +251,10 @@ def heat_workload(n: int, steps: int) -> Workload:
         message_bytes=lambda p: 8.0 * 2 * (p - 1) * steps,
         imbalance=0.02,
     )
+
+
+def trace_demo(paradigm: str = "openmp", backend: str | None = None) -> np.ndarray:
+    """Small fixed-size run for ``repro trace heat``."""
+    if paradigm == "mpi":
+        return heat_mpi(64, steps=4, np_procs=4)
+    return heat_omp(64, steps=4, num_threads=4, backend=backend)

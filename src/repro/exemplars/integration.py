@@ -146,3 +146,10 @@ def integration_workload(n: int) -> Workload:
         message_bytes=lambda p: 8.0 * 2 * (p - 1),
         imbalance=0.0,
     )
+
+
+def trace_demo(paradigm: str = "openmp", backend: str | None = None) -> float:
+    """Small fixed-size run for ``repro trace integration``."""
+    if paradigm == "mpi":
+        return integrate_mpi(400, np_procs=4)
+    return integrate_omp(400, num_threads=4, backend=backend)

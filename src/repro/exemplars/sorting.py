@@ -18,6 +18,7 @@ tests pin down.
 from __future__ import annotations
 
 import functools
+import random
 from typing import Sequence
 
 from ..mpi import mpirun
@@ -226,3 +227,12 @@ def sorting_workload(n: int) -> Workload:
         message_bytes=lambda p: 8.0 * n * p,  # each phase ships ~n elements
         imbalance=0.05,
     )
+
+
+def trace_demo(paradigm: str = "openmp", backend: str | None = None) -> list:
+    """Small fixed-size run for ``repro trace sorting``."""
+    rng = random.Random(7)
+    values = [rng.randrange(1000) for _ in range(240)]
+    if paradigm == "mpi":
+        return odd_even_sort_mpi(values, np_procs=4)
+    return merge_sort_blocks(values, num_workers=4, backend=backend)

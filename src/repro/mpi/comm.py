@@ -15,6 +15,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from . import collectives as coll
+from . import hooks as _hooks
 from .buffers import BufferSpec, parse_buffer, parse_vector_buffer
 from .constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, UNDEFINED
 from .errors import (
@@ -85,6 +86,29 @@ class Intracomm:
     @property
     def mailbox(self) -> Mailbox:
         return self._core.user_boxes[self._rank]
+
+    @property
+    def _obs_cid(self) -> int:
+        return self._core.cid
+
+    def _put_user(self, dest: int, message: Message) -> None:
+        """Enqueue a user-context message, announcing it to the hook seam."""
+        if _hooks.enabled:
+            _hooks.emit(
+                "send", self._core.cid, self._rank, dest, message.tag,
+                message.nbytes,
+            )
+        self._core.user_boxes[dest].put(message)
+
+    def _get_user(self, source: int, tag: int) -> Message:
+        """Blocking mailbox fetch bracketed by recv_enter/recv_exit events."""
+        if not _hooks.enabled:
+            return self.mailbox.get(source, tag)
+        cid = self._core.cid
+        _hooks.emit("recv_enter", cid, self._rank, source, tag)
+        msg = self.mailbox.get(source, tag)
+        _hooks.emit("recv_exit", cid, self._rank, msg.source, msg.tag, msg.nbytes)
+        return msg
 
     def _check_alive(self) -> None:
         if self._core.freed:
@@ -168,7 +192,7 @@ class Intracomm:
         if dest == PROC_NULL:
             return
         payload = pickle.dumps(obj)
-        self._core.user_boxes[dest].put(Message(self._rank, tag, payload, len(payload)))
+        self._put_user(dest, Message(self._rank, tag, payload, len(payload)))
 
     def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
         """Synchronous send: blocks until the matching receive starts."""
@@ -181,8 +205,8 @@ class Intracomm:
 
         done = threading.Event()
         payload = pickle.dumps(obj)
-        self._core.user_boxes[dest].put(
-            Message(self._rank, tag, payload, len(payload), synchronous=done)
+        self._put_user(
+            dest, Message(self._rank, tag, payload, len(payload), synchronous=done)
         )
         wait_event(done, self._core.world)
 
@@ -201,7 +225,7 @@ class Intracomm:
             if status is not None:
                 status._set(PROC_NULL, ANY_TAG, 0)
             return None
-        msg = self.mailbox.get(source, tag)
+        msg = self._get_user(source, tag)
         if status is not None:
             status._set(msg.source, msg.tag, msg.nbytes)
         return pickle.loads(msg.payload)
@@ -222,8 +246,8 @@ class Intracomm:
 
         done = threading.Event()
         payload = pickle.dumps(obj)
-        self._core.user_boxes[dest].put(
-            Message(self._rank, tag, payload, len(payload), synchronous=done)
+        self._put_user(
+            dest, Message(self._rank, tag, payload, len(payload), synchronous=done)
         )
         return SendRequest(self, sync_event=done)
 
@@ -278,9 +302,7 @@ class Intracomm:
             return
         spec = parse_buffer(buf)
         snapshot = spec.data()
-        self._core.user_boxes[dest].put(
-            Message(self._rank, tag, snapshot, spec.nbytes)
-        )
+        self._put_user(dest, Message(self._rank, tag, snapshot, spec.nbytes))
 
     def Recv(
         self,
@@ -298,7 +320,7 @@ class Intracomm:
             if status is not None:
                 status._set(PROC_NULL, ANY_TAG, 0)
             return
-        msg = self.mailbox.get(source, tag)
+        msg = self._get_user(source, tag)
         self._fill_typed(spec, msg)
         if status is not None:
             status._set(msg.source, msg.tag, msg.nbytes)
@@ -357,6 +379,10 @@ class Intracomm:
         me = self._rank
 
         def send(dest: int, phase: int, payload: Any) -> None:
+            if _hooks.enabled:
+                _hooks.emit(
+                    "coll_msg", core.cid, me, dest, _hooks.payload_nbytes(payload)
+                )
             core.coll_boxes[dest].put(
                 Message(me, seq * _PHASE_SPAN + phase, payload, 0)
             )
@@ -379,6 +405,7 @@ class Intracomm:
         return send, recv
 
     # ----------------------------------------------------------- collectives (obj)
+    @_hooks.traced_collective
     def barrier(self) -> None:
         """Block until every rank of the communicator has arrived."""
         send, recv = self._transports()
@@ -386,6 +413,7 @@ class Intracomm:
 
     Barrier = barrier
 
+    @_hooks.traced_collective
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast a Python object from ``root`` to every rank."""
         self._check_peer(root, wildcard=False, what="root")
@@ -396,6 +424,7 @@ class Intracomm:
         )
         return obj if self._rank == root else pickle.loads(result)
 
+    @_hooks.traced_collective
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter a ``size``-element sequence from root; returns the local item."""
         self._check_peer(root, wildcard=False, what="root")
@@ -410,17 +439,20 @@ class Intracomm:
             chunks = list(sendobj)
         return coll.scatter_linear(self._rank, self._core.size, root, chunks, send, recv)
 
+    @_hooks.traced_collective
     def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
         """Gather one object per rank into an ordered list at root."""
         self._check_peer(root, wildcard=False, what="root")
         send, recv = self._obj_transports()
         return coll.gather_linear(self._rank, self._core.size, root, sendobj, send, recv)
 
+    @_hooks.traced_collective
     def allgather(self, sendobj: Any) -> list[Any]:
         """Gather one object per rank; every rank gets the full list."""
         send, recv = self._obj_transports()
         return coll.allgather_ring(self._rank, self._core.size, sendobj, send, recv)
 
+    @_hooks.traced_collective
     def alltoall(self, sendobj: Sequence[Any]) -> list[Any]:
         """Personalized exchange: item ``j`` of my sequence goes to rank ``j``."""
         if len(sendobj) != self._core.size:
@@ -430,6 +462,7 @@ class Intracomm:
         send, recv = self._obj_transports()
         return coll.alltoall_pairwise(self._rank, self._core.size, list(sendobj), send, recv)
 
+    @_hooks.traced_collective
     def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
         """Combine one value per rank with ``op``; result lands at root."""
         self._check_peer(root, wildcard=False, what="root")
@@ -442,6 +475,7 @@ class Intracomm:
             self._rank, self._core.size, root, sendobj, op, send, recv
         )
 
+    @_hooks.traced_collective
     def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
         """Reduce then deliver the result to every rank."""
         send, recv = self._obj_transports()
@@ -457,17 +491,20 @@ class Intracomm:
         out = coll.bcast_binomial(self._rank, self._core.size, 0, payload, send2, recv2)
         return result if self._rank == 0 else pickle.loads(out)
 
+    @_hooks.traced_collective
     def scan(self, sendobj: Any, op: Op = SUM) -> Any:
         """Inclusive prefix reduction over ranks."""
         send, recv = self._obj_transports()
         return coll.scan_linear(self._rank, self._core.size, sendobj, op, send, recv)
 
+    @_hooks.traced_collective
     def exscan(self, sendobj: Any, op: Op = SUM) -> Any:
         """Exclusive prefix reduction; rank 0 gets ``None``."""
         send, recv = self._obj_transports()
         return coll.exscan_linear(self._rank, self._core.size, sendobj, op, send, recv)
 
     # -------------------------------------------------------- collectives (buffer)
+    @_hooks.traced_collective
     def Bcast(self, buf: Any, root: int = 0) -> None:
         """Broadcast a typed buffer in place."""
         self._check_peer(root, wildcard=False, what="root")
@@ -480,6 +517,7 @@ class Intracomm:
         if self._rank != root:
             self._fill_array(spec, values)
 
+    @_hooks.traced_collective
     def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
         """Scatter equal contiguous chunks of ``sendbuf`` from root."""
         self._check_peer(root, wildcard=False, what="root")
@@ -498,6 +536,7 @@ class Intracomm:
         values = coll.scatter_linear(self._rank, size, root, chunks, send, recv)
         self._fill_array(parse_buffer(recvbuf), values)
 
+    @_hooks.traced_collective
     def Scatterv(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
         """Scatter variable-size segments ``[data, counts, displs, type]``."""
         self._check_peer(root, wildcard=False, what="root")
@@ -513,6 +552,7 @@ class Intracomm:
         values = coll.scatter_linear(self._rank, size, root, chunks, send, recv)
         self._fill_array(parse_buffer(recvbuf), values)
 
+    @_hooks.traced_collective
     def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
         """Gather equal chunks into root's buffer, ordered by rank."""
         self._check_peer(root, wildcard=False, what="root")
@@ -526,6 +566,7 @@ class Intracomm:
             rspec = parse_buffer(recvbuf)
             self._place_parts(rspec, parts, uniform=True)
 
+    @_hooks.traced_collective
     def Gatherv(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
         """Gather variable-size segments into ``[data, counts, displs, type]``."""
         self._check_peer(root, wildcard=False, what="root")
@@ -544,6 +585,7 @@ class Intracomm:
                     )
                 vspec.array[d : d + c] = arr.astype(vspec.datatype.np_dtype, copy=False)
 
+    @_hooks.traced_collective
     def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
         """All ranks gather everyone's chunk into their own buffer."""
         send, recv = self._transports()
@@ -553,6 +595,7 @@ class Intracomm:
         )
         self._place_parts(parse_buffer(recvbuf), parts, uniform=True)
 
+    @_hooks.traced_collective
     def Alltoall(self, sendbuf: Any, recvbuf: Any) -> None:
         """Typed personalized exchange of equal chunks."""
         size = self._core.size
@@ -568,6 +611,7 @@ class Intracomm:
         parts = coll.alltoall_pairwise(self._rank, size, outgoing, send, recv)
         self._place_parts(parse_buffer(recvbuf), parts, uniform=True)
 
+    @_hooks.traced_collective
     def Reduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0) -> None:
         """Elementwise typed reduction to root."""
         self._check_peer(root, wildcard=False, what="root")
@@ -584,6 +628,7 @@ class Intracomm:
         if self._rank == root:
             self._fill_array(parse_buffer(recvbuf), result)
 
+    @_hooks.traced_collective
     def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         """Elementwise typed reduction delivered to every rank."""
         send, recv = self._transports()

@@ -36,6 +36,7 @@ import queue as _queue_mod
 import time
 from typing import Any, Callable, Sequence
 
+from . import hooks as _hooks
 from .constants import ANY_SOURCE, ANY_TAG, DEFAULT_DEADLOCK_TIMEOUT, PROC_NULL
 from .errors import (
     DeadlockError,
@@ -61,6 +62,10 @@ class _RemoteRankError(MPIError):
 
 class ProcComm:
     """COMM_WORLD view of one process rank (see module docstring for scope)."""
+
+    #: Context id for hook events: process ranks only expose COMM_WORLD, and
+    #: 0 never collides with threaded-world cids (their counter starts at 1).
+    _obs_cid = 0
 
     def __init__(
         self,
@@ -129,6 +134,11 @@ class ProcComm:
 
     def _post(self, dest: int, kind: str, key: int, payload: Any) -> None:
         blob = pickle.dumps(payload)
+        if _hooks.enabled:
+            if kind == "p2p":
+                _hooks.emit("send", 0, self._rank, dest, key, len(blob))
+            else:
+                _hooks.emit("coll_msg", 0, self._rank, dest, len(blob))
         self._inboxes[dest].put((kind, self._rank, key, blob))
 
     # -- point-to-point ------------------------------------------------------
@@ -152,12 +162,18 @@ class ProcComm:
             if status is not None:
                 status._set(PROC_NULL, ANY_TAG, 0)
             return None
+        if _hooks.enabled:
+            _hooks.emit("recv_enter", 0, self._rank, source, tag)
         while True:
             for idx, (src, tg, blob) in enumerate(self._p2p):
                 if (source == ANY_SOURCE or src == source) and (
                     tag == ANY_TAG or tg == tag
                 ):
                     del self._p2p[idx]
+                    if _hooks.enabled:
+                        _hooks.emit(
+                            "recv_exit", 0, self._rank, src, tg, len(blob)
+                        )
                     if status is not None:
                         status._set(src, tg, len(blob))
                     return pickle.loads(blob)
@@ -194,6 +210,7 @@ class ProcComm:
                     return pickle.loads(blob)
             self._pump()
 
+    @_hooks.traced_collective
     def barrier(self) -> None:
         seq = self._next_seq()
         if self._rank == 0:
@@ -207,6 +224,7 @@ class ProcComm:
 
     Barrier = barrier
 
+    @_hooks.traced_collective
     def bcast(self, obj: Any, root: int = 0) -> Any:
         self._check_peer(root, wildcard=False, what="root")
         seq = self._next_seq()
@@ -217,6 +235,7 @@ class ProcComm:
             return obj
         return self._coll_recv(seq, root)
 
+    @_hooks.traced_collective
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         self._check_peer(root, wildcard=False, what="root")
         seq = self._next_seq()
@@ -232,6 +251,7 @@ class ProcComm:
             return parts[root]
         return self._coll_recv(seq, root)
 
+    @_hooks.traced_collective
     def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
         self._check_peer(root, wildcard=False, what="root")
         seq = self._next_seq()
@@ -245,10 +265,12 @@ class ProcComm:
         self._coll_send(root, seq, sendobj)
         return None
 
+    @_hooks.traced_collective
     def allgather(self, sendobj: Any) -> list[Any]:
         gathered = self.gather(sendobj, root=0)
         return self.bcast(gathered, root=0)
 
+    @_hooks.traced_collective
     def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
         gathered = self.gather(sendobj, root=root)
         if gathered is None:
@@ -258,6 +280,7 @@ class ProcComm:
             acc = op(acc, value)
         return acc
 
+    @_hooks.traced_collective
     def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
         reduced = self.reduce(sendobj, op=op, root=0)
         return self.bcast(reduced, root=0)
@@ -344,6 +367,12 @@ def _rank_main(
     hostname: str,
     deadlock_timeout: float | None,
 ) -> None:
+    # Re-home any fork-inherited recorder: events this rank emits are
+    # recorded locally and shipped back as the 4th result-tuple element
+    # (they would otherwise land in a dead copy of the parent's buffer).
+    from ..obs.recorder import adopt_forked_recorder, collect_forwarded
+
+    rank_rec = adopt_forked_recorder(("rank", rank))
     comm = ProcComm(rank, size, inboxes, hostname, deadlock_timeout)
     try:
         value = fn(comm, *args, **kwargs)
@@ -353,12 +382,15 @@ def _rank_main(
             payload: Any = exc
         except Exception:
             payload = _RemoteRankError(f"{type(exc).__name__}: {exc}")
-        results.put((rank, False, payload))
+        results.put((rank, False, payload, collect_forwarded(rank_rec)))
         return
+    forwarded = collect_forwarded(rank_rec)
     try:
-        results.put((rank, True, value))
+        results.put((rank, True, value, forwarded))
     except Exception as exc:  # unpicklable rank result
-        results.put((rank, False, _RemoteRankError(f"unpicklable result: {exc}")))
+        results.put(
+            (rank, False, _RemoteRankError(f"unpicklable result: {exc}"), forwarded)
+        )
 
 
 def run_procs(
@@ -406,6 +438,10 @@ def run_procs(
         )
         for rank in range(np)
     ]
+    from ..obs.recorder import active as _obs_active
+    from ..obs.recorder import ingest_forwarded as _obs_ingest
+
+    launch_ts = time.monotonic()
     for p in procs:
         p.start()
 
@@ -424,7 +460,11 @@ def run_procs(
                     f"ranks {sorted(pending)} did not finish within {budget}s"
                 )
             try:
-                rank, ok, payload = results_q.get(timeout=min(remaining, 0.5))
+                rank, ok, payload, forwarded = results_q.get(
+                    timeout=min(remaining, 0.5)
+                )
+                if forwarded is not None and _obs_active() is not None:
+                    _obs_ingest(forwarded, launch_ts)
             except _queue_mod.Empty:
                 if any(p.exitcode not in (None, 0) for p in procs):
                     dead = [r for r, p in enumerate(procs) if p.exitcode not in (None, 0)]

@@ -2,12 +2,28 @@
 
 from __future__ import annotations
 
+import contextlib
 import pickle
 import threading
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
+from . import hooks as _hooks
 from .message import wait_event
 from .status import Status
+
+
+@contextlib.contextmanager
+def _wait_span(comm: "Intracomm") -> Iterator[None]:
+    """Bracket a blocking request wait with wait_enter/wait_exit events."""
+    if not _hooks.enabled:
+        yield
+        return
+    cid, rank = comm._obs_cid, comm._rank
+    _hooks.emit("wait_enter", cid, rank)
+    try:
+        yield
+    finally:
+        _hooks.emit("wait_exit", cid, rank)
 
 if TYPE_CHECKING:  # pragma: no cover
     from .comm import Intracomm
@@ -67,7 +83,8 @@ class SendRequest(Request):
 
     def wait(self, status: Status | None = None) -> None:
         if self._sync is not None:
-            wait_event(self._sync, self._comm.world)
+            with _wait_span(self._comm):
+                wait_event(self._sync, self._comm.world)
         return None
 
     def test(self, status: Status | None = None) -> tuple[bool, None]:
@@ -88,7 +105,8 @@ class RecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> Any:
         if not self._done:
-            msg = self._comm.mailbox.get(self._source, self._tag)
+            with _wait_span(self._comm):
+                msg = self._comm.mailbox.get(self._source, self._tag)
             self._payload = pickle.loads(msg.payload)
             self._done = True
             if status is not None:
@@ -126,7 +144,8 @@ class BufferRecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> None:
         if not self._done:
-            msg = self._comm.mailbox.get(self._source, self._tag)
+            with _wait_span(self._comm):
+                msg = self._comm.mailbox.get(self._source, self._tag)
             self._complete(msg, status)
         return None
 

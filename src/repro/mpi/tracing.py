@@ -2,9 +2,16 @@
 
 Teaching aid and benchmarking instrument: wrap a world in a
 :class:`CommTracer` to record every user-context message (source, dest,
-tag, bytes), then summarize as per-rank totals or a traffic matrix.  The
-runtime stays untouched — tracing hooks the mailbox ``put`` path of the
-communicator cores reachable from COMM_WORLD at attach time.
+tag, bytes), then summarize as per-rank totals or a traffic matrix.
+
+The tracer is a consumer of the :mod:`repro.mpi.hooks` event bus — the
+same seam the :mod:`repro.obs` recorders subscribe to — rather than a
+mailbox monkey-patch: it attaches a plain (untimestamped) observer and
+keeps only the events whose communicator id matches the communicator it
+was attached to.  Alongside user point-to-point traffic it now also
+counts collective-context traffic (``coll_msg`` events), reported
+separately so the patternlet pedagogy — count the *explicit* sends and
+recvs — is undisturbed.
 """
 
 from __future__ import annotations
@@ -13,7 +20,12 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any
 
+from . import hooks as _hooks
+
 __all__ = ["MessageRecord", "TraceReport", "CommTracer", "trace_run"]
+
+#: Tag used for collective-context records (collectives carry no user tag).
+COLLECTIVE_TAG = -1
 
 
 @dataclass(frozen=True)
@@ -32,6 +44,7 @@ class TraceReport:
 
     size: int
     records: list[MessageRecord]
+    collective_records: list[MessageRecord] = field(default_factory=list)
 
     @property
     def total_messages(self) -> int:
@@ -40,6 +53,14 @@ class TraceReport:
     @property
     def total_bytes(self) -> int:
         return sum(r.nbytes for r in self.records)
+
+    @property
+    def collective_messages(self) -> int:
+        return len(self.collective_records)
+
+    @property
+    def collective_bytes(self) -> int:
+        return sum(r.nbytes for r in self.collective_records)
 
     def traffic_matrix(self) -> list[list[int]]:
         """``matrix[src][dst]`` = messages sent src -> dst."""
@@ -61,59 +82,75 @@ class TraceReport:
             f"{src:>7} " + " ".join(f"{n:>5}" for n in row)
             for src, row in enumerate(matrix)
         ]
-        return "\n".join(
-            [header, *rows, f"total: {self.total_messages} messages, "
-                            f"{self.total_bytes} bytes"]
-        )
+        lines = [header, *rows, f"total: {self.total_messages} messages, "
+                                f"{self.total_bytes} bytes"]
+        if self.collective_records:
+            lines.append(
+                f"collective: {self.collective_messages} messages, "
+                f"{self.collective_bytes} bytes"
+            )
+        return "\n".join(lines)
 
 
 class CommTracer:
-    """Attach to a communicator core and record user-context messages."""
+    """Record user-context messages flowing through one communicator.
+
+    Subscribes a plain observer to the MPI hook bus; ``send`` events
+    become user records, ``coll_msg`` events become collective records.
+    Events for other communicators (different ``cid``) are ignored.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: list[MessageRecord] = []
-        self._unpatch: list[Any] = []
+        self._collective: list[MessageRecord] = []
+        self._cid: int | None = None
         self._size = 0
+        self._attached = False
+
+    def _observe(self, event: str, *args: Any) -> None:
+        if event == "send":
+            cid, src, dest, tag, nbytes = args[:5]
+            if cid != self._cid:
+                return
+            record = MessageRecord(src, dest, tag, nbytes)
+            with self._lock:
+                self._records.append(record)
+        elif event == "coll_msg":
+            cid, src, dest, nbytes = args[:4]
+            if cid != self._cid:
+                return
+            record = MessageRecord(src, dest, COLLECTIVE_TAG, nbytes)
+            with self._lock:
+                self._collective.append(record)
 
     def attach(self, comm: Any) -> None:
-        """Instrument every rank's user mailbox of ``comm``'s core."""
-        core = comm._core
-        self._size = core.size
-        for dest, mailbox in enumerate(core.user_boxes):
-            original_put = mailbox.put
-
-            def tracing_put(message, _orig=original_put, _dest=dest):
-                with self._lock:
-                    self._records.append(
-                        MessageRecord(
-                            source=message.source,
-                            dest=_dest,
-                            tag=message.tag,
-                            nbytes=message.nbytes,
-                        )
-                    )
-                _orig(message)
-
-            mailbox.put = tracing_put  # type: ignore[method-assign]
-            self._unpatch.append((mailbox, original_put))
+        """Start recording traffic on ``comm``'s communicator."""
+        self._cid = comm._obs_cid
+        self._size = comm.size
+        if not self._attached:
+            _hooks.attach(self._observe)
+            self._attached = True
 
     def detach(self) -> None:
-        for mailbox, original_put in self._unpatch:
-            mailbox.put = original_put  # type: ignore[method-assign]
-        self._unpatch.clear()
+        if self._attached:
+            _hooks.detach(self._observe)
+            self._attached = False
 
     def report(self) -> TraceReport:
         with self._lock:
-            return TraceReport(self._size, list(self._records))
+            return TraceReport(
+                self._size, list(self._records), list(self._collective)
+            )
 
 
 def trace_run(fn: Any, np: int, *args: Any, **kwargs: Any) -> tuple[list[Any], TraceReport]:
     """Run an SPMD function with tracing; return (results, trace report).
 
-    Only COMM_WORLD's user-context point-to-point traffic is recorded —
-    collective-context traffic is internal machinery, and per the patternlet
-    pedagogy it is the explicit sends/recvs learners should count.
+    COMM_WORLD's user-context point-to-point traffic makes up the main
+    report — per the patternlet pedagogy, the explicit sends/recvs
+    learners should count — with collective-context traffic tallied
+    separately in ``collective_records``.
     """
     from .runtime import World, _pop_world, _push_world
 

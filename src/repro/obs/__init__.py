@@ -1,0 +1,67 @@
+"""``repro.obs`` — unified tracing, metrics, and timeline profiling.
+
+One event bus spans both runtimes: :mod:`repro.openmp.hooks` and
+:mod:`repro.mpi.hooks` feed timestamped events into a bounded
+:class:`Recorder`; :func:`build_profile` pairs them into spans, lanes,
+and wait attribution; exporters render Chrome trace-event JSON (open in
+Perfetto) and JSON reports.  ``repro trace <target>`` is the CLI front
+end.  See ``docs/observability.md`` for the guided tour.
+"""
+
+from .events import Event, sanitize_args
+from .export import (
+    profile_report,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from .metrics import Counter, Histogram, MetricSet, collect_metrics
+from .profile import (
+    Lane,
+    RunProfile,
+    Span,
+    build_profile,
+    render_text,
+    render_timeline,
+)
+from .recorder import (
+    ForwardedEvents,
+    Recorder,
+    active,
+    adopt_forked_recorder,
+    collect_forwarded,
+    ingest_forwarded,
+    record,
+    run_traced_chunk,
+)
+from .targets import EXEMPLARS, resolve_target, trace_target
+
+__all__ = [
+    "Event",
+    "sanitize_args",
+    "Recorder",
+    "ForwardedEvents",
+    "record",
+    "active",
+    "run_traced_chunk",
+    "adopt_forked_recorder",
+    "collect_forwarded",
+    "ingest_forwarded",
+    "Counter",
+    "Histogram",
+    "MetricSet",
+    "collect_metrics",
+    "Span",
+    "Lane",
+    "RunProfile",
+    "build_profile",
+    "render_text",
+    "render_timeline",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "profile_report",
+    "validate_chrome_trace",
+    "EXEMPLARS",
+    "resolve_target",
+    "trace_target",
+]

@@ -1,0 +1,225 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and JSON profile reports.
+
+The Chrome trace-event format is the lingua franca of timeline viewers:
+load the emitted file in https://ui.perfetto.dev (or ``chrome://tracing``)
+and every lane of the run becomes a zoomable track.  We emit the JSON
+object form — ``{"traceEvents": [...]}`` — using only three phases:
+
+* ``"M"`` metadata events naming processes and threads,
+* ``"X"`` complete events (one per profiled span, ``ts``/``dur`` in µs),
+* ``"i"`` instant events (sends, forks, joins).
+
+pid/tid mapping (deterministic, documented for the golden tests):
+
+=============  ===========  ===========  ================================
+lane kind      pid          tid          process/thread names
+=============  ===========  ===========  ================================
+mpi-rank r     ``1 + r``    0            ``MPI rank r`` / ``rank r``
+omp-thread t   0            ``1 + t``    ``OpenMP team`` / ``thread t``
+omp-worker w   ``101 + o``  0            ``OpenMP worker o`` (o = ordinal)
+main           0            0            ``OpenMP team`` / ``main``
+=============  ===========  ===========  ================================
+
+Field ordering inside each event dict is fixed (name, cat, ph, ts, dur,
+pid, tid, args) and the event list is sorted, so exports are stable
+enough to diff — the property the golden-file tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .profile import RunProfile
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "profile_report",
+    "validate_chrome_trace",
+]
+
+#: Schema version stamped into profile reports.
+REPORT_SCHEMA = 1
+
+
+def _lane_pid_tid(profile: RunProfile) -> list[tuple[int, int]]:
+    """Per-lane (pid, tid) following the table in the module docstring."""
+    out: list[tuple[int, int]] = []
+    worker_ordinal = 0
+    for lane in profile.lanes:
+        if lane.kind == "mpi-rank":
+            out.append((1 + lane.index, 0))
+        elif lane.kind == "omp-thread":
+            out.append((0, 1 + lane.index))
+        elif lane.kind == "omp-worker":
+            out.append((101 + worker_ordinal, 0))
+            worker_ordinal += 1
+        else:
+            out.append((0, 0))
+    return out
+
+
+def to_chrome_trace(profile: RunProfile) -> dict[str, Any]:
+    """Render a profile as a Chrome trace-event JSON document."""
+    lane_ids = _lane_pid_tid(profile)
+    events: list[dict[str, Any]] = []
+
+    seen_procs: dict[int, str] = {}
+    worker_ordinal = 0
+    for lane, (pid, tid) in zip(profile.lanes, lane_ids):
+        if pid not in seen_procs:
+            if lane.kind == "mpi-rank":
+                pname = f"MPI rank {lane.index}"
+            elif lane.kind == "omp-worker":
+                pname = f"OpenMP worker {worker_ordinal}"
+            else:
+                pname = "OpenMP team"
+            seen_procs[pid] = pname
+            events.append(_meta("process_name", pid, 0, {"name": pname}))
+        if lane.kind == "omp-worker":
+            worker_ordinal += 1
+        events.append(_meta("thread_name", pid, tid, {"name": lane.label}))
+
+    def to_us(ts: float) -> float:
+        return round((ts - profile.t_min) * 1e6, 3)
+
+    for span in profile.spans:
+        pid, tid = lane_ids[span.lane]
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "X",
+                "ts": to_us(span.t0),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "args": _span_args(span.args),
+            }
+        )
+
+    lane_by_key = {
+        (lane.kind, lane.index): i for i, lane in enumerate(profile.lanes)
+    }
+    for ev in profile.instants:
+        pid, tid = _instant_lane(ev, lane_by_key, lane_ids)
+        events.append(
+            {
+                "name": ev.name,
+                "cat": ev.source,
+                "ph": "i",
+                "ts": to_us(ev.ts),
+                "dur": 0,
+                "pid": pid,
+                "tid": tid,
+                "args": _instant_args(ev),
+            }
+        )
+
+    events.sort(
+        key=lambda e: (e["ph"] != "M", e["ts"], e["pid"], e["tid"], e["name"])
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "imbalance_ratio": round(profile.imbalance_ratio, 4),
+            "dropped_events": profile.dropped,
+        },
+    }
+
+
+def _meta(name: str, pid: int, tid: int, args: dict[str, Any]) -> dict[str, Any]:
+    return {
+        "name": name,
+        "cat": "__metadata",
+        "ph": "M",
+        "ts": 0,
+        "dur": 0,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    }
+
+
+def _span_args(args: tuple) -> dict[str, Any]:
+    """Span begin-event args, labeled where the vocabulary is known."""
+    if len(args) == 2 and all(isinstance(a, int) for a in args):
+        return {"lo": args[0], "hi": args[1]}
+    return {"detail": json.loads(json.dumps(list(args), default=str))} if args else {}
+
+
+def _instant_args(ev: Any) -> dict[str, Any]:
+    if ev.name == "send" and len(ev.args) >= 5:
+        return {
+            "src": ev.args[1],
+            "dest": ev.args[2],
+            "tag": ev.args[3],
+            "bytes": ev.args[4],
+        }
+    return {}
+
+
+def _instant_lane(
+    ev: Any,
+    lane_by_key: dict[tuple, int],
+    lane_ids: list[tuple[int, int]],
+) -> tuple[int, int]:
+    """Place an instant on its emitting lane (sends: the source rank)."""
+    if ev.name == "send" and len(ev.args) >= 2:
+        lane = lane_by_key.get(("mpi-rank", ev.args[1]))
+        if lane is not None:
+            return lane_ids[lane]
+    return (0, 0)
+
+
+def write_chrome_trace(path: str | Path, profile: RunProfile) -> Path:
+    """Write the Chrome trace JSON; returns the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(to_chrome_trace(profile), indent=1) + "\n")
+    return out
+
+
+def profile_report(profile: RunProfile) -> dict[str, Any]:
+    """Schema-versioned JSON profile document (``repro trace --json``)."""
+    return {"schema": REPORT_SCHEMA, "profile": profile.to_dict()}
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Structural validation of a Chrome trace document.
+
+    Returns a list of problems (empty = valid).  This is the executable
+    contract the acceptance tests check exported traces against.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return ["document must be an object with a 'traceEvents' list"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                problems.append(f"{where}: missing required field {key!r}")
+        if ev.get("ph") not in ("X", "i", "M"):
+            problems.append(f"{where}: unexpected phase {ev.get('ph')!r}")
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: name must be a string")
+        for key in ("ts", "dur"):
+            value = ev.get(key, 0)
+            if not isinstance(value, (int, float)) or value < 0:
+                problems.append(f"{where}: {key} must be a non-negative number")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} must be an int")
+        if ev.get("ph") == "X" and "dur" not in ev:
+            problems.append(f"{where}: complete event missing 'dur'")
+    return problems

@@ -1,0 +1,94 @@
+"""Counters and histograms derived from captured event streams.
+
+The metrics layer is deliberately dumb: pure aggregation over
+:class:`~repro.obs.events.Event` lists, no pairing logic (span pairing
+lives in :mod:`repro.obs.profile`).  It answers the quick questions a
+learner asks first — *how many* barriers, *how big* were the messages —
+before the profile answers *where the time went*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .events import Event
+
+__all__ = ["Counter", "Histogram", "MetricSet", "collect_metrics"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    count: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.count += n
+
+
+class Histogram:
+    """Power-of-two-bucketed value histogram with summary statistics."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: bucket index b holds values in [2**(b-1), 2**b); b=0 holds < 1.
+        self.buckets: dict[int, int] = {}
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        b = 0
+        v = value
+        while v >= 1.0:
+            v /= 2.0
+            b += 1
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+@dataclass
+class MetricSet:
+    """Aggregated counters/histograms for one recorded run."""
+
+    event_counts: dict[str, int] = field(default_factory=dict)
+    message_bytes: Histogram = field(default_factory=Histogram)
+    collective_calls: dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "message_bytes": self.message_bytes.summary(),
+            "collective_calls": dict(sorted(self.collective_calls.items())),
+        }
+
+
+def collect_metrics(events: Iterable[Event]) -> MetricSet:
+    """One pass over the stream: counts, message-size histogram, collectives."""
+    m = MetricSet()
+    counts = m.event_counts
+    for ev in events:
+        counts[ev.name] = counts.get(ev.name, 0) + 1
+        if ev.name == "send" and len(ev.args) >= 5:
+            m.message_bytes.add(ev.args[4])
+        elif ev.name == "coll_enter" and len(ev.args) >= 3:
+            name = ev.args[2]
+            m.collective_calls[name] = m.collective_calls.get(name, 0) + 1
+    return m

@@ -1,0 +1,442 @@
+"""Derived per-run profiles: spans, lanes, waits, imbalance, contention.
+
+This layer turns a flat event stream into the quantities the handouts
+reason about:
+
+* **spans** — begin/end event pairs matched per execution lane (regions,
+  worksharing loops, barriers, lock waits, critical sections, chunk
+  tasks, receives, request waits, collectives);
+* **lanes** — one row per (process, OS thread), classified as an OpenMP
+  team member, a pool worker, an MPI rank, or the main thread;
+* **wait attribution** — per lane, how much of its extent was spent in
+  barriers, lock acquisition, receives/waits, and collectives; the rest
+  is *busy* time;
+* **load imbalance** — ``max(busy) / mean(busy)`` across lanes (1.0 is
+  perfect balance);
+* **contention** — per lock key, how many acquisitions waited and for how
+  long;
+* **message edges** — per (src, dst) message counts and bytes, for both
+  user p2p traffic and internal collective transport;
+* **ASCII timelines** — schedule visualizations for the Runestone
+  handouts (one lane per row, one character per time bucket).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from .events import Event
+from .metrics import MetricSet, collect_metrics
+
+__all__ = [
+    "Span",
+    "Lane",
+    "RunProfile",
+    "build_profile",
+    "render_text",
+    "render_timeline",
+]
+
+#: Span name per opening event.
+_SPAN_NAMES = {
+    "thread_begin": "parallel region",
+    "barrier_enter": "barrier wait",
+    "ws_loop_begin": "worksharing loop",
+    "chunk_begin": "chunk",
+    "acquire_enter": "lock wait",
+    "acquire": "critical section",
+    "recv_enter": "recv wait",
+    "wait_enter": "request wait",
+    "coll_enter": "collective",
+}
+
+#: Category per opening event (drives wait attribution and timeline glyphs).
+_SPAN_CATS = {
+    "thread_begin": "region",
+    "barrier_enter": "barrier",
+    "ws_loop_begin": "loop",
+    "chunk_begin": "chunk",
+    "acquire_enter": "lockwait",
+    "acquire": "critical",
+    "recv_enter": "recv",
+    "wait_enter": "recv",
+    "coll_enter": "collective",
+}
+
+#: closing-event -> opening-event (span pairing table, both seams).
+_CLOSERS = {
+    "thread_end": "thread_begin",
+    "barrier_exit": "barrier_enter",
+    "ws_loop_end": "ws_loop_begin",
+    "chunk_end": "chunk_begin",
+    "acquire": "acquire_enter",
+    "release": "acquire",
+    "recv_exit": "recv_enter",
+    "wait_exit": "wait_enter",
+    "coll_exit": "coll_enter",
+}
+
+#: Wait categories subtracted from a lane's extent to get busy time.
+_WAIT_CATS = ("barrier", "lockwait", "recv", "collective")
+
+#: Timeline glyph per category ('.' = idle, '#' = busy fallback).
+_GLYPHS = {
+    "barrier": "b",
+    "lockwait": "l",
+    "critical": "c",
+    "recv": "r",
+    "collective": "C",
+    "region": "#",
+    "loop": "#",
+    "chunk": "#",
+}
+
+
+@dataclass
+class Span:
+    """One matched begin/end pair on a single lane."""
+
+    lane: int
+    name: str
+    cat: str
+    t0: float
+    t1: float
+    args: tuple = ()
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+@dataclass
+class Lane:
+    """One execution lane: a (process, OS thread) with derived stats."""
+
+    kind: str  # "omp-thread" | "omp-worker" | "mpi-rank" | "main"
+    index: int
+    label: str
+    extent_s: float = 0.0
+    busy_s: float = 0.0
+    waits_s: dict[str, float] = field(default_factory=dict)
+    events: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "index": self.index,
+            "label": self.label,
+            "extent_s": self.extent_s,
+            "busy_s": self.busy_s,
+            "waits_s": {k: self.waits_s[k] for k in sorted(self.waits_s)},
+            "events": self.events,
+        }
+
+
+@dataclass
+class RunProfile:
+    """Everything the reports, timelines, and exporters consume."""
+
+    lanes: list[Lane]
+    spans: list[Span]
+    instants: list[Event]
+    imbalance_ratio: float
+    lock_contention: dict[str, dict[str, Any]]
+    p2p_edges: dict[tuple[int, int], dict[str, int]]
+    coll_edges: dict[tuple[int, int], dict[str, int]]
+    metrics: MetricSet
+    wall_s: float
+    t_min: float
+    dropped: int = 0
+    unmatched: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-stable report document (``repro trace --json``)."""
+        return {
+            "wall_s": self.wall_s,
+            "imbalance_ratio": self.imbalance_ratio,
+            "lanes": [lane.to_dict() for lane in self.lanes],
+            "span_count": len(self.spans),
+            "instant_count": len(self.instants),
+            "lock_contention": {
+                k: self.lock_contention[k] for k in sorted(self.lock_contention)
+            },
+            "p2p_edges": _edges_dict(self.p2p_edges),
+            "collective_edges": _edges_dict(self.coll_edges),
+            "metrics": self.metrics.to_dict(),
+            "dropped_events": self.dropped,
+            "unmatched_spans": self.unmatched,
+        }
+
+
+def _edges_dict(edges: dict[tuple[int, int], dict[str, int]]) -> dict[str, Any]:
+    return {f"{s}->{d}": v for (s, d), v in sorted(edges.items())}
+
+
+def _classify(key: tuple, events: list[Event]) -> tuple[str, int]:
+    """(kind, index) of the lane holding ``events`` (all same lane key)."""
+    proc, _tid = key
+    if proc is not None:
+        kind, index = proc[0], proc[1]
+        if kind == "rank":
+            return "mpi-rank", index
+        return "omp-worker", index
+    for ev in events:
+        if ev.name == "thread_begin" and len(ev.args) >= 2:
+            return "omp-thread", ev.args[1]
+    for ev in events:
+        if ev.source == "mpi" and len(ev.args) >= 2 and ev.name != "coll_msg":
+            return "mpi-rank", ev.args[1]
+    return "main", 0
+
+
+def _lane_label(kind: str, index: int) -> str:
+    return {
+        "omp-thread": f"thread {index}",
+        "omp-worker": f"worker {index}",
+        "mpi-rank": f"rank {index}",
+        "main": "main",
+    }[kind]
+
+
+def _span_key(ev: Event) -> tuple:
+    """Pairing key: lock spans match per lock key, collectives per stack."""
+    if ev.name in ("acquire_enter", "acquire", "release"):
+        return (ev.name, ev.args[0] if ev.args else None)
+    return (ev.name,)
+
+
+def build_profile(
+    events: Iterable[Event], dropped: int = 0
+) -> RunProfile:
+    """Pair spans, attribute waits, and derive the run profile."""
+    stream = sorted(events, key=lambda ev: ev.ts)
+    groups: dict[tuple, list[Event]] = {}
+    for ev in stream:
+        groups.setdefault(ev.lane_key(), []).append(ev)
+
+    # Stable lane ordering: ranks, then threads, then workers, then main.
+    kind_order = {"mpi-rank": 0, "omp-thread": 1, "omp-worker": 2, "main": 3}
+    classified = [
+        (key, evs, *_classify(key, evs)) for key, evs in groups.items()
+    ]
+    classified.sort(key=lambda item: (kind_order[item[2]], item[3], item[0][1]))
+
+    lanes: list[Lane] = []
+    spans: list[Span] = []
+    instants: list[Event] = []
+    lock_keys: dict[tuple, str] = {}
+    contention: dict[str, dict[str, Any]] = {}
+    p2p: dict[tuple[int, int], dict[str, int]] = {}
+    colle: dict[tuple[int, int], dict[str, int]] = {}
+    unmatched = 0
+
+    for lane_id, (_key, evs, kind, index) in enumerate(classified):
+        lane = Lane(kind=kind, index=index, label=_lane_label(kind, index))
+        lane.events = len(evs)
+        lane.extent_s = evs[-1].ts - evs[0].ts if len(evs) > 1 else 0.0
+        open_spans: dict[tuple, list[Event]] = {}
+        for ev in evs:
+            opener_name = _CLOSERS.get(ev.name)
+            # 'acquire' both closes a lock wait and opens a critical section.
+            if opener_name is not None:
+                open_key = (
+                    (opener_name, ev.args[0] if ev.args else None)
+                    if opener_name in ("acquire_enter", "acquire")
+                    else (opener_name,)
+                )
+                stack = open_spans.get(open_key)
+                if stack:
+                    begin = stack.pop()
+                    spans.append(
+                        Span(
+                            lane=lane_id,
+                            name=_span_names(begin),
+                            cat=_SPAN_CATS[begin.name],
+                            t0=begin.ts,
+                            t1=ev.ts,
+                            args=begin.args,
+                        )
+                    )
+                elif ev.name not in ("acquire", "release"):
+                    # An end without a begin (e.g. ring overflow ate it).
+                    unmatched += 1
+            if ev.name in _SPAN_NAMES:
+                open_spans.setdefault(_span_key(ev), []).append(ev)
+            elif ev.name == "send" and len(ev.args) >= 5:
+                instants.append(ev)
+                edge = p2p.setdefault(
+                    (ev.args[1], ev.args[2]), {"messages": 0, "bytes": 0}
+                )
+                edge["messages"] += 1
+                edge["bytes"] += ev.args[4]
+            elif ev.name == "coll_msg" and len(ev.args) >= 4:
+                edge = colle.setdefault(
+                    (ev.args[1], ev.args[2]), {"messages": 0, "bytes": 0}
+                )
+                edge["messages"] += 1
+                edge["bytes"] += ev.args[3]
+            elif ev.name in ("fork", "join", "reduction", "task_submit"):
+                instants.append(ev)
+        unmatched += sum(len(stack) for stack in open_spans.values())
+        lanes.append(lane)
+
+    # Wait attribution + contention, now that all spans exist.  Wait spans
+    # nest (reduce wraps gather; process-backend collectives recv inside the
+    # collective span), so per-category time is the *union* of intervals,
+    # not the sum of durations — else a lane could "wait" longer than the
+    # wall clock.
+    cat_ivals: dict[tuple[int, str], list[tuple[float, float]]] = {}
+    all_ivals: dict[int, list[tuple[float, float]]] = {}
+    for span in spans:
+        if span.cat in _WAIT_CATS:
+            cat_ivals.setdefault((span.lane, span.cat), []).append(
+                (span.t0, span.t1)
+            )
+            all_ivals.setdefault(span.lane, []).append((span.t0, span.t1))
+        if span.cat == "lockwait":
+            name = _lock_name(span.args, lock_keys)
+            row = contention.setdefault(
+                name, {"waits": 0, "wait_s": 0.0, "holds": 0, "hold_s": 0.0}
+            )
+            row["waits"] += 1
+            row["wait_s"] += span.duration
+        elif span.cat == "critical":
+            name = _lock_name(span.args, lock_keys)
+            row = contention.setdefault(
+                name, {"waits": 0, "wait_s": 0.0, "holds": 0, "hold_s": 0.0}
+            )
+            row["holds"] += 1
+            row["hold_s"] += span.duration
+    for (lane_id, cat), ivals in cat_ivals.items():
+        lanes[lane_id].waits_s[cat] = _union_length(ivals)
+    for lane_id, lane in enumerate(lanes):
+        waited = _union_length(all_ivals.get(lane_id, []))
+        lane.busy_s = max(0.0, lane.extent_s - waited)
+
+    busies = [lane.busy_s for lane in lanes if lane.extent_s > 0.0]
+    mean_busy = sum(busies) / len(busies) if busies else 0.0
+    imbalance = max(busies) / mean_busy if mean_busy > 0.0 else 1.0
+
+    t_min = stream[0].ts if stream else 0.0
+    t_max = stream[-1].ts if stream else 0.0
+    return RunProfile(
+        lanes=lanes,
+        spans=spans,
+        instants=instants,
+        imbalance_ratio=imbalance,
+        lock_contention=contention,
+        p2p_edges=p2p,
+        coll_edges=colle,
+        metrics=collect_metrics(stream),
+        wall_s=t_max - t_min,
+        t_min=t_min,
+        dropped=dropped,
+        unmatched=unmatched,
+    )
+
+
+def _union_length(intervals: list[tuple[float, float]]) -> float:
+    """Total length covered by a set of (possibly overlapping) intervals."""
+    total = 0.0
+    end = float("-inf")
+    for lo, hi in sorted(intervals):
+        if hi <= end:
+            continue
+        total += hi - max(lo, end)
+        end = hi
+    return total
+
+
+def _span_names(begin: Event) -> str:
+    if begin.name == "coll_enter" and len(begin.args) >= 3:
+        return f"collective:{begin.args[2]}"
+    return _SPAN_NAMES[begin.name]
+
+
+def _lock_name(args: tuple, seen: dict[tuple, str]) -> str:
+    """Stable, id-free display name for a lock key ('critical#0', ...)."""
+    key = args[0] if args else ("lock", 0)
+    if key not in seen:
+        kind = key[0] if isinstance(key, tuple) and key else "lock"
+        ordinal = sum(
+            1 for k in seen if isinstance(k, tuple) and k and k[0] == kind
+        )
+        seen[key] = f"{kind}#{ordinal}"
+    return seen[key]
+
+
+# ---------------------------------------------------------------------------
+# Text rendering
+# ---------------------------------------------------------------------------
+
+def render_text(profile: RunProfile) -> str:
+    """Human-readable profile report (the default ``repro trace`` output)."""
+    lines = [
+        f"wall time: {profile.wall_s * 1e3:.2f} ms   "
+        f"spans: {len(profile.spans)}   "
+        f"load imbalance: {profile.imbalance_ratio:.2f}x",
+        f"{'lane':<12} {'busy (ms)':>10} {'barrier':>9} {'lock':>9} "
+        f"{'recv':>9} {'coll':>9} {'events':>7}",
+    ]
+    for lane in profile.lanes:
+        waits = lane.waits_s
+        lines.append(
+            f"{lane.label:<12} {lane.busy_s * 1e3:>10.2f} "
+            f"{waits.get('barrier', 0.0) * 1e3:>9.2f} "
+            f"{waits.get('lockwait', 0.0) * 1e3:>9.2f} "
+            f"{waits.get('recv', 0.0) * 1e3:>9.2f} "
+            f"{waits.get('collective', 0.0) * 1e3:>9.2f} "
+            f"{lane.events:>7}"
+        )
+    if profile.lock_contention:
+        lines.append("lock contention:")
+        for name, row in sorted(profile.lock_contention.items()):
+            lines.append(
+                f"  {name:<14} waits={row['waits']:<5} "
+                f"wait={row['wait_s'] * 1e3:.2f} ms  "
+                f"holds={row['holds']:<5} hold={row['hold_s'] * 1e3:.2f} ms"
+            )
+    if profile.p2p_edges:
+        lines.append("messages (src->dst: count, bytes):")
+        for (src, dst), row in sorted(profile.p2p_edges.items()):
+            lines.append(
+                f"  {src}->{dst}: {row['messages']} msg, {row['bytes']} B"
+            )
+    if profile.coll_edges:
+        total = sum(r["messages"] for r in profile.coll_edges.values())
+        total_b = sum(r["bytes"] for r in profile.coll_edges.values())
+        lines.append(f"collective transport: {total} msg, {total_b} B")
+    if profile.dropped:
+        lines.append(f"warning: ring buffer dropped {profile.dropped} events")
+    return "\n".join(lines)
+
+
+def render_timeline(profile: RunProfile, width: int = 64) -> str:
+    """ASCII schedule: one row per lane, one glyph per time bucket.
+
+    ``#`` busy (region/loop/chunk), ``b`` barrier, ``l`` lock wait,
+    ``c`` critical section, ``r`` recv/request wait, ``C`` collective,
+    ``.`` idle.  Wait glyphs win over busy glyphs inside a bucket so
+    contention stays visible at coarse resolution.
+    """
+    if profile.wall_s <= 0.0 or not profile.spans:
+        return "(no spans to draw)"
+    # Priority: later entries overwrite earlier ones within a bucket.
+    priority = ["region", "loop", "chunk", "critical", "collective",
+                "recv", "lockwait", "barrier"]
+    rows = []
+    scale = width / profile.wall_s
+    for lane_id, lane in enumerate(profile.lanes):
+        cells = ["."] * width
+        for cat in priority:
+            for span in profile.spans:
+                if span.lane != lane_id or span.cat != cat:
+                    continue
+                lo = int((span.t0 - profile.t_min) * scale)
+                hi = int((span.t1 - profile.t_min) * scale)
+                for i in range(max(0, lo), min(width, max(hi, lo + 1))):
+                    cells[i] = _GLYPHS[cat]
+        rows.append(f"{lane.label:<12} |{''.join(cells)}|")
+    legend = "legend: #=busy b=barrier l=lock-wait c=critical r=recv C=collective .=idle"
+    return "\n".join([*rows, legend])

@@ -1,0 +1,111 @@
+"""Traceable targets: patternlets and exemplar demos for ``repro trace``.
+
+``repro trace <name>`` accepts either a patternlet name (anything
+``repro list`` shows) or one of the five exemplar names; this module
+resolves the name, runs the target under a recorder with the requested
+backend, and hands back the built profile.
+
+Backend plumbing: the OpenMP side reads the scoped config
+(:func:`repro.openmp.env.scoped`), the MPI side the ``REPRO_MPI_BACKEND``
+environment variable — both are applied for the duration of the traced
+run, so one ``--backend processes`` flag flips whichever runtime the
+target exercises.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Any, Callable, Iterator
+
+from .profile import RunProfile, build_profile
+from .recorder import record
+
+__all__ = ["EXEMPLARS", "resolve_target", "trace_target"]
+
+
+def _exemplar_demo(name: str) -> Callable[..., Any]:
+    import importlib
+
+    module = importlib.import_module(f"repro.exemplars.{name}")
+    return module.trace_demo
+
+
+#: Exemplar names (each module exposes ``trace_demo(paradigm, backend)``).
+EXEMPLARS = ("integration", "drugdesign", "forestfire", "heat", "sorting")
+
+
+def resolve_target(
+    name: str, paradigm: str | None = None
+) -> tuple[str, str, Any]:
+    """Resolve ``name`` to ``(kind, paradigm, runner)``.
+
+    ``kind`` is ``"exemplar"`` or ``"patternlet"``.  Raises ``KeyError``
+    (with the available names in the message) when nothing matches —
+    the CLI maps that to exit code 2, like ``analyze``/``lint``.
+    """
+    from ..patternlets import all_patternlets, get_patternlet
+
+    if name in EXEMPLARS:
+        return "exemplar", paradigm or "openmp", _exemplar_demo(name)
+    paradigms = [paradigm] if paradigm else ["openmp", "mpi"]
+    for p in paradigms:
+        try:
+            return "patternlet", p, get_patternlet(p, name)
+        except KeyError:
+            continue
+    available = sorted(
+        {pl.name for pl in all_patternlets(paradigm)} | set(EXEMPLARS)
+    )
+    raise KeyError(
+        f"unknown trace target {name!r}; available: {', '.join(available)}"
+    )
+
+
+@contextlib.contextmanager
+def _backend_scope(backend: str | None) -> Iterator[None]:
+    """Apply one backend choice to both runtimes for the traced run."""
+    from ..openmp.env import scoped
+
+    if backend is None:
+        yield
+        return
+    old_mpi = os.environ.get("REPRO_MPI_BACKEND")
+    os.environ["REPRO_MPI_BACKEND"] = backend
+    try:
+        with scoped(backend=backend):
+            yield
+    finally:
+        if old_mpi is None:
+            os.environ.pop("REPRO_MPI_BACKEND", None)
+        else:
+            os.environ["REPRO_MPI_BACKEND"] = old_mpi
+
+
+def trace_target(
+    name: str,
+    paradigm: str | None = None,
+    nprocs: int | None = None,
+    backend: str | None = None,
+    capacity: int | None = None,
+) -> tuple[RunProfile, Any]:
+    """Run one target under a recorder; return ``(profile, result)``."""
+    kind, resolved_paradigm, runner = resolve_target(name, paradigm)
+    kwargs: dict[str, Any] = {}
+    with record(**({"capacity": capacity} if capacity else {})) as rec:
+        with _backend_scope(backend):
+            if kind == "exemplar":
+                result = runner(paradigm=resolved_paradigm, backend=backend)
+            else:
+                n = nprocs if nprocs is not None else 4
+                if name == "allreduceArrays":
+                    kwargs = {"np_procs": n}
+                elif resolved_paradigm == "mpi":
+                    kwargs = {"np": n}
+                else:
+                    kwargs = {"num_threads": n}
+                try:
+                    result = runner.run(**kwargs)
+                except TypeError:
+                    result = runner.run()
+    return build_profile(rec.events(), dropped=rec.dropped), result

@@ -33,6 +33,7 @@ import functools
 import multiprocessing
 import os
 import pickle
+import time
 from typing import Any, Callable, Sequence
 
 import numpy as np
@@ -223,9 +224,24 @@ def _process_run_chunks(
 
     _require_picklable(kernel, "the chunk kernel")
     pool = _get_pool(workers)
-    futures = [pool.submit(kernel, lo, hi) for lo, hi in ranges]
+    from ..obs import recorder as _obs
+
+    tracing = _obs.active() is not None
+    task = (
+        functools.partial(_obs.run_traced_chunk, kernel) if tracing else kernel
+    )
+    submit_ts = time.monotonic()
+    futures = [pool.submit(task, lo, hi) for lo, hi in ranges]
     try:
-        return [f.result() for f in futures]
+        if not tracing:
+            return [f.result() for f in futures]
+        results = []
+        for f in futures:
+            result, forwarded = f.result()
+            if forwarded is not None:
+                _obs.ingest_forwarded(forwarded, submit_ts)
+            results.append(result)
+        return results
     except BrokenProcessPool as exc:
         shutdown_pool()
         raise BackendUnavailable(

@@ -27,15 +27,36 @@ implicit — observers call ``threading.get_ident()``):
 ``task_join``, hid        calling thread observed the task's completion
 ``task_join_all``         calling thread waited for *all* outstanding tasks
 ``reduction``, name       a reduction clause combined private partials
+``acquire_enter``, key    calling thread is about to block acquiring ``key``
+``ws_loop_begin``, n, sch calling thread entered a worksharing loop
+``ws_loop_end``, n        calling thread drained its share of the loop
+``chunk_begin``, lo, hi   a process-backend worker started a chunk task
+``chunk_end``, lo, hi     the chunk task finished
 ========================  =====================================================
 
 Ordering discipline for lock events: ``acquire`` is emitted *after* the
 real lock is taken and ``release`` *before* it is dropped, so observer-side
 vector clocks can never see two owners of the same lock out of order.
+``acquire_enter`` (wanted only by the profiler, to measure contention) is
+emitted *before* the acquisition attempt; observers that only care about
+ownership can ignore it.
+
+Two observer flavors share the seam:
+
+* plain observers (``attach(obs)``) receive ``obs(event, *args)`` — the
+  protocol the race detector uses;
+* timestamped observers (``attach(obs, timestamped=True)``) receive
+  ``obs(ts, event, *args)`` with ``ts`` from :func:`time.monotonic` — the
+  protocol the :mod:`repro.obs` recorders use.  The clock is read once per
+  ``emit`` and only when a timestamped observer is attached, so plain
+  instrumentation (and uninstrumented runs) never pay for it.  Call sites
+  that already hold a timestamp (e.g. forwarded worker events) may pass it
+  via ``emit(..., ts=...)``.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable
 
 __all__ = ["enabled", "attach", "detach", "emit"]
@@ -48,31 +69,56 @@ enabled = False
 #: while an observer detaching mid-delivery still sees a consistent snapshot.
 _observers: tuple[Callable[..., None], ...] = ()
 
+#: Timestamped observers, delivered ``observer(ts, event, *args)``.
+_ts_observers: tuple[Callable[..., None], ...] = ()
 
-def attach(observer: Callable[..., None]) -> None:
-    """Register an event observer (a callable ``observer(event, *args)``)."""
-    global enabled, _observers
-    if observer not in _observers:
+_monotonic = time.monotonic
+
+
+def attach(observer: Callable[..., None], timestamped: bool = False) -> None:
+    """Register an event observer.
+
+    Plain observers are called ``observer(event, *args)``; timestamped ones
+    ``observer(ts, event, *args)`` with a shared monotonic timestamp.
+    """
+    global enabled, _observers, _ts_observers
+    if timestamped:
+        if observer not in _ts_observers:
+            _ts_observers = _ts_observers + (observer,)
+    elif observer not in _observers:
         _observers = _observers + (observer,)
     enabled = True
 
 
 def detach(observer: Callable[..., None]) -> None:
     """Unregister an observer; clears the fast-path flag with the last one."""
-    global enabled, _observers
+    global enabled, _observers, _ts_observers
+    # Filter by equality, not identity: observers registered as bound
+    # methods (e.g. ``recorder._on_openmp``) produce a fresh method object
+    # on every attribute access, and those compare ``==`` but never ``is``.
     if observer in _observers:
-        _observers = tuple(o for o in _observers if o is not observer)
-    enabled = bool(_observers)
+        _observers = tuple(o for o in _observers if o != observer)
+    if observer in _ts_observers:
+        _ts_observers = tuple(o for o in _ts_observers if o != observer)
+    enabled = bool(_observers or _ts_observers)
 
 
-def emit(event: str, *args: Any) -> None:
+def emit(event: str, *args: Any, ts: float | None = None) -> None:
     """Deliver one runtime event to every attached observer.
 
     Cheap when instrumentation is off: call sites are expected to guard with
     :data:`enabled`, and ``emit`` itself early-returns as a second line of
-    defense so an unguarded call costs one predictable branch.
+    defense so an unguarded call costs one predictable branch.  The
+    monotonic clock is read only when a timestamped observer is attached
+    and no explicit ``ts`` was supplied.
     """
     if not enabled:
         return
     for observer in _observers:
         observer(event, *args)
+    ts_observers = _ts_observers
+    if ts_observers:
+        if ts is None:
+            ts = _monotonic()
+        for observer in ts_observers:
+            observer(ts, event, *args)

@@ -88,11 +88,15 @@ def for_loop(
     red = get_reduction(reduction) if reduction is not None else None
     if red is not None and _hooks.enabled:
         _hooks.emit("reduction", red.name)
+    if _hooks.enabled:
+        _hooks.emit("ws_loop_begin", n, schedule)
     partial = red.identity if red is not None else None
     for i in _thread_indices(n, schedule, chunk, shared_scheduler):
         value = body(i)
         if red is not None:
             partial = red.combine(partial, value)
+    if _hooks.enabled:
+        _hooks.emit("ws_loop_end", n)
 
     if red is None:
         barrier()
@@ -174,11 +178,15 @@ def parallel_for(
         raise ValueError(f"unknown schedule {schedule!r}")
 
     def member() -> Any:
+        if _hooks.enabled:
+            _hooks.emit("ws_loop_begin", n, schedule)
         partial = red.identity if red is not None else None
         for i in _thread_indices(n, schedule, chunk, shared_scheduler):
             value = body(i)
             if red is not None:
                 partial = red.combine(partial, value)
+        if _hooks.enabled:
+            _hooks.emit("ws_loop_end", n)
         return partial
 
     partials = parallel_region(member, num_threads=nthreads)

@@ -37,6 +37,10 @@ def critical(name: str = "") -> Generator[None, None, None]:
         yield
         return
     lock = team.critical_lock(name or "<unnamed>")
+    if _hooks.enabled:
+        # Before the acquisition attempt: the profiler charges the gap up
+        # to ``acquire`` as contention wait (the race detector ignores it).
+        _hooks.emit("acquire_enter", ("critical", id(lock)))
     with lock:
         if not _hooks.enabled:
             yield
@@ -99,6 +103,8 @@ class Lock:
 
     def set(self) -> None:
         """``omp_set_lock``: blocking acquire."""
+        if _hooks.enabled:
+            _hooks.emit("acquire_enter", ("lock", id(self._lock)))
         self._lock.acquire()
         if _hooks.enabled:
             _hooks.emit("acquire", ("lock", id(self._lock)))
@@ -153,6 +159,8 @@ class AtomicCounter:
 
     def add(self, delta: int = 1) -> int:
         """Atomically add; returns the new value."""
+        if _hooks.enabled:
+            _hooks.emit("acquire_enter", ("lock", id(self._lock)))
         with self._lock:
             if _hooks.enabled:
                 self._emit_update()
@@ -171,6 +179,8 @@ class AtomicCounter:
     def fetch_and_add(self, delta: int) -> int:
         """Atomically add; returns the *old* value (the dynamic-scheduling
         workhorse)."""
+        if _hooks.enabled:
+            _hooks.emit("acquire_enter", ("lock", id(self._lock)))
         with self._lock:
             if _hooks.enabled:
                 self._emit_update()
@@ -223,6 +233,8 @@ class AtomicAccumulator:
             self._site = _caller_site()
 
     def add(self, delta: float) -> float:
+        if _hooks.enabled:
+            _hooks.emit("acquire_enter", ("lock", id(self._lock)))
         with self._lock:
             if _hooks.enabled:
                 _hooks.emit("acquire", ("lock", id(self._lock)))

@@ -214,3 +214,29 @@ class TestTracing:
 
         trace_run(body, 2)
         assert mpirun(body, 2) == [None, None]  # plain run still works
+
+    def test_collective_traffic_counted_separately(self):
+        """Collective transport is tallied apart from the user trace."""
+
+        def body(comm):
+            comm.bcast("data" if comm.Get_rank() == 0 else None, root=0)
+            comm.allreduce(1)
+            return None
+
+        _results, report = trace_run(body, 4)
+        assert report.total_messages == 0
+        assert report.collective_messages > 0
+        assert report.collective_bytes > 0
+        assert all(r.tag == -1 for r in report.collective_records)
+        assert "collective:" in report.format_matrix()
+
+    def test_p2p_only_run_has_no_collective_records(self):
+        def body(comm):
+            if comm.Get_rank() == 0:
+                comm.send(1, dest=1)
+            elif comm.Get_rank() == 1:
+                comm.recv(source=0)
+
+        _results, report = trace_run(body, 2)
+        assert report.collective_messages == 0
+        assert "collective:" not in report.format_matrix()

@@ -1,0 +1,157 @@
+"""Chrome trace export: golden shapes, validation, pid/tid mapping.
+
+The goldens pin the *shape* of the export — (name, cat, ph, pid, tid)
+rows, sorted — with timestamps, durations, and args stripped, since
+those vary run to run.  Each golden must hold under both execution
+backends: the profile describes the same program either way.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    Event,
+    build_profile,
+    to_chrome_trace,
+    trace_target,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.openmp.backends import shutdown_pool
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+def _shape(doc):
+    return sorted(
+        [e["name"], e["cat"], e["ph"], e["pid"], e["tid"]]
+        for e in doc["traceEvents"]
+    )
+
+
+def _golden(name):
+    return json.loads((GOLDENS / name).read_text())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    yield
+    shutdown_pool()
+
+
+class TestGoldenShapes:
+    @pytest.mark.parametrize("backend", [None, "processes"])
+    def test_openmp_patternlet_shape(self, backend):
+        profile, _ = trace_target(
+            "barrier", paradigm="openmp", nprocs=3, backend=backend
+        )
+        doc = to_chrome_trace(profile)
+        assert validate_chrome_trace(doc) == []
+        assert _shape(doc) == _golden("chrome_trace_barrier_openmp.json")
+
+    @pytest.mark.parametrize("backend", [None, "processes"])
+    def test_mpi_patternlet_shape(self, backend):
+        profile, _ = trace_target(
+            "broadcast", paradigm="mpi", nprocs=3, backend=backend
+        )
+        doc = to_chrome_trace(profile)
+        assert validate_chrome_trace(doc) == []
+        assert _shape(doc) == _golden("chrome_trace_broadcast_mpi.json")
+
+
+class TestPidTidMapping:
+    def test_mapping_table(self):
+        events = [
+            Event(ts=0.0, source="mpi", name="coll_enter", args=(0, 2, "bcast"),
+                  tid=1, proc=("rank", 2)),
+            Event(ts=1.0, source="mpi", name="coll_exit", args=(0, 2, "bcast"),
+                  tid=1, proc=("rank", 2)),
+            Event(ts=0.0, source="openmp", name="thread_begin", args=("t", 1),
+                  tid=5),
+            Event(ts=1.0, source="openmp", name="thread_end", args=("t", 1),
+                  tid=5),
+            Event(ts=0.0, source="openmp", name="chunk_begin", args=(0, 4),
+                  tid=9, proc=("worker", 4242)),
+            Event(ts=1.0, source="openmp", name="chunk_end", args=(0, 4),
+                  tid=9, proc=("worker", 4242)),
+        ]
+        doc = to_chrome_trace(build_profile(events))
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        # mpi-rank r -> pid 1+r, tid 0
+        assert (spans["collective:bcast"]["pid"],
+                spans["collective:bcast"]["tid"]) == (3, 0)
+        # omp-thread t -> pid 0, tid 1+t
+        assert (spans["parallel region"]["pid"],
+                spans["parallel region"]["tid"]) == (0, 2)
+        # omp-worker ordinal o -> pid 101+o, tid 0
+        assert (spans["chunk"]["pid"], spans["chunk"]["tid"]) == (101, 0)
+
+    def test_metadata_names_every_lane(self):
+        events = [
+            Event(ts=0.0, source="mpi", name="coll_enter", args=(0, 0, "bcast"),
+                  proc=("rank", 0)),
+            Event(ts=1.0, source="mpi", name="coll_exit", args=(0, 0, "bcast"),
+                  proc=("rank", 0)),
+        ]
+        doc = to_chrome_trace(build_profile(events))
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {(e["name"], e["args"]["name"]) for e in meta}
+        assert ("process_name", "MPI rank 0") in names
+        assert ("thread_name", "rank 0") in names
+
+    def test_send_instants_land_on_source_rank(self):
+        events = [
+            Event(ts=0.0, source="mpi", name="send", args=(1, 2, 0, 7, 64),
+                  proc=("rank", 2)),
+            Event(ts=1.0, source="mpi", name="recv_enter", args=(1, 2, 0, 7),
+                  proc=("rank", 2)),
+            Event(ts=2.0, source="mpi", name="recv_exit", args=(1, 2, 0, 7, 64),
+                  proc=("rank", 2)),
+        ]
+        doc = to_chrome_trace(build_profile(events))
+        (send,) = [e for e in doc["traceEvents"] if e["name"] == "send"]
+        assert send["ph"] == "i"
+        assert send["pid"] == 3  # 1 + rank 2
+        assert send["args"] == {"src": 2, "dest": 0, "tag": 7, "bytes": 64}
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        profile, _ = trace_target("barrier", paradigm="openmp", nprocs=2)
+        assert validate_chrome_trace(to_chrome_trace(profile)) == []
+
+    def test_missing_trace_events_rejected(self):
+        assert validate_chrome_trace({}) != []
+
+    def test_bad_phase_reported(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "Z", "ts": 0, "pid": 0, "tid": 0},
+        ]}
+        problems = validate_chrome_trace(doc)
+        assert any("phase" in p for p in problems)
+
+    def test_negative_ts_reported(self):
+        doc = {"traceEvents": [
+            {"name": "x", "ph": "i", "ts": -1, "pid": 0, "tid": 0},
+        ]}
+        assert any("ts" in p for p in validate_chrome_trace(doc))
+
+
+class TestWriteChromeTrace:
+    def test_written_file_is_valid_json(self, tmp_path):
+        profile, _ = trace_target("barrier", paradigm="openmp", nprocs=2)
+        out = write_chrome_trace(tmp_path / "sub" / "trace.json", profile)
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert doc["otherData"]["producer"] == "repro.obs"
+
+    def test_events_sorted_by_time_after_metadata(self):
+        profile, _ = trace_target("barrier", paradigm="openmp", nprocs=2)
+        doc = to_chrome_trace(profile)
+        phases = [e["ph"] for e in doc["traceEvents"]]
+        first_non_meta = phases.index(next(p for p in phases if p != "M"))
+        assert all(p == "M" for p in phases[:first_non_meta])
+        rest = doc["traceEvents"][first_non_meta:]
+        assert [e["ts"] for e in rest] == sorted(e["ts"] for e in rest)

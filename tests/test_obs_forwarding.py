@@ -1,0 +1,115 @@
+"""Regression: worker-process events must reach the parent recorder.
+
+Before the forwarding paths existed, anything emitted inside a
+``processes``-backend worker (OpenMP chunk tasks, MPI proc ranks) was
+captured into a fork-copied buffer and silently discarded.  These tests
+pin the fix for both transports.
+"""
+
+import pytest
+
+from repro.obs import build_profile, record
+from repro.obs.recorder import ForwardedEvents, ingest_forwarded
+from repro.obs.events import Event
+from repro.openmp.backends import run_chunks, shutdown_pool
+
+
+def _sum_chunk(lo, hi):
+    return sum(range(lo, hi))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    yield
+    shutdown_pool()
+
+
+class TestOpenMPChunkForwarding:
+    def test_worker_chunk_events_reach_parent(self):
+        ranges = [(0, 50), (50, 100), (100, 150)]
+        with record() as rec:
+            out = run_chunks(_sum_chunk, ranges, workers=2, backend="processes")
+        assert out == [sum(range(lo, hi)) for lo, hi in ranges]
+        chunk_spans = [ev for ev in rec.events() if ev.name == "chunk_begin"]
+        assert len(chunk_spans) == len(ranges)
+        assert {ev.args for ev in chunk_spans} == set(ranges)
+        # Events are tagged with the worker process, not the parent.
+        assert all(ev.proc and ev.proc[0] == "worker" for ev in chunk_spans)
+
+    def test_worker_lanes_in_profile(self):
+        with record() as rec:
+            run_chunks(_sum_chunk, [(0, 10), (10, 20)], workers=2,
+                       backend="processes")
+        profile = build_profile(rec.events())
+        kinds = {lane.kind for lane in profile.lanes}
+        assert "omp-worker" in kinds
+        assert any(s.cat == "chunk" for s in profile.spans)
+
+    def test_untraced_run_unchanged(self):
+        out = run_chunks(_sum_chunk, [(0, 10)], workers=1, backend="processes")
+        assert out == [45]
+
+
+class TestMPIProcForwarding:
+    def test_proc_rank_events_reach_parent(self):
+        from repro.mpi.procs import run_procs
+
+        def body(comm):
+            token = comm.bcast(comm.Get_rank(), root=0)
+            return token
+
+        with record() as rec:
+            results = run_procs(body, 3)
+        assert results == [0, 0, 0]
+        ranks = {ev.proc for ev in rec.events() if ev.proc}
+        assert ranks >= {("rank", 0), ("rank", 1), ("rank", 2)}
+        names = {ev.name for ev in rec.events()}
+        assert "coll_enter" in names and "coll_exit" in names
+
+    def test_proc_rank_profile_lanes(self):
+        from repro.mpi.procs import run_procs
+
+        def body(comm):
+            return comm.allreduce(comm.Get_rank())
+
+        with record() as rec:
+            results = run_procs(body, 3)
+        assert results == [3, 3, 3]
+        profile = build_profile(rec.events())
+        rank_lanes = [lane for lane in profile.lanes if lane.kind == "mpi-rank"]
+        assert [lane.index for lane in rank_lanes] == [0, 1, 2]
+
+    def test_untraced_run_unchanged(self):
+        from repro.mpi.procs import run_procs
+
+        def body(comm):
+            return comm.Get_rank() * 2
+
+        assert run_procs(body, 3) == [0, 2, 4]
+
+
+class TestIngestForwarded:
+    def _fwd(self, ts_list, t0):
+        events = [
+            Event(ts=ts, source="openmp", name="read", proc=("worker", 1))
+            for ts in ts_list
+        ]
+        return ForwardedEvents(events=events, t0=t0, pid=1)
+
+    def test_shared_clock_offset_zero(self):
+        with record() as rec:
+            ingest_forwarded(self._fwd([5.0, 6.0], t0=4.0), submit_ts=3.0)
+        assert [ev.ts for ev in rec.events()] == [5.0, 6.0]
+
+    def test_clock_behind_submit_rebased(self):
+        """A worker clock earlier than the submit point gets re-based."""
+        with record() as rec:
+            ingest_forwarded(self._fwd([1.0, 2.0], t0=0.5), submit_ts=100.0)
+        assert [ev.ts for ev in rec.events()] == [100.5, 101.5]
+
+    def test_dropped_counter_propagates(self):
+        fwd = self._fwd([1.0], t0=0.0)
+        fwd.dropped = 7
+        with record() as rec:
+            ingest_forwarded(fwd, submit_ts=0.0)
+        assert rec.dropped == 7

@@ -1,0 +1,76 @@
+"""``repro trace`` CLI: exit codes, output modes, Chrome export."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.openmp.backends import shutdown_pool
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    yield
+    shutdown_pool()
+
+
+class TestTraceCommand:
+    def test_openmp_patternlet_exits_zero(self, capsys):
+        rc = main(["trace", "barrier", "--np", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "thread 0" in out
+        assert "load imbalance" in out
+
+    def test_mpi_patternlet_reports_messages(self, capsys):
+        rc = main(["trace", "messagePassingRing", "--np", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "messages (src->dst: count, bytes):" in out
+        assert "0->1:" in out
+
+    def test_unknown_target_exits_2(self, capsys):
+        rc = main(["trace", "definitelyNotAThing"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown trace target" in err
+        assert "available:" in err
+
+    def test_timeline_flag_appends_legend(self, capsys):
+        rc = main(["trace", "barrier", "--np", "2", "--timeline"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "legend:" in out
+
+    def test_json_output_is_schema_versioned(self, capsys):
+        rc = main(["trace", "barrier", "--np", "2", "--json"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        doc = json.loads(out)
+        assert doc["schema"] == 1
+        assert doc["profile"]["lanes"]
+        assert "imbalance_ratio" in doc["profile"]
+
+    def test_chrome_export_writes_valid_trace(self, capsys, tmp_path):
+        from repro.obs import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        rc = main(["trace", "broadcast", "--paradigm", "mpi", "--np", "3",
+                   "--chrome", str(path)])
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert validate_chrome_trace(doc) == []
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_processes_backend_flag(self, capsys):
+        rc = main(["trace", "reduce", "--paradigm", "mpi", "--np", "2",
+                   "--backend", "processes"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "rank 0" in out and "rank 1" in out
+
+    def test_exemplar_target(self, capsys):
+        rc = main(["trace", "integration", "--paradigm", "openmp"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "thread" in out
