@@ -16,7 +16,7 @@ from .diagnostics import AnalysisReport
 from .mpicheck import mpi_checker
 from .race import race_detector
 
-__all__ = ["analyze", "emit_report", "ANALYZE_PARAMS"]
+__all__ = ["analyze", "emit_report", "invoke_patternlet", "ANALYZE_PARAMS"]
 
 
 def emit_report(report: AnalysisReport, as_json: bool = False) -> int:
@@ -54,13 +54,21 @@ def _resolve(name: str, paradigm: str | None) -> tuple[str, Any]:
     raise KeyError(f"no patternlet named {name!r}; available: {available}")
 
 
-def _invoke(patternlet: Any, params: dict[str, Any]) -> Any:
+def invoke_patternlet(patternlet: Any, params: dict[str, Any]) -> Any:
+    """Run a patternlet with best-effort parameter forwarding.
+
+    Shared with :mod:`repro.testkit.explore`, which drives the same
+    patternlets under explored schedules and fault plans.
+    """
     if patternlet.name == "allreduceArrays" and "np" in params:
         params = {"np_procs": params.pop("np"), **params}
     try:
         return patternlet.run(**params)
     except TypeError:
         return patternlet.run()
+
+
+_invoke = invoke_patternlet
 
 
 def analyze(

@@ -18,6 +18,10 @@ Gives instructors and students the whole toolkit without writing Python:
 * ``trace <name>`` — run a patternlet or exemplar under the ``repro.obs``
   event bus and report lanes, wait attribution, and message traffic
   (``--chrome out.json`` exports a Perfetto-loadable timeline);
+* ``explore <name>`` — systematically explore thread schedules (openmp)
+  or injected fault plans (mpi) for a patternlet, cross-validated against
+  the analysis engines; ``--replay TOKEN`` reproduces one schedule or
+  fault plan deterministically, ``--repro-dir`` writes minimized repros;
 * ``study <exemplar> <platform>`` — print a platform scaling study;
 * ``report`` — regenerate the paper's evaluation artifacts (Tables I-II,
   Figures 3-4, workshop findings);
@@ -142,6 +146,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome trace-event JSON (Perfetto)")
     p_trace.add_argument("--timeline", action="store_true",
                          help="append the ASCII timeline to the report")
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="explore schedules (openmp) / fault plans (mpi) for a patternlet",
+    )
+    p_explore.add_argument("name", help="patternlet to explore")
+    p_explore.add_argument("--paradigm", choices=("openmp", "mpi"),
+                           help="disambiguate when both runtimes have the name")
+    p_explore.add_argument("--seed", type=int, default=0,
+                           help="seed for random strategies and fault plans")
+    p_explore.add_argument("--schedules", type=int, default=24,
+                           help="schedule / fault-plan budget (default 24)")
+    p_explore.add_argument("--strategy", default="dfs",
+                           choices=("dfs", "random", "rr"),
+                           help="schedule search strategy (openmp targets)")
+    p_explore.add_argument("--preemption-bound", type=int, default=2,
+                           dest="preemption_bound",
+                           help="max preemptions per schedule in dfs (default 2)")
+    p_explore.add_argument("--faults", metavar="PLAN",
+                           help="fault plan for mpi targets: 'random' or e.g. "
+                                "'drop:src=0,dst=1,nth=1;crash:rank=1,at=1'")
+    p_explore.add_argument("--replay", metavar="TOKEN",
+                           help="replay one o1./f1. token twice and verify "
+                                "the outcome is identical")
+    p_explore.add_argument("--np", type=int, default=None, dest="nprocs",
+                           help="processes (mpi) / threads (openmp)")
+    p_explore.add_argument("--json", action="store_true", dest="as_json",
+                           help="emit the result as JSON instead of text")
+    p_explore.add_argument("--repro-dir", metavar="DIR", dest="repro_dir",
+                           help="write minimized repro bundle + timeline here")
 
     p_study = sub.add_parser("study", help="platform scaling study")
     p_study.add_argument(
@@ -375,6 +409,83 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+
+    from .testkit import explore_target, replay_faults, replay_schedule
+
+    if args.replay:
+        try:
+            replay = replay_schedule if args.replay.startswith("o1.") else replay_faults
+            first = replay(args.name, args.replay, paradigm=args.paradigm,
+                           nprocs=args.nprocs)
+            second = replay(args.name, args.replay, paradigm=args.paradigm,
+                            nprocs=args.nprocs)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        identical = first.to_dict() == second.to_dict()
+        payload = {
+            "replay": args.replay,
+            "deterministic": identical,
+            "outcome": first.to_dict(),
+        }
+        if args.as_json:
+            print(json.dumps(payload, indent=2))
+        else:
+            verdict = "deterministic" if identical else "NONDETERMINISTIC"
+            print(f"replay {args.replay}: {verdict}")
+            for key, value in first.to_dict().items():
+                print(f"  {key} = {value}")
+        if not identical:
+            return 1
+        return 1 if first.flagged else 0
+
+    try:
+        result = explore_target(
+            args.name,
+            paradigm=args.paradigm,
+            seed=args.seed,
+            max_schedules=args.schedules,
+            strategy=args.strategy,
+            preemption_bound=args.preemption_bound,
+            faults=args.faults,
+            nprocs=args.nprocs,
+            with_timeline=args.repro_dir is not None,
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(json.dumps(result.to_dict(), indent=2) if args.as_json
+          else result.render())
+    if args.repro_dir and result.minimized:
+        out = Path(args.repro_dir)
+        out.mkdir(parents=True, exist_ok=True)
+        bundle = out / f"{args.name}-repro.json"
+        bundle.write_text(json.dumps({
+            "target": result.target,
+            "token": result.minimized,
+            "replay": f"repro explore {args.name} --replay {result.minimized}",
+            "seed": result.seed,
+            "strategy": result.strategy,
+        }, indent=2) + "\n")
+        print(f"minimized repro written to {bundle}", file=sys.stderr)
+        if result.timeline:
+            tl = out / f"{args.name}-timeline.txt"
+            tl.write_text(result.timeline + "\n")
+            print(f"timeline written to {tl}", file=sys.stderr)
+    if not result.agreement:
+        print("warning: explorer and analyzer verdicts disagree",
+              file=sys.stderr)
+    return 1 if result.flagged else 0
+
+
 _HANDLERS = {
     "list": _cmd_list,
     "run": _cmd_run,
@@ -384,6 +495,7 @@ _HANDLERS = {
     "handout": _cmd_handout,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "explore": _cmd_explore,
     "study": _cmd_study,
     "report": _cmd_report,
     "validate": _cmd_validate,

@@ -30,6 +30,7 @@ from .errors import (
     InvalidTagError,
     MPIError,
     NotInWorldError,
+    RankCrashedError,
     RankFailedError,
     TruncationError,
     WorldAbortedError,
@@ -97,6 +98,7 @@ __all__ = [
     "TAG_UB",
     "MPIError",
     "DeadlockError",
+    "RankCrashedError",
     "RankFailedError",
     "WorldAbortedError",
     "TruncationError",

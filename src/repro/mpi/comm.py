@@ -98,7 +98,19 @@ class Intracomm:
                 "send", self._core.cid, self._rank, dest, message.tag,
                 message.nbytes,
             )
+        injector = self._core.world.injector
+        if injector is not None:
+            injector.dispositions(
+                self._world_rank(),
+                self._core.world_ranks[dest],
+                lambda: self._core.user_boxes[dest].put(message),
+            )
+            return
         self._core.user_boxes[dest].put(message)
+
+    def _world_rank(self) -> int:
+        """This view's rank in MPI_COMM_WORLD (fault rules use world ranks)."""
+        return self._core.world_ranks[self._rank]
 
     def _get_user(self, source: int, tag: int) -> Message:
         """Blocking mailbox fetch bracketed by recv_enter/recv_exit events."""
@@ -114,6 +126,12 @@ class Intracomm:
         if self._core.freed:
             raise CommAlreadyFreedError(f"communicator {self._core.name} was freed")
         self._core.world.check_abort()
+        injector = self._core.world.injector
+        if injector is not None:
+            # Every verb passes through here, so op counting sees point-to-
+            # point and collective calls alike — a crash rule can therefore
+            # kill a rank mid-collective, deterministically.
+            injector.on_op(self._world_rank())
 
     def _check_peer(self, rank: int, *, wildcard: bool, what: str) -> None:
         if rank == PROC_NULL:
@@ -383,9 +401,16 @@ class Intracomm:
                 _hooks.emit(
                     "coll_msg", core.cid, me, dest, _hooks.payload_nbytes(payload)
                 )
-            core.coll_boxes[dest].put(
-                Message(me, seq * _PHASE_SPAN + phase, payload, 0)
-            )
+            message = Message(me, seq * _PHASE_SPAN + phase, payload, 0)
+            injector = core.world.injector
+            if injector is not None:
+                injector.dispositions(
+                    core.world_ranks[me],
+                    core.world_ranks[dest],
+                    lambda: core.coll_boxes[dest].put(message),
+                )
+                return
+            core.coll_boxes[dest].put(message)
 
         def recv(source: int, phase: int) -> Any:
             return core.coll_boxes[me].get(source, seq * _PHASE_SPAN + phase).payload

@@ -78,6 +78,27 @@ class RankFailedError(MPIError):
         self.failures = dict(failures)
 
 
+class RankCrashedError(MPIError):
+    """A rank was killed mid-run by an injected fault (``repro.testkit``).
+
+    Raised inside the victim rank at its ``at_op``-th communication
+    operation; the runtime's failure aggregation surfaces it to the caller
+    wrapped in a deterministic :class:`RankFailedError`.
+    """
+
+    def __init__(self, rank: int, at_op: int) -> None:
+        super().__init__(
+            f"rank {rank} crashed (injected fault at operation {at_op})"
+        )
+        self.rank = rank
+        self.at_op = at_op
+
+    def __reduce__(self):
+        # Custom __init__ signature: default exception pickling would call
+        # it with the formatted message; process ranks ship this across.
+        return (type(self), (self.rank, self.at_op))
+
+
 class CommAlreadyFreedError(MPIError):
     """An operation was attempted on a communicator after ``Free``."""
 

@@ -83,6 +83,13 @@ class ProcComm:
         self._p2p: list[tuple[int, int, bytes]] = []
         self._coll: list[tuple[int, int, bytes]] = []
         self._coll_seq = 0
+        #: Fault injector (``repro.testkit``); armed by ``_rank_main`` when
+        #: the forked child inherited an active plan.
+        self._injector = None
+
+    def _fault_op(self) -> None:
+        if self._injector is not None:
+            self._injector.on_op(self._rank)
 
     # -- introspection ------------------------------------------------------
     def Get_rank(self) -> int:
@@ -139,7 +146,13 @@ class ProcComm:
                 _hooks.emit("send", 0, self._rank, dest, key, len(blob))
             else:
                 _hooks.emit("coll_msg", 0, self._rank, dest, len(blob))
-        self._inboxes[dest].put((kind, self._rank, key, blob))
+        envelope = (kind, self._rank, key, blob)
+        if self._injector is not None:
+            self._injector.dispositions(
+                self._rank, dest, lambda: self._inboxes[dest].put(envelope)
+            )
+            return
+        self._inboxes[dest].put(envelope)
 
     # -- point-to-point ------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -148,6 +161,7 @@ class ProcComm:
         self._check_peer(dest, wildcard=False, what="destination")
         if dest == PROC_NULL:
             return
+        self._fault_op()
         self._post(dest, "p2p", tag, obj)
 
     def recv(
@@ -162,6 +176,7 @@ class ProcComm:
             if status is not None:
                 status._set(PROC_NULL, ANY_TAG, 0)
             return None
+        self._fault_op()
         if _hooks.enabled:
             _hooks.emit("recv_enter", 0, self._rank, source, tag)
         while True:
@@ -196,6 +211,7 @@ class ProcComm:
 
     # -- collectives ---------------------------------------------------------
     def _next_seq(self) -> int:
+        self._fault_op()
         self._coll_seq += 1
         return self._coll_seq
 
@@ -374,6 +390,13 @@ def _rank_main(
 
     rank_rec = adopt_forked_recorder(("rank", rank))
     comm = ProcComm(rank, size, inboxes, hostname, deadlock_timeout)
+    # A fault plan armed in the parent rides across fork as a module global
+    # (lazy import: testkit depends on this package, not vice versa).
+    from ..testkit.faults import FaultInjector, active_fault_plan
+
+    plan = active_fault_plan()
+    if plan:
+        comm._injector = FaultInjector(plan)
     try:
         value = fn(comm, *args, **kwargs)
     except BaseException as exc:  # noqa: BLE001 - reported to the parent

@@ -153,6 +153,10 @@ class World:
         self._abort_error: BaseException | None = None
         self._rank_of_thread: dict[int, int] = {}
 
+        #: Fault injector (``repro.testkit.faults``); ``None`` = no faults.
+        #: Set before the creation hooks run so an armed plan can attach.
+        self.injector = None
+
         # COMM_WORLD is built lazily to avoid a circular import at module load.
         from .comm import Intracomm
 

@@ -23,6 +23,7 @@ from .profile import (
     build_profile,
     render_text,
     render_timeline,
+    timeline_from_events,
 )
 from .recorder import (
     ForwardedEvents,
@@ -57,6 +58,7 @@ __all__ = [
     "build_profile",
     "render_text",
     "render_timeline",
+    "timeline_from_events",
     "to_chrome_trace",
     "write_chrome_trace",
     "profile_report",

@@ -36,6 +36,7 @@ __all__ = [
     "build_profile",
     "render_text",
     "render_timeline",
+    "timeline_from_events",
 ]
 
 #: Span name per opening event.
@@ -440,3 +441,14 @@ def render_timeline(profile: RunProfile, width: int = 64) -> str:
         rows.append(f"{lane.label:<12} |{''.join(cells)}|")
     legend = "legend: #=busy b=barrier l=lock-wait c=critical r=recv C=collective .=idle"
     return "\n".join([*rows, legend])
+
+
+def timeline_from_events(
+    events: Iterable[Event], dropped: int = 0, width: int = 64
+) -> str:
+    """One-call convenience: profile a raw event stream and draw it.
+
+    Used by ``repro explore`` to attach an ASCII timeline of the failing
+    schedule or fault plan to the minimized repro bundle.
+    """
+    return render_timeline(build_profile(events, dropped=dropped), width=width)

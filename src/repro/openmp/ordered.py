@@ -34,6 +34,7 @@ class OrderedGate:
             raise ValueError("iteration count must be non-negative")
         self.n = n
         self._next = 0
+        self._waiting = 0
         self._cond = threading.Condition()
 
     @contextlib.contextmanager
@@ -48,8 +49,14 @@ class OrderedGate:
         with self._cond:
             if i < self._next:
                 raise RuntimeError(f"ordered section for iteration {i} already ran")
-            while self._next != i:
-                self._cond.wait()
+            if self._next != i:
+                self._waiting += 1
+                self._cond.notify_all()  # wake wait_for_waiters observers
+                try:
+                    while self._next != i:
+                        self._cond.wait()
+                finally:
+                    self._waiting -= 1
         try:
             yield
         finally:
@@ -62,6 +69,24 @@ class OrderedGate:
         """How many ordered sections have finished."""
         with self._cond:
             return self._next
+
+    @property
+    def waiting(self) -> int:
+        """How many threads are currently blocked for their turn."""
+        with self._cond:
+            return self._waiting
+
+    def wait_for_waiters(self, count: int, timeout: float = 5.0) -> bool:
+        """Block until ``count`` threads are parked at the gate.
+
+        The race-free handshake for tests and demos that need a thread to
+        be *provably blocked* before releasing it — polling ``waiting`` or
+        sleeping would only make the race rarer, not gone.
+        """
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: self._waiting >= count, timeout=timeout
+            )
 
     def finished(self) -> bool:
         return self.completed == self.n

@@ -11,15 +11,16 @@ Two demonstration modes:
   makes lost updates probabilistic, so the patternlet reports whether any
   occurred; on a loaded machine a run may get lucky — that's pedagogically
   honest and the handout says so.
-* **forced**: a deterministic two-thread interleaving driven by events that
-  *always* loses an update — the referee's reproducer and the test suite's
-  anchor.
+* **forced**: the same racy loop replayed under the
+  :mod:`repro.testkit` schedule controller from a replay token — by
+  default a canonical interleaving that *always* loses an update, or any
+  racy schedule ``repro explore race`` discovered.  The referee's
+  reproducer and the test suite's anchor.
 """
 
 from __future__ import annotations
 
 import sys
-import threading
 
 from ...openmp import (
     AtomicCounter,
@@ -29,43 +30,44 @@ from ...openmp import (
 )
 from ..base import PatternletResult, register
 
+#: Canonical lost-update schedule for 2 threads x 1 increment: thread 0
+#: reads, thread 1 runs its whole read-modify-write, thread 0 writes its
+#: stale value.  Expected 2, actual 1 — always.  Rediscoverable with
+#: ``repro explore race``; pinned in tests/goldens/explore_race.json.
+FORCED_SCHEDULE = "o1.2.00111"
 
-def _forced_lost_update():
-    """Deterministically interleave two increments so one is lost.
 
-    Thread A reads, then waits; thread B does its full read-modify-write;
-    A resumes and writes its stale value.  Expected 2, actual 1 — always.
-    The interleaving runs under the happens-before race detector, so the
-    patternlet can show learners *why* the update vanished (the conflicting
-    accesses and the shared variable's allocation site), not just that it
-    did.
+def _forced_lost_update(schedule: str | None, iterations: int):
+    """Replay the racy loop under a deterministic schedule and lose updates.
+
+    ``schedule`` is a testkit replay token (default :data:`FORCED_SCHEDULE`,
+    which drives a single increment per thread).  The replay runs under the
+    happens-before race detector, so the patternlet can show learners *why*
+    an update vanished (the conflicting accesses and the shared variable's
+    allocation site), not just that it did.
     """
-    from ...analysis import TrackedVar, race_detector
+    from ...analysis import race_detector
+    from ...testkit import ReplayScheduler, decode_token, run_scheduled
 
-    a_read = threading.Event()
-    b_done = threading.Event()
+    token = schedule if schedule is not None else FORCED_SCHEDULE
+    nthreads, choices = decode_token(token)
+    if schedule is None:
+        iterations = 1  # the canonical schedule drives one increment each
+
+    counter = AtomicCounter(0)
+
+    def body() -> None:
+        for _ in range(iterations):
+            counter.unsafe_read_modify_write(1)  # pdclint: disable=PDC101
 
     with race_detector(target="openmp:race[forced]") as detector:
-        value = TrackedVar(0, name="x")
-
-        def thread_a() -> None:
-            stale = value.read()
-            a_read.set()
-            b_done.wait()  # B completes its whole update in our window
-            value.write(stale + 1)  # stale write: B's update is lost
-
-        def thread_b() -> None:
-            a_read.wait()
-            value.write(value.read() + 1)
-            b_done.set()
-
-        ta = threading.Thread(target=thread_a)
-        tb = threading.Thread(target=thread_b)
-        ta.start()
-        tb.start()
-        ta.join()
-        tb.join()
-    return 2, value.peek(), detector.report()
+        run = run_scheduled(
+            lambda: parallel_region(body, num_threads=nthreads),
+            ReplayScheduler(choices),
+        )
+    if run.error is not None:
+        raise run.error
+    return nthreads * iterations, counter.value, run.token, detector.report()
 
 
 @register(
@@ -77,18 +79,28 @@ def _forced_lost_update():
     concepts=("race condition", "read-modify-write", "nondeterminism"),
 )
 def race(
-    num_threads: int = 4, iterations: int = 50_000, forced: bool = False
+    num_threads: int = 4,
+    iterations: int = 50_000,
+    forced: bool = False,
+    schedule: str | None = None,
 ) -> PatternletResult:
-    """Increment a shared counter without protection and count the damage."""
+    """Increment a shared counter without protection and count the damage.
+
+    ``schedule`` (implies ``forced``) replays a specific testkit token —
+    e.g. a racy interleaving reported by ``repro explore race``.
+    """
     result = PatternletResult("race")
-    if forced:
-        expected, actual, report = _forced_lost_update()
-        result.emit(f"forced interleaving: expected {expected}, got {actual}")
+    if forced or schedule is not None:
+        expected, actual, token, report = _forced_lost_update(schedule, iterations)
+        result.emit(
+            f"forced interleaving {token}: expected {expected}, got {actual}"
+        )
         for diag in report.errors:
             for line in diag.render().splitlines():
                 result.emit(line)
         result.values.update(
             expected=expected, actual=actual, lost=expected - actual, forced=True,
+            schedule=token,
             diagnostics=[d.to_dict() for d in report.errors],
         )
         return result

@@ -1,0 +1,96 @@
+"""``repro.testkit`` — deterministic schedule exploration and fault injection.
+
+Three layers, mirroring the failure modes the course materials teach:
+
+* :mod:`repro.testkit.schedule` — a cooperative schedule controller for the
+  ``repro.openmp`` runtime.  It serializes a team so exactly one thread runs
+  between synchronization events, with the interleaving chosen by a seedable
+  :class:`Scheduler`.  Any run is captured as a compact replay token
+  (``o1.<threads>.<choices>``) that reproduces the identical interleaving.
+* :mod:`repro.testkit.faults` — a message-level fault injector for the
+  ``repro.mpi`` runtimes (thread ranks *and* forked-process ranks): seeded
+  plans drop, duplicate, delay, or reorder messages and crash ranks
+  mid-collective, deterministically.
+* :mod:`repro.testkit.explore` / :mod:`repro.testkit.diff` — the drivers:
+  preemption-bounded systematic schedule search cross-validated against the
+  happens-before race detector, and differential property testing that runs
+  the paper's exemplars across backends and asserts result equivalence.
+
+``explore`` and ``diff`` are re-exported lazily: they import the patternlet
+and analysis packages, which themselves import :mod:`repro.testkit` — a
+module-level import here would complete the cycle.
+"""
+
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    active_fault_plan,
+    fault_injection,
+    parse_plan,
+)
+from .schedule import (
+    Decision,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    ScheduledRun,
+    Scheduler,
+    decode_token,
+    encode_token,
+    lost_update_witness,
+    run_scheduled,
+)
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "ReplayScheduler",
+    "Decision",
+    "ScheduledRun",
+    "run_scheduled",
+    "encode_token",
+    "decode_token",
+    "lost_update_witness",
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "fault_injection",
+    "parse_plan",
+    "active_fault_plan",
+    # lazily resolved (import cycle through patternlets/analysis):
+    "explore_target",
+    "replay_schedule",
+    "replay_faults",
+    "ExploreResult",
+    "ScheduleOutcome",
+    "FaultOutcome",
+    "EXPLORE_PARAMS",
+    "diff_exemplar",
+    "DIFF_TARGETS",
+    "DiffOutcome",
+]
+
+_LAZY = {
+    "explore_target": "explore",
+    "replay_schedule": "explore",
+    "replay_faults": "explore",
+    "ExploreResult": "explore",
+    "ScheduleOutcome": "explore",
+    "FaultOutcome": "explore",
+    "EXPLORE_PARAMS": "explore",
+    "diff_exemplar": "diff",
+    "DIFF_TARGETS": "diff",
+    "DiffOutcome": "diff",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

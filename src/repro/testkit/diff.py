@@ -1,0 +1,215 @@
+"""Differential property testing across the paper's five exemplars.
+
+Each exemplar ships a sequential baseline and parallel variants on both
+runtimes (shared-memory ``repro.openmp`` and distributed ``repro.mpi``).
+The differential property is the one the course teaches implicitly every
+time it shows the same answer from a different decomposition: *every
+variant computes the same result as the sequential baseline*, for any
+seeded workload, any thread/rank count, and either execution backend.
+
+:func:`diff_exemplar` runs one seeded workload through all variants and
+reports mismatches; ``tests/test_testkit_properties.py`` sweeps it over
+many seeds.  Integer/list results must match exactly; floating-point
+reductions may differ by summation order, so those compare with a tight
+relative tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["DIFF_TARGETS", "DiffOutcome", "diff_exemplar"]
+
+#: Exemplars the differential layer knows how to drive.
+DIFF_TARGETS = ("integration", "forestfire", "drugdesign", "heat", "sorting")
+
+_REL_TOL = 1e-9
+
+
+@dataclass
+class DiffOutcome:
+    """Result of one differential run: baseline vs every variant."""
+
+    exemplar: str
+    seed: int
+    workload: dict[str, Any]
+    reference: Any
+    variants: dict[str, Any] = field(default_factory=dict)
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def describe(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        detail = "; ".join(self.mismatches)
+        return (
+            f"diff {self.exemplar} seed={self.seed} workload={self.workload} "
+            f"variants={sorted(self.variants)}: {status}"
+            + (f" ({detail})" if detail else "")
+        )
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_REL_TOL, abs_tol=1e-12)
+
+
+def _check(outcome: DiffOutcome, variant: str, equal: bool, got: Any) -> None:
+    outcome.variants[variant] = got
+    if not equal:
+        outcome.mismatches.append(
+            f"{variant}: expected {outcome.reference!r}, got {got!r}"
+        )
+
+
+def _diff_integration(seed: int, backend: str | None) -> DiffOutcome:
+    from ..exemplars.integration import integrate_mpi, integrate_omp, integrate_seq, quarter_circle
+
+    rng = random.Random(seed)
+    n = rng.randrange(32, 257)
+    reference = integrate_seq(quarter_circle, 0.0, 2.0, n)
+    outcome = DiffOutcome("integration", seed, {"n": n}, reference)
+    for threads in (2, 3):
+        for schedule in ("static", "dynamic"):
+            got = integrate_omp(
+                n, num_threads=threads, schedule=schedule, backend=backend
+            )
+            _check(
+                outcome, f"omp[t={threads},{schedule}]", _close(got, reference), got
+            )
+    for procs in (2, 3):
+        got = integrate_mpi(n, np_procs=procs)
+        _check(outcome, f"mpi[np={procs}]", _close(got, reference), got)
+    return outcome
+
+
+def _diff_forestfire(seed: int, backend: str | None) -> DiffOutcome:
+    from ..exemplars.forestfire import fire_curve_mpi, fire_curve_omp, fire_curve_seq
+
+    rng = random.Random(seed)
+    probs = (0.3, 0.6, 0.9)
+    trials = rng.randrange(2, 5)
+    size = rng.randrange(7, 12)
+    reference = fire_curve_seq(probs, trials=trials, size=size, seed=seed)
+    outcome = DiffOutcome(
+        "forestfire", seed, {"trials": trials, "size": size}, reference.points
+    )
+    for threads in (2, 3):
+        got = fire_curve_omp(
+            probs, trials=trials, size=size, seed=seed,
+            num_threads=threads, backend=backend,
+        )
+        _check(
+            outcome, f"omp[t={threads}]", got.points == reference.points, got.points
+        )
+    for procs in (2, 3):
+        got = fire_curve_mpi(probs, trials=trials, size=size, seed=seed, np_procs=procs)
+        _check(
+            outcome, f"mpi[np={procs}]", got.points == reference.points, got.points
+        )
+    return outcome
+
+
+def _diff_drugdesign(seed: int, backend: str | None) -> DiffOutcome:
+    from ..exemplars.drugdesign import generate_ligands, run_mpi_master_worker, run_omp, run_seq
+
+    rng = random.Random(seed)
+    ligands = generate_ligands(rng.randrange(6, 13), seed=seed)
+    reference = run_seq(ligands)
+    outcome = DiffOutcome(
+        "drugdesign", seed, {"ligands": len(ligands)}, reference.scores
+    )
+    for threads in (2, 3):
+        got = run_omp(ligands, num_threads=threads, backend=backend)
+        _check(
+            outcome, f"omp[t={threads}]", got.scores == reference.scores, got.scores
+        )
+    for procs in (2, 3):
+        got = run_mpi_master_worker(ligands, np_procs=procs)
+        _check(
+            outcome, f"mpi[np={procs}]", got.scores == reference.scores, got.scores
+        )
+    return outcome
+
+
+def _diff_heat(seed: int, backend: str | None) -> DiffOutcome:
+    from ..exemplars.heat import heat_mpi, heat_omp, heat_seq
+
+    rng = random.Random(seed)
+    n = rng.randrange(12, 33)
+    steps = rng.randrange(3, 9)
+    reference = heat_seq(n, steps)
+    outcome = DiffOutcome(
+        "heat", seed, {"n": n, "steps": steps}, reference.tolist()
+    )
+    for threads in (2, 3):
+        got = heat_omp(n, steps, num_threads=threads, backend=backend)
+        _check(
+            outcome,
+            f"omp[t={threads}]",
+            all(_close(x, y) for x, y in zip(got, reference)),
+            got.tolist(),
+        )
+    for procs in (2, 3):
+        got = heat_mpi(n, steps, np_procs=procs)
+        _check(
+            outcome,
+            f"mpi[np={procs}]",
+            all(_close(x, y) for x, y in zip(got, reference)),
+            got.tolist(),
+        )
+    return outcome
+
+
+def _diff_sorting(seed: int, backend: str | None) -> DiffOutcome:
+    from ..exemplars.sorting import (
+        merge_sort_blocks,
+        merge_sort_seq,
+        merge_sort_tasks,
+        odd_even_sort_mpi,
+    )
+
+    rng = random.Random(seed)
+    values = [rng.randrange(-1000, 1000) for _ in range(rng.randrange(20, 61))]
+    reference = merge_sort_seq(values)
+    outcome = DiffOutcome("sorting", seed, {"len": len(values)}, reference)
+    for threads in (2, 3):
+        got = merge_sort_tasks(values, num_threads=threads, cutoff=8)
+        _check(outcome, f"tasks[t={threads}]", got == reference, got)
+        got = merge_sort_blocks(values, num_workers=threads, backend=backend)
+        _check(outcome, f"blocks[w={threads}]", got == reference, got)
+    for procs in (2, 3):
+        got = odd_even_sort_mpi(values, np_procs=procs)
+        _check(outcome, f"mpi[np={procs}]", got == reference, got)
+    return outcome
+
+
+_RUNNERS = {
+    "integration": _diff_integration,
+    "forestfire": _diff_forestfire,
+    "drugdesign": _diff_drugdesign,
+    "heat": _diff_heat,
+    "sorting": _diff_sorting,
+}
+
+
+def diff_exemplar(
+    name: str, seed: int = 0, *, backend: str | None = None
+) -> DiffOutcome:
+    """Run one seeded workload through every variant of an exemplar.
+
+    ``backend`` is forwarded to the openmp variants that support process
+    pools (``"processes"``); ``None`` keeps the default thread backend.
+    Raises ``KeyError`` for an unknown exemplar.
+    """
+    try:
+        runner = _RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no differential runner for {name!r}; available: {list(DIFF_TARGETS)}"
+        ) from None
+    return runner(seed, backend)

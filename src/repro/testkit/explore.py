@@ -1,0 +1,592 @@
+"""Schedule and fault-plan exploration: ``repro explore`` back end.
+
+For shared-memory (openmp) targets the explorer runs the patternlet under
+a small deterministic workload many times, each time driving the team with
+a different schedule:
+
+* ``dfs`` (default) — a preemption-bounded systematic search.  Starting
+  from the default schedule it branches only at decisions where an
+  alternative thread's pending operation *conflicts* with the chosen one
+  (same location with a write involved, or the same lock) — the
+  persistent-set insight of DPOR — and prunes revisited prefixes (a
+  sleep-set-style memo), so the handful of schedules that can change the
+  outcome are explored without enumerating every interleaving.
+* ``random`` — seeded fuzzing: ``--schedules N`` runs with derived seeds.
+* ``rr`` — a single round-robin schedule (the fairness baseline).
+
+Each explored schedule is assessed three ways: the patternlet's own
+property (``expected == actual``), an exact lost-update *witness* scanned
+from the decision trace, and — for flagged schedules — a replay under the
+PR-1 happens-before race detector, cross-validating the two engines
+against each other.  The first flagged schedule is shrunk (greedy ddmin
+over its branch choices) into a minimized replay token, and rerun under
+the ``repro.obs`` recorder to capture a timeline of the failure.
+
+For distributed (mpi) targets the explorer runs the patternlet under
+seeded :class:`~repro.testkit.faults.FaultPlan`\\ s instead: message drops
+surface as deterministic ``DeadlockError``, rank crashes as deterministic
+``RankFailedError``; failing plans are shrunk rule-by-rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .faults import FaultPlan, fault_injection, parse_plan
+from .schedule import (
+    Decision,
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    ScheduledRun,
+    decode_token,
+    lost_update_witness,
+    run_scheduled,
+)
+
+__all__ = [
+    "EXPLORE_PARAMS",
+    "ScheduleOutcome",
+    "FaultOutcome",
+    "ExploreResult",
+    "explore_target",
+    "replay_schedule",
+    "replay_faults",
+]
+
+#: Small deterministic workloads for exploration runs.  Coverage of the
+#: access pattern is what matters; two iterations of a racy loop already
+#: contain every interleaving class the full-size run does.
+EXPLORE_PARAMS: dict[tuple[str, str], dict[str, Any]] = {
+    ("openmp", "race"): {"num_threads": 2, "iterations": 2},
+    ("openmp", "critical"): {"num_threads": 2, "iterations": 2},
+    ("openmp", "atomic"): {"num_threads": 2, "iterations": 2},
+    ("openmp", "reduction"): {"num_threads": 2, "n": 8},
+    ("mpi", "deadlock"): {"np": 2, "timeout": 2.5},
+    ("mpi", "broadcast"): {"np": 2},
+    ("mpi", "reduce"): {"np": 2},
+}
+
+
+@dataclass
+class ScheduleOutcome:
+    """Verdict for one explored schedule of an openmp target."""
+
+    token: str
+    choices: tuple[int, ...]
+    property_ok: bool
+    witness: tuple | None
+    error: str | None
+    stalled: bool
+    expected: Any = None
+    actual: Any = None
+    detector_errors: int | None = None  # filled for flagged schedules
+
+    @property
+    def flagged(self) -> bool:
+        return bool(self.witness) or not self.property_ok or bool(self.error)
+
+    def to_dict(self) -> dict[str, Any]:
+        # The witness key is the shared object's id() — stable within a run,
+        # meaningless across runs — so only the thread pair is serialized.
+        return {
+            "token": self.token,
+            "flagged": self.flagged,
+            "property_ok": self.property_ok,
+            "witness": {"reader": self.witness[1], "writer": self.witness[2]}
+            if self.witness
+            else None,
+            "error": self.error,
+            "stalled": self.stalled,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detector_errors": self.detector_errors,
+        }
+
+
+@dataclass
+class FaultOutcome:
+    """Verdict for one fault plan against an mpi target."""
+
+    token: str
+    verdict: str  # "ok" | "deadlock" | "rank-failed:<ExcType>" | "error:<ExcType>"
+    detail: str = ""
+
+    @property
+    def flagged(self) -> bool:
+        return self.verdict != "ok"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"token": self.token, "verdict": self.verdict, "detail": self.detail}
+
+
+@dataclass
+class ExploreResult:
+    """Everything ``repro explore`` reports for one target."""
+
+    target: str
+    paradigm: str
+    mode: str  # "schedules" | "faults"
+    strategy: str
+    seed: int
+    outcomes: list = field(default_factory=list)
+    analyzer_errors: int = 0
+    agreement: bool = True
+    minimized: str | None = None
+    timeline: str | None = None
+
+    @property
+    def flagged(self) -> list:
+        return [o for o in self.outcomes if o.flagged]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "target": self.target,
+            "paradigm": self.paradigm,
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "schedules_explored": len(self.outcomes),
+            "flagged": len(self.flagged),
+            "analyzer_errors": self.analyzer_errors,
+            "agreement": self.agreement,
+            "minimized": self.minimized,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"explore {self.target} [{self.mode}, strategy={self.strategy}, "
+            f"seed={self.seed}]",
+            f"  explored: {len(self.outcomes)}   flagged: {len(self.flagged)}",
+        ]
+        for outcome in self.outcomes:
+            mark = "FAIL" if outcome.flagged else "ok  "
+            detail = ""
+            if isinstance(outcome, ScheduleOutcome):
+                if outcome.witness:
+                    key, reader, writer = outcome.witness
+                    detail = (
+                        f" lost update: thread {writer} wrote mid-RMW of "
+                        f"thread {reader}"
+                    )
+                elif not outcome.property_ok:
+                    detail = f" expected {outcome.expected}, got {outcome.actual}"
+                if outcome.error:
+                    detail += f" error={outcome.error}"
+            else:
+                detail = f" {outcome.verdict}"
+                if outcome.detail:
+                    detail += f": {outcome.detail}"
+            lines.append(f"  {mark} {outcome.token}{detail}")
+        lines.append(
+            f"  analyzer: {self.analyzer_errors} error(s) — "
+            + ("verdicts agree" if self.agreement else "VERDICTS DISAGREE")
+        )
+        if self.minimized:
+            lines.append(f"  minimized repro: {self.minimized}")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Target resolution and invocation
+# ---------------------------------------------------------------------------
+
+def _resolve(name: str, paradigm: str | None):
+    from ..analysis.runner import _resolve as resolve_patternlet
+
+    return resolve_patternlet(name, paradigm)
+
+
+def _params_for(paradigm: str, name: str, nprocs: int | None) -> dict[str, Any]:
+    params = dict(
+        EXPLORE_PARAMS.get(
+            (paradigm, name),
+            {"num_threads": 2} if paradigm == "openmp" else {"np": 2},
+        )
+    )
+    if nprocs is not None:
+        params["num_threads" if paradigm == "openmp" else "np"] = nprocs
+    return params
+
+
+def _run_patternlet(patternlet: Any, params: dict[str, Any]) -> Any:
+    from ..analysis.runner import invoke_patternlet
+
+    return invoke_patternlet(patternlet, params)
+
+
+def _assess(sr: ScheduledRun) -> ScheduleOutcome:
+    expected = actual = None
+    property_ok = True
+    if sr.result is not None:
+        values = getattr(sr.result, "values", {})
+        expected = values.get("expected")
+        actual = values.get("actual")
+        if expected is not None:
+            property_ok = expected == actual
+    return ScheduleOutcome(
+        token=sr.token,
+        choices=tuple(d.chosen for d in sr.decisions if not d.forced),
+        property_ok=property_ok,
+        witness=lost_update_witness(sr.decisions),
+        error=f"{type(sr.error).__name__}: {sr.error}" if sr.error else None,
+        stalled=sr.stalled,
+        expected=expected,
+        actual=actual,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Schedule exploration (openmp)
+# ---------------------------------------------------------------------------
+
+#: Pending ops whose *next* real operation is unknown (the thread has not
+#: announced a memory/lock access yet).  They must be treated as possibly
+#: conflicting with anything, or the search would never wake a thread that
+#: the default schedule happens to leave parked at its start.
+_WILDCARD = ("start", "resume")
+
+
+def _conflicts(op_a: tuple, op_b: tuple) -> bool:
+    """Would reordering these two pending ops change anything observable?"""
+    kind_a, kind_b = op_a[0], op_b[0]
+    if kind_a in _WILDCARD or kind_b in _WILDCARD:
+        return True
+    if kind_a == "acquire" and kind_b == "acquire":
+        return op_a[1] == op_b[1]
+    if kind_a in ("read", "write") and kind_b in ("read", "write"):
+        return op_a[1] == op_b[1] and "write" in (kind_a, kind_b)
+    return False
+
+
+def _preemptions(decisions: Sequence[Decision]) -> int:
+    count = 0
+    prev: int | None = None
+    for d in decisions:
+        if prev is not None and prev in d.runnable and d.chosen != prev:
+            count += 1
+        prev = d.chosen
+    return count
+
+
+def _explore_dfs(
+    run_with: Callable[[ReplayScheduler], ScheduledRun],
+    max_schedules: int,
+    preemption_bound: int,
+) -> list[tuple[ScheduleOutcome, ScheduledRun]]:
+    outcomes: list[tuple[ScheduleOutcome, ScheduledRun]] = []
+    frontier: list[tuple[int, ...]] = [()]
+    visited: set[tuple[int, ...]] = set()
+    while frontier and len(outcomes) < max_schedules:
+        prefix = frontier.pop()
+        if prefix in visited:
+            continue
+        visited.add(prefix)
+        sr = run_with(ReplayScheduler(list(prefix)))
+        outcomes.append((_assess(sr), sr))
+        if sr.stalled:
+            continue
+        branches = [d for d in sr.decisions if not d.forced]
+        executed = [d.chosen for d in branches]
+        for pos in range(len(prefix), len(branches)):
+            d = branches[pos]
+            for alt in d.runnable:
+                if alt == d.chosen:
+                    continue
+                # Persistent-set pruning: branch only where swapping the
+                # order of the two pending ops could matter.
+                if not _conflicts(d.pending[alt], d.pending[d.chosen]):
+                    continue
+                child = tuple(executed[:pos]) + (alt,)
+                if child in visited:
+                    continue
+                if _preemptions(sr.decisions[: d.index]) + 1 > preemption_bound:
+                    continue
+                frontier.append(child)
+    return outcomes
+
+
+def _minimize_choices(
+    run_with: Callable[[ReplayScheduler], ScheduledRun],
+    choices: Sequence[int],
+) -> tuple[int, ...]:
+    """Greedy ddmin: drop branch choices one at a time while still failing."""
+    current = list(choices)
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1:]
+            if _assess(run_with(ReplayScheduler(candidate))).flagged:
+                current = candidate
+                changed = True
+                break
+    return tuple(current)
+
+
+def _detector_errors_for(
+    run_with: Callable[[ReplayScheduler], ScheduledRun],
+    choices: Sequence[int],
+) -> int:
+    """Replay one schedule under the happens-before detector; count errors."""
+    from ..analysis.race import race_detector
+
+    with race_detector(target="testkit:replay") as detector:
+        run_with(ReplayScheduler(list(choices)))
+    return len(detector.report().errors)
+
+
+def _capture_timeline(run: Callable[[], Any]) -> str | None:
+    from ..obs import record, timeline_from_events
+
+    try:
+        with record() as recorder:
+            run()
+        return timeline_from_events(recorder.events(), recorder.dropped)
+    except RuntimeError:  # a recorder is already active upstream
+        return None
+
+
+def _explore_openmp(
+    name: str,
+    patternlet: Any,
+    params: dict[str, Any],
+    *,
+    strategy: str,
+    seed: int,
+    max_schedules: int,
+    preemption_bound: int,
+    with_timeline: bool,
+) -> ExploreResult:
+    def run_with(scheduler) -> ScheduledRun:
+        return run_scheduled(lambda: _run_patternlet(patternlet, params), scheduler)
+
+    if strategy == "dfs":
+        assessed = _explore_dfs(run_with, max_schedules, preemption_bound)
+        outcomes = [o for o, _ in assessed]
+    elif strategy == "random":
+        outcomes = [
+            _assess(run_with(RandomScheduler(seed + i)))
+            for i in range(max_schedules)
+        ]
+    elif strategy == "rr":
+        outcomes = [_assess(run_with(RoundRobinScheduler()))]
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    # Cross-validation, schedule level: every schedule the explorer flags
+    # must also be flagged by the happens-before detector.
+    for outcome in outcomes:
+        if outcome.flagged:
+            outcome.detector_errors = _detector_errors_for(
+                run_with, outcome.choices
+            )
+
+    # Cross-validation, target level: detector verdict vs explorer verdict.
+    from ..analysis import analyze
+
+    analyzer_errors = len(analyze(name, paradigm="openmp").errors)
+    flagged = [o for o in outcomes if o.flagged]
+    agreement = bool(flagged) == bool(analyzer_errors) and all(
+        o.detector_errors for o in flagged
+    )
+
+    result = ExploreResult(
+        target=f"openmp:{name}",
+        paradigm="openmp",
+        mode="schedules",
+        strategy=strategy,
+        seed=seed,
+        outcomes=outcomes,
+        analyzer_errors=analyzer_errors,
+        agreement=agreement,
+    )
+    if flagged:
+        minimized = _minimize_choices(run_with, flagged[0].choices)
+        result.minimized = _token_for(params.get("num_threads", 2), minimized)
+        if with_timeline:
+            result.timeline = _capture_timeline(
+                lambda: run_with(ReplayScheduler(list(minimized)))
+            )
+    return result
+
+
+def _token_for(nthreads: int, choices: Sequence[int]) -> str:
+    from .schedule import _TOKEN_DIGITS
+
+    chars = "".join(_TOKEN_DIGITS[c] for c in choices)
+    return f"o1.{nthreads}.{chars or '-'}"
+
+
+# ---------------------------------------------------------------------------
+# Fault exploration (mpi)
+# ---------------------------------------------------------------------------
+
+def _run_under_plan(patternlet: Any, params: dict[str, Any], plan: FaultPlan) -> FaultOutcome:
+    from ..mpi.errors import DeadlockError, MPIError, RankFailedError
+
+    try:
+        with fault_injection(plan):
+            result = _run_patternlet(patternlet, params)
+    except DeadlockError as exc:
+        return FaultOutcome(plan.token, "deadlock", str(exc))
+    except RankFailedError as exc:
+        inner = sorted(type(e).__name__ for e in exc.failures.values())
+        return FaultOutcome(
+            plan.token, f"rank-failed:{','.join(inner)}", str(exc)
+        )
+    except MPIError as exc:
+        return FaultOutcome(plan.token, f"error:{type(exc).__name__}", str(exc))
+    values = getattr(result, "values", {})
+    if values.get("deadlocked"):
+        return FaultOutcome(plan.token, "deadlock", "patternlet reported deadlock")
+    return FaultOutcome(plan.token, "ok")
+
+
+def _explore_mpi(
+    name: str,
+    patternlet: Any,
+    params: dict[str, Any],
+    *,
+    seed: int,
+    max_schedules: int,
+    faults: str | None,
+    with_timeline: bool,
+) -> ExploreResult:
+    size = params.get("np", params.get("np_procs", 2))
+    if faults and faults != "random":
+        plans = [parse_plan(faults)]
+    elif faults == "random":
+        plans = [FaultPlan()] + [
+            FaultPlan.random(seed + i, size) for i in range(max(1, max_schedules))
+        ]
+    else:
+        plans = [FaultPlan()]
+
+    outcomes = [_run_under_plan(patternlet, params, plan) for plan in plans]
+
+    from ..analysis import analyze
+
+    analyzer_errors = len(analyze(name, paradigm="mpi").errors)
+    # The no-fault outcome is the one comparable with the analyzer: injected
+    # faults legitimately break programs the checker deems correct.
+    baseline_flagged = outcomes[0].flagged if plans[0].rules == () else None
+    agreement = (
+        baseline_flagged == bool(analyzer_errors)
+        if baseline_flagged is not None
+        else True
+    )
+
+    result = ExploreResult(
+        target=f"mpi:{name}",
+        paradigm="mpi",
+        mode="faults",
+        strategy="faults",
+        seed=seed,
+        outcomes=outcomes,
+        analyzer_errors=analyzer_errors,
+        agreement=agreement,
+    )
+    flagged = [
+        (plan, o) for plan, o in zip(plans, outcomes) if o.flagged and plan.rules
+    ]
+    if flagged:
+        plan, outcome = flagged[0]
+        minimized = _minimize_plan(patternlet, params, plan, outcome.verdict)
+        result.minimized = minimized.token
+        if with_timeline:
+            result.timeline = _capture_timeline(
+                lambda: _run_under_plan(patternlet, params, minimized)
+            )
+    elif outcomes[0].flagged:
+        result.minimized = plans[0].token  # fails with no faults at all
+        if with_timeline:
+            result.timeline = _capture_timeline(
+                lambda: _run_under_plan(patternlet, params, plans[0])
+            )
+    return result
+
+
+def _minimize_plan(
+    patternlet: Any, params: dict[str, Any], plan: FaultPlan, verdict: str
+) -> FaultPlan:
+    """Drop rules while the same verdict class still reproduces."""
+    changed = True
+    while changed and len(plan.rules) > 1:
+        changed = False
+        for candidate in plan.shrink():
+            if _run_under_plan(patternlet, params, candidate).verdict == verdict:
+                plan = candidate
+                changed = True
+                break
+    return plan
+
+
+# ---------------------------------------------------------------------------
+# Public entry points
+# ---------------------------------------------------------------------------
+
+def explore_target(
+    name: str,
+    paradigm: str | None = None,
+    *,
+    seed: int = 0,
+    max_schedules: int = 24,
+    strategy: str = "dfs",
+    preemption_bound: int = 2,
+    faults: str | None = None,
+    nprocs: int | None = None,
+    with_timeline: bool = False,
+) -> ExploreResult:
+    """Explore schedules (openmp) or fault plans (mpi) for a patternlet.
+
+    Raises ``KeyError`` for an unknown target — the CLI maps that to the
+    analyze/lint-consistent exit code 2.
+    """
+    paradigm, patternlet = _resolve(name, paradigm)
+    params = _params_for(paradigm, name, nprocs)
+    if paradigm == "openmp":
+        return _explore_openmp(
+            name, patternlet, params,
+            strategy=strategy, seed=seed, max_schedules=max_schedules,
+            preemption_bound=preemption_bound, with_timeline=with_timeline,
+        )
+    return _explore_mpi(
+        name, patternlet, params,
+        seed=seed, max_schedules=max_schedules, faults=faults,
+        with_timeline=with_timeline,
+    )
+
+
+def replay_schedule(
+    name: str,
+    token: str,
+    paradigm: str | None = None,
+    nprocs: int | None = None,
+) -> ScheduleOutcome:
+    """Re-execute one recorded schedule; deterministic for a fixed token."""
+    paradigm, patternlet = _resolve(name, paradigm)
+    if paradigm != "openmp":
+        raise ValueError(f"schedule tokens replay openmp targets, not {paradigm}")
+    nthreads, choices = decode_token(token)
+    params = _params_for(paradigm, name, nprocs if nprocs is not None else nthreads)
+    sr = run_scheduled(
+        lambda: _run_patternlet(patternlet, params), ReplayScheduler(choices)
+    )
+    return _assess(sr)
+
+
+def replay_faults(
+    name: str,
+    token: str,
+    paradigm: str | None = None,
+    nprocs: int | None = None,
+) -> FaultOutcome:
+    """Re-execute one fault plan against an mpi target."""
+    paradigm, patternlet = _resolve(name, paradigm)
+    if paradigm != "mpi":
+        raise ValueError(f"fault tokens replay mpi targets, not {paradigm}")
+    params = _params_for(paradigm, name, nprocs)
+    return _run_under_plan(patternlet, params, parse_plan(token))

@@ -1,0 +1,290 @@
+"""Seeded fault injection for the ``repro.mpi`` runtimes.
+
+A :class:`FaultPlan` is a small, declarative list of rules — drop,
+duplicate, or delay the *nth* message on a (source, destination) edge, or
+crash a rank at its *nth* communication operation — with a canonical
+string form that doubles as the replay token (``f1.<spec>``).  Because
+rules match on deterministic counters (per-edge message ordinals, per-rank
+operation ordinals) rather than wall-clock time, a plan reproduces the
+same failure on every run, on both the thread-rank and process-rank
+backends.
+
+The delivery seams live in :mod:`repro.mpi.comm` (thread ranks: user
+messages and collective phases) and :mod:`repro.mpi.procs` (process
+ranks); both consult the world's attached :class:`FaultInjector`.  Use
+:func:`fault_injection` to arm a plan for a ``with`` block — it hooks
+every world created inside the block, including worlds that patternlets
+and exemplars create internally.
+
+Rule reference (spec grammar: ``action:key=val,key=val;action:...``):
+
+===========  =====================================================
+``drop``     swallow the nth message from ``src`` to ``dst``
+``dup``      deliver it ``times`` times (default 2)
+``delay``    hold it back until ``after`` later src→dst messages
+             have been delivered (a deterministic reorder)
+``crash``    raise :class:`~repro.mpi.errors.RankCrashedError` when
+             ``rank`` starts its ``at``-th communication operation
+===========  =====================================================
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator
+
+from ..mpi.errors import RankCrashedError
+from ..mpi.runtime import add_world_hook, remove_world_hook
+
+__all__ = [
+    "FaultRule",
+    "FaultPlan",
+    "FaultInjector",
+    "fault_injection",
+    "active_fault_plan",
+    "parse_plan",
+]
+
+_ACTIONS = ("drop", "dup", "delay", "crash")
+
+#: Plan armed by :func:`fault_injection`, module-global so forked process
+#: ranks inherit it (closures cross ``fork`` but not pickling).
+_ACTIVE_PLAN: "FaultPlan | None" = None
+
+
+def active_fault_plan() -> "FaultPlan | None":
+    """The plan armed by the innermost :func:`fault_injection`, if any."""
+    return _ACTIVE_PLAN
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: what to do, where, and when."""
+
+    action: str  # drop | dup | delay | crash
+    src: int = -1
+    dst: int = -1
+    nth: int = 1  # which src->dst message (1-based)
+    times: int = 2  # dup: delivery count
+    after: int = 1  # delay: deliver after this many later messages
+    rank: int = -1  # crash: which rank
+    at: int = 1  # crash: at which operation (1-based)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; expected one of {_ACTIONS}"
+            )
+        if self.action == "crash":
+            if self.rank < 0:
+                raise ValueError("crash rule needs rank >= 0")
+        elif self.src < 0 or self.dst < 0:
+            raise ValueError(f"{self.action} rule needs src >= 0 and dst >= 0")
+
+    def format(self) -> str:
+        if self.action == "crash":
+            return f"crash:rank={self.rank},at={self.at}"
+        fields = [f"src={self.src}", f"dst={self.dst}", f"nth={self.nth}"]
+        if self.action == "dup" and self.times != 2:
+            fields.append(f"times={self.times}")
+        if self.action == "delay" and self.after != 1:
+            fields.append(f"after={self.after}")
+        return f"{self.action}:{','.join(fields)}"
+
+
+def _parse_rule(text: str) -> FaultRule:
+    action, _, rest = text.partition(":")
+    action = action.strip()
+    if action not in _ACTIONS:
+        raise ValueError(
+            f"unknown fault action {action!r}; expected one of {_ACTIONS}"
+        )
+    fields: dict[str, int] = {}
+    if rest.strip():
+        for pair in rest.split(","):
+            key, _, value = pair.partition("=")
+            key = key.strip()
+            if key not in ("src", "dst", "nth", "times", "after", "rank", "at"):
+                raise ValueError(f"unknown fault field {key!r} in {text!r}")
+            try:
+                fields[key] = int(value)
+            except ValueError:
+                raise ValueError(f"bad integer for {key!r} in {text!r}") from None
+    if action == "crash":
+        if "rank" not in fields:
+            raise ValueError(f"crash rule needs rank=N: {text!r}")
+    elif "src" not in fields or "dst" not in fields:
+        raise ValueError(f"{action} rule needs src=N,dst=M: {text!r}")
+    return FaultRule(action=action, **fields)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules with a canonical token form."""
+
+    rules: tuple[FaultRule, ...] = ()
+
+    @property
+    def token(self) -> str:
+        return f"f1.{self.format()}"
+
+    def format(self) -> str:
+        return ";".join(r.format() for r in self.rules) or "none"
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def without(self, index: int) -> "FaultPlan":
+        """A copy with rule ``index`` removed (for shrinking)."""
+        return FaultPlan(self.rules[:index] + self.rules[index + 1:])
+
+    def shrink(self) -> Iterator["FaultPlan"]:
+        """Candidate simpler plans: each single-rule removal."""
+        for i in range(len(self.rules)):
+            yield self.without(i)
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        size: int,
+        actions: tuple[str, ...] = ("drop", "crash"),
+    ) -> "FaultPlan":
+        """A seeded plan against a world of ``size`` ranks.
+
+        One rule per requested action, placed by the seeded RNG — the
+        fuzzing entry point for ``repro explore --faults random``.
+        """
+        rng = random.Random(seed)
+        rules = []
+        for action in actions:
+            if action == "crash":
+                rules.append(
+                    FaultRule(
+                        "crash",
+                        rank=rng.randrange(size),
+                        at=rng.randint(1, 4),
+                    )
+                )
+            else:
+                src = rng.randrange(size)
+                dst = rng.choice([r for r in range(size) if r != src] or [src])
+                rules.append(
+                    FaultRule(action, src=src, dst=dst, nth=rng.randint(1, 2))
+                )
+        return cls(tuple(rules))
+
+
+def parse_plan(spec: str) -> FaultPlan:
+    """Parse a plan spec or token (``f1.`` prefix optional); 'none' = empty."""
+    spec = spec.strip()
+    if spec.startswith("f1."):
+        spec = spec[3:]
+    if spec in ("", "none"):
+        return FaultPlan()
+    return FaultPlan(
+        tuple(_parse_rule(part) for part in spec.split(";") if part.strip())
+    )
+
+
+class FaultInjector:
+    """Runtime state of one armed plan: deterministic per-edge counters.
+
+    The delivery seams call :meth:`dispositions` with a thunk that performs
+    one real delivery; the injector invokes it zero or more times.  Crash
+    rules fire from :meth:`on_op`, which the verb entry points call with
+    the world rank — the raised :class:`RankCrashedError` then surfaces
+    through the runtime's normal failure aggregation as a deterministic
+    :class:`~repro.mpi.errors.RankFailedError`.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._edge_count: dict[tuple[int, int], int] = {}
+        self._op_count: dict[int, int] = {}
+        self._held: dict[tuple[int, int], list[list[Any]]] = {}
+        self.log: list[str] = []
+
+    # -- message path -------------------------------------------------------
+    def dispositions(
+        self, src: int, dst: int, deliver: Callable[[], None]
+    ) -> None:
+        """Apply message rules for one src→dst send, then deliver."""
+        with self._lock:
+            n = self._edge_count.get((src, dst), 0) + 1
+            self._edge_count[(src, dst)] = n
+            copies = 1
+            held_here = False
+            for rule in self.plan.rules:
+                if rule.action == "crash":
+                    continue
+                if rule.src != src or rule.dst != dst or rule.nth != n:
+                    continue
+                if rule.action == "drop":
+                    copies = 0
+                    self.log.append(f"drop {src}->{dst} #{n}")
+                elif rule.action == "dup":
+                    copies = rule.times
+                    self.log.append(f"dup x{rule.times} {src}->{dst} #{n}")
+                elif rule.action == "delay":
+                    copies = 0
+                    held_here = True
+                    self._held.setdefault((src, dst), []).append(
+                        [rule.after, deliver]
+                    )
+                    self.log.append(
+                        f"delay {src}->{dst} #{n} (after {rule.after})"
+                    )
+            ready: list[Callable[[], None]] = []
+            if not held_here:
+                for entry in self._held.get((src, dst), []):
+                    entry[0] -= 1
+                for entry in list(self._held.get((src, dst), [])):
+                    if entry[0] <= 0:
+                        ready.append(entry[1])
+                        self._held[(src, dst)].remove(entry)
+        for _ in range(copies):
+            deliver()
+        for held_deliver in ready:
+            held_deliver()
+
+    # -- crash path ---------------------------------------------------------
+    def on_op(self, rank: int) -> None:
+        """Count one communication operation for ``rank``; maybe crash it."""
+        with self._lock:
+            n = self._op_count.get(rank, 0) + 1
+            self._op_count[rank] = n
+        for rule in self.plan.rules:
+            if rule.action == "crash" and rule.rank == rank and rule.at == n:
+                self.log.append(f"crash rank {rank} at op {n}")
+                raise RankCrashedError(rank, n)
+
+
+@contextlib.contextmanager
+def fault_injection(plan: FaultPlan | str) -> Iterator[FaultInjector]:
+    """Arm ``plan`` for every MPI world created inside the block.
+
+    Works for worlds the caller never sees (patternlets build their own)
+    via the runtime's world-creation hook, and for forked process ranks
+    via a module global the children inherit.
+    """
+    global _ACTIVE_PLAN
+    if isinstance(plan, str):
+        plan = parse_plan(plan)
+    injector = FaultInjector(plan)
+
+    def hook(world: Any) -> None:
+        world.injector = injector
+
+    add_world_hook(hook)
+    previous = _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+    try:
+        yield injector
+    finally:
+        _ACTIVE_PLAN = previous
+        remove_world_hook(hook)

@@ -2,9 +2,21 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.mpi import mpirun as _mpirun
+
+
+def pytest_collection_modifyitems(config, items):
+    """Auto-skip ``multicore`` tests on single-CPU runners."""
+    if (os.cpu_count() or 1) >= 2:
+        return
+    skip = pytest.mark.skip(reason="needs >1 CPU for the processes backend")
+    for item in items:
+        if "multicore" in item.keywords:
+            item.add_marker(skip)
 
 #: Keep worst-case hangs short in tests: a genuinely stuck world should fail
 #: the test in a couple of seconds, not the default 30.

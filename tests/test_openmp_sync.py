@@ -40,7 +40,13 @@ class TestCritical:
             tid = get_thread_num()
             if tid == 0:
                 with critical("a"):
-                    gate.wait(timeout=5)
+                    # If "b" wrongly shared "a"'s lock, thread 1 could never
+                    # set the gate — the assert turns that deadlock-shaped
+                    # flake into an immediate, named failure.
+                    assert gate.wait(timeout=5), (
+                        "critical('b') holder never signaled: named "
+                        "sections are sharing a lock"
+                    )
                     order.append("a-done")
             else:
                 with critical("b"):  # must not block on critical("a")
@@ -217,3 +223,76 @@ class TestSections:
 
     def test_sections_outside_region_run_serially(self):
         assert sections([lambda: "x", lambda: "y"]) == ["x", "y"]
+
+
+class TestScheduledDeterminism:
+    """Timing-free variants of the sync guarantees, via the testkit.
+
+    The probabilistic tests above rely on preemption to *surface* bugs;
+    these replay adversarial interleavings deterministically, so a
+    regression fails on every run instead of on an unlucky one.
+    """
+
+    def test_critical_correct_under_adversarial_schedules(self):
+        from repro.testkit import RandomScheduler, run_scheduled
+
+        def workload():
+            counter = AtomicCounter()
+
+            def body():
+                for _ in range(2):
+                    with critical("c"):
+                        counter.unsafe_read_modify_write(1)
+
+            parallel_region(body, num_threads=2)
+            return counter.value
+
+        for seed in range(10):
+            run = run_scheduled(workload, RandomScheduler(seed))
+            assert run.error is None, f"seed {seed}: {run.error}"
+            assert not run.stalled, f"seed {seed} stalled ({run.token})"
+            assert run.result == 4, (
+                f"seed {seed} lost an update under {run.token}"
+            )
+
+    def test_atomic_correct_under_adversarial_schedules(self):
+        from repro.testkit import RandomScheduler, run_scheduled
+
+        def workload():
+            counter = AtomicCounter()
+
+            def body():
+                for _ in range(2):
+                    counter.add(1)
+
+            parallel_region(body, num_threads=2)
+            return counter.value
+
+        for seed in range(10):
+            run = run_scheduled(workload, RandomScheduler(seed))
+            assert run.error is None and not run.stalled
+            assert run.result == 4, (
+                f"seed {seed} lost an update under {run.token}"
+            )
+
+    def test_barrier_separates_phases_under_all_schedules(self):
+        from repro.testkit import RandomScheduler, run_scheduled
+
+        def workload():
+            log = []
+
+            def body():
+                log.append("a")
+                barrier()
+                log.append("b")
+
+            parallel_region(body, num_threads=3)
+            return "".join(log)
+
+        for seed in range(10):
+            run = run_scheduled(workload, RandomScheduler(seed))
+            assert run.error is None and not run.stalled
+            assert run.result == "aaabbb", (
+                f"seed {seed}: barrier leaked a phase under {run.token}: "
+                f"{run.result}"
+            )

@@ -64,15 +64,26 @@ class TestOpenMPPatternlets:
         assert r.values["shared_appends"] == 4
 
     def test_forced_race_always_loses_one_update(self):
+        from repro.patternlets.openmp.race import FORCED_SCHEDULE
+
         for _ in range(5):  # deterministic: must hold on every run
             r = get_patternlet("openmp", "race").run(forced=True)
             diagnostics = r.values.pop("diagnostics")
             assert r.values == {
-                "expected": 2, "actual": 1, "lost": 1, "forced": True
+                "expected": 2, "actual": 1, "lost": 1, "forced": True,
+                "schedule": FORCED_SCHEDULE,
             }
             assert len(diagnostics) == 1
             assert diagnostics[0]["kind"] == "data-race"
-            assert "'x'" in diagnostics[0]["message"]
+            assert "AtomicCounter" in diagnostics[0]["message"]
+
+    def test_forced_race_replays_explorer_tokens(self):
+        # Any racy schedule the explorer flags must lose updates here too.
+        r = get_patternlet("openmp", "race").run(
+            num_threads=2, iterations=2, schedule="o1.2.00001"
+        )
+        assert r.values["lost"] > 0
+        assert r.values["forced"] is True
 
     def test_wild_race_reports_expected_vs_actual(self):
         r = get_patternlet("openmp", "race").run(num_threads=4, iterations=3000)

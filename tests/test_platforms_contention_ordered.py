@@ -126,17 +126,20 @@ class TestOrderedGate:
         assert gate.completed == 1
 
     def test_concurrent_workers_blocked_until_turn(self):
+        # Iteration 1 arrives first and must be *provably parked* before
+        # iteration 0 proceeds — wait_for_waiters makes the handshake
+        # race-free (an Event only said "eager_one started", not "blocked").
         gate = OrderedGate(2)
         order = []
-        started = threading.Event()
 
         def late_zero():
-            started.wait()
+            assert gate.wait_for_waiters(1, timeout=5), (
+                "iteration 1 never parked at the gate"
+            )
             with gate.turn(0):
                 order.append(0)
 
         def eager_one():
-            started.set()
             with gate.turn(1):  # must wait for 0 even though it arrives first
                 order.append(1)
 
@@ -147,3 +150,8 @@ class TestOrderedGate:
         t0.join()
         t1.join()
         assert order == [0, 1]
+        assert gate.waiting == 0
+
+    def test_wait_for_waiters_times_out_when_nobody_parks(self):
+        gate = OrderedGate(2)
+        assert not gate.wait_for_waiters(1, timeout=0.05)

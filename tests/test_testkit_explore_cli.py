@@ -1,0 +1,173 @@
+"""``repro explore``: explorer verdicts, CLI exit codes, golden replays."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.testkit import explore_target, replay_faults, replay_schedule
+
+GOLDENS = Path(__file__).parent / "goldens"
+
+
+class TestExplorer:
+    def test_race_explorer_finds_and_cross_validates(self):
+        result = explore_target("race", "openmp", seed=7, max_schedules=24)
+        assert result.flagged, "explorer missed the data race"
+        assert result.analyzer_errors > 0
+        assert result.agreement, "explorer and race detector disagree"
+        assert all(o.detector_errors for o in result.flagged)
+        assert result.minimized and result.minimized.startswith("o1.2.")
+
+    def test_explorer_is_deterministic(self):
+        a = explore_target("race", "openmp", seed=7, max_schedules=12)
+        b = explore_target("race", "openmp", seed=7, max_schedules=12)
+        assert [o.token for o in a.outcomes] == [o.token for o in b.outcomes]
+        assert a.minimized == b.minimized
+
+    @pytest.mark.parametrize("name", ["critical", "atomic", "reduction"])
+    def test_clean_patternlets_agree_with_analyzer(self, name):
+        result = explore_target(name, "openmp", seed=7, max_schedules=12)
+        assert not result.flagged, f"{name} wrongly flagged"
+        assert result.analyzer_errors == 0
+        assert result.agreement
+
+    def test_mpi_deadlock_agrees_with_checker(self):
+        result = explore_target("deadlock", "mpi", seed=7)
+        assert result.flagged
+        assert result.outcomes[0].verdict == "deadlock"
+        assert result.analyzer_errors > 0
+        assert result.agreement
+
+    def test_fault_plan_minimizes_to_crash_only(self):
+        result = explore_target(
+            "broadcast", "mpi", seed=7,
+            faults="drop:src=0,dst=1,nth=1;crash:rank=1,at=1",
+        )
+        assert result.flagged
+        assert result.outcomes[0].verdict.startswith("rank-failed")
+        assert result.minimized == "f1.crash:rank=1,at=1"
+
+    def test_forced_race_fails_under_every_flagged_schedule(self):
+        """Regression for race --forced: explored racy schedules must lose."""
+        from repro.patternlets import get_patternlet
+
+        race = get_patternlet("openmp", "race")
+        result = explore_target("race", "openmp", seed=7, max_schedules=24)
+        assert result.flagged
+        for outcome in result.flagged:
+            values = race.run(
+                num_threads=2, iterations=2, schedule=outcome.token
+            ).values
+            assert values["lost"] > 0, (
+                f"forced replay of {outcome.token} did not lose an update"
+            )
+            assert values["diagnostics"], (
+                f"no race diagnostic under {outcome.token}"
+            )
+
+    def test_unknown_target_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            explore_target("nosuchthing")
+
+
+class TestGoldenReplays:
+    def test_race_golden_replays_identically_twice(self):
+        golden = json.loads((GOLDENS / "explore_race.json").read_text())
+        first = replay_schedule("race", golden["minimized"]).to_dict()
+        second = replay_schedule("race", golden["minimized"]).to_dict()
+        assert first == second, "minimized race token replayed differently"
+        assert first == golden["replay_expect"]
+
+    def test_race_golden_canonical_forced_schedule(self):
+        golden = json.loads((GOLDENS / "explore_race.json").read_text())
+        from repro.patternlets.openmp.race import FORCED_SCHEDULE
+
+        assert golden["canonical"] == FORCED_SCHEDULE
+        outcome = replay_schedule("race", golden["canonical"])
+        assert outcome.flagged
+
+    def test_race_golden_flagged_corpus_still_flags(self):
+        golden = json.loads((GOLDENS / "explore_race.json").read_text())
+        # Spot-check a stable prefix of the corpus; the full sweep runs in
+        # the scheduled deep-explore job.
+        for token in golden["flagged_tokens"][:4]:
+            assert replay_schedule("race", token).flagged, token
+
+    def test_deadlock_golden_replays_identically_twice(self):
+        golden = json.loads((GOLDENS / "explore_deadlock.json").read_text())
+        first = replay_faults("deadlock", golden["plan"]).to_dict()
+        second = replay_faults("deadlock", golden["plan"]).to_dict()
+        assert first == second
+        assert first == golden["replay_expect"]
+
+    def test_broadcast_crash_golden(self):
+        golden = json.loads((GOLDENS / "explore_deadlock.json").read_text())
+        crash = golden["broadcast_crash"]
+        outcome = replay_faults("broadcast", crash["plan"]).to_dict()
+        assert outcome == crash["replay_expect"]
+
+    @pytest.mark.slow
+    def test_race_golden_full_corpus(self):
+        golden = json.loads((GOLDENS / "explore_race.json").read_text())
+        for token in golden["flagged_tokens"]:
+            assert replay_schedule("race", token).flagged, token
+
+
+class TestExploreCli:
+    def test_explore_race_exits_1(self, capsys):
+        assert main(["explore", "race", "--seed", "7"]) == 1
+        out = capsys.readouterr().out
+        assert "minimized repro" in out
+        assert "verdicts agree" in out
+
+    def test_explore_clean_exits_0(self, capsys):
+        assert main(["explore", "atomic", "--schedules", "8"]) == 0
+        assert "flagged: 0" in capsys.readouterr().out
+
+    def test_explore_unknown_exits_2(self, capsys):
+        assert main(["explore", "nosuchthing"]) == 2
+        assert "no patternlet" in capsys.readouterr().err
+
+    def test_replay_token_twice_identical(self, capsys):
+        assert main(["explore", "race", "--replay", "o1.2.00111"]) == 1
+        out = capsys.readouterr().out
+        assert "deterministic" in out
+        assert "NONDETERMINISTIC" not in out
+
+    def test_replay_bad_token_exits_2(self, capsys):
+        assert main(["explore", "race", "--replay", "bogus"]) == 2
+
+    def test_replay_json_payload(self, capsys):
+        assert main(
+            ["explore", "deadlock", "--replay", "f1.none", "--json"]
+        ) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["deterministic"] is True
+        assert payload["outcome"]["verdict"] == "deadlock"
+
+    def test_repro_dir_writes_bundle(self, capsys, tmp_path):
+        assert main([
+            "explore", "race", "--seed", "7", "--schedules", "12",
+            "--repro-dir", str(tmp_path),
+        ]) == 1
+        bundle = json.loads((tmp_path / "race-repro.json").read_text())
+        assert bundle["token"].startswith("o1.2.")
+        assert "--replay" in bundle["replay"]
+        timeline = (tmp_path / "race-timeline.txt").read_text()
+        assert "legend:" in timeline
+
+    def test_json_report_shape(self, capsys):
+        assert main(["explore", "race", "--seed", "7", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flagged"] > 0
+        assert payload["agreement"] is True
+        assert payload["minimized"].startswith("o1.2.")
+
+    def test_mpi_faults_via_cli(self, capsys):
+        assert main([
+            "explore", "broadcast",
+            "--faults", "drop:src=0,dst=1,nth=1;crash:rank=1,at=1",
+        ]) == 1
+        assert "rank-failed" in capsys.readouterr().out

@@ -1,0 +1,153 @@
+"""Schedule controller: determinism, replay tokens, witness detection."""
+
+import pytest
+
+from repro.openmp import barrier, critical, parallel_region
+from repro.openmp.sync import AtomicCounter
+from repro.testkit import (
+    RandomScheduler,
+    ReplayScheduler,
+    RoundRobinScheduler,
+    decode_token,
+    encode_token,
+    lost_update_witness,
+    run_scheduled,
+)
+
+
+def racy_workload(iterations=2, num_threads=2):
+    counter = AtomicCounter()
+
+    def body():
+        for _ in range(iterations):
+            counter.unsafe_read_modify_write(1)
+
+    parallel_region(body, num_threads=num_threads)
+    return counter.value
+
+
+class TestTokens:
+    def test_round_trip(self):
+        assert decode_token("o1.2.0101") == (2, [0, 1, 0, 1])
+        assert decode_token("o1.3.-") == (3, [])
+
+    def test_encode_empty(self):
+        assert encode_token(2, []) == "o1.2.-"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "o1.2", "o2.2.01", "x1.2.01", "o1.nope.01", "o1.2.!!"]
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            decode_token(bad)
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = run_scheduled(racy_workload, RandomScheduler(11))
+        b = run_scheduled(racy_workload, RandomScheduler(11))
+        assert a.token == b.token
+        assert a.result == b.result
+
+    def test_replay_reproduces_token_and_result(self):
+        for seed in range(8):
+            original = run_scheduled(racy_workload, RandomScheduler(seed))
+            assert not original.stalled
+            _, choices = decode_token(original.token)
+            replay = run_scheduled(racy_workload, ReplayScheduler(choices))
+            assert replay.faithful, f"seed {seed}: replay had to improvise"
+            assert replay.token == original.token
+            assert replay.result == original.result
+
+    def test_round_robin_interleaves_and_loses(self):
+        run = run_scheduled(racy_workload, RoundRobinScheduler())
+        assert run.result < 4  # strict alternation always overlaps the RMWs
+        assert lost_update_witness(run.decisions) is not None
+
+    def test_schedules_differ_across_seeds(self):
+        tokens = {
+            run_scheduled(racy_workload, RandomScheduler(seed)).token
+            for seed in range(12)
+        }
+        assert len(tokens) > 1
+
+
+class TestWitness:
+    def test_witness_iff_lost_update(self):
+        for seed in range(12):
+            run = run_scheduled(racy_workload, RandomScheduler(seed))
+            witness = lost_update_witness(run.decisions)
+            if run.result == 4:
+                assert witness is None, f"seed {seed}: spurious witness"
+            else:
+                assert witness is not None, f"seed {seed}: missed lost update"
+
+    def test_no_witness_with_critical(self):
+        def safe():
+            counter = AtomicCounter()
+
+            def body():
+                for _ in range(2):
+                    with critical("c"):
+                        counter.unsafe_read_modify_write(1)
+
+            parallel_region(body, num_threads=2)
+            return counter.value
+
+        for seed in range(8):
+            run = run_scheduled(safe, RandomScheduler(seed))
+            assert run.result == 4
+            assert lost_update_witness(run.decisions) is None
+
+
+class TestStructuredWorkloads:
+    def test_barrier_under_schedules(self):
+        def workload():
+            log = []
+
+            def body():
+                log.append("a")
+                barrier()
+                log.append("b")
+
+            parallel_region(body, num_threads=3)
+            return "".join(log)
+
+        for seed in range(6):
+            run = run_scheduled(workload, RandomScheduler(seed))
+            assert not run.stalled
+            assert run.result == "aaabbb"
+
+    def test_exception_in_controlled_thread_propagates(self):
+        def workload():
+            def body():
+                raise RuntimeError("boom")
+
+            parallel_region(body, num_threads=2)
+
+        run = run_scheduled(workload, RandomScheduler(0))
+        assert run.error is not None
+        assert "boom" in str(run.error)
+        assert not run.stalled
+
+    def test_sequential_code_between_regions(self):
+        def workload():
+            counter = AtomicCounter()
+
+            def body():
+                counter.add(1)
+
+            parallel_region(body, num_threads=2)
+            parallel_region(body, num_threads=2)
+            return counter.value
+
+        run = run_scheduled(workload, RandomScheduler(3))
+        assert run.error is None
+        assert run.result == 4
+
+    def test_decisions_record_runnable_sets(self):
+        run = run_scheduled(racy_workload, RandomScheduler(5))
+        assert run.decisions
+        for decision in run.decisions:
+            assert decision.chosen in decision.runnable
+            assert set(decision.pending) >= set(decision.runnable)
