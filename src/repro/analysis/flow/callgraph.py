@@ -1,0 +1,183 @@
+"""A one-level call graph with per-function effect summaries.
+
+Learner submissions routinely factor the interesting operation into a
+helper (``def update(): nonlocal total; total += 1`` called from the
+parallel body).  Flat rules either miss the helper's effect or
+double-report it.  This module gives rules just enough interprocedural
+power: for each module-level function it records a :class:`Summary` of
+the shared-state and communication effects visible in its own body, and
+:func:`resolve_calls` maps call sites to the summaries of the helpers
+they invoke — one level deep, which matches the shapes the curriculum
+and real submissions use.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+__all__ = ["Summary", "CallGraph", "build_callgraph"]
+
+_SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend", "isend", "Isend"})
+_RECV_METHODS = frozenset({"recv", "Recv", "irecv", "Irecv"})
+_COLLECTIVE_METHODS = frozenset({
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce", "allreduce", "Allreduce", "allgather", "Allgather",
+    "alltoall", "Alltoall", "barrier", "Barrier", "scan", "Scan", "exscan",
+})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+@dataclass
+class Summary:
+    """Effects visible in one function's own body (not its callees)."""
+
+    name: str
+    node: ast.AST
+    #: names declared nonlocal/global and written
+    shared_writes: dict[str, int] = field(default_factory=dict)  # name -> line
+    #: names read that are free (not params, not locally bound)
+    free_reads: set[str] = field(default_factory=set)
+    sends: list[int] = field(default_factory=list)
+    recvs: list[int] = field(default_factory=list)
+    collectives: list[tuple[str, int]] = field(default_factory=list)
+    barriers: list[int] = field(default_factory=list)
+    acquires: list[tuple[str, int]] = field(default_factory=list)
+    releases: list[tuple[str, int]] = field(default_factory=list)
+    calls: list[tuple[str, int]] = field(default_factory=list)  # callee, line
+
+    @property
+    def has_comm(self) -> bool:
+        return bool(self.sends or self.recvs or self.collectives)
+
+
+def _scoped_nodes(root: ast.AST) -> list[ast.AST]:
+    """Subtree of ``root`` without nested function bodies."""
+    out: list[ast.AST] = []
+    stack = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def summarize(func: ast.AST, name: str = "") -> Summary:
+    """Build the effect summary of one function/lambda body."""
+    summary = Summary(name=name or getattr(func, "name", "<lambda>"), node=func)
+    declared: set[str] = set()
+    bound: set[str] = set()
+    if hasattr(func, "args"):
+        args = func.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            bound.add(a.arg)
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                bound.add(extra.arg)
+
+    nodes = _scoped_nodes(func)
+    for node in nodes:
+        if isinstance(node, (ast.Nonlocal, ast.Global)):
+            declared.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+
+    for node in nodes:
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Store) and node.id in declared:
+                summary.shared_writes.setdefault(node.id, node.lineno)
+            elif isinstance(node.ctx, ast.Load) and node.id not in bound:
+                summary.free_reads.add(node.id)
+        elif isinstance(node, ast.Call):
+            cname = _call_name(node)
+            if isinstance(node.func, ast.Attribute):
+                if cname in _SEND_METHODS:
+                    summary.sends.append(node.lineno)
+                elif cname in _RECV_METHODS:
+                    summary.recvs.append(node.lineno)
+                elif cname in _COLLECTIVE_METHODS:
+                    summary.collectives.append((cname, node.lineno))
+                    if cname.lower() == "barrier":
+                        summary.barriers.append(node.lineno)
+                elif cname == "acquire" and isinstance(node.func.value, ast.Name):
+                    summary.acquires.append((node.func.value.id, node.lineno))
+                elif cname == "release" and isinstance(node.func.value, ast.Name):
+                    summary.releases.append((node.func.value.id, node.lineno))
+            elif isinstance(node.func, ast.Name):
+                if cname == "barrier":
+                    summary.barriers.append(node.lineno)
+                summary.calls.append((cname, node.lineno))
+    return summary
+
+
+@dataclass
+class CallGraph:
+    """Summaries for every named function in a module, plus call edges."""
+
+    summaries: dict[str, Summary]
+
+    def summary(self, name: str) -> Summary | None:
+        return self.summaries.get(name)
+
+    def callees(self, func_name: str) -> list[tuple[Summary, int]]:
+        """Resolved (summary, call line) pairs for direct calls — one
+        level: callees' own calls are not chased further."""
+        caller = self.summaries.get(func_name)
+        if caller is None:
+            return []
+        out = []
+        for callee_name, line in caller.calls:
+            callee = self.summaries.get(callee_name)
+            if callee is not None and callee is not caller:
+                out.append((callee, line))
+        return out
+
+    def effective_summary(self, func: ast.AST, name: str = "") -> Summary:
+        """A function's summary with one level of helper effects merged
+        in, each anchored at the *call site* line."""
+        base = summarize(func, name)
+        merged = Summary(name=base.name, node=base.node)
+        merged.shared_writes = dict(base.shared_writes)
+        merged.free_reads = set(base.free_reads)
+        merged.sends = list(base.sends)
+        merged.recvs = list(base.recvs)
+        merged.collectives = list(base.collectives)
+        merged.barriers = list(base.barriers)
+        merged.acquires = list(base.acquires)
+        merged.releases = list(base.releases)
+        merged.calls = list(base.calls)
+        for callee_name, line in base.calls:
+            callee = self.summaries.get(callee_name)
+            if callee is None or callee.node is func:
+                continue
+            for var in callee.shared_writes:
+                merged.shared_writes.setdefault(var, line)
+            merged.free_reads |= callee.free_reads
+            merged.sends.extend(line for _ in callee.sends)
+            merged.recvs.extend(line for _ in callee.recvs)
+            merged.collectives.extend((m, line) for m, _ in callee.collectives)
+            merged.barriers.extend(line for _ in callee.barriers)
+            merged.acquires.extend((k, line) for k, _ in callee.acquires)
+            merged.releases.extend((k, line) for k, _ in callee.releases)
+        return merged
+
+
+def build_callgraph(tree: ast.AST) -> CallGraph:
+    """Summaries for all named defs in a module (nested defs included)."""
+    summaries: dict[str, Summary] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # First definition wins: shadowing is rare in learner code and
+            # a stable choice keeps diagnostics deterministic.
+            summaries.setdefault(node.name, summarize(node))
+    return CallGraph(summaries=summaries)

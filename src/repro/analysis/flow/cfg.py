@@ -1,0 +1,293 @@
+"""Per-function control-flow graphs over the Python AST.
+
+pdclint's flow-sensitive rules need to know *which statements can follow
+which* — not just what the source looks like.  :func:`build_cfg` turns one
+function (or a whole module) into basic blocks connected by control-flow
+edges, handling branches, loops, ``try``/``with``, ``break``/``continue``
+and early returns, and :meth:`CFG.dominators` computes the classic
+iterative dominator sets on top.
+
+Design notes, sized for learner programs:
+
+* Statements live in :attr:`BasicBlock.stmts` in execution order; a
+  block's branch condition (if any) is kept separately in
+  :attr:`BasicBlock.test` so dataflow transfer functions can account for
+  its variable uses without a synthetic statement.
+* ``return``/``raise`` edges route through the innermost enclosing
+  ``finally`` suite and then to the exit block, so "every path releases
+  the lock" questions see cleanup code.  The ``finally`` subgraph is
+  shared by all of its entries (normal completion, handlers, early
+  returns), which over-approximates paths — safe for the may/must
+  analyses built on top.
+* Exception edges are conservative: each handler is reachable from the
+  ``try`` entry.  That is all the precision the PDC rules need.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["BasicBlock", "CFG", "build_cfg"]
+
+#: Function-like AST nodes a CFG can be built for (``ast.Module`` also
+#: works: its body is treated as the function body).
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.Module)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of statements."""
+
+    id: int
+    label: str = ""
+    stmts: list[ast.stmt] = field(default_factory=list)
+    test: ast.expr | None = None  # branch condition evaluated at block end
+    succs: list[int] = field(default_factory=list)
+    preds: list[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [getattr(s, "lineno", "?") for s in self.stmts]
+        return f"<block {self.id} {self.label or ''} lines={lines} -> {self.succs}>"
+
+
+class CFG:
+    """Control-flow graph of one function: blocks, edges, dominators."""
+
+    def __init__(self, func: ast.AST) -> None:
+        self.func = func
+        self.blocks: dict[int, BasicBlock] = {}
+        self.entry = self._new("entry").id
+        self.exit = self._new("exit").id
+        self._doms: dict[int, frozenset[int]] | None = None
+
+    # -------------------------------------------------------------- building
+    def _new(self, label: str = "") -> BasicBlock:
+        block = BasicBlock(id=len(self.blocks), label=label)
+        self.blocks[block.id] = block
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    # -------------------------------------------------------------- queries
+    def statements(self) -> Iterator[tuple[BasicBlock, ast.stmt]]:
+        """Every (block, statement) pair in block order."""
+        for bid in sorted(self.blocks):
+            for stmt in self.blocks[bid].stmts:
+                yield self.blocks[bid], stmt
+
+    def block_of(self, stmt: ast.stmt) -> BasicBlock | None:
+        for block, s in self.statements():
+            if s is stmt:
+                return block
+        return None
+
+    def reachable_forward(self, start: int) -> set[int]:
+        """Block ids reachable from ``start`` (excluding ``start`` itself
+        unless it sits on a cycle)."""
+        seen: set[int] = set()
+        stack = list(self.blocks[start].succs)
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            stack.extend(self.blocks[bid].succs)
+        return seen
+
+    def dominators(self) -> dict[int, frozenset[int]]:
+        """``dom[b]`` = blocks that appear on *every* entry->b path."""
+        if self._doms is not None:
+            return self._doms
+        all_ids = frozenset(self.blocks)
+        dom: dict[int, frozenset[int]] = {
+            bid: (frozenset({bid}) if bid == self.entry else all_ids)
+            for bid in self.blocks
+        }
+        changed = True
+        while changed:
+            changed = False
+            for bid in sorted(self.blocks):
+                if bid == self.entry:
+                    continue
+                preds = self.blocks[bid].preds
+                if preds:
+                    incoming = frozenset.intersection(*(dom[p] for p in preds))
+                else:  # unreachable block: dominated only by itself
+                    incoming = frozenset()
+                updated = incoming | {bid}
+                if updated != dom[bid]:
+                    dom[bid] = updated
+                    changed = True
+        self._doms = dom
+        return dom
+
+    def dominates(self, a: int, b: int) -> bool:
+        return a in self.dominators()[b]
+
+
+@dataclass
+class _Ctx:
+    """Jump targets active while building a statement list."""
+
+    break_to: int | None = None
+    continue_to: int | None = None
+    finally_entry: int | None = None  # innermost finally suite, if any
+
+
+class _Builder:
+    def __init__(self, func: ast.AST) -> None:
+        self.cfg = CFG(func)
+
+    def build(self) -> CFG:
+        body = (
+            [ast.Expr(value=self.cfg.func.body)]
+            if isinstance(self.cfg.func, ast.Lambda)
+            else list(self.cfg.func.body)
+        )
+        first = self.cfg._new("body")
+        self.cfg._edge(self.cfg.entry, first.id)
+        end = self._stmts(body, first.id, _Ctx())
+        if end is not None:
+            self.cfg._edge(end, self.cfg.exit)
+        return self.cfg
+
+    # The workhorse: thread ``stmts`` through the graph starting in block
+    # ``cur``; return the block where control falls out, or None if every
+    # path jumped away (return/break/continue/raise).
+    def _stmts(self, stmts: list[ast.stmt], cur: int | None, ctx: _Ctx) -> int | None:
+        for stmt in stmts:
+            if cur is None:  # dead code after a jump: keep it queryable
+                cur = self.cfg._new("unreachable").id
+            cur = self._stmt(stmt, cur, ctx)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: int, ctx: _Ctx) -> int | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur, ctx)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, cur, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            return self._stmts(stmt.body, cur, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur, ctx)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            target = ctx.finally_entry if ctx.finally_entry is not None else self.cfg.exit
+            self.cfg._edge(cur, target)
+            return None
+        if isinstance(stmt, ast.Break):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            if ctx.break_to is not None:
+                self.cfg._edge(cur, ctx.break_to)
+            return None
+        if isinstance(stmt, ast.Continue):
+            self.cfg.blocks[cur].stmts.append(stmt)
+            if ctx.continue_to is not None:
+                self.cfg._edge(cur, ctx.continue_to)
+            return None
+        # Simple statement (incl. nested defs, which just bind a name).
+        self.cfg.blocks[cur].stmts.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: int, ctx: _Ctx) -> int | None:
+        self.cfg.blocks[cur].test = stmt.test
+        then = self.cfg._new("then")
+        self.cfg._edge(cur, then.id)
+        then_end = self._stmts(stmt.body, then.id, ctx)
+        after = self.cfg._new("after-if")
+        if stmt.orelse:
+            orelse = self.cfg._new("else")
+            self.cfg._edge(cur, orelse.id)
+            else_end = self._stmts(stmt.orelse, orelse.id, ctx)
+            if else_end is not None:
+                self.cfg._edge(else_end, after.id)
+        else:
+            self.cfg._edge(cur, after.id)
+        if then_end is not None:
+            self.cfg._edge(then_end, after.id)
+        if not after.preds:
+            return None  # both branches jumped away
+        return after.id
+
+    def _while(self, stmt: ast.While, cur: int, ctx: _Ctx) -> int:
+        header = self.cfg._new("while")
+        header.test = stmt.test
+        self.cfg._edge(cur, header.id)
+        after = self.cfg._new("after-while")
+        body = self.cfg._new("while-body")
+        self.cfg._edge(header.id, body.id)
+        self.cfg._edge(header.id, after.id)
+        inner = _Ctx(break_to=after.id, continue_to=header.id,
+                     finally_entry=ctx.finally_entry)
+        body_end = self._stmts(stmt.body, body.id, inner)
+        if body_end is not None:
+            self.cfg._edge(body_end, header.id)
+        if stmt.orelse:
+            end = self._stmts(stmt.orelse, after.id, ctx)
+            return end if end is not None else after.id
+        return after.id
+
+    def _for(self, stmt: ast.For, cur: int, ctx: _Ctx) -> int:
+        header = self.cfg._new("for")
+        header.stmts.append(stmt)  # the For node defines its loop target
+        self.cfg._edge(cur, header.id)
+        after = self.cfg._new("after-for")
+        body = self.cfg._new("for-body")
+        self.cfg._edge(header.id, body.id)
+        self.cfg._edge(header.id, after.id)
+        inner = _Ctx(break_to=after.id, continue_to=header.id,
+                     finally_entry=ctx.finally_entry)
+        body_end = self._stmts(stmt.body, body.id, inner)
+        if body_end is not None:
+            self.cfg._edge(body_end, header.id)
+        if stmt.orelse:
+            end = self._stmts(stmt.orelse, after.id, ctx)
+            return end if end is not None else after.id
+        return after.id
+
+    def _try(self, stmt: ast.Try, cur: int, ctx: _Ctx) -> int | None:
+        after = self.cfg._new("after-try")
+        if stmt.finalbody:
+            fin = self.cfg._new("finally")
+            fin_end = self._stmts(stmt.finalbody, fin.id, ctx)
+            join: int | None = fin.id
+            if fin_end is not None:
+                self.cfg._edge(fin_end, after.id)
+            inner = _Ctx(break_to=ctx.break_to, continue_to=ctx.continue_to,
+                         finally_entry=fin.id)
+        else:
+            join = after.id
+            inner = ctx
+
+        try_entry = self.cfg._new("try")
+        self.cfg._edge(cur, try_entry.id)
+        body_end = self._stmts(stmt.body, try_entry.id, inner)
+        if stmt.orelse and body_end is not None:
+            body_end = self._stmts(stmt.orelse, body_end, inner)
+        if body_end is not None and join is not None:
+            self.cfg._edge(body_end, join)
+        for handler in stmt.handlers:
+            hblock = self.cfg._new("except")
+            # Conservative: the exception may fire anywhere in the body.
+            self.cfg._edge(try_entry.id, hblock.id)
+            h_end = self._stmts(handler.body, hblock.id, inner)
+            if h_end is not None and join is not None:
+                self.cfg._edge(h_end, join)
+        if not after.preds:
+            return None
+        return after.id
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function/lambda/module body."""
+    if not isinstance(func, FUNCTION_NODES):
+        raise TypeError(f"cannot build a CFG for {type(func).__name__}")
+    return _Builder(func).build()

@@ -1,0 +1,274 @@
+"""A generic worklist dataflow solver over :mod:`.cfg` graphs.
+
+A :class:`Problem` declares its direction, its meet (union for may-
+analyses, intersection for must-analyses), its boundary/initial values,
+and a per-statement transfer function; :func:`solve` iterates blocks to a
+fixed point and returns the in/out sets per block.  Statement-level facts
+inside a block are recovered with :func:`facts_at` by replaying the
+block's transfers — cheap, and it keeps the solver itself block-granular.
+
+Two classic instances ship with the solver:
+
+* :class:`ReachingDefinitions` — which ``(name, line)`` definitions can
+  reach each point (forward, union);
+* :class:`LiveVariables` — which names may still be read later
+  (backward, union).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Hashable, Iterable
+
+from .cfg import CFG, BasicBlock
+
+__all__ = [
+    "Problem",
+    "solve",
+    "facts_at",
+    "ReachingDefinitions",
+    "LiveVariables",
+    "stmt_defs",
+    "stmt_uses",
+    "expr_uses",
+]
+
+
+# ---------------------------------------------------------------------------
+# Def/use extraction
+# ---------------------------------------------------------------------------
+
+def _target_names(target: ast.expr) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(target):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            names.add(node.id)
+    return names
+
+
+def stmt_defs(stmt: ast.stmt) -> set[str]:
+    """Names (re)bound by one statement, without descending into nested defs."""
+    if isinstance(stmt, ast.Assign):
+        return set().union(*(_target_names(t) for t in stmt.targets)) if stmt.targets else set()
+    if isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return _target_names(stmt.target)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: set[str] = set()
+        for item in stmt.items:
+            if item.optional_vars is not None:
+                out |= _target_names(item.optional_vars)
+        return out
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return {stmt.name}
+    if isinstance(stmt, ast.Import):
+        return {(a.asname or a.name.split(".")[0]) for a in stmt.names}
+    if isinstance(stmt, ast.ImportFrom):
+        return {(a.asname or a.name) for a in stmt.names}
+    return set()
+
+
+def expr_uses(expr: ast.AST | None) -> set[str]:
+    """Names loaded anywhere in an expression (nested lambdas included —
+    a conservative over-approximation of uses)."""
+    if expr is None:
+        return set()
+    return {
+        node.id
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    }
+
+
+def stmt_uses(stmt: ast.stmt) -> set[str]:
+    """Names a statement reads before any of its own definitions bind."""
+    if isinstance(stmt, ast.Assign):
+        return expr_uses(stmt.value)
+    if isinstance(stmt, ast.AugAssign):
+        # x += e reads both x and e.
+        return expr_uses(stmt.value) | _target_names(stmt.target)
+    if isinstance(stmt, ast.AnnAssign):
+        return expr_uses(stmt.value)
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return expr_uses(stmt.iter)
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: set[str] = set()
+        for item in stmt.items:
+            out |= expr_uses(item.context_expr)
+        return out
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        # A nested def's closure reads happen when it *runs*, not here; its
+        # decorators and defaults are evaluated at the def site though.
+        out = set()
+        for dec in stmt.decorator_list:
+            out |= expr_uses(dec)
+        if not isinstance(stmt, ast.ClassDef):
+            for default in stmt.args.defaults + [
+                d for d in stmt.args.kw_defaults if d is not None
+            ]:
+                out |= expr_uses(default)
+        return out
+    if isinstance(stmt, (ast.Return, ast.Expr)):
+        return expr_uses(stmt.value)
+    if isinstance(stmt, ast.Raise):
+        return expr_uses(stmt.exc) | expr_uses(stmt.cause)
+    if isinstance(stmt, ast.Assert):
+        return expr_uses(stmt.test) | expr_uses(stmt.msg)
+    if isinstance(stmt, ast.Delete):
+        return set()
+    # Fallback: every loaded name in the statement.
+    return expr_uses(stmt)
+
+
+# ---------------------------------------------------------------------------
+# The solver
+# ---------------------------------------------------------------------------
+
+class Problem:
+    """One dataflow problem: direction, meet, boundary, transfer."""
+
+    #: "forward" (facts flow entry -> exit) or "backward".
+    direction: str = "forward"
+    #: "union" (may) or "intersection" (must).
+    meet: str = "union"
+
+    def boundary(self, cfg: CFG) -> frozenset[Hashable]:
+        """Value at the entry (forward) / exit (backward) block."""
+        return frozenset()
+
+    def initial(self, cfg: CFG) -> frozenset[Hashable]:
+        """Optimistic initial value for every other block."""
+        return frozenset()
+
+    def transfer_stmt(self, stmt: ast.stmt, value: frozenset) -> frozenset:
+        raise NotImplementedError
+
+    def transfer_test(self, test: ast.expr, value: frozenset) -> frozenset:
+        """Branch conditions only *use* values by default."""
+        return value
+
+    # ------------------------------------------------------------------ hooks
+    def transfer_block(self, block: BasicBlock, value: frozenset) -> frozenset:
+        if self.direction == "forward":
+            for stmt in block.stmts:
+                value = self.transfer_stmt(stmt, value)
+            if block.test is not None:
+                value = self.transfer_test(block.test, value)
+        else:
+            if block.test is not None:
+                value = self.transfer_test(block.test, value)
+            for stmt in reversed(block.stmts):
+                value = self.transfer_stmt(stmt, value)
+        return value
+
+    def _meet(self, values: Iterable[frozenset]) -> frozenset:
+        values = list(values)
+        if not values:
+            return frozenset()
+        if self.meet == "union":
+            return frozenset().union(*values)
+        return frozenset.intersection(*values)
+
+
+def solve(cfg: CFG, problem: Problem) -> tuple[dict[int, frozenset], dict[int, frozenset]]:
+    """Iterate to a fixed point; return ``(in_sets, out_sets)`` per block."""
+    forward = problem.direction == "forward"
+    start = cfg.entry if forward else cfg.exit
+    edges_in = (
+        (lambda b: cfg.blocks[b].preds) if forward else (lambda b: cfg.blocks[b].succs)
+    )
+    edges_out = (
+        (lambda b: cfg.blocks[b].succs) if forward else (lambda b: cfg.blocks[b].preds)
+    )
+
+    in_sets: dict[int, frozenset] = {bid: problem.initial(cfg) for bid in cfg.blocks}
+    out_sets: dict[int, frozenset] = {}
+    in_sets[start] = problem.boundary(cfg)
+    for bid in cfg.blocks:
+        out_sets[bid] = problem.transfer_block(cfg.blocks[bid], in_sets[bid])
+
+    work = list(cfg.blocks)
+    while work:
+        bid = work.pop(0)
+        if bid != start:
+            incoming = [out_sets[p] for p in edges_in(bid)]
+            if incoming:
+                in_sets[bid] = problem._meet(incoming)
+        updated = problem.transfer_block(cfg.blocks[bid], in_sets[bid])
+        if updated != out_sets[bid]:
+            out_sets[bid] = updated
+            for nxt in edges_out(bid):
+                if nxt not in work:
+                    work.append(nxt)
+    if forward:
+        return in_sets, out_sets
+    # For backward problems report (in, out) in *execution* order: the
+    # "in" of a block is the value before it runs.
+    return out_sets, in_sets
+
+
+def facts_at(
+    problem: Problem,
+    cfg: CFG,
+    in_sets: dict[int, frozenset],
+    block: BasicBlock,
+    stmt: ast.stmt,
+    *,
+    after: bool = False,
+) -> frozenset:
+    """Statement-level facts inside a block, by replaying its transfers.
+
+    For forward problems: facts holding immediately before ``stmt`` (or
+    after it with ``after=True``).  For backward problems: facts holding
+    immediately after ``stmt`` in execution order (before it with
+    ``after=True`` — i.e. the transfer applied).
+    """
+    if problem.direction == "forward":
+        value = in_sets[block.id]
+        for s in block.stmts:
+            if s is stmt:
+                return problem.transfer_stmt(s, value) if after else value
+            value = problem.transfer_stmt(s, value)
+        raise ValueError("statement not in block")
+    # backward: walk from the block's execution-order end
+    value = in_sets[block.id]  # for backward, in_sets holds post-block facts
+    if block.test is not None:
+        value = problem.transfer_test(block.test, value)
+    for s in reversed(block.stmts):
+        if s is stmt:
+            return problem.transfer_stmt(s, value) if after else value
+        value = problem.transfer_stmt(s, value)
+    raise ValueError("statement not in block")
+
+
+# ---------------------------------------------------------------------------
+# Instances
+# ---------------------------------------------------------------------------
+
+class ReachingDefinitions(Problem):
+    """Which ``(name, line)`` definitions may reach each program point."""
+
+    direction = "forward"
+    meet = "union"
+
+    def transfer_stmt(self, stmt: ast.stmt, value: frozenset) -> frozenset:
+        defs = stmt_defs(stmt)
+        if not defs:
+            return value
+        line = getattr(stmt, "lineno", 0)
+        kept = frozenset(d for d in value if d[0] not in defs)
+        return kept | frozenset((name, line) for name in defs)
+
+
+class LiveVariables(Problem):
+    """Which names may still be read on some path from each point."""
+
+    direction = "backward"
+    meet = "union"
+
+    def transfer_stmt(self, stmt: ast.stmt, value: frozenset) -> frozenset:
+        return (value - stmt_defs(stmt)) | stmt_uses(stmt)
+
+    def transfer_test(self, test: ast.expr, value: frozenset) -> frozenset:
+        return value | expr_uses(test)

@@ -1,0 +1,289 @@
+"""May-happen-in-parallel facts for ``repro.openmp`` parallel bodies.
+
+Given one function/lambda that runs as a parallel region body, this
+module answers, per statement: *which locks are definitely held here*
+(must), *which might be held* (may), and *does only one thread execute
+this* (``single``/``master`` guards).  Two statements may race exactly
+when both can run on multiple threads and they share no must-held lock.
+
+Guards come from two complementary sources:
+
+* **Lexical** ``with critical():`` / ``with lock:`` scopes — exact,
+  because a ``with`` suite's extent is syntactic;
+* **Flow-sensitive** ``lock.acquire()`` / ``lock.release()`` pairing —
+  a forward must-analysis (intersection meet) over the CFG, so a lock
+  released on one path but not another stops being "definitely held" at
+  the join.  A parallel may-analysis (union meet) feeds the
+  "guarded-on-some-paths-only" rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from .cfg import CFG, build_cfg
+from .dataflow import Problem, solve
+
+__all__ = ["StmtFacts", "MHPAnalysis", "lock_names", "is_sync_guard",
+           "guard_key", "stmt_exec_nodes"]
+
+_LOCK_CONSTRUCTORS = frozenset({
+    "Lock", "RLock", "Semaphore", "BoundedSemaphore", "allocate_lock",
+})
+_ONE_THREAD_CALLS = frozenset({"single", "master"})
+_THREAD_ID_CALLS = frozenset({"get_thread_num", "Get_thread_num"})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def lock_names(tree: ast.AST) -> set[str]:
+    """Names bound to lock objects anywhere in ``tree``.
+
+    Recognizes both construction (``mutex = Lock()``) and the naming
+    convention (*lock* appearing in the identifier) the curriculum uses.
+    """
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            if isinstance(value, ast.Call) and _call_name(value) in _LOCK_CONSTRUCTORS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.Name) and "lock" in node.id.lower():
+            names.add(node.id)
+    return names
+
+
+def guard_key(expr: ast.AST) -> str | None:
+    """Canonical name for a ``with`` guard expression, or None."""
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr)
+        if name == "critical":
+            try:
+                return ast.unparse(expr)
+            except Exception:  # pragma: no cover - unparse is total on real ASTs
+                return "critical(...)"
+        if "lock" in name.lower():
+            return name
+        return None
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def is_sync_guard(expr: ast.AST, locks: set[str] | None = None) -> bool:
+    """Does this ``with`` item expression guard a critical section?"""
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr)
+        return name == "critical" or "lock" in name.lower()
+    if isinstance(expr, ast.Name):
+        return "lock" in expr.id.lower() or bool(locks and expr.id in locks)
+    if isinstance(expr, ast.Attribute):
+        return "lock" in expr.attr.lower()
+    return False
+
+
+def _is_one_thread_test(test: ast.AST) -> bool:
+    """``if single():`` / ``if master():`` / ``if get_thread_num() == 0:``."""
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Call) and _call_name(sub) in _ONE_THREAD_CALLS:
+            return True
+        if isinstance(sub, ast.Compare):
+            sides = [sub.left, *sub.comparators]
+            has_tid = any(
+                isinstance(s, ast.Call) and _call_name(s) in _THREAD_ID_CALLS
+                for s in sides
+            )
+            has_const = any(isinstance(s, ast.Constant) for s in sides)
+            if has_tid and has_const and all(
+                isinstance(op, ast.Eq) for op in sub.ops
+            ):
+                return True
+    return False
+
+
+def stmt_exec_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """AST nodes that execute *at* this CFG statement.
+
+    Compound statements sit in a block alongside their threaded bodies,
+    so only their header expressions count here — the body's effects are
+    applied when its own statements transfer.
+    """
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        return [n for item in stmt.items for n in ast.walk(item.context_expr)]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return list(ast.walk(stmt.iter))
+    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return []
+    out: list[ast.AST] = [stmt]
+    stack = list(ast.iter_child_nodes(stmt))
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+@dataclass(frozen=True)
+class StmtFacts:
+    """Per-statement synchronization facts inside one parallel body."""
+
+    must_locks: frozenset[str]
+    may_locks: frozenset[str]
+    one_thread: bool
+
+    @property
+    def guarded(self) -> bool:
+        return bool(self.must_locks) or self.one_thread
+
+    @property
+    def partially_guarded(self) -> bool:
+        """Held on some path but not every path — worse than no guard at
+        all, because tests that happen to take the guarded path pass."""
+        return bool(self.may_locks - self.must_locks) and not self.guarded
+
+
+class _HeldLocks(Problem):
+    """Forward lock-held analysis; ``meet`` picks must vs may."""
+
+    direction = "forward"
+
+    def __init__(self, locks: frozenset[str], meet: str) -> None:
+        self.locks = locks
+        self.meet = meet
+
+    def boundary(self, cfg: CFG) -> frozenset:
+        return frozenset()
+
+    def initial(self, cfg: CFG) -> frozenset:
+        # Must-analysis starts optimistic (top = every lock held) so the
+        # loop back-edge meet does not prematurely drop facts.
+        return self.locks if self.meet == "intersection" else frozenset()
+
+    def transfer_stmt(self, stmt: ast.stmt, value: frozenset) -> frozenset:
+        for node in stmt_exec_nodes(stmt):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)):
+                continue
+            receiver = node.func.value.id
+            if receiver not in self.locks:
+                continue
+            if node.func.attr == "acquire":
+                value = value | {receiver}
+            elif node.func.attr == "release":
+                value = value - {receiver}
+        return value
+
+
+class MHPAnalysis:
+    """Guard facts for every statement of one parallel body."""
+
+    def __init__(self, body: ast.AST, *, module: ast.AST | None = None) -> None:
+        self.body = body
+        self.cfg = build_cfg(body)
+        self.locks = frozenset(lock_names(module if module is not None else body))
+        self._facts: dict[int, StmtFacts] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------ build
+    def _compute(self) -> None:
+        must_p = _HeldLocks(self.locks, "intersection")
+        may_p = _HeldLocks(self.locks, "union")
+        must_in, _ = solve(self.cfg, must_p)
+        may_in, _ = solve(self.cfg, may_p)
+
+        # Flow facts, replayed statement by statement inside each block.
+        flow_must: dict[int, frozenset] = {}
+        flow_may: dict[int, frozenset] = {}
+        for bid in sorted(self.cfg.blocks):
+            block = self.cfg.blocks[bid]
+            must_v, may_v = must_in[bid], may_in[bid]
+            for stmt in block.stmts:
+                flow_must[id(stmt)] = must_v
+                flow_may[id(stmt)] = may_v
+                must_v = must_p.transfer_stmt(stmt, must_v)
+                may_v = may_p.transfer_stmt(stmt, may_v)
+
+        # Lexical `with` guards and one-thread branches: exact extents.
+        lex_guards: dict[int, frozenset] = {}
+        lex_single: dict[int, bool] = {}
+
+        def walk(stmts: list[ast.stmt], guards: frozenset, single: bool) -> None:
+            for stmt in stmts:
+                lex_guards[id(stmt)] = guards
+                lex_single[id(stmt)] = single
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = guards
+                    for item in stmt.items:
+                        if is_sync_guard(item.context_expr, set(self.locks)):
+                            key = guard_key(item.context_expr)
+                            if key:
+                                inner = inner | {key}
+                    walk(stmt.body, inner, single)
+                elif isinstance(stmt, ast.If):
+                    one = _is_one_thread_test(stmt.test)
+                    walk(stmt.body, guards, single or one)
+                    walk(stmt.orelse, guards, single)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                    walk(stmt.body, guards, single)
+                    walk(stmt.orelse, guards, single)
+                elif isinstance(stmt, ast.Try):
+                    walk(stmt.body, guards, single)
+                    for handler in stmt.handlers:
+                        walk(handler.body, guards, single)
+                    walk(stmt.orelse, guards, single)
+                    walk(stmt.finalbody, guards, single)
+
+        root = (
+            [ast.Expr(value=self.body.body)]
+            if isinstance(self.body, ast.Lambda)
+            else list(getattr(self.body, "body", []))
+        )
+        walk(root, frozenset(), False)
+
+        for _, stmt in self.cfg.statements():
+            key = id(stmt)
+            lex = lex_guards.get(key, frozenset())
+            self._facts[key] = StmtFacts(
+                must_locks=flow_must.get(key, frozenset()) | lex,
+                may_locks=flow_may.get(key, frozenset()) | lex,
+                one_thread=lex_single.get(key, False),
+            )
+
+    # ---------------------------------------------------------------- queries
+    def facts(self, stmt: ast.stmt) -> StmtFacts:
+        """Facts for a CFG statement; unknown statements get no guards."""
+        return self._facts.get(
+            id(stmt), StmtFacts(frozenset(), frozenset(), False))
+
+    def enclosing_stmt(self, node: ast.AST) -> ast.stmt | None:
+        """The CFG statement lexically containing ``node`` (or the node
+        itself if it is one)."""
+        if id(node) in self._facts:
+            return node  # type: ignore[return-value]
+        for _, stmt in self.cfg.statements():
+            for sub in ast.walk(stmt):
+                if sub is node:
+                    return stmt
+        return None
+
+    def may_race(self, a: ast.stmt, b: ast.stmt) -> bool:
+        """Can these two statements execute concurrently unordered?"""
+        fa, fb = self.facts(a), self.facts(b)
+        if fa.one_thread and fb.one_thread:
+            return False
+        return not (fa.must_locks & fb.must_locks)

@@ -1,0 +1,908 @@
+"""Static MPI protocol checking by per-rank abstract interpretation.
+
+``mpicheck`` finds deadlocks *dynamically* — it has to run the program.
+This module finds the same protocol bugs statically: it evaluates an
+SPMD body once per rank (rank 0 and 1 of a 2-process world), resolving
+rank-constant conditions (``if rank == 0:``), and records the concrete
+trace of ``send``/``recv``/collective operations each rank would issue.
+A small matching simulator then plays the traces against each other:
+
+* every rank blocked in the same ``recv`` → the symmetric exchange
+  deadlock (PDC103);
+* blocked recvs forming an asymmetric wait cycle → PDC110;
+* one rank inside a collective the others never call → PDC104;
+* all ranks in collectives, but in different orders → PDC111;
+* a ``recv`` whose sender already finished, or a ``send`` nobody ever
+  receives → PDC112.
+
+The evaluator is deliberately honest about its limits: any construct it
+cannot follow *that involves communication* (``while`` loops around comm
+ops, wildcard sources, unknown branch conditions guarding sends) raises
+:class:`Ambiguous`, and the caller falls back to the older lexical
+heuristics rather than guessing.  A correct program never gains a
+finding from ambiguity.
+"""
+
+from __future__ import annotations
+
+import ast
+import operator
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Ambiguous",
+    "Op",
+    "RankTrace",
+    "ProtocolFinding",
+    "spmd_roots",
+    "extract_traces",
+    "simulate",
+    "check_protocol",
+    "WILDCARD_TAG",
+]
+
+#: simulated world size — the smallest SPMD world that exhibits cycles
+R = 2
+#: recv with no explicit tag matches any tag
+WILDCARD_TAG = "*"
+
+_MAX_LOOP_ITERS = 64
+_MAX_STEPS = 4000
+_MAX_INLINE_DEPTH = 1
+
+_SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend", "isend", "Isend",
+                           "ibsend", "bsend", "Bsend"})
+_RECV_METHODS = frozenset({"recv", "Recv", "irecv", "Irecv"})
+_COLLECTIVE_METHODS = frozenset({
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce", "allreduce", "Allreduce", "allgather", "Allgather",
+    "alltoall", "Alltoall", "barrier", "Barrier", "scan", "Scan", "exscan",
+})
+_ROOTED_COLLECTIVES = frozenset({
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce",
+})
+_NEW_COMM_METHODS = frozenset({"Create_cart", "Split", "Dup", "Clone"})
+_COMM_METHODS = _SEND_METHODS | _RECV_METHODS | _COLLECTIVE_METHODS | {"sendrecv"}
+
+_SAFE_BUILTINS = {
+    "range": range, "len": len, "abs": abs, "min": min, "max": max,
+    "int": int, "float": float, "sum": sum, "divmod": divmod, "list": list,
+    "tuple": tuple, "sorted": sorted, "str": str, "bool": bool,
+}
+
+_BINOPS = {
+    ast.Add: operator.add, ast.Sub: operator.sub, ast.Mult: operator.mul,
+    ast.FloorDiv: operator.floordiv, ast.Mod: operator.mod,
+    ast.Div: operator.truediv, ast.Pow: operator.pow,
+    ast.BitXor: operator.xor, ast.BitAnd: operator.and_,
+    ast.BitOr: operator.or_, ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+}
+_CMPOPS = {
+    ast.Eq: operator.eq, ast.NotEq: operator.ne, ast.Lt: operator.lt,
+    ast.LtE: operator.le, ast.Gt: operator.gt, ast.GtE: operator.ge,
+}
+
+
+class Ambiguous(Exception):
+    """The body does something the static evaluator cannot follow."""
+
+
+class _Unknown:
+    _instance: "_Unknown | None" = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unknown>"
+
+
+UNKNOWN = _Unknown()
+
+
+class _Comm:
+    """Sentinel standing in for the communicator object."""
+
+
+class _Return(Exception):
+    pass
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+@dataclass(frozen=True)
+class Op:
+    """One communication operation in a rank's trace."""
+
+    kind: str  # "send" | "recv" | "coll"
+    line: int
+    dest: int | None = None
+    source: int | None = None
+    tag: object = None
+    name: str = ""  # collective method name
+    root: int | None = None
+
+    def key(self) -> tuple:
+        """Shape key: identical across ranks for symmetric code."""
+        return (self.kind, self.line, self.name)
+
+
+@dataclass
+class RankTrace:
+    rank: int
+    ops: list[Op] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class ProtocolFinding:
+    rule: str
+    line: int
+    message: str
+    severity: str  # "error" | "warning"
+    details: dict = field(default_factory=dict)
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# SPMD root discovery
+# ---------------------------------------------------------------------------
+
+def _comm_param(func: ast.AST) -> str | None:
+    args = getattr(func, "args", None)
+    if args is None:
+        return None
+    params = [a.arg for a in args.args]
+    if "comm" in params:
+        return "comm"
+    return None
+
+
+def spmd_roots(tree: ast.AST) -> list[ast.AST]:
+    """Functions that run SPMD — one evaluation per rank.
+
+    A function qualifies when it is passed to ``mpirun``/``run_script``/
+    ``trace_run``, or takes a ``comm`` parameter *and is not called* by
+    other code in the module (those are helpers, analyzed inline at
+    their call sites instead of as independent roots).
+    """
+    launched: list[ast.AST] = []
+    called_names: set[str] = set()
+    defs: dict[str, ast.AST] = {}
+    comm_param_funcs: list[ast.AST] = []
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+            if _comm_param(node):
+                comm_param_funcs.append(node)
+        elif isinstance(node, ast.Lambda) and _comm_param(node):
+            comm_param_funcs.append(node)
+        elif isinstance(node, ast.Call):
+            if _call_name(node) in ("mpirun", "run_script", "trace_run"):
+                if node.args:
+                    arg = node.args[0]
+                    if isinstance(arg, ast.Lambda):
+                        launched.append(arg)
+                    elif isinstance(arg, ast.Name):
+                        launched.append(arg.id)  # resolve after the walk
+            elif isinstance(node.func, ast.Name):
+                called_names.add(node.func.id)
+
+    roots: list[ast.AST] = []
+    seen: set[int] = set()
+
+    def add(func: ast.AST) -> None:
+        if id(func) not in seen:
+            seen.add(id(func))
+            roots.append(func)
+
+    for item in launched:
+        func = defs.get(item) if isinstance(item, str) else item
+        if func is not None:
+            add(func)
+    for func in comm_param_funcs:
+        name = getattr(func, "name", None)
+        if name is None or name not in called_names:
+            add(func)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# Per-rank evaluation
+# ---------------------------------------------------------------------------
+
+def _parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    parents: dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def _constant_bindings(scope_body: list[ast.stmt]) -> dict[str, object]:
+    """``NAME = 3`` / ``A, B = 1, 2`` constant bindings in one suite."""
+    env: dict[str, object] = {}
+    for stmt in scope_body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        for target in stmt.targets:
+            if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Constant):
+                env[target.id] = stmt.value.value
+            elif (isinstance(target, ast.Tuple)
+                  and isinstance(stmt.value, ast.Tuple)
+                  and len(target.elts) == len(stmt.value.elts)):
+                for t, v in zip(target.elts, stmt.value.elts):
+                    if isinstance(t, ast.Name) and isinstance(v, ast.Constant):
+                        env[t.id] = v.value
+    return env
+
+
+def _enclosing_env(tree: ast.AST, func: ast.AST) -> dict[str, object]:
+    """Constants visible to ``func`` from the module and enclosing defs."""
+    parents = _parent_map(tree)
+    chain: list[ast.AST] = []
+    node: ast.AST | None = func
+    while node is not None:
+        node = parents.get(id(node))
+        if isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)):
+            chain.append(node)
+    env: dict[str, object] = {}
+    for scope in reversed(chain):  # outermost first; inner shadows outer
+        env.update(_constant_bindings(list(scope.body)))
+    return env
+
+
+class _Eval:
+    """Evaluate one function body for one concrete rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        defs: dict[str, ast.AST],
+        base_env: dict[str, object],
+        steps: list[int],
+        depth: int = 0,
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.defs = defs
+        self.env: dict[str, object] = dict(base_env)
+        self.steps = steps  # shared mutable step budget
+        self.depth = depth
+        self.ops: list[Op] = []
+
+    # ------------------------------------------------------------------ entry
+    def run(self, func: ast.AST, comm_args: dict[str, object]) -> None:
+        args = getattr(func, "args", None)
+        if args is not None:
+            params = [a.arg for a in args.args]
+            defaults = list(args.defaults)
+            # right-align defaults with params
+            for param, default in zip(params[len(params) - len(defaults):],
+                                      defaults):
+                if isinstance(default, ast.Constant):
+                    self.env.setdefault(param, default.value)
+                else:
+                    self.env.setdefault(param, UNKNOWN)
+            for param in params:
+                self.env.setdefault(param, UNKNOWN)
+        self.env.update(comm_args)
+        body = (
+            [ast.Expr(value=func.body)] if isinstance(func, ast.Lambda)
+            else list(func.body)
+        )
+        try:
+            self.exec_suite(body)
+        except _Return:
+            pass
+
+    # ---------------------------------------------------------------- helpers
+    def _tick(self) -> None:
+        self.steps[0] += 1
+        if self.steps[0] > _MAX_STEPS:
+            raise Ambiguous("evaluation budget exceeded")
+
+    def _comm_names(self) -> set[str]:
+        return {name for name, val in self.env.items() if isinstance(val, _Comm)}
+
+    def _has_comm_ops(self, node: ast.AST) -> bool:
+        comm_names = self._comm_names()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Call):
+                continue
+            func = sub.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in comm_names
+                    and func.attr in _COMM_METHODS):
+                return True
+            # passing the communicator somewhere we cannot follow
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in comm_names:
+                    return True
+        return False
+
+    # ------------------------------------------------------------- statements
+    def exec_suite(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, UNKNOWN)
+                op = _BINOPS.get(type(stmt.op))
+                if (op is not None and current is not UNKNOWN
+                        and value is not UNKNOWN):
+                    try:
+                        self.env[stmt.target.id] = op(current, value)
+                    except Exception:
+                        self.env[stmt.target.id] = UNKNOWN
+                else:
+                    self.env[stmt.target.id] = UNKNOWN
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.eval_expr(stmt.value) if stmt.value else UNKNOWN
+            self._bind(stmt.target, value)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.While):
+            if self._has_comm_ops(stmt):
+                raise Ambiguous("while loop around communication")
+            self._havoc(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval_expr(stmt.value)
+            raise _Return
+        elif isinstance(stmt, ast.Raise):
+            raise _Return  # this rank stops here
+        elif isinstance(stmt, ast.Break):
+            raise _Break
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value)
+            self.exec_suite(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                if self._has_comm_ops(handler):
+                    raise Ambiguous("communication in exception handler")
+            self.exec_suite(stmt.body)
+            self.exec_suite(stmt.orelse)
+            self.exec_suite(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.defs = dict(self.defs)
+            self.defs[stmt.name] = stmt
+            self.env[stmt.name] = UNKNOWN
+        elif isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test)
+        elif isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal,
+                               ast.Import, ast.ImportFrom, ast.Delete)):
+            pass
+        else:
+            if self._has_comm_ops(stmt):
+                raise Ambiguous(
+                    f"unsupported statement {type(stmt).__name__} with comm ops")
+
+    def _bind(self, target: ast.expr, value: object) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (tuple, list)) and len(value) == len(target.elts):
+                for t, v in zip(target.elts, value):
+                    self._bind(t, v)
+            else:
+                for t in target.elts:
+                    self._bind(t, UNKNOWN)
+        # attribute/subscript targets carry no tracked state
+
+    def _havoc(self, stmt: ast.stmt) -> None:
+        """Skip a statement we will not execute; clobber what it binds."""
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self.env[sub.id] = UNKNOWN
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        test = self.eval_expr(stmt.test)
+        if test is UNKNOWN:
+            if any(self._has_comm_ops(s) for s in stmt.body + stmt.orelse):
+                raise Ambiguous("unknown branch condition guards communication")
+            self._havoc(stmt)
+            return
+        branch = stmt.body if test else stmt.orelse
+        self.exec_suite(branch)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iterable = self.eval_expr(stmt.iter)
+        concrete = isinstance(iterable, (list, tuple, range, str))
+        if not concrete or len(iterable) > _MAX_LOOP_ITERS:
+            if self._has_comm_ops(stmt):
+                raise Ambiguous("loop bounds unknown around communication")
+            self._havoc(stmt)
+            return
+        broke = False
+        for item in iterable:
+            self._bind(stmt.target, item)
+            try:
+                self.exec_suite(stmt.body)
+            except _Break:
+                broke = True
+                break
+            except _Continue:
+                continue
+        if not broke:
+            self.exec_suite(stmt.orelse)
+
+    # ------------------------------------------------------------ expressions
+    def eval_expr(self, expr: ast.expr) -> object:
+        self._tick()
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.id == "ANY_TAG":
+                return WILDCARD_TAG
+            if expr.id == "ANY_SOURCE":
+                return UNKNOWN
+            return self.env.get(expr.id, UNKNOWN)
+        if isinstance(expr, (ast.Tuple, ast.List)):
+            values = [self.eval_expr(e) for e in expr.elts]
+            return tuple(values) if isinstance(expr, ast.Tuple) else values
+        if isinstance(expr, ast.BinOp):
+            left = self.eval_expr(expr.left)
+            right = self.eval_expr(expr.right)
+            op = _BINOPS.get(type(expr.op))
+            if op is None or left is UNKNOWN or right is UNKNOWN:
+                return UNKNOWN
+            try:
+                return op(left, right)
+            except Exception:
+                return UNKNOWN
+        if isinstance(expr, ast.UnaryOp):
+            value = self.eval_expr(expr.operand)
+            if value is UNKNOWN:
+                return UNKNOWN
+            try:
+                if isinstance(expr.op, ast.USub):
+                    return -value
+                if isinstance(expr.op, ast.UAdd):
+                    return +value
+                if isinstance(expr.op, ast.Not):
+                    return not value
+                if isinstance(expr.op, ast.Invert):
+                    return ~value
+            except Exception:
+                return UNKNOWN
+            return UNKNOWN
+        if isinstance(expr, ast.Compare):
+            left = self.eval_expr(expr.left)
+            result = True
+            for op_node, comparator in zip(expr.ops, expr.comparators):
+                right = self.eval_expr(comparator)
+                op = _CMPOPS.get(type(op_node))
+                if op is None or left is UNKNOWN or right is UNKNOWN:
+                    result = UNKNOWN
+                    left = right
+                    continue
+                try:
+                    if result is not UNKNOWN and not op(left, right):
+                        result = False
+                except Exception:
+                    result = UNKNOWN
+                left = right
+            return result
+        if isinstance(expr, ast.BoolOp):
+            values = [self.eval_expr(v) for v in expr.values]
+            if any(v is UNKNOWN for v in values):
+                return UNKNOWN
+            if isinstance(expr.op, ast.And):
+                return all(values)
+            return any(values)
+        if isinstance(expr, ast.IfExp):
+            test = self.eval_expr(expr.test)
+            if test is UNKNOWN:
+                if self._has_comm_ops(expr.body) or self._has_comm_ops(expr.orelse):
+                    raise Ambiguous("unknown conditional expression with comm ops")
+                return UNKNOWN
+            return self.eval_expr(expr.body if test else expr.orelse)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            self.eval_expr(expr.value)
+            return UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            base = self.eval_expr(expr.value)
+            index = self.eval_expr(expr.slice)
+            if base is not UNKNOWN and index is not UNKNOWN:
+                try:
+                    return base[index]
+                except Exception:
+                    return UNKNOWN
+            return UNKNOWN
+        if isinstance(expr, ast.JoinedStr):
+            for part in expr.values:
+                if isinstance(part, ast.FormattedValue):
+                    self.eval_expr(part.value)
+            return UNKNOWN
+        if isinstance(expr, (ast.Lambda, ast.Dict, ast.Set, ast.ListComp,
+                             ast.SetComp, ast.DictComp, ast.GeneratorExp,
+                             ast.Starred, ast.Slice)):
+            if self._has_comm_ops(expr):
+                raise Ambiguous(
+                    f"comm ops inside {type(expr).__name__} expression")
+            return UNKNOWN
+        # Anything else: evaluate children for effects, result unknown.
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child)
+        return UNKNOWN
+
+    # ------------------------------------------------------------------ calls
+    def _arg(self, call: ast.Call, position: int, keyword: str,
+             default: object = None) -> object:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return self.eval_expr(kw.value)
+        if len(call.args) > position:
+            return self.eval_expr(call.args[position])
+        return default
+
+    def eval_call(self, call: ast.Call) -> object:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = self.eval_expr(func.value)
+            if isinstance(base, _Comm):
+                return self._comm_call(call, func.attr)
+            # unknown receiver: evaluate arguments for effects
+            for arg in call.args:
+                self.eval_expr(arg)
+            for kw in call.keywords:
+                self.eval_expr(kw.value)
+            return UNKNOWN
+        if isinstance(func, ast.Name):
+            name = func.id
+            arg_values = [self.eval_expr(a) for a in call.args]
+            kw_values = {kw.arg: self.eval_expr(kw.value)
+                         for kw in call.keywords if kw.arg}
+            target = self.defs.get(name)
+            if target is not None and any(
+                    isinstance(v, _Comm)
+                    for v in list(arg_values) + list(kw_values.values())):
+                return self._inline(target, arg_values, kw_values)
+            if name in _SAFE_BUILTINS and all(
+                    v is not UNKNOWN and not isinstance(v, _Comm)
+                    for v in arg_values) and not kw_values:
+                try:
+                    return _SAFE_BUILTINS[name](*arg_values)
+                except Exception:
+                    return UNKNOWN
+            if any(isinstance(v, _Comm)
+                   for v in list(arg_values) + list(kw_values.values())):
+                raise Ambiguous(
+                    f"communicator passed to unresolvable call '{name}'")
+            return UNKNOWN
+        # calls on computed callables: evaluate operands, give up on value
+        self.eval_expr(func)
+        for arg in call.args:
+            self.eval_expr(arg)
+        return UNKNOWN
+
+    def _inline(self, target: ast.AST, args: list[object],
+                kwargs: dict[str, object]) -> object:
+        if self.depth >= _MAX_INLINE_DEPTH:
+            if self._has_comm_ops(target):
+                raise Ambiguous("communication beyond the helper-inlining depth")
+            return UNKNOWN
+        inner = _Eval(self.rank, self.size, self.defs, {},
+                      self.steps, self.depth + 1)
+        params = [a.arg for a in target.args.args]
+        bound: dict[str, object] = {}
+        for param, value in zip(params, args):
+            bound[param] = value
+        bound.update({k: v for k, v in kwargs.items() if k in params})
+        inner.run(target, bound)
+        self.ops.extend(inner.ops)
+        return UNKNOWN
+
+    def _comm_call(self, call: ast.Call, method: str) -> object:
+        line = call.lineno
+        if method == "Get_rank":
+            return self.rank
+        if method == "Get_size":
+            return self.size
+        if method in _SEND_METHODS:
+            if call.args:
+                self.eval_expr(call.args[0])  # payload may nest comm ops
+            dest = self._arg(call, 1, "dest")
+            tag = self._arg(call, 2, "tag", 0)
+            if not isinstance(dest, int) or not isinstance(tag, (int, str)):
+                raise Ambiguous(f"unresolvable send endpoint at line {line}")
+            self.ops.append(Op("send", line, dest=dest % self.size, tag=tag))
+            return UNKNOWN
+        if method in _RECV_METHODS:
+            source = self._arg(call, 1, "source", UNKNOWN)
+            tag = self._arg(call, 2, "tag", WILDCARD_TAG)
+            if not isinstance(source, int):
+                raise Ambiguous(f"unresolvable recv source at line {line}")
+            if tag is UNKNOWN:
+                tag = WILDCARD_TAG
+            self.ops.append(Op("recv", line, source=source % self.size, tag=tag))
+            return UNKNOWN
+        if method == "sendrecv":
+            if call.args:
+                self.eval_expr(call.args[0])
+            dest = self._arg(call, 1, "dest")
+            sendtag = self._arg(call, 2, "sendtag", 0)
+            source = self._arg(call, 4, "source", UNKNOWN)
+            recvtag = self._arg(call, 5, "recvtag", WILDCARD_TAG)
+            if not isinstance(dest, int) or not isinstance(source, int):
+                raise Ambiguous(f"unresolvable sendrecv endpoints at line {line}")
+            if recvtag is UNKNOWN:
+                recvtag = WILDCARD_TAG
+            self.ops.append(Op("send", line, dest=dest % self.size, tag=sendtag))
+            self.ops.append(Op("recv", line, source=source % self.size,
+                               tag=recvtag))
+            return UNKNOWN
+        if method in _COLLECTIVE_METHODS:
+            for arg in call.args:
+                self.eval_expr(arg)
+            root: object = None
+            if method in _ROOTED_COLLECTIVES:
+                root = self._arg(call, 1, "root", 0)
+                if not isinstance(root, int):
+                    raise Ambiguous(f"unresolvable collective root at line {line}")
+                root %= self.size
+            self.ops.append(Op("coll", line, name=method.lower(), root=root))
+            return UNKNOWN
+        if method in _NEW_COMM_METHODS:
+            for arg in call.args:
+                self.eval_expr(arg)
+            return UNKNOWN  # derived communicators are not tracked
+        # Other communicator methods (Get_processor_name, Wtime, ...) are
+        # communication-free.
+        for arg in call.args:
+            self.eval_expr(arg)
+        for kw in call.keywords:
+            self.eval_expr(kw.value)
+        return UNKNOWN
+
+
+def extract_traces(func: ast.AST, tree: ast.AST, *, size: int = R) -> list[RankTrace]:
+    """Evaluate ``func`` once per rank; raises :class:`Ambiguous`."""
+    defs: dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            defs.setdefault(node.name, node)
+    base_env = _enclosing_env(tree, func)
+    comm_name = _comm_param(func) or (
+        func.args.args[0].arg if getattr(func, "args", None) and func.args.args
+        else "comm")
+    traces = []
+    for rank in range(size):
+        ev = _Eval(rank, size, defs, base_env, steps=[0])
+        ev.run(func, {comm_name: _Comm()})
+        traces.append(RankTrace(rank=rank, ops=ev.ops))
+    return traces
+
+
+# ---------------------------------------------------------------------------
+# Trace matching
+# ---------------------------------------------------------------------------
+
+def _coll_key(op: Op) -> tuple:
+    return (op.name, op.root)
+
+
+def simulate(traces: list[RankTrace]) -> list[ProtocolFinding]:
+    """Play the per-rank traces against each other; classify stuck states."""
+    size = len(traces)
+    pc = [0] * size
+    channels: dict[tuple[int, int], list[Op]] = {}
+
+    def current(r: int) -> Op | None:
+        ops = traces[r].ops
+        return ops[pc[r]] if pc[r] < len(ops) else None
+
+    progress = True
+    while progress:
+        progress = False
+        for r in range(size):
+            op = current(r)
+            if op is None:
+                continue
+            if op.kind == "send":
+                channels.setdefault((r, op.dest), []).append(op)
+                pc[r] += 1
+                progress = True
+            elif op.kind == "recv":
+                queue = channels.get((op.source, r), [])
+                for i, msg in enumerate(queue):
+                    if op.tag == WILDCARD_TAG or msg.tag == op.tag:
+                        queue.pop(i)
+                        pc[r] += 1
+                        progress = True
+                        break
+            elif op.kind == "coll":
+                others = [current(o) for o in range(size) if o != r]
+                if all(o is not None and o.kind == "coll"
+                       and _coll_key(o) == _coll_key(op) for o in others):
+                    for o in range(size):
+                        pc[o] += 1
+                    progress = True
+
+    blocked = {r: current(r) for r in range(size) if current(r) is not None}
+    if not blocked:
+        return _classify_completed(traces, channels)
+    return [_classify_stuck(traces, blocked, pc)]
+
+
+def _classify_completed(
+    traces: list[RankTrace],
+    channels: dict[tuple[int, int], list[Op]],
+) -> list[ProtocolFinding]:
+    findings: list[ProtocolFinding] = []
+    leftover_lines: dict[int, int] = {}
+    for queue in channels.values():
+        for msg in queue:
+            leftover_lines[msg.line] = leftover_lines.get(msg.line, 0) + 1
+    for line, count in sorted(leftover_lines.items()):
+        findings.append(ProtocolFinding(
+            rule="PDC112", line=line, severity="warning",
+            message=(f"{count} message(s) sent here are never received by "
+                     "any rank — a send/recv count mismatch"),
+            details={"unreceived": count},
+        ))
+    if findings:
+        return findings
+
+    # Symmetric send-before-recv completes under buffering, but blocks the
+    # moment messages stop fitting — keep flagging the classroom shape.
+    keys = [tuple(op.key() for op in t.ops) for t in traces]
+    p2p = [[op for op in t.ops if op.kind != "coll"] for t in traces]
+    if (all(k == keys[0] for k in keys) and all(ops for ops in p2p)
+            and all(ops[0].kind == "send" for ops in p2p)
+            and all(any(op.kind == "recv" for op in ops) for ops in p2p)):
+        line = p2p[0][0].line
+        findings.append(ProtocolFinding(
+            rule="PDC103", line=line, severity="warning",
+            message=("every rank send()s before it recv()s; blocking sends "
+                     "deadlock as soon as messages stop fitting in buffers"),
+        ))
+    return findings
+
+
+def _classify_stuck(
+    traces: list[RankTrace],
+    blocked: dict[int, Op],
+    pc: list[int],
+) -> ProtocolFinding:
+    size = len(traces)
+    done = [r for r in range(size) if r not in blocked]
+    kinds = {op.kind for op in blocked.values()}
+    keys = [tuple(op.key() for op in t.ops) for t in traces]
+    symmetric = all(k == keys[0] for k in keys)
+
+    if kinds == {"recv"}:
+        if symmetric and len(blocked) == size:
+            op = blocked[0]
+            return ProtocolFinding(
+                rule="PDC103", line=op.line, severity="error",
+                message=("every rank blocks in recv() before reaching its "
+                         "send() — the symmetric exchange deadlocks"),
+                details={"ranks": sorted(blocked)},
+            )
+        # Is every blocked rank waiting on another blocked rank?
+        if all(op.source in blocked for op in blocked.values()):
+            first = min(blocked.values(), key=lambda op: op.line)
+            cycle = " -> ".join(
+                f"rank {r} waits for rank {blocked[r].source} "
+                f"(recv at line {blocked[r].line})"
+                for r in sorted(blocked)
+            )
+            return ProtocolFinding(
+                rule="PDC110", line=first.line, severity="error",
+                message=(f"ranks deadlock in a message-wait cycle: {cycle}"),
+                details={"cycle": sorted(blocked)},
+            )
+        stuck = min(
+            (op for op in blocked.values() if op.source not in blocked),
+            key=lambda op: op.line,
+        )
+        return ProtocolFinding(
+            rule="PDC112", line=stuck.line, severity="error",
+            message=(f"recv() from rank {stuck.source} can never complete: "
+                     "that rank finishes without sending a matching message"),
+            details={"source": stuck.source},
+        )
+
+    if kinds == {"coll"}:
+        if done:
+            op = min(blocked.values(), key=lambda op: op.line)
+            return ProtocolFinding(
+                rule="PDC104", line=op.line, severity="error",
+                message=(f"collective '{op.name}' is only reached by a subset "
+                         "of ranks (it sits inside a rank conditional); the "
+                         "other ranks never enter the collective and the "
+                         "program hangs"),
+                details={"collective": op.name,
+                         "missing_ranks": done},
+            )
+        remaining = [
+            sorted(_coll_key(op) for op in traces[r].ops[pc[r]:]
+                   if op.kind == "coll")
+            for r in range(size)
+        ]
+        if all(r == remaining[0] for r in remaining):
+            op = blocked[0]
+            order = ", then ".join(
+                f"rank {r}: '{blocked[r].name}' (line {blocked[r].line})"
+                for r in sorted(blocked)
+            )
+            return ProtocolFinding(
+                rule="PDC111", line=op.line, severity="error",
+                message=("ranks call the same collectives in different "
+                         f"orders — {order}; collective calls must match "
+                         "in program order on every rank"),
+                details={"order": order},
+            )
+        op = min(blocked.values(), key=lambda op: op.line)
+        return ProtocolFinding(
+            rule="PDC104", line=op.line, severity="error",
+            message=(f"collective '{op.name}' is not matched by every rank: "
+                     "the ranks disagree on which collectives they will "
+                     "call, and all of them hang"),
+            details={"collective": op.name},
+        )
+
+    # Mixed point-to-point / collective stuck state.
+    op = min(blocked.values(), key=lambda op: op.line)
+    what = ", ".join(
+        f"rank {r} in {blocked[r].kind} (line {blocked[r].line})"
+        for r in sorted(blocked)
+    )
+    return ProtocolFinding(
+        rule="PDC110", line=op.line, severity="error",
+        message=f"ranks deadlock waiting on mismatched operations: {what}",
+        details={"blocked": what},
+    )
+
+
+def check_protocol(func: ast.AST, tree: ast.AST) -> list[ProtocolFinding] | None:
+    """Protocol findings for one SPMD root, or None when ambiguous."""
+    try:
+        traces = extract_traces(func, tree)
+    except Ambiguous:
+        return None
+    except RecursionError:  # pragma: no cover - pathological inputs
+        return None
+    return simulate(traces)

@@ -21,6 +21,16 @@ Intentional teaching bugs are annotated in-source with
 catalog.
 """
 
+from .baseline import (
+    DEADLOCK_RULES,
+    RACY_RULES,
+    apply_baseline,
+    explore_hints,
+    finding_fingerprint,
+    load_baseline,
+    render_github,
+    write_baseline,
+)
 from .cpragma import (
     Clause,
     CPragmaError,
@@ -59,4 +69,12 @@ __all__ = [
     "parse_pragma",
     "parse_source",
     "check_clistings",
+    "RACY_RULES",
+    "DEADLOCK_RULES",
+    "finding_fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+    "render_github",
+    "explore_hints",
 ]

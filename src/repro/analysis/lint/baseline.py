@@ -1,0 +1,141 @@
+"""Baseline ratchets, CI annotations, and exploration seeds for pdclint.
+
+Three small consumers of an :class:`~repro.analysis.diagnostics.AnalysisReport`:
+
+* **Baseline ratchet** — ``repro lint --baseline known.json`` moves every
+  finding whose fingerprint appears in the baseline file into the
+  ``suppressed`` bucket, so legacy debt stays visible but non-fatal while
+  *new* findings still fail the build.  Fingerprints deliberately omit the
+  line number (``rule|file|message``) so unrelated edits above a known
+  finding do not break the ratchet; ``--update-baseline`` rewrites the
+  file from the current findings, which is how the debt shrinks.
+* **GitHub annotations** — ``--format github`` renders findings as
+  ``::error file=...,line=...`` workflow commands so CI runs mark up the
+  diff in place.
+* **Exploration seeds** — :func:`explore_hints` distills the static
+  findings (including suppressed teaching bugs) into racy/deadlock hint
+  lists that ``repro explore --seed-from-lint`` uses to prioritize
+  conflict-flipping schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any
+
+from ..diagnostics import ERROR, AnalysisReport, Diagnostic
+
+__all__ = [
+    "RACY_RULES",
+    "DEADLOCK_RULES",
+    "finding_fingerprint",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+    "render_github",
+    "explore_hints",
+]
+
+#: Rules whose findings point at thread-interleaving (schedule) bugs.
+RACY_RULES = frozenset({"PDC101", "PDC105", "PDC107", "PDC108", "PDC202"})
+#: Rules whose findings point at blocking/communication (deadlock) bugs.
+DEADLOCK_RULES = frozenset({
+    "PDC102", "PDC103", "PDC104", "PDC106",
+    "PDC110", "PDC111", "PDC112", "PDC201",
+})
+
+
+def finding_fingerprint(diagnostic: Diagnostic) -> str:
+    """Stable identity of one finding: ``rule|file|message`` (no line)."""
+    location = diagnostic.location or ""
+    label, _, tail = location.rpartition(":")
+    if not tail.isdigit():
+        label = location
+    rule = str(diagnostic.details.get("rule", ""))
+    return f"{rule}|{label}|{diagnostic.message}"
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> Path:
+    """Record the report's current findings as the accepted baseline."""
+    path = Path(path)
+    payload = {
+        "engine": report.engine,
+        "fingerprints": sorted(
+            finding_fingerprint(d) for d in report.diagnostics
+        ),
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> list[str]:
+    payload = json.loads(Path(path).read_text())
+    fingerprints = payload.get("fingerprints")
+    if not isinstance(fingerprints, list):
+        raise ValueError(f"{path}: not a pdclint baseline (no fingerprint list)")
+    return [str(f) for f in fingerprints]
+
+
+def apply_baseline(report: AnalysisReport, fingerprints: list[str]) -> AnalysisReport:
+    """Move baselined findings to ``suppressed``; leave new ones fatal.
+
+    Matching is multiset-style: three identical legacy findings in the
+    baseline excuse at most three in the report, so *adding* a fourth
+    instance of a known mistake still fails.
+    """
+    budget = Counter(fingerprints)
+    kept: list[Diagnostic] = []
+    for diagnostic in report.diagnostics:
+        fingerprint = finding_fingerprint(diagnostic)
+        if budget[fingerprint] > 0:
+            budget[fingerprint] -= 1
+            report.add_suppressed(diagnostic)
+        else:
+            kept.append(diagnostic)
+    report.diagnostics[:] = kept
+    return report
+
+
+def render_github(report: AnalysisReport) -> str:
+    """Findings as GitHub Actions workflow commands, one per line."""
+    lines = []
+    for diagnostic in report.sorted_diagnostics():
+        location = diagnostic.location or ""
+        label, _, tail = location.rpartition(":")
+        file, line = (label, tail) if tail.isdigit() else (location, "1")
+        level = "error" if diagnostic.severity == ERROR else "warning"
+        rule = str(diagnostic.details.get("rule", diagnostic.kind))
+        message = diagnostic.message.replace("\n", " ")
+        lines.append(
+            f"::{level} file={file},line={line},title=pdclint {rule}::{message}"
+        )
+    lines.append(
+        f"pdclint: {len(report.errors)} error(s), "
+        f"{len(report.warnings)} warning(s), "
+        f"{len(report.suppressed)} suppressed/baselined"
+    )
+    return "\n".join(lines)
+
+
+def explore_hints(report: AnalysisReport) -> dict[str, Any]:
+    """Racy/deadlock hints for schedule exploration, from static findings.
+
+    Suppressed findings count too: the curriculum's intentional bugs are
+    annotated with ``pdclint: disable=...`` precisely so the linter knows
+    about them, and they are what exploration should aim at.
+    """
+    hints: dict[str, Any] = {"racy": [], "deadlock": []}
+    for diagnostic in (*report.diagnostics, *report.suppressed):
+        rule = str(diagnostic.details.get("rule", ""))
+        entry = {
+            "rule": rule,
+            "kind": diagnostic.kind,
+            "location": diagnostic.location,
+        }
+        if rule in RACY_RULES:
+            hints["racy"].append(entry)
+        elif rule in DEADLOCK_RULES:
+            hints["deadlock"].append(entry)
+    return hints

@@ -119,7 +119,7 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> list[Rule]:
     """Every registered rule, ordered by id (imports register on demand)."""
-    from . import cpragma, pyrules  # noqa: F401  (importing registers the rules)
+    from . import cpragma, protorules, pyrules  # noqa: F401  (registers rules)
 
     return sorted(_RULES, key=lambda r: r.id)
 

@@ -1,0 +1,268 @@
+"""MPI protocol rules backed by the static checker in ``analysis.flow``.
+
+PDC103/PDC104 used to be lexical pattern matches; they are now fed by
+:func:`repro.analysis.flow.protocol.check_protocol`, which evaluates each
+SPMD body once per rank and plays the resulting send/recv/collective
+traces against each other.  Three new rules report what only the
+simulation can see:
+
+* **PDC110** — an asymmetric message-wait cycle (rank 0 waits on rank 1
+  which waits on rank 0, through different code paths);
+* **PDC111** — every rank calls the same collectives but in different
+  orders;
+* **PDC112** — send/recv count mismatches: a ``recv`` whose sender
+  finishes without sending (error), or buffered sends nobody receives
+  (warning).
+
+When a body is :class:`~repro.analysis.flow.protocol.Ambiguous` — a
+``while`` loop around communication, a wildcard source — PDC103/PDC104
+fall back to the old lexical heuristics and the protocol-only rules stay
+silent: ambiguity never creates findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import ERROR, WARNING, Diagnostic
+from ..flow.protocol import ProtocolFinding, check_protocol, spmd_roots
+from .engine import Rule, SourceFile, register_rule
+
+_SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend"})
+_RECV_METHODS = frozenset({"recv", "Recv"})
+_COLLECTIVE_METHODS = frozenset({
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce", "allreduce", "Allreduce", "allgather", "Allgather",
+    "alltoall", "Alltoall", "barrier", "Barrier", "scan", "Scan", "exscan",
+})
+
+
+def _call_name(node: ast.Call) -> str:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _protocol_results(src: SourceFile) -> dict:
+    """Run the protocol checker once per source file; cache the verdicts."""
+    if "protocol" not in src.cache:
+        findings: list[ProtocolFinding] = []
+        ambiguous: list[ast.AST] = []
+        analyzed: list[ast.AST] = []
+        if src.tree is not None:
+            for root in spmd_roots(src.tree):
+                result = check_protocol(root, src.tree)
+                if result is None:
+                    ambiguous.append(root)
+                else:
+                    analyzed.append(root)
+                    findings.extend(result)
+        src.cache["protocol"] = {
+            "findings": findings,
+            "ambiguous": ambiguous,
+            "analyzed": analyzed,
+        }
+    return src.cache["protocol"]
+
+
+def _yield_protocol(rule: Rule, src: SourceFile, rule_id: str) -> Iterator[Diagnostic]:
+    seen: set[tuple] = set()
+    for finding in _protocol_results(src)["findings"]:
+        if finding.rule != rule_id:
+            continue
+        key = (finding.line, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        yield rule.diag(src, finding.line, finding.message,
+                        severity=finding.severity, **finding.details)
+
+
+def _mentions_rank(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "rank" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Call) and _call_name(sub).lower() == "get_rank":
+            return True
+    return False
+
+
+def _body_stmts(node: ast.AST) -> list[ast.stmt]:
+    if isinstance(node, ast.Lambda):
+        return [ast.Expr(value=node.body)]
+    return list(getattr(node, "body", []))
+
+
+@register_rule
+class SymmetricDeadlock(Rule):
+    id = "PDC103"
+    name = "symmetric-deadlock"
+    severity = ERROR
+    summary = ("blocking send/recv issued in the same order by every rank "
+               "(the ring/exchange deadlock shape)")
+    fix_hint = ("break the symmetry: alternate the send/recv order by rank "
+                "parity, or use comm.sendrecv() which pairs them safely")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        yield from _yield_protocol(self, src, "PDC103")
+        # lexical fallback for bodies the evaluator could not follow
+        for body in _protocol_results(src)["ambiguous"]:
+            ops: list[tuple[str, int]] = []
+            self._collect(_body_stmts(body), ops)
+            if not ops:
+                continue
+            first_kind, first_line = ops[0]
+            rest = {kind for kind, _ in ops[1:]}
+            if first_kind == "recv" and "send" in rest:
+                yield self.diag(
+                    src, first_line,
+                    "every rank blocks in recv() before reaching its send() "
+                    "— the symmetric exchange deadlocks",
+                )
+            elif first_kind == "send" and "recv" in rest:
+                yield self.diag(
+                    src, first_line,
+                    "every rank send()s before it recv()s; blocking sends "
+                    "deadlock as soon as messages stop fitting in buffers",
+                    severity=WARNING,
+                )
+
+    def _collect(self, stmts: list[ast.stmt], ops: list[tuple[str, int]]) -> bool:
+        """Gather p2p calls on the all-ranks path; False stops the scan."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                # A rank-conditional branch that returns splits the ranks
+                # for good: everything after runs on a subset only.
+                if _mentions_rank(stmt.test) and any(
+                    isinstance(sub, (ast.Return, ast.Raise))
+                    for node in stmt.body + stmt.orelse
+                    for sub in ast.walk(node)
+                ):
+                    return False
+                continue  # conditional code: not executed by all ranks
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                return False
+            if isinstance(stmt, (ast.For, ast.While)):
+                if not self._collect(stmt.body, ops):
+                    return False
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    method = _call_name(sub)
+                    if method in _SEND_METHODS:
+                        ops.append(("send", sub.lineno))
+                    elif method in _RECV_METHODS:
+                        ops.append(("recv", sub.lineno))
+        return True
+
+
+@register_rule
+class CollectiveInRankBranch(Rule):
+    id = "PDC104"
+    name = "collective-in-rank-branch"
+    severity = ERROR
+    summary = "collective call not matched across the ranks' control flow"
+    fix_hint = ("collectives must be called by every rank: hoist the call "
+                "out of the conditional and use its root=... argument to "
+                "distinguish the root's role")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        yield from _yield_protocol(self, src, "PDC104")
+        # Lexical scan for code the evaluator did not cover: ambiguous
+        # roots and If statements outside any analyzed SPMD body.
+        results = _protocol_results(src)
+        covered: set[int] = set()
+        for root in results["analyzed"]:
+            for sub in ast.walk(root):
+                if isinstance(sub, ast.If):
+                    covered.add(id(sub))
+        if src.tree is None:
+            return
+        for node in ast.walk(src.tree):
+            if id(node) in covered:
+                continue
+            if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
+                continue
+            body_calls = self._collectives(node.body)
+            else_calls = self._collectives(node.orelse)
+            body_methods = {m for m, _ in body_calls}
+            else_methods = {m for m, _ in else_calls}
+            for method, line in body_calls:
+                if method not in else_methods:
+                    yield self._finding(src, method, line)
+            for method, line in else_calls:
+                if method not in body_methods:
+                    yield self._finding(src, method, line)
+
+    def _finding(self, src: SourceFile, method: str, line: int) -> Diagnostic:
+        return self.diag(
+            src, line,
+            f"collective '{method}' is only reached by a subset of ranks "
+            "(it sits inside a rank conditional); the other ranks never "
+            "enter the collective and the program hangs",
+            collective=method,
+        )
+
+    @staticmethod
+    def _collectives(stmts: list[ast.stmt]) -> list[tuple[str, int]]:
+        calls = []
+        for stmt in stmts:
+            for sub in ast.walk(stmt):
+                if (isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in _COLLECTIVE_METHODS):
+                    calls.append((sub.func.attr, sub.lineno))
+        return calls
+
+
+@register_rule
+class MessageWaitCycle(Rule):
+    id = "PDC110"
+    name = "message-wait-cycle"
+    severity = ERROR
+    summary = ("ranks deadlock in an asymmetric message-wait cycle found by "
+               "static per-rank trace matching")
+    fix_hint = ("draw the send/recv arrows per rank: some rank must send "
+                "before it receives to break the cycle, or use "
+                "comm.sendrecv() for paired exchanges")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        yield from _yield_protocol(self, src, "PDC110")
+
+
+@register_rule
+class CollectiveOrderMismatch(Rule):
+    id = "PDC111"
+    name = "collective-order-mismatch"
+    severity = ERROR
+    summary = "ranks call the same collectives in different program orders"
+    fix_hint = ("reorder so every rank issues collective calls in the same "
+                "sequence; collective matching is by call order, not by name")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        yield from _yield_protocol(self, src, "PDC111")
+
+
+@register_rule
+class SendRecvCountMismatch(Rule):
+    id = "PDC112"
+    name = "send-recv-count-mismatch"
+    severity = ERROR
+    summary = "sends and receives do not pair up across the ranks"
+    fix_hint = ("count messages per (source, dest, tag): every recv() needs "
+                "a matching send() and vice versa; loop bounds that differ "
+                "by rank are the usual culprit")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        yield from _yield_protocol(self, src, "PDC112")

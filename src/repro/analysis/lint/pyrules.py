@@ -1,22 +1,32 @@
 """Python AST rules: the mistakes remote learners actually make.
 
 Each rule targets one failure shape from the patternlet curriculum, phrased
-against the ``repro.openmp`` / ``repro.mpi`` teaching APIs:
+against the ``repro.openmp`` / ``repro.mpi`` teaching APIs.  Since the
+``repro.analysis.flow`` package landed, the shared-memory rules reason on
+control-flow and may-happen-in-parallel facts instead of lexical pattern
+matching:
 
 * **PDC101** — write to a closure/shared variable inside a
-  ``parallel_region``/``parallel_for`` body without ``critical``/atomic/
-  reduction protection (the ``race`` patternlet's bug);
+  ``parallel_region``/``parallel_for`` body with *no* lock held on any
+  path (flow-sensitive: ``with critical():``, ``with lock:`` and
+  ``acquire()/release()`` pairing all count, and writes reached through a
+  one-level helper are seen via the call graph);
 * **PDC102** — ``barrier()`` reachable from inside a ``single``/``master``
   construct: only some threads arrive, the team hangs;
-* **PDC103** — the symmetric-deadlock shape: every rank blocks in the same
-  ``recv``-before-``send`` (or buffering-dependent ``send``-before-``recv``)
-  order (the ``deadlock`` patternlet's bug);
-* **PDC104** — a collective called lexically inside an ``if rank ...``
-  branch without a matching call on the other ranks' path;
 * **PDC105** — loop-carried dependence hints (neighbor indexing) in
   ``parallel_for`` bodies;
-* **PDC106** — ``lock.acquire()`` with no matching ``release()`` in the
-  same function and no ``with`` usage.
+* **PDC106** — ``lock.acquire()`` with no matching ``release()``, either
+  by count in the function or — new — on an early-``return`` path the
+  CFG shows skipping the release;
+* **PDC107** — a parallel body assigns a variable *without* declaring it
+  ``nonlocal``, and the enclosing function reads the stale outer binding
+  after the region: the classic forgotten-``nonlocal`` flag bug;
+* **PDC108** — a shared write is lock-guarded on *some* paths but not
+  all of them — worse than unguarded, because the guarded path passes
+  every test that happens to take it.
+
+The MPI protocol rules (PDC103/PDC104/PDC110–PDC112) live in
+:mod:`.protorules`, backed by the static protocol checker.
 """
 
 from __future__ import annotations
@@ -25,20 +35,15 @@ import ast
 from typing import Iterator
 
 from ..diagnostics import ERROR, WARNING, Diagnostic
+from ..flow.callgraph import build_callgraph
+from ..flow.cfg import build_cfg
+from ..flow.mhp import MHPAnalysis, StmtFacts, stmt_exec_nodes
 from .engine import Rule, SourceFile, register_rule
 
 #: callable-position of the body argument in each parallel launcher
 _PARALLEL_LAUNCHERS = {"parallel_region": 0, "parallel_sections": 0,
                        "parallel_for": 1, "for_loop": 1}
 _LOOP_LAUNCHERS = ("parallel_for", "for_loop")
-
-_SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend"})
-_RECV_METHODS = frozenset({"recv", "Recv"})
-_COLLECTIVE_METHODS = frozenset({
-    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
-    "reduce", "Reduce", "allreduce", "Allreduce", "allgather", "Allgather",
-    "alltoall", "Alltoall", "barrier", "Barrier", "scan", "Scan", "exscan",
-})
 
 
 def _call_name(node: ast.Call) -> str:
@@ -83,11 +88,10 @@ def _callable_arg(src: SourceFile, call: ast.Call, position: int) -> list[ast.AS
     return []
 
 
-def _parallel_bodies(src: SourceFile) -> list[tuple[ast.AST, str]]:
-    """Every function/lambda passed as the body of a parallel launcher."""
-    if "parallel_bodies" not in src.cache:
-        bodies: list[tuple[ast.AST, str]] = []
-        seen: set[int] = set()
+def _launch_sites(src: SourceFile) -> list[tuple[ast.Call, ast.AST, str]]:
+    """Every ``(launcher call, body function, launcher name)`` triple."""
+    if "launch_sites" not in src.cache:
+        sites: list[tuple[ast.Call, ast.AST, str]] = []
         for node in ast.walk(src.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -96,50 +100,86 @@ def _parallel_bodies(src: SourceFile) -> list[tuple[ast.AST, str]]:
             if position is None:
                 continue
             for body in _callable_arg(src, node, position):
-                if id(body) not in seen:
-                    seen.add(id(body))
-                    bodies.append((body, launcher))
+                sites.append((node, body, launcher))
+        src.cache["launch_sites"] = sites
+    return src.cache["launch_sites"]
+
+
+def _parallel_bodies(src: SourceFile) -> list[tuple[ast.AST, str]]:
+    """Every function/lambda passed as the body of a parallel launcher."""
+    if "parallel_bodies" not in src.cache:
+        bodies: list[tuple[ast.AST, str]] = []
+        seen: set[int] = set()
+        for _, body, launcher in _launch_sites(src):
+            if id(body) not in seen:
+                seen.add(id(body))
+                bodies.append((body, launcher))
         src.cache["parallel_bodies"] = bodies
     return src.cache["parallel_bodies"]
 
 
-def _spmd_bodies(src: SourceFile) -> list[ast.AST]:
-    """Functions that run SPMD: a ``comm`` parameter, or passed to mpirun."""
-    if "spmd_bodies" not in src.cache:
-        bodies: list[ast.AST] = []
-        seen: set[int] = set()
-
-        def _add(node: ast.AST) -> None:
-            if id(node) not in seen:
-                seen.add(id(node))
-                bodies.append(node)
-
-        for node in ast.walk(src.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                 ast.Lambda)):
-                if any(arg.arg == "comm" for arg in node.args.args):
-                    _add(node)
-            elif isinstance(node, ast.Call) and _call_name(node) in (
-                    "mpirun", "run_script", "trace_run"):
-                for body in _callable_arg(src, node, 0):
-                    _add(body)
-        src.cache["spmd_bodies"] = bodies
-    return src.cache["spmd_bodies"]
+def _callgraph(src: SourceFile):
+    if "callgraph" not in src.cache:
+        src.cache["callgraph"] = build_callgraph(src.tree)
+    return src.cache["callgraph"]
 
 
-def _mentions_rank(node: ast.AST) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and "rank" in sub.id.lower():
-            return True
-        if isinstance(sub, ast.Call) and _call_name(sub).lower() == "get_rank":
-            return True
-    return False
+def _shared_write_sites(src: SourceFile) -> list[dict]:
+    """Shared-write sites in parallel bodies, with their MHP guard facts.
 
-
-def _body_stmts(node: ast.AST) -> list[ast.stmt]:
-    if isinstance(node, ast.Lambda):
-        return [ast.Expr(value=node.body)]
-    return list(getattr(node, "body", []))
+    Each site: ``{"line", "kind", "launcher", "facts", ...}`` where kind is
+    ``assign`` (``variable`` key), ``rmw`` (unsafe read-modify-write), or
+    ``helper`` (``helper``/``variable`` keys: a one-level callee performs
+    the shared write).
+    """
+    if "shared_write_sites" in src.cache:
+        return src.cache["shared_write_sites"]
+    sites: list[dict] = []
+    graph = _callgraph(src)
+    for body, launcher in _parallel_bodies(src):
+        shared = {
+            name
+            for node in ast.walk(body)
+            if isinstance(node, (ast.Nonlocal, ast.Global))
+            for name in node.names
+        }
+        try:
+            mhp = MHPAnalysis(body, module=src.tree)
+        except (RecursionError, SyntaxError):  # pragma: no cover - defensive
+            continue
+        for _, stmt in mhp.cfg.statements():
+            facts = mhp.facts(stmt)
+            if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in shared:
+                        sites.append({
+                            "line": stmt.lineno, "kind": "assign",
+                            "launcher": launcher, "facts": facts,
+                            "variable": target.id,
+                        })
+            for node in stmt_exec_nodes(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                cname = _call_name(node)
+                if cname == "unsafe_read_modify_write":
+                    sites.append({
+                        "line": node.lineno, "kind": "rmw",
+                        "launcher": launcher, "facts": facts,
+                    })
+                elif isinstance(node.func, ast.Name):
+                    summary = graph.summary(cname)
+                    if (summary is not None and summary.node is not body
+                            and summary.shared_writes):
+                        variable = sorted(summary.shared_writes)[0]
+                        sites.append({
+                            "line": node.lineno, "kind": "helper",
+                            "launcher": launcher, "facts": facts,
+                            "helper": cname, "variable": variable,
+                        })
+    src.cache["shared_write_sites"] = sites
+    return sites
 
 
 @register_rule
@@ -148,65 +188,39 @@ class SharedWriteInParallel(Rule):
     name = "shared-write-in-parallel"
     severity = ERROR
     summary = ("write to a shared/closure variable inside a parallel body "
-               "without critical/atomic/reduction protection")
+               "with no lock held on any path to it")
     fix_hint = ("guard the update with `with critical(...)`, switch to an "
                 "AtomicCounter/AtomicAccumulator, or restructure the loop "
                 "as a reduction")
     language = "python"
 
     def check(self, src: SourceFile) -> Iterator[Diagnostic]:
-        for body, launcher in _parallel_bodies(src):
-            shared = {
-                name
-                for node in ast.walk(body)
-                if isinstance(node, (ast.Nonlocal, ast.Global))
-                for name in node.names
-            }
-            findings: list[Diagnostic] = []
-            self._scan(src, launcher, _body_stmts(body), shared, False, findings)
-            yield from findings
-
-    def _scan(self, src, launcher, nodes, shared, protected, findings) -> None:
-        for node in nodes:
-            if isinstance(node, ast.With):
-                guarded = protected or any(
-                    self._is_sync_guard(item.context_expr) for item in node.items
+        for site in _shared_write_sites(src):
+            facts: StmtFacts = site["facts"]
+            if facts.guarded or facts.partially_guarded:
+                continue  # safe, or PDC108's finding to make
+            launcher = site["launcher"]
+            if site["kind"] == "assign":
+                yield self.diag(
+                    src, site["line"],
+                    f"write to shared variable '{site['variable']}' inside "
+                    f"a `{launcher}` body without synchronization",
+                    variable=site["variable"],
                 )
-                self._scan(src, launcher, node.body, shared, guarded, findings)
-                continue
-            if not protected:
-                if isinstance(node, (ast.Assign, ast.AugAssign)):
-                    targets = (node.targets if isinstance(node, ast.Assign)
-                               else [node.target])
-                    for target in targets:
-                        if isinstance(target, ast.Name) and target.id in shared:
-                            findings.append(self.diag(
-                                src, node.lineno,
-                                f"write to shared variable '{target.id}' "
-                                f"inside a `{launcher}` body without "
-                                "synchronization",
-                                variable=target.id,
-                            ))
-                if (isinstance(node, ast.Call)
-                        and _call_name(node) == "unsafe_read_modify_write"):
-                    findings.append(self.diag(
-                        src, node.lineno,
-                        "unsynchronized read-modify-write on a shared counter "
-                        f"inside a `{launcher}` body",
-                    ))
-            self._scan(src, launcher, list(ast.iter_child_nodes(node)),
-                       shared, protected, findings)
-
-    @staticmethod
-    def _is_sync_guard(expr: ast.AST) -> bool:
-        if isinstance(expr, ast.Call):
-            name = _call_name(expr)
-            return name == "critical" or "lock" in name.lower()
-        if isinstance(expr, ast.Name):
-            return "lock" in expr.id.lower()
-        if isinstance(expr, ast.Attribute):
-            return "lock" in expr.attr.lower()
-        return False
+            elif site["kind"] == "rmw":
+                yield self.diag(
+                    src, site["line"],
+                    "unsynchronized read-modify-write on a shared counter "
+                    f"inside a `{launcher}` body",
+                )
+            else:  # helper
+                yield self.diag(
+                    src, site["line"],
+                    f"call to '{site['helper']}' writes shared variable "
+                    f"'{site['variable']}' inside a `{launcher}` body "
+                    "without synchronization",
+                    variable=site["variable"], helper=site["helper"],
+                )
 
 
 @register_rule
@@ -273,117 +287,6 @@ class BarrierInSingle(Rule):
 
 
 @register_rule
-class SymmetricDeadlock(Rule):
-    id = "PDC103"
-    name = "symmetric-deadlock"
-    severity = ERROR
-    summary = ("blocking send/recv issued in the same order by every rank "
-               "(the ring/exchange deadlock shape)")
-    fix_hint = ("break the symmetry: alternate the send/recv order by rank "
-                "parity, or use comm.sendrecv() which pairs them safely")
-    language = "python"
-
-    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
-        for body in _spmd_bodies(src):
-            ops: list[tuple[str, int]] = []
-            self._collect(_body_stmts(body), ops)
-            if not ops:
-                continue
-            first_kind, first_line = ops[0]
-            rest = {kind for kind, _ in ops[1:]}
-            if first_kind == "recv" and "send" in rest:
-                yield self.diag(
-                    src, first_line,
-                    "every rank blocks in recv() before reaching its send() "
-                    "— the symmetric exchange deadlocks",
-                )
-            elif first_kind == "send" and "recv" in rest:
-                yield self.diag(
-                    src, first_line,
-                    "every rank send()s before it recv()s; blocking sends "
-                    "deadlock as soon as messages stop fitting in buffers",
-                    severity=WARNING,
-                )
-
-    def _collect(self, stmts: list[ast.stmt], ops: list[tuple[str, int]]) -> bool:
-        """Gather p2p calls on the all-ranks path; False stops the scan."""
-        for stmt in stmts:
-            if isinstance(stmt, ast.If):
-                # A rank-conditional branch that returns splits the ranks
-                # for good: everything after runs on a subset only.
-                if _mentions_rank(stmt.test) and any(
-                    isinstance(sub, (ast.Return, ast.Raise))
-                    for node in stmt.body + stmt.orelse
-                    for sub in ast.walk(node)
-                ):
-                    return False
-                continue  # conditional code: not executed by all ranks
-            if isinstance(stmt, (ast.Return, ast.Raise)):
-                return False
-            if isinstance(stmt, (ast.For, ast.While)):
-                if not self._collect(stmt.body, ops):
-                    return False
-                continue
-            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                continue
-            for sub in ast.walk(stmt):
-                if isinstance(sub, ast.Call):
-                    method = _call_name(sub)
-                    if method in _SEND_METHODS:
-                        ops.append(("send", sub.lineno))
-                    elif method in _RECV_METHODS:
-                        ops.append(("recv", sub.lineno))
-        return True
-
-
-@register_rule
-class CollectiveInRankBranch(Rule):
-    id = "PDC104"
-    name = "collective-in-rank-branch"
-    severity = ERROR
-    summary = "collective call lexically inside an `if rank ...` branch"
-    fix_hint = ("collectives must be called by every rank: hoist the call "
-                "out of the conditional and use its root=... argument to "
-                "distinguish the root's role")
-    language = "python"
-
-    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
-        for node in ast.walk(src.tree):
-            if not (isinstance(node, ast.If) and _mentions_rank(node.test)):
-                continue
-            body_calls = self._collectives(node.body)
-            else_calls = self._collectives(node.orelse)
-            body_methods = {m for m, _ in body_calls}
-            else_methods = {m for m, _ in else_calls}
-            for method, line in body_calls:
-                if method not in else_methods:
-                    yield self._finding(src, method, line)
-            for method, line in else_calls:
-                if method not in body_methods:
-                    yield self._finding(src, method, line)
-
-    def _finding(self, src: SourceFile, method: str, line: int) -> Diagnostic:
-        return self.diag(
-            src, line,
-            f"collective '{method}' is only reached by a subset of ranks "
-            "(it sits inside a rank conditional); the other ranks never "
-            "enter the collective and the program hangs",
-            collective=method,
-        )
-
-    @staticmethod
-    def _collectives(stmts: list[ast.stmt]) -> list[tuple[str, int]]:
-        calls = []
-        for stmt in stmts:
-            for sub in ast.walk(stmt):
-                if (isinstance(sub, ast.Call)
-                        and isinstance(sub.func, ast.Attribute)
-                        and sub.func.attr in _COLLECTIVE_METHODS):
-                    calls.append((sub.func.attr, sub.lineno))
-        return calls
-
-
-@register_rule
 class LoopCarriedDependence(Rule):
     id = "PDC105"
     name = "loop-carried-dependence"
@@ -435,7 +338,8 @@ class UnreleasedLock(Rule):
     id = "PDC106"
     name = "unreleased-lock"
     severity = WARNING
-    summary = "lock.acquire() without a matching release() in the same function"
+    summary = ("lock.acquire() without a matching release() — by count, or "
+               "on an early-return path")
     fix_hint = ("release in a `finally:` block, or hold the lock with "
                 "`with lock:` so every exit path releases it")
     language = "python"
@@ -448,29 +352,185 @@ class UnreleasedLock(Rule):
                                  ast.Lambda))
         )
         for scope in scopes:
-            acquires: dict[str, list[int]] = {}
-            releases: dict[str, int] = {}
-            with_names: set[str] = set()
-            for node in _scoped_walk(scope):
-                if isinstance(node, ast.With):
-                    for item in node.items:
-                        if isinstance(item.context_expr, ast.Name):
-                            with_names.add(item.context_expr.id)
-                if (isinstance(node, ast.Call)
-                        and isinstance(node.func, ast.Attribute)
-                        and isinstance(node.func.value, ast.Name)):
-                    receiver = node.func.value.id
-                    if node.func.attr == "acquire":
-                        acquires.setdefault(receiver, []).append(node.lineno)
-                    elif node.func.attr == "release":
-                        releases[receiver] = releases.get(receiver, 0) + 1
-            for receiver, lines in sorted(acquires.items()):
-                if (len(lines) > releases.get(receiver, 0)
-                        and receiver not in with_names):
+            yield from self._check_scope(src, scope)
+
+    def _check_scope(self, src: SourceFile, scope: ast.AST) -> Iterator[Diagnostic]:
+        acquires: dict[str, list[int]] = {}
+        releases: dict[str, int] = {}
+        with_names: set[str] = set()
+        for node in _scoped_walk(scope):
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Name):
+                        with_names.add(item.context_expr.id)
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)):
+                receiver = node.func.value.id
+                if node.func.attr == "acquire":
+                    acquires.setdefault(receiver, []).append(node.lineno)
+                elif node.func.attr == "release":
+                    releases[receiver] = releases.get(receiver, 0) + 1
+        balanced: list[str] = []
+        for receiver, lines in sorted(acquires.items()):
+            if receiver in with_names:
+                continue
+            if len(lines) > releases.get(receiver, 0):
+                yield self.diag(
+                    src, lines[0],
+                    f"'{receiver}.acquire()' has no matching release() "
+                    "in this function — any thread that errors or "
+                    "returns early holds the lock forever",
+                    lock=receiver,
+                )
+            else:
+                balanced.append(receiver)
+        if balanced and isinstance(scope, (ast.FunctionDef,
+                                           ast.AsyncFunctionDef)):
+            yield from self._early_returns(src, scope, balanced)
+
+    def _early_returns(self, src: SourceFile, scope: ast.AST,
+                       receivers: list[str]) -> Iterator[Diagnostic]:
+        """Counts balance, but does some return path skip the release?"""
+        from ..flow.dataflow import solve
+        from ..flow.mhp import _HeldLocks
+
+        try:
+            cfg = build_cfg(scope)
+        except (RecursionError, TypeError):  # pragma: no cover - defensive
+            return
+        problem = _HeldLocks(frozenset(receivers), "intersection")
+        in_sets, _ = solve(cfg, problem)
+        for block, stmt in cfg.statements():
+            if not isinstance(stmt, ast.Return):
+                continue
+            held = in_sets[block.id]
+            for s in block.stmts:
+                if s is stmt:
+                    break
+                held = problem.transfer_stmt(s, held)
+            for receiver in sorted(held):
+                if not self._releases_forward(cfg, block.id, receiver):
                     yield self.diag(
-                        src, lines[0],
-                        f"'{receiver}.acquire()' has no matching release() "
-                        "in this function — any thread that errors or "
-                        "returns early holds the lock forever",
+                        src, stmt.lineno,
+                        f"return while holding '{receiver}': this exit path "
+                        "never calls release(), so an early return leaves "
+                        "the lock held",
                         lock=receiver,
                     )
+
+    @staticmethod
+    def _releases_forward(cfg, block_id: int, receiver: str) -> bool:
+        for bid in cfg.reachable_forward(block_id):
+            for stmt in cfg.blocks[bid].stmts:
+                for node in stmt_exec_nodes(stmt):
+                    if (isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "release"
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.value.id == receiver):
+                        return True
+        return False
+
+
+@register_rule
+class StaleSharedReadAfterRegion(Rule):
+    id = "PDC107"
+    name = "stale-shared-read-after-region"
+    severity = WARNING
+    summary = ("a parallel body assigns a variable without `nonlocal`, and "
+               "the enclosing function reads the stale outer value after "
+               "the region")
+    fix_hint = ("declare the variable `nonlocal` in the body (and guard the "
+                "write), or collect per-thread results and combine them "
+                "after the region")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for call, body, launcher in _launch_sites(src):
+            enclosing = self._enclosing_function(src, call)
+            if enclosing is None:
+                continue
+            declared = {
+                name
+                for node in ast.walk(body)
+                if isinstance(node, (ast.Nonlocal, ast.Global))
+                for name in node.names
+            }
+            params = {a.arg for a in body.args.args} if hasattr(body, "args") else set()
+            assigned = {
+                node.id
+                for node in _scoped_walk(body)
+                if isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Store)
+                and node.id not in declared
+                and node.id not in params
+            }
+            if not assigned:
+                continue
+            outer_before: set[str] = set()
+            for node in _scoped_walk(enclosing):
+                if (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Store)
+                        and node.lineno < call.lineno):
+                    outer_before.add(node.id)
+            suspects = assigned & outer_before
+            for node in _scoped_walk(enclosing):
+                if (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.id in suspects
+                        and node.lineno > call.lineno):
+                    yield self.diag(
+                        src, node.lineno,
+                        f"read of '{node.id}' after the `{launcher}` call "
+                        "sees the pre-region value: the body assigns a new "
+                        "local instead of updating the shared variable "
+                        f"(missing `nonlocal {node.id}`)",
+                        variable=node.id,
+                    )
+                    suspects.discard(node.id)  # one finding per variable
+
+    @staticmethod
+    def _enclosing_function(src: SourceFile, call: ast.Call) -> ast.AST | None:
+        if "parent_map" not in src.cache:
+            parents: dict[int, ast.AST] = {}
+            for node in ast.walk(src.tree):
+                for child in ast.iter_child_nodes(node):
+                    parents[id(child)] = node
+            src.cache["parent_map"] = parents
+        parents = src.cache["parent_map"]
+        node: ast.AST | None = call
+        while node is not None:
+            node = parents.get(id(node))
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return node
+        return None
+
+
+@register_rule
+class GuardedOnSomePathsOnly(Rule):
+    id = "PDC108"
+    name = "guarded-on-some-paths-only"
+    severity = ERROR
+    summary = ("a shared write holds a lock on some control-flow paths but "
+               "not on all of them")
+    fix_hint = ("hoist the acquire/release (or the `with lock:` block) so "
+                "every path to the shared write holds the same lock")
+    language = "python"
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for site in _shared_write_sites(src):
+            facts: StmtFacts = site["facts"]
+            if not facts.partially_guarded:
+                continue
+            lock = sorted(facts.may_locks - facts.must_locks)[0]
+            what = (f"write to shared variable '{site['variable']}'"
+                    if "variable" in site
+                    else "read-modify-write on a shared counter")
+            yield self.diag(
+                src, site["line"],
+                f"{what} inside a `{site['launcher']}` body holds "
+                f"'{lock}' on some paths but not all of them — the "
+                "unguarded path still races",
+                lock=lock,
+            )

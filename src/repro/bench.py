@@ -156,6 +156,32 @@ def _hooks_off(quick: bool, _backend: str) -> Callable[[], Any]:
     return spin
 
 
+def _lint_corpus(quick: bool, _backend: str) -> Callable[[], Any]:
+    """Flow-sensitive pdclint over the patternlet corpus.
+
+    Exercises the whole static pipeline — CFG construction, the dataflow
+    worklist, MHP lock tracking, and the MPI protocol simulation — so the
+    regression gate catches superlinear blowups in any of them.
+    """
+    from .analysis.lint import lint_path
+
+    corpus = Path(__file__).parent / "patternlets"
+    targets = (
+        [corpus / "mpi" / "pointtopoint.py", corpus / "openmp" / "race.py"]
+        if quick
+        else [corpus]
+    )
+
+    def run() -> int:
+        total = 0
+        for target in targets:
+            report = lint_path(target)
+            total += len(report.diagnostics) + len(report.suppressed)
+        return total
+
+    return run
+
+
 REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("integration_seq", "integration", _integration_seq),
     BenchSpec("integration_omp", "integration", _integration_omp),
@@ -165,6 +191,7 @@ REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("heat_omp", "heat", _heat_omp),
     BenchSpec("sorting_blocks", "sorting", _sorting_blocks),
     BenchSpec("hooks_off", "obs", _hooks_off),
+    BenchSpec("lint_corpus", "analysis", _lint_corpus),
 )
 
 

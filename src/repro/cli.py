@@ -79,10 +79,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lint.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the report as JSON instead of text")
+    p_lint.add_argument("--format", choices=("text", "json", "github"),
+                        default=None,
+                        help="output format (github: ::error/::warning "
+                             "workflow annotations for CI)")
     p_lint.add_argument("--select", metavar="IDS",
                         help="comma-separated rule ids to run (default: all)")
     p_lint.add_argument("--ignore", metavar="IDS",
                         help="comma-separated rule ids to skip")
+    p_lint.add_argument("--baseline", metavar="FILE",
+                        help="ratchet mode: findings fingerprinted in FILE "
+                             "are reported as suppressed, only new ones fail")
+    p_lint.add_argument("--update-baseline", metavar="FILE",
+                        dest="update_baseline",
+                        help="write the current findings to FILE as the "
+                             "accepted baseline and exit 0")
+    p_lint.add_argument("--seed-explore", action="store_true",
+                        dest="seed_explore",
+                        help="also emit racy/deadlock exploration hints "
+                             "(JSON key 'explore_hints')")
 
     p_nb = sub.add_parser("notebook", help="execute a teaching notebook")
     p_nb.add_argument("which", nargs="?", default="colab",
@@ -172,6 +187,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "the outcome is identical")
     p_explore.add_argument("--np", type=int, default=None, dest="nprocs",
                            help="processes (mpi) / threads (openmp)")
+    p_explore.add_argument("--seed-from-lint", action="store_true",
+                           dest="seed_from_lint",
+                           help="lint the target first and use the static "
+                                "racy/deadlock hints to prioritize schedules")
     p_explore.add_argument("--json", action="store_true", dest="as_json",
                            help="emit the result as JSON instead of text")
     p_explore.add_argument("--repro-dir", metavar="DIR", dest="repro_dir",
@@ -244,7 +263,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
     from .analysis import emit_report, lint_targets
+    from .analysis.lint.baseline import (
+        apply_baseline,
+        explore_hints,
+        load_baseline,
+        render_github,
+        write_baseline,
+    )
 
     try:
         report = lint_targets(args.targets, select=args.select,
@@ -252,7 +280,34 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except (KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
-    return emit_report(report, args.as_json)
+    if args.update_baseline:
+        path = write_baseline(report, args.update_baseline)
+        print(f"pdclint baseline written to {path} "
+              f"({len(report.diagnostics)} finding(s) accepted)")
+        return 0
+    if args.baseline:
+        try:
+            apply_baseline(report, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"bad baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
+    fmt = args.format or ("json" if args.as_json else "text")
+    if fmt == "github":
+        print(render_github(report))
+        return 1 if report.errors else 0
+    if fmt == "json":
+        payload = report.to_dict()
+        if args.seed_explore:
+            payload["explore_hints"] = explore_hints(report)
+        print(json.dumps(payload, indent=2))
+        return 1 if report.errors else 0
+    code = emit_report(report, False)
+    if args.seed_explore:
+        hints = explore_hints(report)
+        print(f"explore hints: {len(hints['racy'])} racy, "
+              f"{len(hints['deadlock'])} deadlock "
+              "(feed to `repro explore <target> --seed-from-lint`)")
+    return code
 
 
 def _cmd_notebook(args: argparse.Namespace) -> int:
@@ -444,6 +499,21 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             return 1
         return 1 if first.flagged else 0
 
+    seed_hints = None
+    if args.seed_from_lint:
+        from .analysis.lint.baseline import explore_hints
+        from .analysis.lint.engine import lint_patternlet
+
+        try:
+            seed_hints = explore_hints(
+                lint_patternlet(args.name, args.paradigm))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(f"seeded from lint: {len(seed_hints['racy'])} racy, "
+              f"{len(seed_hints['deadlock'])} deadlock hint(s)",
+              file=sys.stderr)
+
     try:
         result = explore_target(
             args.name,
@@ -455,6 +525,7 @@ def _cmd_explore(args: argparse.Namespace) -> int:
             faults=args.faults,
             nprocs=args.nprocs,
             with_timeline=args.repro_dir is not None,
+            seed_hints=seed_hints,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)

@@ -35,6 +35,7 @@ from typing import Any, Callable, Sequence
 
 from .faults import FaultPlan, fault_injection, parse_plan
 from .schedule import (
+    ConflictEagerScheduler,
     Decision,
     RandomScheduler,
     ReplayScheduler,
@@ -135,13 +136,14 @@ class ExploreResult:
     agreement: bool = True
     minimized: str | None = None
     timeline: str | None = None
+    seeded: dict | None = None  # lint hints used to steer the search
 
     @property
     def flagged(self) -> list:
         return [o for o in self.outcomes if o.flagged]
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "target": self.target,
             "paradigm": self.paradigm,
             "mode": self.mode,
@@ -154,6 +156,9 @@ class ExploreResult:
             "minimized": self.minimized,
             "outcomes": [o.to_dict() for o in self.outcomes],
         }
+        if self.seeded is not None:
+            payload["seeded"] = self.seeded
+        return payload
 
     def render(self) -> str:
         lines = [
@@ -271,16 +276,40 @@ def _preemptions(decisions: Sequence[Decision]) -> int:
     return count
 
 
+def _branch_priority(decision: Decision, alt: int) -> int:
+    """How promising is flipping this branch, given a racy lint hint?
+
+    Reordering two *data* accesses to the same location is what flips a
+    lost update, so those branches rank first; lock-order branches next;
+    wildcard (thread start/resume) branches stay at the default rank.
+    """
+    op_alt = decision.pending[alt]
+    op_chosen = decision.pending[decision.chosen]
+    kinds = (op_alt[0], op_chosen[0])
+    if all(k in ("read", "write") for k in kinds):
+        return 2
+    if "acquire" in kinds:
+        return 1
+    return 0
+
+
 def _explore_dfs(
     run_with: Callable[[ReplayScheduler], ScheduledRun],
     max_schedules: int,
     preemption_bound: int,
+    prioritize: bool = False,
 ) -> list[tuple[ScheduleOutcome, ScheduledRun]]:
     outcomes: list[tuple[ScheduleOutcome, ScheduledRun]] = []
-    frontier: list[tuple[int, ...]] = [()]
+    # Frontier entries are (priority, push-order, prefix) and the highest
+    # (priority, push-order) is explored next.  Unseeded, every priority
+    # is 0 and the newest push wins — exactly the plain LIFO stack the
+    # explorer has always used, so default schedule order is unchanged.
+    frontier: list[tuple[int, int, tuple[int, ...]]] = [(0, 0, ())]
+    pushes = 0
     visited: set[tuple[int, ...]] = set()
     while frontier and len(outcomes) < max_schedules:
-        prefix = frontier.pop()
+        best = max(range(len(frontier)), key=lambda i: frontier[i][:2])
+        _, _, prefix = frontier.pop(best)
         if prefix in visited:
             continue
         visited.add(prefix)
@@ -304,7 +333,9 @@ def _explore_dfs(
                     continue
                 if _preemptions(sr.decisions[: d.index]) + 1 > preemption_bound:
                     continue
-                frontier.append(child)
+                pushes += 1
+                priority = _branch_priority(d, alt) if prioritize else 0
+                frontier.append((priority, pushes, child))
     return outcomes
 
 
@@ -359,13 +390,22 @@ def _explore_openmp(
     max_schedules: int,
     preemption_bound: int,
     with_timeline: bool,
+    seed_hints: dict | None = None,
 ) -> ExploreResult:
     def run_with(scheduler) -> ScheduledRun:
         return run_scheduled(lambda: _run_patternlet(patternlet, params), scheduler)
 
+    prioritize = bool(seed_hints and seed_hints.get("racy"))
     if strategy == "dfs":
-        assessed = _explore_dfs(run_with, max_schedules, preemption_bound)
-        outcomes = [o for o, _ in assessed]
+        outcomes = []
+        if prioritize:
+            # A racy lint hint names the bug class (lost update), so spend
+            # the first schedule aiming straight at it before the
+            # systematic search takes over.
+            outcomes.append(_assess(run_with(ConflictEagerScheduler())))
+        assessed = _explore_dfs(run_with, max_schedules - len(outcomes),
+                                preemption_bound, prioritize=prioritize)
+        outcomes.extend(o for o, _ in assessed)
     elif strategy == "random":
         outcomes = [
             _assess(run_with(RandomScheduler(seed + i)))
@@ -402,6 +442,7 @@ def _explore_openmp(
         outcomes=outcomes,
         analyzer_errors=analyzer_errors,
         agreement=agreement,
+        seeded=seed_hints,
     )
     if flagged:
         minimized = _minimize_choices(run_with, flagged[0].choices)
@@ -539,8 +580,13 @@ def explore_target(
     faults: str | None = None,
     nprocs: int | None = None,
     with_timeline: bool = False,
+    seed_hints: dict | None = None,
 ) -> ExploreResult:
     """Explore schedules (openmp) or fault plans (mpi) for a patternlet.
+
+    ``seed_hints`` (the ``explore_hints`` dict from a pdclint report)
+    steers the DFS: with racy hints present, branches that reorder two
+    data accesses are explored before thread-wakeup branches.
 
     Raises ``KeyError`` for an unknown target — the CLI maps that to the
     analyze/lint-consistent exit code 2.
@@ -552,12 +598,15 @@ def explore_target(
             name, patternlet, params,
             strategy=strategy, seed=seed, max_schedules=max_schedules,
             preemption_bound=preemption_bound, with_timeline=with_timeline,
+            seed_hints=seed_hints,
         )
-    return _explore_mpi(
+    result = _explore_mpi(
         name, patternlet, params,
         seed=seed, max_schedules=max_schedules, faults=faults,
         with_timeline=with_timeline,
     )
+    result.seeded = seed_hints
+    return result
 
 
 def replay_schedule(

@@ -46,6 +46,7 @@ __all__ = [
     "RandomScheduler",
     "RoundRobinScheduler",
     "ReplayScheduler",
+    "ConflictEagerScheduler",
     "ScheduleController",
     "run_scheduled",
     "encode_token",
@@ -137,6 +138,40 @@ class ReplayScheduler(Scheduler):
         if last is not None and last in runnable:
             return last
         return min(runnable)
+
+
+class ConflictEagerScheduler(Scheduler):
+    """Deterministic lost-update hunter, used by lint-seeded exploration.
+
+    Tracks open read→write windows the way :func:`lost_update_witness`
+    does and, at every branch, prefers in order: a write landing inside
+    another thread's open window (that *is* the witness), a read
+    overlapping someone else's window, any other shared read, waking a
+    parked thread.  Ties break toward the lowest thread number, so the
+    schedule — and its replay token — is fully deterministic.
+    """
+
+    def __init__(self) -> None:
+        self._open: dict[Any, set[int]] = {}
+
+    def _rank(self, t: int, op: tuple) -> int:
+        kind = op[0]
+        if kind == "write" and self._open.get(op[1], set()) - {t}:
+            return 0
+        if kind == "read":
+            return 1 if self._open.get(op[1], set()) - {t} else 2
+        if kind in ("start", "resume"):
+            return 3
+        return 4
+
+    def choose(self, runnable, pending, last):
+        chosen = min(runnable, key=lambda t: (self._rank(t, pending[t]), t))
+        op = pending[chosen]
+        if op[0] == "read":
+            self._open.setdefault(op[1], set()).add(chosen)
+        elif op[0] == "write":
+            self._open.get(op[1], set()).discard(chosen)
+        return chosen
 
 
 def encode_token(nthreads: int, decisions: Sequence[Decision]) -> str:

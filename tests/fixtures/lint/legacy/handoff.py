@@ -1,0 +1,9 @@
+"""Legacy helper with an unpaired acquire, ratcheted in the lint baseline."""
+
+import threading
+
+_lock = threading.Lock()
+
+
+def grab() -> None:
+    _lock.acquire()

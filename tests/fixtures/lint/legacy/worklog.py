@@ -1,0 +1,14 @@
+"""Legacy learner submission kept as ratchet debt (see legacy_baseline.json)."""
+
+from repro.openmp import parallel_region
+
+
+def tally(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        total = total + 1
+
+    parallel_region(body, num_threads=num_threads)
+    return total

@@ -1,0 +1,19 @@
+"""True negative for PDC101 (flow flip): a Lock under a neutral name guards."""
+
+import threading
+
+from repro.openmp import parallel_region
+
+mutex = threading.Lock()
+
+
+def safe_sum(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        with mutex:
+            total = total + 1  # serialized by the mutex
+
+    parallel_region(body, num_threads=num_threads)
+    return total

@@ -1,0 +1,15 @@
+"""True negative for PDC101 (flow flip): a master-only write cannot race."""
+
+from repro.openmp import master, parallel_region
+
+
+def tag_run(num_threads: int = 4) -> str:
+    label = ""
+
+    def body() -> None:
+        nonlocal label
+        if master():
+            label = "visited"  # one thread only: no concurrent writer
+
+    parallel_region(body, num_threads=num_threads)
+    return label

@@ -1,0 +1,17 @@
+"""True positive for PDC101 (flow flip): the racy write hides in a helper."""
+
+from repro.openmp import parallel_region
+
+
+def racy_sum(num_threads: int = 4) -> int:
+    total = 0
+
+    def bump() -> None:
+        nonlocal total
+        total = total + 1
+
+    def body() -> None:
+        bump()  # the helper's shared write runs with no lock held
+
+    parallel_region(body, num_threads=num_threads)
+    return total

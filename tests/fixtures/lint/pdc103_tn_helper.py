@@ -1,0 +1,21 @@
+"""True negative for PDC103 (flow flip): the recv-first helper is rank-gated."""
+
+from repro.mpi import mpirun
+
+
+def receive_then_send(comm, partner):
+    incoming = comm.recv(source=partner, tag=3)
+    comm.send("ack", dest=partner, tag=3)
+    return incoming
+
+
+def exchange(np: int = 2):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = (rank + 1) % size
+        if rank % 2 == 0:
+            comm.send("ping", dest=partner, tag=3)
+            return comm.recv(source=partner, tag=3)
+        return receive_then_send(comm, partner)
+
+    return mpirun(body, np)

@@ -1,0 +1,16 @@
+"""True positive for PDC103 (flow flip): a size guard hid the exchange."""
+
+from repro.mpi import mpirun
+
+
+def exchange(np: int = 2):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        partner = (rank + 1) % size
+        if size > 1:
+            incoming = comm.recv(source=partner, tag=9)  # every rank waits
+            comm.send(rank, dest=partner, tag=9)
+            return incoming
+        return None
+
+    return mpirun(body, np)

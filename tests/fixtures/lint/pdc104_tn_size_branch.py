@@ -1,0 +1,13 @@
+"""True negative for PDC104 (flow flip): `num_ranks` is not a rank split."""
+
+from repro.mpi import mpirun
+
+
+def synchronized_setup(np: int = 4):
+    def body(comm):
+        num_ranks = comm.Get_size()
+        if num_ranks > 1:
+            comm.barrier()  # every rank takes this branch together
+        return num_ranks
+
+    return mpirun(body, np)

@@ -1,0 +1,15 @@
+"""True positive for PDC104 (flow flip): the rank test hides behind an alias."""
+
+from repro.mpi import mpirun
+
+
+def reduce_wrong(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        is_root = rank == 0
+        total = None
+        if is_root:
+            total = comm.reduce(1, root=0)  # only the root calls it
+        return total
+
+    return mpirun(body, np)

@@ -1,0 +1,15 @@
+"""True positive for PDC106 (flow): an early return path skips release()."""
+
+import threading
+
+_lock = threading.Lock()
+_cache: dict = {}
+
+
+def lookup(key):
+    _lock.acquire()
+    if key not in _cache:
+        return None  # leaves the lock held on the miss path
+    value = _cache[key]
+    _lock.release()
+    return value

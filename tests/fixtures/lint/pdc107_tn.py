@@ -1,0 +1,16 @@
+"""True negative for PDC107: the body updates the shared flag via nonlocal."""
+
+from repro.openmp import critical, parallel_region
+
+
+def search(items, target, num_threads: int = 4) -> bool:
+    found = False
+
+    def body() -> None:
+        nonlocal found
+        if target in items:
+            with critical("found"):
+                found = True
+
+    parallel_region(body, num_threads=num_threads)
+    return found

@@ -1,0 +1,14 @@
+"""True positive for PDC107: the body forgets `nonlocal` on a result flag."""
+
+from repro.openmp import parallel_region
+
+
+def search(items, target, num_threads: int = 4) -> bool:
+    found = False
+
+    def body() -> None:
+        if target in items:
+            found = True  # rebinds a body-local, not the outer flag
+
+    parallel_region(body, num_threads=num_threads)
+    return found

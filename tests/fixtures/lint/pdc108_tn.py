@@ -1,0 +1,20 @@
+"""True negative for PDC108: every path to the shared write holds the lock."""
+
+import threading
+
+from repro.openmp import parallel_region
+
+mutex = threading.Lock()
+
+
+def tally(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        mutex.acquire()
+        total = total + 1
+        mutex.release()
+
+    parallel_region(body, num_threads=num_threads)
+    return total

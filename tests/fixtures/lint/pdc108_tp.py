@@ -1,0 +1,22 @@
+"""True positive for PDC108: the shared write is guarded on one path only."""
+
+import threading
+
+from repro.openmp import get_thread_num, parallel_region
+
+mutex = threading.Lock()
+
+
+def tally(num_threads: int = 4) -> int:
+    total = 0
+
+    def body() -> None:
+        nonlocal total
+        if get_thread_num() == 0:
+            mutex.acquire()
+        total = total + 1  # guarded only on thread 0's path
+        if get_thread_num() == 0:
+            mutex.release()
+
+    parallel_region(body, num_threads=num_threads)
+    return total

@@ -1,0 +1,16 @@
+"""True negative for PDC110: request-reply pairs the waits correctly."""
+
+from repro.mpi import mpirun
+
+
+def request_reply(np: int = 2):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            comm.send("query", dest=1, tag=2)
+            return comm.recv(source=1, tag=1)
+        query = comm.recv(source=0, tag=2)
+        comm.send(f"reply to {query}", dest=0, tag=1)
+        return None
+
+    return mpirun(body, np)

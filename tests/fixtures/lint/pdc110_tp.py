@@ -1,0 +1,17 @@
+"""True positive for PDC110: each rank waits for a message never yet sent."""
+
+from repro.mpi import mpirun
+
+
+def crossed(np: int = 2):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            ack = comm.recv(source=1, tag=1)  # waits for the ack first
+            comm.send("query", dest=1, tag=2)
+            return ack
+        query = comm.recv(source=0, tag=2)  # waits for the query first
+        comm.send("ack", dest=0, tag=1)
+        return query
+
+    return mpirun(body, np)

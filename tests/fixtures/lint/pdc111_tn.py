@@ -1,0 +1,13 @@
+"""True negative for PDC111: every rank issues the collectives in one order."""
+
+from repro.mpi import mpirun
+
+
+def staged(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        data = comm.bcast("config" if rank == 0 else None, root=0)
+        sizes = comm.gather(len(data), root=0)
+        return sizes
+
+    return mpirun(body, np)

@@ -1,0 +1,17 @@
+"""True positive for PDC111: ranks disagree on the collective call order."""
+
+from repro.mpi import mpirun
+
+
+def misordered(np: int = 2):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            data = comm.bcast("config", root=0)
+            sizes = comm.gather(1, root=0)
+        else:
+            sizes = comm.gather(1, root=0)
+            data = comm.bcast(None, root=0)
+        return (data, sizes)
+
+    return mpirun(body, np)

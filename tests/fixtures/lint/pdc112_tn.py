@@ -1,0 +1,18 @@
+"""True negative for PDC112: send and receive counts pair up exactly."""
+
+from repro.mpi import mpirun
+
+
+def stream(np: int = 2):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            for i in range(3):
+                comm.send(i, dest=1, tag=5)
+            return None
+        items = []
+        for _ in range(3):
+            items.append(comm.recv(source=0, tag=5))
+        return items
+
+    return mpirun(body, np)

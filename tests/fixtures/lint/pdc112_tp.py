@@ -1,0 +1,13 @@
+"""True positive for PDC112: a receive that no send will ever match."""
+
+from repro.mpi import mpirun
+
+
+def collect(np: int = 2):
+    def body(comm):
+        rank = comm.Get_rank()
+        if rank == 0:
+            return comm.recv(source=1, tag=3)  # rank 1 never sends
+        return None
+
+    return mpirun(body, np)

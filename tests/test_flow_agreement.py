@@ -1,0 +1,126 @@
+"""Static <-> dynamic agreement: pdclint's flow facts vs the runtime checkers.
+
+The flow-sensitive linter and the dynamic detectors look at the same
+patternlet corpus from opposite ends — source text vs executions.  This
+suite pins down that they agree on the curriculum: patternlets the linter
+marks suspicious (including intentionally planted, suppressed bugs) are
+exactly the ones the race detector / MPI checker flags at runtime, and the
+lint-seeded explorer reaches the race witness in strictly fewer schedules
+than the unseeded search.
+"""
+
+import pytest
+
+from repro.analysis import analyze
+from repro.analysis.lint import explore_hints, lint_patternlet
+from repro.testkit.explore import explore_target
+
+# (patternlet, paradigm, statically suspicious?, dynamically flagged?)
+CORPUS = [
+    ("race", "openmp", True, True),
+    ("critical", "openmp", False, False),
+    ("atomic", "openmp", False, False),
+    ("reduction", "openmp", False, False),
+    ("deadlock", "mpi", True, True),
+    ("sendReceive", "mpi", False, False),
+    ("broadcast", "mpi", False, False),
+]
+
+
+def _static_suspicious(name: str, paradigm: str) -> bool:
+    hints = explore_hints(lint_patternlet(name, paradigm))
+    return bool(hints["racy"] or hints["deadlock"])
+
+
+def _dynamic_flagged(name: str, paradigm: str) -> bool:
+    return bool(analyze(name, paradigm).errors)
+
+
+class TestCorpusAgreement:
+    @pytest.mark.parametrize("name,paradigm,static,dynamic", CORPUS)
+    def test_static_matches_expectation(self, name, paradigm, static, dynamic):
+        assert _static_suspicious(name, paradigm) is static
+
+    @pytest.mark.parametrize("name,paradigm,static,dynamic", CORPUS)
+    def test_dynamic_matches_expectation(self, name, paradigm, static, dynamic):
+        assert _dynamic_flagged(name, paradigm) is dynamic
+
+    def test_verdicts_agree_across_corpus(self):
+        disagreements = [
+            name
+            for name, paradigm, _, _ in CORPUS
+            if _static_suspicious(name, paradigm)
+            != _dynamic_flagged(name, paradigm)
+        ]
+        assert not disagreements
+
+    def test_race_hint_names_the_racy_rule(self):
+        hints = explore_hints(lint_patternlet("race", "openmp"))
+        assert any(h["rule"] == "PDC101" for h in hints["racy"])
+
+    def test_deadlock_hint_names_the_protocol_rule(self):
+        hints = explore_hints(lint_patternlet("deadlock", "mpi"))
+        assert any(h["rule"] == "PDC103" for h in hints["deadlock"])
+
+
+class TestSeededExploration:
+    """Acceptance: lint hints make the explorer find the witness faster."""
+
+    def _first_witness_index(self, result) -> int:
+        for i, outcome in enumerate(result.outcomes):
+            if outcome.flagged:
+                return i
+        raise AssertionError("no flagged schedule found")
+
+    def test_seeded_reaches_witness_strictly_earlier(self):
+        hints = explore_hints(lint_patternlet("race", "openmp"))
+        assert hints["racy"]
+        unseeded = explore_target("race", "openmp", max_schedules=8)
+        seeded = explore_target(
+            "race", "openmp", max_schedules=8, seed_hints=hints
+        )
+        assert seeded.flagged and unseeded.flagged
+        seeded_idx = self._first_witness_index(seeded)
+        unseeded_idx = self._first_witness_index(unseeded)
+        assert seeded_idx < unseeded_idx
+        # deterministic: the conflict-eager schedule runs first and wins
+        assert seeded_idx == 0
+
+    def test_seeding_is_deterministic(self):
+        hints = explore_hints(lint_patternlet("race", "openmp"))
+        first = explore_target("race", "openmp", max_schedules=8,
+                               seed_hints=hints)
+        second = explore_target("race", "openmp", max_schedules=8,
+                                seed_hints=hints)
+        assert [o.token for o in first.outcomes] == [
+            o.token for o in second.outcomes
+        ]
+
+    def test_seeded_result_records_its_hints(self):
+        hints = explore_hints(lint_patternlet("race", "openmp"))
+        result = explore_target("race", "openmp", max_schedules=4,
+                                seed_hints=hints)
+        assert result.to_dict()["seeded"] == hints
+
+    def test_unseeded_result_omits_seeded_key(self):
+        result = explore_target("race", "openmp", max_schedules=4)
+        assert "seeded" not in result.to_dict()
+
+    def test_clean_patternlet_unaffected_by_seeding(self):
+        hints = explore_hints(lint_patternlet("critical", "openmp"))
+        assert not hints["racy"]
+        seeded = explore_target("critical", "openmp", max_schedules=6,
+                                seed_hints=hints)
+        unseeded = explore_target("critical", "openmp", max_schedules=6)
+        assert not seeded.flagged and not unseeded.flagged
+        assert [o.token for o in seeded.outcomes] == [
+            o.token for o in unseeded.outcomes
+        ]
+
+    def test_witnesses_confirmed_by_detector(self):
+        # every lint-seeded witness must also be a true dynamic race:
+        # the detector reruns flagged schedules and must agree
+        hints = explore_hints(lint_patternlet("race", "openmp"))
+        result = explore_target("race", "openmp", max_schedules=8,
+                                seed_hints=hints)
+        assert all(o.detector_errors for o in result.flagged)

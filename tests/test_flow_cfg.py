@@ -1,0 +1,315 @@
+"""Units for the flow package: CFG shape, dominators, dataflow, MHP, callgraph."""
+
+import ast
+
+import pytest
+
+from repro.analysis.flow import (
+    LiveVariables,
+    MHPAnalysis,
+    ReachingDefinitions,
+    build_callgraph,
+    build_cfg,
+    solve,
+)
+from repro.analysis.flow.dataflow import facts_at, stmt_defs, stmt_uses
+
+
+def _func(src: str) -> ast.FunctionDef:
+    tree = ast.parse(src)
+    return next(
+        n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)
+    )
+
+
+def _stmt_at(cfg, line: int) -> ast.stmt:
+    for _, stmt in cfg.statements():
+        if getattr(stmt, "lineno", None) == line:
+            return stmt
+    raise AssertionError(f"no CFG statement at line {line}")
+
+
+class TestCFGShape:
+    def test_straight_line_single_body_block(self):
+        cfg = build_cfg(_func("def f():\n    a = 1\n    b = a\n    return b\n"))
+        lines = [getattr(s, "lineno", 0) for _, s in cfg.statements()]
+        assert lines == [2, 3, 4]
+        assert cfg.exit in cfg.reachable_forward(cfg.entry)
+
+    def test_if_else_branches_and_join(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        ))
+        then_block = cfg.block_of(_stmt_at(cfg, 3))
+        else_block = cfg.block_of(_stmt_at(cfg, 5))
+        join_block = cfg.block_of(_stmt_at(cfg, 6))
+        assert then_block.id != else_block.id
+        assert join_block.id in then_block.succs
+        assert join_block.id in else_block.succs
+
+    def test_while_loop_has_back_edge(self):
+        cfg = build_cfg(_func(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    return n\n"
+        ))
+        body = cfg.block_of(_stmt_at(cfg, 3))
+        header = next(b for b in cfg.blocks.values() if b.label == "while")
+        assert header.id in body.succs  # back edge
+        assert body.id in header.succs
+
+    def test_break_exits_loop(self):
+        cfg = build_cfg(_func(
+            "def f(n):\n"
+            "    while True:\n"
+            "        break\n"
+            "    return n\n"
+        ))
+        body = cfg.block_of(_stmt_at(cfg, 3))
+        after = cfg.block_of(_stmt_at(cfg, 4))
+        assert after.id in body.succs
+
+    def test_return_routes_through_finally(self):
+        cfg = build_cfg(_func(
+            "def f(lock):\n"
+            "    try:\n"
+            "        return 1\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        ))
+        ret_block = cfg.block_of(_stmt_at(cfg, 3))
+        fin_block = cfg.block_of(_stmt_at(cfg, 5))
+        assert fin_block.id in ret_block.succs
+        assert cfg.exit not in ret_block.succs
+
+    def test_dead_code_after_return_stays_queryable(self):
+        cfg = build_cfg(_func("def f():\n    return 1\n    x = 2\n"))
+        dead = cfg.block_of(_stmt_at(cfg, 3))
+        assert dead is not None
+        assert dead.id not in cfg.reachable_forward(cfg.entry)
+
+    def test_non_function_raises(self):
+        with pytest.raises(TypeError):
+            build_cfg(ast.parse("x = 1").body[0])
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    return x\n"
+        ))
+        doms = cfg.dominators()
+        for bid in cfg.blocks:
+            if bid in cfg.reachable_forward(cfg.entry) or bid == cfg.entry:
+                assert cfg.entry in doms[bid]
+
+    def test_branch_does_not_dominate_join(self):
+        cfg = build_cfg(_func(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n"
+        ))
+        then_block = cfg.block_of(_stmt_at(cfg, 3))
+        join_block = cfg.block_of(_stmt_at(cfg, 6))
+        assert not cfg.dominates(then_block.id, join_block.id)
+        # but the test block (which holds no stmts here, it's the body
+        # block carrying the If test) dominates the join
+        test_block = next(
+            b for b in cfg.blocks.values() if b.test is not None
+        )
+        assert cfg.dominates(test_block.id, join_block.id)
+
+
+class TestDefUse:
+    def test_assign_and_augassign(self):
+        a, b = ast.parse("x = y\nx += z\n").body
+        assert stmt_defs(a) == {"x"} and stmt_uses(a) == {"y"}
+        assert stmt_defs(b) == {"x"} and stmt_uses(b) == {"x", "z"}
+
+    def test_with_and_for_targets(self):
+        w, f = ast.parse(
+            "with open(p) as fh:\n    pass\nfor i in xs:\n    pass\n"
+        ).body
+        assert stmt_defs(w) == {"fh"} and stmt_uses(w) == {"open", "p"}
+        assert stmt_defs(f) == {"i"} and stmt_uses(f) == {"xs"}
+
+
+class TestWorklistSolver:
+    def test_reaching_definitions_merge_at_join(self):
+        func = _func(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    if x:\n"
+            "        a = 2\n"
+            "    return a\n"
+        )
+        cfg = build_cfg(func)
+        problem = ReachingDefinitions()
+        in_sets, _ = solve(cfg, problem)
+        ret = _stmt_at(cfg, 5)
+        block = cfg.block_of(ret)
+        reaching = facts_at(problem, cfg, in_sets, block, ret)
+        assert ("a", 2) in reaching and ("a", 4) in reaching
+
+    def test_redefinition_kills_older_def(self):
+        func = _func("def f():\n    a = 1\n    a = 2\n    return a\n")
+        cfg = build_cfg(func)
+        problem = ReachingDefinitions()
+        in_sets, _ = solve(cfg, problem)
+        ret = _stmt_at(cfg, 4)
+        reaching = facts_at(problem, cfg, in_sets, cfg.block_of(ret), ret)
+        assert ("a", 3) in reaching and ("a", 2) not in reaching
+
+    def test_live_variables_backward(self):
+        func = _func("def f():\n    a = 1\n    b = 2\n    return a\n")
+        cfg = build_cfg(func)
+        problem = LiveVariables()
+        in_sets, _ = solve(cfg, problem)
+        first = _stmt_at(cfg, 2)
+        live_before = facts_at(
+            problem, cfg, in_sets, cfg.block_of(first), first, after=True
+        )
+        assert "a" not in live_before  # defined right here
+        second = _stmt_at(cfg, 3)
+        live_after_b = facts_at(
+            problem, cfg, in_sets, cfg.block_of(second), second
+        )
+        assert "a" in live_after_b and "b" not in live_after_b
+
+
+class TestMHP:
+    def _analysis(self, src: str) -> tuple[MHPAnalysis, ast.Module]:
+        tree = ast.parse(src)
+        body = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "body"
+        )
+        return MHPAnalysis(body, module=tree), tree
+
+    def test_with_lock_guard_is_must_held(self):
+        mhp, _ = self._analysis(
+            "import threading\n"
+            "mutex = threading.Lock()\n"
+            "def body():\n"
+            "    with mutex:\n"
+            "        total = 1\n"
+        )
+        write = next(
+            s for _, s in mhp.cfg.statements()
+            if isinstance(s, ast.Assign)
+        )
+        assert mhp.facts(write).guarded
+
+    def test_conditional_acquire_is_partial(self):
+        mhp, _ = self._analysis(
+            "import threading\n"
+            "mutex = threading.Lock()\n"
+            "def body(flag):\n"
+            "    if flag:\n"
+            "        mutex.acquire()\n"
+            "    total = 1\n"
+            "    if flag:\n"
+            "        mutex.release()\n"
+        )
+        write = next(
+            s for _, s in mhp.cfg.statements()
+            if isinstance(s, ast.Assign) and s.lineno == 6
+        )
+        facts = mhp.facts(write)
+        assert not facts.guarded
+        assert facts.partially_guarded
+
+    def test_balanced_acquire_release_is_must_held(self):
+        mhp, _ = self._analysis(
+            "import threading\n"
+            "mutex = threading.Lock()\n"
+            "def body():\n"
+            "    mutex.acquire()\n"
+            "    total = 1\n"
+            "    mutex.release()\n"
+        )
+        write = next(
+            s for _, s in mhp.cfg.statements()
+            if isinstance(s, ast.Assign) and s.lineno == 5
+        )
+        assert mhp.facts(write).guarded
+
+    def test_master_branch_is_one_thread(self):
+        mhp, _ = self._analysis(
+            "from repro.openmp import master\n"
+            "def body():\n"
+            "    if master():\n"
+            "        total = 1\n"
+        )
+        write = next(
+            s for _, s in mhp.cfg.statements()
+            if isinstance(s, ast.Assign)
+        )
+        facts = mhp.facts(write)
+        assert facts.one_thread and facts.guarded
+
+    def test_may_race_respects_common_lock(self):
+        mhp, _ = self._analysis(
+            "import threading\n"
+            "mutex = threading.Lock()\n"
+            "def body():\n"
+            "    with mutex:\n"
+            "        a = 1\n"
+            "    b = 2\n"
+        )
+        a = next(s for _, s in mhp.cfg.statements()
+                 if isinstance(s, ast.Assign) and s.lineno == 5)
+        b = next(s for _, s in mhp.cfg.statements()
+                 if isinstance(s, ast.Assign) and s.lineno == 6)
+        assert not mhp.may_race(a, a)  # shares the lock with itself
+        assert mhp.may_race(b, b)  # unguarded against another instance
+
+
+class TestCallGraph:
+    def test_helper_shared_write_summary(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    total = 0\n"
+            "    def bump():\n"
+            "        nonlocal total\n"
+            "        total = total + 1\n"
+            "    def body():\n"
+            "        bump()\n"
+        )
+        graph = build_callgraph(tree)
+        assert "total" in graph.summary("bump").shared_writes
+        body = next(
+            n for n in ast.walk(tree)
+            if isinstance(n, ast.FunctionDef) and n.name == "body"
+        )
+        effective = graph.effective_summary(body, "body")
+        # the helper's write surfaces at the call-site line
+        assert effective.shared_writes == {"total": 7}
+
+    def test_one_level_only(self):
+        tree = ast.parse(
+            "def a():\n"
+            "    b()\n"
+            "def b():\n"
+            "    c()\n"
+            "def c():\n"
+            "    global g\n"
+            "    g = 1\n"
+        )
+        graph = build_callgraph(tree)
+        via_b = graph.effective_summary(graph.summary("b").node, "b")
+        assert "g" in via_b.shared_writes
+        via_a = graph.effective_summary(graph.summary("a").node, "a")
+        assert "g" not in via_a.shared_writes  # two hops away: not chased

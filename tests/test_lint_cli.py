@@ -132,3 +132,107 @@ class TestGoldenReports:
         assert lines[0].startswith("== repro lint:")
         assert lines[-1] == "verdict: 1 error(s), 0 warning(s)"
         assert any(line.startswith("ERROR") for line in lines)
+
+
+class TestGithubFormat:
+    def test_error_annotation_and_exit_code(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc101_tp.py"),
+                   "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error file=" in out
+        assert "title=pdclint PDC101::" in out
+        assert ",line=" in out
+        assert "pdclint:" in out.splitlines()[-1]  # summary trailer
+
+    def test_clean_file_exits_zero(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc101_tn.py"),
+                   "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "::error" not in out
+
+    def test_format_json_equals_json_flag(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc101_tp.py"),
+                   "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["engine"] == "pdclint"
+
+
+class TestBaselineRatchet:
+    LEGACY = FIXTURES / "legacy"
+    BASELINE = FIXTURES / "legacy_baseline.json"
+
+    def test_committed_baseline_silences_legacy_corpus(self, capsys,
+                                                       monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "--baseline", str(self.BASELINE), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 0, payload
+        assert payload["clean"] is True
+        assert payload["suppressed"] >= 2
+
+    def test_new_finding_still_fails_under_baseline(self, capsys,
+                                                    monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "tests/fixtures/lint/pdc101_tp.py",
+                   "--baseline", str(self.BASELINE), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["clean"] is False
+        # the legacy findings stay baselined; only the new site surfaces
+        labels = {d["location"].rsplit(":", 1)[0]
+                  for d in payload["diagnostics"]}
+        assert labels == {"tests/fixtures/lint/pdc101_tp.py"}
+
+    def test_update_baseline_roundtrip(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = tmp_path / "baseline.json"
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "--update-baseline", str(baseline)])
+        capsys.readouterr()
+        assert rc == 0
+        data = json.loads(baseline.read_text())
+        assert data["engine"] == "pdclint"
+        assert len(data["fingerprints"]) == 2
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "--baseline", str(baseline)])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_missing_baseline_file_exits_two(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc101_tn.py"),
+                   "--baseline", "/nonexistent/baseline.json"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "baseline" in err
+
+
+class TestSeedExplore:
+    def test_seed_explore_adds_hints_to_json(self, capsys):
+        rc = main(["lint", "race", "--json", "--seed-explore"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1  # the C listing carries an unsuppressed PDC202
+        hints = payload["explore_hints"]
+        assert hints["racy"]
+        # both the live finding and the suppressed intentional bug count
+        rules = {h["rule"] for h in hints["racy"]}
+        assert {"PDC101", "PDC202"} <= rules
+
+    def test_json_without_flag_has_no_hints_key(self, capsys):
+        main(["lint", "race", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "explore_hints" not in payload
+
+    def test_explore_seed_from_lint_flags_witness_first(self, capsys):
+        rc = main(["explore", "race", "--seed-from-lint",
+                   "--schedules", "8", "--json"])
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert rc == 1
+        assert payload["seeded"]["racy"]
+        assert payload["outcomes"][0]["flagged"] is True
+        assert "seeded from lint:" in captured.err

@@ -17,9 +17,19 @@ TRUE_POSITIVES = [
     ("pdc104_tp.py", "PDC104", 11, "error"),
     ("pdc105_tp.py", "PDC105", 8, "warning"),
     ("pdc106_tp.py", "PDC106", 10, "warning"),
+    ("pdc107_tp.py", "PDC107", 14, "warning"),
+    ("pdc108_tp.py", "PDC108", 17, "error"),
+    ("pdc110_tp.py", "PDC110", 10, "error"),
+    ("pdc111_tp.py", "PDC111", 10, "error"),
+    ("pdc112_tp.py", "PDC112", 10, "error"),
     ("pdc201_tp.c", "PDC201", 9, "error"),
     ("pdc202_tp.c", "PDC202", 10, "error"),
     ("pdc203_tp.c", "PDC203", 9, "warning"),
+    # Flow-sensitivity flips: true positives the lexical rules missed.
+    ("pdc101_tp_helper.py", "PDC101", 14, "error"),
+    ("pdc103_tp_size_guard.py", "PDC103", 11, "error"),
+    ("pdc104_tp_rank_alias.py", "PDC104", 12, "error"),
+    ("pdc106_tp_early_return.py", "PDC106", 12, "warning"),
 ]
 
 TRUE_NEGATIVES = [
@@ -29,9 +39,19 @@ TRUE_NEGATIVES = [
     "pdc104_tn.py",
     "pdc105_tn.py",
     "pdc106_tn.py",
+    "pdc107_tn.py",
+    "pdc108_tn.py",
+    "pdc110_tn.py",
+    "pdc111_tn.py",
+    "pdc112_tn.py",
     "pdc201_tn.c",
     "pdc202_tn.c",
     "pdc203_tn.c",
+    # Flow-sensitivity flips: false positives the lexical rules reported.
+    "pdc101_tn_lock_object.py",
+    "pdc101_tn_single_thread.py",
+    "pdc103_tn_helper.py",
+    "pdc104_tn_size_branch.py",
 ]
 
 
