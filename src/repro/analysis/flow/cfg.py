@@ -139,6 +139,41 @@ class _Ctx:
     finally_entry: int | None = None  # innermost finally suite, if any
 
 
+def _protected_jumps(stmt: ast.Try) -> dict[str, bool]:
+    """Which jump kinds escape this ``try``'s protected region.
+
+    ``break``/``continue`` stop counting below a nested loop (they bind to
+    it, entirely inside the region); ``return`` stops only below a nested
+    function.  Drives the finally-exit fan-out in :meth:`_Builder._try`.
+    """
+    out = {"break": False, "continue": False, "return": False}
+
+    def scan(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, ast.Break):
+                out["break"] |= not in_loop
+            elif isinstance(child, ast.Continue):
+                out["continue"] |= not in_loop
+            elif isinstance(child, (ast.Return, ast.Raise)):
+                out["return"] = True
+            scan(child, in_loop or isinstance(
+                child, (ast.While, ast.For, ast.AsyncFor)))
+
+    for part in (*stmt.body, *stmt.orelse, *(h for handler in stmt.handlers
+                                             for h in handler.body)):
+        scan(part, in_loop=False)
+        if isinstance(part, ast.Break):
+            out["break"] = True
+        elif isinstance(part, ast.Continue):
+            out["continue"] = True
+        elif isinstance(part, (ast.Return, ast.Raise)):
+            out["return"] = True
+    return out
+
+
 class _Builder:
     def __init__(self, func: ast.AST) -> None:
         self.cfg = CFG(func)
@@ -178,6 +213,8 @@ class _Builder:
             return self._stmts(stmt.body, cur, ctx)
         if isinstance(stmt, ast.Try):
             return self._try(stmt, cur, ctx)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur, ctx)
         if isinstance(stmt, (ast.Return, ast.Raise)):
             self.cfg.blocks[cur].stmts.append(stmt)
             target = ctx.finally_entry if ctx.finally_entry is not None else self.cfg.exit
@@ -217,40 +254,71 @@ class _Builder:
             return None  # both branches jumped away
         return after.id
 
-    def _while(self, stmt: ast.While, cur: int, ctx: _Ctx) -> int:
+    def _while(self, stmt: ast.While, cur: int, ctx: _Ctx) -> int | None:
         header = self.cfg._new("while")
         header.test = stmt.test
         self.cfg._edge(cur, header.id)
         after = self.cfg._new("after-while")
         body = self.cfg._new("while-body")
         self.cfg._edge(header.id, body.id)
-        self.cfg._edge(header.id, after.id)
         inner = _Ctx(break_to=after.id, continue_to=header.id,
                      finally_entry=ctx.finally_entry)
         body_end = self._stmts(stmt.body, body.id, inner)
         if body_end is not None:
             self.cfg._edge(body_end, header.id)
-        if stmt.orelse:
-            end = self._stmts(stmt.orelse, after.id, ctx)
-            return end if end is not None else after.id
-        return after.id
+        return self._loop_exit(stmt, header.id, after, ctx)
 
-    def _for(self, stmt: ast.For, cur: int, ctx: _Ctx) -> int:
+    def _for(self, stmt: ast.For, cur: int, ctx: _Ctx) -> int | None:
         header = self.cfg._new("for")
         header.stmts.append(stmt)  # the For node defines its loop target
         self.cfg._edge(cur, header.id)
         after = self.cfg._new("after-for")
         body = self.cfg._new("for-body")
         self.cfg._edge(header.id, body.id)
-        self.cfg._edge(header.id, after.id)
         inner = _Ctx(break_to=after.id, continue_to=header.id,
                      finally_entry=ctx.finally_entry)
         body_end = self._stmts(stmt.body, body.id, inner)
         if body_end is not None:
             self.cfg._edge(body_end, header.id)
+        return self._loop_exit(stmt, header.id, after, ctx)
+
+    def _loop_exit(self, stmt: ast.While | ast.For, header: int,
+                   after: BasicBlock, ctx: _Ctx) -> int | None:
+        """Wire a loop's normal exit: the ``else`` suite runs only when the
+        loop condition/iterator is exhausted — ``break`` (which targets
+        ``after`` directly) skips it."""
         if stmt.orelse:
-            end = self._stmts(stmt.orelse, after.id, ctx)
-            return end if end is not None else after.id
+            orelse = self.cfg._new("loop-else")
+            self.cfg._edge(header, orelse.id)
+            else_end = self._stmts(stmt.orelse, orelse.id, ctx)
+            if else_end is not None:
+                self.cfg._edge(else_end, after.id)
+        else:
+            self.cfg._edge(header, after.id)
+        if not after.preds:
+            return None  # the else suite jumped away and nothing breaks here
+        return after.id
+
+    def _match(self, stmt: ast.Match, cur: int, ctx: _Ctx) -> int | None:
+        """``match`` as a multi-way branch: one arm per case, plus a
+        no-case-matched fall-through edge unless a bare wildcard
+        (``case _:`` with no guard) makes the dispatch exhaustive."""
+        self.cfg.blocks[cur].test = stmt.subject
+        after = self.cfg._new("after-match")
+        exhaustive = False
+        for case in stmt.cases:
+            arm = self.cfg._new("case")
+            self.cfg._edge(cur, arm.id)
+            arm_end = self._stmts(case.body, arm.id, ctx)
+            if arm_end is not None:
+                self.cfg._edge(arm_end, after.id)
+            if (isinstance(case.pattern, ast.MatchAs)
+                    and case.pattern.pattern is None and case.guard is None):
+                exhaustive = True
+        if not exhaustive:
+            self.cfg._edge(cur, after.id)
+        if not after.preds:
+            return None  # every arm jumped away and a wildcard always matches
         return after.id
 
     def _try(self, stmt: ast.Try, cur: int, ctx: _Ctx) -> int | None:
@@ -261,8 +329,21 @@ class _Builder:
             join: int | None = fin.id
             if fin_end is not None:
                 self.cfg._edge(fin_end, after.id)
-            inner = _Ctx(break_to=ctx.break_to, continue_to=ctx.continue_to,
-                         finally_entry=fin.id)
+                # break/continue/return inside the protected region run the
+                # finally suite first, then jump; since the finally subgraph
+                # is shared by all entries, its exit over-approximates by
+                # fanning out to every target the region actually jumps to.
+                jumps = _protected_jumps(stmt)
+                if jumps["return"]:
+                    self.cfg._edge(fin_end, self.cfg.exit)
+                if jumps["break"] and ctx.break_to is not None:
+                    self.cfg._edge(fin_end, ctx.break_to)
+                if jumps["continue"] and ctx.continue_to is not None:
+                    self.cfg._edge(fin_end, ctx.continue_to)
+            inner = _Ctx(
+                break_to=fin.id if ctx.break_to is not None else None,
+                continue_to=fin.id if ctx.continue_to is not None else None,
+                finally_entry=fin.id)
         else:
             join = after.id
             inner = ctx

@@ -70,15 +70,46 @@ def stmt_defs(stmt: ast.stmt) -> set[str]:
 
 
 def expr_uses(expr: ast.AST | None) -> set[str]:
-    """Names loaded anywhere in an expression (nested lambdas included —
-    a conservative over-approximation of uses)."""
+    """Names loaded anywhere in an expression.
+
+    Comprehension targets are scoped: in ``[x for x in items]`` the ``x``
+    read in the element is bound by the comprehension's own generator, not
+    the enclosing function, so it is not reported as a use (``items`` is).
+    Nested lambda bodies are still included — a conservative
+    over-approximation of uses.
+    """
     if expr is None:
         return set()
-    return {
-        node.id
-        for node in ast.walk(expr)
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
-    }
+    out: set[str] = set()
+    _collect_uses(expr, out, frozenset())
+    return out
+
+
+_COMP_NODES = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _collect_uses(node: ast.AST, out: set[str], bound: frozenset[str]) -> None:
+    if isinstance(node, ast.Name):
+        if isinstance(node.ctx, ast.Load) and node.id not in bound:
+            out.add(node.id)
+        return
+    if isinstance(node, _COMP_NODES):
+        local = set(bound)
+        for gen in node.generators:
+            # each iterable is evaluated before that generator's target binds
+            _collect_uses(gen.iter, out, frozenset(local))
+            local |= _target_names(gen.target)
+            for cond in gen.ifs:
+                _collect_uses(cond, out, frozenset(local))
+        scope = frozenset(local)
+        if isinstance(node, ast.DictComp):
+            _collect_uses(node.key, out, scope)
+            _collect_uses(node.value, out, scope)
+        else:
+            _collect_uses(node.elt, out, scope)
+        return
+    for child in ast.iter_child_nodes(node):
+        _collect_uses(child, out, bound)
 
 
 def stmt_uses(stmt: ast.stmt) -> set[str]:

@@ -230,10 +230,17 @@ def spmd_roots(tree: ast.AST) -> list[ast.AST]:
 # ---------------------------------------------------------------------------
 
 def _parent_map(tree: ast.AST) -> dict[int, ast.AST]:
+    # Memoized on the tree: the symbolic checker replays extraction at
+    # every world size up to the cutoff, and rebuilding the parent map
+    # per size dominated the lint profile.  Callers never mutate it.
+    cached = tree.__dict__.get("_pdc_parent_map")
+    if cached is not None:
+        return cached
     parents: dict[int, ast.AST] = {}
     for node in ast.walk(tree):
         for child in ast.iter_child_nodes(node):
             parents[id(child)] = node
+    tree.__dict__["_pdc_parent_map"] = parents
     return parents
 
 
@@ -256,7 +263,15 @@ def _constant_bindings(scope_body: list[ast.stmt]) -> dict[str, object]:
 
 
 def _enclosing_env(tree: ast.AST, func: ast.AST) -> dict[str, object]:
-    """Constants visible to ``func`` from the module and enclosing defs."""
+    """Constants visible to ``func`` from the module and enclosing defs.
+
+    Memoized per (tree, func) for the same reason as :func:`_parent_map`;
+    callers copy before mutating.
+    """
+    env_cache = tree.__dict__.setdefault("_pdc_env_cache", {})
+    cached = env_cache.get(id(func))
+    if cached is not None:
+        return cached
     parents = _parent_map(tree)
     chain: list[ast.AST] = []
     node: ast.AST | None = func
@@ -267,6 +282,7 @@ def _enclosing_env(tree: ast.AST, func: ast.AST) -> dict[str, object]:
     env: dict[str, object] = {}
     for scope in reversed(chain):  # outermost first; inner shadows outer
         env.update(_constant_bindings(list(scope.body)))
+    env_cache[id(func)] = env
     return env
 
 
@@ -699,10 +715,13 @@ class _Eval:
 
 def extract_traces(func: ast.AST, tree: ast.AST, *, size: int = R) -> list[RankTrace]:
     """Evaluate ``func`` once per rank; raises :class:`Ambiguous`."""
-    defs: dict[str, ast.AST] = {}
-    for node in ast.walk(tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            defs.setdefault(node.name, node)
+    defs: dict[str, ast.AST] | None = tree.__dict__.get("_pdc_defs")
+    if defs is None:
+        defs = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defs.setdefault(node.name, node)
+        tree.__dict__["_pdc_defs"] = defs
     base_env = _enclosing_env(tree, func)
     comm_name = _comm_param(func) or (
         func.args.args[0].arg if getattr(func, "args", None) and func.args.args

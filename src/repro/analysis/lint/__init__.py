@@ -41,6 +41,7 @@ from .cpragma import (
 )
 from .engine import (
     ENGINE,
+    SKIP_DIRS,
     Rule,
     SourceFile,
     all_rules,
@@ -54,6 +55,7 @@ from .engine import (
 
 __all__ = [
     "ENGINE",
+    "SKIP_DIRS",
     "Rule",
     "SourceFile",
     "all_rules",

@@ -21,7 +21,9 @@ Three small consumers of an :class:`~repro.analysis.diagnostics.AnalysisReport`:
 from __future__ import annotations
 
 import json
+import re
 from collections import Counter
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -31,6 +33,7 @@ __all__ = [
     "RACY_RULES",
     "DEADLOCK_RULES",
     "finding_fingerprint",
+    "BaselineDelta",
     "write_baseline",
     "load_baseline",
     "apply_baseline",
@@ -57,17 +60,57 @@ def finding_fingerprint(diagnostic: Diagnostic) -> str:
     return f"{rule}|{label}|{diagnostic.message}"
 
 
-def write_baseline(report: AnalysisReport, path: str | Path) -> Path:
-    """Record the report's current findings as the accepted baseline."""
+@dataclass(frozen=True)
+class BaselineDelta:
+    """What one ``--update-baseline`` run changed.
+
+    ``added`` are fingerprints newly accepted into the baseline — the
+    ratchet loosening, which the CLI reports loudly; ``removed`` are
+    stale fingerprints pruned because the finding no longer exists —
+    the ratchet tightening, which is the expected direction of travel.
+    """
+
+    path: Path
+    added: tuple[str, ...]
+    removed: tuple[str, ...]
+    total: int
+
+    def summary(self) -> str:
+        parts = [f"{self.total} finding(s) accepted"]
+        if self.added:
+            parts.append(f"+{len(self.added)} new")
+        if self.removed:
+            parts.append(f"-{len(self.removed)} pruned")
+        return ", ".join(parts)
+
+
+def write_baseline(report: AnalysisReport, path: str | Path) -> BaselineDelta:
+    """Record the report's current findings as the accepted baseline.
+
+    Always writes exactly the current findings — stale fingerprints from
+    a previous baseline are pruned, never carried forward — and returns
+    the delta against whatever the file held before (multiset-style, so
+    a third instance of a twice-baselined finding counts as added).
+    """
     path = Path(path)
+    previous: list[str] = []
+    if path.is_file():
+        try:
+            previous = load_baseline(path)
+        except (ValueError, OSError):
+            previous = []  # unreadable/foreign file: treat as empty
+    current = sorted(finding_fingerprint(d) for d in report.diagnostics)
+    before = Counter(previous)
+    after = Counter(current)
+    added = sorted((after - before).elements())
+    removed = sorted((before - after).elements())
     payload = {
         "engine": report.engine,
-        "fingerprints": sorted(
-            finding_fingerprint(d) for d in report.diagnostics
-        ),
+        "fingerprints": current,
     }
     path.write_text(json.dumps(payload, indent=2) + "\n")
-    return path
+    return BaselineDelta(path=path, added=tuple(added),
+                         removed=tuple(removed), total=len(current))
 
 
 def load_baseline(path: str | Path) -> list[str]:
@@ -98,8 +141,17 @@ def apply_baseline(report: AnalysisReport, fingerprints: list[str]) -> AnalysisR
     return report
 
 
+#: the engine's ``details["span"]`` format: ``line:col-endLine:endCol``
+_SPAN_RE = re.compile(r"(\d+):(\d+)-(\d+):(\d+)$")
+
+
 def render_github(report: AnalysisReport) -> str:
-    """Findings as GitHub Actions workflow commands, one per line."""
+    """Findings as GitHub Actions workflow commands, one per line.
+
+    When the engine attached a full statement span the annotation carries
+    ``endLine``/``col``/``endColumn`` so the diff markup highlights the
+    whole flagged construct, not just its first line.
+    """
     lines = []
     for diagnostic in report.sorted_diagnostics():
         location = diagnostic.location or ""
@@ -108,8 +160,14 @@ def render_github(report: AnalysisReport) -> str:
         level = "error" if diagnostic.severity == ERROR else "warning"
         rule = str(diagnostic.details.get("rule", diagnostic.kind))
         message = diagnostic.message.replace("\n", " ")
+        span = ""
+        match = _SPAN_RE.match(str(diagnostic.details.get("span", "")))
+        if match and match.group(1) == line:
+            span = (f",endLine={match.group(3)},col={match.group(2)}"
+                    f",endColumn={match.group(4)}")
         lines.append(
-            f"::{level} file={file},line={line},title=pdclint {rule}::{message}"
+            f"::{level} file={file},line={line}{span},"
+            f"title=pdclint {rule}::{message}"
         )
     lines.append(
         f"pdclint: {len(report.errors)} error(s), "

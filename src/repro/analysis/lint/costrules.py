@@ -1,0 +1,196 @@
+"""Scalability rules backed by the static cost analyzer (``repro lint --cost``).
+
+These rules are *opt-in* (``Rule.opt_in``): they evaluate every SPMD
+body once per rank at several world sizes via
+:mod:`repro.analysis.scale.cost`, which is more work than the lexical
+rules, so plain ``repro lint`` skips them and ``repro lint --cost``
+turns them on.
+
+* **PDC120** — a point-to-point site whose messages all originate from
+  one rank and whose count grows with the world size: a serialized
+  O(P) fan-out/fan-in section that caps speedup (Amdahl) and should be
+  a collective.
+* **PDC121** — a collective call or array allocation executed many
+  times per rank inside a loop: per-iteration ``bcast``/``np.zeros``
+  turns an O(1) setup cost into an O(iterations) one.
+* **PDC122** — the per-rank work profile is strongly imbalanced at the
+  sampled world sizes (max/mean − 1 beyond 50%): non-uniform chunking
+  leaves most ranks idle while one finishes.
+
+Every rule reports with the evidence in ``details`` (per-rank message
+counts, sampled world sizes, work profiles) so the ``--json`` report is
+grader-consumable, mirroring the protocol rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..diagnostics import WARNING, Diagnostic
+from ..flow.protocol import spmd_roots
+from ..scale.cost import CostSample, analyze_cost
+from .engine import Rule, SourceFile, register_rule
+
+#: world sizes sampled for the cost rules (P=1 anchors the Amdahl view)
+COST_SAMPLE_SIZES: tuple[int, ...] = (2, 4, 8)
+
+#: calls-per-rank at one site before PDC121 considers it "inside a loop"
+LOOP_CALL_THRESHOLD = 16
+
+#: max/mean - 1 beyond which PDC122 reports imbalance
+IMBALANCE_THRESHOLD = 0.5
+
+#: minimum max-rank work before imbalance is worth reporting
+IMBALANCE_WORK_FLOOR = 64
+
+
+def _cost_results(src: SourceFile) -> list[tuple[ast.AST, list[CostSample]]]:
+    """Sample every SPMD root at :data:`COST_SAMPLE_SIZES`; cached per file."""
+    if "cost" not in src.cache:
+        results: list[tuple[ast.AST, list[CostSample]]] = []
+        if src.tree is not None:
+            for root in spmd_roots(src.tree):
+                samples = [
+                    analyze_cost(root, src.tree, size=p)
+                    for p in COST_SAMPLE_SIZES
+                ]
+                results.append((root, samples))
+        src.cache["cost"] = results
+    return src.cache["cost"]
+
+
+def _single_origin(sample: CostSample, line: int) -> int | None:
+    """The one rank all of a p2p site's sends come from, if any."""
+    for site in sample.sites:
+        if site.kind != "p2p" or site.line != line:
+            continue
+        origins = [r for r, n in enumerate(site.per_rank_msgs) if n > 0]
+        if len(origins) == 1:
+            return origins[0]
+    return None
+
+
+def _site_msgs(sample: CostSample, line: int, kind: str) -> int:
+    for site in sample.sites:
+        if site.kind == kind and site.line == line:
+            return site.msgs
+    return 0
+
+
+@register_rule
+class SerializedFanout(Rule):
+    id = "PDC120"
+    name = "serialized-fanout"
+    severity = WARNING
+    summary = "one rank sends to every other rank in turn: a serialized O(P) section"
+    fix_hint = (
+        "replace the rank-0 send/recv loop with a collective "
+        "(scatter/gather/bcast): the runtime's tree and ring algorithms "
+        "spread the O(P) traffic across ranks"
+    )
+    opt_in = True
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for _root, samples in _cost_results(src):
+            clean = [s for s in samples if s.abstained is None]
+            if len(clean) < 2:
+                continue
+            lines = {site.line for s in clean for site in s.sites
+                     if site.kind == "p2p"}
+            for line in sorted(lines):
+                origins = [_single_origin(s, line) for s in clean]
+                if len(set(origins)) != 1 or origins[0] is None:
+                    continue
+                counts = [_site_msgs(s, line, "p2p") for s in clean]
+                # serialized fan-out: the site's traffic grows with P
+                if not all(b > a for a, b in zip(counts, counts[1:])):
+                    continue
+                ps = [s.p for s in clean]
+                evidence = ", ".join(
+                    f"P={p}: {c} msgs" for p, c in zip(ps, counts))
+                yield self.diag(
+                    src, line,
+                    f"rank {origins[0]} serializes all point-to-point "
+                    f"traffic at this site and the count grows with the "
+                    f"world size ({evidence})",
+                    origin_rank=origins[0],
+                    sampled_sizes=ps,
+                    message_counts=counts,
+                )
+
+
+@register_rule
+class CollectiveInLoop(Rule):
+    id = "PDC121"
+    name = "collective-in-loop"
+    severity = WARNING
+    summary = "collective call or array allocation repeated inside a loop"
+    fix_hint = (
+        "hoist the collective/allocation out of the loop: batch the "
+        "values and communicate once, or reuse one preallocated buffer"
+    )
+    opt_in = True
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for _root, samples in _cost_results(src):
+            clean = [s for s in samples if s.abstained is None]
+            if not clean:
+                continue
+            worst = clean[-1]
+            for site in worst.sites:
+                if site.kind == "coll" and site.name == "cart_setup":
+                    continue
+                if site.kind not in ("coll", "alloc"):
+                    continue
+                if site.calls_per_rank < LOOP_CALL_THRESHOLD:
+                    continue
+                what = ("collective '%s'" % site.name if site.kind == "coll"
+                        else "allocation '%s'" % site.name)
+                yield self.diag(
+                    src, site.line,
+                    f"{what} executes {site.calls_per_rank} times per rank "
+                    f"at P={worst.p}: it sits inside a loop and its cost "
+                    f"scales with the iteration count",
+                    calls_per_rank=site.calls_per_rank,
+                    sampled_size=worst.p,
+                    site_kind=site.kind,
+                )
+
+
+@register_rule
+class LoadImbalance(Rule):
+    id = "PDC122"
+    name = "load-imbalance"
+    severity = WARNING
+    summary = "non-uniform chunking leaves the per-rank work badly imbalanced"
+    fix_hint = (
+        "split the range with divmod(n, size) so every rank gets "
+        "base or base+1 items, instead of dumping the remainder on one rank"
+    )
+    opt_in = True
+
+    def check(self, src: SourceFile) -> Iterator[Diagnostic]:
+        for root, samples in _cost_results(src):
+            clean = [s for s in samples if s.abstained is None and s.p >= 2]
+            imbalanced = [
+                s for s in clean
+                if s.imbalance > IMBALANCE_THRESHOLD
+                and s.max_work >= IMBALANCE_WORK_FLOOR
+            ]
+            # demand it at every multi-rank sample: a one-off skew at a
+            # single P is usually a remainder artifact, not a bug
+            if not imbalanced or len(imbalanced) != len(clean) or not clean:
+                continue
+            worst = max(imbalanced, key=lambda s: s.imbalance)
+            line = getattr(root, "lineno", 1)
+            yield self.diag(
+                src, line,
+                f"per-rank work is imbalanced at every sampled world size "
+                f"(worst at P={worst.p}: max/mean - 1 = "
+                f"{worst.imbalance:.0%}; work profile {worst.work})",
+                sampled_sizes=[s.p for s in imbalanced],
+                worst_size=worst.p,
+                imbalance=round(worst.imbalance, 3),
+                work_profile=worst.work,
+            )

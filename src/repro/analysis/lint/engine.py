@@ -34,6 +34,7 @@ from ..diagnostics import ERROR, AnalysisReport, Diagnostic
 __all__ = [
     "ENGINE",
     "Rule",
+    "SKIP_DIRS",
     "SourceFile",
     "Suppressions",
     "register_rule",
@@ -83,6 +84,10 @@ class Rule:
     summary: str = ""
     fix_hint: str = ""
     language: str = "python"
+    #: opt-in rules stay dormant unless explicitly enabled (or selected);
+    #: the cost/scalability rules use this so `repro lint` stays fast by
+    #: default and `repro lint --cost` turns the analysis on.
+    opt_in: bool = False
 
     def check(self, src: SourceFile) -> Iterator[Diagnostic]:
         raise NotImplementedError
@@ -119,7 +124,7 @@ def register_rule(cls: type[Rule]) -> type[Rule]:
 
 def all_rules() -> list[Rule]:
     """Every registered rule, ordered by id (imports register on demand)."""
-    from . import cpragma, protorules, pyrules  # noqa: F401  (registers rules)
+    from . import costrules, cpragma, protorules, pyrules  # noqa: F401  (registers rules)
 
     return sorted(_RULES, key=lambda r: r.id)
 
@@ -176,8 +181,15 @@ def _active_rules(
     language: str,
     select: frozenset[str] | None,
     ignore: frozenset[str] | None,
+    enable: frozenset[str] | None = None,
 ) -> list[Rule]:
-    rules = [r for r in all_rules() if r.language == language]
+    enabled = enable or frozenset()
+    rules = [
+        r for r in all_rules()
+        if r.language == language
+        and (not r.opt_in or r.id in enabled
+             or (select is not None and r.id in select))
+    ]
     if select is not None:
         rules = [r for r in rules if r.id in select]
     if ignore is not None:
@@ -191,6 +203,26 @@ def _location_line(diagnostic: Diagnostic) -> int | None:
     return int(tail) if tail.isdigit() else None
 
 
+def _statement_spans(tree: ast.Module) -> dict[int, str]:
+    """Full ``line:col-endLine:endCol`` span of the statement at each line.
+
+    ``ast.walk`` is breadth-first, so ``setdefault`` keeps the outermost
+    statement starting on a line — a finding anchored at a loop header
+    annotates the whole construct.  Columns are 1-based (the AST's
+    exclusive 0-based ``end_col_offset`` is exactly the inclusive 1-based
+    end column).
+    """
+    spans: dict[int, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt) and node.end_lineno is not None:
+            spans.setdefault(
+                node.lineno,
+                f"{node.lineno}:{node.col_offset + 1}"
+                f"-{node.end_lineno}:{node.end_col_offset}",
+            )
+    return spans
+
+
 def lint_source(
     text: str,
     label: str,
@@ -198,6 +230,7 @@ def lint_source(
     select: Iterable[str] | str | None = None,
     ignore: Iterable[str] | str | None = None,
     report: AnalysisReport | None = None,
+    enable: Iterable[str] | str | None = None,
 ) -> AnalysisReport:
     """Lint one source text and return (or extend) an :class:`AnalysisReport`."""
     if report is None:
@@ -227,9 +260,10 @@ def lint_source(
         raise ValueError(f"unknown lint language {language!r}")
 
     for rule in _active_rules(language, _normalize_ids(select),
-                              _normalize_ids(ignore)):
+                              _normalize_ids(ignore), _normalize_ids(enable)):
         found.extend(rule.check(src))
 
+    spans = _statement_spans(src.tree) if src.tree is not None else {}
     suppressions = scan_suppressions(src.lines)
     seen: set[tuple[str, str | None, str]] = set()
     for diagnostic in found:
@@ -237,6 +271,9 @@ def lint_source(
         if key in seen:
             continue
         seen.add(key)
+        line = _location_line(diagnostic)
+        if line in spans and "span" not in diagnostic.details:
+            diagnostic.details["span"] = spans[line]
         rule_id = str(diagnostic.details.get("rule", ""))
         if suppressions.covers(rule_id, _location_line(diagnostic)):
             report.add_suppressed(diagnostic)
@@ -252,30 +289,63 @@ def _label(path: Path) -> str:
         return str(path)
 
 
+#: directory names whose contents are never learner code
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".pytest_cache",
+                       ".ruff_cache", "node_modules"})
+
+
+def _collect_files(path: Path) -> list[Path]:
+    files = []
+    for p in sorted(path.rglob("*")):
+        if not p.is_file() or p.suffix not in (PY_SUFFIXES | C_SUFFIXES):
+            continue
+        relative = p.relative_to(path)
+        if any(part in SKIP_DIRS for part in relative.parts[:-1]):
+            continue
+        files.append(p)
+    return files
+
+
 def lint_path(
     path: str | Path,
     select: Iterable[str] | str | None = None,
     ignore: Iterable[str] | str | None = None,
     report: AnalysisReport | None = None,
     target: str | None = None,
+    enable: Iterable[str] | str | None = None,
 ) -> AnalysisReport:
-    """Lint a file, or every ``.py``/``.c``/``.h`` file under a directory."""
+    """Lint a file, or every ``.py``/``.c``/``.h`` file under a directory.
+
+    Directory walks are defensive: ``__pycache__``-style tool directories
+    are pruned, unreadable or non-UTF-8 files are skipped with a note in
+    the report (never an exception), and empty files are noted rather
+    than run through the rule set.
+    """
     path = Path(path)
     if report is None:
         report = AnalysisReport(target=target or _label(path), engine=ENGINE)
     if path.is_dir():
-        files = sorted(
-            p for p in path.rglob("*")
-            if p.is_file() and p.suffix in (PY_SUFFIXES | C_SUFFIXES)
-        )
+        files = _collect_files(path)
     elif path.is_file():
         files = [path]
     else:
         raise FileNotFoundError(f"no such file or directory: {path}")
     for file in files:
         language = "python" if file.suffix in PY_SUFFIXES else "c"
-        lint_source(file.read_text(), _label(file), language,
-                    select=select, ignore=ignore, report=report)
+        try:
+            text = file.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            report.notes.append(f"skipped {_label(file)}: not UTF-8 text")
+            continue
+        except OSError as exc:
+            report.notes.append(f"skipped {_label(file)}: {exc.strerror or exc}")
+            continue
+        if not text.strip():
+            report.notes.append(f"skipped {_label(file)}: empty file")
+            continue
+        lint_source(text, _label(file), language,
+                    select=select, ignore=ignore, report=report,
+                    enable=enable)
     return report
 
 
@@ -285,6 +355,7 @@ def lint_patternlet(
     select: Iterable[str] | str | None = None,
     ignore: Iterable[str] | str | None = None,
     report: AnalysisReport | None = None,
+    enable: Iterable[str] | str | None = None,
 ) -> AnalysisReport:
     """Lint a registered patternlet: its Python runner and its C listing.
 
@@ -304,7 +375,7 @@ def lint_patternlet(
     if source_file:
         path = Path(source_file)
         sub = lint_source(path.read_text(), _label(path), "python",
-                          select=select, ignore=ignore)
+                          select=select, ignore=ignore, enable=enable)
         lo, hi = patternlet.source_span
         for diagnostic in sub.diagnostics:
             line = _location_line(diagnostic)
@@ -326,6 +397,7 @@ def lint_targets(
     targets: Sequence[str],
     select: Iterable[str] | str | None = None,
     ignore: Iterable[str] | str | None = None,
+    enable: Iterable[str] | str | None = None,
 ) -> AnalysisReport:
     """Lint a mix of paths and patternlet names into one combined report.
 
@@ -337,11 +409,13 @@ def lint_targets(
     for target in targets:
         path = Path(target)
         if path.exists():
-            lint_path(path, select=select, ignore=ignore, report=report)
+            lint_path(path, select=select, ignore=ignore, report=report,
+                      enable=enable)
         elif target == "clistings":
             from .cpragma import check_clistings
 
             report.extend(check_clistings())
         else:
-            lint_patternlet(target, select=select, ignore=ignore, report=report)
+            lint_patternlet(target, select=select, ignore=ignore,
+                            report=report, enable=enable)
     return report

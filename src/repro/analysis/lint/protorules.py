@@ -26,7 +26,8 @@ import ast
 from typing import Iterator
 
 from ..diagnostics import ERROR, WARNING, Diagnostic
-from ..flow.protocol import ProtocolFinding, check_protocol, spmd_roots
+from ..flow.protocol import ProtocolFinding, spmd_roots
+from ..scale.symbolic import check_protocol_symbolic
 from .engine import Rule, SourceFile, register_rule
 
 _SEND_METHODS = frozenset({"send", "Send", "ssend", "Ssend"})
@@ -48,23 +49,36 @@ def _call_name(node: ast.Call) -> str:
 
 
 def _protocol_results(src: SourceFile) -> dict:
-    """Run the protocol checker once per source file; cache the verdicts."""
+    """Run the protocol checker once per source file; cache the verdicts.
+
+    Each SPMD root is checked *symbolically* — the concrete simulator is
+    replayed at every world size up to the rank-set domain cutoff — so a
+    finding's details carry the smallest witness world size and the full
+    list of sizes exhibiting it.  A root lands in ``ambiguous`` only when
+    not even one world size could be simulated; roots that simulated some
+    sizes but had to abstain from the universal claim are still
+    ``analyzed`` (their concrete findings stand), with the abstention
+    recorded in ``verdicts``.
+    """
     if "protocol" not in src.cache:
         findings: list[ProtocolFinding] = []
         ambiguous: list[ast.AST] = []
         analyzed: list[ast.AST] = []
+        verdicts: list[tuple[ast.AST, object]] = []
         if src.tree is not None:
             for root in spmd_roots(src.tree):
-                result = check_protocol(root, src.tree)
-                if result is None:
+                verdict = check_protocol_symbolic(root, src.tree)
+                verdicts.append((root, verdict))
+                if not verdict.checked:
                     ambiguous.append(root)
                 else:
                     analyzed.append(root)
-                    findings.extend(result)
+                    findings.extend(verdict.findings)
         src.cache["protocol"] = {
             "findings": findings,
             "ambiguous": ambiguous,
             "analyzed": analyzed,
+            "verdicts": verdicts,
         }
     return src.cache["protocol"]
 
@@ -78,7 +92,12 @@ def _yield_protocol(rule: Rule, src: SourceFile, rule_id: str) -> Iterator[Diagn
         if key in seen:
             continue
         seen.add(key)
-        yield rule.diag(src, finding.line, finding.message,
+        message = finding.message
+        witness = finding.details.get("witness_p")
+        if isinstance(witness, int) and witness > 2:
+            # invisible to the old size-2 simulation: name the witness
+            message = f"{message} (witness: P={witness})"
+        yield rule.diag(src, finding.line, message,
                         severity=finding.severity, **finding.details)
 
 

@@ -1,0 +1,54 @@
+"""Scalability-aware static analysis: symbolic-rank protocol verification,
+static cost/speedup prediction, and the parallel incremental lint driver.
+
+Three layers on top of :mod:`repro.analysis.flow`:
+
+* :mod:`.rankset` — the rank-set abstract domain over a symbolic world
+  size ``P``: front/back offsets, residue classes and affine comparisons,
+  plus the cutoff bound that turns "checked for P = 2..P_c" into
+  "holds for all P >= 2" for programs inside the domain;
+* :mod:`.symbolic` — symbolic-rank MPI protocol verification: the
+  concrete per-rank simulator of :mod:`repro.analysis.flow.protocol`
+  replayed over every world size up to the domain cutoff, with launcher
+  preconditions, witness sizes on violations, and reason-coded
+  abstention;
+* :mod:`.cost` — the static cost/scalability analyzer: per-rank partial
+  evaluation that derives message counts, communication bytes, abstract
+  work and an Amdahl-style speedup bound as polynomials in the problem
+  size ``N`` and the world size ``P``;
+* :mod:`.driver` — the corpus-scale lint driver: content-hash keyed
+  result caching and a process-pool fan-out with deterministic,
+  byte-identical report ordering.
+"""
+
+from .cost import (
+    CostModel,
+    CostReport,
+    CostSite,
+    Poly,
+    analyze_cost,
+    analyze_module_cost,
+    cost_report,
+)
+from .driver import CorpusResult, lint_corpus
+from .rankset import (
+    CROSS_CHECK_MAX,
+    P_CAP,
+    P_MIN,
+    DomainScan,
+    RankSet,
+    parse_rank_guard,
+    scan_domain,
+    valid_world_sizes,
+)
+from .symbolic import SymbolicVerdict, check_protocol_symbolic
+
+__all__ = [
+    "P_MIN", "P_CAP", "CROSS_CHECK_MAX",
+    "RankSet", "DomainScan", "parse_rank_guard", "scan_domain",
+    "valid_world_sizes",
+    "SymbolicVerdict", "check_protocol_symbolic",
+    "Poly", "CostSite", "CostModel", "CostReport",
+    "analyze_cost", "analyze_module_cost", "cost_report",
+    "CorpusResult", "lint_corpus",
+]

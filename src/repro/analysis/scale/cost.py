@@ -1,0 +1,1541 @@
+"""Static cost and scalability prediction for SPMD bodies.
+
+The analyzer evaluates an MPI body once per rank at sampled problem
+sizes ``N`` and world sizes ``P`` — the same per-rank partial-evaluation
+idea as :mod:`repro.analysis.flow.protocol`, but instead of matching
+traces it *accounts*: every communication site is charged its message
+count and payload bytes under the byte model of the actual runtime
+(:func:`pickle.dumps` for object transport, raw ``nbytes`` for buffer
+transport, the real collective algorithms' message complexity from
+:mod:`repro.mpi.collectives`), and every statement executed charges one
+abstract work tick to its rank.
+
+The sampled totals are then identified as polynomials in ``N`` and ``P``
+over the basis ``{1, N, P, N·P, P², N/P}`` (least squares with held-out
+verification — a poor fit abstains rather than reporting a wrong
+formula), and the per-rank work profile yields an Amdahl-style speedup
+bound ``S(P) <= W(1) / max_r w_r(P)`` plus a fitted serial fraction.
+
+Two trust levels share one evaluator:
+
+* **trusted** (:func:`analyze_module_cost`) — for repo-owned exemplar
+  modules: the module is imported and *pure same-module helpers are
+  executed natively* when all their arguments are concrete, so payload
+  byte predictions are exact up to the byte model.  Never used on
+  learner submissions.
+* **untrusted** (:func:`analyze_cost` as used by ``repro lint --cost``)
+  — nothing is executed beyond a whitelist of safe builtins; unknown
+  values stay abstract (typed unknowns, arrays tracked by length), byte
+  totals honestly degrade to ``None`` where payloads are unknowable,
+  and message counts/work ticks still feed the PDC120–122 scalability
+  smells.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..flow.protocol import _enclosing_env, spmd_roots
+
+__all__ = [
+    "Poly",
+    "CostSite",
+    "CostSample",
+    "CostModel",
+    "CostReport",
+    "analyze_cost",
+    "analyze_module_cost",
+    "cost_report",
+    "CostAmbiguous",
+]
+
+PROC_NULL = -2  # repro.mpi.constants.PROC_NULL (kept literal: no runtime dep)
+
+_MAX_LOOP_ITERS = 512
+_MAX_STEPS = 200_000
+_MAX_WHILE_ITERS = 64
+
+_SEND_METHODS = frozenset({"send", "ssend", "isend", "ibsend", "bsend"})
+_BUF_SEND_METHODS = frozenset({"Send", "Ssend", "Isend", "Bsend"})
+_RECV_METHODS = frozenset({"recv", "irecv", "Recv", "Irecv"})
+_OBJ_COLLECTIVES = frozenset({
+    "bcast", "scatter", "gather", "reduce", "allreduce", "allgather",
+    "alltoall", "barrier", "scan", "exscan",
+})
+_BUF_COLLECTIVES = frozenset({
+    "Bcast", "Scatter", "Gather", "Reduce", "Allreduce", "Allgather",
+    "Alltoall", "Barrier", "Scan",
+})
+_ROOTED = frozenset({"bcast", "Bcast", "scatter", "Scatter", "gather",
+                     "Gather", "reduce", "Reduce"})
+_ALLOC_CALLS = frozenset({"zeros", "empty", "ones", "full", "zeros_like",
+                          "empty_like", "arange", "linspace"})
+
+_SAFE_BUILTINS: dict[str, Any] = {
+    "range": range, "len": len, "abs": abs, "min": min, "max": max,
+    "int": int, "float": float, "sum": sum, "divmod": divmod, "list": list,
+    "tuple": tuple, "sorted": sorted, "str": str, "bool": bool,
+    "enumerate": enumerate, "zip": zip, "round": round, "reversed": reversed,
+}
+
+_BINOPS = {
+    ast.Add: operator.add, ast.Sub: operator.sub, ast.Mult: operator.mul,
+    ast.FloorDiv: operator.floordiv, ast.Mod: operator.mod,
+    ast.Div: operator.truediv, ast.Pow: operator.pow,
+    ast.BitXor: operator.xor, ast.BitAnd: operator.and_,
+    ast.BitOr: operator.or_, ast.LShift: operator.lshift,
+    ast.RShift: operator.rshift,
+}
+_CMPOPS = {
+    ast.Eq: operator.eq, ast.NotEq: operator.ne, ast.Lt: operator.lt,
+    ast.LtE: operator.le, ast.Gt: operator.gt, ast.GtE: operator.ge,
+    ast.Is: operator.is_, ast.IsNot: operator.is_not,
+}
+
+#: pickle size of a float payload (protocol-stable; asserted by tests)
+FLOAT_PICKLE_BYTES = len(pickle.dumps(0.0))
+
+
+class CostAmbiguous(Exception):
+    """The body does something the cost evaluator cannot account for."""
+
+    def __init__(self, code: str, detail: str = "", line: int | None = None):
+        super().__init__(detail or code)
+        self.code = code
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Abstract values
+# ---------------------------------------------------------------------------
+
+class Unknown:
+    """A value the evaluator cannot compute, optionally typed."""
+
+    __slots__ = ("tag",)
+
+    def __init__(self, tag: str | None = None) -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<unknown:{self.tag or '?'}>"
+
+
+@dataclass(frozen=True)
+class ArrayVal:
+    """An array tracked by length only (untrusted mode, halo padding...)."""
+
+    length: int
+    itemsize: int = 8
+
+    @property
+    def nbytes(self) -> int:
+        return self.length * self.itemsize
+
+    def slice_length(self, lower: int | None, upper: int | None,
+                     step: int | None) -> int:
+        return len(range(*slice(lower, upper, step).indices(self.length)))
+
+
+class CommVal:
+    """The communicator sentinel; cartesian variants carry their grid."""
+
+    def __init__(self, kind: str = "world",
+                 dims: tuple[int, ...] | None = None,
+                 periods: tuple[bool, ...] | None = None) -> None:
+        self.kind = kind
+        self.dims = dims
+        self.periods = periods
+
+    def coords(self, rank: int) -> tuple[int, ...]:
+        assert self.dims is not None
+        out: list[int] = []
+        for extent in reversed(self.dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def cart_rank(self, coords: tuple[int, ...]) -> int:
+        assert self.dims is not None and self.periods is not None
+        rank = 0
+        for c, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                c %= extent
+            elif not 0 <= c < extent:
+                return PROC_NULL
+            rank = rank * extent + c
+        return rank
+
+    def shift(self, rank: int, direction: int, disp: int) -> tuple[int, int]:
+        me = list(self.coords(rank))
+
+        def neighbor(offset: int) -> int:
+            coords = list(me)
+            coords[direction] += offset
+            return self.cart_rank(tuple(coords))
+
+        return neighbor(-disp), neighbor(disp)
+
+
+def _is_abstract(value: Any) -> bool:
+    return isinstance(value, (Unknown, ArrayVal, CommVal))
+
+
+def _payload_pickle_bytes(value: Any) -> int | None:
+    """Bytes of ``pickle.dumps(value)`` under the object-transport model."""
+    if isinstance(value, Unknown):
+        if value.tag == "float":
+            return FLOAT_PICKLE_BYTES
+        return None
+    if isinstance(value, ArrayVal):
+        try:
+            import numpy as np
+        except Exception:  # pragma: no cover - numpy is a repo dependency
+            return None
+        return len(pickle.dumps(np.zeros(value.length)))
+    if isinstance(value, CommVal):
+        return None
+    try:
+        return len(pickle.dumps(value))
+    except Exception:
+        return None
+
+
+def _payload_raw_bytes(value: Any) -> int | None:
+    """Raw buffer bytes under the typed-transport model."""
+    if isinstance(value, ArrayVal):
+        return value.nbytes
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, int):
+        return nbytes
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Cost sites
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CostSite:
+    """Accounting for one communication/allocation site at one sample."""
+
+    line: int
+    kind: str          # "p2p" | "coll" | "alloc"
+    name: str
+    msgs: int = 0
+    bytes: int | None = 0
+    per_rank_msgs: list[int] = field(default_factory=list)
+    calls_per_rank: int = 0
+    note: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "line": self.line, "kind": self.kind, "name": self.name,
+            "msgs": self.msgs, "bytes": self.bytes,
+            "per_rank_msgs": self.per_rank_msgs,
+            "calls_per_rank": self.calls_per_rank,
+            **({"note": self.note} if self.note else {}),
+        }
+
+
+class _SiteRecorder:
+    """Per-(line, method) payload log, filled rank by rank."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        # key -> {"kind","name","line","payloads": [per-rank list of
+        #         (payload_bytes, root, raw) tuples], "sends": per-rank count}
+        self.entries: dict[tuple[int, str], dict[str, Any]] = {}
+
+    def _entry(self, line: int, name: str, kind: str) -> dict[str, Any]:
+        key = (line, name)
+        if key not in self.entries:
+            self.entries[key] = {
+                "kind": kind, "name": name, "line": line,
+                "payloads": [[] for _ in range(self.size)],
+                "sends": [0] * self.size,
+                "send_bytes": [0] * self.size,
+                "bytes_known": True,
+            }
+        return self.entries[key]
+
+    def p2p_send(self, line: int, name: str, rank: int,
+                 nbytes: int | None) -> None:
+        entry = self._entry(line, name, "p2p")
+        entry["sends"][rank] += 1
+        if nbytes is None:
+            entry["bytes_known"] = False
+        else:
+            entry["send_bytes"][rank] += nbytes
+
+    def collective(self, line: int, name: str, rank: int,
+                   nbytes: int | None, root: int | None,
+                   raw: bool) -> None:
+        entry = self._entry(line, name, "coll")
+        entry["payloads"][rank].append((nbytes, root, raw))
+        if nbytes is None:
+            entry["bytes_known"] = False
+
+    def alloc(self, line: int, name: str, rank: int) -> None:
+        entry = self._entry(line, name, "alloc")
+        entry["sends"][rank] += 1
+
+
+def _coll_msg_count(name: str, size: int) -> int:
+    """Messages one call of the collective moves, per the real algorithms."""
+    if size <= 1:
+        return 0
+    if name in ("bcast", "reduce", "scatter", "gather", "scan", "exscan"):
+        return size - 1
+    if name == "barrier":
+        return size * math.ceil(math.log2(size))
+    if name == "allgather":
+        return size * (size - 1)
+    if name == "alltoall":
+        return size * (size - 1)
+    if name == "allreduce":
+        pof2 = 1 << (size.bit_length() - 1)
+        rem = size - pof2
+        return 2 * rem + pof2 * int(math.log2(pof2))
+    return size - 1
+
+
+def _coll_bytes(name: str, size: int, payloads: list[int | None],
+                root: int, raw: bool) -> int | None:
+    """Byte total of one collective call from the per-rank payload sizes.
+
+    ``payloads[r]`` is the byte size of rank ``r``'s contribution (the
+    ``sendobj`` it passed), mirroring what the runtime's transport would
+    pickle; ``None`` anywhere makes the total unknown.
+    """
+    if size <= 1:
+        return 0
+    if any(b is None for b in payloads):
+        return None
+    sizes: list[int] = [int(b) for b in payloads]  # type: ignore[arg-type]
+    mean = sum(sizes) / len(sizes)
+    if name == "barrier":
+        return 0  # empty raw tokens: payload_nbytes(b"") == 0
+    if name == "gather":
+        return sum(b for r, b in enumerate(sizes) if r != root)
+    if name in ("reduce", "scan", "exscan"):
+        return round((size - 1) * mean)
+    if name == "bcast":
+        return (size - 1) * sizes[root]
+    if name == "scatter":
+        # root's payload is the full chunk list; each message carries one
+        # pickled chunk — approximate chunks as equal slices of the list.
+        per = sizes[root] / size
+        return round((size - 1) * per)
+    if name == "allgather":
+        # ring: each block travels size-1 hops wrapped as (idx, block)
+        wrap = len(pickle.dumps((size - 1, None))) - len(pickle.dumps(None))
+        return (size - 1) * sum(b + wrap for b in sizes)
+    if name == "alltoall":
+        return round((size - 1) * mean)
+    if name == "allreduce":
+        return round(_coll_msg_count(name, size) * mean)
+    return round(_coll_msg_count(name, size) * mean)
+
+
+def _cart_setup_bytes(size: int) -> int:
+    """Ring-allgather traffic of ``Create_cart``'s membership triples.
+
+    Every rank contributes ``(flag, rank, rank)`` and each block travels
+    ``size - 1`` hops wrapped as ``(index, block)`` — exactly what the
+    runtime's ``allgather_ring`` puts on the wire.
+    """
+    per_block = [len(pickle.dumps((r, (0, r, r)))) for r in range(size)]
+    return (size - 1) * sum(per_block)
+
+
+# ---------------------------------------------------------------------------
+# The per-rank evaluator
+# ---------------------------------------------------------------------------
+
+class _Return(Exception):
+    pass
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _CostEval:
+    """Evaluate one SPMD body for one concrete rank, charging costs."""
+
+    def __init__(
+        self,
+        rank: int,
+        size: int,
+        recorder: _SiteRecorder,
+        namespace: dict[str, Any] | None,
+        base_env: dict[str, Any],
+        steps: list[int],
+    ) -> None:
+        self.rank = rank
+        self.size = size
+        self.recorder = recorder
+        self.namespace = namespace  # module globals in trusted mode
+        self.trusted = namespace is not None
+        self.env: dict[str, Any] = dict(base_env)
+        self.steps = steps
+        self.work = 0          # abstract ticks charged to this rank
+        self.loop_depth = 0
+
+    # ------------------------------------------------------------------ entry
+    def run(self, func: ast.AST, comm_args: dict[str, Any]) -> None:
+        args = getattr(func, "args", None)
+        if args is not None:
+            params = [a.arg for a in args.args]
+            defaults = list(args.defaults)
+            for param, default in zip(params[len(params) - len(defaults):],
+                                      defaults):
+                self.env.setdefault(param, self._eval_default(default))
+            for param in params:
+                self.env.setdefault(param, Unknown())
+        self.env.update(comm_args)
+        body = (
+            [ast.Expr(value=func.body)] if isinstance(func, ast.Lambda)
+            else list(func.body)
+        )
+        try:
+            self.exec_suite(body)
+        except _Return:
+            pass
+
+    def _eval_default(self, default: ast.expr) -> Any:
+        if isinstance(default, ast.Constant):
+            return default.value
+        native = self._native(default)
+        if native is not _FAIL:
+            return native
+        return Unknown()
+
+    # ---------------------------------------------------------------- helpers
+    def _tick(self) -> None:
+        self.steps[0] += 1
+        if self.steps[0] > _MAX_STEPS:
+            raise CostAmbiguous("eval-budget", "evaluation budget exceeded")
+
+    def _charge(self, ticks: int = 1) -> None:
+        self.work += ticks
+
+    def _has_comm_ops(self, node: ast.AST) -> bool:
+        comm_names = {n for n, v in self.env.items() if isinstance(v, CommVal)}
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name) and sub.id in comm_names:
+                return True
+        return False
+
+    # ------------------------------------------------------------- statements
+    def exec_suite(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        self._tick()
+        self._charge()
+        if isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value)
+        elif isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id, Unknown())
+                op = _BINOPS.get(type(stmt.op))
+                self.env[stmt.target.id] = self._binop_values(
+                    op, current, value)
+            else:
+                self._bind(stmt.target, Unknown())
+        elif isinstance(stmt, ast.AnnAssign):
+            value = self.eval_expr(stmt.value) if stmt.value else Unknown()
+            self._bind(stmt.target, value)
+        elif isinstance(stmt, ast.If):
+            self._exec_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._exec_while(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._exec_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval_expr(stmt.value)
+            raise _Return
+        elif isinstance(stmt, ast.Raise):
+            raise _Return  # this rank stops here
+        elif isinstance(stmt, ast.Break):
+            raise _Break
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, value)
+            self.exec_suite(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            for handler in stmt.handlers:
+                if self._has_comm_ops(handler):
+                    raise CostAmbiguous("comm-in-handler",
+                                        "communication in exception handler",
+                                        stmt.lineno)
+            self.exec_suite(stmt.body)
+            self.exec_suite(stmt.orelse)
+            self.exec_suite(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.env[stmt.name] = Unknown()
+        elif isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test)
+        elif isinstance(stmt, (ast.Pass, ast.Global, ast.Nonlocal,
+                               ast.Import, ast.ImportFrom, ast.Delete)):
+            pass
+        else:
+            if self._has_comm_ops(stmt):
+                raise CostAmbiguous(
+                    "unsupported-stmt",
+                    f"unsupported statement {type(stmt).__name__}",
+                    stmt.lineno)
+
+    def _bind(self, target: ast.expr, value: Any) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (isinstance(value, (tuple, list))
+                    and len(value) == len(target.elts)):
+                for t, v in zip(target.elts, value):
+                    self._bind(t, v)
+            else:
+                for t in target.elts:
+                    self._bind(t, Unknown())
+        elif isinstance(target, ast.Subscript):
+            base = self.eval_expr(target.value)
+            index = self.eval_expr(target.slice)
+            if (not _is_abstract(base) and not _is_abstract(index)
+                    and not _is_abstract(value)):
+                try:
+                    base[index] = value
+                except Exception:
+                    pass
+            # stores into abstract arrays keep their tracked length
+
+    def _havoc(self, stmt: ast.stmt) -> None:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                self.env[sub.id] = Unknown()
+
+    def _exec_if(self, stmt: ast.If) -> None:
+        test = self.eval_expr(stmt.test)
+        if _is_abstract(test):
+            if any(self._has_comm_ops(s) for s in stmt.body + stmt.orelse):
+                raise CostAmbiguous(
+                    "unknown-branch-comm",
+                    "unknown branch condition guards communication",
+                    stmt.lineno)
+            self._havoc(stmt)
+            return
+        self.exec_suite(stmt.body if test else stmt.orelse)
+
+    def _exec_while(self, stmt: ast.While) -> None:
+        for _ in range(_MAX_WHILE_ITERS):
+            test = self.eval_expr(stmt.test)
+            if _is_abstract(test):
+                if self._has_comm_ops(stmt):
+                    raise CostAmbiguous(
+                        "while-around-comm",
+                        "while loop around communication", stmt.lineno)
+                self._havoc(stmt)
+                return
+            if not test:
+                self.exec_suite(stmt.orelse)
+                return
+            try:
+                self.loop_depth += 1
+                try:
+                    self.exec_suite(stmt.body)
+                finally:
+                    self.loop_depth -= 1
+            except _Break:
+                return
+            except _Continue:
+                continue
+        if self._has_comm_ops(stmt):
+            raise CostAmbiguous("while-around-comm",
+                                "unbounded while loop around communication",
+                                stmt.lineno)
+        self._havoc(stmt)
+
+    def _exec_for(self, stmt: ast.For) -> None:
+        iterable = self.eval_expr(stmt.iter)
+        if isinstance(iterable, (enumerate, zip, reversed, map, filter)):
+            try:
+                iterable = list(iterable)
+            except Exception:
+                iterable = Unknown()
+        concrete = isinstance(iterable, (list, tuple, range, str))
+        if not concrete:
+            if self._has_comm_ops(stmt):
+                raise CostAmbiguous("unknown-loop-comm",
+                                    "loop bounds unknown around communication",
+                                    stmt.lineno)
+            if isinstance(iterable, ArrayVal):
+                self._charge(iterable.length)
+            self._havoc(stmt)
+            return
+        if len(iterable) > _MAX_LOOP_ITERS:
+            if self._has_comm_ops(stmt):
+                raise CostAmbiguous("unknown-loop-comm",
+                                    "loop too long around communication",
+                                    stmt.lineno)
+            self._charge(len(iterable))
+            self._havoc(stmt)
+            return
+        broke = False
+        for item in iterable:
+            self._bind(stmt.target, item)
+            try:
+                self.loop_depth += 1
+                try:
+                    self.exec_suite(stmt.body)
+                finally:
+                    self.loop_depth -= 1
+            except _Break:
+                broke = True
+                break
+            except _Continue:
+                continue
+        if not broke:
+            self.exec_suite(stmt.orelse)
+
+    # ------------------------------------------------------------ expressions
+    def eval_expr(self, expr: ast.expr) -> Any:
+        self._tick()
+        if isinstance(expr, ast.Constant):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.id in self.env:
+                return self.env[expr.id]
+            if self.trusted and expr.id in self.namespace:  # type: ignore[operator]
+                return self.namespace[expr.id]  # type: ignore[index]
+            if expr.id in _SAFE_BUILTINS:
+                return _SAFE_BUILTINS[expr.id]
+            return Unknown()
+        if isinstance(expr, ast.Tuple):
+            return tuple(self.eval_expr(e) for e in expr.elts)
+        if isinstance(expr, ast.List):
+            return [self.eval_expr(e) for e in expr.elts]
+        if isinstance(expr, ast.BinOp):
+            left = self.eval_expr(expr.left)
+            right = self.eval_expr(expr.right)
+            return self._binop_values(_BINOPS.get(type(expr.op)), left, right)
+        if isinstance(expr, ast.UnaryOp):
+            value = self.eval_expr(expr.operand)
+            if _is_abstract(value):
+                if isinstance(expr.op, ast.Not):
+                    return Unknown("bool")
+                return value
+            try:
+                if isinstance(expr.op, ast.USub):
+                    return -value
+                if isinstance(expr.op, ast.UAdd):
+                    return +value
+                if isinstance(expr.op, ast.Not):
+                    return not value
+                if isinstance(expr.op, ast.Invert):
+                    return ~value
+            except Exception:
+                return Unknown()
+            return Unknown()
+        if isinstance(expr, ast.Compare):
+            left = self.eval_expr(expr.left)
+            result: Any = True
+            for op_node, comparator in zip(expr.ops, expr.comparators):
+                right = self.eval_expr(comparator)
+                op = _CMPOPS.get(type(op_node))
+                if op is None or _is_abstract(left) or _is_abstract(right):
+                    result = Unknown("bool")
+                    left = right
+                    continue
+                try:
+                    if not isinstance(result, Unknown) and not op(left, right):
+                        result = False
+                except Exception:
+                    result = Unknown("bool")
+                left = right
+            return result
+        if isinstance(expr, ast.BoolOp):
+            values = [self.eval_expr(v) for v in expr.values]
+            if any(_is_abstract(v) for v in values):
+                return Unknown("bool")
+            if isinstance(expr.op, ast.And):
+                return all(values)
+            return any(values)
+        if isinstance(expr, ast.IfExp):
+            test = self.eval_expr(expr.test)
+            if _is_abstract(test):
+                if self._has_comm_ops(expr.body) or self._has_comm_ops(expr.orelse):
+                    raise CostAmbiguous(
+                        "unknown-branch-comm",
+                        "unknown conditional expression with comm ops",
+                        expr.lineno)
+                return Unknown()
+            return self.eval_expr(expr.body if test else expr.orelse)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            base = self.eval_expr(expr.value)
+            if isinstance(base, ArrayVal):
+                if expr.attr == "nbytes":
+                    return base.nbytes
+                if expr.attr in ("size", "shape"):
+                    return (base.length
+                            if expr.attr == "size" else (base.length,))
+                return Unknown()
+            if _is_abstract(base):
+                return Unknown()
+            try:
+                return getattr(base, expr.attr)
+            except Exception:
+                return Unknown()
+        if isinstance(expr, ast.Subscript):
+            return self._subscript(expr)
+        if isinstance(expr, ast.Slice):
+            return slice(
+                None if expr.lower is None else self.eval_expr(expr.lower),
+                None if expr.upper is None else self.eval_expr(expr.upper),
+                None if expr.step is None else self.eval_expr(expr.step),
+            )
+        if isinstance(expr, ast.JoinedStr):
+            for part in expr.values:
+                if isinstance(part, ast.FormattedValue):
+                    self.eval_expr(part.value)
+            return Unknown("str")
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            if self._has_comm_ops(expr):
+                raise CostAmbiguous(
+                    "comm-escapes",
+                    f"comm ops inside {type(expr).__name__}", expr.lineno)
+            native = self._native(expr)
+            if native is not _FAIL:
+                return native
+            return Unknown()
+        if isinstance(expr, (ast.Lambda, ast.Dict, ast.Set, ast.Starred)):
+            if self._has_comm_ops(expr):
+                raise CostAmbiguous(
+                    "comm-escapes",
+                    f"comm ops inside {type(expr).__name__}", expr.lineno)
+            native = self._native(expr)
+            return native if native is not _FAIL else Unknown()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                self.eval_expr(child)
+        return Unknown()
+
+    def _binop_values(self, op: Callable | None, left: Any, right: Any) -> Any:
+        if op is None:
+            return Unknown()
+        if isinstance(left, ArrayVal) or isinstance(right, ArrayVal):
+            # elementwise arithmetic preserves the (broadcast) length
+            lengths = [v.length for v in (left, right)
+                       if isinstance(v, ArrayVal)]
+            if any(isinstance(v, CommVal) for v in (left, right)):
+                return Unknown()
+            return ArrayVal(max(lengths))
+        if _is_abstract(left) or _is_abstract(right):
+            tags = {getattr(v, "tag", None) for v in (left, right)
+                    if isinstance(v, Unknown)}
+            others = {type(v) for v in (left, right) if not _is_abstract(v)}
+            if op is operator.truediv or float in others or "float" in tags:
+                return Unknown("float")
+            if others <= {int} and tags <= {"int", None} and tags:
+                return Unknown("int")
+            return Unknown()
+        try:
+            return op(left, right)
+        except Exception:
+            return Unknown()
+
+    def _subscript(self, expr: ast.Subscript) -> Any:
+        base = self.eval_expr(expr.value)
+        index = self.eval_expr(expr.slice)
+        if isinstance(base, ArrayVal):
+            if isinstance(index, slice):
+                lower = index.start
+                upper = index.stop
+                step = index.step
+                if any(_is_abstract(v) for v in (lower, upper, step)
+                       if v is not None):
+                    return ArrayVal(base.length)
+                return ArrayVal(base.slice_length(lower, upper, step))
+            return Unknown("float")
+        if _is_abstract(base) or _is_abstract(index):
+            return Unknown()
+        if isinstance(index, slice):
+            for part in (index.start, index.stop, index.step):
+                if _is_abstract(part):
+                    return Unknown()
+        try:
+            return base[index]
+        except Exception:
+            return Unknown()
+
+    # ----------------------------------------------------------- native eval
+    def _native(self, expr: ast.expr) -> Any:
+        """Natively evaluate an expression subtree, or ``_FAIL``.
+
+        Trusted mode only.  All free names must resolve to concrete
+        values (env or module namespace); any abstract value or comm
+        reference in the subtree disqualifies it.  Work is charged for
+        ``range(...)`` extents appearing in the subtree so natively
+        collapsed loops (``sum(... for i in range(lo, hi))``) still
+        count toward the per-rank work profile.
+        """
+        if not self.trusted:
+            return _FAIL
+        local: dict[str, Any] = {}
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+                name = sub.id
+                if name in local:
+                    continue
+                if name in self.env:
+                    value = self.env[name]
+                    if _is_abstract(value):
+                        return _FAIL
+                    local[name] = value
+                elif name in self.namespace or name in _SAFE_BUILTINS:  # type: ignore[operator]
+                    continue  # resolved via globals at eval time
+                # names bound inside the expression (comprehension targets,
+                # lambda params) resolve during evaluation
+        try:
+            code = compile(ast.Expression(body=_strip(expr)), "<cost>", "eval")
+            glb = dict(self.namespace)  # type: ignore[arg-type]
+            glb.setdefault("__builtins__", _SAFE_BUILTINS)
+            # Fold locals into globals: nested scopes (genexps, lambdas)
+            # cannot see eval()'s locals mapping, only its globals.
+            glb.update(local)
+            value = eval(code, glb)  # noqa: S307 - trusted module only
+        except Exception:
+            return _FAIL
+        self._charge(self._range_work(expr, local))
+        return value
+
+    def _range_work(self, expr: ast.expr, local: dict[str, Any]) -> int:
+        """Work ticks for ranges a native evaluation collapsed."""
+        total = 0
+        for sub in ast.walk(expr):
+            if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "range"):
+                args = []
+                for arg in sub.args:
+                    if isinstance(arg, ast.Constant):
+                        args.append(arg.value)
+                    elif isinstance(arg, ast.Name) and arg.id in local:
+                        args.append(local[arg.id])
+                    else:
+                        args = []
+                        break
+                if args and all(isinstance(a, int) for a in args):
+                    try:
+                        total += len(range(*args))
+                    except Exception:
+                        pass
+        return total
+
+    # ------------------------------------------------------------------ calls
+    def _arg(self, call: ast.Call, position: int, keyword: str,
+             default: Any = None) -> Any:
+        for kw in call.keywords:
+            if kw.arg == keyword:
+                return self.eval_expr(kw.value)
+        if len(call.args) > position:
+            return self.eval_expr(call.args[position])
+        return default
+
+    def eval_call(self, call: ast.Call) -> Any:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            base = self.eval_expr(func.value)
+            if isinstance(base, CommVal):
+                return self._comm_call(call, func.attr, base)
+            if self._call_mentions_comm(call):
+                raise CostAmbiguous(
+                    "comm-escapes",
+                    f"communicator passed to '{func.attr}'", call.lineno)
+            if isinstance(base, ArrayVal):
+                return self._arrayval_method(call, func.attr, base)
+            # numpy-module helpers that matter for length tracking
+            if (func.attr in ("concatenate", "hstack")
+                    and self._looks_like_numpy(func.value)):
+                return self._concatenate(call)
+            if func.attr in _ALLOC_CALLS and self.loop_depth > 0:
+                self.recorder.alloc(call.lineno, func.attr, self.rank)
+            native = self._native(call)
+            if native is not _FAIL:
+                return native
+            for arg in call.args:
+                self.eval_expr(arg)
+            for kw in call.keywords:
+                self.eval_expr(kw.value)
+            return Unknown()
+        if isinstance(func, ast.Name):
+            return self._name_call(call, func.id)
+        self.eval_expr(func)
+        for arg in call.args:
+            self.eval_expr(arg)
+        return Unknown()
+
+    def _call_mentions_comm(self, call: ast.Call) -> bool:
+        comm_names = {n for n, v in self.env.items() if isinstance(v, CommVal)}
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Name) and sub.id in comm_names:
+                    return True
+        return False
+
+    def _looks_like_numpy(self, node: ast.expr) -> bool:
+        return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+    def _concatenate(self, call: ast.Call) -> Any:
+        native = self._native(call)
+        if native is not _FAIL:
+            return native
+        if not call.args:
+            return Unknown()
+        parts = self.eval_expr(call.args[0])
+        if not isinstance(parts, (list, tuple)):
+            return Unknown()
+        total = 0
+        for part in parts:
+            if isinstance(part, ArrayVal):
+                total += part.length
+            elif isinstance(part, (list, tuple)):
+                total += len(part)
+            elif hasattr(part, "__len__") and not isinstance(part, Unknown):
+                total += len(part)
+            else:
+                return Unknown()
+        return ArrayVal(total)
+
+    def _arrayval_method(self, call: ast.Call, method: str,
+                         base: ArrayVal) -> Any:
+        for arg in call.args:
+            self.eval_expr(arg)
+        if method in ("copy", "astype", "ravel", "flatten"):
+            return base
+        if method in ("sum", "mean", "min", "max", "std", "var", "item"):
+            return Unknown("float")
+        if method == "tolist":
+            return Unknown()
+        return Unknown()
+
+    def _name_call(self, call: ast.Call, name: str) -> Any:
+        if self._call_mentions_comm(call):
+            raise CostAmbiguous("comm-escapes",
+                                f"communicator passed to '{name}'",
+                                call.lineno)
+        arg_values = [self.eval_expr(a) for a in call.args]
+        kw_values = {kw.arg: self.eval_expr(kw.value)
+                     for kw in call.keywords if kw.arg}
+        if name in _ALLOC_CALLS and self.loop_depth > 0:
+            self.recorder.alloc(call.lineno, name, self.rank)
+        concrete = (not kw_values
+                    and all(not _is_abstract(v) for v in arg_values))
+        if name in ("float", "int") and len(arg_values) == 1:
+            value = arg_values[0]
+            if _is_abstract(value):
+                return Unknown("float" if name == "float" else "int")
+            try:
+                return (float if name == "float" else int)(value)
+            except Exception:
+                return Unknown(name)
+        if name == "len" and len(arg_values) == 1:
+            value = arg_values[0]
+            if isinstance(value, ArrayVal):
+                return value.length
+            if _is_abstract(value):
+                return Unknown("int")
+            try:
+                return len(value)
+            except Exception:
+                return Unknown("int")
+        if name in _SAFE_BUILTINS and concrete:
+            try:
+                return _SAFE_BUILTINS[name](*arg_values)
+            except Exception:
+                return Unknown()
+        native = self._native(call)
+        if native is not _FAIL:
+            return native
+        return Unknown()
+
+    # ------------------------------------------------------------- comm calls
+    def _comm_call(self, call: ast.Call, method: str, comm: CommVal) -> Any:
+        line = call.lineno
+        if method == "Get_rank":
+            return self.rank
+        if method == "Get_size":
+            return self.size
+        if method == "Create_cart":
+            dims = self.eval_expr(call.args[0]) if call.args else (self.size,)
+            if _is_abstract(dims) or not isinstance(dims, (tuple, list)):
+                dims = (self.size,)
+            periods_val = self._arg(call, 1, "periods", None)
+            if isinstance(periods_val, (tuple, list)):
+                periods = tuple(bool(p) for p in periods_val
+                                if not _is_abstract(p))
+                if len(periods) != len(dims):
+                    periods = (False,) * len(dims)
+            else:
+                periods = (False,) * len(dims)
+            # Create_cart internally allgathers a 3-int membership triple.
+            self.recorder.collective(line, "cart_setup", self.rank,
+                                     len(pickle.dumps((0, self.rank,
+                                                       self.rank))),
+                                     None, False)
+            return CommVal("cart", tuple(int(d) for d in dims), periods)
+        if method == "Shift":
+            direction = self._arg(call, 0, "direction", 0)
+            disp = self._arg(call, 1, "disp", 1)
+            if comm.dims is None or _is_abstract(direction) or _is_abstract(disp):
+                return (Unknown("int"), Unknown("int"))
+            return comm.shift(self.rank, int(direction), int(disp))
+        if method in ("Split", "Dup", "Clone"):
+            for arg in call.args:
+                self.eval_expr(arg)
+            return Unknown()
+        if method in _SEND_METHODS or method in _BUF_SEND_METHODS:
+            payload = self.eval_expr(call.args[0]) if call.args else None
+            dest = self._arg(call, 1, "dest")
+            if _is_abstract(dest) or not isinstance(dest, int):
+                raise CostAmbiguous("unresolved-endpoint",
+                                    f"unresolvable send dest at line {line}",
+                                    line)
+            if dest == PROC_NULL:
+                return Unknown()
+            raw = method in _BUF_SEND_METHODS
+            nbytes = (_payload_raw_bytes(payload) if raw
+                      else _payload_pickle_bytes(payload))
+            self.recorder.p2p_send(line, "send", self.rank, nbytes)
+            return Unknown()
+        if method in _RECV_METHODS:
+            for arg in call.args:
+                self.eval_expr(arg)
+            for kw in call.keywords:
+                self.eval_expr(kw.value)
+            return Unknown()
+        if method in ("sendrecv", "Sendrecv"):
+            payload = self.eval_expr(call.args[0]) if call.args else None
+            dest = self._arg(call, 1, "dest")
+            if _is_abstract(dest) or not isinstance(dest, int):
+                raise CostAmbiguous("unresolved-endpoint",
+                                    f"unresolvable sendrecv dest at line {line}",
+                                    line)
+            if dest != PROC_NULL:
+                raw = method == "Sendrecv"
+                nbytes = (_payload_raw_bytes(payload) if raw
+                          else _payload_pickle_bytes(payload))
+                self.recorder.p2p_send(line, "send", self.rank, nbytes)
+            source = self._arg(call, 4, "source", None)
+            if isinstance(source, int) and source == PROC_NULL:
+                return None  # PROC_NULL receives complete with None
+            return Unknown()
+        lower = method.lower()
+        if lower in _OBJ_COLLECTIVES:
+            raw = method in _BUF_COLLECTIVES
+            payload = self.eval_expr(call.args[0]) if call.args else None
+            root: int | None = None
+            if method in _ROOTED:
+                root_val = self._arg(call, 1, "root", 0)
+                if _is_abstract(root_val) or not isinstance(root_val, int):
+                    raise CostAmbiguous(
+                        "unresolved-endpoint",
+                        f"unresolvable collective root at line {line}", line)
+                root = root_val % self.size
+            nbytes = (_payload_raw_bytes(payload) if raw
+                      else _payload_pickle_bytes(payload))
+            if lower == "barrier":
+                nbytes = 0
+            self.recorder.collective(line, lower, self.rank, nbytes, root, raw)
+            return Unknown()
+        for arg in call.args:
+            self.eval_expr(arg)
+        for kw in call.keywords:
+            self.eval_expr(kw.value)
+        return Unknown()
+
+
+class _Fail:
+    _instance: "_Fail | None" = None
+
+    def __new__(cls) -> "_Fail":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+
+_FAIL = _Fail()
+
+
+def _strip(expr: ast.expr) -> ast.expr:
+    """Re-locate an expression so ``compile`` accepts it standalone.
+
+    Nodes lifted out of a module tree keep their original (possibly
+    large) line numbers; compiling them in a fresh ``ast.Expression``
+    needs a consistent location range, so reset every node to 1:0.
+    """
+    import copy
+
+    clone = copy.deepcopy(expr)
+    for node in ast.walk(clone):
+        if "lineno" in node._attributes:
+            node.lineno = 1
+            node.col_offset = 0
+            node.end_lineno = 1
+            node.end_col_offset = 0
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Samples, models, reports
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CostSample:
+    """Totals from one per-rank evaluation at concrete ``(N, P)``."""
+
+    p: int
+    n: int | None = None
+    sites: list[CostSite] = field(default_factory=list)
+    msgs: int = 0
+    bytes: int | None = 0
+    work: list[int] = field(default_factory=list)
+    abstained: str | None = None
+    abstain_line: int | None = None
+
+    @property
+    def max_work(self) -> int:
+        return max(self.work, default=0)
+
+    @property
+    def imbalance(self) -> float:
+        if not self.work or sum(self.work) == 0:
+            return 0.0
+        mean = sum(self.work) / len(self.work)
+        return max(self.work) / mean - 1.0 if mean else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "p": self.p, "n": self.n, "msgs": self.msgs, "bytes": self.bytes,
+            "work": self.work, "imbalance": round(self.imbalance, 4),
+            "sites": [s.to_dict() for s in self.sites],
+            **({"abstained": self.abstained} if self.abstained else {}),
+        }
+
+
+def _finish_sample(sample: CostSample, recorder: _SiteRecorder,
+                   size: int) -> None:
+    total_msgs = 0
+    total_bytes: int | None = 0
+
+    def add_bytes(amount: int | None) -> None:
+        nonlocal total_bytes
+        if amount is None:
+            total_bytes = None
+        elif total_bytes is not None:
+            total_bytes += amount
+
+    for (line, name), entry in sorted(recorder.entries.items()):
+        if entry["kind"] == "p2p":
+            msgs = sum(entry["sends"])
+            nbytes = (sum(entry["send_bytes"])
+                      if entry["bytes_known"] else None)
+            site = CostSite(line=line, kind="p2p", name=name, msgs=msgs,
+                            bytes=nbytes, per_rank_msgs=list(entry["sends"]),
+                            calls_per_rank=max(entry["sends"], default=0))
+            total_msgs += msgs
+            add_bytes(nbytes)
+        elif entry["kind"] == "alloc":
+            site = CostSite(line=line, kind="alloc", name=name,
+                            msgs=0, bytes=0,
+                            per_rank_msgs=list(entry["sends"]),
+                            calls_per_rank=max(entry["sends"], default=0))
+        else:
+            payloads = entry["payloads"]
+            ncalls = max((len(p) for p in payloads), default=0)
+            msgs = 0
+            nbytes: int | None = 0
+            for i in range(ncalls):
+                per_rank: list[int | None] = []
+                root = 0
+                raw = False
+                for r in range(size):
+                    if i < len(payloads[r]):
+                        b, rt, raw_r = payloads[r][i]
+                        per_rank.append(b)
+                        raw = raw or raw_r
+                        if rt is not None:
+                            root = rt
+                    else:
+                        per_rank.append(None)
+                if name == "cart_setup":
+                    msgs += size * (size - 1)
+                    call_bytes: int | None = _cart_setup_bytes(size)
+                else:
+                    msgs += _coll_msg_count(name, size)
+                    call_bytes = _coll_bytes(name, size, per_rank, root, raw)
+                if call_bytes is None:
+                    nbytes = None
+                elif nbytes is not None:
+                    nbytes += call_bytes
+            site = CostSite(line=line, kind="coll", name=name, msgs=msgs,
+                            bytes=nbytes,
+                            per_rank_msgs=[len(p) for p in payloads],
+                            calls_per_rank=ncalls)
+            total_msgs += msgs
+            add_bytes(nbytes)
+        sample.sites.append(site)
+    sample.msgs = total_msgs
+    sample.bytes = total_bytes
+
+
+def analyze_cost(
+    func: ast.AST,
+    tree: ast.AST,
+    *,
+    size: int,
+    n: int | None = None,
+    bindings: dict[str, Any] | None = None,
+    namespace: dict[str, Any] | None = None,
+) -> CostSample:
+    """Evaluate one SPMD root at concrete ``(n, size)``; never raises.
+
+    ``bindings`` seeds the environment (enclosing-function parameters);
+    ``namespace`` enables trusted native evaluation against the given
+    module globals.  An evaluator abstention is recorded on the sample
+    (with the partial accounting up to that point) rather than raised.
+    """
+    recorder = _SiteRecorder(size)
+    sample = CostSample(p=size, n=n)
+    base_env = dict(_enclosing_env(tree, func))
+    if bindings:
+        base_env.update(bindings)
+    comm_name = "comm"
+    args = getattr(func, "args", None)
+    if args is not None and args.args:
+        params = [a.arg for a in args.args]
+        comm_name = "comm" if "comm" in params else params[0]
+    steps = [0]
+    for rank in range(size):
+        ev = _CostEval(rank, size, recorder, namespace, base_env, steps)
+        try:
+            ev.run(func, {comm_name: CommVal()})
+        except CostAmbiguous as exc:
+            sample.abstained = exc.code
+            sample.abstain_line = exc.line
+        except RecursionError:
+            sample.abstained = "recursion"
+        sample.work.append(ev.work)
+    _finish_sample(sample, recorder, size)
+    return sample
+
+
+# ---------------------------------------------------------------------------
+# Polynomial identification
+# ---------------------------------------------------------------------------
+
+#: the cost-expression grammar: linear combinations of these monomials
+POLY_BASIS: tuple[str, ...] = ("1", "N", "P", "N*P", "P^2", "N/P")
+
+
+def _basis_row(n: float, p: float) -> list[float]:
+    return [1.0, n, p, n * p, p * p, n / p]
+
+
+@dataclass
+class Poly:
+    """A fitted cost polynomial over :data:`POLY_BASIS`."""
+
+    coeffs: dict[str, float]
+    max_rel_err: float = 0.0
+
+    def __call__(self, n: float, p: float) -> float:
+        row = _basis_row(n, p)
+        return sum(self.coeffs.get(term, 0.0) * val
+                   for term, val in zip(POLY_BASIS, row))
+
+    def describe(self) -> str:
+        parts = []
+        for term, coeff in self.coeffs.items():
+            if abs(coeff) < 1e-9:
+                continue
+            if term == "1":
+                parts.append(f"{coeff:.4g}")
+            else:
+                parts.append(f"{coeff:.4g}·{term}")
+        return " + ".join(parts).replace("+ -", "- ") or "0"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"terms": {t: round(c, 6) for t, c in self.coeffs.items()
+                          if abs(c) > 1e-9},
+                "max_rel_err": round(self.max_rel_err, 6),
+                "formula": self.describe()}
+
+
+def fit_poly(points: list[tuple[float, float, float]],
+             tol: float = 0.05) -> Poly | None:
+    """Least-squares fit ``value ~ poly(N, P)`` with held-out verification.
+
+    ``points`` are ``(n, p, value)`` samples.  The last sample is held
+    out of the fit and used (together with the fitted residuals) to
+    verify the identification; a relative error above ``tol`` abstains
+    (returns ``None``) — a wrong formula is worse than no formula.
+    """
+    if len(points) < len(POLY_BASIS) + 1:
+        fit_points = points
+        holdout: list[tuple[float, float, float]] = []
+    else:
+        fit_points = points[:-1]
+        holdout = points[-1:]
+    try:
+        import numpy as np
+    except Exception:  # pragma: no cover - numpy is a repo dependency
+        return None
+    if not fit_points:
+        return None
+    a = np.array([_basis_row(n, p) for n, p, _ in fit_points])
+    b = np.array([v for _, _, v in fit_points])
+    coeffs, *_ = np.linalg.lstsq(a, b, rcond=None)
+    poly = Poly(coeffs=dict(zip(POLY_BASIS, (float(c) for c in coeffs))))
+    max_err = 0.0
+    for n, p, value in points:
+        predicted = poly(n, p)
+        scale = max(abs(value), 1.0)
+        max_err = max(max_err, abs(predicted - value) / scale)
+    poly.max_rel_err = max_err
+    if holdout and max_err > tol:
+        return None
+    return poly
+
+
+# ---------------------------------------------------------------------------
+# Whole-function model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CostModel:
+    """Fitted cost/scalability model for one SPMD function."""
+
+    name: str
+    samples: list[CostSample] = field(default_factory=list)
+    msgs_poly: Poly | None = None
+    bytes_poly: Poly | None = None
+    work_poly: Poly | None = None
+    speedup_bound: list[tuple[int, float]] = field(default_factory=list)
+    serial_fraction: float | None = None
+    abstained: str | None = None
+
+    def sample_at(self, *, p: int, n: int | None = None) -> CostSample | None:
+        for sample in self.samples:
+            if sample.p == p and (n is None or sample.n == n):
+                return sample
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "samples": [s.to_dict() for s in self.samples],
+            "message_poly": self.msgs_poly.to_dict() if self.msgs_poly else None,
+            "bytes_poly": self.bytes_poly.to_dict() if self.bytes_poly else None,
+            "work_poly": self.work_poly.to_dict() if self.work_poly else None,
+            "speedup_bound": [[p, round(s, 3)] for p, s in self.speedup_bound],
+            "serial_fraction": (round(self.serial_fraction, 6)
+                                if self.serial_fraction is not None else None),
+            **({"abstained": self.abstained} if self.abstained else {}),
+        }
+
+
+def _fit_model(model: CostModel, n_for_speedup: int | None) -> None:
+    clean = [s for s in model.samples if s.abstained is None]
+    if not clean:
+        model.abstained = model.samples[0].abstained if model.samples else None
+        return
+    msg_pts = [(float(s.n or 0), float(s.p), float(s.msgs)) for s in clean]
+    model.msgs_poly = fit_poly(msg_pts)
+    byte_pts = [(float(s.n or 0), float(s.p), float(s.bytes))
+                for s in clean if s.bytes is not None]
+    if len(byte_pts) == len(msg_pts):
+        model.bytes_poly = fit_poly(byte_pts)
+    work_pts = [(float(s.n or 0), float(s.p), float(s.max_work))
+                for s in clean]
+    model.work_poly = fit_poly(work_pts)
+
+    # Amdahl-style bound: S(P) <= W(1) / max_r w_r(P), at one problem size.
+    base = [s for s in clean if s.p == 1 and (n_for_speedup is None
+                                              or s.n == n_for_speedup)]
+    if base:
+        w1 = base[0].max_work
+        bounds: list[tuple[int, float]] = []
+        for s in sorted(clean, key=lambda s: s.p):
+            if s.p == 1 or (n_for_speedup is not None
+                            and s.n != n_for_speedup):
+                continue
+            if s.max_work > 0:
+                bounds.append((s.p, w1 / s.max_work))
+        model.speedup_bound = bounds
+        # Fit 1/S = s + (1-s)/P  =>  s = (P/S - 1) / (P - 1)
+        estimates = [
+            (p / bound - 1.0) / (p - 1.0)
+            for p, bound in bounds if p > 1 and bound > 0
+        ]
+        if estimates:
+            model.serial_fraction = max(
+                0.0, min(1.0, sum(estimates) / len(estimates)))
+    abst = next((s.abstained for s in model.samples if s.abstained), None)
+    model.abstained = abst
+
+
+def _param_defaults(func: ast.AST, namespace: dict[str, Any]) -> dict[str, Any]:
+    """Concrete default values of a function's parameters.
+
+    Constant defaults evaluate directly; bare-name defaults (e.g. a
+    module-level callable) resolve through ``namespace``.  Anything else
+    is left unbound so the evaluator treats it as unknown.
+    """
+    out: dict[str, Any] = {}
+    args = getattr(func, "args", None)
+    if args is None:
+        return out
+    params = [a.arg for a in args.args]
+    defaults = list(args.defaults)
+    for param, default in zip(params[len(params) - len(defaults):], defaults):
+        if isinstance(default, ast.Constant):
+            out[param] = default.value
+        elif isinstance(default, ast.Name) and default.id in namespace:
+            out[param] = namespace[default.id]
+        elif isinstance(default, (ast.Tuple, ast.List)):
+            try:
+                out[param] = ast.literal_eval(default)
+            except ValueError:
+                pass
+    for kwarg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None and isinstance(default, ast.Constant):
+            out[kwarg.arg] = default.value
+    return out
+
+
+def analyze_module_cost(
+    module_name: str,
+    func_name: str,
+    *,
+    bindings: dict[str, Any] | None = None,
+    n_param: str | None = None,
+    n_values: tuple[int, ...] = (),
+    p_values: tuple[int, ...] = (1, 2, 3, 4, 5),
+    trusted: bool = True,
+) -> CostModel:
+    """Trusted cost model for one exemplar's SPMD body.
+
+    Imports ``module_name``, locates the SPMD root nested inside
+    ``func_name`` (the ``body(comm)`` closure passed to ``mpirun``), and
+    evaluates it over the ``(n, p)`` sample grid.  ``bindings`` supplies
+    the enclosing function's parameters; when ``n_param`` is given it is
+    overridden by each value of ``n_values`` in turn.
+    """
+    import importlib
+    import inspect
+
+    module = importlib.import_module(module_name)
+    source = inspect.getsource(module)
+    tree = ast.parse(source)
+
+    enclosing: ast.AST | None = None
+    for node in ast.walk(tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name == func_name):
+            enclosing = node
+            break
+    if enclosing is None:
+        raise ValueError(f"{module_name} has no function {func_name!r}")
+    roots = [r for r in spmd_roots(tree)
+             if any(r is sub for sub in ast.walk(enclosing))]
+    if not roots:
+        raise ValueError(f"{func_name} contains no SPMD root")
+    func = roots[0]
+
+    namespace = dict(vars(module)) if trusted else None
+    defaults = _param_defaults(enclosing, namespace or {})
+    model = CostModel(name=f"{module_name}:{func_name}")
+    ns = list(n_values) if n_values else [None]
+    for n in ns:
+        local_bindings = dict(defaults)
+        local_bindings.update(bindings or {})
+        if n is not None and n_param:
+            local_bindings[n_param] = n
+        for p in p_values:
+            sample = analyze_cost(
+                func, tree, size=p,
+                n=n if n is not None else local_bindings.get(n_param or "", None),
+                bindings=local_bindings, namespace=namespace)
+            model.samples.append(sample)
+    _fit_model(model, ns[-1] if ns[-1] is not None else None)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Per-file report (untrusted; feeds ``repro lint --cost``)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CostReport:
+    """Untrusted cost scan of one source file's SPMD roots."""
+
+    path: str
+    models: list[CostModel] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "models": [m.to_dict() for m in self.models],
+            "notes": self.notes,
+        }
+
+
+def cost_report(
+    source: str,
+    path: str = "<src>",
+    *,
+    p_values: tuple[int, ...] = (1, 2, 4, 8),
+) -> CostReport:
+    """Scan one source text (learner code: nothing is executed)."""
+    report = CostReport(path=path)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        report.notes.append(f"syntax error: {exc}")
+        return report
+    for index, root in enumerate(spmd_roots(tree)):
+        name = getattr(root, "name", None) or f"<spmd:{index}>"
+        line = getattr(root, "lineno", 0)
+        model = CostModel(name=f"{name}:{line}")
+        for p in p_values:
+            model.samples.append(
+                analyze_cost(root, tree, size=p, namespace=None))
+        _fit_model(model, None)
+        report.models.append(model)
+    return report

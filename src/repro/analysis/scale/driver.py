@@ -1,0 +1,225 @@
+"""Parallel, incremental lint driver: ``repro lint --jobs N --cache``.
+
+The driver eats its own dog food — linting a course corpus is itself an
+embarrassingly parallel job with a cache-friendly structure:
+
+* **content-hash cache** — each file's result is keyed by the SHA-256 of
+  its bytes plus the rule configuration (selected/ignored/enabled ids
+  and a cache-format version).  A warm cache turns a re-lint of an
+  unchanged corpus into pure JSON reads.
+* **process-pool fan-out** — cache misses are linted by a
+  ``ProcessPoolExecutor``; each worker lints whole files, so no shared
+  state and no ordering hazards.
+* **deterministic merge** — results are reassembled in the input file
+  order regardless of which worker (or the cache) produced them, so the
+  rendered report is byte-identical to a serial run.  Tests assert
+  this, and the ``lint_corpus_parallel`` bench keeps it fast.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from ...analysis.diagnostics import AnalysisReport, Diagnostic
+from ..lint.engine import ENGINE, _collect_files, _label, lint_source
+
+__all__ = ["CorpusResult", "lint_corpus", "CACHE_VERSION"]
+
+#: bump when the serialized per-file payload or any rule semantics change
+CACHE_VERSION = 1
+
+
+@dataclass
+class CorpusResult:
+    """Outcome of one corpus lint: the merged report plus cache stats."""
+
+    report: AnalysisReport
+    files: list[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+
+    @property
+    def stats(self) -> dict[str, Any]:
+        return {
+            "files": len(self.files),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "jobs": self.jobs,
+        }
+
+
+def _config_fingerprint(select: Any, ignore: Any, enable: Any) -> str:
+    from ..lint.engine import rule_ids
+
+    blob = json.dumps({
+        "version": CACHE_VERSION,
+        "rules": rule_ids(),
+        "select": _id_list(select),
+        "ignore": _id_list(ignore),
+        "enable": _id_list(enable),
+    }, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def _id_list(ids: Any) -> list[str] | None:
+    if ids is None:
+        return None
+    if isinstance(ids, str):
+        ids = ids.replace(",", " ").split()
+    return sorted(str(i).upper() for i in ids)
+
+
+def _file_key(data: bytes, label: str, config: str) -> str:
+    digest = hashlib.sha256()
+    digest.update(config.encode())
+    digest.update(b"\0")
+    digest.update(label.encode())
+    digest.update(b"\0")
+    digest.update(data)
+    return digest.hexdigest()
+
+
+def _payload_from_report(report: AnalysisReport) -> dict[str, Any]:
+    return {
+        "diagnostics": [d.to_dict() for d in report.diagnostics],
+        "suppressed": [d.to_dict() for d in report.suppressed],
+        "notes": list(report.notes),
+    }
+
+
+def _diag_from_dict(data: dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        kind=data.get("kind", ""),
+        severity=data.get("severity", "error"),
+        message=data.get("message", ""),
+        location=data.get("location"),
+        details=data.get("details", {}),
+    )
+
+
+def _merge_payload(report: AnalysisReport, payload: dict[str, Any]) -> None:
+    for item in payload.get("diagnostics", []):
+        report.add(_diag_from_dict(item))
+    for item in payload.get("suppressed", []):
+        report.add_suppressed(_diag_from_dict(item))
+    report.notes.extend(payload.get("notes", []))
+
+
+def _lint_one(job: tuple[str, str, str, Any, Any, Any]) -> dict[str, Any]:
+    """Worker: lint one file and return the serializable payload.
+
+    Runs in a subprocess — takes only picklable primitives, returns only
+    JSON-shaped data.  Decode errors and empty files are reported as
+    notes, mirroring :func:`repro.analysis.lint.engine.lint_path`.
+    """
+    path_str, label, language, select, ignore, enable = job
+    path = Path(path_str)
+    try:
+        text = path.read_bytes().decode("utf-8")
+    except UnicodeDecodeError:
+        return {"diagnostics": [], "suppressed": [],
+                "notes": [f"skipped {label}: not UTF-8 text"]}
+    except OSError as exc:
+        return {"diagnostics": [], "suppressed": [],
+                "notes": [f"skipped {label}: {exc.strerror or exc}"]}
+    if not text.strip():
+        return {"diagnostics": [], "suppressed": [],
+                "notes": [f"skipped {label}: empty file"]}
+    report = lint_source(text, label, language, select=select,
+                         ignore=ignore, enable=enable)
+    return _payload_from_report(report)
+
+
+def lint_corpus(
+    paths: Sequence[str | Path],
+    *,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    select: Iterable[str] | str | None = None,
+    ignore: Iterable[str] | str | None = None,
+    enable: Iterable[str] | str | None = None,
+    target: str | None = None,
+) -> CorpusResult:
+    """Lint files/directories with optional parallel fan-out and caching.
+
+    The merged report is deterministic: identical to linting the same
+    file list serially with :func:`lint_source`, whatever ``jobs`` is
+    and whether results came from workers or the cache.
+    """
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(_collect_files(path))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+
+    config = _config_fingerprint(select, ignore, enable)
+    cache_root = Path(cache_dir) if cache_dir is not None else None
+    if cache_root is not None:
+        cache_root.mkdir(parents=True, exist_ok=True)
+
+    report = AnalysisReport(
+        target=target or " ".join(str(p) for p in paths), engine=ENGINE)
+    result = CorpusResult(report=report, jobs=max(1, jobs))
+
+    payloads: list[dict[str, Any] | None] = [None] * len(files)
+    pending: list[tuple[int, tuple[str, str, str, Any, Any, Any], str | None]] = []
+
+    for index, file in enumerate(files):
+        label = _label(file)
+        result.files.append(label)
+        language = "python" if file.suffix == ".py" else "c"
+        key: str | None = None
+        if cache_root is not None:
+            try:
+                data = file.read_bytes()
+            except OSError as exc:
+                payloads[index] = {
+                    "diagnostics": [], "suppressed": [],
+                    "notes": [f"skipped {label}: {exc.strerror or exc}"]}
+                continue
+            key = _file_key(data, label, config)
+            entry = cache_root / f"{key}.json"
+            if entry.is_file():
+                try:
+                    payloads[index] = json.loads(entry.read_text())
+                    result.cache_hits += 1
+                    continue
+                except (OSError, ValueError):
+                    pass  # corrupt entry: fall through and re-lint
+        job = (str(file), label, language, select, ignore, enable)
+        pending.append((index, job, key))
+
+    result.cache_misses = len(pending)
+    if pending:
+        if result.jobs > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=result.jobs) as pool:
+                fresh = list(pool.map(_lint_one, [j for _, j, _ in pending]))
+        else:
+            fresh = [_lint_one(job) for _, job, _ in pending]
+        for (index, _job, key), payload in zip(pending, fresh):
+            payloads[index] = payload
+            if cache_root is not None and key is not None:
+                entry = cache_root / f"{key}.json"
+                try:
+                    tmp = entry.with_suffix(".tmp")
+                    # NB: no sort_keys — details dicts must round-trip in
+                    # insertion order so cached renders stay byte-identical
+                    tmp.write_text(json.dumps(payload))
+                    tmp.replace(entry)
+                except OSError:
+                    pass  # cache writes are best-effort
+
+    for payload in payloads:
+        if payload is not None:
+            _merge_payload(report, payload)
+    return result

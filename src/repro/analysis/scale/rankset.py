@@ -1,0 +1,708 @@
+"""The rank-set abstract domain over a symbolic world size ``P``.
+
+The concrete protocol simulator (:mod:`repro.analysis.flow.protocol`)
+answers "does this SPMD body deadlock at world size 4?".  Learners — and
+the grading pipeline — need the stronger claim "deadlock-free for *all*
+P >= 2".  This module supplies the abstraction that licenses that jump:
+
+* a :class:`RankSet` describes a subset of ``{0 .. P-1}`` uniformly in a
+  symbolic ``P`` — singletons counted from the front (``rank == 2``) or
+  the back (``rank == P-1``), residue classes (``rank % 2 == 0``), and
+  affine threshold intervals (``rank < 3``, ``rank >= P - 1``,
+  ``rank < P // 2``);
+* :func:`scan_domain` checks that every rank-dependent guard and every
+  message endpoint in a body stays inside that domain and collects the
+  constants that parameterize it;
+* :meth:`DomainScan.cutoff` turns those constants into a *cutoff* world
+  size ``P_c``.
+
+The cutoff argument (a small-model / data-independence argument in the
+style of parameterized protocol verification): when every rank guard and
+endpoint is built from front offsets ``<= F``, back offsets ``<= B`` and
+periodic classifiers of period dividing ``L`` (moduli, xor masks), two
+ranks in the "middle" region that share a residue class are
+indistinguishable — every guard evaluates identically on them and their
+message endpoints shift uniformly.  Growing ``P`` past
+``F + B + 2 * L`` therefore only replicates already-represented middle
+classes, and the per-rank trace *structure* (which matchings exist,
+which cycles can form) repeats with period ``L`` in ``P``.  Checking
+every concrete world size ``2 <= P <= P_c`` with ``P_c = F + B + 2 * L``
+then covers one full period beyond the stabilization threshold, which is
+what :mod:`repro.analysis.scale.symbolic` relies on.  Integer division
+of ``P`` (``rank < P // d``) is folded in by multiplying the period with
+the divisor's lcm; bodies using constructs outside the domain are never
+silently generalized — the scan reports a reason code and the checker
+abstains from the all-P claim (it still reports concrete-size results).
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "P_MIN",
+    "P_CAP",
+    "CROSS_CHECK_MAX",
+    "RankSet",
+    "DomainScan",
+    "parse_rank_guard",
+    "parse_endpoint",
+    "scan_domain",
+    "valid_world_sizes",
+]
+
+#: Smallest SPMD world the all-P claim quantifies over.
+P_MIN = 2
+#: Largest cutoff we are willing to simulate; beyond this the checker
+#: abstains with reason ``domain-overflow``.
+P_CAP = 16
+#: The concrete simulator sizes the agreement suite cross-checks against.
+CROSS_CHECK_MAX = 5
+
+#: Names that bind the calling rank / world size in learner SPMD bodies.
+_RANK_CALLS = frozenset({"Get_rank"})
+_SIZE_CALLS = frozenset({"Get_size"})
+
+
+# ---------------------------------------------------------------------------
+# Rank sets
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RankSet:
+    """A subset of ``{0 .. P-1}`` described uniformly in symbolic ``P``.
+
+    The representation is a predicate tree (``kind`` in ``"all"``,
+    ``"none"``, ``"front"``, ``"back"``, ``"residue"``, ``"lt"``,
+    ``"lt-back"``, ``"lt-div"``, ``"not"``, ``"and"``, ``"or"``) —
+    enough structure to enumerate members at any concrete ``P`` and to
+    expose the constants the cutoff bound needs.
+
+    * ``front(c)``     — ``{c}``
+    * ``back(c)``      — ``{P - c}``        (c >= 1)
+    * ``residue(m,r)`` — ``{k : k % m == r}``
+    * ``lt(c)``        — ``{k : k < c}``
+    * ``lt_back(c)``   — ``{k : k < P - c}``
+    * ``lt_div(d,c)``  — ``{k : k < P // d + c}``
+    """
+
+    kind: str
+    a: int = 0
+    b: int = 0
+    children: tuple["RankSet", ...] = ()
+
+    # -------------------------------------------------------- constructors
+    @staticmethod
+    def all() -> "RankSet":
+        return RankSet("all")
+
+    @staticmethod
+    def none() -> "RankSet":
+        return RankSet("none")
+
+    @staticmethod
+    def front(c: int) -> "RankSet":
+        return RankSet("front", a=c)
+
+    @staticmethod
+    def back(c: int) -> "RankSet":
+        return RankSet("back", a=c)
+
+    @staticmethod
+    def residue(m: int, r: int) -> "RankSet":
+        return RankSet("residue", a=m, b=r % m)
+
+    @staticmethod
+    def lt(c: int) -> "RankSet":
+        return RankSet("lt", a=c)
+
+    @staticmethod
+    def lt_back(c: int) -> "RankSet":
+        return RankSet("lt-back", a=c)
+
+    @staticmethod
+    def lt_div(d: int, c: int = 0) -> "RankSet":
+        return RankSet("lt-div", a=d, b=c)
+
+    def negate(self) -> "RankSet":
+        return RankSet("not", children=(self,))
+
+    def union(self, other: "RankSet") -> "RankSet":
+        return RankSet("or", children=(self, other))
+
+    def intersect(self, other: "RankSet") -> "RankSet":
+        return RankSet("and", children=(self, other))
+
+    # ------------------------------------------------------------- queries
+    def contains(self, rank: int, p: int) -> bool:
+        if self.kind == "all":
+            return True
+        if self.kind == "none":
+            return False
+        if self.kind == "front":
+            return rank == self.a
+        if self.kind == "back":
+            return rank == p - self.a
+        if self.kind == "residue":
+            return rank % self.a == self.b
+        if self.kind == "lt":
+            return rank < self.a
+        if self.kind == "lt-back":
+            return rank < p - self.a
+        if self.kind == "lt-div":
+            return rank < p // self.a + self.b
+        if self.kind == "not":
+            return not self.children[0].contains(rank, p)
+        if self.kind == "and":
+            return all(c.contains(rank, p) for c in self.children)
+        if self.kind == "or":
+            return any(c.contains(rank, p) for c in self.children)
+        raise ValueError(f"unknown RankSet kind {self.kind!r}")
+
+    def members(self, p: int) -> frozenset[int]:
+        return frozenset(r for r in range(p) if self.contains(r, p))
+
+    def witness_nonempty(self, p_max: int = P_CAP) -> int | None:
+        """Smallest world size at which the set has a member, if any."""
+        for p in range(P_MIN, p_max + 1):
+            if self.members(p):
+                return p
+        return None
+
+    # ---------------------------------------------------- cutoff constants
+    def constants(self) -> tuple[set[int], set[int], set[int], set[int]]:
+        """``(front, back, moduli, divisors)`` constants of this set."""
+        front: set[int] = set()
+        back: set[int] = set()
+        moduli: set[int] = set()
+        divisors: set[int] = set()
+        if self.kind in ("front", "lt"):
+            front.add(abs(self.a))
+        elif self.kind in ("back", "lt-back"):
+            back.add(abs(self.a))
+        elif self.kind == "residue":
+            moduli.add(self.a)
+        elif self.kind == "lt-div":
+            divisors.add(self.a)
+            front.add(abs(self.b))
+        for child in self.children:
+            f, bk, m, d = child.constants()
+            front |= f
+            back |= bk
+            moduli |= m
+            divisors |= d
+        return front, back, moduli, divisors
+
+    def describe(self) -> str:
+        if self.kind == "all":
+            return "all ranks"
+        if self.kind == "none":
+            return "no rank"
+        if self.kind == "front":
+            return f"rank == {self.a}"
+        if self.kind == "back":
+            return f"rank == P-{self.a}"
+        if self.kind == "residue":
+            return f"rank % {self.a} == {self.b}"
+        if self.kind == "lt":
+            return f"rank < {self.a}"
+        if self.kind == "lt-back":
+            return f"rank < P-{self.a}"
+        if self.kind == "lt-div":
+            offset = f"+{self.b}" if self.b else ""
+            return f"rank < P//{self.a}{offset}"
+        if self.kind == "not":
+            return f"not ({self.children[0].describe()})"
+        joiner = " and " if self.kind == "and" else " or "
+        return joiner.join(f"({c.describe()})" for c in self.children)
+
+
+# ---------------------------------------------------------------------------
+# Parsing guards and endpoints into the domain
+# ---------------------------------------------------------------------------
+
+class OutsideDomain(Exception):
+    """An expression does not fit the rank-set abstract domain."""
+
+    def __init__(self, code: str, detail: str = "") -> None:
+        super().__init__(detail or code)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class _Affine:
+    """``r * rank + s * P + c`` with integer coefficients — the value
+    language rank guards and endpoints are allowed to use.  ``mod`` /
+    ``xor`` wrap an affine core once (``(rank + 1) % P``, ``rank ^ 1``)."""
+
+    r: int = 0  # coefficient of rank
+    s: int = 0  # coefficient of P (the world size)
+    c: int = 0  # constant
+    mod: int | None = None     # value % mod applied after the affine core
+    mod_p: bool = False        # value % P applied after the affine core
+    xor: int | None = None     # value ^ xor applied after the affine core
+
+    @property
+    def wrapped(self) -> bool:
+        return self.mod is not None or self.mod_p or self.xor is not None
+
+    def evaluate(self, rank: int, p: int) -> int:
+        value = self.r * rank + self.s * p + self.c
+        if self.xor is not None:
+            value ^= self.xor
+        if self.mod is not None:
+            value %= self.mod
+        if self.mod_p:
+            value %= p
+        return value
+
+
+def _affine(node: ast.expr, rank_names: frozenset[str],
+            size_names: frozenset[str],
+            consts: dict[str, int]) -> _Affine:
+    """Parse one expression into :class:`_Affine`; raises OutsideDomain."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, bool) or not isinstance(node.value, int):
+            raise OutsideDomain("nonaffine-rank-expr",
+                                f"non-integer constant {node.value!r}")
+        return _Affine(c=node.value)
+    if isinstance(node, ast.Name):
+        if node.id in rank_names:
+            return _Affine(r=1)
+        if node.id in size_names:
+            return _Affine(s=1)
+        if node.id in consts:
+            return _Affine(c=consts[node.id])
+        raise OutsideDomain("nonaffine-rank-expr",
+                            f"unresolved name {node.id!r}")
+    if isinstance(node, ast.Call):
+        attr = node.func.attr if isinstance(node.func, ast.Attribute) else ""
+        if attr in _RANK_CALLS:
+            return _Affine(r=1)
+        if attr in _SIZE_CALLS:
+            return _Affine(s=1)
+        raise OutsideDomain("nonaffine-rank-expr", f"call {attr or '?'}()")
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _affine(node.operand, rank_names, size_names, consts)
+        if inner.wrapped:
+            raise OutsideDomain("nonaffine-rank-expr", "negated wrap")
+        return _Affine(r=-inner.r, s=-inner.s, c=-inner.c)
+    if isinstance(node, ast.BinOp):
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            left = _affine(node.left, rank_names, size_names, consts)
+            right = _affine(node.right, rank_names, size_names, consts)
+            if left.wrapped or right.wrapped:
+                raise OutsideDomain("nonaffine-rank-expr",
+                                    "arithmetic on a wrapped value")
+            sign = 1 if isinstance(op, ast.Add) else -1
+            return _Affine(r=left.r + sign * right.r,
+                           s=left.s + sign * right.s,
+                           c=left.c + sign * right.c)
+        if isinstance(op, ast.Mult):
+            left = _affine(node.left, rank_names, size_names, consts)
+            right = _affine(node.right, rank_names, size_names, consts)
+            if left.wrapped or right.wrapped:
+                raise OutsideDomain("nonaffine-rank-expr",
+                                    "arithmetic on a wrapped value")
+            if left.r == left.s == 0:
+                return _Affine(r=left.c * right.r, s=left.c * right.s,
+                               c=left.c * right.c)
+            if right.r == right.s == 0:
+                return _Affine(r=right.c * left.r, s=right.c * left.s,
+                               c=right.c * left.c)
+            raise OutsideDomain("nonaffine-rank-expr", "rank * rank product")
+        if isinstance(op, ast.Mod):
+            core = _affine(node.left, rank_names, size_names, consts)
+            modulus = _affine(node.right, rank_names, size_names, consts)
+            if core.wrapped:
+                raise OutsideDomain("nonaffine-rank-expr", "nested wrap")
+            if modulus.r == 0 and modulus.s == 1 and modulus.c == 0:
+                return _Affine(core.r, core.s, core.c, mod_p=True)
+            if modulus.r == 0 and modulus.s == 0 and modulus.c > 0:
+                return _Affine(core.r, core.s, core.c, mod=modulus.c)
+            raise OutsideDomain("nonaffine-rank-expr", "irregular modulus")
+        if isinstance(op, ast.BitXor):
+            core = _affine(node.left, rank_names, size_names, consts)
+            mask = _affine(node.right, rank_names, size_names, consts)
+            if core.wrapped or mask.r or mask.s or mask.c < 0:
+                raise OutsideDomain("nonaffine-rank-expr", "irregular xor")
+            return _Affine(core.r, core.s, core.c, xor=mask.c)
+        if isinstance(op, ast.FloorDiv):
+            core = _affine(node.left, rank_names, size_names, consts)
+            div = _affine(node.right, rank_names, size_names, consts)
+            if (core.wrapped or core.r or div.r or div.s
+                    or div.c <= 0 or core.s != 1 or core.c != 0):
+                raise OutsideDomain("nonaffine-rank-expr",
+                                    "irregular integer division")
+            # P // d: representable only as a comparison threshold; mark
+            # it with a dedicated sentinel the comparison parser unpacks.
+            return _Affine(s=div.c, mod=None, mod_p=False, xor=None, c=-1,
+                           r=0)  # see _compare_to_rankset
+    raise OutsideDomain("nonaffine-rank-expr", ast.dump(node)[:60])
+
+
+def _mentions(node: ast.AST, names: frozenset[str]) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id in names:
+            return True
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _RANK_CALLS):
+            return True
+    return False
+
+
+def _compare_to_rankset(left: _Affine, op: ast.cmpop,
+                        right: _Affine) -> RankSet:
+    """Build the rank set of ``left <op> right`` — one side must be the
+    bare rank, the other rank-free."""
+    if left.r != 0 and right.r != 0:
+        raise OutsideDomain("nonaffine-rank-guard", "rank on both sides")
+    if right.r != 0:  # normalize to rank on the left
+        flipped = {ast.Lt: ast.Gt, ast.Gt: ast.Lt,
+                   ast.LtE: ast.GtE, ast.GtE: ast.LtE}
+        op = flipped.get(type(op), type(op))()
+        left, right = right, left
+    if left.wrapped:
+        # (rank % m) == r  /  (rank ^ c) == k  — equality only.
+        if not isinstance(op, (ast.Eq, ast.NotEq)):
+            raise OutsideDomain("nonaffine-rank-guard",
+                                "ordered comparison of a wrapped rank")
+        if right.r or right.s:
+            raise OutsideDomain("nonaffine-rank-guard",
+                                "wrapped rank against a P-dependent bound")
+        if left.mod is not None and left.r == 1 and not left.mod_p:
+            base = RankSet.residue(left.mod, right.c - left.c)
+        elif left.xor is not None and left.r == 1 and left.mod is None:
+            period = 1 << max(1, (left.xor + left.c).bit_length())
+            target = (right.c ^ left.xor) - left.c
+            base = (RankSet.residue(period, target)
+                    if 0 <= target < period else RankSet.none())
+        else:
+            raise OutsideDomain("nonaffine-rank-guard", "irregular wrap")
+        return base.negate() if isinstance(op, ast.NotEq) else base
+    if left.r != 1:
+        raise OutsideDomain("nonaffine-rank-guard",
+                            f"rank coefficient {left.r}")
+    if left.s or left.c:
+        # fold rank + k <op> bound  into  rank <op> bound - k
+        right = _Affine(r=0, s=right.s - left.s, c=right.c - left.c)
+    if right.mod is not None and right.s > 0 and right.c == -1:
+        # the P // d sentinel from _affine
+        divisor, offset = right.s, 0
+        lt = RankSet.lt_div(divisor, offset)
+        if isinstance(op, ast.Lt):
+            return lt
+        if isinstance(op, ast.GtE):
+            return lt.negate()
+        raise OutsideDomain("nonaffine-rank-guard", "P//d equality guard")
+    if right.wrapped:
+        raise OutsideDomain("nonaffine-rank-guard", "wrapped bound")
+
+    if right.s == 0:  # rank <op> c
+        c = right.c
+        table = {
+            ast.Eq: RankSet.front(c) if c >= 0 else RankSet.none(),
+            ast.NotEq: (RankSet.front(c) if c >= 0
+                        else RankSet.none()).negate(),
+            ast.Lt: RankSet.lt(c),
+            ast.LtE: RankSet.lt(c + 1),
+            ast.Gt: RankSet.lt(c + 1).negate(),
+            ast.GtE: RankSet.lt(c).negate(),
+        }
+    elif right.s == 1:  # rank <op> P - k
+        k = -right.c
+        table = {
+            ast.Eq: RankSet.back(k),
+            ast.NotEq: RankSet.back(k).negate(),
+            ast.Lt: RankSet.lt_back(k),
+            ast.LtE: RankSet.lt_back(k - 1),
+            ast.Gt: RankSet.lt_back(k - 1).negate(),
+            ast.GtE: RankSet.lt_back(k).negate(),
+        }
+    else:
+        raise OutsideDomain("nonaffine-rank-guard",
+                            f"bound with P coefficient {right.s}")
+    result = table.get(type(op))
+    if result is None:
+        raise OutsideDomain("nonaffine-rank-guard",
+                            f"comparison {type(op).__name__}")
+    return result
+
+
+def parse_rank_guard(
+    expr: ast.expr,
+    rank_names: frozenset[str],
+    size_names: frozenset[str],
+    consts: dict[str, int] | None = None,
+) -> RankSet:
+    """Parse a boolean guard over the rank into a :class:`RankSet`.
+
+    Raises :class:`OutsideDomain` when the guard does not fit the domain.
+    Guards that mention only the world size parse to ``all``/``none``
+    placeholders — they are P-conditions, not rank splits, and the
+    concrete per-size simulation resolves them exactly.
+    """
+    consts = consts or {}
+    if isinstance(expr, ast.BoolOp):
+        parts = [parse_rank_guard(v, rank_names, size_names, consts)
+                 for v in expr.values]
+        out = parts[0]
+        for part in parts[1:]:
+            out = (out.intersect(part) if isinstance(expr.op, ast.And)
+                   else out.union(part))
+        return out
+    if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.Not):
+        return parse_rank_guard(
+            expr.operand, rank_names, size_names, consts).negate()
+    if isinstance(expr, ast.Compare):
+        if len(expr.ops) != 1:
+            raise OutsideDomain("nonaffine-rank-guard", "chained comparison")
+        if not _mentions(expr, rank_names):
+            return RankSet.all()  # a P-only condition: no rank split
+        left = _affine(expr.left, rank_names, size_names, consts)
+        right = _affine(expr.comparators[0], rank_names, size_names, consts)
+        return _compare_to_rankset(left, expr.ops[0], right)
+    if not _mentions(expr, rank_names):
+        return RankSet.all()
+    if isinstance(expr, ast.Name) and expr.id in rank_names:
+        # truthiness of the rank itself: rank != 0
+        return RankSet.front(0).negate()
+    raise OutsideDomain("nonaffine-rank-guard", ast.dump(expr)[:60])
+
+
+def parse_endpoint(
+    expr: ast.expr,
+    rank_names: frozenset[str],
+    size_names: frozenset[str],
+    consts: dict[str, int] | None = None,
+) -> _Affine:
+    """Parse a message endpoint (dest/source/root) expression.
+
+    Raises :class:`OutsideDomain` (code ``nonaffine-endpoint``) when the
+    endpoint is not affine-with-wrap in rank and P.
+    """
+    try:
+        return _affine(expr, rank_names, size_names, consts or {})
+    except OutsideDomain as exc:
+        raise OutsideDomain("nonaffine-endpoint", str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# Whole-body domain scan and the cutoff
+# ---------------------------------------------------------------------------
+
+@dataclass
+class DomainScan:
+    """Constants gathered from every rank guard / endpoint in one body."""
+
+    front: set[int] = field(default_factory=set)
+    back: set[int] = field(default_factory=set)
+    moduli: set[int] = field(default_factory=set)
+    divisors: set[int] = field(default_factory=set)
+    guards: int = 0
+    endpoints: int = 0
+    violation: str | None = None   # reason code, e.g. "nonaffine-rank-guard"
+    violation_line: int | None = None
+
+    @property
+    def inside(self) -> bool:
+        return self.violation is None
+
+    def absorb_set(self, rs: RankSet) -> None:
+        f, b, m, d = rs.constants()
+        self.front |= f
+        self.back |= b
+        self.moduli |= m
+        self.divisors |= d
+
+    def absorb_affine(self, aff: _Affine) -> None:
+        self.front.add(abs(aff.c))
+        if aff.mod is not None:
+            self.moduli.add(aff.mod)
+        if aff.xor is not None:
+            self.moduli.add(1 << max(1, aff.xor.bit_length()))
+
+    def cutoff(self) -> int:
+        """World sizes ``2 .. cutoff()`` decide the all-P verdict."""
+        front = max(self.front, default=0) + 1
+        back = max(self.back, default=0) + 1
+        period = math.lcm(*self.moduli) if self.moduli else 1
+        period = math.lcm(period, *self.divisors) if self.divisors else period
+        return max(P_MIN, CROSS_CHECK_MAX, front + back + 2 * period)
+
+
+def _rank_size_names(func: ast.AST) -> tuple[frozenset[str], frozenset[str]]:
+    """Names bound (anywhere in the body) from Get_rank()/Get_size()."""
+    ranks: set[str] = set()
+    sizes: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = node.targets[0]
+        pairs: list[tuple[ast.expr, ast.expr]] = []
+        if (isinstance(targets, ast.Tuple) and isinstance(node.value, ast.Tuple)
+                and len(targets.elts) == len(node.value.elts)):
+            pairs = list(zip(targets.elts, node.value.elts))
+        else:
+            pairs = [(t, node.value) for t in node.targets]
+        for target, value in pairs:
+            if not (isinstance(target, ast.Name) and isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Attribute)):
+                continue
+            if value.func.attr in _RANK_CALLS:
+                ranks.add(target.id)
+            elif value.func.attr in _SIZE_CALLS:
+                sizes.add(target.id)
+    # Common teaching names even when bound through helpers.
+    ranks |= {"rank", "id", "my_rank", "myrank"} & _assigned_names(func)
+    sizes |= {"size", "nprocs", "num_procs", "numProcesses", "world_size",
+              "n_ranks"} & _assigned_names(func)
+    return frozenset(ranks), frozenset(sizes)
+
+
+def _assigned_names(func: ast.AST) -> set[str]:
+    return {
+        sub.id for sub in ast.walk(func)
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store)
+    }
+
+
+_ENDPOINT_KEYWORDS = frozenset({"dest", "source", "root"})
+_ENDPOINT_METHODS = frozenset({
+    "send", "Send", "ssend", "Ssend", "isend", "Isend", "ibsend", "bsend",
+    "Bsend", "recv", "Recv", "irecv", "Irecv", "sendrecv", "Sendrecv",
+    "bcast", "Bcast", "scatter", "Scatter", "gather", "Gather",
+    "reduce", "Reduce",
+})
+
+
+def _single_assignments(func: ast.AST) -> dict[str, ast.expr]:
+    """Names bound by exactly one simple ``name = expr`` in the body.
+
+    Used to resolve endpoint aliases one level: ``partner = rank ^ 1``
+    followed by ``comm.send(..., dest=partner)`` must contribute the xor
+    period to the cutoff.  Multiply-assigned names are dropped — the
+    concrete simulator tracks them exactly; the domain scan stays
+    conservative and simply learns nothing from them.
+    """
+    seen: dict[str, ast.expr | None] = {}
+    for node in ast.walk(func):
+        targets: list[tuple[str, ast.expr]] = []
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                targets.append((target.id, node.value))
+            elif (isinstance(target, ast.Tuple)
+                  and isinstance(node.value, ast.Tuple)
+                  and len(target.elts) == len(node.value.elts)):
+                for t, v in zip(target.elts, node.value.elts):
+                    if isinstance(t, ast.Name):
+                        targets.append((t.id, v))
+        elif isinstance(node, (ast.For, ast.AugAssign)):
+            # loop targets / augmented names vary: poison them
+            holder = node.target if not isinstance(node, ast.For) else node.target
+            for sub in ast.walk(holder):
+                if isinstance(sub, ast.Name):
+                    seen[sub.id] = None
+            continue
+        for name, value in targets:
+            seen[name] = None if name in seen else value
+    return {name: expr for name, expr in seen.items() if expr is not None}
+
+
+def scan_domain(func: ast.AST,
+                consts: dict[str, int] | None = None) -> DomainScan:
+    """Classify every rank guard and message endpoint in ``func``.
+
+    A violation does not stop the scan — the first reason code is kept so
+    the symbolic checker can both abstain *and* report how far the
+    concrete sizes it did check agree.
+    """
+    consts = dict(consts or {})
+    rank_names, size_names = _rank_size_names(func)
+    aliases = _single_assignments(func)
+    scan = DomainScan()
+
+    def violate(code: str, line: int | None) -> None:
+        if scan.violation is None:
+            scan.violation = code
+            scan.violation_line = line
+
+    def resolve(expr: ast.expr) -> ast.expr:
+        if (isinstance(expr, ast.Name)
+                and expr.id not in rank_names | size_names
+                and expr.id in aliases):
+            return aliases[expr.id]
+        return expr
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            test = node.test
+            if not _mentions(test, rank_names):
+                continue
+            scan.guards += 1
+            try:
+                scan.absorb_set(parse_rank_guard(
+                    test, rank_names, size_names, consts))
+            except OutsideDomain as exc:
+                violate(exc.code, getattr(test, "lineno", None))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr not in _ENDPOINT_METHODS:
+                continue
+            for kw in node.keywords:
+                if kw.arg not in _ENDPOINT_KEYWORDS:
+                    continue
+                value = resolve(kw.value)
+                if not _mentions(value, rank_names | size_names):
+                    continue
+                scan.endpoints += 1
+                try:
+                    scan.absorb_affine(parse_endpoint(
+                        value, rank_names, size_names, consts))
+                except OutsideDomain as exc:
+                    violate(exc.code, node.lineno)
+    return scan
+
+
+# ---------------------------------------------------------------------------
+# World-size preconditions
+# ---------------------------------------------------------------------------
+
+def valid_world_sizes(
+    guards: list[ast.expr],
+    np_names: frozenset[str],
+    p_values: range,
+) -> list[int]:
+    """Filter candidate world sizes through launcher precondition guards.
+
+    ``guards`` are the tests of ``if <cond>: raise`` statements that
+    precede the ``mpirun(...)`` call in the launching function; a world
+    size P is valid when *no* guard evaluates truthy with the process
+    count bound to P.  Guards that cannot be evaluated are ignored
+    (treated as not constraining) — dropping a precondition can only
+    produce extra checked sizes, never fewer.
+    """
+    valid: list[int] = []
+    for p in p_values:
+        rejected = False
+        for guard in guards:
+            try:
+                env = {name: p for name in np_names}
+                value = eval(  # noqa: S307 - guarded, arithmetic-only AST
+                    compile(ast.Expression(body=guard), "<guard>", "eval"),
+                    {"__builtins__": {"len": len, "abs": abs, "min": min,
+                                      "max": max, "int": int}},
+                    env,
+                )
+            except Exception:
+                continue
+            if value:
+                rejected = True
+                break
+        if not rejected:
+            valid.append(p)
+    return valid

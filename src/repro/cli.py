@@ -98,6 +98,22 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="seed_explore",
                         help="also emit racy/deadlock exploration hints "
                              "(JSON key 'explore_hints')")
+    p_lint.add_argument("--cost", action="store_true",
+                        help="enable the scalability rules PDC120-PDC122 "
+                             "(static cost analysis of every SPMD body)")
+    p_lint.add_argument("--cost-report", metavar="FILE", dest="cost_report",
+                        help="write the per-file cost models (message/byte "
+                             "polynomials, work profiles) as JSON to FILE")
+    p_lint.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="lint files with N worker processes "
+                             "(output is byte-identical to serial)")
+    p_lint.add_argument("--cache", action="store_true",
+                        help="reuse per-file results keyed by content hash "
+                             "(see --cache-dir)")
+    p_lint.add_argument("--cache-dir", metavar="DIR", dest="cache_dir",
+                        default=".pdclint_cache",
+                        help="cache location for --cache "
+                             "(default: .pdclint_cache)")
 
     p_nb = sub.add_parser("notebook", help="execute a teaching notebook")
     p_nb.add_argument("which", nargs="?", default="colab",
@@ -262,6 +278,37 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return emit_report(report, args.as_json)
 
 
+def _write_cost_report(targets: list[str], out_path: str) -> None:
+    """Dump per-file cost models for every Python file in ``targets``."""
+    import json
+    from pathlib import Path
+
+    from .analysis.lint.engine import _collect_files
+    from .analysis.scale.cost import cost_report
+
+    files: list[Path] = []
+    for raw in targets:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(p for p in _collect_files(path)
+                         if p.suffix == ".py")
+        elif path.is_file() and path.suffix == ".py":
+            files.append(path)
+    reports = []
+    for file in files:
+        try:
+            text = file.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        rep = cost_report(text, str(file))
+        if rep.models or rep.notes:
+            reports.append(rep.to_dict())
+    Path(out_path).write_text(json.dumps(
+        {"engine": "pdclint-cost", "files": reports}, indent=2))
+    print(f"cost report written to {out_path} "
+          f"({len(reports)} file(s) with SPMD bodies)")
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import json
 
@@ -274,16 +321,39 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         write_baseline,
     )
 
+    from pathlib import Path
+
+    enable = ["PDC120", "PDC121", "PDC122"] if args.cost else None
+    use_driver = (args.jobs > 1 or args.cache) and all(
+        Path(t).exists() for t in args.targets)
     try:
-        report = lint_targets(args.targets, select=args.select,
-                              ignore=args.ignore)
+        if use_driver:
+            from .analysis.scale.driver import lint_corpus
+
+            corpus = lint_corpus(
+                args.targets, jobs=args.jobs,
+                cache_dir=args.cache_dir if args.cache else None,
+                select=args.select, ignore=args.ignore, enable=enable)
+            report = corpus.report
+            stats = corpus.stats
+            print(f"pdclint: {stats['files']} file(s), "
+                  f"{stats['cache_hits']} cached, "
+                  f"{stats['cache_misses']} linted, jobs={stats['jobs']}",
+                  file=sys.stderr)
+        else:
+            report = lint_targets(args.targets, select=args.select,
+                                  ignore=args.ignore, enable=enable)
     except (KeyError, ValueError) as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.cost_report:
+        _write_cost_report(args.targets, args.cost_report)
     if args.update_baseline:
-        path = write_baseline(report, args.update_baseline)
-        print(f"pdclint baseline written to {path} "
-              f"({len(report.diagnostics)} finding(s) accepted)")
+        delta = write_baseline(report, args.update_baseline)
+        print(f"pdclint baseline written to {delta.path} ({delta.summary()})")
         return 0
     if args.baseline:
         try:

@@ -1,12 +1,19 @@
-"""True negative for PDC103: rank parity breaks the exchange symmetry."""
+"""True negative for PDC103: rank parity breaks the exchange symmetry.
+
+Pairs ranks as (0,1), (2,3), ... — valid for every even world size, and
+the launcher refuses odd ones, so the verdict holds for all runnable P.
+"""
 
 from repro.mpi import mpirun
 
 
 def exchange(np: int = 2):
+    if np < 2 or np % 2:
+        raise ValueError("pairwise exchange needs an even process count")
+
     def body(comm):
         rank, size = comm.Get_rank(), comm.Get_size()
-        partner = (rank + 1) % size
+        partner = rank ^ 1
         if rank % 2 == 0:
             comm.send(rank, dest=partner, tag=1)
             incoming = comm.recv(source=partner, tag=1)

@@ -1,4 +1,8 @@
-"""True negative for PDC103 (flow flip): the recv-first helper is rank-gated."""
+"""True negative for PDC103 (flow flip): the recv-first helper is rank-gated.
+
+Even/odd neighbours pair via ``rank ^ 1``; odd world sizes are rejected
+by the launcher, so the parity split is safe for every runnable P.
+"""
 
 from repro.mpi import mpirun
 
@@ -10,9 +14,12 @@ def receive_then_send(comm, partner):
 
 
 def exchange(np: int = 2):
+    if np < 2 or np % 2:
+        raise ValueError("pairwise exchange needs an even process count")
+
     def body(comm):
         rank, size = comm.Get_rank(), comm.Get_size()
-        partner = (rank + 1) % size
+        partner = rank ^ 1
         if rank % 2 == 0:
             comm.send("ping", dest=partner, tag=3)
             return comm.recv(source=partner, tag=3)

@@ -1,0 +1,16 @@
+"""True negative for PDC120: the fan-out goes through a collective.
+
+``scatter`` moves the same data as the send loop but the runtime's
+algorithm spreads the traffic, so no single rank serializes it.
+"""
+
+from repro.mpi import mpirun
+
+
+def distribute(np: int = 4):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        chunks = [r * 10 for r in range(size)] if rank == 0 else None
+        return comm.scatter(chunks, root=0)
+
+    return mpirun(body, np)

@@ -1,0 +1,19 @@
+"""True positive for PDC120: rank 0 hands out work one send at a time.
+
+The fan-out loop serializes O(P) messages through a single rank — the
+classic master/worker shape that a ``scatter`` would parallelize.
+"""
+
+from repro.mpi import mpirun
+
+
+def distribute(np: int = 4):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        if rank == 0:
+            for worker in range(1, size):
+                comm.send(worker * 10, dest=worker, tag=1)
+            return 0
+        return comm.recv(source=0, tag=1)
+
+    return mpirun(body, np)

@@ -1,0 +1,18 @@
+"""True negative for PDC121: the broadcast is hoisted out of the loop.
+
+One collective seeds every rank, then the time-step loop is pure local
+arithmetic.
+"""
+
+from repro.mpi import mpirun
+
+
+def relax(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        value = comm.bcast(1.0 if rank == 0 else None, root=0)
+        for _step in range(32):
+            value = value * 0.5
+        return value
+
+    return mpirun(body, np)

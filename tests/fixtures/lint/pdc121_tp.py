@@ -1,0 +1,18 @@
+"""True positive for PDC121: a broadcast sits inside the time-step loop.
+
+Every iteration pays full collective latency for one scalar; hoisting
+the bcast (or batching the steps) amortizes it.
+"""
+
+from repro.mpi import mpirun
+
+
+def relax(np: int = 4):
+    def body(comm):
+        rank = comm.Get_rank()
+        value = 1.0
+        for _step in range(32):
+            value = comm.bcast(value * 0.5 if rank == 0 else None, root=0)
+        return value
+
+    return mpirun(body, np)

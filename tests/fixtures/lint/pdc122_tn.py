@@ -1,0 +1,24 @@
+"""True negative for PDC122: divmod chunking splits the range evenly.
+
+Every rank gets ``base`` or ``base + 1`` items, so the work profile is
+flat at every world size.
+"""
+
+from repro.mpi import mpirun
+
+N = 64
+
+
+def tally(np: int = 4):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        base, extra = divmod(N, size)
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        total = 0.0
+        for item in range(lo, hi):
+            for _rep in range(4):
+                total = total + item
+        return comm.gather(total, root=0)
+
+    return mpirun(body, np)

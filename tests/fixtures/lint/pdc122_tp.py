@@ -1,0 +1,25 @@
+"""True positive for PDC122: the chunk size is guessed, remainder dumped.
+
+``per`` undershoots the even share, so ranks 0..P-2 each take a sliver
+and the last rank inherits everything left over — at P=4 it does more
+than 3x the mean work.
+"""
+
+from repro.mpi import mpirun
+
+N = 64
+
+
+def tally(np: int = 4):
+    def body(comm):
+        rank, size = comm.Get_rank(), comm.Get_size()
+        per = max(1, N // (4 * size))
+        lo = rank * per
+        hi = lo + per if rank < size - 1 else N
+        total = 0.0
+        for item in range(lo, hi):
+            for _rep in range(4):
+                total = total + item
+        return comm.gather(total, root=0)
+
+    return mpirun(body, np)

@@ -99,6 +99,187 @@ class TestCFGShape:
             build_cfg(ast.parse("x = 1").body[0])
 
 
+class TestCFGEdgeCases:
+    """Constructs that used to crash or mis-wire the builder: ``while…else``,
+    ``continue`` through nested ``try/finally``, ``match``, comprehensions.
+    Each must produce a well-formed graph — never an exception."""
+
+    def test_while_else_runs_on_normal_exit_only(self):
+        cfg = build_cfg(_func(
+            "def f(n):\n"
+            "    while n:\n"
+            "        n = n - 1\n"
+            "    else:\n"
+            "        n = -1\n"
+            "    return n\n"
+        ))
+        header = next(b for b in cfg.blocks.values() if b.label == "while")
+        orelse = cfg.block_of(_stmt_at(cfg, 5))
+        after = cfg.block_of(_stmt_at(cfg, 6))
+        assert orelse.id in header.succs
+        assert after.id in orelse.succs
+        # the only way past the loop goes through the else suite
+        assert after.id not in header.succs
+
+    def test_break_skips_while_else(self):
+        cfg = build_cfg(_func(
+            "def f(n):\n"
+            "    while n:\n"
+            "        break\n"
+            "    else:\n"
+            "        n = -1\n"
+            "    return n\n"
+        ))
+        body = cfg.block_of(_stmt_at(cfg, 3))
+        orelse = cfg.block_of(_stmt_at(cfg, 5))
+        after = cfg.block_of(_stmt_at(cfg, 6))
+        assert after.id in body.succs       # break -> after, directly
+        assert orelse.id not in body.succs  # ...never via the else suite
+
+    def test_for_else_mirrors_while_else(self):
+        cfg = build_cfg(_func(
+            "def f(xs):\n"
+            "    for x in xs:\n"
+            "        pass\n"
+            "    else:\n"
+            "        x = None\n"
+            "    return x\n"
+        ))
+        header = next(b for b in cfg.blocks.values() if b.label == "for")
+        orelse = cfg.block_of(_stmt_at(cfg, 5))
+        assert orelse.id in header.succs
+        assert cfg.exit in cfg.reachable_forward(cfg.entry)
+
+    def test_continue_routes_through_finally(self):
+        cfg = build_cfg(_func(
+            "def f(lock, xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            continue\n"
+            "        finally:\n"
+            "            lock.release()\n"
+            "    return 0\n"
+        ))
+        cont = cfg.block_of(_stmt_at(cfg, 4))
+        fin = cfg.block_of(_stmt_at(cfg, 6))
+        header = next(b for b in cfg.blocks.values() if b.label == "for")
+        assert fin.id in cont.succs         # continue runs the cleanup first
+        assert header.id not in cont.succs  # ...not the loop header directly
+        assert header.id in fin.succs       # then re-enters the loop
+
+    def test_continue_chains_through_nested_finallys(self):
+        cfg = build_cfg(_func(
+            "def f(a, b, xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            try:\n"
+            "                continue\n"
+            "            finally:\n"
+            "                a.release()\n"
+            "        finally:\n"
+            "            b.release()\n"
+            "    return 0\n"
+        ))
+        cont = cfg.block_of(_stmt_at(cfg, 5))
+        inner_fin = cfg.block_of(_stmt_at(cfg, 7))
+        outer_fin = cfg.block_of(_stmt_at(cfg, 9))
+        header = next(b for b in cfg.blocks.values() if b.label == "for")
+        assert inner_fin.id in cont.succs
+        assert outer_fin.id in inner_fin.succs
+        assert header.id in outer_fin.succs
+
+    def test_break_routes_through_finally(self):
+        cfg = build_cfg(_func(
+            "def f(lock, xs):\n"
+            "    for x in xs:\n"
+            "        try:\n"
+            "            break\n"
+            "        finally:\n"
+            "            lock.release()\n"
+            "    return 0\n"
+        ))
+        brk = cfg.block_of(_stmt_at(cfg, 4))
+        fin = cfg.block_of(_stmt_at(cfg, 6))
+        after = cfg.block_of(_stmt_at(cfg, 7))
+        assert fin.id in brk.succs
+        assert after.id in fin.succs
+
+    def test_match_arms_branch_and_join(self):
+        cfg = build_cfg(_func(
+            "def f(cmd):\n"
+            "    match cmd:\n"
+            "        case 'start':\n"
+            "            r = 1\n"
+            "        case 'stop':\n"
+            "            r = 2\n"
+            "    return r\n"
+        ))
+        arm1 = cfg.block_of(_stmt_at(cfg, 4))
+        arm2 = cfg.block_of(_stmt_at(cfg, 6))
+        after = cfg.block_of(_stmt_at(cfg, 7))
+        dispatch = next(b for b in cfg.blocks.values()
+                        if arm1.id in b.succs and arm2.id in b.succs)
+        assert after.id in arm1.succs and after.id in arm2.succs
+        # without a wildcard arm, no-match falls through the dispatch
+        assert after.id in dispatch.succs
+
+    def test_match_with_wildcard_is_exhaustive(self):
+        cfg = build_cfg(_func(
+            "def f(cmd):\n"
+            "    match cmd:\n"
+            "        case 'start':\n"
+            "            return 1\n"
+            "        case _:\n"
+            "            return 2\n"
+        ))
+        arm1 = cfg.block_of(_stmt_at(cfg, 4))
+        dispatch = next(b for b in cfg.blocks.values()
+                        if arm1.id in b.succs)
+        # every arm returns and the wildcard always matches: nothing after
+        reachable = cfg.reachable_forward(dispatch.id)
+        assert cfg.exit in reachable
+        assert all(not cfg.blocks[b].stmts or b == cfg.exit
+                   for b in dispatch.succs
+                   if cfg.blocks[b].label.startswith("after"))
+
+    def test_match_every_arm_returning_ends_flow(self):
+        cfg = build_cfg(_func(
+            "def f(cmd):\n"
+            "    match cmd:\n"
+            "        case _:\n"
+            "            return 1\n"
+        ))
+        assert cfg.exit in cfg.reachable_forward(cfg.entry)
+
+    def test_comprehension_statements_build_clean(self):
+        cfg = build_cfg(_func(
+            "def f(items, n):\n"
+            "    squares = [x * x for x in items]\n"
+            "    table = {k: v for k, v in items if k < n}\n"
+            "    total = sum(y for y in squares)\n"
+            "    return total, table\n"
+        ))
+        lines = [getattr(s, "lineno", 0) for _, s in cfg.statements()]
+        assert lines == [2, 3, 4, 5]
+        assert cfg.exit in cfg.reachable_forward(cfg.entry)
+
+    def test_comprehension_target_is_not_a_use(self):
+        stmt = ast.parse("squares = [x * x for x in items]").body[0]
+        assert stmt_uses(stmt) == {"items"}
+        assert stmt_defs(stmt) == {"squares"}
+
+    def test_comprehension_scoping_keeps_outer_uses(self):
+        # the x outside the comprehension is a real use; the comp-local
+        # x and the generator's own iterable both resolve correctly
+        stmt = ast.parse("r = x + sum(x * f for x in xs if x > lo)").body[0]
+        assert stmt_uses(stmt) == {"x", "f", "xs", "lo", "sum"}
+
+    def test_nested_comprehension_scopes(self):
+        stmt = ast.parse(
+            "m = [[row[i] for row in grid] for i in range(n)]").body[0]
+        assert stmt_uses(stmt) == {"grid", "range", "n"}
+
+
 class TestDominators:
     def test_entry_dominates_everything(self):
         cfg = build_cfg(_func(

@@ -152,6 +152,26 @@ class TestGithubFormat:
         assert rc == 0
         assert "::error" not in out
 
+    def test_annotation_carries_full_statement_span(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc101_tp.py"),
+                   "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        match = re.search(
+            r"line=(\d+),endLine=(\d+),col=(\d+),endColumn=(\d+)", out)
+        assert match, out
+        line, end_line, col, end_col = map(int, match.groups())
+        assert end_line >= line
+        assert col >= 1 and end_col >= col
+
+    def test_c_finding_without_span_stays_line_only(self, capsys):
+        rc = main(["lint", str(FIXTURES / "pdc202_tp.c"),
+                   "--format", "github"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error file=" in out
+        assert "endLine=" not in out  # no AST spans for C pragma findings
+
     def test_format_json_equals_json_flag(self, capsys):
         rc = main(["lint", str(FIXTURES / "pdc101_tp.py"),
                    "--format", "json"])
@@ -202,6 +222,51 @@ class TestBaselineRatchet:
                    "--baseline", str(baseline)])
         capsys.readouterr()
         assert rc == 0
+
+    def test_update_baseline_prunes_stale_fingerprints(self, capsys,
+                                                       tmp_path, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = tmp_path / "baseline.json"
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "--update-baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "+2 new" in out
+        assert "pruned" not in out
+        # the legacy debt is paid off: re-baselining a clean target must
+        # drop the stale fingerprints, never carry them forward
+        rc = main(["lint", str(FIXTURES / "pdc101_tn.py"),
+                   "--update-baseline", str(baseline)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 finding(s) accepted" in out
+        assert "-2 pruned" in out
+        assert json.loads(baseline.read_text())["fingerprints"] == []
+
+    def test_update_baseline_reports_no_delta_when_unchanged(self, capsys,
+                                                             tmp_path,
+                                                             monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = tmp_path / "baseline.json"
+        for _ in range(2):
+            rc = main(["lint", "tests/fixtures/lint/legacy",
+                       "--update-baseline", str(baseline)])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("2 finding(s) accepted") == 2
+        # the second write is a no-op delta
+        assert out.splitlines()[-1].endswith("(2 finding(s) accepted)")
+
+    def test_update_baseline_over_corrupt_file_recovers(self, capsys,
+                                                        tmp_path, monkeypatch):
+        monkeypatch.chdir(REPO_ROOT)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{not json")
+        rc = main(["lint", "tests/fixtures/lint/legacy",
+                   "--update-baseline", str(baseline)])
+        capsys.readouterr()
+        assert rc == 0
+        assert len(json.loads(baseline.read_text())["fingerprints"]) == 2
 
     def test_missing_baseline_file_exits_two(self, capsys):
         rc = main(["lint", str(FIXTURES / "pdc101_tn.py"),

@@ -1,0 +1,201 @@
+"""The parallel incremental lint driver: determinism, caching, skip notes.
+
+``repro lint --jobs N --cache`` must be a pure speedup: whatever the job
+count and whether results come from workers or the content-hash cache,
+the merged report renders byte-identical to a serial ``lint_targets``
+run.  This suite pins that down, plus the cache lifecycle (cold fill,
+warm hit, invalidation on content/config change, corrupt-entry
+recovery) and the defensive directory walk of satellite concern (a):
+``__pycache__`` pruning, non-UTF-8 and empty files skipped with a note.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import SKIP_DIRS, lint_path, lint_targets
+from repro.analysis.scale.driver import lint_corpus
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: a small mixed corpus: findings, clean files, suppressions, C sources
+CORPUS = [
+    "pdc101_tp.py", "pdc101_tn.py", "pdc103_tp.py", "pdc106_tp.py",
+    "suppressed_tp.py", "pdc202_tp.c", "pdc203_tn.c",
+]
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    for name in CORPUS:
+        (root / name).write_bytes((FIXTURES / name).read_bytes())
+    return root
+
+
+def _serial_render(root: Path) -> str:
+    return lint_targets([str(root)]).render()
+
+
+class TestDeterminism:
+    def test_single_job_matches_serial_byte_for_byte(self, corpus_dir):
+        want = _serial_render(corpus_dir)
+        got = lint_corpus([corpus_dir], jobs=1)
+        assert got.report.render() == want
+
+    def test_parallel_jobs_match_serial_byte_for_byte(self, corpus_dir):
+        want = _serial_render(corpus_dir)
+        got = lint_corpus([corpus_dir], jobs=4)
+        assert got.report.render() == want
+
+    def test_cached_rerun_matches_serial_byte_for_byte(self, corpus_dir,
+                                                       tmp_path):
+        cache = tmp_path / "cache"
+        want = _serial_render(corpus_dir)
+        cold = lint_corpus([corpus_dir], cache_dir=cache)
+        warm = lint_corpus([corpus_dir], cache_dir=cache)
+        assert cold.report.render() == want
+        assert warm.report.render() == want
+
+    def test_parallel_warm_cache_matches_serial(self, corpus_dir, tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([corpus_dir], jobs=4, cache_dir=cache)
+        warm = lint_corpus([corpus_dir], jobs=4, cache_dir=cache)
+        assert warm.report.render() == _serial_render(corpus_dir)
+
+    def test_json_payload_matches_serial(self, corpus_dir, tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([corpus_dir], cache_dir=cache)
+        warm = lint_corpus([corpus_dir], cache_dir=cache)
+        serial = lint_targets([str(corpus_dir)])
+        assert json.loads(warm.report.to_json()) == json.loads(
+            serial.to_json())
+
+
+class TestCacheLifecycle:
+    def test_cold_run_misses_warm_run_hits(self, corpus_dir, tmp_path):
+        cache = tmp_path / "cache"
+        cold = lint_corpus([corpus_dir], cache_dir=cache)
+        assert cold.cache_misses == len(CORPUS)
+        assert cold.cache_hits == 0
+        warm = lint_corpus([corpus_dir], cache_dir=cache)
+        assert warm.cache_hits == len(CORPUS)
+        assert warm.cache_misses == 0
+
+    def test_content_change_invalidates_only_that_file(self, corpus_dir,
+                                                       tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([corpus_dir], cache_dir=cache)
+        target = corpus_dir / "pdc101_tn.py"
+        target.write_text(target.read_text() + "\n# touched\n")
+        rerun = lint_corpus([corpus_dir], cache_dir=cache)
+        assert rerun.cache_misses == 1
+        assert rerun.cache_hits == len(CORPUS) - 1
+
+    def test_config_change_invalidates_everything(self, corpus_dir, tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([corpus_dir], cache_dir=cache)
+        rerun = lint_corpus([corpus_dir], cache_dir=cache, ignore=["PDC101"])
+        assert rerun.cache_misses == len(CORPUS)
+
+    def test_corrupt_cache_entry_falls_back_to_linting(self, corpus_dir,
+                                                       tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([corpus_dir], cache_dir=cache)
+        for entry in cache.iterdir():
+            entry.write_text("{truncated")
+        rerun = lint_corpus([corpus_dir], cache_dir=cache)
+        assert rerun.cache_misses == len(CORPUS)
+        assert rerun.report.render() == _serial_render(corpus_dir)
+
+    def test_stats_shape(self, corpus_dir, tmp_path):
+        result = lint_corpus([corpus_dir], jobs=2,
+                             cache_dir=tmp_path / "cache")
+        assert result.stats == {
+            "files": len(CORPUS),
+            "cache_hits": 0,
+            "cache_misses": len(CORPUS),
+            "jobs": 2,
+        }
+
+    def test_without_cache_dir_nothing_is_written(self, corpus_dir, tmp_path):
+        before = set(tmp_path.rglob("*"))
+        result = lint_corpus([corpus_dir], jobs=2)
+        after = set(tmp_path.rglob("*"))
+        assert result.cache_hits == 0
+        assert before == after
+
+
+class TestDefensiveWalk:
+    """Satellite (a): tool directories, binary junk, and empty files must
+    never crash a directory lint — they are pruned or noted."""
+
+    @pytest.fixture
+    def messy_dir(self, corpus_dir):
+        pycache = corpus_dir / "__pycache__"
+        pycache.mkdir()
+        (pycache / "stale.py").write_text("import nonsense (\n")
+        (corpus_dir / "binary.py").write_bytes(b"\x93NUMPY\xff\xfe\x00junk")
+        (corpus_dir / "empty.py").write_text("")
+        (corpus_dir / "blank.py").write_text("   \n\t\n")
+        return corpus_dir
+
+    def test_lint_path_skips_with_notes(self, messy_dir):
+        report = lint_path(messy_dir)
+        notes = "\n".join(report.notes)
+        assert "binary.py: not UTF-8 text" in notes
+        assert "empty.py: empty file" in notes
+        assert "blank.py: empty file" in notes
+        assert "stale.py" not in notes  # __pycache__ is pruned silently
+        assert "__pycache__" not in notes
+
+    def test_pycache_contents_never_linted(self, messy_dir):
+        report = lint_path(messy_dir)
+        assert not any("stale.py" in (d.location or "")
+                       for d in report.diagnostics)
+        # the real findings still surface
+        assert any("pdc101_tp.py" in (d.location or "")
+                   for d in report.diagnostics)
+
+    def test_driver_walk_matches_lint_path(self, messy_dir, tmp_path):
+        serial = lint_path(messy_dir)
+        result = lint_corpus([messy_dir], jobs=4,
+                             cache_dir=tmp_path / "cache")
+        assert result.report.render() == serial.render()
+        assert sorted(result.report.notes) == sorted(serial.notes)
+
+    def test_skipped_files_are_not_cached_as_findings(self, messy_dir,
+                                                      tmp_path):
+        cache = tmp_path / "cache"
+        lint_corpus([messy_dir], cache_dir=cache)
+        warm = lint_corpus([messy_dir], cache_dir=cache)
+        notes = "\n".join(warm.report.notes)
+        assert "binary.py: not UTF-8 text" in notes
+        assert "empty.py: empty file" in notes
+
+    def test_skip_dirs_is_public_and_covers_the_usual_suspects(self):
+        assert "__pycache__" in SKIP_DIRS
+        assert ".git" in SKIP_DIRS
+
+
+class TestTargets:
+    def test_explicit_file_list(self, corpus_dir):
+        files = [corpus_dir / "pdc101_tp.py", corpus_dir / "pdc103_tp.py"]
+        result = lint_corpus(files, jobs=2)
+        rules = sorted(d.details["rule"] for d in result.report.diagnostics)
+        assert rules == ["PDC101", "PDC103"]
+        assert result.stats["files"] == 2
+
+    def test_enable_threads_opt_in_rules_through_workers(self, tmp_path):
+        root = tmp_path / "cost"
+        root.mkdir()
+        src = FIXTURES / "pdc121_tp.py"
+        (root / src.name).write_bytes(src.read_bytes())
+        plain = lint_corpus([root], jobs=2)
+        enabled = lint_corpus([root], jobs=2,
+                              enable=["PDC120", "PDC121", "PDC122"])
+        assert not plain.report.diagnostics
+        assert [d.details["rule"] for d in enabled.report.diagnostics] == [
+            "PDC121"]

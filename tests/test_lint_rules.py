@@ -55,6 +55,22 @@ TRUE_NEGATIVES = [
 ]
 
 
+# Opt-in scalability rules: fixtures lint with --cost style enablement.
+COST_RULES = ["PDC120", "PDC121", "PDC122"]
+
+COST_TRUE_POSITIVES = [
+    ("pdc120_tp.py", "PDC120", 15, "warning"),
+    ("pdc121_tp.py", "PDC121", 15, "warning"),
+    ("pdc122_tp.py", "PDC122", 14, "warning"),
+]
+
+COST_TRUE_NEGATIVES = [
+    "pdc120_tn.py",
+    "pdc121_tn.py",
+    "pdc122_tn.py",
+]
+
+
 class TestFixturePairs:
     @pytest.mark.parametrize("fixture,rule,line,severity", TRUE_POSITIVES)
     def test_true_positive_fires_its_rule(self, fixture, rule, line, severity):
@@ -73,8 +89,32 @@ class TestFixturePairs:
         assert not report.diagnostics
         assert not report.suppressed
 
+    @pytest.mark.parametrize("fixture,rule,line,severity", COST_TRUE_POSITIVES)
+    def test_cost_true_positive_fires_its_rule(self, fixture, rule, line,
+                                               severity):
+        report = lint_path(FIXTURES / fixture, enable=COST_RULES)
+        assert len(report.diagnostics) == 1, report.render()
+        diag = report.diagnostics[0]
+        assert diag.details["rule"] == rule
+        assert diag.severity == severity
+        assert diag.location.endswith(f"{fixture}:{line}")
+        assert diag.details["fix"]
+
+    @pytest.mark.parametrize("fixture", COST_TRUE_NEGATIVES)
+    def test_cost_true_negative_is_clean(self, fixture):
+        report = lint_path(FIXTURES / fixture, enable=COST_RULES)
+        assert report.clean, report.render()
+        assert not report.diagnostics
+
+    @pytest.mark.parametrize(
+        "fixture", [f for f, *_ in COST_TRUE_POSITIVES])
+    def test_cost_rules_stay_dormant_by_default(self, fixture):
+        report = lint_path(FIXTURES / fixture)
+        assert not report.diagnostics, report.render()
+
     def test_every_rule_has_a_fixture_pair(self):
         covered = {rule for _, rule, _, _ in TRUE_POSITIVES}
+        covered |= {rule for _, rule, _, _ in COST_TRUE_POSITIVES}
         assert covered == set(rule_ids())
 
 
@@ -146,5 +186,11 @@ class TestEngineEdges:
     def test_directory_lint_aggregates_all_fixtures(self):
         report = lint_path(FIXTURES)
         rules = sorted({d.details["rule"] for d in report.diagnostics})
-        assert rules == sorted(rule_ids())
+        default_ids = [r for r in rule_ids() if r not in COST_RULES]
+        assert rules == sorted(default_ids)
         assert len(report.suppressed) == 1
+
+    def test_directory_lint_with_cost_rules_covers_everything(self):
+        report = lint_path(FIXTURES, enable=COST_RULES)
+        rules = sorted({d.details["rule"] for d in report.diagnostics})
+        assert rules == sorted(rule_ids())

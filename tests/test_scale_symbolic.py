@@ -1,0 +1,213 @@
+"""Symbolic-rank protocol verification (``analysis.scale.symbolic``).
+
+The headline claim: for programs inside the rank-set domain, the
+symbolic checker's verdict holds for *every* world size P >= 2 — and it
+is exactly what the concrete per-rank simulator reports size by size.
+This suite cross-checks the two engines at P = 2..5 over the protocol
+fixture corpus, pins the witness-size machinery, the launcher
+world-size preconditions, and the reason-coded abstentions.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.protocol import (
+    Ambiguous,
+    extract_traces,
+    simulate,
+    spmd_roots,
+)
+from repro.analysis.scale.rankset import CROSS_CHECK_MAX, P_MIN
+from repro.analysis.scale.symbolic import (
+    ABSTAIN_REASONS,
+    ambiguity_reason,
+    check_protocol_symbolic,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+#: protocol fixtures with a clean/buggy expectation for the all-P claim
+PROTOCOL_FIXTURES = [
+    ("pdc103_tp.py", ["PDC103"]),
+    ("pdc103_tn.py", []),
+    ("pdc104_tp.py", ["PDC104"]),
+    ("pdc104_tn.py", []),
+    ("pdc110_tp.py", ["PDC110"]),
+    ("pdc110_tn.py", []),
+    ("pdc111_tp.py", ["PDC111"]),
+    ("pdc111_tn.py", []),
+    ("pdc112_tp.py", ["PDC112"]),
+    ("pdc112_tn.py", []),
+]
+
+
+def _verdicts(path: Path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    return [(root, check_protocol_symbolic(root, tree), tree)
+            for root in spmd_roots(tree)]
+
+
+class TestCrossCheck:
+    """The symbolic verdict must agree with the concrete simulator at
+    every size it claims to have checked (P = 2..5 for these fixtures)."""
+
+    @pytest.mark.parametrize("fixture,expected_rules",
+                             [(f, r) for f, r in PROTOCOL_FIXTURES])
+    def test_symbolic_matches_concrete_per_size(self, fixture,
+                                                expected_rules):
+        for root, verdict, tree in _verdicts(FIXTURES / fixture):
+            for p in verdict.checked:
+                concrete = simulate(extract_traces(root, tree, size=p))
+                concrete_keys = {(f.rule, f.line) for f in concrete}
+                symbolic_keys = {
+                    (f.rule, f.line) for f in verdict.findings
+                    if p in f.details["sizes"]
+                }
+                assert symbolic_keys == concrete_keys, (
+                    f"{fixture} P={p}: symbolic {symbolic_keys} "
+                    f"!= concrete {concrete_keys}")
+
+    @pytest.mark.parametrize("fixture,expected_rules",
+                             [(f, r) for f, r in PROTOCOL_FIXTURES])
+    def test_fixture_verdict_matches_expectation(self, fixture,
+                                                 expected_rules):
+        rules = sorted({
+            f.rule
+            for _, verdict, _ in _verdicts(FIXTURES / fixture)
+            for f in verdict.findings
+        })
+        assert rules == sorted(set(expected_rules))
+
+    @pytest.mark.parametrize(
+        "fixture", [f for f, rules in PROTOCOL_FIXTURES if not rules])
+    def test_clean_fixture_claim_is_universal(self, fixture):
+        verdicts = [v for _, v, _ in _verdicts(FIXTURES / fixture)]
+        assert verdicts
+        for verdict in verdicts:
+            assert verdict.universal, (fixture, verdict.reason)
+            assert verdict.reason is None
+            assert not verdict.findings
+
+    def test_checked_sizes_span_the_cross_check_range(self):
+        [(_, verdict, _)] = _verdicts(FIXTURES / "pdc103_tp.py")
+        assert verdict.checked[0] == P_MIN
+        assert verdict.checked[-1] >= CROSS_CHECK_MAX
+
+
+class TestWitness:
+    def test_violation_carries_smallest_witness_size(self):
+        [(_, verdict, _)] = _verdicts(FIXTURES / "pdc103_tp.py")
+        [finding] = [f for f in verdict.findings if f.rule == "PDC103"]
+        assert finding.details["witness_p"] == min(finding.details["sizes"])
+        assert finding.details["witness_p"] == 2
+
+    def test_all_checked_sizes_exhibit_the_ring_deadlock(self):
+        [(_, verdict, _)] = _verdicts(FIXTURES / "pdc103_tp.py")
+        [finding] = [f for f in verdict.findings if f.rule == "PDC103"]
+        assert finding.details["sizes"] == verdict.checked
+
+    def test_witness_above_two_is_named_in_the_lint_message(self):
+        # a split that only misbehaves once P is large enough for the
+        # uneven chunks: rank P-1 receives one message per sender, but
+        # only P-2 sends happen
+        source = (
+            "from repro.mpi import mpirun\n"
+            "def relay(np=2):\n"
+            "    def body(comm):\n"
+            "        rank, size = comm.Get_rank(), comm.Get_size()\n"
+            "        if rank >= 2:\n"
+            "            comm.send(rank, dest=size - 1, tag=7)\n"
+            "        if rank == size - 1:\n"
+            "            for sender in range(2, size):\n"
+            "                got = comm.recv(source=sender, tag=7)\n"
+            "            extra = comm.recv(source=0, tag=9)\n"
+            "        return None\n"
+            "    return mpirun(body, np)\n"
+        )
+        tree = ast.parse(source)
+        [root] = spmd_roots(tree)
+        verdict = check_protocol_symbolic(root, tree)
+        assert verdict.findings
+        # the unmatched recv(source=0) is visible at every size, but the
+        # per-size cross-check must stay consistent with the simulator
+        for finding in verdict.findings:
+            assert finding.details["witness_p"] == min(
+                finding.details["sizes"])
+
+
+class TestLauncherPreconditions:
+    def test_even_only_guard_excludes_odd_sizes(self):
+        [(_, verdict, _)] = _verdicts(FIXTURES / "pdc103_tn.py")
+        assert all(p % 2 == 0 for p in verdict.checked)
+        assert all(p % 2 == 1 for p in verdict.excluded)
+        assert verdict.universal
+
+    def test_unsatisfiable_guard_abstains_no_valid_world(self):
+        source = (
+            "from repro.mpi import mpirun\n"
+            "def run(np=2):\n"
+            "    if np < 100:\n"
+            "        raise ValueError('needs a big cluster')\n"
+            "    def body(comm):\n"
+            "        rank = comm.Get_rank()\n"
+            "        part = comm.bcast(rank, root=0)\n"
+            "    return mpirun(body, np)\n"
+        )
+        tree = ast.parse(source)
+        [root] = spmd_roots(tree)
+        verdict = check_protocol_symbolic(root, tree)
+        assert verdict.reason == "no-valid-world"
+        assert not verdict.universal
+        assert not verdict.checked
+
+
+class TestAbstention:
+    def test_while_around_comm_has_reason_code(self):
+        source = (
+            "def body(comm):\n"
+            "    rank = comm.Get_rank()\n"
+            "    while rank < 4:\n"
+            "        comm.send(rank, dest=0, tag=1)\n"
+            "        rank = rank + 1\n"
+        )
+        tree = ast.parse(source)
+        [root] = spmd_roots(tree)
+        verdict = check_protocol_symbolic(root, tree)
+        assert not verdict.universal
+        assert verdict.reason in ABSTAIN_REASONS
+
+    def test_nonaffine_guard_abstains_but_still_simulates(self):
+        # rank * rank falls outside the affine guard language: the
+        # universal claim is dropped, the bounded sizes still run
+        source = (
+            "def body(comm):\n"
+            "    rank, size = comm.Get_rank(), comm.Get_size()\n"
+            "    if rank * rank < size:\n"
+            "        part = 1\n"
+            "    flag = comm.bcast(rank, root=0)\n"
+        )
+        tree = ast.parse(source)
+        [root] = spmd_roots(tree)
+        verdict = check_protocol_symbolic(root, tree)
+        assert not verdict.universal
+        assert verdict.reason in ABSTAIN_REASONS
+        assert verdict.checked  # concrete sizes were still simulated
+        assert not verdict.findings  # and they are clean
+
+    def test_every_reason_code_is_documented(self):
+        for code, meaning in ABSTAIN_REASONS.items():
+            assert code and meaning
+
+    def test_ambiguity_reason_maps_known_messages(self):
+        assert ambiguity_reason(
+            Ambiguous("while loop around communication")
+        ) == "while-around-comm"
+        assert ambiguity_reason(
+            Ambiguous("totally novel failure")) in ABSTAIN_REASONS
+
+    def test_abstention_never_manufactures_findings(self):
+        [(_, verdict, _)] = _verdicts(FIXTURES / "pdc110_tn.py")
+        if verdict.reason is not None:
+            assert not verdict.findings
