@@ -156,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--update-baseline", action="store_true",
                          dest="update_baseline",
                          help="write this run as the new baseline (no gate)")
+    p_bench.add_argument("--allow-quick-baseline", action="store_true",
+                         dest="allow_quick_baseline",
+                         help="let --update-baseline accept a --quick run "
+                              "(refused by default: smoke sizes are noisy)")
+    p_bench.add_argument("--serialization-report", metavar="PATH",
+                         dest="serialization_report",
+                         help="also write the per-benchmark pickled-bytes "
+                              "report (the zero-copy audit CI uploads)")
     p_bench.add_argument("--trace", action="store_true",
                          help="also record each benchmark on the repro.obs "
                               "event bus and write Chrome traces")

@@ -12,6 +12,7 @@ version, an MPI version, and a cost-model workload descriptor for the
 platform scaling benches.
 """
 
+from .kernels import KERNEL_VARIANTS, resolve_kernel
 from .drugdesign import (
     DEFAULT_PROTEIN,
     DrugDesignResult,
@@ -21,6 +22,8 @@ from .drugdesign import (
     run_mpi_master_worker,
     run_omp,
     run_seq,
+    score_chunk,
+    score_chunk_vector,
     score_ligand,
 )
 from .forestfire import (
@@ -32,13 +35,26 @@ from .forestfire import (
     fire_curve_omp,
     fire_curve_seq,
     forestfire_workload,
+    trial_chunk,
+    trial_chunk_vector,
 )
-from .heat import heat_mpi, heat_omp, heat_seq, heat_workload, initial_rod
+from .heat import (
+    heat_mpi,
+    heat_omp,
+    heat_seq,
+    heat_workload,
+    initial_rod,
+    stencil_chunk,
+    stencil_chunk_loop,
+)
 from .sorting import (
     merge,
+    merge_sort_blocks,
     merge_sort_seq,
     merge_sort_tasks,
     odd_even_sort_mpi,
+    sort_block_chunk,
+    sort_block_chunk_vector,
     sorting_workload,
 )
 from .integration import (
@@ -48,10 +64,27 @@ from .integration import (
     integrate_seq,
     integration_workload,
     quarter_circle,
+    quarter_circle_np,
+    trapezoid_chunk,
+    trapezoid_chunk_vector,
 )
 
 __all__ = [
+    "KERNEL_VARIANTS",
+    "resolve_kernel",
     "quarter_circle",
+    "quarter_circle_np",
+    "trapezoid_chunk",
+    "trapezoid_chunk_vector",
+    "score_chunk",
+    "score_chunk_vector",
+    "trial_chunk",
+    "trial_chunk_vector",
+    "stencil_chunk",
+    "stencil_chunk_loop",
+    "sort_block_chunk",
+    "sort_block_chunk_vector",
+    "merge_sort_blocks",
     "integrate_seq",
     "integrate_numpy",
     "integrate_omp",

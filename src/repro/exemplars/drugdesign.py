@@ -21,6 +21,7 @@ import numpy as np
 from ..mpi import ANY_SOURCE, ANY_TAG, Status, mpirun
 from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
+from .kernels import resolve_kernel
 
 __all__ = [
     "DEFAULT_PROTEIN",
@@ -28,6 +29,7 @@ __all__ = [
     "lcs_length",
     "score_ligand",
     "score_chunk",
+    "score_chunk_vector",
     "DrugDesignResult",
     "run_seq",
     "run_omp",
@@ -122,6 +124,41 @@ def score_chunk(
     return [score_ligand(ligands[i], protein) for i in range(lo, hi)]
 
 
+def score_chunk_vector(
+    ligands: list[str], protein: str, lo: int, hi: int
+) -> list[int]:
+    """Vectorized chunk kernel: the whole batch's LCS DPs advance together.
+
+    :func:`lcs_length` already vectorizes each DP row over the protein;
+    this variant stacks the rows of every ligand in the chunk into one
+    2-D array, so each character position is a single batched NumPy pass
+    instead of a per-ligand Python iteration.  Ligands shorter than the
+    longest simply stop updating their row (their scores are final).
+    """
+    batch = [ligands[i] for i in range(lo, hi)]
+    if not batch or not protein:
+        return [0] * len(batch)
+    bs = np.frombuffer(protein.encode("latin-1"), dtype=np.uint8)
+    lens = np.array([len(l) for l in batch], dtype=np.int64)
+    maxlen = int(lens.max())
+    if maxlen == 0:
+        return [0] * len(batch)
+    chars = np.zeros((len(batch), maxlen), dtype=np.uint8)
+    for i, lig in enumerate(batch):
+        enc = np.frombuffer(lig.encode("latin-1"), dtype=np.uint8)
+        chars[i, : len(enc)] = enc
+    prev = np.zeros((len(batch), len(bs) + 1), dtype=np.int32)
+    for j in range(maxlen):
+        active = lens > j
+        if not active.any():
+            break
+        match = prev[:, :-1] + (bs[None, :] == chars[:, j][:, None])
+        cur = np.maximum(match, prev[:, 1:])
+        np.maximum.accumulate(cur, axis=1, out=cur)
+        prev[active, 1:] = cur[active]
+    return [int(v) for v in prev[:, -1]]
+
+
 def run_omp(
     ligands: list[str],
     protein: str = DEFAULT_PROTEIN,
@@ -129,17 +166,22 @@ def run_omp(
     schedule: str = "dynamic",
     chunk: int = 1,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> DrugDesignResult:
     """Parallel scoring; dynamic schedule absorbs the length skew.
 
     Under ``backend="processes"`` the chunk kernel runs on pool workers —
     the LCS dynamic program is pure CPU, so this is the exemplar where
-    real multicore speedup shows up first.
+    real multicore speedup shows up first.  ``kernel="vector"`` batches
+    the chunk's DPs into stacked NumPy passes.
     """
-    kernel = functools.partial(score_chunk, list(ligands), protein)
+    chunk_fn = (
+        score_chunk_vector if resolve_kernel(kernel) == "vector" else score_chunk
+    )
+    chunk_kernel = functools.partial(chunk_fn, list(ligands), protein)
     chunks = parallel_for_chunks(
         len(ligands),
-        kernel,
+        chunk_kernel,
         num_workers=num_threads,
         schedule=schedule,
         chunk=chunk,

@@ -26,11 +26,14 @@ import numpy as np
 from ..mpi import mpirun
 from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
+from .kernels import resolve_kernel
 
 __all__ = [
     "FirePoint",
     "FireCurve",
     "burn_once",
+    "trial_chunk",
+    "trial_chunk_vector",
     "fire_curve_seq",
     "fire_curve_omp",
     "fire_curve_mpi",
@@ -179,6 +182,54 @@ def trial_chunk(
     return _point(size, prob, prob_index, list(range(lo, hi)), root_seed)
 
 
+def trial_chunk_vector(
+    size: int, prob: float, prob_index: int, root_seed: int, lo: int, hi: int
+) -> list[tuple[int, float, int]]:
+    """Vectorized chunk kernel: all trials in [lo, hi) step together.
+
+    The forests stack into one ``(trials, size, size)`` array so the
+    neighbor-exposure and ignition masks are batched NumPy passes.  Each
+    trial keeps its *own* RNG stream, drawn once per step while that trial
+    still burns — exactly the draw order of :func:`burn_once` — so the
+    rows are bit-identical to the loop kernel's, trial by trial.
+    """
+    if size < 1:
+        raise ValueError("forest size must be >= 1")
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"spread probability must be in [0, 1], got {prob}")
+    trials = list(range(lo, hi))
+    k = len(trials)
+    if k == 0:
+        return []
+    rngs = [
+        np.random.default_rng(_trial_seed(root_seed, prob_index, t)) for t in trials
+    ]
+    forest = np.zeros((k, size, size), dtype=np.int8)
+    forest[:, size // 2, size // 2] = _BURNING
+    iterations = np.zeros(k, dtype=np.int64)
+    draws = np.ones((k, size, size), dtype=np.float64)
+    active = np.ones(k, dtype=bool)
+    while active.any():
+        burning = forest == _BURNING
+        exposed = np.zeros_like(burning)
+        exposed[:, 1:, :] |= burning[:, :-1, :]
+        exposed[:, :-1, :] |= burning[:, 1:, :]
+        exposed[:, :, 1:] |= burning[:, :, :-1]
+        exposed[:, :, :-1] |= burning[:, :, 1:]
+        catch = exposed & (forest == _UNBURNT)
+        for i in np.flatnonzero(active):
+            draws[i] = rngs[i].random((size, size))
+        ignite = catch & (draws < prob) & active[:, None, None]
+        forest[burning & active[:, None, None]] = _BURNT
+        forest[ignite] = _BURNING
+        iterations[active] += 1
+        active = (forest == _BURNING).any(axis=(1, 2))
+    burned = (forest == _BURNT).mean(axis=(1, 2))
+    return [
+        (t, float(b), int(i)) for t, b, i in zip(trials, burned, iterations)
+    ]
+
+
 def fire_curve_omp(
     probs: tuple[float, ...] = DEFAULT_PROBS,
     trials: int = 10,
@@ -186,17 +237,23 @@ def fire_curve_omp(
     seed: int = 2020,
     num_threads: int = 4,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> FireCurve:
     """Parallel sweep: trial batches are shared across the worker team.
 
     Per-(prob, trial) seeding keeps the curve bit-identical to the
-    sequential sweep on either backend, regardless of worker count.
+    sequential sweep on either backend, regardless of worker count —
+    and the ``kernel="vector"`` batched stepper preserves per-trial RNG
+    streams, so it holds across kernel variants too.
     """
+    chunk_fn = (
+        trial_chunk_vector if resolve_kernel(kernel) == "vector" else trial_chunk
+    )
     points = []
     for pi, prob in enumerate(probs):
         chunks = parallel_for_chunks(
             trials,
-            functools.partial(trial_chunk, size, prob, pi, seed),
+            functools.partial(chunk_fn, size, prob, pi, seed),
             num_workers=num_threads,
             schedule="dynamic",
             backend=backend,

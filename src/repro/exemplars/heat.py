@@ -34,6 +34,7 @@ from ..openmp import (
     run_chunks,
 )
 from ..platforms.simclock import Workload
+from .kernels import resolve_kernel
 
 __all__ = [
     "initial_rod",
@@ -42,6 +43,7 @@ __all__ = [
     "heat_mpi",
     "heat_workload",
     "stencil_chunk",
+    "stencil_chunk_loop",
 ]
 
 
@@ -85,6 +87,21 @@ def stencil_chunk(src: SharedArray, dst: SharedArray, alpha: float, lo: int, hi:
     v[lo:hi] = u[lo:hi] + alpha * (u[lo - 1 : hi - 1] - 2.0 * u[lo:hi] + u[lo + 1 : hi + 1])
 
 
+def stencil_chunk_loop(
+    src: SharedArray, dst: SharedArray, alpha: float, lo: int, hi: int
+) -> None:
+    """Teaching-reference chunk kernel: the stencil as the handout's loop.
+
+    The stencil exemplar is the one kernel whose production form
+    (:func:`stencil_chunk`) was *already* vectorized; this straight-line
+    form exists so the loop/vector pairing — and the differential test
+    pinning their agreement — covers all five exemplar kernels.
+    """
+    u, v = src.array, dst.array
+    for i in range(lo + 1, hi + 1):
+        v[i] = u[i] + alpha * (u[i - 1] - 2.0 * u[i] + u[i + 1])
+
+
 def _heat_chunked(
     n: int,
     steps: int,
@@ -92,6 +109,7 @@ def _heat_chunked(
     hot_end: float,
     num_threads: int,
     backend: str,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Per-step chunk fan-out over shared read/write arrays.
 
@@ -100,13 +118,18 @@ def _heat_chunked(
     which the parent carries the Dirichlet boundaries over and swaps the
     arrays.
     """
+    chunk_fn = (
+        stencil_chunk
+        if resolve_kernel(kernel, data=initial_rod(n, hot_end)) == "vector"
+        else stencil_chunk_loop
+    )
     current = SharedArray.from_array(initial_rod(n, hot_end))
     nxt = SharedArray.from_array(current.array)
     ranges = chunk_ranges(n - 2, num_threads, "static")
     try:
         for _ in range(steps):
             run_chunks(
-                functools.partial(stencil_chunk, current, nxt, alpha),
+                functools.partial(chunk_fn, current, nxt, alpha),
                 ranges,
                 workers=num_threads,
                 backend=backend,
@@ -126,6 +149,7 @@ def heat_omp(
     hot_end: float = 100.0,
     num_threads: int = 4,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Thread-parallel solver: block-split interior, barrier between phases.
 
@@ -141,7 +165,9 @@ def heat_omp(
     if not 0.0 < alpha <= 0.5:
         raise ValueError("explicit stability requires 0 < alpha <= 0.5")
     if resolve_backend(backend) == "processes":
-        return _heat_chunked(n, steps, alpha, hot_end, num_threads, "processes")
+        return _heat_chunked(
+            n, steps, alpha, hot_end, num_threads, "processes", kernel
+        )
     current = initial_rod(n, hot_end)
     nxt = current.copy()
     state = {"current": current, "next": nxt}

@@ -19,21 +19,29 @@ import numpy as np
 from ..mpi import mpirun
 from ..openmp import parallel_for_chunks
 from ..platforms.simclock import Workload
+from .kernels import resolve_kernel
 
 __all__ = [
     "quarter_circle",
+    "quarter_circle_np",
     "integrate_seq",
     "integrate_numpy",
     "integrate_omp",
     "integrate_mpi",
     "integration_workload",
     "trapezoid_chunk",
+    "trapezoid_chunk_vector",
 ]
 
 
 def quarter_circle(x: float) -> float:
     """The handout's integrand: ``sqrt(4 - x^2)``; its integral on [0,2] is pi."""
     return math.sqrt(max(0.0, 4.0 - x * x))
+
+
+def quarter_circle_np(x: np.ndarray) -> np.ndarray:
+    """Array form of :func:`quarter_circle` for the vectorized kernel."""
+    return np.sqrt(np.maximum(0.0, 4.0 - x * x))
 
 
 def integrate_seq(
@@ -76,6 +84,22 @@ def trapezoid_chunk(
     return sum(f(a + (i + 1) * h) for i in range(lo, hi))
 
 
+def trapezoid_chunk_vector(
+    a: float, h: float, f: Callable[[float], float], lo: int, hi: int
+) -> float:
+    """Vectorized chunk kernel: one array evaluation for indices [lo, hi).
+
+    The quarter-circle integrand maps to :func:`quarter_circle_np`; any
+    other ``f`` is applied to the abscissa array directly and must accept
+    ndarrays (as :func:`integrate_numpy` already requires).
+    """
+    if hi <= lo:
+        return 0.0
+    x = a + np.arange(lo + 1, hi + 1, dtype=np.float64) * h
+    fv = quarter_circle_np if f is quarter_circle else f
+    return float(np.sum(fv(x)))
+
+
 def integrate_omp(
     n: int,
     num_threads: int = 4,
@@ -84,20 +108,28 @@ def integrate_omp(
     schedule: str = "static",
     f: Callable[[float], float] = quarter_circle,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> float:
     """Parallel trapezoid: ``parallel for reduction(+: sum)``.
 
     ``backend="processes"`` runs the chunk kernel on pool workers for real
     multicore speedup (``f`` must then be picklable, e.g. module-level).
+    ``kernel`` selects the loop or vectorized chunk kernel (see
+    :func:`repro.exemplars.kernels.resolve_kernel`).
     """
     if n < 1:
         raise ValueError(f"need at least one trapezoid, got {n}")
     h = (b - a) / n
+    chunk_fn = (
+        trapezoid_chunk_vector
+        if resolve_kernel(kernel) == "vector"
+        else trapezoid_chunk
+    )
     # Interior points count once, endpoints half; fold the halves in by
     # summing interior terms and adding the half-weighted ends after.
     interior = parallel_for_chunks(
         n - 1,
-        functools.partial(trapezoid_chunk, a, h, f),
+        functools.partial(chunk_fn, a, h, f),
         num_workers=num_threads,
         schedule=schedule,
         reduction="+",

@@ -1,0 +1,52 @@
+"""Kernel-variant selection for the exemplar chunk kernels.
+
+Every exemplar keeps its original straight-line Python chunk kernel — the
+*teaching* form, matching the loop the handouts walk through — and gains a
+NumPy-vectorized variant that does the same arithmetic as whole-array
+operations.  This module is the single knob that picks between them:
+
+* an explicit ``kernel="loop"`` / ``kernel="vector"`` argument wins,
+* else the ``REPRO_KERNEL`` environment variable (same two values),
+* else ``"vector"`` when the input data is already a NumPy array (the
+  caller has opted into array semantics, so give them array speed),
+* else ``"loop"`` — the teaching default.
+
+The differential tests pin the contract: for every exemplar, the two
+variants produce identical results (bit-identical where the computation
+is integral or seeded, to float tolerance where summation order differs).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+__all__ = ["KERNEL_VARIANTS", "resolve_kernel", "select_kernel"]
+
+#: The recognized kernel variants.
+KERNEL_VARIANTS = ("loop", "vector")
+
+
+def resolve_kernel(kernel: str | None = None, data: Any = None) -> str:
+    """Resolve a kernel-variant request to ``"loop"`` or ``"vector"``.
+
+    Precedence: explicit argument, then the ``REPRO_KERNEL`` environment
+    variable, then ``"vector"`` if ``data`` is an ndarray, else ``"loop"``.
+    """
+    if kernel is None:
+        env = os.environ.get("REPRO_KERNEL", "").strip()
+        kernel = env or None
+    if kernel is None:
+        kernel = "vector" if isinstance(data, np.ndarray) else "loop"
+    if kernel not in KERNEL_VARIANTS:
+        raise ValueError(
+            f"unknown kernel variant {kernel!r}; expected one of {KERNEL_VARIANTS}"
+        )
+    return kernel
+
+
+def select_kernel(kernel: str | None, data: Any, loop_fn: Any, vector_fn: Any) -> Any:
+    """The chunk function for the resolved variant (tiny dispatch helper)."""
+    return vector_fn if resolve_kernel(kernel, data) == "vector" else loop_fn

@@ -21,6 +21,8 @@ import functools
 import random
 from typing import Sequence
 
+import numpy as np
+
 from ..mpi import mpirun
 from ..openmp import (
     chunk_ranges,
@@ -31,6 +33,7 @@ from ..openmp import (
     taskwait,
 )
 from ..platforms.simclock import Workload
+from .kernels import resolve_kernel
 
 __all__ = [
     "merge",
@@ -38,6 +41,7 @@ __all__ = [
     "merge_sort_tasks",
     "merge_sort_blocks",
     "sort_block_chunk",
+    "sort_block_chunk_vector",
     "odd_even_sort_mpi",
     "sorting_workload",
 ]
@@ -107,10 +111,21 @@ def sort_block_chunk(values: list, lo: int, hi: int) -> list:
     return sorted(values[lo:hi])
 
 
+def sort_block_chunk_vector(values: Sequence, lo: int, hi: int) -> list:
+    """Vectorized chunk kernel: ``np.sort`` over the block.
+
+    Agreement with :func:`sort_block_chunk` needs homogeneous comparable
+    values (NumPy coerces the block to one dtype); the block-merge driver
+    only selects this variant for numeric input.
+    """
+    return np.sort(np.asarray(values[lo:hi]), kind="stable").tolist()
+
+
 def merge_sort_blocks(
     values: Sequence,
     num_workers: int = 4,
     backend: str | None = None,
+    kernel: str | None = None,
 ) -> list:
     """Block-parallel merge sort: sort blocks on the team, merge in parent.
 
@@ -118,14 +133,17 @@ def merge_sort_blocks(
     sorted concurrently (pool workers under ``backend="processes"``, team
     threads otherwise) and the parent folds the sorted runs with the same
     stable :func:`merge` the recursive version uses.  Output equals
-    ``sorted(values)`` exactly on every input.
+    ``sorted(values)`` exactly on every input.  ``kernel`` picks the block
+    sorter; ndarray input auto-selects the ``np.sort`` variant.
     """
+    variant = resolve_kernel(kernel, data=values)
     values = list(values)
     if len(values) <= 1:
         return values
+    chunk_fn = sort_block_chunk_vector if variant == "vector" else sort_block_chunk
     ranges = chunk_ranges(len(values), num_workers, "static")
     runs = run_chunks(
-        functools.partial(sort_block_chunk, values),
+        functools.partial(chunk_fn, values),
         ranges,
         workers=num_workers,
         backend=backend,

@@ -47,8 +47,15 @@ from .launcher import (
     parse_mpirun_command,
     run_script,
 )
+from .message import BufferHandle
 from .procs import ProcCartcomm, ProcComm, fork_available, run_procs
 from .ops import MAX, MAXLOC, MIN, MINLOC, PROD, SUM, Op
+from .serial import (
+    counted_dumps,
+    merge_serialized,
+    reset_serialized,
+    serialized_totals,
+)
 from .tracing import CommTracer, MessageRecord, TraceReport, trace_run
 from .request import Request
 from .runtime import Console, World, current_comm, run
@@ -70,6 +77,11 @@ __all__ = [
     "ProcCartcomm",
     "run_procs",
     "fork_available",
+    "BufferHandle",
+    "counted_dumps",
+    "serialized_totals",
+    "reset_serialized",
+    "merge_serialized",
     "current_comm",
     "Intracomm",
     "Cartcomm",

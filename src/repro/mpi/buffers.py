@@ -60,7 +60,15 @@ def _as_flat_view(obj: Any) -> np.ndarray:
             "use the lowercase verbs for arbitrary Python objects"
         )
     if not arr.flags.c_contiguous and not arr.flags.f_contiguous:
-        raise ValueError("buffer communication requires a contiguous array")
+        # A strided view cannot be flattened without copying, and a silent
+        # copy would break receive-into-buffer semantics (the caller's
+        # elements would never be written).  Make the caller choose.
+        raise ValueError(
+            "buffer communication requires a contiguous array; this one is "
+            f"a strided view (shape={arr.shape}, strides={arr.strides}) — "
+            "pass np.ascontiguousarray(a) to send a copy, or communicate "
+            "the underlying array"
+        )
     view = arr.reshape(-1, order="A" if arr.flags.f_contiguous else "C")
     return view
 

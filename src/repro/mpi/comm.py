@@ -9,6 +9,7 @@ NumPy buffers, as the mpi4py tutorial prescribes.
 
 from __future__ import annotations
 
+import os
 import pickle
 from typing import Any, Callable, Sequence
 
@@ -16,6 +17,7 @@ import numpy as np
 
 from . import collectives as coll
 from . import hooks as _hooks
+from .serial import counted_dumps
 from .buffers import BufferSpec, parse_buffer, parse_vector_buffer
 from .constants import ANY_SOURCE, ANY_TAG, PROC_NULL, TAG_UB, UNDEFINED
 from .errors import (
@@ -38,6 +40,23 @@ __all__ = ["CommCore", "Intracomm"]
 _PHASE_SPAN = 1024
 
 
+def _batch_limit() -> int:
+    """Per-edge send-coalescing threshold for the threaded backend (bytes).
+
+    Off by default: mailbox delivery is a list append under a lock, so
+    coalescing buys little here and costs envelope latency.  Setting
+    ``REPRO_MPI_BATCH_BYTES`` opts in (it also tunes the process backend,
+    where batching defaults on — see :mod:`repro.mpi.procs`).
+    """
+    env = os.environ.get("REPRO_MPI_BATCH_BYTES")
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            return 0
+    return 0
+
+
 class CommCore:
     """Shared state of one communicator across all of its rank views."""
 
@@ -57,6 +76,7 @@ class CommCore:
         self.freed = False
         self.user_boxes = [Mailbox(world) for _ in range(self.size)]
         self.coll_boxes = [Mailbox(world) for _ in range(self.size)]
+        self.batch_limit = _batch_limit()
         view_cls = view_cls or Intracomm
         view_kwargs = view_kwargs or {}
         self.views = [view_cls(self, r, **view_kwargs) for r in range(self.size)]
@@ -69,6 +89,10 @@ class Intracomm:
         self._core = core
         self._rank = rank
         self._coll_seq = 0
+        #: Per-destination coalescing buffers (active only when the core's
+        #: batch_limit is nonzero; see ``_batch_limit``).
+        self._out_batch: dict[int, list[Message]] = {}
+        self._out_bytes: dict[int, int] = {}
 
     # ------------------------------------------------------------------ plumbing
     @classmethod
@@ -100,13 +124,48 @@ class Intracomm:
             )
         injector = self._core.world.injector
         if injector is not None:
+            # Fault rules count per-edge message ordinals, so injected runs
+            # never coalesce.
             injector.dispositions(
                 self._world_rank(),
                 self._core.world_ranks[dest],
                 lambda: self._core.user_boxes[dest].put(message),
             )
             return
+        limit = self._core.batch_limit
+        if (
+            limit
+            and message.synchronous is None
+            and message.nbytes <= limit
+            and dest != self._rank
+        ):
+            pending = self._out_batch.setdefault(dest, [])
+            pending.append(message)
+            total = self._out_bytes.get(dest, 0) + message.nbytes
+            self._out_bytes[dest] = total
+            if len(pending) >= 16 or total >= 8 * limit:
+                self._flush_dest(dest)
+            return
+        # Non-overtaking: older batched envelopes for this edge must be
+        # delivered before this one.
+        self._flush_dest(dest)
         self._core.user_boxes[dest].put(message)
+
+    def _flush_dest(self, dest: int) -> None:
+        pending = self._out_batch.get(dest)
+        if not pending:
+            return
+        self._out_batch[dest] = []
+        self._out_bytes[dest] = 0
+        self._core.user_boxes[dest].put_many(pending)
+
+    def _flush_sends(self) -> None:
+        """Deliver every coalesced envelope (called before blocking)."""
+        if not self._out_batch:
+            return
+        for dest, pending in self._out_batch.items():
+            if pending:
+                self._flush_dest(dest)
 
     def _world_rank(self) -> int:
         """This view's rank in MPI_COMM_WORLD (fault rules use world ranks)."""
@@ -114,6 +173,7 @@ class Intracomm:
 
     def _get_user(self, source: int, tag: int) -> Message:
         """Blocking mailbox fetch bracketed by recv_enter/recv_exit events."""
+        self._flush_sends()
         if not _hooks.enabled:
             return self.mailbox.get(source, tag)
         cid = self._core.cid
@@ -209,7 +269,7 @@ class Intracomm:
         self._check_tag(tag, wildcard=False)
         if dest == PROC_NULL:
             return
-        payload = pickle.dumps(obj)
+        payload = counted_dumps(obj)
         self._put_user(dest, Message(self._rank, tag, payload, len(payload)))
 
     def ssend(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -222,10 +282,11 @@ class Intracomm:
         import threading
 
         done = threading.Event()
-        payload = pickle.dumps(obj)
+        payload = counted_dumps(obj)
         self._put_user(
             dest, Message(self._rank, tag, payload, len(payload), synchronous=done)
         )
+        self._flush_sends()
         wait_event(done, self._core.world)
 
     def recv(
@@ -263,7 +324,7 @@ class Intracomm:
         import threading
 
         done = threading.Event()
-        payload = pickle.dumps(obj)
+        payload = counted_dumps(obj)
         self._put_user(
             dest, Message(self._rank, tag, payload, len(payload), synchronous=done)
         )
@@ -295,6 +356,7 @@ class Intracomm:
     ) -> bool:
         """Block until a matching message is pending (without receiving it)."""
         self._check_alive()
+        self._flush_sends()
         msg = self.mailbox.probe(source, tag, block=True)
         if status is not None and msg is not None:
             status._set(msg.source, msg.tag, msg.nbytes)
@@ -305,6 +367,7 @@ class Intracomm:
     ) -> bool:
         """Nonblocking probe: True if a matching message is pending."""
         self._check_alive()
+        self._flush_sends()
         msg = self.mailbox.probe(source, tag, block=False)
         if msg is not None and status is not None:
             status._set(msg.source, msg.tag, msg.nbytes)
@@ -391,6 +454,7 @@ class Intracomm:
         called in the same order on every rank), so tags always agree.
         """
         self._check_alive()
+        self._flush_sends()
         seq = self._coll_seq
         self._coll_seq += 1
         core = self._core
@@ -422,7 +486,7 @@ class Intracomm:
         send_raw, recv_raw = self._transports()
 
         def send(dest: int, phase: int, payload: Any) -> None:
-            send_raw(dest, phase, pickle.dumps(payload))
+            send_raw(dest, phase, counted_dumps(payload))
 
         def recv(source: int, phase: int) -> Any:
             return pickle.loads(recv_raw(source, phase))
@@ -443,7 +507,7 @@ class Intracomm:
         """Broadcast a Python object from ``root`` to every rank."""
         self._check_peer(root, wildcard=False, what="root")
         send, recv = self._transports()
-        payload = pickle.dumps(obj) if self._rank == root else None
+        payload = counted_dumps(obj) if self._rank == root else None
         result = coll.bcast_binomial(
             self._rank, self._core.size, root, payload, send, recv
         )
@@ -512,7 +576,7 @@ class Intracomm:
             self._rank, self._core.size, 0, sendobj, op, send, recv
         )
         send2, recv2 = self._transports()
-        payload = pickle.dumps(result) if self._rank == 0 else None
+        payload = counted_dumps(result) if self._rank == 0 else None
         out = coll.bcast_binomial(self._rank, self._core.size, 0, payload, send2, recv2)
         return result if self._rank == 0 else pickle.loads(out)
 

@@ -32,6 +32,36 @@ if TYPE_CHECKING:  # pragma: no cover
 _seq_counter = itertools.count()
 
 
+@dataclass(frozen=True)
+class BufferHandle:
+    """Descriptor for a typed payload that travels outside the envelope.
+
+    The process-rank transport ships NumPy buffers either inline as raw
+    bytes (``shm_name is None``, payload in ``data``) or through a
+    ``multiprocessing.shared_memory`` segment (``shm_name`` set, ``data``
+    ``None``) — in both cases the envelope that crosses the pipe carries
+    this handle, never a pickled array.  ``mode`` tells the receiver who
+    owns a shared segment: ``"owned"`` means the receiver unlinks after
+    copying out (single-use), ``"acked"`` means the sender owns and reuses
+    the segment and the receiver must acknowledge the copy-out (see
+    :mod:`repro.mpi.shm`).
+    """
+
+    shm_name: str | None
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int = 0
+    mode: str = "owned"
+    data: bytes | None = None
+
+    @property
+    def count(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+
 @dataclass
 class Message:
     """An in-flight message envelope.
@@ -68,6 +98,12 @@ class Mailbox:
         """Deliver a message (called from the sender's thread)."""
         with self._cond:
             self._pending.append(message)
+            self._cond.notify_all()
+
+    def put_many(self, messages: list[Message]) -> None:
+        """Deliver a coalesced batch under one lock acquisition."""
+        with self._cond:
+            self._pending.extend(messages)
             self._cond.notify_all()
 
     def _find(self, source: int, tag: int) -> Message | None:
@@ -170,4 +206,4 @@ def wait_event(event: threading.Event, world: "World") -> None:
         world.exit_blocked()
 
 
-__all__ = ["Message", "Mailbox", "wait_event", "WorldAbortedError"]
+__all__ = ["BufferHandle", "Message", "Mailbox", "wait_event", "WorldAbortedError"]

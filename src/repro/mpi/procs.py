@@ -12,17 +12,37 @@ patternlets and exemplars actually exercise — rank/size introspection,
 tagged ``send``/``recv``/``sendrecv`` with ``ANY_SOURCE``/``ANY_TAG`` and
 :class:`~repro.mpi.status.Status`, the object collectives (``barrier``,
 ``bcast``, ``scatter``, ``gather``, ``allgather``, ``reduce``,
-``allreduce``), and 1-D-and-beyond Cartesian topologies (``Create_cart``,
-``Shift`` with ``PROC_NULL`` edges).  The full API (typed buffers,
-windows, files, splitting) remains on the threaded backend; select per
-launch with ``mpirun(..., backend=...)`` or ``REPRO_MPI_BACKEND``.
+``allreduce``), the typed-buffer verbs (``Send``/``Recv``/``Sendrecv``
+and ``Bcast``/``Scatter``/``Gather``/``Allgather``/``Reduce``/
+``Allreduce``), and 1-D-and-beyond Cartesian topologies (``Create_cart``,
+``Shift`` with ``PROC_NULL`` edges).  The full API (vector collectives,
+requests, windows, files, splitting) remains on the threaded backend;
+select per launch with ``mpirun(..., backend=...)`` or
+``REPRO_MPI_BACKEND``.
 
 Transport: one multiprocessing queue (a locked pipe) per rank serves as
-its inbox.  Envelopes carry payloads pre-pickled by the sending rank, so
-receive-side :class:`Status` can report exact byte counts.  Collective
-traffic rides the same pipes under a per-rank sequence number — ranks
-execute collectives in program order, so the sequence aligns without a
-separate channel.
+its inbox.  Object envelopes carry payloads pre-pickled by the sending
+rank (through :func:`repro.mpi.serial.counted_dumps`, so serialization is
+accounted), and receive-side :class:`Status` reports exact byte counts.
+Typed buffers never touch pickle: their envelopes carry a
+:class:`~repro.mpi.message.BufferHandle` — raw bytes inline below
+:func:`repro.mpi.shm.shm_threshold`, a shared-memory segment reference
+above it.  Large point-to-point edges reuse an acknowledged per-``(src,
+dst)`` segment (:class:`repro.mpi.shm.SendSlot`) that the receiver
+re-attaches through a bounded :class:`repro.mpi.shm.SegmentCache`;
+root-fanout collectives share one segment across all destinations and the
+root unlinks it once every receiver has acknowledged its copy-out.
+Collective traffic rides the same pipes under a per-rank sequence
+number — ranks execute collectives in program order, so the sequence
+aligns without a separate channel.
+
+Small envelopes are additionally *batched* per destination edge: sends at
+or below ``REPRO_MPI_BATCH_BYTES`` (default 1024; ``0`` disables) are
+coalesced and flushed as one envelope when the batch fills, before any
+larger send to the same edge (non-overtaking), whenever this rank is
+about to block (receive, collective, ack wait), and at rank-body end.
+Batching turns itself off while a fault injector is armed, because fault
+rules are keyed to per-edge message ordinals.
 
 Requires a ``fork``-capable platform (rank bodies may be closures, which
 fork inherits but pickle cannot ship).
@@ -31,24 +51,51 @@ fork inherits but pickle cannot ship).
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import queue as _queue_mod
 import time
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from . import hooks as _hooks
+from . import serial as _serial
+from . import shm as _shm
+from .buffers import BufferSpec, parse_buffer
 from .constants import ANY_SOURCE, ANY_TAG, DEFAULT_DEADLOCK_TIMEOUT, PROC_NULL
 from .errors import (
     DeadlockError,
+    InvalidCountError,
     InvalidRankError,
     InvalidTagError,
     MPIError,
     RankFailedError,
+    TruncationError,
 )
+from .message import BufferHandle
 from .ops import SUM, Op
 from .status import Status
 
 __all__ = ["ProcComm", "ProcCartcomm", "run_procs", "fork_available"]
+
+#: Default per-edge coalescing threshold (bytes); REPRO_MPI_BATCH_BYTES
+#: overrides, 0 disables.
+DEFAULT_BATCH_BYTES = 1024
+#: A pending batch is flushed once it holds this many envelopes ...
+_BATCH_MAX_MSGS = 16
+#: ... or this many payload bytes, whichever comes first.
+_BATCH_FLUSH_BYTES = 8192
+
+
+def _batch_limit() -> int:
+    env = os.environ.get("REPRO_MPI_BATCH_BYTES")
+    if env is not None:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            return DEFAULT_BATCH_BYTES
+    return DEFAULT_BATCH_BYTES
 
 
 def fork_available() -> bool:
@@ -80,12 +127,24 @@ class ProcComm:
         self._inboxes = inboxes
         self._hostname = hostname
         self._timeout = deadlock_timeout
-        self._p2p: list[tuple[int, int, bytes]] = []
-        self._coll: list[tuple[int, int, bytes]] = []
+        #: Buffered envelopes: (source, tag/seq, payload) where payload is
+        #: pickled bytes (object verbs) or a BufferHandle (buffer verbs).
+        self._p2p: list[tuple[int, int, Any]] = []
+        self._coll: list[tuple[int, int, Any]] = []
         self._coll_seq = 0
         #: Fault injector (``repro.testkit``); armed by ``_rank_main`` when
         #: the forked child inherited an active plan.
         self._injector = None
+        #: Per-destination coalescing buffers for small envelopes.
+        self._batch_limit = _batch_limit()
+        self._batch: dict[int, list[tuple[str, int, Any]]] = {}
+        self._batch_bytes: dict[int, int] = {}
+        #: Zero-copy transport state: reused send segment per destination,
+        #: received-but-unclaimed copy-out acknowledgments by segment name,
+        #: and the attach-side segment cache.
+        self._send_slots: dict[int, _shm.SendSlot] = {}
+        self._acks: dict[str, int] = {}
+        self._cache = _shm.SegmentCache()
 
     def _fault_op(self) -> None:
         if self._injector is not None:
@@ -121,38 +180,134 @@ class ProcComm:
         if not 0 <= peer < self._size:
             raise InvalidRankError(peer, self._size, what)
 
-    def _pump(self) -> None:
-        """Block for one envelope, filing it into the right buffer."""
-        deadline_timeout = self._timeout
+    def _file(self, kind: str, src: int, key: int, payload: Any) -> None:
+        """Sort one received envelope into the matching buffer."""
+        if kind == "p2p":
+            self._p2p.append((src, key, payload))
+        elif kind == "coll":
+            self._coll.append((src, key, payload))
+        elif kind == "ack":
+            self._acks[payload] = self._acks.get(payload, 0) + 1
+        else:  # a coalesced batch: payload is [(kind, key, payload), ...]
+            for inner_kind, inner_key, inner_payload in payload:
+                self._file(inner_kind, src, inner_key, inner_payload)
+
+    def _pump_once(self, timeout: float | None) -> bool:
+        """Receive and file one envelope; False on timeout (never raises)."""
         try:
-            kind, src, key, blob = self._inboxes[self._rank].get(
-                timeout=deadline_timeout
-            )
+            kind, src, key, payload = self._inboxes[self._rank].get(timeout=timeout)
         except _queue_mod.Empty:
+            return False
+        self._file(kind, src, key, payload)
+        return True
+
+    def _pump(self) -> None:
+        """Block for one envelope, filing it into the right buffer.
+
+        Flushes this rank's pending batches first: we are about to block,
+        and a peer may need one of the held envelopes to make progress.
+        """
+        self._flush_all()
+        if not self._pump_once(self._timeout):
             raise DeadlockError(
                 f"rank {self._rank} made no progress for "
-                f"{deadline_timeout}s (blocked in a receive no sender "
+                f"{self._timeout}s (blocked in a receive no sender "
                 "matches — classic send/recv ordering deadlock?)"
-            ) from None
-        if kind == "p2p":
-            self._p2p.append((src, key, blob))
-        else:
-            self._coll.append((src, key, blob))
+            )
 
-    def _post(self, dest: int, kind: str, key: int, payload: Any) -> None:
-        blob = pickle.dumps(payload)
+    @staticmethod
+    def _payload_nbytes(payload: Any) -> int:
+        if isinstance(payload, BufferHandle):
+            return _shm.payload_nbytes(payload)
+        return len(payload)
+
+    def _post_obj(self, dest: int, kind: str, key: int, obj: Any) -> None:
+        """Post a pickled-object envelope (the lowercase-verb path)."""
+        blob = _serial.counted_dumps(obj)
+        self._post_raw(dest, kind, key, blob, len(blob))
+
+    def _post_raw(
+        self, dest: int, kind: str, key: int, payload: Any, nbytes: int
+    ) -> None:
+        """Post one envelope, batching small ones per destination edge."""
         if _hooks.enabled:
             if kind == "p2p":
-                _hooks.emit("send", 0, self._rank, dest, key, len(blob))
+                _hooks.emit("send", 0, self._rank, dest, key, nbytes)
             else:
-                _hooks.emit("coll_msg", 0, self._rank, dest, len(blob))
-        envelope = (kind, self._rank, key, blob)
+                _hooks.emit("coll_msg", 0, self._rank, dest, nbytes)
+        envelope = (kind, self._rank, key, payload)
         if self._injector is not None:
+            # Fault rules count per-edge message ordinals; coalescing would
+            # renumber them, so injected runs always post eagerly.
             self._injector.dispositions(
                 self._rank, dest, lambda: self._inboxes[dest].put(envelope)
             )
             return
+        if self._batch_limit and nbytes <= self._batch_limit and dest != self._rank:
+            pending = self._batch.setdefault(dest, [])
+            pending.append((kind, key, payload))
+            total = self._batch_bytes.get(dest, 0) + nbytes
+            self._batch_bytes[dest] = total
+            if len(pending) >= _BATCH_MAX_MSGS or total >= _BATCH_FLUSH_BYTES:
+                self._flush_dest(dest)
+            return
+        # Non-overtaking: anything already batched for this edge must land
+        # before this larger envelope.
+        self._flush_dest(dest)
         self._inboxes[dest].put(envelope)
+
+    def _flush_dest(self, dest: int) -> None:
+        pending = self._batch.get(dest)
+        if not pending:
+            return
+        self._batch[dest] = []
+        self._batch_bytes[dest] = 0
+        if len(pending) == 1:
+            kind, key, payload = pending[0]
+            self._inboxes[dest].put((kind, self._rank, key, payload))
+        else:
+            self._inboxes[dest].put(("batch", self._rank, 0, pending))
+
+    def _flush_all(self) -> None:
+        for dest, pending in self._batch.items():
+            if pending:
+                self._flush_dest(dest)
+
+    def _post_ack(self, dest: int, name: str) -> None:
+        """Acknowledge a copy-out so the sender may reuse segment ``name``.
+
+        Acks are transport-internal: never batched, never fault-injected,
+        invisible to the hook seam.
+        """
+        self._inboxes[dest].put(("ack", self._rank, 0, name))
+
+    def _await_acks(self, name: str, n: int = 1) -> None:
+        while self._acks.get(name, 0) < n:
+            self._pump()
+        del self._acks[name]
+
+    def _ship_edge(self, values: np.ndarray, dest: int) -> BufferHandle:
+        """Package a typed payload for ``dest``, reusing the edge's slot."""
+        if self._injector is not None:
+            # A dropped descriptor would leak its segment and a duplicated
+            # single-use one would be fetched twice, so injected runs ship
+            # every buffer inline — fault semantics stay message-shaped.
+            return _shm.ship(values, threshold=1 << 62)
+        if values.nbytes < _shm.shm_threshold():
+            return _shm.ship(values)
+        slot = self._send_slots.setdefault(dest, _shm.SendSlot())
+        if slot.awaiting_ack and slot.segment is not None:
+            self._await_acks(slot.segment.name)
+            slot.awaiting_ack = False
+        return _shm.ship(values, slot=slot)
+
+    def _fill_spec(self, spec: BufferSpec, values: np.ndarray) -> None:
+        if values.size > len(spec.array):
+            raise TruncationError(
+                f"message of {values.size} elements truncated to receive "
+                f"buffer of {len(spec.array)}"
+            )
+        spec.fill(values.astype(spec.datatype.np_dtype, copy=False))
 
     # -- point-to-point ------------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
@@ -162,7 +317,7 @@ class ProcComm:
         if dest == PROC_NULL:
             return
         self._fault_op()
-        self._post(dest, "p2p", tag, obj)
+        self._post_obj(dest, "p2p", tag, obj)
 
     def recv(
         self,
@@ -180,18 +335,22 @@ class ProcComm:
         if _hooks.enabled:
             _hooks.emit("recv_enter", 0, self._rank, source, tag)
         while True:
-            for idx, (src, tg, blob) in enumerate(self._p2p):
+            for idx, (src, tg, payload) in enumerate(self._p2p):
                 if (source == ANY_SOURCE or src == source) and (
                     tag == ANY_TAG or tg == tag
                 ):
-                    del self._p2p[idx]
-                    if _hooks.enabled:
-                        _hooks.emit(
-                            "recv_exit", 0, self._rank, src, tg, len(blob)
+                    if isinstance(payload, BufferHandle):
+                        raise TypeError(
+                            "object receive matched a typed-buffer message; "
+                            "pair uppercase sends with uppercase receives"
                         )
+                    del self._p2p[idx]
+                    nbytes = len(payload)
+                    if _hooks.enabled:
+                        _hooks.emit("recv_exit", 0, self._rank, src, tg, nbytes)
                     if status is not None:
-                        status._set(src, tg, len(blob))
-                    return pickle.loads(blob)
+                        status._set(src, tg, nbytes)
+                    return pickle.loads(payload)
             self._pump()
 
     def sendrecv(
@@ -209,6 +368,78 @@ class ProcComm:
         self.send(sendobj, dest, sendtag)
         return self.recv(recvbuf, source=source, tag=recvtag, status=status)
 
+    # -- point-to-point (buffer) ---------------------------------------------
+    def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        """Blocking typed-buffer send over the zero-copy transport.
+
+        Payloads above :func:`repro.mpi.shm.shm_threshold` travel through a
+        reused per-edge shared-memory segment; the second large ``Send`` on
+        an edge waits for the receiver's copy-out ack before overwriting it
+        (rendezvous semantics, as real MPI large sends have).
+        """
+        if tag < 0:
+            raise InvalidTagError(tag)
+        self._check_peer(dest, wildcard=False, what="destination")
+        if dest == PROC_NULL:
+            return
+        self._fault_op()
+        spec = parse_buffer(buf)
+        handle = self._ship_edge(spec.array[: spec.count], dest)
+        self._post_raw(dest, "p2p", tag, handle, spec.nbytes)
+
+    def Recv(
+        self,
+        buf: Any,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> None:
+        """Blocking typed-buffer receive into caller-provided storage."""
+        self._check_peer(source, wildcard=True, what="source")
+        spec = parse_buffer(buf)
+        if source == PROC_NULL:
+            if status is not None:
+                status._set(PROC_NULL, ANY_TAG, 0)
+            return
+        self._fault_op()
+        if _hooks.enabled:
+            _hooks.emit("recv_enter", 0, self._rank, source, tag)
+        while True:
+            for idx, (src, tg, payload) in enumerate(self._p2p):
+                if (source == ANY_SOURCE or src == source) and (
+                    tag == ANY_TAG or tg == tag
+                ):
+                    if not isinstance(payload, BufferHandle):
+                        raise TypeError(
+                            "buffer receive matched an object-mode message; "
+                            "pair lowercase sends with lowercase receives"
+                        )
+                    del self._p2p[idx]
+                    nbytes = _shm.payload_nbytes(payload)
+                    if _hooks.enabled:
+                        _hooks.emit("recv_exit", 0, self._rank, src, tg, nbytes)
+                    values, ack = _shm.fetch(payload, self._cache)
+                    if ack is not None:
+                        self._post_ack(src, ack)
+                    self._fill_spec(spec, values)
+                    if status is not None:
+                        status._set(src, tg, nbytes)
+                    return
+            self._pump()
+
+    def Sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        sendtag: int = 0,
+        recvbuf: Any = None,
+        source: int = ANY_SOURCE,
+        recvtag: int = ANY_TAG,
+        status: Status | None = None,
+    ) -> None:
+        self.Send(sendbuf, dest, sendtag)
+        self.Recv(recvbuf, source=source, tag=recvtag, status=status)
+
     # -- collectives ---------------------------------------------------------
     def _next_seq(self) -> int:
         self._fault_op()
@@ -216,15 +447,77 @@ class ProcComm:
         return self._coll_seq
 
     def _coll_send(self, dest: int, seq: int, payload: Any) -> None:
-        self._post(dest, "coll", seq, payload)
+        self._post_obj(dest, "coll", seq, payload)
 
-    def _coll_recv(self, seq: int, source: int) -> Any:
+    def _coll_recv_raw(self, seq: int, source: int) -> Any:
         while True:
-            for idx, (src, sq, blob) in enumerate(self._coll):
+            for idx, (src, sq, payload) in enumerate(self._coll):
                 if src == source and sq == seq:
                     del self._coll[idx]
-                    return pickle.loads(blob)
+                    return payload
             self._pump()
+
+    def _coll_recv(self, seq: int, source: int) -> Any:
+        payload = self._coll_recv_raw(seq, source)
+        if isinstance(payload, BufferHandle):
+            raise TypeError(
+                "object collective matched a typed-buffer collective; call "
+                "the same verb case on every rank"
+            )
+        return pickle.loads(payload)
+
+    def _coll_recv_buf(self, seq: int, source: int) -> np.ndarray:
+        payload = self._coll_recv_raw(seq, source)
+        if not isinstance(payload, BufferHandle):
+            raise TypeError(
+                "buffer collective matched an object-mode collective; call "
+                "the same verb case on every rank"
+            )
+        values, ack = _shm.fetch(payload, self._cache)
+        if ack is not None:
+            self._post_ack(source, ack)
+        return values
+
+    def _coll_fanout(
+        self,
+        seq: int,
+        values: np.ndarray,
+        pieces: Sequence[tuple[int, int, int]],
+    ) -> None:
+        """Ship slices of one array to many ranks under one collective seq.
+
+        ``pieces`` is ``(dest, start, stop)`` element ranges into
+        ``values``.  Large payloads share a single segment — the per-dest
+        handles differ only in offset — and this root collects one ack per
+        destination before unlinking it, which makes the fanout
+        synchronizing (every receiver has copied out when it returns).
+        """
+        if not pieces:
+            return
+        itemsize = values.dtype.itemsize
+        dtype = values.dtype.str
+        largest = max(stop - start for _, start, stop in pieces) * itemsize
+        if self._injector is None and largest >= _shm.shm_threshold():
+            seg = _shm.create_segment(values.nbytes)
+            np.ndarray((values.size,), dtype=values.dtype, buffer=seg.buf)[:] = values
+            for dest, start, stop in pieces:
+                handle = BufferHandle(
+                    seg.name,
+                    (stop - start,),
+                    dtype,
+                    offset=start * itemsize,
+                    mode=_shm.ACKED,
+                )
+                self._post_raw(
+                    dest, "coll", seq, handle, (stop - start) * itemsize
+                )
+            self._await_acks(seg.name, len(pieces))
+            _shm.unlink_segment(seg)
+            return
+        for dest, start, stop in pieces:
+            piece = values[start:stop]
+            handle = BufferHandle(None, (piece.size,), dtype, data=piece.tobytes())
+            self._post_raw(dest, "coll", seq, handle, piece.nbytes)
 
     @_hooks.traced_collective
     def barrier(self) -> None:
@@ -300,6 +593,140 @@ class ProcComm:
     def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
         reduced = self.reduce(sendobj, op=op, root=0)
         return self.bcast(reduced, root=0)
+
+    # -- collectives (buffer) ------------------------------------------------
+    @_hooks.traced_collective
+    def Bcast(self, buf: Any, root: int = 0) -> None:
+        """Broadcast a typed buffer in place over one shared segment."""
+        self._check_peer(root, wildcard=False, what="root")
+        spec = parse_buffer(buf)
+        seq = self._next_seq()
+        if self._rank == root:
+            values = spec.array[: spec.count]
+            count = spec.count
+            pieces = [(r, 0, count) for r in range(self._size) if r != root]
+            self._coll_fanout(seq, values, pieces)
+            return
+        self._fill_spec(spec, self._coll_recv_buf(seq, root))
+
+    @_hooks.traced_collective
+    def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        """Scatter equal contiguous chunks of ``sendbuf`` from root."""
+        self._check_peer(root, wildcard=False, what="root")
+        rspec = parse_buffer(recvbuf)
+        seq = self._next_seq()
+        if self._rank == root:
+            sspec = parse_buffer(sendbuf)
+            if sspec.count % self._size:
+                raise InvalidCountError(
+                    f"Scatter: send count {sspec.count} not divisible by "
+                    f"size {self._size}"
+                )
+            n = sspec.count // self._size
+            values = sspec.array[: sspec.count]
+            pieces = [
+                (r, r * n, (r + 1) * n) for r in range(self._size) if r != root
+            ]
+            self._coll_fanout(seq, values, pieces)
+            self._fill_spec(rspec, values[root * n : (root + 1) * n].copy())
+            return
+        self._fill_spec(rspec, self._coll_recv_buf(seq, root))
+
+    @_hooks.traced_collective
+    def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        """Gather equal chunks into root's buffer, ordered by rank."""
+        self._check_peer(root, wildcard=False, what="root")
+        sspec = parse_buffer(sendbuf)
+        seq = self._next_seq()
+        values = sspec.array[: sspec.count]
+        if self._rank != root:
+            handle = self._ship_edge(values, root)
+            self._post_raw(root, "coll", seq, handle, sspec.nbytes)
+            return
+        rspec = parse_buffer(recvbuf)
+        parts: list[np.ndarray] = [None] * self._size  # type: ignore[list-item]
+        parts[root] = values
+        for r in range(self._size):
+            if r != root:
+                parts[r] = self._coll_recv_buf(seq, r)
+        self._place_parts(rspec, parts)
+
+    @_hooks.traced_collective
+    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+        """All ranks gather everyone's chunk into their own buffer."""
+        self.Gather(sendbuf, recvbuf, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    @_hooks.traced_collective
+    def Reduce(
+        self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0
+    ) -> None:
+        """Elementwise typed reduction to root (combined in rank order)."""
+        self._check_peer(root, wildcard=False, what="root")
+        sspec = parse_buffer(sendbuf)
+        seq = self._next_seq()
+        values = sspec.array[: sspec.count]
+        if self._rank != root:
+            handle = self._ship_edge(values, root)
+            self._post_raw(root, "coll", seq, handle, sspec.nbytes)
+            return
+        parts: list[np.ndarray] = [None] * self._size  # type: ignore[list-item]
+        parts[root] = values.copy()
+        for r in range(self._size):
+            if r != root:
+                parts[r] = self._coll_recv_buf(seq, r)
+        acc = parts[0]
+        for part in parts[1:]:
+            acc = op(acc, part)
+        self._fill_spec(parse_buffer(recvbuf), np.asarray(acc))
+
+    @_hooks.traced_collective
+    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+        """Elementwise typed reduction delivered to every rank."""
+        self.Reduce(sendbuf, recvbuf, op=op, root=0)
+        self.Bcast(recvbuf, root=0)
+
+    def _place_parts(self, rspec: BufferSpec, parts: Sequence[np.ndarray]) -> None:
+        offset = 0
+        for part in parts:
+            arr = np.asarray(part)
+            if offset + arr.size > len(rspec.array):
+                raise TruncationError(
+                    "gathered data exceeds the receive buffer capacity"
+                )
+            rspec.array[offset : offset + arr.size] = arr.astype(
+                rspec.datatype.np_dtype, copy=False
+            )
+            offset += arr.size
+
+    def _finalize(self) -> None:
+        """Flush and tear down transport state at rank-body end.
+
+        Outstanding copy-out acks are collected (bounded wait: the ack
+        follows the receiver's copy, so in a matched program it is already
+        in flight) and then reused segments are unlinked.  A slot whose
+        ack never arrives — an orphaned send, which is an erroneous MPI
+        program — is closed without unlinking rather than yanked from
+        under a late receiver.
+        """
+        self._flush_all()
+        deadline = time.monotonic() + 2.0
+        for slot in self._send_slots.values():
+            if slot.awaiting_ack and slot.segment is not None:
+                name = slot.segment.name
+                while self._acks.get(name, 0) < 1:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._pump_once(remaining):
+                        break
+                if self._acks.pop(name, 0):
+                    slot.awaiting_ack = False
+            if slot.awaiting_ack:
+                if slot.segment is not None:
+                    slot.segment.close()
+            else:
+                slot.release()
+        self._send_slots.clear()
+        self._cache.close()
 
     # -- topology -----------------------------------------------------------
     def Create_cart(
@@ -389,6 +816,9 @@ def _rank_main(
     from ..obs.recorder import adopt_forked_recorder, collect_forwarded
 
     rank_rec = adopt_forked_recorder(("rank", rank))
+    # The fork copied the parent's serialization counters; zero them so the
+    # totals shipped back cover this rank's own traffic only.
+    _serial.reset_serialized()
     comm = ProcComm(rank, size, inboxes, hostname, deadlock_timeout)
     # A fault plan armed in the parent rides across fork as a module global
     # (lazy import: testkit depends on this package, not vice versa).
@@ -405,14 +835,27 @@ def _rank_main(
             payload: Any = exc
         except Exception:
             payload = _RemoteRankError(f"{type(exc).__name__}: {exc}")
-        results.put((rank, False, payload, collect_forwarded(rank_rec)))
+        try:
+            comm._finalize()
+        except Exception:
+            pass
+        results.put(
+            (rank, False, payload, collect_forwarded(rank_rec),
+             _serial.serialized_totals())
+        )
         return
-    forwarded = collect_forwarded(rank_rec)
     try:
-        results.put((rank, True, value, forwarded))
+        comm._finalize()
+    except Exception:
+        pass
+    forwarded = collect_forwarded(rank_rec)
+    totals = _serial.serialized_totals()
+    try:
+        results.put((rank, True, value, forwarded, totals))
     except Exception as exc:  # unpicklable rank result
         results.put(
-            (rank, False, _RemoteRankError(f"unpicklable result: {exc}"), forwarded)
+            (rank, False, _RemoteRankError(f"unpicklable result: {exc}"),
+             forwarded, totals)
         )
 
 
@@ -483,9 +926,10 @@ def run_procs(
                     f"ranks {sorted(pending)} did not finish within {budget}s"
                 )
             try:
-                rank, ok, payload, forwarded = results_q.get(
+                rank, ok, payload, forwarded, serialized = results_q.get(
                     timeout=min(remaining, 0.5)
                 )
+                _serial.merge_serialized(serialized)
                 if forwarded is not None and _obs_active() is not None:
                     _obs_ingest(forwarded, launch_ts)
             except _queue_mod.Empty:

@@ -83,6 +83,7 @@ class SendRequest(Request):
 
     def wait(self, status: Status | None = None) -> None:
         if self._sync is not None:
+            self._comm._flush_sends()
             with _wait_span(self._comm):
                 wait_event(self._sync, self._comm.world)
         return None
@@ -105,6 +106,7 @@ class RecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> Any:
         if not self._done:
+            self._comm._flush_sends()
             with _wait_span(self._comm):
                 msg = self._comm.mailbox.get(self._source, self._tag)
             self._payload = pickle.loads(msg.payload)
@@ -116,6 +118,7 @@ class RecvRequest(Request):
     def test(self, status: Status | None = None) -> tuple[bool, Any]:
         if self._done:
             return True, self._payload
+        self._comm._flush_sends()
         msg = self._comm.mailbox.try_get(self._source, self._tag)
         if msg is None:
             return False, None
@@ -144,6 +147,7 @@ class BufferRecvRequest(Request):
 
     def wait(self, status: Status | None = None) -> None:
         if not self._done:
+            self._comm._flush_sends()
             with _wait_span(self._comm):
                 msg = self._comm.mailbox.get(self._source, self._tag)
             self._complete(msg, status)
@@ -152,6 +156,7 @@ class BufferRecvRequest(Request):
     def test(self, status: Status | None = None) -> tuple[bool, None]:
         if self._done:
             return True, None
+        self._comm._flush_sends()
         msg = self._comm.mailbox.try_get(self._source, self._tag)
         if msg is None:
             return False, None

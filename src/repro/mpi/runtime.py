@@ -265,6 +265,12 @@ class World:
                     else WorldAbortedError(errorcode=1, origin=rank)
                 )
             finally:
+                try:
+                    # Deliver any envelopes still coalesced in this rank's
+                    # send batch: a peer may be blocked receiving one.
+                    comm._flush_sends()
+                except Exception:
+                    pass
                 with self._state_lock:
                     self._alive -= 1
                 self.unbind_current_thread()

@@ -1,0 +1,77 @@
+"""Serialization accounting for the message transports.
+
+The zero-copy work (vectorized kernels feeding typed buffers through
+shared memory) makes a *measurable* claim: on the buffer path, no payload
+is ever pickled.  Eyeballing that claim is how it silently regresses, so
+every ``pickle.dumps`` the transports perform goes through
+:func:`counted_dumps`, and the counters here — calls and bytes — are
+surfaced through :mod:`repro.obs.metrics` and asserted by tests and the
+bench serialization report.
+
+Scope: the counters track *our* serialization sites (object-mode verbs,
+collective object transports, process-rank envelope payloads).  They do
+not see the framing :mod:`multiprocessing` itself applies to envelope
+tuples — that cost is a few dozen bytes of descriptor per message on the
+buffer path, versus the full payload on the object path, which is exactly
+the difference the counters exist to demonstrate.
+
+Process ranks each carry a fork-inherited copy of the counters;
+``run_procs`` ships every rank's totals back with its result and folds
+them into the parent, so a parent-side reading covers the whole world.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from typing import Any
+
+__all__ = [
+    "counted_dumps",
+    "count_serialized",
+    "serialized_totals",
+    "reset_serialized",
+    "merge_serialized",
+]
+
+_lock = threading.Lock()
+_calls = 0
+_bytes = 0
+
+
+def counted_dumps(obj: Any) -> bytes:
+    """``pickle.dumps`` that charges the serialization counters."""
+    blob = pickle.dumps(obj)
+    count_serialized(len(blob))
+    return blob
+
+
+def count_serialized(nbytes: int, calls: int = 1) -> None:
+    """Charge ``nbytes`` of serialized payload to the counters."""
+    global _calls, _bytes
+    with _lock:
+        _calls += calls
+        _bytes += nbytes
+
+
+def serialized_totals() -> dict[str, int]:
+    """Snapshot of the counters: ``{"pickle_calls": ..., "pickled_bytes": ...}``."""
+    with _lock:
+        return {"pickle_calls": _calls, "pickled_bytes": _bytes}
+
+
+def reset_serialized() -> None:
+    """Zero the counters (bench/test bracketing)."""
+    global _calls, _bytes
+    with _lock:
+        _calls = 0
+        _bytes = 0
+
+
+def merge_serialized(totals: dict[str, int] | None) -> None:
+    """Fold a child process's counter snapshot into this process's counters."""
+    if not totals:
+        return
+    count_serialized(
+        int(totals.get("pickled_bytes", 0)), int(totals.get("pickle_calls", 0))
+    )

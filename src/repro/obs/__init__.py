@@ -15,7 +15,13 @@ from .export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
-from .metrics import Counter, Histogram, MetricSet, collect_metrics
+from .metrics import (
+    Counter,
+    Histogram,
+    MetricSet,
+    collect_metrics,
+    serialization_totals,
+)
 from .profile import (
     Lane,
     RunProfile,
@@ -52,6 +58,7 @@ __all__ = [
     "Histogram",
     "MetricSet",
     "collect_metrics",
+    "serialization_totals",
     "Span",
     "Lane",
     "RunProfile",

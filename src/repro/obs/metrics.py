@@ -14,7 +14,27 @@ from typing import Any, Iterable
 
 from .events import Event
 
-__all__ = ["Counter", "Histogram", "MetricSet", "collect_metrics"]
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricSet",
+    "collect_metrics",
+    "serialization_totals",
+]
+
+
+def serialization_totals() -> dict[str, int]:
+    """Process-wide MPI-transport pickle counters.
+
+    The transport counts every ``pickle.dumps`` it performs (see
+    :mod:`repro.mpi.serial`); the typed-buffer data path performs none,
+    which is the invariant the zero-copy tests and the bench
+    serialization report assert.  Returned keys: ``pickle_calls`` and
+    ``pickled_bytes``.
+    """
+    from ..mpi.serial import serialized_totals
+
+    return serialized_totals()
 
 
 @dataclass
@@ -71,18 +91,29 @@ class MetricSet:
     event_counts: dict[str, int] = field(default_factory=dict)
     message_bytes: Histogram = field(default_factory=Histogram)
     collective_calls: dict[str, int] = field(default_factory=dict)
+    serialization: dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
         return {
             "event_counts": dict(sorted(self.event_counts.items())),
             "message_bytes": self.message_bytes.summary(),
             "collective_calls": dict(sorted(self.collective_calls.items())),
+            "serialization": dict(self.serialization),
         }
 
 
-def collect_metrics(events: Iterable[Event]) -> MetricSet:
-    """One pass over the stream: counts, message-size histogram, collectives."""
+def collect_metrics(
+    events: Iterable[Event], serialized: dict[str, int] | None = None
+) -> MetricSet:
+    """One pass over the stream: counts, message-size histogram, collectives.
+
+    ``serialized`` attaches transport pickle counters (as returned by
+    :func:`serialization_totals`, typically snapshot-deltas around the
+    recorded region) to the metric set.
+    """
     m = MetricSet()
+    if serialized is not None:
+        m.serialization = dict(serialized)
     counts = m.event_counts
     for ev in events:
         counts[ev.name] = counts.get(ev.name, 0) + 1

@@ -343,30 +343,39 @@ class SharedArray:
         *,
         _attach_name: str | None = None,
     ) -> None:
-        from multiprocessing import shared_memory
+        # Segment lifetime is owner-managed (the creator unlinks), so the
+        # stdlib resource tracker is kept out of it entirely — see
+        # repro.mpi.shm._tracker_silenced for why registration from
+        # multiple processes corrupts the tracker's bookkeeping.
+        from repro.mpi import shm as _shm
 
         self.shape = tuple(shape) if isinstance(shape, (tuple, list)) else (int(shape),)
         self.dtype = np.dtype(dtype)
         nbytes = int(np.prod(self.shape)) * self.dtype.itemsize
         self._owner = _attach_name is None
         if self._owner:
-            self._shm = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+            self._shm = _shm.create_segment(nbytes)
         else:
-            self._shm = shared_memory.SharedMemory(name=_attach_name)
-            # Workaround for bpo-39959: attaching registers the segment with
-            # the resource tracker, which would unlink it when this worker
-            # exits even though the parent still owns it.
-            try:  # pragma: no cover - tracker internals
-                from multiprocessing import resource_tracker
-
-                resource_tracker.unregister(self._shm._name, "shared_memory")
-            except Exception:
-                pass
+            self._shm = _shm.attach_segment(_attach_name)
         self.array = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
 
     @classmethod
     def from_array(cls, arr: np.ndarray) -> "SharedArray":
-        """Create a shared copy of an existing array."""
+        """Create a shared copy of an existing array.
+
+        Non-contiguous (strided-view) input is copied element-by-element
+        into the segment's contiguous layout — an explicit
+        ``ascontiguousarray``-style normalization, so a sliced view shares
+        its *values*, never its stride pattern.  Object dtypes cannot live
+        in flat shared bytes and are rejected.
+        """
+        arr = np.asarray(arr)
+        if arr.dtype == object:
+            raise TypeError(
+                "SharedArray requires a typed NumPy array, got dtype=object"
+            )
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
         shared = cls(arr.shape, arr.dtype)
         shared.array[...] = arr
         return shared
@@ -384,9 +393,13 @@ class SharedArray:
 
     def unlink(self) -> None:
         """Release the segment (owner only); the array becomes invalid."""
-        self.close()
+        from repro.mpi import shm as _shm
+
+        self.array = None
         if self._owner:
-            self._shm.unlink()
+            _shm.unlink_segment(self._shm)
+        else:
+            self._shm.close()
 
     def __enter__(self) -> "SharedArray":
         return self

@@ -13,6 +13,7 @@ from repro.bench import (
     compare_results,
     format_comparison,
     run_benchmarks,
+    serialization_report,
 )
 from repro.cli import main
 
@@ -38,6 +39,48 @@ class TestRunner:
         names = bench_names()
         assert len(names) == len(set(names))
         assert "integration_omp" in names and "drugdesign_omp" in names
+
+    def test_data_path_kernels_registered(self):
+        names = bench_names()
+        for name in (
+            "forestfire_omp",
+            "sorting_blocks_vector",
+            "mpi_pingpong_obj",
+            "mpi_pingpong_buf",
+            "allreduce_buf",
+        ):
+            assert name in names
+
+    def test_rows_carry_serialization_counters(self):
+        doc = run_benchmarks(["heat_seq"], quick=True, warmup=0, repeat=1)
+        row = doc["benchmarks"]["heat_seq"]
+        assert row["pickle_calls"] == 0 and row["pickled_bytes"] == 0
+
+    def test_object_pingpong_pickles_buffer_pingpong_does_not(self):
+        doc = run_benchmarks(
+            ["mpi_pingpong_obj", "mpi_pingpong_buf", "allreduce_buf"],
+            quick=True,
+            warmup=0,
+            repeat=1,
+        )
+        rows = doc["benchmarks"]
+        assert rows["mpi_pingpong_obj"]["pickled_bytes"] > 0
+        # The zero-copy claim, pinned: typed-buffer traffic serializes nothing.
+        assert rows["mpi_pingpong_buf"]["pickled_bytes"] == 0
+        assert rows["mpi_pingpong_buf"]["pickle_calls"] == 0
+        assert rows["allreduce_buf"]["pickled_bytes"] == 0
+
+    def test_serialization_report_shape(self):
+        doc = run_benchmarks(
+            ["mpi_pingpong_obj", "mpi_pingpong_buf"], quick=True, warmup=0, repeat=1
+        )
+        report = serialization_report(doc)
+        assert report["schema"] == SCHEMA_VERSION
+        assert report["benchmarks"]["mpi_pingpong_buf"]["zero_copy"] is True
+        assert report["benchmarks"]["mpi_pingpong_obj"]["zero_copy"] is False
+        assert report["total_pickled_bytes"] == (
+            doc["benchmarks"]["mpi_pingpong_obj"]["pickled_bytes"]
+        )
 
 
 def _doc(normals: dict[str, float], schema: int = SCHEMA_VERSION) -> dict:
@@ -92,6 +135,20 @@ class TestComparison:
         with pytest.raises(ValueError, match="threshold"):
             compare_results(_doc({"a": 1.0}), _doc({"a": 1.0}), threshold=-0.1)
 
+    def test_sub_floor_timings_never_gate(self):
+        # 200x slower but both sides under the noise floor: jitter, not
+        # a regression (fabricated docs use time_s = 0.01 * normalized).
+        rows, regression = compare_results(
+            _doc({"a": 0.02}), _doc({"a": 0.0001}), threshold=0.30
+        )
+        assert not regression
+        assert rows[0]["status"] == "negligible"
+        # One side above the floor: the gate applies as usual.
+        rows, regression = compare_results(
+            _doc({"a": 2.0}), _doc({"a": 0.0001}), threshold=0.30
+        )
+        assert regression and rows[0]["status"] == "regression"
+
     def test_format_comparison_mentions_gate(self):
         rows, _ = compare_results(
             _doc({"a": 1.4}), _doc({"a": 1.0}), threshold=0.30
@@ -119,14 +176,52 @@ class TestCli:
         # No baseline yet: results written, gate skipped.
         assert main(argv) == 0
         assert json.loads(out.read_text())["schema"] == SCHEMA_VERSION
-        # Seed the baseline, then a healthy run passes the gate.
-        assert main(argv + ["--update-baseline"]) == 0
+        # A --quick run refuses to become the baseline unless forced.
+        assert main(argv + ["--update-baseline"]) == 2
+        assert not baseline.exists()
+        assert main(argv + ["--update-baseline", "--allow-quick-baseline"]) == 0
         assert baseline.exists()
         assert main(argv + ["--threshold", "10.0"]) == 0
         # Doctor the baseline to be impossibly fast: the gate must trip.
+        # (time_s is pushed above the noise floor so the negligible rule
+        # does not absorb the fabricated ratio.)
         doc = json.loads(baseline.read_text())
         for row in doc["benchmarks"].values():
             row["normalized"] /= 1e6
+            row["time_s"] = 1.0
         baseline.write_text(json.dumps(doc))
         assert main(argv) == 3
         assert "regression" in capsys.readouterr().err.lower() or True
+
+    def test_quick_baseline_refusal_message(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main([
+            "bench", "heat_seq", "--quick", "--warmup", "0", "--repeat", "1",
+            "--out", str(out), "--baseline", str(tmp_path / "b.json"),
+            "--update-baseline",
+        ])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "refusing" in err and "--allow-quick-baseline" in err
+        assert not out.exists()  # refused before running anything
+
+    def test_full_run_may_update_baseline_without_flag(self, tmp_path):
+        baseline = tmp_path / "b.json"
+        rc = main([
+            "bench", "hooks_off", "--warmup", "0", "--repeat", "1",
+            "--out", str(tmp_path / "run.json"), "--baseline", str(baseline),
+            "--update-baseline",
+        ])
+        assert rc == 0 and baseline.exists()
+
+    def test_serialization_report_flag(self, tmp_path):
+        report = tmp_path / "serialization.json"
+        rc = main([
+            "bench", "mpi_pingpong_buf", "--quick", "--warmup", "0",
+            "--repeat", "1", "--out", str(tmp_path / "run.json"),
+            "--baseline", str(tmp_path / "none.json"),
+            "--serialization-report", str(report),
+        ])
+        assert rc == 0
+        doc = json.loads(report.read_text())
+        assert doc["benchmarks"]["mpi_pingpong_buf"]["zero_copy"] is True
