@@ -43,6 +43,7 @@ __all__ = [
     "run_benchmarks",
     "compare_results",
     "format_comparison",
+    "baseline_delta",
     "serialization_report",
     "default_results_path",
     "DEFAULT_BASELINE",
@@ -330,6 +331,93 @@ def _lint_corpus_parallel(quick: bool, _backend: str) -> Callable[[], Any]:
     return run
 
 
+def _serve_app():
+    """A course app sized for benchmarking: no metrics provider leak,
+    admission bounds wide enough that the kernels measure the service,
+    not deliberate shedding."""
+    from .serve import CourseApp
+
+    return CourseApp(metrics_name=None, max_inflight=16, max_queue=256)
+
+
+def _course_serve_read(quick: bool, _backend: str) -> Callable[[], Any]:
+    """Hot-path module reads through the full middleware stack.
+
+    The app is built (and the cache warmed) outside the timed region, so
+    what's measured is routing + cache hit + JSON envelope per request —
+    the latency every learner pays on every page view.
+    """
+    from .serve.asgi import Client
+
+    n = 300 if quick else 3_000
+    app = _serve_app()
+    client = Client(app)
+    target = "/m/raspberry-pi-handout?format=html"
+    client.get(target)  # warm the rendered-module cache
+
+    def run() -> int:
+        ok = 0
+        for _ in range(n):
+            ok += client.get(target).status == 200
+        return ok
+
+    return run
+
+
+def _course_serve_submit(quick: bool, _backend: str) -> Callable[[], Any]:
+    """Answer grading + journaling through the submit route."""
+    from .serve.asgi import Client
+
+    n = 150 if quick else 1_500
+    app = _serve_app()
+    client = Client(app)
+    client.post("/join/PI2020", json_body={"learner": "bench-learner"})
+    cohort = app.registry.cohort("pi-2020")
+    activity = cohort.module.all_questions()[0].activity_id
+    body = {
+        "cohort": "pi-2020",
+        "learner": "bench-learner",
+        "activity_id": activity,
+        "answer": "A",
+    }
+
+    def run() -> int:
+        ok = 0
+        for _ in range(n):
+            ok += client.post(
+                f"/m/{cohort.module.slug}/submit", json_body=body
+            ).status == 200
+        return ok
+
+    return run
+
+
+def _course_serve_load(quick: bool, _backend: str) -> Callable[[], Any]:
+    """The closed-loop learner lifecycle at bench scale.
+
+    Enroll → read → answer → grade across both demo cohorts with worker
+    threads — the serving layer measured as a PDC workload.  Each timed
+    run uses a fresh app so enrollment cost is paid identically every
+    repeat.
+    """
+    from .serve.load import run_load
+
+    learners = 40 if quick else 400
+    workers = min(4, os.cpu_count() or 1)
+
+    def run() -> int:
+        app = _serve_app()
+        report = run_load(
+            app, learners=learners, workers=workers, gradebook_every=25
+        )
+        app.close()
+        if report.errors:  # pragma: no cover - hard failure, not a timing
+            raise RuntimeError(f"serve load hit {report.errors} errors")
+        return report.requests
+
+    return run
+
+
 REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("integration_seq", "integration", _integration_seq),
     BenchSpec("integration_omp", "integration", _integration_omp),
@@ -346,6 +434,9 @@ REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("hooks_off", "obs", _hooks_off),
     BenchSpec("lint_corpus", "analysis", _lint_corpus),
     BenchSpec("lint_corpus_parallel", "analysis", _lint_corpus_parallel),
+    BenchSpec("course_serve_read", "serve", _course_serve_read),
+    BenchSpec("course_serve_submit", "serve", _course_serve_submit),
+    BenchSpec("course_serve_load", "serve", _course_serve_load),
 )
 
 
@@ -509,6 +600,25 @@ def compare_results(
     return rows, regression
 
 
+def baseline_delta(current: dict[str, Any], previous: dict[str, Any]) -> str:
+    """Kernel-set delta printed by ``--update-baseline``.
+
+    Newly added kernels (like a fresh ``course_serve_*`` family) and
+    kernels that vanished are easy to miss in a wall-of-JSON rewrite;
+    this one-liner makes the set change reviewable in the command output.
+    """
+    now = set(current.get("benchmarks", {}))
+    before = set(previous.get("benchmarks", {}))
+    added = sorted(now - before)
+    removed = sorted(before - now)
+    parts = []
+    if added:
+        parts.append(f"+{len(added)} new: {', '.join(added)}")
+    if removed:
+        parts.append(f"-{len(removed)} removed: {', '.join(removed)}")
+    return f" ({'; '.join(parts)})" if parts else " (same kernel set)"
+
+
 def format_comparison(rows: list[dict[str, Any]], threshold: float) -> str:
     lines = [
         f"baseline comparison (gate: >{100 * threshold:.0f}% slower, normalized)",
@@ -582,9 +692,16 @@ def main(args) -> int:  # pragma: no cover - exercised via cli tests
 
     baseline_path = Path(args.baseline) if args.baseline else DEFAULT_BASELINE
     if args.update_baseline:
+        delta = ""
+        if baseline_path.exists():
+            try:
+                previous = json.loads(baseline_path.read_text())
+            except ValueError:
+                previous = {}
+            delta = baseline_delta(doc, previous)
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         baseline_path.write_text(json.dumps(doc, indent=2) + "\n")
-        print(f"baseline updated at {baseline_path}")
+        print(f"baseline updated at {baseline_path}{delta}")
         return 0
     if not baseline_path.exists():
         print(f"no baseline at {baseline_path}; skipping the regression gate")

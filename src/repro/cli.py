@@ -15,6 +15,11 @@ Gives instructors and students the whole toolkit without writing Python:
 * ``handout`` — render the Raspberry Pi virtual handout (text or HTML);
 * ``bench`` — run real wall-clock benchmarks (warmup/repeat control,
   schema-versioned JSON results, regression gate vs a committed baseline);
+* ``serve`` — boot the multi-tenant course platform over HTTP (class-code
+  join, cached module reads, graded submissions, instructor gradebooks,
+  ``/healthz``/``/readyz``/``/metricz``);
+* ``serve-load`` — drive thousands of simulated learners through the
+  in-process server, closed loop, and report throughput + p50/p99 latency;
 * ``trace <name>`` — run a patternlet or exemplar under the ``repro.obs``
   event bus and report lanes, wait attribution, and message traffic
   (``--chrome out.json`` exports a Perfetto-loadable timeline);
@@ -219,6 +224,57 @@ def build_parser() -> argparse.ArgumentParser:
                            help="emit the result as JSON instead of text")
     p_explore.add_argument("--repro-dir", metavar="DIR", dest="repro_dir",
                            help="write minimized repro bundle + timeline here")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve the course platform over HTTP (join/read/submit/gradebook)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--persist", choices=("memory", "jsonl"),
+                         default="memory",
+                         help="progress persistence backend (default memory)")
+    p_serve.add_argument("--data-dir", metavar="DIR", dest="data_dir",
+                         default="serve-data",
+                         help="JSONL log directory for --persist jsonl")
+    p_serve.add_argument("--cache-capacity", type=int, default=64,
+                         dest="cache_capacity",
+                         help="rendered-module LRU entries (default 64)")
+    p_serve.add_argument("--max-inflight", type=int, default=8,
+                         dest="max_inflight",
+                         help="concurrent requests before queuing (default 8)")
+    p_serve.add_argument("--max-queue", type=int, default=32,
+                         dest="max_queue",
+                         help="queued requests before 503 shedding (default 32)")
+    p_serve.add_argument("--deadline", type=float, default=2.0,
+                         help="per-request deadline in seconds (default 2.0)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each request to stderr")
+
+    p_load = sub.add_parser(
+        "serve-load",
+        help="drive simulated learners through the in-process course server",
+    )
+    p_load.add_argument("--learners", type=int, default=1000,
+                        help="simulated learners (default 1000)")
+    p_load.add_argument("--workers", type=int, default=8,
+                        help="closed-loop client threads (default 8)")
+    p_load.add_argument("--reads", type=int, default=2,
+                        help="module reads per learner (default 2)")
+    p_load.add_argument("--submit-questions", type=int, default=3,
+                        dest="submit_questions",
+                        help="questions each learner answers (default 3)")
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument("--max-inflight", type=int, default=8,
+                        dest="max_inflight",
+                        help="server concurrency limit under test (default 8)")
+    p_load.add_argument("--max-queue", type=int, default=32, dest="max_queue",
+                        help="server queue bound under test (default 32)")
+    p_load.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the report as JSON instead of text")
+    p_load.add_argument("--out", metavar="PATH",
+                        help="also write the JSON latency report to PATH "
+                             "(the artifact CI uploads)")
 
     p_study = sub.add_parser("study", help="platform scaling study")
     p_study.add_argument(
@@ -440,6 +496,58 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import CourseApp, demo_registry, serve_forever
+
+    registry = demo_registry(
+        backend=args.persist,
+        data_dir=args.data_dir,
+    )
+    app = CourseApp(
+        registry,
+        cache_capacity=args.cache_capacity,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline,
+    )
+    if app.replayed_records:
+        print(f"replayed {app.replayed_records} progress record(s) "
+              f"from {args.data_dir}")
+    serve_forever(app, args.host, args.port, verbose=args.verbose)
+    return 0
+
+
+def _cmd_serve_load(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import CourseApp, run_load
+
+    app = CourseApp(
+        metrics_name=None,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+    )
+    report = run_load(
+        app,
+        learners=args.learners,
+        workers=args.workers,
+        reads=args.reads,
+        submit_questions=args.submit_questions,
+        seed=args.seed,
+    )
+    app.close()
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    if args.out:
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"latency report written to {out}", file=sys.stderr)
+    return 1 if report.errors else 0
+
+
 def _cmd_study(args: argparse.Namespace) -> int:
     from .core import run_exemplar_study
 
@@ -643,6 +751,8 @@ _HANDLERS = {
     "notebook": _cmd_notebook,
     "handout": _cmd_handout,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "serve-load": _cmd_serve_load,
     "trace": _cmd_trace,
     "explore": _cmd_explore,
     "study": _cmd_study,

@@ -20,7 +20,10 @@ from .metrics import (
     Histogram,
     MetricSet,
     collect_metrics,
+    register_provider,
     serialization_totals,
+    snapshot_providers,
+    unregister_provider,
 )
 from .profile import (
     Lane,
@@ -59,6 +62,9 @@ __all__ = [
     "MetricSet",
     "collect_metrics",
     "serialization_totals",
+    "register_provider",
+    "unregister_provider",
+    "snapshot_providers",
     "Span",
     "Lane",
     "RunProfile",

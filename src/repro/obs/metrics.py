@@ -10,7 +10,7 @@ before the profile answers *where the time went*.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from .events import Event
 
@@ -20,7 +20,34 @@ __all__ = [
     "MetricSet",
     "collect_metrics",
     "serialization_totals",
+    "register_provider",
+    "unregister_provider",
+    "snapshot_providers",
 ]
+
+# ---------------------------------------------------------------------------
+# Named metric providers
+# ---------------------------------------------------------------------------
+# Long-lived subsystems (the course server's cache and request-latency
+# histograms, for one) register a snapshot callable here so their live
+# counters are visible through repro.obs without the event bus: each
+# provider returns a plain dict when sampled.
+
+_PROVIDERS: dict[str, Callable[[], dict[str, Any]]] = {}
+
+
+def register_provider(name: str, provider: Callable[[], dict[str, Any]]) -> None:
+    """Expose a subsystem's live metrics under ``name`` (last wins)."""
+    _PROVIDERS[name] = provider
+
+
+def unregister_provider(name: str) -> None:
+    _PROVIDERS.pop(name, None)
+
+
+def snapshot_providers() -> dict[str, dict[str, Any]]:
+    """Sample every registered provider: ``{name: snapshot_dict}``."""
+    return {name: _PROVIDERS[name]() for name in sorted(_PROVIDERS)}
 
 
 def serialization_totals() -> dict[str, int]:
@@ -74,6 +101,45 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``q`` in [0, 100]).
+
+        The shared quantile implementation for the serving layer, the
+        bench load harness, and the profile reports.  Walks the
+        power-of-two buckets to the one containing the target rank and
+        interpolates linearly inside it, so the estimate is exact at
+        bucket boundaries and off by at most the bucket width (a factor
+        of two) inside — plenty for p50/p99 tail reporting, and O(buckets)
+        with no samples retained.  The result is clamped to the observed
+        ``[min, max]``.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        target = max(1, -(-self.count * q // 100))  # ceil without math import
+        seen = 0
+        for b in sorted(self.buckets):
+            in_bucket = self.buckets[b]
+            if seen + in_bucket >= target:
+                lo = 0.0 if b == 0 else float(2 ** (b - 1))
+                hi = float(2**b)
+                frac = (target - seen) / in_bucket
+                value = lo + frac * (hi - lo)
+                break
+            seen += in_bucket
+        else:  # pragma: no cover - unreachable: ranks always land in a bucket
+            value = self.max or 0.0
+        lo_clamp = self.min if self.min is not None else value
+        hi_clamp = self.max if self.max is not None else value
+        return min(max(value, lo_clamp), hi_clamp)
+
+    def percentiles(
+        self, qs: Iterable[float] = (50, 90, 99)
+    ) -> dict[float, float]:
+        """p50/p90/p99-style extraction: ``{q: estimate}`` for each ``q``."""
+        return {q: self.percentile(q) for q in qs}
+
     def summary(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -81,6 +147,9 @@ class Histogram:
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
         }
 
 

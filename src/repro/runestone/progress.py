@@ -7,6 +7,7 @@ records up into an instructor gradebook.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -28,27 +29,38 @@ class Attempt:
 
 @dataclass
 class LearnerProgress:
-    """One learner's journey through one module."""
+    """One learner's journey through one module.
+
+    Mutations are serialized through a per-learner lock so the serving
+    layer can grade concurrent submissions from the same learner (double
+    clicks, two tabs) without losing attempts; grading itself is pure, so
+    the lock guards only the record append and the pacing accumulator.
+    """
 
     learner: str
     module: Module
     attempts: list[Attempt] = field(default_factory=list)
     completed_sections: set[str] = field(default_factory=set)
     minutes_spent: float = 0.0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def submit(self, activity_id: str, answer: Any) -> GradeResult:
         """Grade an answer against the module's question and record it."""
         question = self.module.find_question(activity_id)
         result = question.grade(answer)
-        self.attempts.append(
-            Attempt(activity_id, answer, result, at_minute=self.minutes_spent)
-        )
+        with self._lock:
+            self.attempts.append(
+                Attempt(activity_id, answer, result, at_minute=self.minutes_spent)
+            )
         return result
 
     def complete_section(self, number: str, minutes: float | None = None) -> None:
         section = self.module.find_section(number)  # validates the number
-        self.completed_sections.add(section.number)
-        self.minutes_spent += minutes if minutes is not None else section.minutes
+        with self._lock:
+            self.completed_sections.add(section.number)
+            self.minutes_spent += minutes if minutes is not None else section.minutes
 
     # ------------------------------------------------------------------ metrics
     def attempts_for(self, activity_id: str) -> list[Attempt]:
@@ -85,17 +97,26 @@ class LearnerProgress:
 
 @dataclass
 class Gradebook:
-    """Instructor view across a cohort of learners."""
+    """Instructor view across a cohort of learners.
+
+    Enrollment is the only mutation the gradebook itself performs and is
+    locked, so two racing enrollments of the same name cannot both win
+    (one gets the record, the other gets the ``ValueError``).
+    """
 
     module: Module
     records: dict[str, LearnerProgress] = field(default_factory=dict)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     def enroll(self, learner: str) -> LearnerProgress:
-        if learner in self.records:
-            raise ValueError(f"{learner!r} is already enrolled")
-        progress = LearnerProgress(learner, self.module)
-        self.records[learner] = progress
-        return progress
+        with self._lock:
+            if learner in self.records:
+                raise ValueError(f"{learner!r} is already enrolled")
+            progress = LearnerProgress(learner, self.module)
+            self.records[learner] = progress
+            return progress
 
     def completion_rate(self) -> float:
         """Fraction of the cohort that finished every section."""

@@ -138,6 +138,15 @@ class DragAndDrop(Question):
             raise ValueError(f"{self.activity_id}: needs at least one pair")
 
     def grade(self, answer: dict[str, str]) -> GradeResult:
+        # Served, untrusted input: a payload of the wrong shape is a wrong
+        # answer with feedback, never an exception out of the grader.
+        if not isinstance(answer, dict):
+            return GradeResult(
+                self.activity_id,
+                False,
+                "Answer must map each term to a definition.",
+                0.0,
+            )
         key = dict(self.pairs)
         right = sum(1 for term, defn in answer.items() if key.get(term) == defn)
         score = right / len(self.pairs)
@@ -160,7 +169,13 @@ class OrderingProblem(Question):
             raise ValueError(f"{self.activity_id}: needs at least two steps")
 
     def grade(self, answer: Sequence[str]) -> GradeResult:
-        answer = list(answer)
+        # A string is iterable but is one answer, not a step list; anything
+        # non-iterable or mixed-type is likewise a wrong answer, not a crash.
+        if isinstance(answer, (str, bytes)) or not isinstance(answer, (list, tuple)):
+            return GradeResult(
+                self.activity_id, False, "Provide the steps as a list.", 0.0
+            )
+        answer = [str(step) for step in answer]
         if sorted(answer) != sorted(self.steps):
             return GradeResult(
                 self.activity_id, False, "Use each given step exactly once.", 0.0

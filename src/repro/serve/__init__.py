@@ -1,0 +1,70 @@
+"""``repro.serve`` — the Runestone course platform as a real service.
+
+The paper's modules were *served* to remote cohorts; this package is that
+serving layer grown from the in-process engine in :mod:`repro.runestone`:
+
+* :mod:`~repro.serve.asgi` — a minimal in-repo ASGI-style protocol, JSON
+  helpers, and an in-process client;
+* :mod:`~repro.serve.app` — :class:`CourseApp`, the route surface
+  (join/read/submit/gradebook/healthz/readyz/metricz);
+* :mod:`~repro.serve.registry` — multi-tenant cohorts behind class codes;
+* :mod:`~repro.serve.store` — per-cohort progress stores over pluggable
+  persistence (memory, append-only JSONL with snapshot/replay);
+* :mod:`~repro.serve.cache` — the LRU rendered-module cache with explicit
+  invalidation and obs-visible hit/miss counters;
+* :mod:`~repro.serve.middleware` — deadlines, bounded-queue backpressure
+  (503 + Retry-After), error envelopes, request-latency histograms;
+* :mod:`~repro.serve.httpd` — the stdlib ThreadingHTTPServer adapter
+  (``repro serve``);
+* :mod:`~repro.serve.load` — the closed-loop load harness
+  (``repro serve-load`` and the ``course_serve_*`` bench kernels).
+
+See ``docs/serving.md`` for the guided tour.
+"""
+
+from .app import CourseApp
+from .asgi import Client, ClientResponse, HTTPError, Request, Response, run_app
+from .cache import RenderCache
+from .httpd import CourseServer, make_server, serve_forever, start_background
+from .load import LoadReport, answer_pool, run_load
+from .middleware import (
+    Backpressure,
+    Deadline,
+    ErrorEnvelope,
+    Latency,
+    ServeMetrics,
+    check_deadline,
+)
+from .registry import Cohort, CohortRegistry, demo_registry
+from .store import JsonlBackend, MemoryBackend, ProgressStore, open_backend
+
+__all__ = [
+    "CourseApp",
+    "Client",
+    "ClientResponse",
+    "HTTPError",
+    "Request",
+    "Response",
+    "run_app",
+    "RenderCache",
+    "CourseServer",
+    "make_server",
+    "serve_forever",
+    "start_background",
+    "LoadReport",
+    "answer_pool",
+    "run_load",
+    "Backpressure",
+    "Deadline",
+    "ErrorEnvelope",
+    "Latency",
+    "ServeMetrics",
+    "check_deadline",
+    "Cohort",
+    "CohortRegistry",
+    "demo_registry",
+    "JsonlBackend",
+    "MemoryBackend",
+    "ProgressStore",
+    "open_backend",
+]

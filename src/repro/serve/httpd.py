@@ -1,0 +1,111 @@
+"""Stdlib HTTP adapter: ThreadingHTTPServer driving the ASGI-style app.
+
+The hermetic deployment path: no third-party server, just
+:class:`http.server.ThreadingHTTPServer` (one thread per connection)
+translating wire requests into the scope/receive/send protocol from
+:mod:`repro.serve.asgi`.  Concurrency control does **not** live here —
+the app's backpressure middleware bounds inflight work, so a thundering
+herd of connection threads queues (briefly) or gets 503 + Retry-After
+like any other client.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+from urllib.parse import urlsplit
+
+from .asgi import run_app
+
+__all__ = ["CourseServer", "make_server", "serve_forever", "start_background"]
+
+
+class _AppHandler(BaseHTTPRequestHandler):
+    """Translate one wire request into one app call."""
+
+    protocol_version = "HTTP/1.1"
+    server: "CourseServer"
+
+    # Quiet by default: per-request lines go through the server's log hook.
+    def log_message(self, fmt: str, *args) -> None:
+        if self.server.verbose:  # pragma: no cover - manual serving only
+            super().log_message(fmt, *args)
+
+    def _dispatch(self) -> None:
+        length = int(self.headers.get("Content-Length") or 0)
+        body = self.rfile.read(length) if length else b""
+        split = urlsplit(self.path)
+        target = split.path + (f"?{split.query}" if split.query else "")
+        try:
+            response = run_app(
+                self.server.app,
+                self.command,
+                target,
+                body=body,
+                headers=[(k, v) for k, v in self.headers.items()],
+            )
+        except Exception as exc:  # pragma: no cover - app envelope catches first
+            self.send_error(500, explain=str(exc))
+            return
+        self.send_response(response.status)
+        for name, value in response.headers:
+            self.send_header(name, value)
+        self.send_header("Content-Length", str(len(response.body)))
+        self.end_headers()
+        self.wfile.write(response.body)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_HEAD = _dispatch
+    do_DELETE = _dispatch
+
+
+class CourseServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one app instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], app: Callable, verbose: bool = False):
+        super().__init__(address, _AppHandler)
+        self.app = app
+        self.verbose = verbose
+
+
+def make_server(
+    app: Callable, host: str = "127.0.0.1", port: int = 0, *, verbose: bool = False
+) -> CourseServer:
+    """Bind (port 0 picks a free one); caller starts/stops it."""
+    return CourseServer((host, port), app, verbose=verbose)
+
+
+def serve_forever(
+    app: Callable, host: str = "127.0.0.1", port: int = 8642, *, verbose: bool = False
+) -> None:
+    """Blocking entry point for ``repro serve`` (Ctrl-C to stop)."""
+    server = make_server(app, host, port, verbose=verbose)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"repro serve: listening on http://{bound_host}:{bound_port}")
+    print("routes: /healthz /readyz /metricz /cohorts /join/<code> "
+          "/m/<id> /m/<id>/submit /gradebook/<cohort>")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def start_background(
+    app: Callable, host: str = "127.0.0.1", port: int = 0
+) -> tuple[CourseServer, threading.Thread]:
+    """Start a server on a daemon thread; returns (server, thread).
+
+    Used by tests and the CI smoke job helper to boot and tear down a
+    real socket server inside one process.
+    """
+    server = make_server(app, host, port)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,291 @@
+"""Robustness middleware: deadlines, backpressure, envelopes, latency.
+
+The stack wraps the router outside-in as::
+
+    Latency(ErrorEnvelope(Deadline(Backpressure(router))))
+
+* :class:`Latency` times every request into power-of-two
+  :class:`repro.obs.Histogram` s (microseconds), per route template and
+  overall, plus per-status counters — the serving layer's p50/p99 come
+  straight from :meth:`Histogram.percentile`.
+* :class:`ErrorEnvelope` turns any :class:`~repro.serve.asgi.HTTPError`
+  (and any unexpected exception) into the structured JSON error envelope,
+  so a handler bug is a 500 document, never a dropped connection.
+* :class:`Deadline` stamps ``scope["deadline"]`` (a monotonic instant);
+  handlers and the queue respect it via :func:`check_deadline`, and work
+  that finishes after its deadline is answered 504 — the client has
+  already given up, and saying so keeps tail latency honest.
+* :class:`Backpressure` bounds concurrency with an admission gate:
+  ``max_inflight`` requests run, up to ``max_queue`` wait (no longer than
+  their deadline), and everything beyond that is refused immediately with
+  ``503`` + ``Retry-After`` — bounded queues instead of unbounded
+  collapse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..obs.metrics import Counter, Histogram
+from .asgi import HTTPError, error_response, send_response
+
+__all__ = [
+    "ServeMetrics",
+    "Latency",
+    "ErrorEnvelope",
+    "Deadline",
+    "Backpressure",
+    "check_deadline",
+]
+
+App = Callable[[dict, Callable, Callable], None]
+
+
+class ServeMetrics:
+    """All counters/histograms one app instance exports.
+
+    Latency is recorded in **microseconds** so the power-of-two buckets
+    resolve the interesting 100 µs – 100 ms band; snapshot values are
+    converted to milliseconds for humans.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.latency_us = Histogram()
+        self.route_latency_us: dict[str, Histogram] = {}
+        self.status_counts: dict[int, Counter] = {}
+        self.requests = Counter()
+        self.deadline_hits = Counter()
+        self.rejected = Counter()
+        self.queued = Counter()
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.peak_queue = 0
+
+    def observe(self, route: str, status: int, elapsed_s: float) -> None:
+        us = elapsed_s * 1e6
+        with self._lock:
+            self.requests.inc()
+            self.latency_us.add(us)
+            hist = self.route_latency_us.get(route)
+            if hist is None:
+                hist = self.route_latency_us[route] = Histogram()
+            hist.add(us)
+            counter = self.status_counts.get(status)
+            if counter is None:
+                counter = self.status_counts[status] = Counter()
+            counter.inc()
+
+    @staticmethod
+    def _latency_ms(hist: Histogram) -> dict[str, float]:
+        quantiles = hist.percentiles((50, 90, 99))
+        return {
+            "count": hist.count,
+            "mean_ms": hist.mean / 1e3,
+            "p50_ms": quantiles[50] / 1e3,
+            "p90_ms": quantiles[90] / 1e3,
+            "p99_ms": quantiles[99] / 1e3,
+            "max_ms": (hist.max or 0.0) / 1e3,
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "requests": self.requests.count,
+                "statuses": {
+                    str(code): c.count
+                    for code, c in sorted(self.status_counts.items())
+                },
+                "latency": self._latency_ms(self.latency_us),
+                "routes": {
+                    route: self._latency_ms(hist)
+                    for route, hist in sorted(self.route_latency_us.items())
+                },
+                "backpressure": {
+                    "inflight": self.inflight,
+                    "peak_inflight": self.peak_inflight,
+                    "peak_queue": self.peak_queue,
+                    "queued_total": self.queued.count,
+                    "rejected_total": self.rejected.count,
+                },
+                "deadline_exceeded": self.deadline_hits.count,
+            }
+
+
+def check_deadline(scope: dict) -> None:
+    """Raise 504 if this request's deadline has already passed."""
+    deadline = scope.get("deadline")
+    if deadline is not None and time.monotonic() > deadline:
+        raise HTTPError(
+            504, "deadline_exceeded", "request exceeded its processing deadline"
+        )
+
+
+class Latency:
+    """Outermost: time everything, including rejections and errors."""
+
+    def __init__(self, app: App, metrics: ServeMetrics) -> None:
+        self.app = app
+        self.metrics = metrics
+
+    def __call__(self, scope: dict, receive: Callable, send: Callable) -> None:
+        t0 = time.perf_counter()
+        status_box = {"status": 0}
+
+        def capturing_send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                status_box["status"] = message["status"]
+            send(message)
+
+        try:
+            self.app(scope, receive, capturing_send)
+        finally:
+            route = scope.get("route", f"{scope.get('method', '?')} {scope.get('path', '?')}")
+            self.metrics.observe(
+                route, status_box["status"], time.perf_counter() - t0
+            )
+
+
+class ErrorEnvelope:
+    """Catch everything; answer with the structured JSON envelope."""
+
+    def __init__(self, app: App, metrics: ServeMetrics) -> None:
+        self.app = app
+        self.metrics = metrics
+
+    def __call__(self, scope: dict, receive: Callable, send: Callable) -> None:
+        try:
+            self.app(scope, receive, send)
+        except HTTPError as exc:
+            if exc.status == 504:
+                self.metrics.deadline_hits.inc()
+            send_response(send, error_response(exc))
+        except Exception as exc:  # noqa: BLE001 - the envelope is the point
+            send_response(
+                send,
+                error_response(
+                    HTTPError(
+                        500,
+                        "internal",
+                        f"unhandled {type(exc).__name__}: {exc}",
+                    )
+                ),
+            )
+
+
+class Deadline:
+    """Stamp the per-request deadline; flag work that finished too late."""
+
+    def __init__(self, app: App, timeout_s: float = 2.0) -> None:
+        self.app = app
+        self.timeout_s = timeout_s
+
+    def __call__(self, scope: dict, receive: Callable, send: Callable) -> None:
+        scope["deadline"] = time.monotonic() + self.timeout_s
+
+        # A synchronous handler cannot be interrupted mid-flight, so
+        # enforcement happens at the seams: check_deadline() inside the
+        # router, and this gate at the moment the response starts — a
+        # late response is suppressed (the raise lands in the envelope,
+        # which answers 504) rather than sent to a client that gave up.
+        def gated_send(message: dict) -> None:
+            if message["type"] == "http.response.start":
+                check_deadline(scope)
+            send(message)
+
+        self.app(scope, receive, gated_send)
+
+
+class Backpressure:
+    """Bounded admission: run, wait (bounded), or refuse with Retry-After.
+
+    ``max_inflight`` requests execute concurrently; up to ``max_queue``
+    more wait on a condition variable (never past their deadline).  Any
+    arrival beyond that is answered ``503 overloaded`` immediately —
+    the load shedding that keeps a saturated server's latency bounded
+    instead of letting the queue grow without limit.
+    """
+
+    def __init__(
+        self,
+        app: App,
+        metrics: ServeMetrics,
+        *,
+        max_inflight: int = 8,
+        max_queue: int = 32,
+        retry_after_s: float = 0.05,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be positive")
+        if max_queue < 0:
+            raise ValueError("max_queue must be non-negative")
+        self.app = app
+        self.metrics = metrics
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self.retry_after_s = retry_after_s
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._waiting = 0
+
+    def _overloaded(self) -> HTTPError:
+        return HTTPError(
+            503,
+            "overloaded",
+            f"server is at capacity ({self.max_inflight} in flight, "
+            f"{self.max_queue} queued); retry shortly",
+            retry_after=self.retry_after_s,
+        )
+
+    def _admit(self, scope: dict) -> None:
+        with self._cond:
+            if self._inflight < self.max_inflight:
+                self._inflight += 1
+                self._note_depths()
+                return
+            if self._waiting >= self.max_queue:
+                self.metrics.rejected.inc()
+                raise self._overloaded()
+            self._waiting += 1
+            self.metrics.queued.inc()
+            self._note_depths()
+            try:
+                while self._inflight >= self.max_inflight:
+                    deadline = scope.get("deadline")
+                    timeout = None if deadline is None else deadline - time.monotonic()
+                    if timeout is not None and timeout <= 0:
+                        self.metrics.rejected.inc()
+                        raise self._overloaded()
+                    if not self._cond.wait(timeout):
+                        self.metrics.rejected.inc()
+                        raise self._overloaded()
+                self._inflight += 1
+                self._note_depths()
+            finally:
+                self._waiting -= 1
+
+    def _note_depths(self) -> None:
+        m = self.metrics
+        m.inflight = self._inflight
+        m.peak_inflight = max(m.peak_inflight, self._inflight)
+        m.peak_queue = max(m.peak_queue, self._waiting)
+
+    def _release(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            self.metrics.inflight = self._inflight
+            self._cond.notify()
+
+    def __call__(self, scope: dict, receive: Callable, send: Callable) -> None:
+        self._admit(scope)
+        try:
+            self.app(scope, receive, send)
+        finally:
+            self._release()
+
+    def depths(self) -> tuple[int, int]:
+        """(inflight, queued) — for tests and the metrics snapshot."""
+        with self._cond:
+            return self._inflight, self._waiting

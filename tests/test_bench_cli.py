@@ -8,6 +8,7 @@ import pytest
 
 from repro.bench import (
     DEFAULT_THRESHOLD,
+    baseline_delta,
     SCHEMA_VERSION,
     bench_names,
     compare_results,
@@ -225,3 +226,74 @@ class TestCli:
         assert rc == 0
         doc = json.loads(report.read_text())
         assert doc["benchmarks"]["mpi_pingpong_buf"]["zero_copy"] is True
+
+
+class TestBaselineDelta:
+    def test_same_kernel_set(self):
+        assert baseline_delta(_doc({"a": 1.0}), _doc({"a": 2.0})) == (
+            " (same kernel set)"
+        )
+
+    def test_new_kernels_listed_sorted(self):
+        delta = baseline_delta(
+            _doc({"a": 1.0, "course_serve_read": 1.0, "course_serve_load": 1.0}),
+            _doc({"a": 1.0}),
+        )
+        assert delta == " (+2 new: course_serve_load, course_serve_read)"
+
+    def test_removed_kernels_listed(self):
+        delta = baseline_delta(_doc({"a": 1.0}), _doc({"a": 1.0, "gone": 1.0}))
+        assert delta == " (-1 removed: gone)"
+
+    def test_added_and_removed_combined(self):
+        delta = baseline_delta(_doc({"b": 1.0}), _doc({"a": 1.0}))
+        assert delta == " (+1 new: b; -1 removed: a)"
+
+    def test_empty_previous_doc(self):
+        assert "+1 new: a" in baseline_delta(_doc({"a": 1.0}), {})
+
+    def test_cli_prints_delta_on_update(self, tmp_path, capsys):
+        baseline = tmp_path / "b.json"
+        common = ["--quick", "--warmup", "0", "--repeat", "1",
+                  "--out", str(tmp_path / "run.json"),
+                  "--baseline", str(baseline),
+                  "--update-baseline", "--allow-quick-baseline"]
+        assert main(["bench", "hooks_off", *common]) == 0
+        capsys.readouterr()
+        assert main(["bench", "course_serve_read", *common]) == 0
+        out = capsys.readouterr().out
+        assert "+1 new: course_serve_read" in out
+        assert "-1 removed: hooks_off" in out
+
+
+class TestServeKernels:
+    def test_registered_and_listed(self, capsys):
+        for name in ("course_serve_read", "course_serve_submit",
+                     "course_serve_load"):
+            assert name in bench_names()
+        assert main(["bench", "--list"]) == 0
+        assert "course_serve_load" in capsys.readouterr().out
+
+    def test_quick_serve_kernels_run_clean(self):
+        doc = run_benchmarks(
+            ["course_serve_read", "course_serve_submit"],
+            quick=True, warmup=0, repeat=1,
+        )
+        for name in ("course_serve_read", "course_serve_submit"):
+            row = doc["benchmarks"][name]
+            assert row["group"] == "serve" and row["time_s"] > 0
+
+    def test_serve_load_kernel_counts_requests(self):
+        doc = run_benchmarks(["course_serve_load"], quick=True, warmup=0,
+                             repeat=1)
+        assert doc["benchmarks"]["course_serve_load"]["time_s"] > 0
+
+    def test_sub_floor_serve_rows_never_gate(self):
+        # Quick serve rows can dip under the 5 ms noise floor on fast
+        # machines; jitter there must read "negligible", not "regression".
+        rows, regression = compare_results(
+            _doc({"course_serve_read": 0.3}),
+            _doc({"course_serve_read": 0.0001}),
+            threshold=0.30,
+        )
+        assert not regression and rows[0]["status"] == "negligible"

@@ -1,0 +1,108 @@
+"""Histogram percentiles and the named metric-provider registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    register_provider,
+    snapshot_providers,
+    unregister_provider,
+)
+from repro.obs.metrics import Histogram
+
+
+class TestPercentile:
+    def test_empty_histogram_is_zero(self):
+        assert Histogram().percentile(50) == 0.0
+
+    def test_out_of_range_rejected(self):
+        hist = Histogram()
+        hist.add(1.0)
+        with pytest.raises(ValueError):
+            hist.percentile(-1)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_single_value_clamps_to_it(self):
+        hist = Histogram()
+        for _ in range(4):
+            hist.add(10.0)
+        # Interpolation inside [8, 16) would say 12; the clamp to the
+        # observed range pins every percentile to the only value seen.
+        for q in (0, 50, 99, 100):
+            assert hist.percentile(q) == 10.0
+
+    def test_uniform_1_to_100_exact_at_bucket_boundary(self):
+        hist = Histogram()
+        for i in range(1, 101):
+            hist.add(float(i))
+        # Rank 50 falls in bucket [32, 64) after 31 smaller samples:
+        # 32 + (19/32) * 32 = 51 — within one value of the true median.
+        assert hist.percentile(50) == 51.0
+        # The p99 interpolation overshoots past the max and is clamped.
+        assert hist.percentile(99) == 100.0
+        assert hist.percentile(0) >= hist.min
+
+    def test_percentiles_are_monotonic(self):
+        hist = Histogram()
+        for i in range(1, 1000):
+            hist.add(float(i * i % 797))
+        values = [hist.percentile(q) for q in (10, 50, 90, 99)]
+        assert values == sorted(values)
+        assert hist.min <= values[0] and values[-1] <= hist.max
+
+    def test_percentiles_dict(self):
+        hist = Histogram()
+        hist.add(5.0)
+        qs = hist.percentiles((50, 90, 99))
+        assert set(qs) == {50, 90, 99}
+        assert all(v == 5.0 for v in qs.values())
+
+    def test_summary_includes_percentiles(self):
+        hist = Histogram()
+        hist.add(3.0)
+        summary = hist.summary()
+        assert summary["p50"] == 3.0 and summary["p90"] == 3.0
+        assert summary["p99"] == 3.0
+
+    def test_sub_one_values_land_in_bucket_zero(self):
+        hist = Histogram()
+        for _ in range(10):
+            hist.add(0.25)
+        assert hist.percentile(50) == 0.25  # clamped within [min, max]
+
+
+class TestProviderRegistry:
+    def test_register_snapshot_unregister(self):
+        register_provider("test-prov", lambda: {"x": 1})
+        try:
+            assert snapshot_providers()["test-prov"] == {"x": 1}
+        finally:
+            unregister_provider("test-prov")
+        assert "test-prov" not in snapshot_providers()
+
+    def test_snapshot_is_sorted_and_live(self):
+        state = {"n": 0}
+        register_provider("b-prov", lambda: {"n": state["n"]})
+        register_provider("a-prov", lambda: {"n": -1})
+        try:
+            state["n"] = 7
+            snap = snapshot_providers()
+            names = [n for n in snap if n.endswith("-prov")]
+            assert names == sorted(names)
+            assert snap["b-prov"]["n"] == 7  # re-evaluated at snapshot time
+        finally:
+            unregister_provider("a-prov")
+            unregister_provider("b-prov")
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_provider("never-registered")
+
+    def test_reregistering_replaces(self):
+        register_provider("dup-prov", lambda: {"v": 1})
+        register_provider("dup-prov", lambda: {"v": 2})
+        try:
+            assert snapshot_providers()["dup-prov"] == {"v": 2}
+        finally:
+            unregister_provider("dup-prov")

@@ -1,0 +1,138 @@
+"""Untrusted-input edges: graders, lookups, and renders must not crash.
+
+The serving layer feeds ``validate``/``render``/``grade`` whatever a
+remote browser sent; these pin the contract the routes rely on — bad
+shapes become wrong answers or ``KeyError``, never an unhandled crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runestone import (
+    Chapter,
+    Module,
+    Section,
+    build_distributed_module,
+    build_raspberry_pi_module,
+    render_html,
+    render_text,
+    validate_module,
+)
+from repro.runestone.questions import (
+    DragAndDrop,
+    FillInTheBlank,
+    MultipleChoice,
+    OrderingProblem,
+)
+
+
+@pytest.fixture(scope="module")
+def module():
+    return build_raspberry_pi_module()
+
+
+class TestUnknownIds:
+    def test_unknown_activity_id_is_keyerror(self, module):
+        with pytest.raises(KeyError):
+            module.find_question("no_such_activity")
+
+    def test_unknown_section_is_keyerror(self, module):
+        with pytest.raises(KeyError):
+            module.find_section("42.1")
+
+    @pytest.mark.parametrize("bogus", ["", "sp_mc_1 ", "SP_MC_1", "1; drop"])
+    def test_near_miss_ids_do_not_resolve(self, module, bogus):
+        with pytest.raises(KeyError):
+            module.find_question(bogus)
+
+
+class TestMalformedAnswers:
+    """Every grader is total over JSON values: wrong shape → wrong answer."""
+
+    PAYLOADS = [None, 0, 3.5, True, "text", [], [1, 2], {}, {"a": "b"}]
+
+    def _questions(self, module):
+        return list(module.all_questions())
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_shipped_questions_never_raise(self, module, payload):
+        for question in self._questions(module):
+            result = question.grade(payload)
+            assert 0.0 <= result.score <= 1.0
+            assert isinstance(result.feedback, str)
+
+    def test_drag_and_drop_non_dict_is_wrong_not_crash(self):
+        q = DragAndDrop("dd", "match", pairs=(("a", "1"), ("b", "2")))
+        result = q.grade(["a", "1"])
+        assert result.correct is False and "map" in result.feedback
+
+    def test_drag_and_drop_extra_keys_score_zero_credit(self):
+        q = DragAndDrop("dd", "match", pairs=(("a", "1"), ("b", "2")))
+        result = q.grade({"a": "1", "zzz": "junk"})
+        assert result.score == 0.5  # one real match; junk keys ignored
+
+    def test_ordering_string_is_not_a_step_list(self):
+        q = OrderingProblem("op", "order", steps=("first", "second"))
+        result = q.grade("firstsecond")
+        assert result.correct is False and "list" in result.feedback
+
+    def test_ordering_mixed_types_coerced(self):
+        q = OrderingProblem("op", "order", steps=("1", "2"))
+        assert q.grade([1, 2]).correct is True
+
+    def test_fill_in_blank_numeric_rejects_non_numbers(self):
+        q = FillInTheBlank("fb", "how many?", numeric_answer=4.0, tolerance=0.5)
+        for payload in ([], {}, None, "four"):
+            result = q.grade(payload)
+            assert result.correct is False
+
+    def test_multiple_choice_arbitrary_types_stringified(self):
+        from repro.runestone import Choice
+
+        q = MultipleChoice(
+            "mc", "pick", choices=(Choice("A", "x"), Choice("B", "y")),
+            correct_label="A",
+        )
+        assert q.grade({"weird": 1}).correct is False
+        assert q.grade(["A"]).correct is False
+        assert q.grade("  a  ").correct is True  # whitespace + case folding
+
+
+class TestEmptyModules:
+    def test_empty_module_renders_without_crashing(self):
+        empty = Module("empty", "Empty", "nobody")
+        assert "Empty" in render_text(empty)
+        assert "<html" in render_html(empty) or "Empty" in render_html(empty)
+
+    def test_empty_module_flagged_by_validate(self):
+        findings = validate_module(Module("empty", "Empty", "nobody"))
+        assert any(f.level == "error" for f in findings)
+
+    def test_empty_section_renders(self):
+        module = Module("thin", "Thin", "t").add(
+            Chapter(1, "c").add(Section("1.1", "bare", minutes=5))
+        )
+        assert "bare" in render_text(module)
+        assert module.find_section("1.1").number == "1.1"
+
+    def test_module_with_no_questions_has_empty_pool(self):
+        from repro.serve import answer_pool
+
+        module = Module("thin", "Thin", "t").add(
+            Chapter(1, "c").add(Section("1.1", "bare", minutes=5))
+        )
+        assert answer_pool(module) == []
+        assert list(module.all_questions()) == []
+
+
+class TestShippedModulesStillClean:
+    @pytest.mark.parametrize(
+        "builder", [build_raspberry_pi_module, build_distributed_module]
+    )
+    def test_activity_ids_unique_and_findable(self, builder):
+        module = builder()
+        ids = [q.activity_id for q in module.all_questions()]
+        assert len(ids) == len(set(ids))
+        for aid in ids:
+            assert module.find_question(aid).activity_id == aid

@@ -1,0 +1,272 @@
+"""CourseApp routes: tenancy, envelopes, instructor auth, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import snapshot_providers
+from repro.serve import Client, CourseApp, demo_registry
+
+
+@pytest.fixture()
+def app():
+    app = CourseApp(metrics_name=None)
+    yield app
+    app.close()
+
+
+@pytest.fixture()
+def client(app):
+    return Client(app)
+
+
+INSTRUCTOR = [("x-instructor-key", "instructor")]
+
+
+class TestHealth:
+    def test_healthz(self, client):
+        r = client.get("/healthz")
+        assert r.status == 200 and r.json()["status"] == "ok"
+
+    def test_readyz_after_boot(self, client):
+        r = client.get("/readyz")
+        doc = r.json()
+        assert r.status == 200
+        assert doc["modules"] == 2 and doc["cohorts"] == 2
+
+    def test_readyz_before_boot_is_503(self, app, client):
+        app.ready = False
+        r = client.get("/readyz")
+        assert r.status == 503 and r.json()["error"]["code"] == "not_ready"
+
+    def test_metricz_shape(self, client):
+        client.get("/healthz")
+        doc = client.get("/metricz").json()
+        assert doc["requests"] >= 1
+        assert "p99_ms" in doc["latency"]
+        assert "cache" in doc and "backpressure" in doc
+
+    def test_cohorts_overview(self, client):
+        doc = client.get("/cohorts").json()
+        assert {c["slug"] for c in doc["cohorts"]} == {"pi-2020", "mpi-2020"}
+        assert doc["modules"]["raspberry-pi-handout"]["version"] == 1
+
+
+class TestJoin:
+    def test_join_creates_then_idempotent(self, client):
+        r = client.post("/join/PI2020", json_body={"learner": "alice"})
+        assert r.status == 201 and r.json()["already_enrolled"] is False
+        r = client.post("/join/PI2020", json_body={"learner": "alice"})
+        assert r.status == 200 and r.json()["already_enrolled"] is True
+
+    def test_join_code_is_case_insensitive(self, client):
+        assert client.post("/join/pi2020", json_body={"learner": "bob"}).status == 201
+
+    def test_unknown_class_code(self, client):
+        r = client.post("/join/NOPE", json_body={"learner": "x"})
+        assert r.status == 404
+        assert r.json()["error"]["code"] == "unknown_class_code"
+
+    @pytest.mark.parametrize("body", [{}, {"learner": ""}, {"learner": 7}])
+    def test_bad_learner_payloads(self, client, body):
+        r = client.post("/join/PI2020", json_body=body)
+        assert r.status == 400 and r.json()["error"]["code"] == "bad_request"
+
+    def test_malformed_json_body(self, app):
+        from repro.serve.asgi import run_app
+
+        r = run_app(app, "POST", "/join/PI2020", body=b"{not json")
+        assert r.status == 400
+        assert "malformed" in r.json()["error"]["message"]
+
+    def test_empty_body(self, client):
+        r = client.post("/join/PI2020")
+        assert r.status == 400
+
+
+class TestReadModule:
+    def test_html_render_with_activities(self, client):
+        doc = client.get("/m/raspberry-pi-handout").json()
+        assert doc["format"] == "html" and doc["version"] == 1
+        assert "sp_mc_1" in doc["activities"]
+        assert "<" in doc["rendered"]
+
+    def test_text_render(self, client):
+        doc = client.get("/m/raspberry-pi-handout?format=text").json()
+        assert doc["format"] == "text" and "<html" not in doc["rendered"]
+
+    def test_section_render(self, client):
+        doc = client.get("/m/raspberry-pi-handout?section=1.1").json()
+        assert doc["section"] == "1.1"
+
+    def test_unknown_module(self, client):
+        r = client.get("/m/nope")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_module"
+        # KeyError repr-quoting must not leak into the envelope message.
+        assert not r.json()["error"]["message"].startswith('"')
+
+    def test_unknown_section(self, client):
+        r = client.get("/m/raspberry-pi-handout?section=99.9")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_section"
+
+    def test_bad_format(self, client):
+        r = client.get("/m/raspberry-pi-handout?format=pdf")
+        assert r.status == 400 and r.json()["error"]["code"] == "bad_format"
+
+    def test_reads_hit_the_cache(self, app, client):
+        before = app.cache.stats()["hits"]
+        client.get("/m/raspberry-pi-handout")
+        client.get("/m/raspberry-pi-handout")
+        assert app.cache.stats()["hits"] >= before + 2  # warm boot pre-rendered
+
+
+class TestSubmit:
+    def _join(self, client, learner="alice"):
+        client.post("/join/PI2020", json_body={"learner": learner})
+
+    def _submit(self, client, **over):
+        body = {
+            "cohort": "pi-2020",
+            "learner": "alice",
+            "activity_id": "sp_mc_1",
+            "answer": "A",
+        }
+        body.update(over)
+        return client.post("/m/raspberry-pi-handout/submit", json_body=body)
+
+    def test_graded_round_trip(self, client):
+        self._join(client)
+        doc = self._submit(client).json()
+        assert doc["activity_id"] == "sp_mc_1"
+        assert isinstance(doc["correct"], bool) and doc["feedback"]
+
+    def test_unknown_cohort(self, client):
+        r = self._submit(client, cohort="ghost")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_cohort"
+
+    def test_cohort_module_mismatch(self, client):
+        self._join(client)
+        r = client.post(
+            "/m/mpi-distributed-handout/submit",
+            json_body={
+                "cohort": "pi-2020",
+                "learner": "alice",
+                "activity_id": "sp_mc_1",
+                "answer": "A",
+            },
+        )
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_module"
+
+    def test_unenrolled_learner(self, client):
+        r = self._submit(client, learner="ghost")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_learner"
+
+    def test_unknown_activity_id(self, client):
+        self._join(client)
+        r = self._submit(client, activity_id="nope_99")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_activity"
+
+    @pytest.mark.parametrize(
+        "missing", ["cohort", "learner", "activity_id", "answer"]
+    )
+    def test_missing_fields(self, client, missing):
+        body = {
+            "cohort": "pi-2020",
+            "learner": "alice",
+            "activity_id": "sp_mc_1",
+            "answer": "A",
+        }
+        del body[missing]
+        r = client.post("/m/raspberry-pi-handout/submit", json_body=body)
+        assert r.status == 400 and r.json()["error"]["code"] == "bad_request"
+
+    def test_non_object_body(self, client):
+        r = client.post("/m/raspberry-pi-handout/submit", json_body=[1, 2])
+        assert r.status == 400
+
+    @pytest.mark.parametrize("answer", [None, 7, {"a": 1}, ["x"], "zzz"])
+    def test_untrusted_answer_shapes_never_500(self, client, answer):
+        """Arbitrary JSON answers grade (possibly wrong) or 400 — never 500."""
+        self._join(client)
+        r = self._submit(client, answer=answer)
+        assert r.status in (200, 400)
+        if r.status == 200:
+            assert r.json()["correct"] is False
+
+
+class TestInstructorSurfaces:
+    def test_gradebook_requires_key(self, client):
+        assert client.get("/gradebook/pi-2020").status == 403
+        wrong = client.get("/gradebook/pi-2020", headers=[("x-instructor-key", "no")])
+        assert wrong.status == 403
+
+    def test_gradebook_with_key(self, client):
+        client.post("/join/PI2020", json_body={"learner": "alice"})
+        doc = client.get("/gradebook/pi-2020", headers=INSTRUCTOR).json()
+        assert doc["learners"] == 1 and "alice" in doc["records"]
+
+    def test_gradebook_unknown_cohort(self, client):
+        r = client.get("/gradebook/ghost", headers=INSTRUCTOR)
+        assert r.status == 404
+
+    def test_edit_requires_key(self, client):
+        assert client.post("/m/raspberry-pi-handout/edit", json_body={}).status == 403
+
+    def test_edit_bumps_version(self, client):
+        doc = client.post(
+            "/m/raspberry-pi-handout/edit", json_body={}, headers=INSTRUCTOR
+        ).json()
+        assert doc["version"] == 2
+        assert client.get("/m/raspberry-pi-handout").json()["version"] == 2
+
+    def test_edit_unknown_module(self, client):
+        r = client.post("/m/ghost/edit", json_body={}, headers=INSTRUCTOR)
+        assert r.status == 404
+
+
+class TestRoutingAndMetrics:
+    def test_unknown_route(self, client):
+        r = client.get("/nope/deep/path")
+        assert r.status == 404 and r.json()["error"]["code"] == "unknown_route"
+
+    def test_wrong_method(self, client):
+        assert client.post("/healthz").status == 404
+
+    def test_metrics_provider_registration(self):
+        app = CourseApp(metrics_name="serve-test")
+        try:
+            Client(app).get("/healthz")
+            snap = snapshot_providers()
+            assert snap["serve-test"]["requests"] >= 1
+        finally:
+            app.close()
+        assert "serve-test" not in snapshot_providers()
+
+    def test_route_templates_not_raw_paths(self, app, client):
+        client.post("/join/PI2020", json_body={"learner": "a"})
+        routes = app.metrics.snapshot()["routes"]
+        assert "POST /join/<code>" in routes
+        assert all("/PI2020" not in route for route in routes)
+
+
+class TestTenantIsolation:
+    def test_cohorts_do_not_share_gradebooks(self, client):
+        client.post("/join/PI2020", json_body={"learner": "alice"})
+        client.post("/join/MPI2020", json_body={"learner": "mallory"})
+        pi = client.get("/gradebook/pi-2020", headers=INSTRUCTOR).json()
+        mpi = client.get("/gradebook/mpi-2020", headers=INSTRUCTOR).json()
+        assert set(pi["records"]) == {"alice"}
+        assert set(mpi["records"]) == {"mallory"}
+
+    def test_per_cohort_instructor_keys(self):
+        registry = demo_registry(instructor_key="sekrit")
+        app = CourseApp(registry, metrics_name=None)
+        try:
+            client = Client(app)
+            assert client.get("/gradebook/pi-2020", headers=INSTRUCTOR).status == 403
+            ok = client.get(
+                "/gradebook/pi-2020", headers=[("x-instructor-key", "sekrit")]
+            )
+            assert ok.status == 200
+        finally:
+            app.close()

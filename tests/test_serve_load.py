@@ -1,0 +1,177 @@
+"""Load harness + socket adapter: closed-loop learners, real HTTP smoke."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main
+from repro.runestone import build_raspberry_pi_module
+from repro.serve import CourseApp, answer_pool, run_load
+from repro.serve.httpd import start_background
+from repro.serve.load import _Collector, _timed
+
+
+class TestAnswerPool:
+    def test_covers_every_question(self):
+        module = build_raspberry_pi_module()
+        pool = answer_pool(module)
+        assert {aid for aid, _c, _w in pool} == {
+            q.activity_id for q in module.all_questions()
+        }
+
+    def test_correct_answers_actually_grade_correct(self):
+        module = build_raspberry_pi_module()
+        for activity_id, correct, wrong in answer_pool(module):
+            question = module.find_question(activity_id)
+            if correct is not None:  # pattern blanks only ship a wrong answer
+                assert question.grade(correct).correct is True
+            assert question.grade(wrong).correct is False
+
+
+class TestRunLoad:
+    def test_small_run_is_clean(self):
+        app = CourseApp(metrics_name=None)
+        try:
+            report = run_load(
+                app, learners=20, workers=4, reads=2, submit_questions=2,
+                gradebook_every=10, seed=3,
+            )
+        finally:
+            app.close()
+        assert report.errors == 0
+        assert report.requests > 20 * 3  # join + reads + submits each
+        assert report.latency_us.count == report.requests
+        assert report.throughput_rps > 0
+        assert set(report.route_latency_us) >= {
+            "POST /join/<code>", "GET /m/<id>", "POST /m/<id>/submit",
+        }
+        # Multi-tenant by construction: both demo cohorts saw learners.
+        assert app.registry.cohort("pi-2020").store.learners()
+        assert app.registry.cohort("mpi-2020").store.learners()
+
+    def test_owns_its_app_when_not_given_one(self):
+        report = run_load(learners=4, workers=2, reads=1, submit_questions=1,
+                          gradebook_every=0, seed=0)
+        assert report.errors == 0 and report.requests >= 8
+
+    def test_report_to_dict_is_json_serializable(self):
+        report = run_load(learners=4, workers=2, reads=1, submit_questions=1,
+                          gradebook_every=2, seed=0)
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["learners"] == 4
+        assert "p99_ms" in doc["latency"]
+        assert doc["server"]["cache"]["hits"] > 0
+
+    def test_render_mentions_the_vitals(self):
+        report = run_load(learners=4, workers=2, reads=1, submit_questions=1,
+                          gradebook_every=0, seed=0)
+        text = report.render()
+        assert "throughput" in text and "p99" in text and "cache" in text
+
+    def test_rejects_empty_registry(self):
+        from repro.serve.registry import CohortRegistry
+
+        app = CourseApp(CohortRegistry(), metrics_name=None, warm=False)
+        try:
+            with pytest.raises(ValueError, match="no cohorts"):
+                run_load(app, learners=1, workers=1)
+        finally:
+            app.close()
+
+
+class TestRetryOn503:
+    def test_timed_obeys_retry_after(self):
+        calls = {"n": 0}
+
+        class FlakyClient:
+            def request(self, method, target, **kwargs):
+                calls["n"] += 1
+                status = 503 if calls["n"] == 1 else 200
+
+                class R:
+                    pass
+
+                r = R()
+                r.status = status
+                r.headers = {"retry-after": "0"} if status == 503 else {}
+                return r
+
+        collector = _Collector()
+        response = _timed(collector, FlakyClient(), "GET /x", "GET", "/x")
+        assert response.status == 200 and calls["n"] == 2
+        assert collector.retries == 1 and collector.rejected == 1
+        assert collector.errors == 0  # 503s are shed load, not errors
+        assert collector.status_counts == {503: 1, 200: 1}
+
+
+class TestSocketServer:
+    def test_http_round_trip_over_a_real_socket(self):
+        app = CourseApp(metrics_name=None)
+        server, thread = start_background(app)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        try:
+            with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+                assert resp.status == 200
+                assert json.loads(resp.read())["status"] == "ok"
+            with urllib.request.urlopen(f"{base}/readyz", timeout=5) as resp:
+                assert json.loads(resp.read())["cohorts"] == 2
+
+            req = urllib.request.Request(
+                f"{base}/join/PI2020",
+                data=json.dumps({"learner": "socket-learner"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=5) as resp:
+                assert resp.status == 201
+
+            bad = urllib.request.Request(f"{base}/m/ghost", method="GET")
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                urllib.request.urlopen(bad, timeout=5)
+            doc = json.loads(exc.value.read())
+            assert exc.value.code == 404
+            assert doc["error"]["code"] == "unknown_module"
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            app.close()
+
+
+class TestServeLoadCli:
+    def test_cli_smoke_with_artifact(self, tmp_path, capsys):
+        out = tmp_path / "load.json"
+        rc = main([
+            "serve-load", "--learners", "6", "--workers", "2", "--reads", "1",
+            "--submit-questions", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "throughput" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["learners"] == 6 and doc["errors"] == 0
+
+    def test_cli_json_output(self, capsys):
+        rc = main([
+            "serve-load", "--learners", "4", "--workers", "2", "--reads", "1",
+            "--submit-questions", "1", "--json",
+        ])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["requests"] > 0
+
+
+@pytest.mark.slow
+class TestLoadAtScale:
+    def test_thousand_learners_sustained(self):
+        """The acceptance bar: ≥1k simulated learners, clean, in-process."""
+        report = run_load(learners=1000, workers=8, reads=2,
+                          submit_questions=3, gradebook_every=50, seed=0)
+        assert report.errors == 0
+        assert report.requests >= 1000 * 4
+        assert report.throughput_rps > 100
+        assert report.latency_us.percentile(99) > 0

@@ -1,0 +1,240 @@
+"""Middleware stack: deadlines, envelopes, latency, and backpressure."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import Client, CourseApp
+from repro.serve.asgi import HTTPError, json_response, run_app, send_response
+from repro.serve.middleware import (
+    Backpressure,
+    Deadline,
+    ErrorEnvelope,
+    Latency,
+    ServeMetrics,
+    check_deadline,
+)
+
+
+def ok_app(scope, receive, send):
+    send_response(send, json_response({"ok": True}))
+
+
+class TestCheckDeadline:
+    def test_no_deadline_is_fine(self):
+        check_deadline({})
+
+    def test_future_deadline_is_fine(self):
+        check_deadline({"deadline": time.monotonic() + 60})
+
+    def test_past_deadline_raises_504(self):
+        with pytest.raises(HTTPError) as exc:
+            check_deadline({"deadline": time.monotonic() - 0.01})
+        assert exc.value.status == 504 and exc.value.code == "deadline_exceeded"
+
+
+class TestErrorEnvelope:
+    def test_http_error_becomes_envelope(self):
+        def failing(scope, receive, send):
+            raise HTTPError(418, "teapot", "short and stout", retry_after=1.5)
+
+        metrics = ServeMetrics()
+        r = run_app(ErrorEnvelope(failing, metrics), "GET", "/x")
+        doc = r.json()["error"]
+        assert r.status == 418 and doc["code"] == "teapot"
+        assert r.header("retry-after") == "1.5"
+
+    def test_unexpected_exception_becomes_500(self):
+        def crashing(scope, receive, send):
+            raise RuntimeError("boom")
+
+        r = run_app(ErrorEnvelope(crashing, ServeMetrics()), "GET", "/x")
+        assert r.status == 500
+        assert r.json()["error"]["code"] == "internal"
+        assert "boom" in r.json()["error"]["message"]
+
+    def test_504_counts_deadline_hits(self):
+        def late(scope, receive, send):
+            raise HTTPError(504, "deadline_exceeded", "too late")
+
+        metrics = ServeMetrics()
+        run_app(ErrorEnvelope(late, metrics), "GET", "/x")
+        assert metrics.deadline_hits.count == 1
+
+
+class TestDeadline:
+    def test_stamps_scope(self):
+        seen = {}
+
+        def capture(scope, receive, send):
+            seen.update(scope)
+            send_response(send, json_response({}))
+
+        run_app(Deadline(capture, timeout_s=5.0), "GET", "/x")
+        assert seen["deadline"] > time.monotonic()
+
+    def test_late_response_suppressed_into_504(self):
+        """Work that finishes after its deadline answers 504, exactly once."""
+
+        def slow(scope, receive, send):
+            scope["deadline"] = time.monotonic() - 0.01  # already expired
+            send_response(send, json_response({"should": "not escape"}))
+
+        metrics = ServeMetrics()
+        stack = ErrorEnvelope(Deadline(slow, timeout_s=10.0), metrics)
+        r = run_app(stack, "GET", "/x")
+        assert r.status == 504
+        assert r.json()["error"]["code"] == "deadline_exceeded"
+        assert metrics.deadline_hits.count == 1
+
+
+class TestLatency:
+    def test_observes_route_and_status(self):
+        metrics = ServeMetrics()
+
+        def routed(scope, receive, send):
+            scope["route"] = "GET /thing"
+            send_response(send, json_response({}, status=201))
+
+        run_app(Latency(routed, metrics), "GET", "/thing/7")
+        snap = metrics.snapshot()
+        assert snap["requests"] == 1
+        assert snap["statuses"] == {"201": 1}
+        assert snap["routes"]["GET /thing"]["count"] == 1
+
+    def test_observes_even_when_inner_raises(self):
+        metrics = ServeMetrics()
+
+        def crashing(scope, receive, send):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_app(Latency(crashing, metrics), "GET", "/x")
+        assert metrics.requests.count == 1
+
+
+class TestBackpressure:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Backpressure(ok_app, ServeMetrics(), max_inflight=0)
+        with pytest.raises(ValueError):
+            Backpressure(ok_app, ServeMetrics(), max_queue=-1)
+
+    def test_pass_through_under_capacity(self):
+        bp = Backpressure(ok_app, ServeMetrics(), max_inflight=2, max_queue=2)
+        assert run_app(bp, "GET", "/x").status == 200
+        assert bp.depths() == (0, 0)
+
+    def test_saturation_sheds_with_503(self):
+        """Full inflight + full queue → immediate 503 with Retry-After."""
+        metrics = ServeMetrics()
+        release = threading.Event()
+        entered = threading.Semaphore(0)
+
+        def slow(scope, receive, send):
+            entered.release()
+            release.wait(5.0)
+            send_response(send, json_response({}))
+
+        bp = Backpressure(slow, metrics, max_inflight=1, max_queue=1,
+                          retry_after_s=0.25)
+        statuses: list[int] = []
+
+        def hit():
+            try:
+                statuses.append(run_app(bp, "GET", "/x").status)
+            except HTTPError as exc:
+                assert exc.retry_after == 0.25
+                statuses.append(exc.status)
+
+        threads = [threading.Thread(target=hit) for _ in range(4)]
+        first = threads[0]
+        first.start()
+        entered.acquire(timeout=5.0)  # the slow request is definitely inflight
+        for t in threads[1:]:
+            t.start()
+        # 1 running + 1 queued; the remaining 2 must shed quickly.
+        deadline = time.monotonic() + 5.0
+        while statuses.count(503) < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        release.set()
+        for t in threads:
+            t.join()
+
+        assert sorted(statuses) == [200, 200, 503, 503]
+        assert metrics.rejected.count == 2
+        assert metrics.queued.count == 1
+        assert metrics.peak_inflight == 1 and metrics.peak_queue == 1
+        assert bp.depths() == (0, 0)
+
+    def test_queued_request_respects_its_deadline(self):
+        """A queued request whose deadline passes is shed, not stuck."""
+        metrics = ServeMetrics()
+        release = threading.Event()
+
+        def slow(scope, receive, send):
+            release.wait(5.0)
+            send_response(send, json_response({}))
+
+        bp = Backpressure(slow, metrics, max_inflight=1, max_queue=4)
+        blocker = threading.Thread(
+            target=lambda: run_app(bp, "GET", "/x"), daemon=True
+        )
+        blocker.start()
+        deadline = time.monotonic() + 5.0
+        while bp.depths()[0] < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+
+        scope_deadline = time.monotonic() + 0.05
+        with pytest.raises(HTTPError) as exc:
+            bp._admit({"deadline": scope_deadline})
+        assert exc.value.status == 503
+        release.set()
+        blocker.join()
+
+
+class TestFullStack503:
+    def test_saturated_app_returns_503_with_retry_after(self):
+        app = CourseApp(metrics_name=None, max_inflight=1, max_queue=0)
+        try:
+            client = Client(app)
+            hold = threading.Event()
+            entered = threading.Semaphore(0)
+            inner_healthz = app._healthz
+
+            def slow_healthz(request):
+                entered.release()
+                hold.wait(5.0)
+                return inner_healthz(request)
+
+            app._healthz = slow_healthz
+            statuses: list[tuple[int, str | None]] = []
+
+            def hit():
+                r = client.get("/healthz")
+                statuses.append((r.status, r.headers.get("retry-after")))
+
+            threads = [threading.Thread(target=hit) for _ in range(3)]
+            threads[0].start()
+            entered.acquire(timeout=5.0)
+            for t in threads[1:]:
+                t.start()
+            deadline = time.monotonic() + 5.0
+            while sum(s == 503 for s, _ in statuses) < 2 and (
+                time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            hold.set()
+            for t in threads:
+                t.join()
+
+            assert sorted(s for s, _ in statuses) == [200, 503, 503]
+            shed = [ra for s, ra in statuses if s == 503]
+            assert all(ra is not None and float(ra) > 0 for ra in shed)
+            doc = client.get("/metricz").json()
+            assert doc["backpressure"]["rejected_total"] == 2
+        finally:
+            app.close()

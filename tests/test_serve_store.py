@@ -1,0 +1,242 @@
+"""Persistence: backends, snapshot/replay, and the concurrent-submit hammer."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.runestone import build_raspberry_pi_module
+from repro.serve.store import (
+    JsonlBackend,
+    MemoryBackend,
+    ProgressStore,
+    open_backend,
+)
+
+
+@pytest.fixture(scope="module")
+def module():
+    return build_raspberry_pi_module()
+
+
+@pytest.fixture()
+def store(module):
+    return ProgressStore(module)
+
+
+class TestBackends:
+    def test_memory_round_trip(self):
+        backend = MemoryBackend()
+        backend.append({"op": "enroll", "learner": "a"})
+        backend.append({"op": "enroll", "learner": "b"})
+        assert [r["learner"] for r in backend.replay()] == ["a", "b"]
+        backend.rewrite([{"op": "enroll", "learner": "c"}])
+        assert len(backend) == 1
+
+    def test_jsonl_round_trip(self, tmp_path):
+        backend = JsonlBackend(tmp_path / "log.jsonl")
+        backend.append({"op": "enroll", "learner": "a"})
+        backend.append({"op": "submit", "learner": "a", "answer": [1, 2]})
+        records = list(backend.replay())
+        assert records[1]["answer"] == [1, 2]
+
+    def test_jsonl_skips_torn_tail(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        backend = JsonlBackend(path)
+        backend.append({"op": "enroll", "learner": "a"})
+        with path.open("a") as fh:
+            fh.write('{"op": "enroll", "lear')  # crash mid-append
+        records = list(backend.replay())
+        assert len(records) == 1 and backend.skipped_lines == 1
+
+    def test_jsonl_rewrite_is_atomic(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        backend = JsonlBackend(path)
+        backend.append({"op": "enroll", "learner": "a"})
+        backend.rewrite([{"op": "enroll", "learner": "z"}])
+        assert not path.with_suffix(".jsonl.tmp").exists()
+        assert [r["learner"] for r in backend.replay()] == ["z"]
+
+    def test_jsonl_missing_file_replays_empty(self, tmp_path):
+        assert list(JsonlBackend(tmp_path / "none.jsonl").replay()) == []
+
+    def test_open_backend_factory(self, tmp_path):
+        assert isinstance(open_backend(None, None, "x"), MemoryBackend)
+        assert isinstance(open_backend("memory", None, "x"), MemoryBackend)
+        jb = open_backend("jsonl", str(tmp_path), "pi")
+        assert isinstance(jb, JsonlBackend) and jb.path.name == "pi.jsonl"
+        with pytest.raises(ValueError, match="unknown persistence"):
+            open_backend("sqlite", None, "x")
+
+
+class TestProgressStore:
+    def test_enroll_is_idempotent(self, store):
+        p1, created1 = store.enroll("alice")
+        p2, created2 = store.enroll("alice")
+        assert created1 and not created2 and p1 is p2
+        assert store.learners() == ["alice"]
+
+    def test_enroll_rejects_bad_names(self, store):
+        with pytest.raises(ValueError):
+            store.enroll("")
+        with pytest.raises(ValueError):
+            store.enroll(None)
+
+    def test_submit_requires_enrollment(self, store):
+        with pytest.raises(KeyError, match="not enrolled"):
+            store.submit("ghost", "sp_mc_1", "A")
+
+    def test_submit_journals_inside_the_lock(self, store):
+        store.enroll("alice")
+        store.submit("alice", "sp_mc_1", "A")
+        ops = [r["op"] for r in store.backend.replay()]
+        assert ops == ["enroll", "submit"]
+
+    def test_unjsonable_answer_degrades_to_repr(self, store):
+        store.enroll("alice")
+        store.submit("alice", "sp_mc_1", object())
+        record = list(store.backend.replay())[-1]
+        assert "__repr__" in record["answer"]
+        # The journal line itself must be serializable.
+        json.dumps(record)
+
+    def test_gradebook_report_shape(self, store):
+        store.enroll("alice")
+        store.submit("alice", "sp_mc_1", "zzz")  # wrong
+        report = store.gradebook_report()
+        assert report["learners"] == 1
+        assert report["records"]["alice"]["attempts"] == 1
+        assert report["hardest_questions"][0]["activity_id"] == "sp_mc_1"
+
+
+class TestSnapshotReplay:
+    def test_replay_reproduces_the_gradebook(self, module, tmp_path):
+        backend = JsonlBackend(tmp_path / "c.jsonl")
+        store = ProgressStore(module, backend)
+        store.enroll("alice")
+        store.submit("alice", "sp_mc_1", "A")
+        store.complete("alice", "1.1")
+        original = store.gradebook_report()
+
+        rebuilt = ProgressStore(module, JsonlBackend(tmp_path / "c.jsonl"))
+        assert rebuilt.replay() == 3
+        assert rebuilt.gradebook_report() == original
+
+    def test_replay_skips_unknown_ids(self, module):
+        backend = MemoryBackend()
+        backend.append({"op": "enroll", "learner": "a"})
+        backend.append({"op": "submit", "learner": "a", "activity_id": "gone_1",
+                        "answer": "A"})
+        backend.append({"op": "submit", "learner": "ghost", "activity_id": "sp_mc_1",
+                        "answer": "A"})
+        backend.append({"op": "dance"})
+        backend.append({"bad": "record"})
+        store = ProgressStore(module, backend)
+        assert store.replay() == 1  # just the enroll survives
+        assert store.learners() == ["a"]
+
+    def test_snapshot_compacts_and_preserves_state(self, module, tmp_path):
+        backend = JsonlBackend(tmp_path / "c.jsonl")
+        store = ProgressStore(module, backend)
+        store.enroll("alice")
+        for _ in range(5):
+            store.submit("alice", "sp_mc_1", "zzz")
+        before = store.gradebook_report()
+        kept = store.snapshot()
+        assert kept == 6  # 1 enroll + 5 attempts (attempt history is state)
+        rebuilt = ProgressStore(module, JsonlBackend(tmp_path / "c.jsonl"))
+        rebuilt.replay()
+        assert rebuilt.gradebook_report() == before
+
+
+class TestConcurrentSubmits:
+    """The satellite-1 regression: hammer submit; no attempt may be lost."""
+
+    THREADS = 8
+    PER_THREAD = 25
+
+    def test_same_learner_no_lost_attempts(self, store):
+        store.enroll("alice")
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(self.PER_THREAD):
+                store.submit("alice", "sp_mc_1", "A")
+
+        threads = [threading.Thread(target=hammer) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = self.THREADS * self.PER_THREAD
+        progress = store.progress("alice")
+        assert len(progress.attempts) == total
+        assert len(list(store.backend.replay())) == total + 1  # + enroll
+
+    def test_mixed_learners_and_enrolls(self, store):
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(worker: int):
+            name = f"learner-{worker % 4}"  # deliberate enroll collisions
+            barrier.wait()
+            store.enroll(name)
+            for _ in range(self.PER_THREAD):
+                store.submit(name, "sp_mc_1", "A")
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        report = store.gradebook_report()
+        assert report["learners"] == 4
+        total_attempts = sum(r["attempts"] for r in report["records"].values())
+        assert total_attempts == self.THREADS * self.PER_THREAD
+
+    def test_progress_submit_is_thread_safe_directly(self, module):
+        """LearnerProgress's own lock holds without the store layer."""
+        from repro.runestone.progress import LearnerProgress
+
+        progress = LearnerProgress("solo", module)
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    progress.submit("sp_mc_1", "A") for _ in range(self.PER_THREAD)
+                ]
+            )
+            for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(progress.attempts) == self.THREADS * self.PER_THREAD
+
+    def test_racing_gradebook_enrolls_one_winner(self, module):
+        from repro.runestone.progress import Gradebook
+
+        gradebook = Gradebook(module)
+        outcomes: list[str] = []
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait()
+            try:
+                gradebook.enroll("dup")
+                outcomes.append("won")
+            except ValueError:
+                outcomes.append("lost")
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert outcomes.count("won") == 1 and len(gradebook.records) == 1
