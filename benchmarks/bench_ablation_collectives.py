@@ -4,11 +4,22 @@ DESIGN.md calls out binomial-tree vs linear broadcast/reduce and recursive-
 doubling vs reduce+bcast allreduce.  These benches time both algorithms on
 the real thread-per-rank runtime (np=8, object payloads) so the tree
 algorithms' latency advantage is measured, not assumed.
+
+With the registry in :mod:`repro.mpi.algorithms` this file also races
+*every* registered algorithm per collective across message sizes, via the
+public ``algorithm=`` keyword — the numbers behind the cost model's
+crossover points.  ``python benchmarks/bench_ablation_collectives.py``
+writes the race as JSON (the CI collectives-matrix artifact).
 """
 
+import json
+import time
+from pathlib import Path
+
+import numpy as np
 import pytest
 
-from repro.mpi import SUM, mpirun
+from repro.mpi import ALGORITHMS, SUM, mpirun, run
 from repro.mpi.collectives import (
     allreduce_recursive_doubling,
     bcast_binomial,
@@ -21,6 +32,10 @@ from _report import emit
 
 NP = 8
 PAYLOAD = list(range(256))
+
+#: elements per rank for the algorithm race (float64: 8 B/element)
+RACE_COUNTS = (64, 4_096, 65_536)
+RACE_NP = 4
 
 
 def _bcast_with(algorithm):
@@ -79,13 +94,91 @@ class TestAllreduceAlgorithms:
         assert all(o == sum(range(NP)) for o in outs)
 
 
+# ---------------------------------------------------------------------------
+# Registry race: every algorithm x message size, through ``algorithm=``
+# ---------------------------------------------------------------------------
+
+def _race_body(comm, collective, algorithm, count, iters):
+    buf = np.arange(count, dtype=np.float64) + comm.Get_rank()
+    out = np.empty(count, dtype=np.float64)
+    comm.Allreduce(buf, out)  # warm the transport before timing
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        if collective == "allreduce":
+            comm.Allreduce(buf, out, SUM, algorithm=algorithm)
+        else:
+            comm.Bcast(buf, 0, algorithm=algorithm)
+    return time.perf_counter() - t0
+
+
+def _time_algorithm(collective, algorithm, count, iters=3):
+    times = run(_race_body, RACE_NP, collective, algorithm, count, iters)
+    return max(times) / iters  # a collective finishes with its slowest rank
+
+
+def race_algorithms(counts=RACE_COUNTS, collectives=("allreduce", "bcast")):
+    """Best-effort seconds-per-call for every (collective, algorithm, size)."""
+    rows = []
+    for collective in collectives:
+        for algorithm in ALGORITHMS[collective]:
+            for count in counts:
+                rows.append(
+                    {
+                        "collective": collective,
+                        "algorithm": algorithm,
+                        "count": count,
+                        "nbytes": count * 8,
+                        "np": RACE_NP,
+                        "seconds": _time_algorithm(collective, algorithm, count),
+                    }
+                )
+    return rows
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS["allreduce"]))
+def test_allreduce_algorithm_race(benchmark, algorithm):
+    result = benchmark(
+        lambda: _time_algorithm("allreduce", algorithm, 4_096, iters=1)
+    )
+    assert result >= 0.0
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS["bcast"]))
+def test_bcast_algorithm_race(benchmark, algorithm):
+    result = benchmark(
+        lambda: _time_algorithm("bcast", algorithm, 4_096, iters=1)
+    )
+    assert result >= 0.0
+
+
 def test_emit_algorithm_inventory(benchmark):
     benchmark(lambda: None)  # keep this collected under --benchmark-only
+    registry = "; ".join(
+        f"{coll}: {', '.join(algos)}" for coll, algos in ALGORITHMS.items()
+    )
     emit(
         "ablation_collectives",
         "Collective algorithm ablation (np=8, 256-element object payload):\n"
         "  bcast: binomial tree (default) vs linear root-sends-all\n"
         "  reduce: binomial tree (commutative default) vs linear rank-order\n"
         "  allreduce: recursive doubling (default) vs reduce+bcast\n"
-        "Timings in the pytest-benchmark table alongside this file.",
+        f"Selectable registry ({RACE_NP} ranks, float64 counts "
+        f"{RACE_COUNTS}): {registry}\n"
+        "Timings in the pytest-benchmark table alongside this file; the\n"
+        "full size sweep lands in results/ablation_race.json when this\n"
+        "file is run as a script.",
     )
+
+
+if __name__ == "__main__":
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    rows = race_algorithms()
+    out_path = results_dir / "ablation_race.json"
+    out_path.write_text(json.dumps({"schema": 1, "rows": rows}, indent=2) + "\n")
+    for row in rows:
+        print(
+            f"{row['collective']:<10} {row['algorithm']:<18} "
+            f"{row['nbytes']:>8} B  {row['seconds'] * 1e3:8.3f} ms"
+        )
+    print(f"\nwritten to {out_path}")

@@ -289,21 +289,25 @@ class _SiteRecorder:
 
 
 def _coll_msg_count(name: str, size: int) -> int:
-    """Messages one call of the collective moves, per the real algorithms."""
+    """Messages one call of the collective moves, per the real algorithms.
+
+    For collectives with selectable algorithms the count comes from the
+    registry's recorded schedule of whatever the runtime's object-verb
+    policy would pick (``resolve`` with ``nbytes=0``, honoring any
+    ``REPRO_COLL_ALGO`` override) — so the prediction tracks the actual
+    wire traffic even as algorithm defaults evolve.
+    """
     if size <= 1:
         return 0
-    if name in ("bcast", "reduce", "scatter", "gather", "scan", "exscan"):
+    from repro.mpi import algorithms as _mpi_algos
+
+    if name in _mpi_algos.ALGORITHMS:
+        algo = _mpi_algos.resolve(name, size=size, nbytes=0)
+        return _mpi_algos.message_count(name, algo, size)
+    if name in ("scatter", "gather", "scan", "exscan"):
         return size - 1
-    if name == "barrier":
-        return size * math.ceil(math.log2(size))
-    if name == "allgather":
-        return size * (size - 1)
     if name == "alltoall":
         return size * (size - 1)
-    if name == "allreduce":
-        pof2 = 1 << (size.bit_length() - 1)
-        rem = size - pof2
-        return 2 * rem + pof2 * int(math.log2(pof2))
     return size - 1
 
 
@@ -335,9 +339,8 @@ def _coll_bytes(name: str, size: int, payloads: list[int | None],
         per = sizes[root] / size
         return round((size - 1) * per)
     if name == "allgather":
-        # ring: each block travels size-1 hops wrapped as (idx, block)
-        wrap = len(pickle.dumps((size - 1, None))) - len(pickle.dumps(None))
-        return (size - 1) * sum(b + wrap for b in sizes)
+        # ring: each block travels size-1 hops, re-pickled bare per hop
+        return (size - 1) * sum(sizes)
     if name == "alltoall":
         return round((size - 1) * mean)
     if name == "allreduce":
@@ -349,10 +352,10 @@ def _cart_setup_bytes(size: int) -> int:
     """Ring-allgather traffic of ``Create_cart``'s membership triples.
 
     Every rank contributes ``(flag, rank, rank)`` and each block travels
-    ``size - 1`` hops wrapped as ``(index, block)`` — exactly what the
-    runtime's ``allgather_ring`` puts on the wire.
+    ``size - 1`` hops, pickled bare per hop — exactly what the runtime's
+    metadata-free ``allgather_ring`` puts on the wire.
     """
-    per_block = [len(pickle.dumps((r, (0, r, r)))) for r in range(size)]
+    per_block = [len(pickle.dumps((0, r, r))) for r in range(size)]
     return (size - 1) * sum(per_block)
 
 

@@ -50,8 +50,10 @@ from .rankset import (
 __all__ = [
     "SymbolicVerdict",
     "check_protocol_symbolic",
+    "check_schedule_symbolic",
     "launcher_preconditions",
     "ABSTAIN_REASONS",
+    "SCHEDULE_P_MAX",
 ]
 
 #: Reason codes the checker may abstain with, and what they mean.
@@ -284,4 +286,87 @@ def check_protocol_symbolic(
     verdict.universal = (
         verdict.reason is None and list(verdict.checked) == sizes
     )
+    return verdict
+
+
+# ---------------------------------------------------------------------------
+# Collective-algorithm schedules
+# ---------------------------------------------------------------------------
+
+#: Default verification bound for collective schedules.  Every registered
+#: algorithm's schedule shape is a pure function of (P, pof2-remainder,
+#: divisor structure); 2..66 covers each power-of-two boundary through 64
+#: plus both parities around it, so any deadlock a larger P could exhibit
+#: already appears inside this window.
+SCHEDULE_P_MAX = 66
+
+
+def _schedule_rank_traces(neutral: tuple) -> list:
+    """Convert :func:`repro.mpi.algorithms.schedule_traces` tuples into the
+    simulator's :class:`RankTrace` form (internal phases become tags)."""
+    from ..flow.protocol import Op, RankTrace
+
+    traces = []
+    for rank, ops in enumerate(neutral):
+        converted = []
+        for i, (kind, peer, phase) in enumerate(ops):
+            if kind == "send":
+                converted.append(Op(kind="send", line=i, dest=peer, tag=phase))
+            else:
+                converted.append(Op(kind="recv", line=i, source=peer, tag=phase))
+        traces.append(RankTrace(rank=rank, ops=converted))
+    return traces
+
+
+def check_schedule_symbolic(
+    collective: str,
+    algorithm: str,
+    *,
+    max_p: int = SCHEDULE_P_MAX,
+    root: int = 0,
+) -> SymbolicVerdict:
+    """Prove a registered collective algorithm deadlock-free for P >= 2.
+
+    Replays the algorithm's recorded message schedule (pure data, no real
+    transports) through the eager-buffered trace simulator at every world
+    size ``2 <= P <= max_p``.  Failures are stuck states (severity
+    ``error``) and unreceived messages (PDC112); the symmetric
+    send-before-recv *warning* (PDC103) is waived by construction — the
+    collective context is buffered-eager on both backends, so a schedule
+    in which every rank sends first cannot block.
+
+    ``universal=True`` means every size simulated clean: the schedules
+    are pure functions of (P, power-of-two remainder, divisor structure),
+    all of whose shapes occur within the window (see
+    :data:`SCHEDULE_P_MAX`).
+    """
+    from repro.mpi.algorithms import schedule_traces
+
+    verdict = SymbolicVerdict(cutoff=max_p)
+    merged: dict[tuple[str, int], ProtocolFinding] = {}
+    witness_sizes: dict[tuple[str, int], list[int]] = {}
+    for p in range(P_MIN, max_p + 1):
+        if root >= p:  # no such rank at this world size
+            verdict.excluded.append(p)
+            continue
+        neutral = schedule_traces(collective, algorithm, p, root)
+        traces = _schedule_rank_traces(neutral)
+        verdict.checked.append(p)
+        for finding in simulate(traces):
+            if finding.severity != "error" and finding.rule != "PDC112":
+                continue
+            key = (finding.rule, finding.line)
+            witness_sizes.setdefault(key, []).append(p)
+            if key not in merged:
+                details = dict(finding.details)
+                details["witness_p"] = p
+                merged[key] = ProtocolFinding(
+                    rule=finding.rule, line=finding.line,
+                    message=finding.message, severity=finding.severity,
+                    details=details,
+                )
+    for key, finding in merged.items():
+        finding.details["sizes"] = witness_sizes[key]
+    verdict.findings = sorted(merged.values(), key=lambda f: (f.line, f.rule))
+    verdict.universal = True
     return verdict

@@ -248,6 +248,49 @@ def _allreduce_buf(quick: bool, backend: str) -> Callable[[], Any]:
     return lambda: mpirun(_allreduce_body, 4, count, iters, backend=backend)
 
 
+def _allreduce_ring_body(comm, count: int, iters: int):
+    import numpy as np
+
+    total = np.empty(count, dtype=np.float64)
+    local = np.full(count, float(comm.Get_rank() + 1))
+    for _ in range(iters):
+        comm.Allreduce(local, total, algorithm="ring")
+    return float(total[0])
+
+
+def _allreduce_ring(quick: bool, backend: str) -> Callable[[], Any]:
+    """Four-rank chunked ring Allreduce — the bandwidth-optimal schedule.
+
+    Forces ``algorithm="ring"`` so the reduce-scatter + allgather path is
+    pinned regardless of what the cost model would auto-pick at this size.
+    """
+    from .mpi import mpirun
+
+    count, iters = (4_096, 5) if quick else (65_536, 20)
+    return lambda: mpirun(
+        _allreduce_ring_body, 4, count, iters, backend=backend
+    )
+
+
+def _bcast_binomial_body(comm, count: int, iters: int):
+    import numpy as np
+
+    buf = np.arange(count, dtype=np.float64)
+    for _ in range(iters):
+        comm.Bcast(buf, 0, algorithm="binomial")
+    return float(buf[-1])
+
+
+def _bcast_binomial_buf(quick: bool, backend: str) -> Callable[[], Any]:
+    """Four-rank binomial-tree buffer Bcast (log-depth fan-out)."""
+    from .mpi import mpirun
+
+    count, iters = (4_096, 5) if quick else (65_536, 20)
+    return lambda: mpirun(
+        _bcast_binomial_body, 4, count, iters, backend=backend
+    )
+
+
 def _hooks_off(quick: bool, _backend: str) -> Callable[[], Any]:
     """Instrumentation-off overhead guard: the hook fast path in a hot loop.
 
@@ -431,6 +474,8 @@ REGISTRY: tuple[BenchSpec, ...] = (
     BenchSpec("mpi_pingpong_obj", "mpi", _mpi_pingpong_obj),
     BenchSpec("mpi_pingpong_buf", "mpi", _mpi_pingpong_buf),
     BenchSpec("allreduce_buf", "mpi", _allreduce_buf),
+    BenchSpec("allreduce_ring", "mpi", _allreduce_ring),
+    BenchSpec("bcast_binomial_buf", "mpi", _bcast_binomial_buf),
     BenchSpec("hooks_off", "obs", _hooks_off),
     BenchSpec("lint_corpus", "analysis", _lint_corpus),
     BenchSpec("lint_corpus_parallel", "analysis", _lint_corpus_parallel),

@@ -57,12 +57,24 @@ from .serial import (
     serialized_totals,
 )
 from .tracing import CommTracer, MessageRecord, TraceReport, trace_run
+from .algorithms import ALGORITHMS, available, resolve
+from .communicators import (
+    COMMUNICATOR_NAMES,
+    CommunicatorView,
+    create_communicator,
+)
 from .request import Request
 from .runtime import Console, World, current_comm, run
 from .status import Status
 
 __all__ = [
     "MPI",
+    "ALGORITHMS",
+    "available",
+    "resolve",
+    "COMMUNICATOR_NAMES",
+    "CommunicatorView",
+    "create_communicator",
     "World",
     "Console",
     "run",

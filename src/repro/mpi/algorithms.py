@@ -1,0 +1,442 @@
+"""Selectable collective algorithms: registry, cost model, auto-pick.
+
+The communicator asks :func:`resolve` which algorithm to run for a
+collective; the answer comes from (in precedence order):
+
+1. the ``algorithm=`` keyword on the collective call,
+2. the ``REPRO_COLL_ALGO`` environment variable — either a bare algorithm
+   name (applied to every collective where it is registered) or a
+   comma-separated ``collective=algorithm`` list, e.g.
+   ``REPRO_COLL_ALGO=allreduce=ring,bcast=binomial``,
+3. an alpha-beta cost model over :mod:`repro.platforms.machine` that picks
+   the cheapest algorithm for the world size and message size at hand
+   (``REPRO_COLL_PLATFORM`` names the machine; default ``laptop``).
+
+Non-commutative ops silently downgrade ``commutative_only`` algorithms to
+their documented fallback so a forced ``REPRO_COLL_ALGO=recursive_doubling``
+can never produce wrong answers — the substitution is visible in the
+``coll_algo`` obs event.
+
+The registry also knows each algorithm's *message schedule* as pure data
+(:func:`schedule_traces`), which the symbolic protocol checker replays to
+prove deadlock-freedom for every world size — without this module ever
+importing the analysis layer.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable
+
+from . import collectives as _coll
+from .ops import Op
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "algorithm_cost",
+    "available",
+    "message_count",
+    "resolve",
+    "run_allgather",
+    "run_allreduce",
+    "run_bcast",
+    "run_reduce",
+    "schedule_traces",
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered implementation of a collective."""
+
+    name: str
+    commutative_only: bool = False
+    fallback: str = "linear"
+    # cost(size, nbytes, alpha, beta, chunked) -> predicted seconds
+    cost: Callable[[int, int, float, float, bool], float] | None = None
+
+
+def _lg(size: int) -> int:
+    return max(1, math.ceil(math.log2(size)))
+
+
+def _bcast_linear_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return (p - 1) * (a + n * b)
+
+
+def _bcast_binomial_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return _lg(p) * (a + n * b)
+
+
+def _bcast_scag_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    # scatter: (P-1) sends of n/P; ring allgather: (P-1) steps of n/P.
+    return 2 * (p - 1) * (a + (n / p) * b)
+
+
+def _reduce_linear_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return (p - 1) * (a + n * b)
+
+
+def _reduce_binomial_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return _lg(p) * (a + n * b)
+
+
+def _allreduce_linear_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return 2 * (p - 1) * (a + n * b)
+
+
+def _allreduce_rdouble_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    pof2 = 1 << (p.bit_length() - 1)
+    rounds = _lg(pof2) if pof2 > 1 else 0
+    extra = 2 if p != pof2 else 0
+    return (rounds + extra) * (a + n * b)
+
+
+def _allreduce_ring_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    if chunked:
+        return 2 * (p - 1) * (a + (n / p) * b)
+    # Atomic variant: ring allgather of whole values + local fold.
+    return (p - 1) * (a + n * b)
+
+
+def _allgather_ring_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    return (p - 1) * (a + n * b)
+
+
+def _allgather_linear_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    # Gather n-blocks to root, then broadcast the P·n result linearly.
+    return (p - 1) * (a + n * b) + (p - 1) * (a + p * n * b)
+
+
+def _barrier_dissemination_cost(p: int, n: int, a: float, b: float, chunked: bool) -> float:
+    # ceil(lg P) rounds of zero-byte token exchange: pure latency.
+    return _lg(p) * a
+
+
+# Per collective, in preference order: ties in the cost model resolve to the
+# earliest entry, which keeps the latency-optimal default for tiny payloads.
+ALGORITHMS: dict[str, dict[str, AlgorithmSpec]] = {
+    "bcast": {
+        "binomial": AlgorithmSpec("binomial", cost=_bcast_binomial_cost),
+        "scatter_allgather": AlgorithmSpec(
+            "scatter_allgather", cost=_bcast_scag_cost
+        ),
+        "linear": AlgorithmSpec("linear", cost=_bcast_linear_cost),
+    },
+    "reduce": {
+        "binomial": AlgorithmSpec(
+            "binomial", commutative_only=True, cost=_reduce_binomial_cost
+        ),
+        "linear": AlgorithmSpec("linear", cost=_reduce_linear_cost),
+    },
+    "allreduce": {
+        "recursive_doubling": AlgorithmSpec(
+            "recursive_doubling",
+            commutative_only=True,
+            cost=_allreduce_rdouble_cost,
+        ),
+        "ring": AlgorithmSpec("ring", cost=_allreduce_ring_cost),
+        "linear": AlgorithmSpec("linear", cost=_allreduce_linear_cost),
+    },
+    "allgather": {
+        "ring": AlgorithmSpec("ring", cost=_allgather_ring_cost),
+        "linear": AlgorithmSpec("linear", cost=_allgather_linear_cost),
+    },
+    "barrier": {
+        "dissemination": AlgorithmSpec(
+            "dissemination", cost=_barrier_dissemination_cost
+        ),
+    },
+}
+
+
+def available(collective: str) -> list[str]:
+    """Registered algorithm names for ``collective``, preference order."""
+    return list(ALGORITHMS[collective])
+
+
+def _machine() -> Any:
+    from ..platforms.machine import PLATFORMS
+
+    name = os.environ.get("REPRO_COLL_PLATFORM", "laptop")
+    platform = PLATFORMS.get(name) or PLATFORMS["laptop"]
+    # Clusters model inter-node links separately; the per-call alpha-beta
+    # pick uses the node-local figures (the hierarchical communicator is the
+    # topology-aware answer for clusters).
+    return getattr(platform, "node", platform)
+
+
+def algorithm_cost(
+    collective: str,
+    algorithm: str,
+    *,
+    size: int,
+    nbytes: int,
+    chunked: bool = False,
+    machine: Any | None = None,
+) -> float:
+    """Predicted seconds for one collective call under the alpha-beta model."""
+    spec = ALGORITHMS[collective][algorithm]
+    if spec.cost is None:
+        return 0.0
+    m = machine if machine is not None else _machine()
+    alpha = m.intra_latency_s
+    beta = 8.0 / (m.intra_bandwidth_gbps * 1e9)
+    return spec.cost(size, nbytes, alpha, beta, chunked)
+
+
+def _env_overrides() -> dict[str, str]:
+    raw = os.environ.get("REPRO_COLL_ALGO", "").strip()
+    if not raw:
+        return {}
+    overrides: dict[str, str] = {}
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            coll, _, algo = part.partition("=")
+            overrides[coll.strip()] = algo.strip()
+        else:
+            overrides["*"] = part
+    return overrides
+
+
+def resolve(
+    collective: str,
+    *,
+    size: int,
+    nbytes: int = 0,
+    commute: bool = True,
+    chunked: bool = False,
+    requested: str | None = None,
+    machine: Any | None = None,
+) -> str:
+    """Pick the algorithm for one collective call.
+
+    ``requested`` (the ``algorithm=`` keyword) wins over ``REPRO_COLL_ALGO``,
+    which wins over the cost-model auto-pick.  A bare-name env override is
+    ignored for collectives where the name is not registered; the
+    ``collective=name`` form is strict and raises on unknown names.  A
+    ``commutative_only`` algorithm requested for a non-commutative op
+    downgrades to its fallback.
+    """
+    table = ALGORITHMS[collective]
+    if requested is None:
+        env = _env_overrides()
+        if collective in env:
+            requested = env[collective]
+        elif env.get("*") in table:
+            requested = env["*"]
+    if requested is not None:
+        spec = table.get(requested)
+        if spec is None:
+            raise ValueError(
+                f"unknown {collective} algorithm {requested!r}; "
+                f"choose from {sorted(table)}"
+            )
+        if spec.commutative_only and not commute:
+            return spec.fallback
+        return requested
+    candidates = [
+        spec for spec in table.values() if commute or not spec.commutative_only
+    ]
+    if len(candidates) == 1:
+        return candidates[0].name
+    m = machine if machine is not None else _machine()
+    return min(
+        candidates,
+        key=lambda spec: algorithm_cost(
+            collective, spec.name, size=size, nbytes=nbytes, chunked=chunked,
+            machine=m,
+        ),
+    ).name
+
+
+# ---------------------------------------------------------------------------
+# Dispatch: one entry point per collective, shared by both backends.
+# ---------------------------------------------------------------------------
+
+
+def run_bcast(
+    algo: str,
+    rank: int,
+    size: int,
+    root: int,
+    payload: Any,
+    send: _coll.Send,
+    recv: _coll.Recv,
+    *,
+    split: _coll.Split | None = None,
+    concat: _coll.Concat | None = None,
+) -> Any:
+    if algo == "binomial":
+        return _coll.bcast_binomial(rank, size, root, payload, send, recv)
+    if algo == "scatter_allgather":
+        if split is None or concat is None or size == 1:
+            return _coll.bcast_binomial(rank, size, root, payload, send, recv)
+        return _coll.bcast_scatter_allgather(
+            rank, size, root, payload, send, recv, split=split, concat=concat
+        )
+    if algo == "linear":
+        return _coll.bcast_linear(rank, size, root, payload, send, recv)
+    raise ValueError(f"unknown bcast algorithm {algo!r}")
+
+
+def run_reduce(
+    algo: str,
+    rank: int,
+    size: int,
+    root: int,
+    value: Any,
+    op: Op,
+    send: _coll.Send,
+    recv: _coll.Recv,
+) -> Any:
+    if algo == "binomial":
+        return _coll.reduce_binomial(rank, size, root, value, op, send, recv)
+    if algo == "linear":
+        return _coll.reduce_linear(rank, size, root, value, op, send, recv)
+    raise ValueError(f"unknown reduce algorithm {algo!r}")
+
+
+def run_allreduce(
+    algo: str,
+    rank: int,
+    size: int,
+    value: Any,
+    op: Op,
+    send: _coll.Send,
+    recv: _coll.Recv,
+    *,
+    split: _coll.Split | None = None,
+    concat: _coll.Concat | None = None,
+) -> Any:
+    if algo == "recursive_doubling":
+        return _coll.allreduce_recursive_doubling(
+            rank, size, value, op, send, recv
+        )
+    if algo == "ring":
+        return _coll.allreduce_ring(
+            rank, size, value, op, send, recv, split=split, concat=concat
+        )
+    if algo == "linear":
+        return _coll.allreduce_linear(rank, size, value, op, send, recv)
+    raise ValueError(f"unknown allreduce algorithm {algo!r}")
+
+
+def run_allgather(
+    algo: str,
+    rank: int,
+    size: int,
+    value: Any,
+    send: _coll.Send,
+    recv: _coll.Recv,
+    *,
+    concat: _coll.Concat | None = None,
+) -> Any:
+    if algo == "ring":
+        return _coll.allgather_ring(rank, size, value, send, recv)
+    if algo == "linear":
+        return _coll.allgather_linear(
+            rank, size, value, send, recv, concat=concat
+        )
+    raise ValueError(f"unknown allgather algorithm {algo!r}")
+
+
+# ---------------------------------------------------------------------------
+# Message schedules as data: replayed by the symbolic protocol checker and
+# by the static cost model, never executed with real transports.
+# ---------------------------------------------------------------------------
+
+
+class _StubOp:
+    """Stand-in op for schedule recording: combines are free, shapes kept."""
+
+    commute = True
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return a
+
+    def reduce_sequence(self, values: Any) -> Any:
+        return next(iter(values), None)
+
+
+def _record_world(size: int, body: Callable[..., Any]) -> list[list[tuple]]:
+    """Run ``body(rank, size, send, recv)`` per rank with recording
+    transports and return per-rank neutral op tuples
+    ``("send", dest, phase)`` / ``("recv", source, phase)``.
+
+    The transports never block, so recording terminates even for schedules
+    that would deadlock — the *simulator* is what detects deadlock.
+    """
+    traces: list[list[tuple]] = []
+    for rank in range(size):
+        ops: list[tuple] = []
+
+        def send(dest: int, phase: int, payload: Any, _ops=ops) -> None:
+            _ops.append(("send", dest, phase))
+
+        def recv(source: int, phase: int, _ops=ops) -> Any:
+            _ops.append(("recv", source, phase))
+            return None
+
+        body(rank, size, send, recv)
+        traces.append(ops)
+    return traces
+
+
+def _stub_split(value: Any, n: int) -> list[Any]:
+    return [value] * n
+
+
+def _stub_concat(values: Any) -> Any:
+    return next(iter(values), None)
+
+
+@lru_cache(maxsize=None)
+def schedule_traces(
+    collective: str, algorithm: str, size: int, root: int = 0
+) -> tuple[tuple[tuple, ...], ...]:
+    """Record the point-to-point schedule of one collective algorithm.
+
+    Returns one tuple of neutral ops per rank; payloads are stubs, so the
+    schedule reflects control flow only.  Raises ``KeyError`` for
+    unregistered pairs.
+    """
+    if algorithm not in ALGORITHMS[collective]:
+        raise KeyError(f"{collective}/{algorithm} is not registered")
+    op = _StubOp()
+
+    if collective == "barrier":
+        body = lambda r, p, s, v: _coll.barrier_dissemination(r, p, s, v)
+    elif collective == "bcast":
+        body = lambda r, p, s, v: run_bcast(
+            algorithm, r, p, root, None, s, v,
+            split=_stub_split, concat=_stub_concat,
+        )
+    elif collective == "reduce":
+        body = lambda r, p, s, v: run_reduce(algorithm, r, p, root, None, op, s, v)
+    elif collective == "allreduce":
+        body = lambda r, p, s, v: run_allreduce(
+            algorithm, r, p, None, op, s, v,
+            split=_stub_split, concat=_stub_concat,
+        )
+    elif collective == "allgather":
+        body = lambda r, p, s, v: run_allgather(
+            algorithm, r, p, None, s, v, concat=_stub_concat
+        )
+    else:
+        raise KeyError(f"no schedule recorder for collective {collective!r}")
+    return tuple(tuple(ops) for ops in _record_world(size, body))
+
+
+@lru_cache(maxsize=None)
+def message_count(collective: str, algorithm: str, size: int) -> int:
+    """Total point-to-point messages one collective call induces."""
+    traces = schedule_traces(collective, algorithm, size)
+    return sum(1 for ops in traces for kind, *_ in ops if kind == "send")

@@ -15,6 +15,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from . import algorithms as _algos
 from . import collectives as coll
 from . import hooks as _hooks
 from .serial import counted_dumps
@@ -493,23 +494,55 @@ class Intracomm:
 
         return send, recv
 
+    def _pick(
+        self,
+        collective: str,
+        *,
+        nbytes: int = 0,
+        commute: bool = True,
+        chunked: bool = False,
+        requested: str | None = None,
+    ) -> str:
+        """Resolve the algorithm for one collective and record the choice.
+
+        Every rank must arrive at the same answer or the internal tags
+        mismatch, so the lowercase (object) verbs always resolve with
+        ``nbytes=0`` — pickled sizes can differ across ranks.  The buffer
+        verbs pass the typed byte count, which MPI semantics guarantee is
+        identical everywhere.
+        """
+        algo = _algos.resolve(
+            collective,
+            size=self._core.size,
+            nbytes=nbytes,
+            commute=commute,
+            chunked=chunked,
+            requested=requested,
+        )
+        if _hooks.enabled:
+            _hooks.emit("coll_algo", self._obs_cid, self._rank, collective, algo)
+        return algo
+
     # ----------------------------------------------------------- collectives (obj)
     @_hooks.traced_collective
     def barrier(self) -> None:
         """Block until every rank of the communicator has arrived."""
+        self._pick("barrier")
         send, recv = self._transports()
         coll.barrier_dissemination(self._rank, self._core.size, send, recv)
 
     Barrier = barrier
 
     @_hooks.traced_collective
-    def bcast(self, obj: Any, root: int = 0) -> Any:
+    def bcast(self, obj: Any, root: int = 0, *, algorithm: str | None = None) -> Any:
         """Broadcast a Python object from ``root`` to every rank."""
         self._check_peer(root, wildcard=False, what="root")
+        algo = self._pick("bcast", requested=algorithm)
         send, recv = self._transports()
         payload = counted_dumps(obj) if self._rank == root else None
-        result = coll.bcast_binomial(
-            self._rank, self._core.size, root, payload, send, recv
+        result = _algos.run_bcast(
+            algo, self._rank, self._core.size, root, payload, send, recv,
+            split=coll.split_bytes, concat=b"".join,
         )
         return obj if self._rank == root else pickle.loads(result)
 
@@ -536,10 +569,13 @@ class Intracomm:
         return coll.gather_linear(self._rank, self._core.size, root, sendobj, send, recv)
 
     @_hooks.traced_collective
-    def allgather(self, sendobj: Any) -> list[Any]:
+    def allgather(self, sendobj: Any, *, algorithm: str | None = None) -> list[Any]:
         """Gather one object per rank; every rank gets the full list."""
+        algo = self._pick("allgather", requested=algorithm)
         send, recv = self._obj_transports()
-        return coll.allgather_ring(self._rank, self._core.size, sendobj, send, recv)
+        return _algos.run_allgather(
+            algo, self._rank, self._core.size, sendobj, send, recv
+        )
 
     @_hooks.traced_collective
     def alltoall(self, sendobj: Sequence[Any]) -> list[Any]:
@@ -552,33 +588,32 @@ class Intracomm:
         return coll.alltoall_pairwise(self._rank, self._core.size, list(sendobj), send, recv)
 
     @_hooks.traced_collective
-    def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
+    def reduce(
+        self,
+        sendobj: Any,
+        op: Op = SUM,
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
         """Combine one value per rank with ``op``; result lands at root."""
         self._check_peer(root, wildcard=False, what="root")
+        algo = self._pick("reduce", commute=op.commute, requested=algorithm)
         send, recv = self._obj_transports()
-        if op.commute:
-            return coll.reduce_binomial(
-                self._rank, self._core.size, root, sendobj, op, send, recv
-            )
-        return coll.reduce_linear(
-            self._rank, self._core.size, root, sendobj, op, send, recv
+        return _algos.run_reduce(
+            algo, self._rank, self._core.size, root, sendobj, op, send, recv
         )
 
     @_hooks.traced_collective
-    def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
+    def allreduce(
+        self, sendobj: Any, op: Op = SUM, *, algorithm: str | None = None
+    ) -> Any:
         """Reduce then deliver the result to every rank."""
+        algo = self._pick("allreduce", commute=op.commute, requested=algorithm)
         send, recv = self._obj_transports()
-        if op.commute:
-            return coll.allreduce_recursive_doubling(
-                self._rank, self._core.size, sendobj, op, send, recv
-            )
-        result = coll.reduce_linear(
-            self._rank, self._core.size, 0, sendobj, op, send, recv
+        return _algos.run_allreduce(
+            algo, self._rank, self._core.size, sendobj, op, send, recv
         )
-        send2, recv2 = self._transports()
-        payload = counted_dumps(result) if self._rank == 0 else None
-        out = coll.bcast_binomial(self._rank, self._core.size, 0, payload, send2, recv2)
-        return result if self._rank == 0 else pickle.loads(out)
 
     @_hooks.traced_collective
     def scan(self, sendobj: Any, op: Op = SUM) -> Any:
@@ -593,15 +628,25 @@ class Intracomm:
         return coll.exscan_linear(self._rank, self._core.size, sendobj, op, send, recv)
 
     # -------------------------------------------------------- collectives (buffer)
+    @staticmethod
+    def _array_split(values: Any, n: int) -> list[Any]:
+        return list(np.array_split(values, n))
+
     @_hooks.traced_collective
-    def Bcast(self, buf: Any, root: int = 0) -> None:
+    def Bcast(self, buf: Any, root: int = 0, *, algorithm: str | None = None) -> None:
         """Broadcast a typed buffer in place."""
         self._check_peer(root, wildcard=False, what="root")
         spec = parse_buffer(buf)
+        algo = self._pick(
+            "bcast",
+            nbytes=spec.count * spec.array.dtype.itemsize,
+            requested=algorithm,
+        )
         send, recv = self._transports()
         payload = spec.data() if self._rank == root else None
-        values = coll.bcast_binomial(
-            self._rank, self._core.size, root, payload, send, recv
+        values = _algos.run_bcast(
+            algo, self._rank, self._core.size, root, payload, send, recv,
+            split=self._array_split, concat=np.concatenate,
         )
         if self._rank != root:
             self._fill_array(spec, values)
@@ -665,22 +710,31 @@ class Intracomm:
         parts = coll.gather_linear(self._rank, size, root, sspec.data(), send, recv)
         if self._rank == root:
             vspec = parse_vector_buffer(recvbuf, size)
-            for part, c, d in zip(parts, vspec.counts, vspec.displs):
+            for src, (part, c, d) in enumerate(
+                zip(parts, vspec.counts, vspec.displs)
+            ):
                 arr = np.asarray(part)
                 if arr.size != c:
                     raise InvalidCountError(
-                        f"Gatherv: received {arr.size} elements where counts "
-                        f"specify {c}"
+                        f"Gatherv: rank {src} sent {arr.size} elements where "
+                        f"counts specify {c} at displacement {d}"
                     )
                 vspec.array[d : d + c] = arr.astype(vspec.datatype.np_dtype, copy=False)
 
     @_hooks.traced_collective
-    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+    def Allgather(
+        self, sendbuf: Any, recvbuf: Any, *, algorithm: str | None = None
+    ) -> None:
         """All ranks gather everyone's chunk into their own buffer."""
-        send, recv = self._transports()
         sspec = parse_buffer(sendbuf)
-        parts = coll.allgather_ring(
-            self._rank, self._core.size, sspec.data(), send, recv
+        algo = self._pick(
+            "allgather",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            requested=algorithm,
+        )
+        send, recv = self._transports()
+        parts = _algos.run_allgather(
+            algo, self._rank, self._core.size, sspec.data(), send, recv
         )
         self._place_parts(parse_buffer(recvbuf), parts, uniform=True)
 
@@ -701,39 +755,58 @@ class Intracomm:
         self._place_parts(parse_buffer(recvbuf), parts, uniform=True)
 
     @_hooks.traced_collective
-    def Reduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0) -> None:
+    def Reduce(
+        self,
+        sendbuf: Any,
+        recvbuf: Any,
+        op: Op = SUM,
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
+    ) -> None:
         """Elementwise typed reduction to root."""
         self._check_peer(root, wildcard=False, what="root")
-        send, recv = self._transports()
         sspec = parse_buffer(sendbuf)
-        if op.commute:
-            result = coll.reduce_binomial(
-                self._rank, self._core.size, root, sspec.data(), op, send, recv
-            )
-        else:
-            result = coll.reduce_linear(
-                self._rank, self._core.size, root, sspec.data(), op, send, recv
-            )
+        algo = self._pick(
+            "reduce",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            commute=op.commute,
+            requested=algorithm,
+        )
+        send, recv = self._transports()
+        result = _algos.run_reduce(
+            algo, self._rank, self._core.size, root, sspec.data(), op, send, recv
+        )
         if self._rank == root:
             self._fill_array(parse_buffer(recvbuf), result)
 
     @_hooks.traced_collective
-    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+    def Allreduce(
+        self,
+        sendbuf: Any,
+        recvbuf: Any,
+        op: Op = SUM,
+        *,
+        algorithm: str | None = None,
+    ) -> None:
         """Elementwise typed reduction delivered to every rank."""
-        send, recv = self._transports()
         sspec = parse_buffer(sendbuf)
-        if op.commute:
-            result = coll.allreduce_recursive_doubling(
-                self._rank, self._core.size, sspec.data(), op, send, recv
-            )
-        else:
-            result = coll.reduce_linear(
-                self._rank, self._core.size, 0, sspec.data(), op, send, recv
-            )
-            send2, recv2 = self._transports()
-            result = coll.bcast_binomial(
-                self._rank, self._core.size, 0, result, send2, recv2
-            )
+        # Chunking splits the array across the ring; only sound when the op
+        # combines elementwise (MAXLOC-style pair ops must stay whole).
+        chunkable = op.commute and op.elementwise and self._core.size > 1
+        algo = self._pick(
+            "allreduce",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            commute=op.commute,
+            chunked=chunkable,
+            requested=algorithm,
+        )
+        send, recv = self._transports()
+        result = _algos.run_allreduce(
+            algo, self._rank, self._core.size, sspec.data(), op, send, recv,
+            split=self._array_split if chunkable else None,
+            concat=np.concatenate if chunkable else None,
+        )
         self._fill_array(parse_buffer(recvbuf), result)
 
     def _fill_array(self, spec: BufferSpec, values: Any) -> None:
@@ -747,11 +820,13 @@ class Intracomm:
 
     def _place_parts(self, rspec: BufferSpec, parts: Sequence[Any], uniform: bool) -> None:
         offset = 0
-        for part in parts:
+        for src, part in enumerate(parts):
             arr = np.asarray(part)
             if offset + arr.size > len(rspec.array):
                 raise TruncationError(
-                    "gathered data exceeds the receive buffer capacity"
+                    f"gathered data exceeds the receive buffer capacity: rank "
+                    f"{src}'s part of {arr.size} elements at offset {offset} "
+                    f"overflows the {len(rspec.array)}-element buffer"
                 )
             rspec.array[offset : offset + arr.size] = arr.astype(
                 rspec.datatype.np_dtype, copy=False

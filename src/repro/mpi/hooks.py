@@ -18,6 +18,8 @@ source, tag                      (``source``/``tag`` may be wildcards)
 source, tag, nbytes
 ``coll_enter``, cid, rank, name  calling rank entered collective ``name``
 ``coll_exit``, cid, rank, name   the collective completed on this rank
+``coll_algo``, cid, rank,        the algorithm this rank resolved for the
+name, algo                       collective (auto-pick, env, or keyword)
 ``coll_msg``, cid, src, dest,    one internal collective-transport message
 nbytes
 ``wait_enter``, cid, rank        calling rank is blocking in a request wait

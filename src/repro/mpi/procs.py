@@ -59,10 +59,13 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from . import algorithms as _algos
+from . import collectives as _coll_algos
 from . import hooks as _hooks
 from . import serial as _serial
 from . import shm as _shm
 from .buffers import BufferSpec, parse_buffer
+from .comm import _PHASE_SPAN
 from .constants import ANY_SOURCE, ANY_TAG, DEFAULT_DEADLOCK_TIMEOUT, PROC_NULL
 from .errors import (
     DeadlockError,
@@ -446,8 +449,84 @@ class ProcComm:
         self._coll_seq += 1
         return self._coll_seq
 
-    def _coll_send(self, dest: int, seq: int, payload: Any) -> None:
-        self._post_obj(dest, "coll", seq, payload)
+    def _pick(
+        self,
+        collective: str,
+        *,
+        nbytes: int = 0,
+        commute: bool = True,
+        chunked: bool = False,
+        requested: str | None = None,
+    ) -> str:
+        """Resolve the collective algorithm and record the pick (see
+        :meth:`repro.mpi.comm.Intracomm._pick` for the rank-consistency
+        rules; the same contract applies here)."""
+        algo = _algos.resolve(
+            collective,
+            size=self._size,
+            nbytes=nbytes,
+            commute=commute,
+            chunked=chunked,
+            requested=requested,
+        )
+        if _hooks.enabled:
+            _hooks.emit("coll_algo", self._obs_cid, self._rank, collective, algo)
+        return algo
+
+    def _transports(self, seq: int):
+        """Raw (bytes) transport callbacks for one collective call.
+
+        Keys are ``seq * _PHASE_SPAN + phase`` — the same internal tag
+        scheme as the threaded backend — so multi-phase algorithms never
+        cross-match and bare-seq keys from other collectives can't collide.
+        """
+
+        def send(dest: int, phase: int, payload: Any) -> None:
+            self._post_raw(
+                dest,
+                "coll",
+                seq * _PHASE_SPAN + phase,
+                payload,
+                self._payload_nbytes(payload),
+            )
+
+        def recv(source: int, phase: int) -> Any:
+            payload = self._coll_recv_raw(seq * _PHASE_SPAN + phase, source)
+            if isinstance(payload, BufferHandle):
+                raise TypeError(
+                    "object collective matched a typed-buffer collective; "
+                    "call the same verb case on every rank"
+                )
+            return payload
+
+        return send, recv
+
+    def _obj_transports(self, seq: int):
+        """Pickling transport: every delivery is a private deep copy."""
+        send_raw, recv_raw = self._transports(seq)
+
+        def send(dest: int, phase: int, payload: Any) -> None:
+            send_raw(dest, phase, _serial.counted_dumps(payload))
+
+        def recv(source: int, phase: int) -> Any:
+            return pickle.loads(recv_raw(source, phase))
+
+        return send, recv
+
+    def _buf_transports(self, seq: int):
+        """Typed-array transport over shared-memory handles (never pickles)."""
+
+        def send(dest: int, phase: int, values: Any) -> None:
+            values = np.ascontiguousarray(values)
+            handle = self._ship_edge(values, dest)
+            self._post_raw(
+                dest, "coll", seq * _PHASE_SPAN + phase, handle, values.nbytes
+            )
+
+        def recv(source: int, phase: int) -> np.ndarray:
+            return self._coll_recv_buf(seq * _PHASE_SPAN + phase, source)
+
+        return send, recv
 
     def _coll_recv_raw(self, seq: int, source: int) -> Any:
         while True:
@@ -456,15 +535,6 @@ class ProcComm:
                     del self._coll[idx]
                     return payload
             self._pump()
-
-    def _coll_recv(self, seq: int, source: int) -> Any:
-        payload = self._coll_recv_raw(seq, source)
-        if isinstance(payload, BufferHandle):
-            raise TypeError(
-                "object collective matched a typed-buffer collective; call "
-                "the same verb case on every rank"
-            )
-        return pickle.loads(payload)
 
     def _coll_recv_buf(self, seq: int, source: int) -> np.ndarray:
         payload = self._coll_recv_raw(seq, source)
@@ -521,93 +591,125 @@ class ProcComm:
 
     @_hooks.traced_collective
     def barrier(self) -> None:
+        self._pick("barrier")
         seq = self._next_seq()
-        if self._rank == 0:
-            for r in range(1, self._size):
-                self._coll_recv(seq, r)
-            for r in range(1, self._size):
-                self._coll_send(r, seq, None)
-        else:
-            self._coll_send(0, seq, None)
-            self._coll_recv(seq, 0)
+        send, recv = self._transports(seq)
+        _coll_algos.barrier_dissemination(self._rank, self._size, send, recv)
 
     Barrier = barrier
 
     @_hooks.traced_collective
-    def bcast(self, obj: Any, root: int = 0) -> Any:
+    def bcast(self, obj: Any, root: int = 0, *, algorithm: str | None = None) -> Any:
         self._check_peer(root, wildcard=False, what="root")
+        algo = self._pick("bcast", requested=algorithm)
         seq = self._next_seq()
-        if self._rank == root:
-            for r in range(self._size):
-                if r != root:
-                    self._coll_send(r, seq, obj)
-            return obj
-        return self._coll_recv(seq, root)
+        send, recv = self._transports(seq)
+        payload = _serial.counted_dumps(obj) if self._rank == root else None
+        result = _algos.run_bcast(
+            algo, self._rank, self._size, root, payload, send, recv,
+            split=_coll_algos.split_bytes, concat=b"".join,
+        )
+        return obj if self._rank == root else pickle.loads(result)
 
     @_hooks.traced_collective
     def scatter(self, sendobj: Sequence[Any] | None, root: int = 0) -> Any:
         self._check_peer(root, wildcard=False, what="root")
         seq = self._next_seq()
+        send, recv = self._obj_transports(seq)
+        chunks = None
         if self._rank == root:
-            parts = list(sendobj)  # type: ignore[arg-type]
-            if len(parts) != self._size:
+            chunks = list(sendobj)  # type: ignore[arg-type]
+            if len(chunks) != self._size:
                 raise ValueError(
-                    f"scatter needs exactly {self._size} items, got {len(parts)}"
+                    f"scatter needs exactly {self._size} items, got {len(chunks)}"
                 )
-            for r in range(self._size):
-                if r != root:
-                    self._coll_send(r, seq, parts[r])
-            return parts[root]
-        return self._coll_recv(seq, root)
+        return _coll_algos.scatter_linear(
+            self._rank, self._size, root, chunks, send, recv
+        )
 
     @_hooks.traced_collective
     def gather(self, sendobj: Any, root: int = 0) -> list[Any] | None:
         self._check_peer(root, wildcard=False, what="root")
         seq = self._next_seq()
-        if self._rank == root:
-            out = [None] * self._size
-            out[root] = sendobj
-            for r in range(self._size):
-                if r != root:
-                    out[r] = self._coll_recv(seq, r)
-            return out
-        self._coll_send(root, seq, sendobj)
-        return None
+        send, recv = self._obj_transports(seq)
+        return _coll_algos.gather_linear(
+            self._rank, self._size, root, sendobj, send, recv
+        )
 
     @_hooks.traced_collective
-    def allgather(self, sendobj: Any) -> list[Any]:
-        gathered = self.gather(sendobj, root=0)
-        return self.bcast(gathered, root=0)
+    def allgather(self, sendobj: Any, *, algorithm: str | None = None) -> list[Any]:
+        algo = self._pick("allgather", requested=algorithm)
+        seq = self._next_seq()
+        send, recv = self._obj_transports(seq)
+        return _algos.run_allgather(algo, self._rank, self._size, sendobj, send, recv)
 
     @_hooks.traced_collective
-    def reduce(self, sendobj: Any, op: Op = SUM, root: int = 0) -> Any:
-        gathered = self.gather(sendobj, root=root)
-        if gathered is None:
-            return None
-        acc = gathered[0]
-        for value in gathered[1:]:
-            acc = op(acc, value)
-        return acc
+    def reduce(
+        self,
+        sendobj: Any,
+        op: Op = SUM,
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
+    ) -> Any:
+        self._check_peer(root, wildcard=False, what="root")
+        algo = self._pick("reduce", commute=op.commute, requested=algorithm)
+        seq = self._next_seq()
+        send, recv = self._obj_transports(seq)
+        return _algos.run_reduce(
+            algo, self._rank, self._size, root, sendobj, op, send, recv
+        )
 
     @_hooks.traced_collective
-    def allreduce(self, sendobj: Any, op: Op = SUM) -> Any:
-        reduced = self.reduce(sendobj, op=op, root=0)
-        return self.bcast(reduced, root=0)
+    def allreduce(
+        self, sendobj: Any, op: Op = SUM, *, algorithm: str | None = None
+    ) -> Any:
+        algo = self._pick("allreduce", commute=op.commute, requested=algorithm)
+        seq = self._next_seq()
+        send, recv = self._obj_transports(seq)
+        return _algos.run_allreduce(
+            algo, self._rank, self._size, sendobj, op, send, recv
+        )
 
     # -- collectives (buffer) ------------------------------------------------
+    @staticmethod
+    def _array_split(values: Any, n: int) -> list[np.ndarray]:
+        return list(np.array_split(values, n))
+
     @_hooks.traced_collective
-    def Bcast(self, buf: Any, root: int = 0) -> None:
-        """Broadcast a typed buffer in place over one shared segment."""
+    def Bcast(self, buf: Any, root: int = 0, *, algorithm: str | None = None) -> None:
+        """Broadcast a typed buffer in place.
+
+        The ``linear`` algorithm keeps the one-segment root fanout (every
+        destination handle points into a single shared segment); the tree
+        and scatter-allgather algorithms route through the generic
+        per-edge buffer transport.
+        """
         self._check_peer(root, wildcard=False, what="root")
         spec = parse_buffer(buf)
+        algo = self._pick(
+            "bcast",
+            nbytes=spec.count * spec.array.dtype.itemsize,
+            requested=algorithm,
+        )
         seq = self._next_seq()
-        if self._rank == root:
-            values = spec.array[: spec.count]
-            count = spec.count
-            pieces = [(r, 0, count) for r in range(self._size) if r != root]
-            self._coll_fanout(seq, values, pieces)
+        if algo == "linear":
+            if self._rank == root:
+                values = spec.array[: spec.count]
+                count = spec.count
+                pieces = [(r, 0, count) for r in range(self._size) if r != root]
+                self._coll_fanout(seq * _PHASE_SPAN, values, pieces)
+                return
+            self._fill_spec(spec, self._coll_recv_buf(seq * _PHASE_SPAN, root))
             return
-        self._fill_spec(spec, self._coll_recv_buf(seq, root))
+        send, recv = self._buf_transports(seq)
+        payload = spec.array[: spec.count] if self._rank == root else None
+        values = _algos.run_bcast(
+            algo, self._rank, self._size, root, payload, send, recv,
+            split=self._array_split, concat=np.concatenate,
+        )
+        if self._rank != root:
+            self._fill_spec(spec, np.asarray(values))
 
     @_hooks.traced_collective
     def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
@@ -627,10 +729,10 @@ class ProcComm:
             pieces = [
                 (r, r * n, (r + 1) * n) for r in range(self._size) if r != root
             ]
-            self._coll_fanout(seq, values, pieces)
+            self._coll_fanout(seq * _PHASE_SPAN, values, pieces)
             self._fill_spec(rspec, values[root * n : (root + 1) * n].copy())
             return
-        self._fill_spec(rspec, self._coll_recv_buf(seq, root))
+        self._fill_spec(rspec, self._coll_recv_buf(seq * _PHASE_SPAN, root))
 
     @_hooks.traced_collective
     def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
@@ -638,61 +740,103 @@ class ProcComm:
         self._check_peer(root, wildcard=False, what="root")
         sspec = parse_buffer(sendbuf)
         seq = self._next_seq()
+        send, recv = self._buf_transports(seq)
         values = sspec.array[: sspec.count]
-        if self._rank != root:
-            handle = self._ship_edge(values, root)
-            self._post_raw(root, "coll", seq, handle, sspec.nbytes)
-            return
-        rspec = parse_buffer(recvbuf)
-        parts: list[np.ndarray] = [None] * self._size  # type: ignore[list-item]
-        parts[root] = values
-        for r in range(self._size):
-            if r != root:
-                parts[r] = self._coll_recv_buf(seq, r)
-        self._place_parts(rspec, parts)
+        parts = _coll_algos.gather_linear(
+            self._rank, self._size, root, values, send, recv
+        )
+        if self._rank == root:
+            self._place_parts(parse_buffer(recvbuf), parts)
 
     @_hooks.traced_collective
-    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+    def Allgather(
+        self, sendbuf: Any, recvbuf: Any, *, algorithm: str | None = None
+    ) -> None:
         """All ranks gather everyone's chunk into their own buffer."""
-        self.Gather(sendbuf, recvbuf, root=0)
-        self.Bcast(recvbuf, root=0)
+        sspec = parse_buffer(sendbuf)
+        algo = self._pick(
+            "allgather",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            requested=algorithm,
+        )
+        seq = self._next_seq()
+        send, recv = self._buf_transports(seq)
+        parts = _algos.run_allgather(
+            algo, self._rank, self._size, sspec.array[: sspec.count], send, recv,
+            concat=np.concatenate,
+        )
+        rspec = parse_buffer(recvbuf)
+        if isinstance(parts, list):
+            self._place_parts(rspec, parts)
+        else:
+            self._fill_spec(rspec, np.asarray(parts))
 
     @_hooks.traced_collective
     def Reduce(
-        self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0
+        self,
+        sendbuf: Any,
+        recvbuf: Any,
+        op: Op = SUM,
+        root: int = 0,
+        *,
+        algorithm: str | None = None,
     ) -> None:
         """Elementwise typed reduction to root (combined in rank order)."""
         self._check_peer(root, wildcard=False, what="root")
         sspec = parse_buffer(sendbuf)
+        algo = self._pick(
+            "reduce",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            commute=op.commute,
+            requested=algorithm,
+        )
         seq = self._next_seq()
-        values = sspec.array[: sspec.count]
-        if self._rank != root:
-            handle = self._ship_edge(values, root)
-            self._post_raw(root, "coll", seq, handle, sspec.nbytes)
-            return
-        parts: list[np.ndarray] = [None] * self._size  # type: ignore[list-item]
-        parts[root] = values.copy()
-        for r in range(self._size):
-            if r != root:
-                parts[r] = self._coll_recv_buf(seq, r)
-        acc = parts[0]
-        for part in parts[1:]:
-            acc = op(acc, part)
-        self._fill_spec(parse_buffer(recvbuf), np.asarray(acc))
+        send, recv = self._buf_transports(seq)
+        result = _algos.run_reduce(
+            algo, self._rank, self._size, root,
+            sspec.array[: sspec.count], op, send, recv,
+        )
+        if self._rank == root:
+            self._fill_spec(parse_buffer(recvbuf), np.asarray(result))
 
     @_hooks.traced_collective
-    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+    def Allreduce(
+        self,
+        sendbuf: Any,
+        recvbuf: Any,
+        op: Op = SUM,
+        *,
+        algorithm: str | None = None,
+    ) -> None:
         """Elementwise typed reduction delivered to every rank."""
-        self.Reduce(sendbuf, recvbuf, op=op, root=0)
-        self.Bcast(recvbuf, root=0)
+        sspec = parse_buffer(sendbuf)
+        chunkable = op.commute and op.elementwise and self._size > 1
+        algo = self._pick(
+            "allreduce",
+            nbytes=sspec.count * sspec.array.dtype.itemsize,
+            commute=op.commute,
+            chunked=chunkable,
+            requested=algorithm,
+        )
+        seq = self._next_seq()
+        send, recv = self._buf_transports(seq)
+        result = _algos.run_allreduce(
+            algo, self._rank, self._size, sspec.array[: sspec.count], op,
+            send, recv,
+            split=self._array_split if chunkable else None,
+            concat=np.concatenate if chunkable else None,
+        )
+        self._fill_spec(parse_buffer(recvbuf), np.asarray(result))
 
     def _place_parts(self, rspec: BufferSpec, parts: Sequence[np.ndarray]) -> None:
         offset = 0
-        for part in parts:
+        for src, part in enumerate(parts):
             arr = np.asarray(part)
             if offset + arr.size > len(rspec.array):
                 raise TruncationError(
-                    "gathered data exceeds the receive buffer capacity"
+                    f"gathered data exceeds the receive buffer capacity: rank "
+                    f"{src}'s part of {arr.size} elements at offset {offset} "
+                    f"overflows the {len(rspec.array)}-element buffer"
                 )
             rspec.array[offset : offset + arr.size] = arr.astype(
                 rspec.datatype.np_dtype, copy=False

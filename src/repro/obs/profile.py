@@ -148,6 +148,7 @@ class RunProfile:
     metrics: MetricSet
     wall_s: float
     t_min: float
+    coll_algos: dict[str, dict[str, int]] = field(default_factory=dict)
     dropped: int = 0
     unmatched: int = 0
 
@@ -164,6 +165,11 @@ class RunProfile:
             },
             "p2p_edges": _edges_dict(self.p2p_edges),
             "collective_edges": _edges_dict(self.coll_edges),
+            "collective_algorithms": {
+                coll: {a: self.coll_algos[coll][a]
+                       for a in sorted(self.coll_algos[coll])}
+                for coll in sorted(self.coll_algos)
+            },
             "metrics": self.metrics.to_dict(),
             "dropped_events": self.dropped,
             "unmatched_spans": self.unmatched,
@@ -230,6 +236,7 @@ def build_profile(
     contention: dict[str, dict[str, Any]] = {}
     p2p: dict[tuple[int, int], dict[str, int]] = {}
     colle: dict[tuple[int, int], dict[str, int]] = {}
+    coll_algos: dict[str, dict[str, int]] = {}
     unmatched = 0
 
     for lane_id, (_key, evs, kind, index) in enumerate(classified):
@@ -277,6 +284,9 @@ def build_profile(
                 )
                 edge["messages"] += 1
                 edge["bytes"] += ev.args[3]
+            elif ev.name == "coll_algo" and len(ev.args) >= 4:
+                per_coll = coll_algos.setdefault(ev.args[2], {})
+                per_coll[ev.args[3]] = per_coll.get(ev.args[3], 0) + 1
             elif ev.name in ("fork", "join", "reduction", "task_submit"):
                 instants.append(ev)
         unmatched += sum(len(stack) for stack in open_spans.values())
@@ -332,6 +342,7 @@ def build_profile(
         metrics=collect_metrics(stream),
         wall_s=t_max - t_min,
         t_min=t_min,
+        coll_algos=coll_algos,
         dropped=dropped,
         unmatched=unmatched,
     )
@@ -408,6 +419,13 @@ def render_text(profile: RunProfile) -> str:
         total = sum(r["messages"] for r in profile.coll_edges.values())
         total_b = sum(r["bytes"] for r in profile.coll_edges.values())
         lines.append(f"collective transport: {total} msg, {total_b} B")
+    if profile.coll_algos:
+        picks = ", ".join(
+            f"{coll}={algo}" + (f" x{count}" if count > 1 else "")
+            for coll in sorted(profile.coll_algos)
+            for algo, count in sorted(profile.coll_algos[coll].items())
+        )
+        lines.append(f"collective algorithms: {picks}")
     if profile.dropped:
         lines.append(f"warning: ring buffer dropped {profile.dropped} events")
     return "\n".join(lines)
